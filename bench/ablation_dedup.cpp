@@ -1,0 +1,46 @@
+// Ablation of hypervisor memory deduplication (Section I, claim from [6]):
+// with dedup off, every VM gets private copies of its shared-content
+// pages, so the same logical data occupies ~25% more physical memory and
+// puts more pressure on the shared L2. With dedup on, one copy serves all
+// VMs — the scenario the provider mechanism targets.
+#include "bench_util.h"
+
+using namespace eecc;
+
+int main() {
+  bench::banner("Ablation — memory deduplication on/off");
+  if (bench::quickMode()) std::printf("(EECC_QUICK: reduced windows)\n");
+
+  for (const std::string workload : {"apache4x16p", "jbb4x16p"}) {
+    std::printf("\n%s\n", workload.c_str());
+    std::printf("  %-15s %10s %10s %10s %10s %12s %12s\n", "protocol",
+                "perf", "perf-off", "l2miss", "l2miss-off", "saved-mem",
+                "prov-res");
+    for (const ProtocolKind kind :
+         {ProtocolKind::Directory, ProtocolKind::DiCoProviders,
+          ProtocolKind::DiCoArin}) {
+      auto cfg = bench::makeConfig(workload, kind);
+      const auto on = runExperiment(cfg);
+      cfg.dedupEnabled = false;
+      const auto off = runExperiment(cfg);
+      const double provFrac =
+          on.stats.l1Misses()
+              ? 100.0 * static_cast<double>(
+                            on.stats.providerResolvedMisses) /
+                    static_cast<double>(on.stats.l1Misses())
+              : 0.0;
+      std::printf("  %-15s %10.3f %10.3f %9.1f%% %9.1f%% %11.1f%% %11.1f%%\n",
+                  protocolName(kind), on.throughput, off.throughput,
+                  100.0 * on.stats.l2MissRate(),
+                  100.0 * off.stats.l2MissRate(),
+                  100.0 * on.dedupSavedFraction, provFrac);
+    }
+  }
+  std::printf(
+      "\nExpected: deduplication saves ~15-37%% of memory (Table IV "
+      "column) and relieves L2 pressure (lower L2 miss rate), which [6] "
+      "reports as a ~6.6%% performance gain for a flat directory; the "
+      "provider mechanisms specifically exploit the surviving single "
+      "copy.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Re-validates the paper's Section V-A claim: "we have performed
+// simulations with a more detailed DDR memory controller model and we
+// have found that this does not affect the results". Runs apache and jbb
+// under the fixed-latency model and the detailed DDR model and compares
+// the cross-protocol conclusions.
+#include "bench_util.h"
+
+using namespace eecc;
+
+int main() {
+  bench::banner(
+      "Ablation — fixed-latency memory vs. detailed DDR controller "
+      "(Section V-A validation)");
+  if (bench::quickMode()) std::printf("(EECC_QUICK: reduced windows)\n");
+
+  for (const std::string workload : {"apache4x16p", "jbb4x16p"}) {
+    std::printf("\n%s\n", workload.c_str());
+    std::printf("  %-15s %11s %11s %13s %13s\n", "protocol", "perf-fixed",
+                "perf-ddr", "power-fixed", "power-ddr");
+    double baseFixed = 0.0;
+    double baseDdr = 0.0;
+    for (const ProtocolKind kind : bench::allProtocols()) {
+      auto cfg = bench::makeConfig(workload, kind);
+      const auto fixed = runExperiment(cfg);
+      cfg.chip.memoryModel = CmpConfig::MemoryModel::Ddr;
+      const auto ddr = runExperiment(cfg);
+      if (kind == ProtocolKind::Directory) {
+        baseFixed = fixed.throughput;
+        baseDdr = ddr.throughput;
+      }
+      std::printf("  %-15s %11.3f %11.3f %12.1f %12.1f\n",
+                  protocolName(kind), fixed.throughput / baseFixed,
+                  ddr.throughput / baseDdr, fixed.totalDynamicMw(),
+                  ddr.totalDynamicMw());
+    }
+  }
+  std::printf(
+      "\nExpected: the normalized protocol comparison is essentially "
+      "unchanged between the two memory models — the protocols differ in "
+      "on-chip behaviour, not in how DRAM serves the residual misses.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// NoC model fidelity check (the paper's NoC is a Garnet flit-level
+// simulator; ours defaults to a message-level wormhole approximation with
+// per-link contention). Runs apache under both models and compares the
+// cross-protocol conclusions — the reproduction's analog of validating
+// against the detailed reference.
+#include "bench_util.h"
+
+using namespace eecc;
+
+int main() {
+  bench::banner(
+      "Ablation — message-level vs. flit-level NoC arbitration (apache)");
+  if (bench::quickMode()) std::printf("(EECC_QUICK: reduced windows)\n");
+
+  std::printf("\n%-15s %11s %11s %13s %13s %13s\n", "protocol", "perf-msg",
+              "perf-flit", "missLat-msg", "missLat-flit", "power-flit");
+  double baseMsg = 0.0;
+  double baseFlit = 0.0;
+  for (const ProtocolKind kind : bench::allProtocols()) {
+    auto cfg = bench::makeConfig("apache4x16p", kind);
+    const auto msg = runExperiment(cfg);
+    cfg.chip.net.flitLevel = true;
+    const auto flit = runExperiment(cfg);
+    if (kind == ProtocolKind::Directory) {
+      baseMsg = msg.throughput;
+      baseFlit = flit.throughput;
+    }
+    std::printf("%-15s %11.3f %11.3f %13.1f %13.1f %13.1f\n",
+                protocolName(kind), msg.throughput / baseMsg,
+                flit.throughput / baseFlit, msg.stats.missLatency.mean(),
+                flit.stats.missLatency.mean(), flit.totalDynamicMw());
+  }
+  std::printf(
+      "\nExpected: flit-level arbitration relieves head-of-line blocking "
+      "slightly (equal when uncontended), leaving the normalized protocol "
+      "comparison unchanged — energy counts are identical by "
+      "construction.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Re-validates the paper's Section II-A baseline choice: "we use a
+// full-map bit-vector ... because the full-map provides the best
+// performance and lowest traffic for the base architecture. Other sharing
+// codes trade off reduced directory overhead for extra network traffic
+// and worse performance." Runs the flat directory under each code.
+#include "bench_util.h"
+#include "energy/storage_model.h"
+
+using namespace eecc;
+
+int main() {
+  bench::banner(
+      "Ablation — directory sharing codes (Section II-A baseline choice, "
+      "apache)");
+  if (bench::quickMode()) std::printf("(EECC_QUICK: reduced windows)\n");
+
+  std::printf("\n%-12s %10s %12s %12s %12s %12s\n", "code", "perf",
+              "invals", "links", "power(mW)", "storage-ovh");
+  const SharingCode codes[] = {SharingCode::FullMap,
+                               SharingCode::CoarseVector2,
+                               SharingCode::CoarseVector4,
+                               SharingCode::LimitedPtr4};
+  for (const SharingCode code : codes) {
+    auto cfg = bench::makeConfig("apache4x16p", ProtocolKind::Directory);
+    cfg.chip.dirSharingCode = code;
+    const auto r = runExperiment(cfg);
+    ChipParams p = chipParamsOf(cfg.chip);
+    std::printf("%-12s %10.3f %12llu %12llu %12.1f %11.2f%%\n",
+                sharingCodeName(code), r.throughput,
+                static_cast<unsigned long long>(r.stats.invalidationsSent),
+                static_cast<unsigned long long>(r.noc.linksTraversed),
+                r.totalDynamicMw(),
+                storageFor(ProtocolKind::Directory, p, code)
+                        .overheadFraction() *
+                    100.0);
+  }
+  std::printf(
+      "\nExpected: the full map sends the fewest invalidations and the "
+      "least traffic; coarse vectors and limited pointers shrink the "
+      "storage column but inflate invalidations — the trade-off the "
+      "area-based protocols escape by shrinking the *tracked domain* "
+      "instead of the code.\n");
+  return 0;
+}

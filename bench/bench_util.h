@@ -1,0 +1,62 @@
+// Shared plumbing for the table/figure regeneration benches: per-workload
+// warmup budgets, protocol iteration, and text-table formatting.
+//
+// Set EECC_QUICK=1 to cut warmup/measurement windows 10x (smoke runs).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "workload/profile.h"
+
+namespace eecc::bench {
+
+inline bool quickMode() {
+  const char* q = std::getenv("EECC_QUICK");
+  return q != nullptr && q[0] == '1';
+}
+
+/// Warmup budget per workload: the L2-thrashing configurations need to
+/// actually fill the 64 MB L2 before the measured window (see DESIGN.md).
+inline Tick warmupFor(const std::string& workload) {
+  Tick t = 500'000;
+  if (workload == "jbb4x16p") t = 8'000'000;
+  if (workload == "mixed-com") t = 5'000'000;
+  return quickMode() ? t / 10 : t;
+}
+
+inline Tick windowFor() { return quickMode() ? 100'000 : 250'000; }
+
+inline const std::vector<ProtocolKind>& allProtocols() {
+  static const std::vector<ProtocolKind> kinds = {
+      ProtocolKind::Directory, ProtocolKind::DiCo,
+      ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin};
+  return kinds;
+}
+
+inline ExperimentConfig makeConfig(const std::string& workload,
+                                   ProtocolKind kind) {
+  ExperimentConfig cfg;
+  cfg.workloadName = workload;
+  cfg.protocol = kind;
+  cfg.warmupCycles = warmupFor(workload);
+  cfg.windowCycles = windowFor();
+  return cfg;
+}
+
+inline void hr(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void banner(const char* title) {
+  std::printf("\n");
+  hr();
+  std::printf("%s\n", title);
+  hr();
+}
+
+}  // namespace eecc::bench

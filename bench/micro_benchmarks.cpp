@@ -1,0 +1,122 @@
+// Google-benchmark microbenchmarks of the simulator's hot primitives:
+// event-queue throughput, XY routing, cache-array lookups, NodeSet
+// operations, and end-to-end coherence transactions per second.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_array.h"
+#include "cache/node_set.h"
+#include "common/rng.h"
+#include "noc/mesh.h"
+#include "protocols/protocol.h"
+#include "sim/event_queue.h"
+
+namespace eecc {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i)
+      q.scheduleAt(static_cast<Tick>(i % 97), [&sink] { ++sink; });
+    q.runToCompletion();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_MeshRoute(benchmark::State& state) {
+  const MeshTopology mesh(8, 8);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto a = static_cast<NodeId>(rng.below(64));
+    const auto b = static_cast<NodeId>(rng.below(64));
+    benchmark::DoNotOptimize(mesh.route(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeshRoute);
+
+void BM_MeshBroadcastTree(benchmark::State& state) {
+  const MeshTopology mesh(8, 8);
+  Rng rng(2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        mesh.broadcastTree(static_cast<NodeId>(rng.below(64))));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeshBroadcastTree);
+
+struct BenchLine : CacheLineBase {
+  std::uint64_t payload = 0;
+};
+
+void BM_CacheArrayLookup(benchmark::State& state) {
+  CacheArray<BenchLine> cache(2048, 4);
+  Rng rng(3);
+  for (std::uint64_t i = 0; i < 2048; ++i) {
+    const Addr block = i * kBlockBytes;
+    BenchLine* v = cache.selectVictim(block, nullptr);
+    cache.install(*v, block);
+  }
+  for (auto _ : state) {
+    const Addr block = rng.below(4096) * kBlockBytes;
+    benchmark::DoNotOptimize(cache.find(block));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+void BM_NodeSetOps(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    NodeSet set;
+    for (int i = 0; i < 16; ++i)
+      set.insert(static_cast<NodeId>(rng.below(64)));
+    int sum = 0;
+    set.forEach([&sum](NodeId n) { sum += n; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_NodeSetOps);
+
+// End-to-end: coherence transactions per second through the full
+// event-driven stack (small 4x4 chip so construction stays cheap).
+void BM_ProtocolTransactions(benchmark::State& state) {
+  const auto kind = static_cast<ProtocolKind>(state.range(0));
+  CmpConfig cfg;
+  cfg.meshWidth = 4;
+  cfg.meshHeight = 4;
+  cfg.numAreas = 4;
+  cfg.l1 = CacheGeometry{256, 4, 1, 2};
+  cfg.l2 = CacheGeometry{1024, 8, 2, 3};
+  cfg.l1cEntries = 256;
+  cfg.l2cEntries = 256;
+  cfg.dirCacheEntries = 256;
+  cfg.numMemControllers = 4;
+  EventQueue events;
+  MeshTopology topo(4, 4);
+  Network net(events, topo, cfg.net);
+  auto proto = makeProtocol(kind, events, net, cfg);
+  Rng rng(5);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    const auto tile = static_cast<NodeId>(rng.below(16));
+    const Addr block = rng.below(512) * kBlockBytes;
+    proto->access(tile, block,
+                  rng.chance(0.3) ? AccessType::Write : AccessType::Read,
+                  [] {});
+    events.runToCompletion();
+    ++ops;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.SetLabel(protocolName(kind));
+}
+BENCHMARK(BM_ProtocolTransactions)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace eecc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Regenerates Table VII: storage overhead of the four protocols for
+// 64..1024 cores and every power-of-two area count — the scalability
+// argument of Section V-B.
+#include "bench_util.h"
+#include "energy/storage_model.h"
+
+using namespace eecc;
+
+int main() {
+  bench::banner(
+      "Table VII — storage overhead vs. number of cores and areas");
+
+  for (const std::uint32_t cores : {64u, 128u, 256u, 512u, 1024u}) {
+    std::printf("\n%u cores\n%-15s", cores, "areas:");
+    std::vector<std::uint32_t> areaCounts;
+    for (std::uint32_t a = 2; a <= cores; a *= 2) areaCounts.push_back(a);
+    for (const std::uint32_t a : areaCounts) std::printf("%9u", a);
+    std::printf("\n");
+    for (const ProtocolKind kind : bench::allProtocols()) {
+      std::printf("%-15s", protocolName(kind));
+      for (const std::uint32_t areas : areaCounts) {
+        ChipParams p;
+        p.tiles = cores;
+        p.areas = areas;
+        std::printf("%8.1f%%", storageFor(kind, p).overheadFraction() * 100);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nShape checks (paper, Section V-B): the directory/DiCo overheads "
+      "are area-independent and explode with the core count; "
+      "DiCo-Providers grows with the area count; DiCo-Arin is minimized "
+      "by intermediate area counts and stays far below the full map.\n");
+
+  // Extension (Section II-A): the paper notes its proposals compose with
+  // alternative sharing codes. Overheads for a 256-core, 16-area chip:
+  bench::banner(
+      "Extension — alternative sharing codes (256 cores, 16 areas)");
+  const SharingCode codes[] = {SharingCode::FullMap,
+                               SharingCode::CoarseVector2,
+                               SharingCode::CoarseVector4,
+                               SharingCode::LimitedPtr4};
+  const char* codeNames[] = {"full-map", "coarse/2", "coarse/4",
+                             "4-pointer"};
+  std::printf("%-15s", "code:");
+  for (const char* n : codeNames) std::printf("%12s", n);
+  std::printf("\n");
+  for (const ProtocolKind kind : bench::allProtocols()) {
+    std::printf("%-15s", protocolName(kind));
+    for (const SharingCode code : codes) {
+      ChipParams p;
+      p.tiles = 256;
+      p.areas = 16;
+      std::printf("%11.1f%%",
+                  storageFor(kind, p, code).overheadFraction() * 100);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nThe area division composes with every code: DiCo-Providers/Arin "
+      "apply the code to a 16-tile map instead of a 256-tile one, so the "
+      "absolute win of coarser codes shrinks while theirs remains.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Domain scenario 1 — picking a coherence protocol for a consolidated
+// web-server box. Runs the paper's apache4x16p configuration under all
+// four protocols and prints a decision table: performance, miss profile,
+// dynamic power (cache / links / routing) and the static-power savings
+// from the smaller coherence structures.
+//
+//   $ ./build/examples/consolidation_server
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "workload/profile.h"
+
+using namespace eecc;
+
+int main() {
+  std::printf(
+      "Consolidated server study: 4 Apache VMs x 16 cores on a 64-tile "
+      "CMP, page deduplication on, VMs matched to the 4 static areas.\n\n");
+
+  ExperimentConfig cfg;
+  cfg.workloadName = "apache4x16p";
+  cfg.warmupCycles = 400'000;
+  cfg.windowCycles = 200'000;
+
+  std::printf("%-15s %8s %9s %9s | %9s %9s %9s | %10s %9s\n", "protocol",
+              "perf", "L1 miss", "missLat", "cacheMw", "linkMw", "routeMw",
+              "dyn total", "leakage");
+  double basePerf = 0.0;
+  for (const ProtocolKind kind :
+       {ProtocolKind::Directory, ProtocolKind::DiCo,
+        ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin}) {
+    cfg.protocol = kind;
+    const ExperimentResult r = runExperiment(cfg);
+    if (kind == ProtocolKind::Directory) basePerf = r.throughput;
+    const EnergyModel energy(kind, chipParamsOf(cfg.chip));
+    std::printf(
+        "%-15s %8.3f %8.1f%% %8.1f | %9.1f %9.1f %9.1f | %10.1f %8.0fmW\n",
+        protocolName(kind), r.throughput / basePerf,
+        100.0 * r.stats.l1MissRate(), r.stats.missLatency.mean(), r.cacheMw,
+        r.linkMw, r.routingMw, r.totalDynamicMw(),
+        energy.totalLeakagePerTileMw() *
+            static_cast<double>(cfg.chip.tiles()));
+  }
+
+  std::printf(
+      "\nReading the table: DiCo-Providers and DiCo-Arin cut the cache "
+      "dynamic power (smaller sharing codes in the tag arrays) and the "
+      "chip-wide leakage, resolve part of the misses at an in-area "
+      "provider, and match the directory's performance — the paper's "
+      "server-consolidation argument.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Domain scenario 3 — what hypervisor page deduplication buys. Shows the
+// Table IV memory savings emerging from the page manager for every
+// workload mix, and the cache-pressure effect of switching dedup off
+// (reduplicated pages competing for the shared L2), per the paper's
+// Section I discussion of [6].
+//
+//   $ ./build/examples/dedup_study
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "workload/profile.h"
+#include "workload/workload.h"
+
+using namespace eecc;
+
+int main() {
+  std::printf("Memory saved by deduplication (Table IV column):\n\n");
+  std::printf("%-14s %12s %12s\n", "workload", "measured", "paper");
+  const double paperSaved[] = {21.72, 23.88, 24.18, 32.71,
+                               -1.0 /*blank*/, 36.82, 15.74, 15.21};
+  CmpConfig chip;
+  int i = 0;
+  for (const auto& name : profiles::allWorkloadNames()) {
+    const VmLayout layout = VmLayout::matched(chip, 4);
+    const Workload w(chip, layout, profiles::byWorkloadName(name), 1);
+    if (paperSaved[i] < 0)
+      std::printf("%-14s %11.2f%% %12s\n", name.c_str(),
+                  100.0 * w.pages().savedFraction(), "(blank)");
+    else
+      std::printf("%-14s %11.2f%% %11.2f%%\n", name.c_str(),
+                  100.0 * w.pages().savedFraction(), paperSaved[i]);
+    ++i;
+  }
+
+  std::printf(
+      "\nCache-pressure effect of deduplication (apache, DiCo-Arin):\n\n");
+  ExperimentConfig cfg;
+  cfg.workloadName = "apache4x16p";
+  cfg.protocol = ProtocolKind::DiCoArin;
+  cfg.warmupCycles = 400'000;
+  cfg.windowCycles = 200'000;
+  const ExperimentResult on = runExperiment(cfg);
+  cfg.dedupEnabled = false;
+  const ExperimentResult off = runExperiment(cfg);
+  std::printf("  dedup ON : perf=%.3f  L2 miss=%.1f%%\n", on.throughput,
+              100.0 * on.stats.l2MissRate());
+  std::printf("  dedup OFF: perf=%.3f  L2 miss=%.1f%%\n", off.throughput,
+              100.0 * off.stats.l2MissRate());
+  std::printf(
+      "\nA single shared copy in the L2 serves all four VMs; turning "
+      "dedup off reduplicates those pages and raises L2 pressure — the "
+      "effect [6] quantifies at ~6.6%% performance for a flat "
+      "directory.\n");
+  return 0;
+}

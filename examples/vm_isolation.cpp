@@ -1,0 +1,55 @@
+// Domain scenario 2 — VM placement and area isolation. Compares the
+// matched placement (each VM on one hard-wired area, Figure 6 left) with
+// the deliberately misaligned "-alt" placement (VMs straddle areas,
+// Figure 6 right) for DiCo-Arin, whose broadcast fallback is the part
+// most sensitive to data becoming shared between areas.
+//
+//   $ ./build/examples/vm_isolation
+#include <cstdio>
+
+#include "core/experiment.h"
+
+using namespace eecc;
+
+namespace {
+
+void show(const char* label, const ExperimentResult& r) {
+  std::printf("%-22s perf=%.3f ops/cyc  missLat=%.1f  broadcasts=%llu  "
+              "netMw=%.1f  totalMw=%.1f\n",
+              label, r.throughput, r.stats.missLatency.mean(),
+              static_cast<unsigned long long>(r.noc.broadcasts),
+              r.linkMw + r.routingMw, r.totalDynamicMw());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "VM placement study (DiCo-Arin, 4 Apache VMs): does sloppy "
+      "scheduling across the hard-wired areas hurt?\n\n");
+
+  ExperimentConfig cfg;
+  cfg.workloadName = "apache4x16p";
+  cfg.protocol = ProtocolKind::DiCoArin;
+  cfg.warmupCycles = 400'000;
+  cfg.windowCycles = 200'000;
+
+  const ExperimentResult matched = runExperiment(cfg);
+  show("matched placement", matched);
+
+  cfg.altLayout = true;
+  const ExperimentResult alt = runExperiment(cfg);
+  show("alternative placement", alt);
+
+  std::printf(
+      "\nperformance delta: %+.1f%%   broadcast traffic: %llu -> %llu\n",
+      100.0 * (alt.throughput / matched.throughput - 1.0),
+      static_cast<unsigned long long>(matched.noc.broadcasts),
+      static_cast<unsigned long long>(alt.noc.broadcasts));
+  std::printf(
+      "\nThe paper's Section V-D observation: misaligned VMs do not "
+      "degrade performance (owners stay inside the VM, and providers now "
+      "also shorten misses to VM-private data), but ordinary read/write "
+      "data shared between areas makes DiCo-Arin broadcast more.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Generic set-associative cache array with true-LRU replacement.
+//
+// Protocols define their own line types (embedding protocol-specific
+// coherence state) derived from CacheLineBase; the array handles indexing,
+// lookup, LRU ordering and victim selection. Victim selection can exclude
+// lines named "busy" by a caller-supplied predicate so that a line with an
+// in-flight coherence transaction is not torn out from under it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/types.h"
+
+namespace eecc {
+
+struct CacheLineBase {
+  Addr addr = 0;        ///< Block address (tag+index combined).
+  bool valid = false;
+  std::uint64_t lruStamp = 0;
+};
+
+template <typename LineT>
+class CacheArray {
+  static_assert(std::is_base_of_v<CacheLineBase, LineT>);
+
+ public:
+  /// `indexShift` drops low block-index bits before set selection — a
+  /// bank-interleaved structure (L2 bank, L2C$, directory cache) must
+  /// index with the bits *above* the bank-select bits or it would only
+  /// ever touch 1/nbanks of its sets.
+  CacheArray(std::uint32_t entries, std::uint32_t assoc,
+             std::uint32_t indexShift = 0)
+      : assoc_(assoc), sets_(entries / assoc), indexShift_(indexShift) {
+    EECC_CHECK(assoc >= 1 && entries % assoc == 0);
+    EECC_CHECK_MSG(isPow2(sets_), "set count must be a power of two");
+    lines_.resize(entries);
+  }
+
+  std::uint32_t entries() const {
+    return static_cast<std::uint32_t>(lines_.size());
+  }
+  std::uint32_t associativity() const { return assoc_; }
+  std::uint32_t sets() const { return sets_; }
+
+  /// Returns the valid line holding `block`, or nullptr. Does not touch LRU.
+  LineT* find(Addr block) {
+    const auto [begin, end] = setRange(block);
+    for (std::size_t i = begin; i < end; ++i)
+      if (lines_[i].valid && lines_[i].addr == block) return &lines_[i];
+    return nullptr;
+  }
+  const LineT* find(Addr block) const {
+    return const_cast<CacheArray*>(this)->find(block);
+  }
+
+  /// Marks a line most-recently-used.
+  void touch(LineT& line) { line.lruStamp = ++clock_; }
+
+  /// Selects the victim slot for installing `block`: an invalid way if one
+  /// exists, otherwise the LRU way among those for which `busy` is false.
+  /// Returns nullptr only when every way of the set is busy.
+  LineT* selectVictim(Addr block,
+                      const std::function<bool(const LineT&)>& busy) {
+    const auto [begin, end] = setRange(block);
+    LineT* best = nullptr;
+    for (std::size_t i = begin; i < end; ++i) {
+      LineT& line = lines_[i];
+      if (!line.valid) return &line;
+      if (busy && busy(line)) continue;
+      if (best == nullptr || line.lruStamp < best->lruStamp) best = &line;
+    }
+    return best;
+  }
+
+  /// Resets `slot` to an invalid default-state line tagged with `block`,
+  /// marks it valid and most-recently-used. The caller must already have
+  /// dealt with the previous occupant.
+  LineT& install(LineT& slot, Addr block) {
+    slot = LineT{};
+    slot.addr = block;
+    slot.valid = true;
+    touch(slot);
+    return slot;
+  }
+
+  void invalidate(LineT& line) { line.valid = false; }
+
+  /// Visits every valid line (for invariant checking and statistics).
+  template <typename Fn>
+  void forEachValid(Fn&& fn) {
+    for (auto& line : lines_)
+      if (line.valid) fn(line);
+  }
+  template <typename Fn>
+  void forEachValid(Fn&& fn) const {
+    for (const auto& line : lines_)
+      if (line.valid) fn(line);
+  }
+
+  std::uint64_t validCount() const {
+    std::uint64_t n = 0;
+    forEachValid([&n](const LineT&) { ++n; });
+    return n;
+  }
+
+ private:
+  std::pair<std::size_t, std::size_t> setRange(Addr block) const {
+    const std::size_t set =
+        static_cast<std::size_t>(blockIndex(block) >> indexShift_) &
+        (sets_ - 1);
+    return {set * assoc_, set * assoc_ + assoc_};
+  }
+
+  std::uint32_t assoc_;
+  std::uint32_t sets_;
+  std::uint32_t indexShift_ = 0;
+  std::uint64_t clock_ = 0;
+  std::vector<LineT> lines_;
+};
+
+}  // namespace eecc

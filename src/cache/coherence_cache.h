@@ -1,0 +1,104 @@
+// The L1 Coherence Cache (L1C$) and L2 Coherence Cache (L2C$) of DiCo-based
+// protocols (Section IV): small set-associative caches of pointers indexed
+// by block address. An L1C$ entry holds a *prediction* of the supplier of a
+// block; an L2C$ entry holds the *precise* identity of the L1 cache owning
+// a block when the ownership is not at the home L2.
+//
+// Precise pointers must never vanish while a transaction is mid-flight on
+// their block, so update() takes a busy predicate: busy entries are never
+// chosen as victims, and when every candidate way is busy the new pointer
+// parks in a small overflow table (the stand-in for the MSHR entry a real
+// implementation would hold it in) until it is invalidated or re-inserted.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "cache/cache_array.h"
+#include "common/types.h"
+
+namespace eecc {
+
+class CoherenceCache {
+ public:
+  using BusyFn = std::function<bool(Addr)>;
+
+  CoherenceCache(std::uint32_t entries, std::uint32_t assoc,
+                 std::uint32_t indexShift = 0)
+      : array_(entries, assoc, indexShift) {}
+
+  /// Probes for a pointer; refreshes LRU on hit.
+  std::optional<NodeId> lookup(Addr block) {
+    if (Entry* e = array_.find(block)) {
+      array_.touch(*e);
+      return e->node;
+    }
+    if (auto it = overflow_.find(block); it != overflow_.end())
+      return it->second;
+    return std::nullopt;
+  }
+
+  /// Installs or refreshes the pointer for `block`. Returns the evicted
+  /// (block, node) pair when a valid victim had to be displaced — the L2C$
+  /// uses this to trigger an ownership recall (Section IV-A1). Entries for
+  /// which `busy` returns true are never displaced.
+  std::optional<std::pair<Addr, NodeId>> update(Addr block, NodeId node,
+                                                const BusyFn& busy = {}) {
+    overflow_.erase(block);
+    if (Entry* e = array_.find(block)) {
+      e->node = node;
+      array_.touch(*e);
+      return std::nullopt;
+    }
+    Entry* slot = array_.selectVictim(block, [&busy](const Entry& e) {
+      return busy && busy(e.addr);
+    });
+    if (slot == nullptr) {
+      overflow_.emplace(block, node);
+      return std::nullopt;
+    }
+    std::optional<std::pair<Addr, NodeId>> displaced;
+    if (slot->valid) displaced = {slot->addr, slot->node};
+    array_.install(*slot, block).node = node;
+    return displaced;
+  }
+
+  /// True when inserting `block` would displace a live (non-busy) entry —
+  /// i.e. there is no room without evicting someone else's pointer.
+  bool wouldDisplace(Addr block, const BusyFn& busy = {}) {
+    if (array_.find(block) != nullptr) return false;
+    Entry* slot = array_.selectVictim(block, [&busy](const Entry& e) {
+      return busy && busy(e.addr);
+    });
+    return slot == nullptr || slot->valid;
+  }
+
+  /// Drops the entry for `block` if present.
+  void invalidate(Addr block) {
+    if (Entry* e = array_.find(block)) array_.invalidate(*e);
+    overflow_.erase(block);
+  }
+
+  std::uint32_t entries() const { return array_.entries(); }
+  std::uint64_t validCount() const {
+    return array_.validCount() + overflow_.size();
+  }
+  std::size_t overflowSize() const { return overflow_.size(); }
+
+  /// Visits every (block, node) pair (invariant checks).
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    array_.forEachValid([&fn](const auto& e) { fn(e.addr, e.node); });
+    for (const auto& [block, node] : overflow_) fn(block, node);
+  }
+
+ private:
+  struct Entry : CacheLineBase {
+    NodeId node = kInvalidNode;
+  };
+  CacheArray<Entry> array_;
+  std::unordered_map<Addr, NodeId> overflow_;
+};
+
+}  // namespace eecc

@@ -1,0 +1,84 @@
+// Fixed-capacity set of tile identifiers — the in-simulator representation
+// of a full-map sharing bit-vector. Capacity covers up to 256 tiles, the
+// largest chip we simulate (storage *accounting* for bigger chips is
+// analytic, see energy/storage_model.h, and does not use this type).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace eecc {
+
+class NodeSet {
+ public:
+  static constexpr std::int32_t kCapacity = 256;
+
+  constexpr NodeSet() : words_{} {}
+
+  void insert(NodeId n) { word(n) |= bit(n); }
+  void erase(NodeId n) { word(n) &= ~bit(n); }
+  bool contains(NodeId n) const { return (word(n) & bit(n)) != 0; }
+  void clear() { words_ = {}; }
+
+  std::int32_t size() const {
+    std::int32_t total = 0;
+    for (const auto w : words_) total += std::popcount(w);
+    return total;
+  }
+  bool empty() const {
+    for (const auto w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  /// Lowest-numbered member, or kInvalidNode when empty.
+  NodeId first() const {
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] != 0)
+        return static_cast<NodeId>(i * 64 +
+                                   static_cast<std::size_t>(
+                                       std::countr_zero(words_[i])));
+    return kInvalidNode;
+  }
+
+  NodeSet& operator|=(const NodeSet& o) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+
+  bool operator==(const NodeSet&) const = default;
+
+  /// Visits every member in ascending order.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i];
+      while (w != 0) {
+        const int b = std::countr_zero(w);
+        fn(static_cast<NodeId>(i * 64 + static_cast<std::size_t>(b)));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  std::uint64_t& word(NodeId n) {
+    EECC_CHECK(n >= 0 && n < kCapacity);
+    return words_[static_cast<std::size_t>(n) / 64];
+  }
+  const std::uint64_t& word(NodeId n) const {
+    EECC_CHECK(n >= 0 && n < kCapacity);
+    return words_[static_cast<std::size_t>(n) / 64];
+  }
+  static constexpr std::uint64_t bit(NodeId n) {
+    return std::uint64_t{1} << (static_cast<std::uint32_t>(n) % 64);
+  }
+
+  std::array<std::uint64_t, kCapacity / 64> words_;
+};
+
+}  // namespace eecc

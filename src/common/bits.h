@@ -1,0 +1,28 @@
+// Small bit-arithmetic helpers used by the storage model and cache indexing.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace eecc {
+
+/// ceil(log2(n)) for n >= 1: the number of bits needed to name n distinct
+/// values. log2ceil(1) == 0.
+constexpr std::uint32_t log2ceil(std::uint64_t n) {
+  if (n <= 1) return 0;
+  return 64u - static_cast<std::uint32_t>(std::countl_zero(n - 1));
+}
+
+/// floor(log2(n)) for n >= 1.
+constexpr std::uint32_t log2floor(std::uint64_t n) {
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(n));
+}
+
+constexpr bool isPow2(std::uint64_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Converts a size in bits to KiB as a double (for Table V style reporting).
+constexpr double bitsToKiB(std::uint64_t bits) {
+  return static_cast<double>(bits) / 8.0 / 1024.0;
+}
+
+}  // namespace eecc

@@ -1,0 +1,28 @@
+// Internal invariant checking. EECC_CHECK is active in all build types:
+// a coherence simulator that silently corrupts its own state produces
+// plausible-looking but meaningless numbers, so the (cheap) checks stay on.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace eecc::detail {
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "EECC_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace eecc::detail
+
+#define EECC_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) ::eecc::detail::checkFailed(#expr, __FILE__, __LINE__, \
+                                             "");                       \
+  } while (false)
+
+#define EECC_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) ::eecc::detail::checkFailed(#expr, __FILE__, __LINE__, \
+                                             (msg));                    \
+  } while (false)

@@ -1,0 +1,107 @@
+// Lightweight statistics primitives: named counters, scalar accumulators
+// and fixed-bucket histograms. These back every metric the benchmark
+// harness reports (message counts, link traversals, latency distributions).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eecc {
+
+/// Accumulates samples of a scalar quantity (e.g. miss latency).
+class Accumulator {
+ public:
+  void add(double value) {
+    count_ += 1;
+    sum_ += value;
+    sumsq_ += value * value;
+    if (count_ == 1 || value < min_) min_ = value;
+    if (count_ == 1 || value > max_) max_ = value;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  /// Population variance.
+  double variance() const {
+    if (count_ == 0) return 0.0;
+    const double m = mean();
+    return sumsq_ / static_cast<double>(count_) - m * m;
+  }
+
+  void reset() { *this = Accumulator{}; }
+
+  Accumulator& operator+=(const Accumulator& other) {
+    if (other.count_ == 0) return *this;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sumsq_ += other.sumsq_;
+    return *this;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double sumsq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Histogram with uniform buckets over [lo, hi); out-of-range samples land
+/// in the saturating edge buckets.
+class Histogram {
+ public:
+  Histogram() : Histogram(0.0, 1.0, 1) {}
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+
+  void add(double value) {
+    acc_.add(value);
+    const double span = hi_ - lo_;
+    auto idx = static_cast<std::int64_t>((value - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+    if (idx < 0) idx = 0;
+    if (idx >= static_cast<std::int64_t>(counts_.size()))
+      idx = static_cast<std::int64_t>(counts_.size()) - 1;
+    counts_[static_cast<std::size_t>(idx)] += 1;
+  }
+
+  const std::vector<std::uint64_t>& buckets() const { return counts_; }
+  const Accumulator& summary() const { return acc_; }
+  double bucketLow(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  Accumulator acc_;
+};
+
+/// A bag of named integer counters, used where metrics are discovered
+/// dynamically (per-message-type counts etc.).
+class CounterSet {
+ public:
+  std::uint64_t& operator[](const std::string& name) { return counters_[name]; }
+  std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+  void merge(const CounterSet& other) {
+    for (const auto& [k, v] : other.counters_) counters_[k] += v;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace eecc

@@ -1,0 +1,26 @@
+#include "common/types.h"
+
+namespace eecc {
+
+const char* protocolName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::Directory: return "Directory";
+    case ProtocolKind::DiCo: return "DiCo";
+    case ProtocolKind::DiCoProviders: return "DiCo-Providers";
+    case ProtocolKind::DiCoArin: return "DiCo-Arin";
+  }
+  return "?";
+}
+
+const char* sharingCodeName(SharingCode code) {
+  switch (code) {
+    case SharingCode::FullMap: return "full-map";
+    case SharingCode::CoarseVector2: return "coarse/2";
+    case SharingCode::CoarseVector4: return "coarse/4";
+    case SharingCode::LimitedPtr2: return "2-pointer";
+    case SharingCode::LimitedPtr4: return "4-pointer";
+  }
+  return "?";
+}
+
+}  // namespace eecc

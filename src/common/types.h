@@ -1,0 +1,80 @@
+// Fundamental scalar types and small enums shared by every module.
+//
+// The simulator models a tiled CMP: `ntc` tiles arranged in a 2D mesh, each
+// tile holding a core, an L1 cache, one bank of the shared L2 and a network
+// interface. Addresses are physical byte addresses; coherence operates on
+// 64-byte blocks.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace eecc {
+
+/// Simulated time in core clock cycles (3 GHz in the paper's Table III).
+using Tick = std::uint64_t;
+
+/// Physical byte address (40 bits used, per the paper's Section V-B).
+using Addr = std::uint64_t;
+
+/// Identity of a tile (0 .. ntc-1). Also identifies the L1 cache, the L2
+/// bank and the router co-located on that tile.
+using NodeId = std::int32_t;
+
+/// Identity of a virtual machine running on the chip.
+using VmId = std::int32_t;
+
+/// Identity of a static chip area (0 .. na-1).
+using AreaId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+/// Size of a coherence block in bytes (Table III).
+inline constexpr std::uint32_t kBlockBytes = 64;
+inline constexpr std::uint32_t kBlockOffsetBits = 6;
+
+/// Page size in bytes (Table III).
+inline constexpr std::uint32_t kPageBytes = 4096;
+inline constexpr std::uint32_t kPageOffsetBits = 12;
+
+/// Physical address width assumed for tag sizing (Section V-B).
+inline constexpr std::uint32_t kPhysAddrBits = 40;
+
+/// Rounds a byte address down to its block address.
+constexpr Addr blockAddr(Addr a) { return a & ~Addr{kBlockBytes - 1}; }
+
+/// Rounds a byte address down to its page address.
+constexpr Addr pageAddr(Addr a) { return a & ~Addr{kPageBytes - 1}; }
+
+/// Block index within the physical address space.
+constexpr std::uint64_t blockIndex(Addr a) { return a >> kBlockOffsetBits; }
+
+/// Kind of memory access issued by a core.
+enum class AccessType : std::uint8_t { Read, Write };
+
+/// The four coherence protocols evaluated in the paper.
+enum class ProtocolKind : std::uint8_t {
+  Directory,      ///< Flat full-map MESI directory (baseline, Section II-A).
+  DiCo,           ///< Original Direct Coherence [7].
+  DiCoProviders,  ///< Section III-A.
+  DiCoArin,       ///< Section III-B.
+};
+
+/// Human-readable protocol name matching the paper's tables.
+const char* protocolName(ProtocolKind kind);
+
+/// Alternative sharing codes for full-map fields (Section II-A): the
+/// baseline uses a full map; coarse vectors and limited pointers trade
+/// storage for spurious invalidations.
+enum class SharingCode : std::uint8_t {
+  FullMap,        ///< One bit per trackable node (the paper's default).
+  CoarseVector2,  ///< One bit per 2 nodes.
+  CoarseVector4,  ///< One bit per 4 nodes.
+  LimitedPtr2,    ///< Two node pointers + overflow bit.
+  LimitedPtr4,    ///< Four node pointers + overflow bit.
+};
+
+const char* sharingCodeName(SharingCode code);
+
+}  // namespace eecc

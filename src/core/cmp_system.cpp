@@ -1,0 +1,111 @@
+#include "core/cmp_system.h"
+
+namespace eecc {
+
+CmpSystem::CmpSystem(const CmpConfig& cfg, ProtocolKind kind,
+                     const VmLayout& layout,
+                     std::vector<BenchmarkProfile> perVm, std::uint64_t seed,
+                     bool dedupEnabled)
+    : cfg_(cfg),
+      topo_(cfg.meshWidth, cfg.meshHeight),
+      net_(events_, topo_, cfg.net),
+      source_(std::make_unique<Workload>(cfg, layout, std::move(perVm),
+                                         seed, dedupEnabled)),
+      protocol_(makeProtocol(kind, events_, net_, cfg_)) {
+  cores_.resize(static_cast<std::size_t>(cfg_.tiles()));
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    cores_[static_cast<std::size_t>(t)].tile = t;
+    cores_[static_cast<std::size_t>(t)].active = source_->tileActive(t);
+  }
+}
+
+CmpSystem::CmpSystem(const CmpConfig& cfg, ProtocolKind kind,
+                     std::unique_ptr<OpSource> source)
+    : cfg_(cfg),
+      topo_(cfg.meshWidth, cfg.meshHeight),
+      net_(events_, topo_, cfg.net),
+      source_(std::move(source)),
+      protocol_(makeProtocol(kind, events_, net_, cfg_)) {
+  cores_.resize(static_cast<std::size_t>(cfg_.tiles()));
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    cores_[static_cast<std::size_t>(t)].tile = t;
+    cores_[static_cast<std::size_t>(t)].active = source_->tileActive(t);
+  }
+}
+
+void CmpSystem::coreStep(NodeId tile) {
+  Core& core = cores_[static_cast<std::size_t>(tile)];
+  if (!core.active || core.waiting) return;
+  const Tick horizon = events_.now() + kQuantum;
+
+  while (true) {
+    if (core.localTime >= stopAt_) return;  // window over: stop issuing
+    if (core.localTime >= horizon) {
+      events_.scheduleAt(core.localTime, [this, tile] { coreStep(tile); });
+      return;
+    }
+    const MemOp op = source_->next(tile);
+    core.localTime += op.computeCycles;
+    const Addr block = blockAddr(op.addr);
+
+    // The completion callback may run synchronously (L1 hit) or after the
+    // miss transaction finishes, long past this stack frame — the state it
+    // shares with the issuing loop must live on the heap.
+    const auto inCall = std::make_shared<bool>(true);
+    const auto wasHit = std::make_shared<bool>(false);
+    protocol_->access(tile, block, op.type, [this, tile, inCall, wasHit] {
+      Core& c = cores_[static_cast<std::size_t>(tile)];
+      c.opsDone += 1;
+      if (*inCall) {
+        *wasHit = true;  // L1 hit: the loop below continues
+        return;
+      }
+      // Miss completion: the core resumes now.
+      c.waiting = false;
+      c.localTime = events_.now() + 1;
+      events_.scheduleAfter(1, [this, tile] { coreStep(tile); });
+    });
+    *inCall = false;
+    if (*wasHit) {
+      core.localTime += hitLatency();
+      continue;
+    }
+    core.waiting = true;
+    return;
+  }
+}
+
+void CmpSystem::run(Tick cycles) {
+  stopAt_ = events_.now() + cycles;
+  cyclesRun_ += cycles;
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    Core& core = cores_[static_cast<std::size_t>(t)];
+    if (core.localTime < events_.now()) core.localTime = events_.now();
+    events_.scheduleAfter(0, [this, t] { coreStep(t); });
+  }
+  events_.runUntil(stopAt_);
+  // Drain in-flight misses (no new operations are issued past stopAt_).
+  events_.runToCompletion();
+}
+
+void CmpSystem::warmup(Tick cycles) {
+  run(cycles);
+  protocol_->resetStats();
+  net_.resetStats();
+  for (Core& c : cores_) c.opsDone = 0;
+  cyclesRun_ = 0;
+}
+
+std::uint64_t CmpSystem::opsCompleted() const {
+  std::uint64_t total = 0;
+  for (const Core& c : cores_) total += c.opsDone;
+  return total;
+}
+
+double CmpSystem::throughput() const {
+  if (cyclesRun_ == 0) return 0.0;
+  return static_cast<double>(opsCompleted()) /
+         static_cast<double>(cyclesRun_);
+}
+
+}  // namespace eecc

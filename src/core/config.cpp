@@ -1,0 +1,142 @@
+#include "core/config.h"
+
+#include <algorithm>
+
+namespace eecc {
+
+void CmpConfig::areaGrid(std::int32_t* ax, std::int32_t* ay) const {
+  // Factor numAreas into ax*ay with ax across the width, preferring the
+  // squarest split that divides the mesh evenly.
+  const auto na = static_cast<std::int32_t>(numAreas);
+  std::int32_t bestX = -1;
+  for (std::int32_t x = 1; x <= na; ++x) {
+    if (na % x != 0) continue;
+    const std::int32_t y = na / x;
+    if (meshWidth % x != 0 || meshHeight % y != 0) continue;
+    if (bestX < 0 ||
+        std::abs(meshWidth / x - meshHeight / y) <
+            std::abs(meshWidth / bestX - meshHeight / (na / bestX)))
+      bestX = x;
+  }
+  EECC_CHECK_MSG(bestX > 0, "numAreas does not tile the mesh evenly");
+  *ax = bestX;
+  *ay = na / bestX;
+}
+
+AreaId CmpConfig::areaOf(NodeId tile) const {
+  std::int32_t ax = 0;
+  std::int32_t ay = 0;
+  areaGrid(&ax, &ay);
+  const std::int32_t aw = meshWidth / ax;   // area width in tiles
+  const std::int32_t ah = meshHeight / ay;  // area height in tiles
+  const std::int32_t x = tile % meshWidth;
+  const std::int32_t y = tile / meshWidth;
+  return (y / ah) * ax + (x / aw);
+}
+
+std::vector<NodeId> CmpConfig::tilesInArea(AreaId area) const {
+  std::vector<NodeId> out;
+  for (NodeId t = 0; t < tiles(); ++t)
+    if (areaOf(t) == area) out.push_back(t);
+  return out;
+}
+
+std::vector<NodeId> CmpConfig::memControllerTiles() const {
+  // Half the controllers on the top row, half on the bottom row, spread
+  // evenly across the width.
+  std::vector<NodeId> out;
+  const std::uint32_t perRow = std::max(1u, numMemControllers / 2);
+  for (std::uint32_t i = 0; i < perRow && out.size() < numMemControllers; ++i) {
+    const std::int32_t x = static_cast<std::int32_t>(
+        (2 * i + 1) * static_cast<std::uint32_t>(meshWidth) / (2 * perRow));
+    out.push_back(x);  // top row: y == 0
+  }
+  for (std::uint32_t i = 0;
+       i < numMemControllers - perRow && out.size() < numMemControllers; ++i) {
+    const std::int32_t x = static_cast<std::int32_t>(
+        (2 * i + 1) * static_cast<std::uint32_t>(meshWidth) /
+        (2 * (numMemControllers - perRow)));
+    out.push_back((meshHeight - 1) * meshWidth + x);  // bottom row
+  }
+  return out;
+}
+
+NodeId CmpConfig::memControllerOf(Addr block) const {
+  const auto mcs = memControllerTiles();
+  const std::uint64_t page = block >> kPageOffsetBits;
+  return mcs[static_cast<std::size_t>(page % mcs.size())];
+}
+
+void CmpConfig::validate() const {
+  EECC_CHECK(meshWidth >= 1 && meshHeight >= 1);
+  EECC_CHECK(numAreas >= 1 &&
+             tiles() % static_cast<std::int32_t>(numAreas) == 0);
+  std::int32_t ax = 0;
+  std::int32_t ay = 0;
+  areaGrid(&ax, &ay);
+  EECC_CHECK(l1.entries % l1.assoc == 0 && l2.entries % l2.assoc == 0);
+  EECC_CHECK(numMemControllers >= 1);
+  EECC_CHECK(tiles() <= 256);  // NodeSet capacity
+}
+
+VmLayout VmLayout::matched(const CmpConfig& cfg, std::uint32_t numVms) {
+  VmLayout layout;
+  layout.numVms = numVms;
+  layout.vmOfTile.assign(static_cast<std::size_t>(cfg.tiles()), VmId{-1});
+  if (numVms <= cfg.numAreas) {
+    // One whole area (or several) per VM: VM i gets area i.
+    for (NodeId t = 0; t < cfg.tiles(); ++t) {
+      const AreaId a = cfg.areaOf(t);
+      if (static_cast<std::uint32_t>(a) < numVms)
+        layout.vmOfTile[static_cast<std::size_t>(t)] = a;
+    }
+    return layout;
+  }
+  // More VMs than areas: pack VMs into contiguous area-aligned tile
+  // groups (each VM stays inside a single area when the counts divide).
+  EECC_CHECK(numVms % cfg.numAreas == 0);
+  std::vector<NodeId> ordered;
+  for (AreaId a = 0; a < static_cast<AreaId>(cfg.numAreas); ++a)
+    for (const NodeId t : cfg.tilesInArea(a)) ordered.push_back(t);
+  const std::size_t perVm = ordered.size() / numVms;
+  EECC_CHECK(perVm >= 1);
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const auto vm = static_cast<VmId>(i / perVm);
+    if (static_cast<std::uint32_t>(vm) < numVms)
+      layout.vmOfTile[static_cast<std::size_t>(ordered[i])] = vm;
+  }
+  return layout;
+}
+
+VmLayout VmLayout::contiguous(const CmpConfig& cfg, std::uint32_t numVms) {
+  VmLayout layout;
+  layout.numVms = numVms;
+  layout.vmOfTile.assign(static_cast<std::size_t>(cfg.tiles()), VmId{-1});
+  EECC_CHECK(cfg.tiles() % static_cast<std::int32_t>(numVms) == 0);
+  std::vector<NodeId> ordered;
+  for (AreaId a = 0; a < static_cast<AreaId>(cfg.numAreas); ++a)
+    for (const NodeId t : cfg.tilesInArea(a)) ordered.push_back(t);
+  const std::size_t perVm = ordered.size() / numVms;
+  for (std::size_t i = 0; i < ordered.size(); ++i)
+    layout.vmOfTile[static_cast<std::size_t>(ordered[i])] =
+        static_cast<VmId>(i / perVm);
+  return layout;
+}
+
+VmLayout VmLayout::alternative(const CmpConfig& cfg, std::uint32_t numVms) {
+  VmLayout layout;
+  layout.numVms = numVms;
+  layout.vmOfTile.assign(static_cast<std::size_t>(cfg.tiles()), VmId{-1});
+  // Assign tiles to VMs in horizontal bands (row-major round robin over
+  // equally sized contiguous chunks), which crosses the quadrant
+  // boundaries of the default area division.
+  const std::int32_t perVm = cfg.tiles() / static_cast<std::int32_t>(numVms);
+  for (NodeId t = 0; t < cfg.tiles(); ++t) {
+    const auto vm = static_cast<VmId>(t / perVm);
+    if (static_cast<std::uint32_t>(vm) < numVms)
+      layout.vmOfTile[static_cast<std::size_t>(t)] = vm;
+  }
+  return layout;
+}
+
+}  // namespace eecc

@@ -1,0 +1,129 @@
+// Chip-level configuration: Table III geometry, the static division of the
+// chip into areas (Section III), home-bank and memory-controller mapping,
+// and the VM-to-tile layouts of Figure 6 (matched and "-alt").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/types.h"
+#include "noc/network.h"
+
+namespace eecc {
+
+/// Geometry and latency of one cache array (per tile).
+struct CacheGeometry {
+  std::uint32_t entries = 0;
+  std::uint32_t assoc = 1;
+  Tick tagLatency = 1;
+  Tick dataLatency = 2;
+};
+
+struct CmpConfig {
+  // --- Chip (Table III defaults: 64-tile 8x8 CMP) ---
+  std::int32_t meshWidth = 8;
+  std::int32_t meshHeight = 8;
+  std::uint32_t numAreas = 4;
+
+  CacheGeometry l1{2048, 4, 1, 2};    // 128 KB split I&D, 4-way
+  CacheGeometry l2{16384, 8, 2, 3};   // 1 MB bank, 8-way
+  // Pointer caches and the flat directory's dir cache are direct-mapped in
+  // the paper's storage accounting (their tag widths in Section V-B only
+  // match 2048-set organizations); the simulator uses the same shape.
+  std::uint32_t l1cEntries = 2048;
+  std::uint32_t l2cEntries = 2048;
+  std::uint32_t l1cAssoc = 4;  ///< Simulator organization (see dirCacheAssoc).
+  std::uint32_t l2cAssoc = 4;
+  std::uint32_t dirCacheEntries = 2048;
+  /// The flat directory's dir cache is set-associative in the simulator
+  /// (a "highly-optimized directory", Section II-A); the storage tables
+  /// keep the paper's printed per-entry bit counts.
+  std::uint32_t dirCacheAssoc = 8;
+
+  Tick memLatency = 300;       ///< DRAM latency in cycles (+ on-chip delay).
+  Tick memJitterMax = 16;      ///< "small random delay" added per access.
+  std::uint32_t numMemControllers = 8;
+  /// Memory timing model: the paper's default is a fixed latency plus a
+  /// small random delay; `Ddr` swaps in the detailed bank/row-buffer
+  /// controller of mem/ddr_controller.h (Section V-A's validation).
+  enum class MemoryModel : std::uint8_t { FixedLatency, Ddr };
+  MemoryModel memoryModel = MemoryModel::FixedLatency;
+
+  NetworkConfig net{};
+
+  /// Sharing code used by the flat directory's full-map fields. The
+  /// paper's baseline is FullMap ("provides the best performance and
+  /// lowest traffic"); coarser codes save storage but send spurious
+  /// invalidations (bench/ablation_sharing_code re-validates the claim).
+  SharingCode dirSharingCode = SharingCode::FullMap;
+
+  /// Ablation knob: disables the L1C$ supplier prediction of the
+  /// DiCo-family protocols (all misses go through the home).
+  bool enablePrediction = true;
+
+  std::int32_t tiles() const { return meshWidth * meshHeight; }
+  std::int32_t tilesPerArea() const {
+    return tiles() / static_cast<std::int32_t>(numAreas);
+  }
+
+  /// Home L2 bank for a block: fixed address bits, block-interleaved.
+  NodeId homeOf(Addr block) const {
+    return static_cast<NodeId>(blockIndex(block) %
+                               static_cast<std::uint64_t>(tiles()));
+  }
+
+  /// Areas tile the mesh as a grid of equal rectangles (hard-wired static
+  /// division, Section III). For the default 8x8 / 4 areas these are the
+  /// four 4x4 quadrants of Figure 6 (left).
+  AreaId areaOf(NodeId tile) const;
+
+  /// Tiles belonging to `area`, ascending.
+  std::vector<NodeId> tilesInArea(AreaId area) const;
+
+  /// Memory controller tiles, spread along the top and bottom borders of
+  /// the chip (Table III: "8 memory controllers along the borders").
+  std::vector<NodeId> memControllerTiles() const;
+
+  /// The controller serving a block (page-interleaved across controllers).
+  NodeId memControllerOf(Addr block) const;
+
+  void validate() const;
+
+ private:
+  void areaGrid(std::int32_t* ax, std::int32_t* ay) const;
+};
+
+/// Assignment of tiles to virtual machines.
+struct VmLayout {
+  std::uint32_t numVms = 0;
+  std::vector<VmId> vmOfTile;  ///< size == tiles(); -1 for unassigned.
+
+  VmId vmOf(NodeId tile) const {
+    return vmOfTile[static_cast<std::size_t>(tile)];
+  }
+  std::vector<NodeId> tilesOfVm(VmId vm) const {
+    std::vector<NodeId> out;
+    for (std::size_t i = 0; i < vmOfTile.size(); ++i)
+      if (vmOfTile[i] == vm) out.push_back(static_cast<NodeId>(i));
+    return out;
+  }
+
+  /// VMs scheduled so that VM i occupies exactly area i (Figure 6, left).
+  static VmLayout matched(const CmpConfig& cfg, std::uint32_t numVms);
+
+  /// The "-alt" layout (Figure 6, right): VMs deliberately straddle area
+  /// boundaries. Each VM takes a horizontal band of rows, which crosses
+  /// the vertical area boundary of the default quadrant division.
+  static VmLayout alternative(const CmpConfig& cfg, std::uint32_t numVms);
+
+  /// Area-aligned layout covering *all* tiles: tiles are ordered by area
+  /// and chunked into numVms equal groups, so each VM occupies whole
+  /// areas (or whole fractions of one) for any area granularity. Used by
+  /// the area-count ablation, where the VM size stays fixed while the
+  /// hard-wired division varies.
+  static VmLayout contiguous(const CmpConfig& cfg, std::uint32_t numVms);
+};
+
+}  // namespace eecc

@@ -1,0 +1,69 @@
+#include "core/experiment.h"
+
+#include "workload/profile.h"
+
+namespace eecc {
+
+ChipParams chipParamsOf(const CmpConfig& cfg) {
+  ChipParams p;
+  p.tiles = static_cast<std::uint32_t>(cfg.tiles());
+  p.areas = cfg.numAreas;
+  p.l1Entries = cfg.l1.entries;
+  p.l1Assoc = cfg.l1.assoc;
+  p.l2Entries = cfg.l2.entries;
+  p.l2Assoc = cfg.l2.assoc;
+  p.l1cEntries = cfg.l1cEntries;
+  p.l2cEntries = cfg.l2cEntries;
+  p.dirCacheEntries = cfg.dirCacheEntries;
+  return p;
+}
+
+ExperimentResult runExperiment(const ExperimentConfig& cfg) {
+  const auto perVm = profiles::byWorkloadName(cfg.workloadName);
+  const auto numVms = static_cast<std::uint32_t>(perVm.size());
+  const VmLayout layout =
+      cfg.contiguousLayout ? VmLayout::contiguous(cfg.chip, numVms)
+      : cfg.altLayout      ? VmLayout::alternative(cfg.chip, numVms)
+                           : VmLayout::matched(cfg.chip, numVms);
+
+  CmpSystem system(cfg.chip, cfg.protocol, layout, perVm, cfg.seed,
+                   cfg.dedupEnabled);
+  if (cfg.warmupCycles > 0) system.warmup(cfg.warmupCycles);
+  system.run(cfg.windowCycles);
+
+  ExperimentResult r;
+  r.workload = cfg.workloadName;
+  r.protocol = cfg.protocol;
+  r.altLayout = cfg.altLayout;
+  r.cycles = system.cycles();
+  r.ops = system.opsCompleted();
+  r.throughput = system.throughput();
+  r.stats = system.protocol().stats();
+  r.events = system.protocol().energyEvents();
+  r.noc = system.network().stats();
+  r.dedupSavedFraction = system.workload().pages().savedFraction();
+
+  const EnergyModel energy(cfg.protocol, chipParamsOf(cfg.chip),
+                           cfg.protocol == ProtocolKind::Directory
+                               ? cfg.chip.dirSharingCode
+                               : SharingCode::FullMap);
+  r.cachePj = energy.cacheEnergy(r.events);
+  r.nocPj = energy.nocEnergy(r.noc);
+  r.cacheMw = EnergyModel::pjToMw(r.cachePj.total(), r.cycles);
+  r.linkMw = EnergyModel::pjToMw(r.nocPj.linkPj, r.cycles);
+  r.routingMw = EnergyModel::pjToMw(r.nocPj.routingPj, r.cycles);
+  return r;
+}
+
+std::vector<ExperimentResult> runAllProtocols(ExperimentConfig cfg) {
+  std::vector<ExperimentResult> out;
+  for (const ProtocolKind kind :
+       {ProtocolKind::Directory, ProtocolKind::DiCo,
+        ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin}) {
+    cfg.protocol = kind;
+    out.push_back(runExperiment(cfg));
+  }
+  return out;
+}
+
+}  // namespace eecc

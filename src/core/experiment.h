@@ -1,0 +1,72 @@
+// Experiment harness: runs one (workload, protocol, layout) configuration
+// and collects every quantity the paper's evaluation section reports —
+// performance, the Figure 9b miss breakdown, cache/NoC energy, and the
+// derived dynamic power numbers of Figures 7 and 8.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cmp_system.h"
+#include "energy/energy_model.h"
+
+namespace eecc {
+
+struct ExperimentConfig {
+  CmpConfig chip{};
+  ProtocolKind protocol = ProtocolKind::Directory;
+  std::string workloadName = "apache4x16p";  ///< A Table IV name.
+  bool altLayout = false;  ///< Figure 6 right: VMs straddle areas.
+  /// Area-count ablation: cover all tiles with area-aligned VMs even when
+  /// areas outnumber VMs (overrides altLayout when set).
+  bool contiguousLayout = false;
+  bool dedupEnabled = true;  ///< Hypervisor page sharing (ablation knob).
+  Tick windowCycles = 250'000;  ///< Scaled-down "500 million cycles".
+  Tick warmupCycles = 200'000;  ///< Cache warmup before measuring.
+  std::uint64_t seed = 1;
+};
+
+struct ExperimentResult {
+  std::string workload;
+  ProtocolKind protocol = ProtocolKind::Directory;
+  bool altLayout = false;
+
+  Tick cycles = 0;
+  std::uint64_t ops = 0;
+  double throughput = 0.0;  ///< Memory ops per cycle (performance metric).
+
+  ProtocolStats stats;
+  CacheEnergyEvents events;
+  NocStats noc;
+  double dedupSavedFraction = 0.0;
+
+  // Whole-chip dynamic power (mW) over the run window.
+  CacheEnergyBreakdown cachePj;
+  NocEnergyBreakdown nocPj;
+  double cacheMw = 0.0;
+  double linkMw = 0.0;
+  double routingMw = 0.0;
+  double totalDynamicMw() const { return cacheMw + linkMw + routingMw; }
+
+  // Figure 9b: fraction of L1 misses per class and mean links traversed.
+  double missFraction(MissClass c) const {
+    const std::uint64_t total = stats.l1Misses();
+    return total ? static_cast<double>(stats.missCount(c)) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+  double meanLinks(MissClass c) const {
+    return stats.linksByClass[static_cast<std::size_t>(c)].mean();
+  }
+};
+
+/// Runs a single experiment.
+ExperimentResult runExperiment(const ExperimentConfig& cfg);
+
+/// Runs the same workload under every protocol (the paper's comparisons).
+std::vector<ExperimentResult> runAllProtocols(ExperimentConfig cfg);
+
+/// ChipParams mirror of a CmpConfig (for the energy/storage models).
+ChipParams chipParamsOf(const CmpConfig& cfg);
+
+}  // namespace eecc

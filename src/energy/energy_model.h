@@ -1,0 +1,159 @@
+// Binds a protocol's storage layout (storage_model) to CactiLite constants
+// and turns simulation event counts into the power numbers of the paper:
+// Table VI (leakage), Figure 7 (total dynamic power: caches + network
+// links + routing) and Figure 8 (per-event-class breakdowns).
+//
+// Network energy follows Barrow-Williams et al. [22], as in the paper:
+// routing a message through one router costs as much as reading an L1
+// block, and transmitting one flit across one link costs a quarter of that.
+#pragma once
+
+#include "energy/cacti_lite.h"
+#include "energy/storage_model.h"
+#include "noc/network.h"
+#include "protocols/protocol_stats.h"
+
+namespace eecc {
+
+/// Figure 8a's cache-energy breakdown, in picojoules.
+struct CacheEnergyBreakdown {
+  double l1Pj = 0;        ///< L1 tag probes + block reads/writes.
+  double l1DirPj = 0;     ///< Sharing-code reads/updates in L1.
+  double l2Pj = 0;        ///< L2 tag probes + block reads/writes.
+  double l2DirPj = 0;     ///< L2 dir info + (flat) directory cache.
+  double pointerPj = 0;   ///< L1C$ + L2C$ probes/updates.
+  double total() const {
+    return l1Pj + l1DirPj + l2Pj + l2DirPj + pointerPj;
+  }
+};
+
+/// Figure 8b's network-energy breakdown, in picojoules.
+struct NocEnergyBreakdown {
+  double routingPj = 0;
+  double linkPj = 0;
+  double total() const { return routingPj + linkPj; }
+};
+
+class EnergyModel {
+ public:
+  EnergyModel(ProtocolKind kind, const ChipParams& chip,
+              SharingCode code = SharingCode::FullMap)
+      : chip_(chip), storage_(storageFor(kind, chip, code)) {}
+
+  const StorageBreakdown& storage() const { return storage_; }
+
+  // ---- Table VI ----
+  /// Leakage of all tag-class structures of one tile (tags + coherence).
+  double tagLeakagePerTileMw() const {
+    return CactiLite::tagLeakageMw(storage_.tagClassBits(chip_));
+  }
+  /// Total cache leakage of one tile (tag-class + data arrays).
+  double totalLeakagePerTileMw() const {
+    const std::uint64_t dataBits =
+        static_cast<std::uint64_t>(chip_.l1Entries + chip_.l2Entries) *
+        kBlockBytes * 8;
+    return tagLeakagePerTileMw() + CactiLite::dataLeakageMw(dataBits);
+  }
+
+  // ---- Per-access energies (pJ) ----
+  // The coherence information lives inside the tag arrays (Section V-B:
+  // "the directory information ... is included in the tag structures of
+  // the tile"): a probe reads tag + state of every way plus the sharing
+  // code of the hit way — this is what makes DiCo-family L1 probes dearer
+  // than the flat directory's and Providers/Arin L2 probes cheaper
+  // (Fig. 8a).
+  double l1TagProbePj() const {
+    return CactiLite::accessPj(
+        l1TagArrayBits(),
+        chip_.l1Assoc * (chip_.l1TagBits() + 2) + storage_.l1DirEntryBits);
+  }
+  double l1DataPj() const {
+    return CactiLite::accessPj(l1DataArrayBits(), kBlockBytes * 8);
+  }
+  /// Sharing-code *update* (writes entry bits back); reads are already
+  /// part of the tag probe.
+  double l1DirPj() const {
+    return CactiLite::accessPj(l1TagArrayBits(), storage_.l1DirEntryBits);
+  }
+  double l2TagProbePj() const {
+    return CactiLite::accessPj(
+        l2TagArrayBits(),
+        chip_.l2Assoc * (chip_.l2TagBits() + 2) + storage_.l2DirEntryBits);
+  }
+  double l2DataPj() const {
+    return CactiLite::accessPj(l2DataArrayBits(), kBlockBytes * 8);
+  }
+  double l2DirPj() const {
+    return CactiLite::accessPj(l2TagArrayBits(), storage_.l2DirEntryBits);
+  }
+  double dirCachePj() const {
+    return CactiLite::accessPj(
+        storage_.dirCacheBits,
+        chip_.dirCacheAssocForEnergy * storage_.dirCacheEntryBits);
+  }
+  double l1cPj() const {
+    return CactiLite::accessPj(storage_.l1cBits, storage_.l1cEntryBits);
+  }
+  double l2cPj() const {
+    return CactiLite::accessPj(storage_.l2cBits, storage_.l2cEntryBits);
+  }
+  /// [22]: routing one message through one router == one L1 block read.
+  double routingPj() const { return l1DataPj(); }
+  /// [22]: one flit across one link == a quarter of a routing.
+  double flitLinkPj() const { return routingPj() / 4.0; }
+
+  // ---- Event aggregation ----
+  CacheEnergyBreakdown cacheEnergy(const CacheEnergyEvents& ev) const {
+    CacheEnergyBreakdown b;
+    b.l1Pj = static_cast<double>(ev.l1TagProbe) * l1TagProbePj() +
+             static_cast<double>(ev.l1DataRead + ev.l1DataWrite) * l1DataPj();
+    // Dir reads ride along with the tag probe; only updates pay extra.
+    b.l1DirPj = static_cast<double>(ev.l1DirUpdate) * l1DirPj();
+    b.l2Pj = static_cast<double>(ev.l2TagProbe) * l2TagProbePj() +
+             static_cast<double>(ev.l2DataRead + ev.l2DataWrite) * l2DataPj();
+    b.l2DirPj =
+        static_cast<double>(ev.l2DirUpdate) * l2DirPj() +
+        static_cast<double>(ev.dirCacheProbe + ev.dirCacheUpdate) *
+            dirCachePj();
+    b.pointerPj =
+        static_cast<double>(ev.l1cProbe + ev.l1cUpdate) * l1cPj() +
+        static_cast<double>(ev.l2cProbe + ev.l2cUpdate) * l2cPj();
+    return b;
+  }
+
+  NocEnergyBreakdown nocEnergy(const NocStats& stats) const {
+    NocEnergyBreakdown b;
+    b.routingPj = static_cast<double>(stats.routings) * routingPj();
+    b.linkPj = static_cast<double>(stats.linkFlits) * flitLinkPj();
+    return b;
+  }
+
+  /// Average power in mW of `pj` picojoules spent over `cycles` cycles at
+  /// `ghz` gigahertz.
+  static double pjToMw(double pj, Tick cycles, double ghz = 3.0) {
+    if (cycles == 0) return 0.0;
+    const double seconds = static_cast<double>(cycles) / (ghz * 1e9);
+    return pj * 1e-12 / seconds * 1e3;
+  }
+
+ private:
+  std::uint64_t l1TagArrayBits() const {
+    return static_cast<std::uint64_t>(chip_.l1Entries) *
+           (chip_.l1TagBits() + 2 + storage_.l1DirEntryBits);
+  }
+  std::uint64_t l2TagArrayBits() const {
+    return static_cast<std::uint64_t>(chip_.l2Entries) *
+           (chip_.l2TagBits() + 2 + storage_.l2DirEntryBits);
+  }
+  std::uint64_t l1DataArrayBits() const {
+    return static_cast<std::uint64_t>(chip_.l1Entries) * kBlockBytes * 8;
+  }
+  std::uint64_t l2DataArrayBits() const {
+    return static_cast<std::uint64_t>(chip_.l2Entries) * kBlockBytes * 8;
+  }
+
+  ChipParams chip_;
+  StorageBreakdown storage_;
+};
+
+}  // namespace eecc

@@ -1,0 +1,146 @@
+#include "energy/storage_model.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace eecc {
+
+std::uint32_t ChipParams::genPoBits() const { return log2ceil(tiles); }
+std::uint32_t ChipParams::proPoBits() const { return log2ceil(tilesPerArea()); }
+
+std::uint32_t ChipParams::l1TagBits() const {
+  // Private cache: tag = addr - block offset - set index.
+  return physAddrBits - kBlockOffsetBits - log2ceil(l1Entries / l1Assoc);
+}
+std::uint32_t ChipParams::l2TagBits() const {
+  // Bank-interleaved shared cache: the home-bank bits drop out of the tag.
+  return physAddrBits - kBlockOffsetBits - log2ceil(tiles) -
+         log2ceil(l2Entries / l2Assoc);
+}
+std::uint32_t ChipParams::dirTagBits() const {
+  return physAddrBits - kBlockOffsetBits - log2ceil(tiles) -
+         log2ceil(dirCacheEntries);
+}
+std::uint32_t ChipParams::l1cTagBits() const {
+  // Tile-local structure (no bank interleaving), direct-mapped.
+  return physAddrBits - kBlockOffsetBits - log2ceil(l1cEntries);
+}
+std::uint32_t ChipParams::l2cTagBits() const {
+  return physAddrBits - kBlockOffsetBits - log2ceil(tiles) -
+         log2ceil(l2cEntries);
+}
+
+std::uint64_t StorageBreakdown::tagClassBits(const ChipParams& p) const {
+  const std::uint64_t l1Tags =
+      static_cast<std::uint64_t>(p.l1Entries) * p.l1TagBits();
+  const std::uint64_t l2Tags =
+      static_cast<std::uint64_t>(p.l2Entries) * p.l2TagBits();
+  return l1Tags + l2Tags + coherenceBits();
+}
+
+namespace {
+
+StorageBreakdown dataArrays(const ChipParams& p) {
+  StorageBreakdown s;
+  s.l1DataBits = static_cast<std::uint64_t>(p.l1Entries) *
+                 (p.l1TagBits() + kBlockBytes * 8);
+  s.l2DataBits = static_cast<std::uint64_t>(p.l2Entries) *
+                 (p.l2TagBits() + kBlockBytes * 8);
+  return s;
+}
+
+std::uint32_t l1cEntryBits(const ChipParams& p) {
+  return p.l1cTagBits() + p.genPoBits() + 1;  // tag + GenPo + valid
+}
+std::uint32_t l2cEntryBits(const ChipParams& p) {
+  return p.l2cTagBits() + p.genPoBits() + 1;
+}
+
+void addPointerCaches(StorageBreakdown& s, const ChipParams& p) {
+  s.l1cEntryBits = l1cEntryBits(p);
+  s.l2cEntryBits = l2cEntryBits(p);
+  s.l1cBits = static_cast<std::uint64_t>(p.l1cEntries) * s.l1cEntryBits;
+  s.l2cBits = static_cast<std::uint64_t>(p.l2cEntries) * s.l2cEntryBits;
+}
+
+}  // namespace
+
+std::uint32_t sharingCodeBits(SharingCode code, std::uint32_t nodes) {
+  switch (code) {
+    case SharingCode::FullMap:
+      return nodes;
+    case SharingCode::CoarseVector2:
+      return (nodes + 1) / 2;
+    case SharingCode::CoarseVector4:
+      return (nodes + 3) / 4;
+    case SharingCode::LimitedPtr2:
+      return 2 * log2ceil(nodes) + 1;
+    case SharingCode::LimitedPtr4:
+      return 4 * log2ceil(nodes) + 1;
+  }
+  return nodes;
+}
+
+StorageBreakdown storageFor(ProtocolKind kind, const ChipParams& p,
+                            SharingCode code) {
+  EECC_CHECK(p.tiles % p.areas == 0);
+  StorageBreakdown s = dataArrays(p);
+  const std::uint32_t ntc = p.tiles;
+  const std::uint32_t na = p.areas;
+  const std::uint32_t nta = p.tilesPerArea();
+  const std::uint32_t propo = p.proPoBits();
+
+  switch (kind) {
+    case ProtocolKind::Directory:
+      // Sharing code per L2 entry; a directory cache (NCID-style extra
+      // tags) tracks blocks held exclusively in L1s: tag + sharing code
+      // + GenPo for the owner.
+      s.l2DirEntryBits = sharingCodeBits(code, ntc);
+      s.dirCacheEntryBits =
+          p.dirTagBits() + sharingCodeBits(code, ntc) + p.genPoBits();
+      s.l2DirBits = static_cast<std::uint64_t>(p.l2Entries) * s.l2DirEntryBits;
+      s.dirCacheBits = static_cast<std::uint64_t>(p.dirCacheEntries) *
+                       s.dirCacheEntryBits;
+      break;
+
+    case ProtocolKind::DiCo:
+      // Sharing code with the data, in both L1 (the owner tracks sharers)
+      // and L2 (when the home holds the ownership), plus pointer caches.
+      s.l1DirEntryBits = sharingCodeBits(code, ntc);
+      s.l2DirEntryBits = sharingCodeBits(code, ntc);
+      s.l1DirBits = static_cast<std::uint64_t>(p.l1Entries) * s.l1DirEntryBits;
+      s.l2DirBits = static_cast<std::uint64_t>(p.l2Entries) * s.l2DirEntryBits;
+      addPointerCaches(s, p);
+      break;
+
+    case ProtocolKind::DiCoProviders:
+      // L1 entry: full map of the local area + one (ProPo + valid) per
+      // remote area. L2 entry: one (ProPo + valid) per area, for when the
+      // home holds the ownership. Zero-width ProPos disappear from the L1
+      // but keep their presence bit at the home (Section V-B numbers).
+      s.l1DirEntryBits = sharingCodeBits(code, nta) +
+                         (propo > 0 ? (na - 1) * (propo + 1) : 0);
+      s.l2DirEntryBits = na * (propo + 1);
+      s.l1DirBits = static_cast<std::uint64_t>(p.l1Entries) * s.l1DirEntryBits;
+      s.l2DirBits = static_cast<std::uint64_t>(p.l2Entries) * s.l2DirEntryBits;
+      addPointerCaches(s, p);
+      break;
+
+    case ProtocolKind::DiCoArin:
+      // L1 entry: full map of the local area only. L2 entry: the larger of
+      // (area map + area number) for single-area blocks and (one ProPo per
+      // area) for blocks shared between areas — never needed together.
+      s.l1DirEntryBits = sharingCodeBits(code, nta);
+      s.l2DirEntryBits =
+          std::max(sharingCodeBits(code, nta) + log2ceil(na), na * propo);
+      s.l1DirBits = static_cast<std::uint64_t>(p.l1Entries) * s.l1DirEntryBits;
+      s.l2DirBits = static_cast<std::uint64_t>(p.l2Entries) * s.l2DirEntryBits;
+      addPointerCaches(s, p);
+      break;
+  }
+  return s;
+}
+
+}  // namespace eecc

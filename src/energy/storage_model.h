@@ -1,0 +1,91 @@
+// Bit-exact accounting of the coherence-information storage each protocol
+// adds to a tile (Section V-B, Tables V and VII).
+//
+// Tag widths follow the paper's organization: the L1 is 4-way (512 sets),
+// the L2 bank is 8-way (2048 sets) and bank-interleaved (log2(ntc) address
+// bits select the home bank before indexing), and the directory cache,
+// L1C$ and L2C$ are direct-mapped with 2048 sets. With 40-bit physical
+// addresses and a 64-tile chip this yields the paper's
+// L1Tag=25, L2Tag=17, DirTag=17, L1CTag=23, L2CTag=17.
+//
+// Pointer sizes: GenPo = log2(ntc) names any tile; ProPo = log2(nta) names
+// a tile within one area. ProPo-bearing structures carry a valid bit per
+// pointer, with the quirk the published numbers imply: when areas shrink to
+// a single tile (ProPo width 0), the L1's per-area pointers vanish
+// entirely while the home L2 still spends one presence bit per area.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace eecc {
+
+struct ChipParams {
+  std::uint32_t tiles = 64;
+  std::uint32_t areas = 4;
+  std::uint32_t physAddrBits = kPhysAddrBits;
+  std::uint32_t l1Entries = 2048;
+  std::uint32_t l1Assoc = 4;
+  std::uint32_t l2Entries = 16384;
+  std::uint32_t l2Assoc = 8;
+  std::uint32_t l1cEntries = 2048;   // direct-mapped
+  std::uint32_t l2cEntries = 2048;   // direct-mapped
+  std::uint32_t dirCacheEntries = 2048;  // direct-mapped (storage tables)
+  /// The simulator's dir cache is set-associative ("highly-optimized
+  /// directory"); its probes read that many entries' worth of bits.
+  std::uint32_t dirCacheAssocForEnergy = 8;
+
+  std::uint32_t tilesPerArea() const { return tiles / areas; }
+  std::uint32_t genPoBits() const;
+  std::uint32_t proPoBits() const;
+  std::uint32_t l1TagBits() const;
+  std::uint32_t l2TagBits() const;
+  std::uint32_t dirTagBits() const;
+  std::uint32_t l1cTagBits() const;
+  std::uint32_t l2cTagBits() const;
+};
+
+/// Per-tile storage of one protocol, in bits; mirrors a Table V row group.
+struct StorageBreakdown {
+  // Data arrays (identical across protocols).
+  std::uint64_t l1DataBits = 0;  ///< L1Tag + 64-byte block, all entries.
+  std::uint64_t l2DataBits = 0;  ///< L2Tag + 64-byte block, all entries.
+
+  // Coherence information.
+  std::uint64_t l1DirBits = 0;      ///< Sharing code stored in L1 entries.
+  std::uint64_t l2DirBits = 0;      ///< Sharing code stored in L2 entries.
+  std::uint64_t dirCacheBits = 0;   ///< Flat directory's dir cache.
+  std::uint64_t l1cBits = 0;        ///< L1 Coherence Cache.
+  std::uint64_t l2cBits = 0;        ///< L2 Coherence Cache.
+
+  // Per-entry coherence widths (for reporting next to Table V).
+  std::uint32_t l1DirEntryBits = 0;
+  std::uint32_t l2DirEntryBits = 0;
+  std::uint32_t dirCacheEntryBits = 0;
+  std::uint32_t l1cEntryBits = 0;
+  std::uint32_t l2cEntryBits = 0;
+
+  std::uint64_t coherenceBits() const {
+    return l1DirBits + l2DirBits + dirCacheBits + l1cBits + l2cBits;
+  }
+  std::uint64_t dataBits() const { return l1DataBits + l2DataBits; }
+  /// The Table V "Overhead" column: coherence bits over data-array bits.
+  double overheadFraction() const {
+    return static_cast<double>(coherenceBits()) /
+           static_cast<double>(dataBits());
+  }
+  /// All bits that live in tag-class arrays (tags + coherence info), the
+  /// quantity behind the "Tag Leakage Power" column of Table VI.
+  std::uint64_t tagClassBits(const ChipParams& p) const;
+};
+
+/// Bits needed to track sharers among `nodes` under `code`
+/// (SharingCode lives in common/types.h).
+std::uint32_t sharingCodeBits(SharingCode code, std::uint32_t nodes);
+
+/// Computes the Table V row group for `kind` on chip `p`.
+StorageBreakdown storageFor(ProtocolKind kind, const ChipParams& p,
+                            SharingCode code = SharingCode::FullMap);
+
+}  // namespace eecc

@@ -1,0 +1,93 @@
+#include "noc/mesh.h"
+
+#include <array>
+#include <cmath>
+#include <cstdlib>
+
+namespace eecc {
+
+namespace {
+enum Direction : int { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
+}  // namespace
+
+MeshTopology::MeshTopology(std::int32_t width, std::int32_t height)
+    : width_(width), height_(height) {
+  EECC_CHECK(width >= 1 && height >= 1);
+  linkIndex_.assign(static_cast<std::size_t>(nodeCount()),
+                    {LinkId{-1}, LinkId{-1}, LinkId{-1}, LinkId{-1}});
+  auto addLink = [this](NodeId from, NodeId to, int dir) {
+    linkIndex_[static_cast<std::size_t>(from)][static_cast<std::size_t>(dir)] =
+        static_cast<LinkId>(links_.size());
+    links_.push_back({from, to});
+  };
+  for (std::int32_t y = 0; y < height_; ++y) {
+    for (std::int32_t x = 0; x < width_; ++x) {
+      const NodeId n = nodeAt({x, y});
+      if (x + 1 < width_) addLink(n, nodeAt({x + 1, y}), kEast);
+      if (x > 0) addLink(n, nodeAt({x - 1, y}), kWest);
+      if (y + 1 < height_) addLink(n, nodeAt({x, y + 1}), kSouth);
+      if (y > 0) addLink(n, nodeAt({x, y - 1}), kNorth);
+    }
+  }
+}
+
+LinkId MeshTopology::linkBetween(NodeId from, NodeId to) const {
+  const MeshCoord a = coordOf(from);
+  const MeshCoord b = coordOf(to);
+  int dir = -1;
+  if (b.x == a.x + 1 && b.y == a.y) dir = kEast;
+  else if (b.x == a.x - 1 && b.y == a.y) dir = kWest;
+  else if (b.y == a.y - 1 && b.x == a.x) dir = kNorth;
+  else if (b.y == a.y + 1 && b.x == a.x) dir = kSouth;
+  EECC_CHECK_MSG(dir >= 0, "linkBetween on non-adjacent nodes");
+  const LinkId l =
+      linkIndex_[static_cast<std::size_t>(from)][static_cast<std::size_t>(dir)];
+  EECC_CHECK(l >= 0);
+  return l;
+}
+
+std::vector<LinkId> MeshTopology::route(NodeId src, NodeId dst) const {
+  std::vector<LinkId> out;
+  MeshCoord cur = coordOf(src);
+  const MeshCoord end = coordOf(dst);
+  out.reserve(static_cast<std::size_t>(distance(src, dst)));
+  while (cur.x != end.x) {
+    const std::int32_t nx = cur.x + (end.x > cur.x ? 1 : -1);
+    out.push_back(linkBetween(nodeAt(cur), nodeAt({nx, cur.y})));
+    cur.x = nx;
+  }
+  while (cur.y != end.y) {
+    const std::int32_t ny = cur.y + (end.y > cur.y ? 1 : -1);
+    out.push_back(linkBetween(nodeAt(cur), nodeAt({cur.x, ny})));
+    cur.y = ny;
+  }
+  return out;
+}
+
+std::vector<LinkId> MeshTopology::broadcastTree(NodeId src) const {
+  std::vector<LinkId> out;
+  const MeshCoord s = coordOf(src);
+  // Phase 1: along the source's row in both directions.
+  for (std::int32_t x = s.x; x + 1 < width_; ++x)
+    out.push_back(linkBetween(nodeAt({x, s.y}), nodeAt({x + 1, s.y})));
+  for (std::int32_t x = s.x; x > 0; --x)
+    out.push_back(linkBetween(nodeAt({x, s.y}), nodeAt({x - 1, s.y})));
+  // Phase 2: every node of that row forwards up and down its column.
+  for (std::int32_t x = 0; x < width_; ++x) {
+    for (std::int32_t y = s.y; y + 1 < height_; ++y)
+      out.push_back(linkBetween(nodeAt({x, y}), nodeAt({x, y + 1})));
+    for (std::int32_t y = s.y; y > 0; --y)
+      out.push_back(linkBetween(nodeAt({x, y}), nodeAt({x, y - 1})));
+  }
+  return out;
+}
+
+double MeshTopology::averageDistance() const {
+  const std::int64_t n = nodeCount();
+  std::int64_t total = 0;
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = 0; b < n; ++b) total += distance(a, b);
+  return static_cast<double>(total) / static_cast<double>(n * n);
+}
+
+}  // namespace eecc

@@ -1,0 +1,94 @@
+// 2D mesh topology with dimension-order (XY) routing.
+//
+// Matches the paper's interconnect (Table III): a bidimensional mesh (8x8 in
+// the default configuration) with deterministic XY routing. The topology is
+// purely geometric — link timing and contention live in Network.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace eecc {
+
+/// A directed link between two adjacent routers, identified by its index in
+/// the topology's link table.
+using LinkId = std::int32_t;
+
+struct MeshCoord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  bool operator==(const MeshCoord&) const = default;
+};
+
+class MeshTopology {
+ public:
+  MeshTopology(std::int32_t width, std::int32_t height);
+
+  std::int32_t width() const { return width_; }
+  std::int32_t height() const { return height_; }
+  std::int32_t nodeCount() const { return width_ * height_; }
+  std::int32_t linkCount() const {
+    return static_cast<std::int32_t>(links_.size());
+  }
+
+  MeshCoord coordOf(NodeId n) const {
+    EECC_CHECK(n >= 0 && n < nodeCount());
+    return {n % width_, n / width_};
+  }
+  NodeId nodeAt(MeshCoord c) const {
+    EECC_CHECK(c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_);
+    return c.y * width_ + c.x;
+  }
+
+  /// Manhattan distance — the number of links an XY-routed message crosses.
+  std::int32_t distance(NodeId a, NodeId b) const {
+    const MeshCoord ca = coordOf(a);
+    const MeshCoord cb = coordOf(b);
+    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+  }
+
+  /// Directed link from `from` to adjacent node `to`.
+  LinkId linkBetween(NodeId from, NodeId to) const;
+
+  /// Sequence of directed links an XY-routed message from `src` to `dst`
+  /// traverses (X first, then Y). Empty when src == dst.
+  std::vector<LinkId> route(NodeId src, NodeId dst) const;
+
+  /// Directed links of the XY multicast tree rooted at `src` reaching every
+  /// node of the mesh: the message travels along src's row, and every node
+  /// of that row forwards up and down its column. This is the standard
+  /// dimension-order broadcast used to add broadcast support to a mesh
+  /// (cf. Duato et al. [20], used by the paper's modified Garnet).
+  std::vector<LinkId> broadcastTree(NodeId src) const;
+
+  /// Average XY distance between two uniformly random distinct nodes;
+  /// the paper quotes the (2/3)*sqrt(ntc) approximation in Section V-D.
+  double averageDistance() const;
+
+  NodeId linkSource(LinkId l) const { return links_[checkLink(l)].from; }
+  NodeId linkDest(LinkId l) const { return links_[checkLink(l)].to; }
+
+ private:
+  struct Link {
+    NodeId from;
+    NodeId to;
+  };
+  std::size_t checkLink(LinkId l) const {
+    EECC_CHECK(l >= 0 && static_cast<std::size_t>(l) < links_.size());
+    return static_cast<std::size_t>(l);
+  }
+
+  std::int32_t width_;
+  std::int32_t height_;
+  std::vector<Link> links_;
+  // linkIndex_[from][direction] with directions E,W,N,S; -1 at edges.
+  std::vector<std::array<LinkId, 4>> linkIndex_;
+};
+
+}  // namespace eecc

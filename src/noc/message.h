@@ -1,0 +1,34 @@
+// On-chip network message. The NoC is protocol-agnostic: coherence
+// protocols define their own message type enums and cast them into
+// Message::type; the network only cares about source, destination and
+// size class (control = 1 flit, data = 5 flits, per Table III).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace eecc {
+
+enum class MsgClass : std::uint8_t {
+  Control,  ///< 1 flit (requests, acks, hints, pointers).
+  Data,     ///< 5 flits (carries a 64-byte block: 1 header + 4 payload).
+};
+
+struct Message {
+  std::uint16_t type = 0;   ///< Protocol-defined message opcode.
+  MsgClass cls = MsgClass::Control;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Addr addr = 0;            ///< Block address the message concerns.
+
+  // Protocol payload. Fixed small fields instead of a variant keep the
+  // message POD and cheap to copy into scheduled events.
+  NodeId requestor = kInvalidNode;  ///< Original requestor of a transaction.
+  NodeId forwarder = kInvalidNode;  ///< Identity of a forwarding cache
+                                    ///< (DiCo-Arin provider repair, IV-B).
+  std::uint64_t aux = 0;            ///< Opcode-specific (ack counts, maps...).
+  std::uint64_t value = 0;          ///< Modeled data value (verification).
+};
+
+}  // namespace eecc

@@ -1,0 +1,915 @@
+#include "protocols/dico.h"
+
+namespace eecc {
+
+namespace {
+enum DiCoMsg : std::uint16_t {
+  kReq = Protocol::kFirstProtocolMsg,  // requestor -> predicted supplier
+  kReqHome,      // requestor/forwarder -> home (no prediction or bounce)
+  kFwd,          // home -> owner L1 (precise, from the L2C$)
+  kData,         // supplier -> requestor (aux = inval acks to expect,
+                 //   requestor/forwarder fields carry grant info)
+  kOwnerGrant,   // like kData but transfers ownership (aux = acks)
+  kAckCount,     // control grant for upgrades (aux = acks)
+  kInval,        // owner -> sharer (requestor = new owner / writer)
+  kInvalAck,     // sharer -> requestor
+  kChangeOwner,  // new/old owner -> home (handshake, charged)
+  kChangeOwnerAck,  // home -> new owner (handshake, charged)
+  kHint,         // old owner -> sharers: new supplier identity (Fig. 5)
+  kRelinquish,   // owner L1 -> home (eviction, data if dirty)
+  kRecall,       // home -> owner L1 (L2C$ entry eviction)
+  kRecallData,   // owner L1 -> home
+  kBgInval,      // home -> sharer (L2 eviction acting as owner+requestor)
+  kBgInvalAck    // sharer -> home
+};
+
+bool isOwnerState(std::uint8_t s) { return s >= 1; }  // E, M, O
+}  // namespace
+
+DiCoProtocol::DiCoProtocol(EventQueue& events, Network& net,
+                           const CmpConfig& cfg)
+    : Protocol(events, net, cfg) {
+  tiles_.reserve(static_cast<std::size_t>(cfg_.tiles()));
+  banks_.reserve(static_cast<std::size_t>(cfg_.tiles()));
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_.emplace_back(cfg_);
+    banks_.emplace_back(cfg_);
+  }
+}
+
+// ---------------------------------------------------------------- L1 side
+
+bool DiCoProtocol::tryHit(NodeId tile, Addr block, AccessType type) {
+  auto& tl = tileOf(tile);
+  energy_.l1TagProbe += 1;
+  L1Line* line = tl.l1.find(block);
+  if (line == nullptr) return false;
+  if (type == AccessType::Read) {
+    energy_.l1DataRead += 1;
+    tl.l1.touch(*line);
+    recordRead(tile, line->value);
+    return true;
+  }
+  switch (line->state) {
+    case L1State::M:
+    case L1State::E:
+      line->state = L1State::M;
+      line->dirty = true;
+      line->value = commitWrite(block);
+      energy_.l1DataWrite += 1;
+      tl.l1.touch(*line);
+      return true;
+    case L1State::O:
+      energy_.l1DirRead += 1;
+      if (line->sharers.empty()) {  // stale-free map: silent upgrade
+        line->state = L1State::M;
+        line->dirty = true;
+        line->value = commitWrite(block);
+        energy_.l1DataWrite += 1;
+        tl.l1.touch(*line);
+        return true;
+      }
+      return false;  // must invalidate sharers first
+    case L1State::S:
+      return false;  // upgrade
+  }
+  return false;
+}
+
+void DiCoProtocol::installL1(NodeId tile, Addr block, L1State state,
+                             bool dirty, std::uint64_t value, NodeId supplier,
+                             const NodeSet& sharers) {
+  auto& l1 = tileOf(tile).l1;
+  L1Line* line = l1.find(block);
+  if (line == nullptr) {
+    L1Line* victim = l1.selectVictim(
+        block, [this](const L1Line& l) { return lineBusy(l.addr); });
+    if (victim == nullptr) victim = l1.selectVictim(block, nullptr);
+    EECC_CHECK(victim != nullptr);
+    if (victim->valid) evictL1Line(tile, *victim);
+    line = &l1.install(*victim, block);
+    energy_.l1TagProbe += 1;
+  } else {
+    l1.touch(*line);
+  }
+  line->state = state;
+  line->dirty = dirty;
+  line->value = value;
+  line->supplier = supplier;
+  line->sharers = sharers;
+  energy_.l1DataWrite += 1;
+  if (state == L1State::O || !sharers.empty()) energy_.l1DirUpdate += 1;
+}
+
+void DiCoProtocol::evictL1Line(NodeId tile, L1Line& line) {
+  const Addr block = line.addr;
+  if (line.state == L1State::S) {
+    // Silent eviction; retain the supplier identity in the L1C$ so future
+    // misses still resolve in two hops (Section IV-A2).
+    if (line.supplier != kInvalidNode) {
+      tileOf(tile).l1c.update(block, line.supplier);
+      energy_.l1cUpdate += 1;
+    }
+    line.valid = false;
+    return;
+  }
+  // Owner eviction: hand the ownership to a (live) sharer, else to the home.
+  energy_.l1DirRead += 1;
+  NodeSet candidates = line.sharers;
+  candidates.erase(tile);
+  NodeId heir = kInvalidNode;
+  candidates.forEach([&](NodeId s) {
+    if (heir != kInvalidNode) return;
+    if (tileOf(s).l1.find(block) != nullptr) {
+      heir = s;
+    } else {
+      // A stale sharer refuses the ownership and forwards it on
+      // (Section IV-A1); charge the wasted hop.
+      Message probe;
+      probe.type = kChangeOwner;
+      probe.src = tile;
+      probe.dst = s;
+      probe.addr = block;
+      send(probe);
+    }
+  });
+  if (heir != kInvalidNode) {
+    transferOwnership(tile, line, heir);
+  } else {
+    relinquishToHome(tile, line);
+  }
+  line.valid = false;
+}
+
+void DiCoProtocol::transferOwnership(NodeId from, const L1Line& line,
+                                     NodeId to) {
+  const Addr block = line.addr;
+  stats_.ownershipTransfers += 1;
+  // Ownership + sharing code to the heir (control: it already has the data).
+  Message xfer;
+  xfer.type = kChangeOwner;
+  xfer.src = from;
+  xfer.dst = to;
+  xfer.addr = block;
+  send(xfer);
+  // Change_Owner handshake with the home (heir -> home -> heir).
+  Message co;
+  co.type = kChangeOwner;
+  co.src = to;
+  co.dst = homeOf(block);
+  co.addr = block;
+  send(co);
+  Message ack;
+  ack.type = kChangeOwnerAck;
+  ack.src = homeOf(block);
+  ack.dst = to;
+  ack.addr = block;
+  send(ack);
+  // Hints to the remaining sharers: the supplier moved (Fig. 5).
+  NodeSet rest = line.sharers;
+  rest.erase(to);
+  rest.erase(from);
+  rest.forEach([&](NodeId s) {
+    stats_.hintMessages += 1;
+    Message hint;
+    hint.type = kHint;
+    hint.src = from;
+    hint.dst = s;
+    hint.addr = block;
+    hint.requestor = to;
+    send(hint);
+  });
+
+  L1Line* heirLine = tileOf(to).l1.find(block);
+  EECC_CHECK(heirLine != nullptr);
+  heirLine->state = L1State::O;
+  heirLine->dirty = line.dirty;
+  heirLine->sharers = rest;
+  energy_.l1DirUpdate += 1;
+  setL2cOwner(block, to);
+}
+
+void DiCoProtocol::relinquishToHome(NodeId tile, const L1Line& line) {
+  const Addr block = line.addr;
+  clearL2cOwner(block);
+  if (line.dirty) {
+    stats_.writebacks += 1;
+    Message wb;
+    wb.type = kRelinquish;
+    wb.cls = MsgClass::Data;
+    wb.src = tile;
+    wb.dst = homeOf(block);
+    wb.addr = block;
+    wb.value = line.value;
+    send(wb);
+    storeAtL2(homeOf(block), block, line.value, /*dirty=*/true, NodeSet{});
+  } else {
+    // Clean data: the home's retained L2 copy (if any) is current and the
+    // home simply becomes the owner again; otherwise memory is current
+    // and the block is dropped.
+    Message note;
+    note.type = kRelinquish;
+    note.src = tile;
+    note.dst = homeOf(block);
+    note.addr = block;
+    send(note);
+    Bank& bank = bankOf(homeOf(block));
+    if (L2Line* line = bank.l2.find(block)) {
+      line->sharers.clear();
+      energy_.l2DirUpdate += 1;
+    }
+  }
+}
+
+// --------------------------------------------------------------- Home side
+
+NodeId DiCoProtocol::l2cOwner(Addr block) const {
+  const Bank& bank = banks_[static_cast<std::size_t>(cfg_.homeOf(block))];
+  auto owner = const_cast<CoherenceCache&>(bank.l2c).lookup(block);
+  return owner.value_or(kInvalidNode);
+}
+
+void DiCoProtocol::setL2cOwner(Addr block, NodeId owner) {
+  Bank& bank = bankOf(homeOf(block));
+  energy_.l2cUpdate += 1;
+  // Entries whose block has an in-flight transaction are never displaced
+  // (they would strand the transaction's view of the owner).
+  if (auto displaced = bank.l2c.update(
+          block, owner, [this](Addr a) { return lineBusy(a); })) {
+    recallOwnership(displaced->first, displaced->second);
+  }
+}
+
+void DiCoProtocol::clearL2cOwner(Addr block) {
+  Bank& bank = bankOf(homeOf(block));
+  bank.l2c.invalidate(block);
+  energy_.l2cUpdate += 1;
+}
+
+void DiCoProtocol::recallOwnership(Addr block, NodeId owner) {
+  // The L2C$ lost the GenPo for this block: make the owner relinquish the
+  // ownership and send back the data (if dirty); it stays on as a sharer.
+  const NodeId home = homeOf(block);
+  Message recall;
+  recall.type = kRecall;
+  recall.src = home;
+  recall.dst = owner;
+  recall.addr = block;
+  send(recall);
+
+  L1Line* line = tileOf(owner).l1.find(block);
+  if (line == nullptr) return;  // already evicted; nothing to recall
+  EECC_CHECK(isOwnerState(static_cast<std::uint8_t>(line->state)));
+  Message back;
+  back.type = kRecallData;
+  back.cls = line->dirty ? MsgClass::Data : MsgClass::Control;
+  back.src = owner;
+  back.dst = home;
+  back.addr = block;
+  back.value = line->value;
+  send(back);
+  NodeSet sharers = line->sharers;
+  sharers.insert(owner);
+  storeAtL2(home, block, line->value, line->dirty, sharers);
+  line->state = L1State::S;
+  line->dirty = false;
+  line->supplier = kInvalidNode;
+  line->sharers.clear();
+  energy_.l1DirUpdate += 1;
+}
+
+void DiCoProtocol::storeAtL2(NodeId home, Addr block, std::uint64_t value,
+                             bool dirty, const NodeSet& sharers) {
+  Bank& bank = bankOf(home);
+  energy_.l2DataWrite += 1;
+  L2Line* line = bank.l2.find(block);
+  if (line == nullptr) {
+    L2Line* victim = bank.l2.selectVictim(
+        block, [this](const L2Line& l) { return lineBusy(l.addr); });
+    if (victim == nullptr) victim = bank.l2.selectVictim(block, nullptr);
+    EECC_CHECK(victim != nullptr);
+    if (victim->valid) evictL2Line(home, *victim);
+    line = &bank.l2.install(*victim, block);
+    line->dirty = false;
+  } else {
+    bank.l2.touch(*line);
+  }
+  line->value = value;
+  line->dirty = line->dirty || dirty;
+  line->sharers = sharers;
+  energy_.l2DirUpdate += 1;
+}
+
+void DiCoProtocol::evictL2Line(NodeId home, L2Line& line) {
+  stats_.l2Evictions += 1;
+  const Addr block = line.addr;
+  const NodeSet sharers = line.sharers;
+  if (line.dirty) {
+    energy_.l2DataRead += 1;
+    memWriteback(block, home, line.value);
+  }
+  line.valid = false;
+  if (sharers.empty()) return;
+  // The home acts as both owner (sends the invalidations) and requestor
+  // (collects the acknowledgements) — Section IV-A.
+  withLine(block, [this, home, block, sharers] {
+    Txn& txn = txns_[block];
+    txn = Txn{};
+    txn.background = true;
+    txn.requestor = home;
+    txn.bgAcks = sharers.size();
+    stats_.dirEvictionInvalidations += 1;
+    sharers.forEach([this, home, block](NodeId s) {
+      stats_.invalidationsSent += 1;
+      Message inv;
+      inv.type = kBgInval;
+      inv.src = home;
+      inv.dst = s;
+      inv.addr = block;
+      inv.requestor = home;
+      send(inv);
+    });
+  });
+}
+
+// ------------------------------------------------------------ Transactions
+
+void DiCoProtocol::startMiss(NodeId tile, Addr block, AccessType type,
+                             DoneFn done) {
+  Txn& txn = txns_[block];
+  txn = Txn{};
+  txn.requestor = tile;
+  txn.type = type;
+  txn.done = std::move(done);
+  txn.start = events_.now();
+
+  auto& tl = tileOf(tile);
+  L1Line* line = tl.l1.find(block);
+  if (type == AccessType::Write && line != nullptr) {
+    txn.needsData = false;
+    stats_.upgrades += 1;
+    if (line->state == L1State::O) {
+      // The requestor *is* the ordering point: it invalidates the sharers
+      // it tracks itself — no request leaves the tile.
+      energy_.l1DirRead += 1;
+      NodeSet targets = line->sharers;
+      targets.erase(tile);
+      txn.acksOutstanding = targets.size();
+      txn.ackCountKnown = true;
+      txn.becomeOwner = true;
+      txn.cls = MissClass::PredOwnerHit;
+      targets.forEach([this, tile, block](NodeId s) {
+        stats_.invalidationsSent += 1;
+        Message inv;
+        inv.type = kInval;
+        inv.src = tile;
+        inv.dst = s;
+        inv.addr = block;
+        inv.requestor = tile;
+        after(cfg_.l1.tagLatency, [this, inv] { send(inv); });
+      });
+      line->sharers.clear();
+      txn.grantArrived = true;
+      maybeCompleteAccess(block);
+      return;
+    }
+  }
+
+  // Supplier prediction: the L1C$, including the pointer embedded in a
+  // still-resident shared line (write upgrades use it for free).
+  NodeId target = kInvalidNode;
+  if (cfg_.enablePrediction) {
+    energy_.l1cProbe += 1;
+    if (line != nullptr && line->supplier != kInvalidNode) {
+      target = line->supplier;
+    } else if (auto pred = tl.l1c.lookup(block)) {
+      target = *pred;
+    }
+    if (target == tile) target = kInvalidNode;
+  }
+
+  Message req;
+  req.addr = block;
+  req.requestor = tile;
+  req.src = tile;
+  if (target != kInvalidNode) {
+    txn.predicted = true;
+    req.type = kReq;
+    req.dst = target;
+    req.aux = type == AccessType::Write ? 1 : 0;
+  } else {
+    req.type = kReqHome;
+    req.dst = homeOf(block);
+    req.aux = type == AccessType::Write ? 1 : 0;
+  }
+  txn.links += static_cast<std::uint32_t>(distance(tile, req.dst));
+  send(req);
+}
+
+void DiCoProtocol::finishClassification(Txn& txn, bool servedByL1Owner,
+                                        bool fromMemory, bool servedByL2) {
+  if (fromMemory) {
+    txn.cls = MissClass::Memory;
+  } else if (txn.predicted && !txn.throughHome && servedByL1Owner) {
+    txn.cls = MissClass::PredOwnerHit;
+  } else if (txn.predicted && txn.throughHome) {
+    txn.cls = MissClass::PredMiss;
+  } else if (servedByL1Owner) {
+    txn.cls = MissClass::UnpredOwner;
+  } else if (servedByL2) {
+    txn.cls = MissClass::UnpredL2;
+  }
+}
+
+void DiCoProtocol::ownerServeRead(NodeId owner, L1Line& line,
+                                  const Message& msg) {
+  auto it = txns_.find(msg.addr);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+  const NodeId requestor = msg.requestor;
+
+  energy_.l1DataRead += 1;
+  energy_.l1DirUpdate += 1;
+  if (line.state == L1State::M || line.state == L1State::E)
+    line.state = L1State::O;
+  line.sharers.insert(requestor);
+  finishClassification(txn, /*servedByL1Owner=*/true, false, false);
+  txn.links += static_cast<std::uint32_t>(distance(owner, requestor));
+  Message data;
+  data.type = kData;
+  data.cls = MsgClass::Data;
+  data.src = owner;
+  data.dst = requestor;
+  data.addr = msg.addr;
+  data.value = line.value;
+  data.forwarder = owner;  // supplier identity for the L1C$ update
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, data] { send(data); });
+}
+
+void DiCoProtocol::ownerServeWrite(NodeId owner, L1Line& line,
+                                   const Message& msg) {
+  auto it = txns_.find(msg.addr);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+  const NodeId requestor = msg.requestor;
+  const Addr block = msg.addr;
+
+  energy_.l1DataRead += 1;
+  energy_.l1DirRead += 1;
+  // The owner invalidates the sharers it tracks (minus the writer).
+  NodeSet targets = line.sharers;
+  targets.erase(requestor);
+  targets.erase(owner);
+  txn.acksOutstanding += targets.size();
+  txn.ackCountKnown = true;
+  targets.forEach([this, owner, block, requestor](NodeId s) {
+    stats_.invalidationsSent += 1;
+    Message inv;
+    inv.type = kInval;
+    inv.src = owner;
+    inv.dst = s;
+    inv.addr = block;
+    inv.requestor = requestor;
+    after(cfg_.l1.tagLatency, [this, inv] { send(inv); });
+  });
+
+  finishClassification(txn, /*servedByL1Owner=*/true, false, false);
+  txn.links += static_cast<std::uint32_t>(distance(owner, requestor));
+  Message grant;
+  grant.type = txn.needsData ? kOwnerGrant : kAckCount;
+  grant.cls = txn.needsData ? MsgClass::Data : MsgClass::Control;
+  grant.src = owner;
+  grant.dst = requestor;
+  grant.addr = block;
+  grant.value = line.value;
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
+        [this, grant] { send(grant); });
+
+  // Change_Owner handshake with the home (old owner -> home; home acks the
+  // new owner). State change is immediate; messages are charged.
+  Message co;
+  co.type = kChangeOwner;
+  co.src = owner;
+  co.dst = homeOf(block);
+  co.addr = block;
+  send(co);
+  Message ack;
+  ack.type = kChangeOwnerAck;
+  ack.src = homeOf(block);
+  ack.dst = requestor;
+  ack.addr = block;
+  send(ack);
+  setL2cOwner(block, requestor);
+  stats_.ownershipTransfers += 1;
+
+  line.valid = false;  // the old owner's copy dies with the write
+  txn.becomeOwner = true;
+}
+
+void DiCoProtocol::handleRequestAtL1(const Message& msg) {
+  const NodeId tile = msg.dst;
+  auto& tl = tileOf(tile);
+  energy_.l1TagProbe += 1;
+  L1Line* line = tl.l1.find(msg.addr);
+  const bool isWrite = msg.aux != 0;
+
+  // Fig. 5: a write request names the next owner; remember it.
+  if (isWrite && msg.requestor != tile) {
+    tl.l1c.update(msg.addr, msg.requestor);
+    energy_.l1cUpdate += 1;
+  }
+
+  if (line != nullptr &&
+      isOwnerState(static_cast<std::uint8_t>(line->state))) {
+    if (isWrite) ownerServeWrite(tile, *line, msg);
+    else ownerServeRead(tile, *line, msg);
+    return;
+  }
+  // Misprediction: forward the request to the home L2.
+  auto it = txns_.find(msg.addr);
+  EECC_CHECK(it != txns_.end());
+  it->second.throughHome = true;
+  it->second.links += static_cast<std::uint32_t>(
+      distance(tile, homeOf(msg.addr)));
+  Message fwd = msg;
+  fwd.type = kReqHome;
+  fwd.src = tile;
+  fwd.dst = homeOf(msg.addr);
+  fwd.forwarder = tile;
+  send(fwd);
+}
+
+void DiCoProtocol::handleRequestAtHome(const Message& msg) {
+  const NodeId home = msg.dst;
+  const NodeId requestor = msg.requestor;
+  const Addr block = msg.addr;
+  const bool isWrite = msg.aux != 0;
+  Bank& bank = bankOf(home);
+  energy_.l2TagProbe += 1;
+  energy_.l2cProbe += 1;
+
+  auto it = txns_.find(block);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+
+  if (auto owner = bank.l2c.lookup(block)) {
+    EECC_CHECK_MSG(*owner != requestor,
+                   "L2C$ points at the requestor of a miss");
+    txn.links += static_cast<std::uint32_t>(distance(home, *owner));
+    Message fwd = msg;
+    fwd.type = kFwd;
+    fwd.src = home;
+    fwd.dst = *owner;
+    after(cfg_.l2.tagLatency, [this, fwd] { send(fwd); });
+    return;
+  }
+
+  L2Line* line = bank.l2.find(block);
+  if (line != nullptr) {
+    energy_.l2DataRead += 1;
+    energy_.l2DirRead += 1;
+    stats_.l2DataHits += 1;
+    if (!isWrite) {
+      // The home L2 owns the block and keeps the ownership on reads
+      // (DiCo [7]: ownership migrates on writes, memory fills and
+      // replacements, not on home-served reads).
+      line->sharers.insert(requestor);
+      energy_.l2DirUpdate += 1;
+      finishClassification(txn, false, false, /*servedByL2=*/true);
+      txn.links += static_cast<std::uint32_t>(distance(home, requestor));
+      Message data;
+      data.type = kData;
+      data.cls = MsgClass::Data;
+      data.src = home;
+      data.dst = requestor;
+      data.addr = block;
+      data.value = line->value;
+      data.forwarder = home;
+      after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
+            [this, data] { send(data); });
+      return;
+    }
+    // Writes migrate the ownership to the requestor and invalidate the
+    // home-tracked sharers.
+    NodeSet sharers = line->sharers;
+    sharers.erase(requestor);
+    txn.acksOutstanding += sharers.size();
+    txn.ackCountKnown = true;
+    sharers.forEach([this, home, block, requestor](NodeId s) {
+      stats_.invalidationsSent += 1;
+      Message inv;
+      inv.type = kInval;
+      inv.src = home;
+      inv.dst = s;
+      inv.addr = block;
+      inv.requestor = requestor;
+      after(cfg_.l2.tagLatency, [this, inv] { send(inv); });
+    });
+    txn.grantSharers.clear();
+    txn.becomeOwner = true;
+    txn.grantDirty = line->dirty;
+    finishClassification(txn, false, false, /*servedByL2=*/true);
+    txn.links += static_cast<std::uint32_t>(distance(home, requestor));
+    Message grant;
+    grant.type = txn.needsData ? kOwnerGrant : kAckCount;
+    grant.cls = txn.needsData ? MsgClass::Data : MsgClass::Control;
+    grant.src = home;
+    grant.dst = requestor;
+    grant.addr = block;
+    grant.value = line->value;
+    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
+          [this, grant] { send(grant); });
+    // Non-inclusive retention: the stale copy stays under the new owner.
+    line->dirty = false;
+    line->sharers.clear();
+    setL2cOwner(block, requestor);
+    return;
+  }
+
+  // Off-chip. Adaptive ownership placement (see DESIGN.md): the fill
+  // makes the requestor the owner only if the L2C$ can track it without
+  // displacing a live owner pointer; otherwise the home keeps the
+  // ownership of the freshly filled line and the requestor is a plain
+  // sharer. Writes always migrate (the writer must own the block).
+  txn.grantDirty = false;
+  txn.ackCountKnown = true;
+  finishClassification(txn, false, /*fromMemory=*/true, false);
+  txn.links += static_cast<std::uint32_t>(
+      distance(home, cfg_.memControllerOf(block)) +
+      distance(cfg_.memControllerOf(block), requestor));
+  storeAtL2(home, block, memoryValue(block), /*dirty=*/false, NodeSet{});
+  const bool migrate =
+      isWrite ||
+      !bank.l2c.wouldDisplace(block, [this](Addr a) { return lineBusy(a); });
+  if (migrate) {
+    txn.becomeOwner = true;
+    setL2cOwner(block, requestor);
+  } else {
+    L2Line* fillLine = bank.l2.find(block);
+    EECC_CHECK(fillLine != nullptr);
+    fillLine->sharers.insert(requestor);
+    energy_.l2DirUpdate += 1;
+  }
+  memFetch(block, home, requestor, [this, block](std::uint64_t value) {
+    auto t = txns_.find(block);
+    EECC_CHECK(t != txns_.end());
+    t->second.dataArrived = true;
+    t->second.grantArrived = true;
+    t->second.value = value;
+    maybeCompleteAccess(block);
+  });
+}
+
+void DiCoProtocol::maybeCompleteAccess(Addr block) {
+  auto it = txns_.find(block);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+  EECC_CHECK(!txn.background);
+
+  const bool dataReady =
+      txn.dataArrived || (!txn.needsData && txn.grantArrived);
+  if (!dataReady || !txn.ackCountKnown || txn.acksOutstanding > 0 ||
+      txn.coreNotified)
+    return;
+  txn.coreNotified = true;
+
+  const NodeId tile = txn.requestor;
+  if (txn.type == AccessType::Read) {
+    if (txn.becomeOwner) {
+      const L1State st =
+          txn.grantSharers.empty() && !txn.grantDirty ? L1State::E
+          : txn.grantSharers.empty() && txn.grantDirty ? L1State::M
+                                                       : L1State::O;
+      installL1(tile, block, st, txn.grantDirty, txn.value, kInvalidNode,
+                txn.grantSharers);
+      // The inherited sharers learn the new supplier through hints.
+      txn.grantSharers.forEach([this, tile, block](NodeId s) {
+        stats_.hintMessages += 1;
+        Message hint;
+        hint.type = kHint;
+        hint.src = tile;
+        hint.dst = s;
+        hint.addr = block;
+        hint.requestor = tile;
+        send(hint);
+      });
+    } else {
+      installL1(tile, block, L1State::S, false, txn.value, txn.supplier,
+                NodeSet{});
+    }
+    recordRead(tile, txn.value);
+  } else {
+    installL1(tile, block, L1State::M, true, 0, kInvalidNode, NodeSet{});
+    L1Line* line = tileOf(tile).l1.find(block);
+    EECC_CHECK(line != nullptr);
+    line->value = commitWrite(block);
+    if (!txn.becomeOwner) {
+      // Write resolved entirely by an owner that was the home? (Handled in
+      // home path with becomeOwner=true.) Nothing extra here.
+    }
+  }
+  recordMiss(txn.cls, txn.start, txn.links);
+  auto done = std::move(txn.done);
+  txns_.erase(it);
+  releaseLine(block);
+  done();
+}
+
+void DiCoProtocol::onMessage(const Message& msg) {
+  switch (msg.type) {
+    case kReq:
+      handleRequestAtL1(msg);
+      return;
+    case kFwd:
+      handleRequestAtL1(msg);
+      return;
+    case kReqHome:
+      handleRequestAtHome(msg);
+      return;
+
+    case kData: {
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      Txn& txn = it->second;
+      txn.dataArrived = true;
+      txn.grantArrived = true;
+      txn.value = msg.value;
+      txn.ackCountKnown = true;
+      txn.supplier = msg.forwarder;
+      // Fig. 5: a data message from the supplier refreshes the prediction.
+      if (msg.forwarder != kInvalidNode && msg.forwarder != msg.dst) {
+        tileOf(msg.dst).l1c.update(msg.addr, msg.forwarder);
+        energy_.l1cUpdate += 1;
+      }
+      maybeCompleteAccess(msg.addr);
+      return;
+    }
+
+    case kOwnerGrant: {
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      it->second.dataArrived = true;
+      it->second.grantArrived = true;
+      it->second.value = msg.value;
+      maybeCompleteAccess(msg.addr);
+      return;
+    }
+
+    case kAckCount: {
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      it->second.grantArrived = true;
+      maybeCompleteAccess(msg.addr);
+      return;
+    }
+
+    case kInval: {
+      const NodeId tile = msg.dst;
+      auto& tl = tileOf(tile);
+      energy_.l1TagProbe += 1;
+      if (L1Line* line = tl.l1.find(msg.addr)) line->valid = false;
+      // The writer will be the new owner: remember it (Fig. 5).
+      if (msg.requestor != tile) {
+        tl.l1c.update(msg.addr, msg.requestor);
+        energy_.l1cUpdate += 1;
+      }
+      Message ack;
+      ack.type = kInvalAck;
+      ack.src = tile;
+      ack.dst = msg.requestor;
+      ack.addr = msg.addr;
+      after(cfg_.l1.tagLatency, [this, ack] { send(ack); });
+      return;
+    }
+
+    case kInvalAck: {
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      it->second.acksOutstanding -= 1;
+      EECC_CHECK(it->second.acksOutstanding >= 0);
+      maybeCompleteAccess(msg.addr);
+      return;
+    }
+
+    case kHint: {
+      if (msg.requestor != msg.dst) {
+        tileOf(msg.dst).l1c.update(msg.addr, msg.requestor);
+        energy_.l1cUpdate += 1;
+        if (L1Line* line = tileOf(msg.dst).l1.find(msg.addr))
+          if (line->state == L1State::S) line->supplier = msg.requestor;
+      }
+      return;
+    }
+
+    case kBgInval: {
+      const NodeId tile = msg.dst;
+      energy_.l1TagProbe += 1;
+      if (L1Line* line = tileOf(tile).l1.find(msg.addr)) line->valid = false;
+      Message ack;
+      ack.type = kBgInvalAck;
+      ack.src = tile;
+      ack.dst = msg.requestor;
+      ack.addr = msg.addr;
+      after(cfg_.l1.tagLatency, [this, ack] { send(ack); });
+      return;
+    }
+
+    case kBgInvalAck: {
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end() && it->second.background);
+      it->second.bgAcks -= 1;
+      if (it->second.bgAcks == 0) {
+        const Addr block = msg.addr;
+        txns_.erase(it);
+        releaseLine(block);
+      }
+      return;
+    }
+
+    // Handshake/notice messages whose state effects were applied
+    // atomically at the sender; they only cost traffic and energy.
+    case kChangeOwner:
+    case kChangeOwnerAck:
+    case kRelinquish:
+    case kRecall:
+    case kRecallData:
+      return;
+
+    default:
+      EECC_CHECK_MSG(false, "unknown DiCo message");
+  }
+}
+
+// ------------------------------------------------------------ Introspection
+
+DiCoProtocol::LineView DiCoProtocol::l1Line(NodeId tile, Addr block) const {
+  const auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
+  LineView v;
+  if (const L1Line* line = l1.find(block)) {
+    v.valid = true;
+    v.value = line->value;
+    v.sharerCount = line->sharers.size();
+    switch (line->state) {
+      case L1State::S: v.state = 'S'; break;
+      case L1State::E: v.state = 'E'; break;
+      case L1State::M: v.state = 'M'; break;
+      case L1State::O: v.state = 'O'; break;
+    }
+  }
+  return v;
+}
+
+void DiCoProtocol::checkInvariants() const {
+  // Quiesced-system invariants: one owner per block; L2C$ points at the
+  // actual L1 owner; the owner's sharing code covers every shared copy;
+  // every copy holds the committed value; no L2 line coexists with an L1
+  // owner.
+  std::unordered_map<Addr, NodeId> ownerOf;
+  std::unordered_map<Addr, std::vector<NodeId>> sharersOf;
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
+        [&](const L1Line& line) {
+          if (lineBusy(line.addr)) return;
+          EECC_CHECK_MSG(line.value == committedValue(line.addr),
+                         "L1 copy holds a stale value");
+          if (line.state == L1State::S) {
+            sharersOf[line.addr].push_back(t);
+          } else {
+            EECC_CHECK_MSG(!ownerOf.contains(line.addr),
+                           "two owners for one block");
+            ownerOf[line.addr] = t;
+          }
+        });
+  }
+  for (const auto& [block, owner] : ownerOf) {
+    EECC_CHECK_MSG(l2cOwner(block) == owner,
+                   "L2C$ does not point at the L1 owner");
+    const L1Line* line =
+        tiles_[static_cast<std::size_t>(owner)].l1.find(block);
+    for (const NodeId s : sharersOf[block])
+      EECC_CHECK_MSG(line->sharers.contains(s),
+                     "shared copy not covered by the owner's sharing code");
+  }
+  for (const auto& [block, list] : sharersOf) {
+    if (ownerOf.contains(block)) continue;
+    // No L1 owner: the home L2 must own the block and cover the sharers.
+    const Bank& bank = banks_[static_cast<std::size_t>(cfg_.homeOf(block))];
+    const L2Line* line = bank.l2.find(block);
+    EECC_CHECK_MSG(line != nullptr, "orphan shared copies (no owner at all)");
+    for (const NodeId s : list)
+      EECC_CHECK_MSG(line->sharers.contains(s),
+                     "shared copy not covered by the home's sharing code");
+  }
+  for (NodeId h = 0; h < cfg_.tiles(); ++h) {
+    banks_[static_cast<std::size_t>(h)].l2.forEachValid(
+        [&](const L2Line& line) {
+          if (lineBusy(line.addr)) return;
+          // Retained copies under an L1 owner may legitimately be stale.
+          if (l2cOwner(line.addr) != kInvalidNode) return;
+          EECC_CHECK_MSG(line.value == committedValue(line.addr),
+                         "home-owned L2 line holds a stale value");
+        });
+  }
+}
+
+}  // namespace eecc

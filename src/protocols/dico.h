@@ -1,0 +1,142 @@
+// Direct Coherence (DiCo) — Ros et al. [7], the paper's second baseline
+// and the base of DiCo-Providers / DiCo-Arin.
+//
+// The coherence information and the ownership of a block live with the
+// data in an L1 cache (the *owner*). An L1 miss predicts the owner through
+// the L1C$ and goes straight to it (2 hops, no home indirection); a
+// misprediction detours through the home, whose L2C$ knows the precise
+// owner. On a write the owner itself invalidates the sharers it tracks.
+// Ownership migrates to requestors so that subsequent misses resolve
+// within two hops.
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/cache_array.h"
+#include "common/bits.h"
+#include "cache/coherence_cache.h"
+#include "cache/node_set.h"
+#include "protocols/protocol.h"
+
+namespace eecc {
+
+class DiCoProtocol final : public Protocol {
+ public:
+  DiCoProtocol(EventQueue& events, Network& net, const CmpConfig& cfg);
+
+  ProtocolKind kind() const override { return ProtocolKind::DiCo; }
+  bool tryHit(NodeId tile, Addr block, AccessType type) override;
+  void checkInvariants() const override;
+
+  struct LineView {
+    bool valid = false;
+    char state = 'I';  // I/S/E/M/O
+    std::uint64_t value = 0;
+    std::int32_t sharerCount = 0;
+  };
+  LineView l1Line(NodeId tile, Addr block) const;
+  /// Precise L1 owner recorded at the home, or kInvalidNode.
+  NodeId l2cOwner(Addr block) const;
+
+ protected:
+  void startMiss(NodeId tile, Addr block, AccessType type,
+                 DoneFn done) override;
+  void onMessage(const Message& msg) override;
+
+ private:
+  enum class L1State : std::uint8_t { S, E, M, O };
+
+  struct L1Line : CacheLineBase {
+    L1State state = L1State::S;
+    bool dirty = false;
+    std::uint64_t value = 0;
+    /// Supplier prediction kept in the line's sharing-code field ("L1
+    /// cache entries can store one GenPo at no additional cost").
+    NodeId supplier = kInvalidNode;
+    NodeSet sharers;  ///< Sharing code (meaningful when owner).
+  };
+
+  struct L2Line : CacheLineBase {
+    bool dirty = false;
+    std::uint64_t value = 0;
+    NodeSet sharers;  ///< Sharing code when the home L2 is the owner.
+  };
+
+  struct Tile {
+    CacheArray<L1Line> l1;
+    CoherenceCache l1c;
+    explicit Tile(const CmpConfig& c)
+        : l1(c.l1.entries, c.l1.assoc), l1c(c.l1cEntries, c.l1cAssoc) {}
+  };
+  struct Bank {
+    CacheArray<L2Line> l2;
+    CoherenceCache l2c;
+    explicit Bank(const CmpConfig& c)
+        : l2(c.l2.entries, c.l2.assoc,
+             log2ceil(static_cast<std::uint64_t>(c.tiles()))),
+          l2c(c.l2cEntries, c.l2cAssoc,
+              log2ceil(static_cast<std::uint64_t>(c.tiles()))) {}
+  };
+
+  struct Txn {
+    NodeId requestor = kInvalidNode;
+    AccessType type = AccessType::Read;
+    DoneFn done;
+    Tick start = 0;
+    std::uint32_t links = 0;
+    bool predicted = false;    ///< An L1C$ prediction was used.
+    bool throughHome = false;  ///< The request detoured through the home.
+    bool needsData = true;
+    std::int32_t acksOutstanding = 0;
+    bool ackCountKnown = false;
+    bool dataArrived = false;
+    bool grantArrived = false;  ///< The grant/ack-count message landed.
+    bool coreNotified = false;
+    std::uint64_t value = 0;
+    NodeId supplier = kInvalidNode;  ///< Who sent the data (L1C$ update).
+    MissClass cls = MissClass::UnpredL2;
+    // Ownership grant attached to the data (reads from the home / writes).
+    bool becomeOwner = false;
+    bool grantDirty = false;
+    NodeSet grantSharers;
+    // Background L2-eviction invalidation.
+    bool background = false;
+    std::int32_t bgAcks = 0;
+  };
+
+  Tile& tileOf(NodeId t) { return tiles_[static_cast<std::size_t>(t)]; }
+  Bank& bankOf(NodeId h) { return banks_[static_cast<std::size_t>(h)]; }
+
+  // --- L1 management ---
+  void installL1(NodeId tile, Addr block, L1State state, bool dirty,
+                 std::uint64_t value, NodeId supplier,
+                 const NodeSet& sharers);
+  void evictL1Line(NodeId tile, L1Line& line);
+  void relinquishToHome(NodeId tile, const L1Line& line);
+  void transferOwnership(NodeId from, const L1Line& line, NodeId to);
+
+  // --- Home management ---
+  /// Records `owner` in the home's L2C$; a displaced entry triggers an
+  /// ownership recall of its block (Section IV-A1).
+  void setL2cOwner(Addr block, NodeId owner);
+  void clearL2cOwner(Addr block);
+  void recallOwnership(Addr block, NodeId owner);
+  void storeAtL2(NodeId home, Addr block, std::uint64_t value, bool dirty,
+                 const NodeSet& sharers);
+  void evictL2Line(NodeId home, L2Line& line);
+
+  // --- Transaction steps ---
+  void handleRequestAtL1(const Message& msg);
+  void handleRequestAtHome(const Message& msg);
+  void ownerServeRead(NodeId owner, L1Line& line, const Message& msg);
+  void ownerServeWrite(NodeId owner, L1Line& line, const Message& msg);
+  void maybeCompleteAccess(Addr block);
+  void finishClassification(Txn& txn, bool servedByL1Owner, bool fromMemory,
+                            bool servedByL2);
+
+  std::vector<Tile> tiles_;
+  std::vector<Bank> banks_;
+  std::unordered_map<Addr, Txn> txns_;
+};
+
+}  // namespace eecc

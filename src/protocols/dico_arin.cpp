@@ -1,0 +1,1201 @@
+#include "protocols/dico_arin.h"
+
+namespace eecc {
+
+namespace {
+enum ArinMsg : std::uint16_t {
+  kReq = Protocol::kFirstProtocolMsg,  // requestor -> predicted supplier
+  kReqHome,         // requestor/forwarder -> home
+  kFwd,             // home -> owner L1 (single-area blocks)
+  kData,            // supplier -> requestor (plain sharer copy)
+  kProviderGrant,   // global-mode data: the receiver becomes a provider
+  kOwnerGrant,      // ownership + data
+  kAckCount,        // control grant for upgrades
+  kInval,           // owner -> sharer (single-area blocks)
+  kInvalAck,        // sharer -> writer
+  kChangeOwner,
+  kChangeOwnerAck,
+  kHint,
+  kRelinquish,      // owner eviction -> home
+  kGlobalize,       // former owner -> home (data copy on global transition)
+  kRecall,
+  kRecallData,
+  kBcastInval,      // home -> every L1 (three-way invalidation, step 1)
+  kBcastAck,        // every L1 -> requestor/home (step 2)
+  kBcastUnblock     // requestor/home -> every L1 (step 3)
+};
+}  // namespace
+
+DiCoArinProtocol::DiCoArinProtocol(EventQueue& events, Network& net,
+                                   const CmpConfig& cfg)
+    : Protocol(events, net, cfg) {
+  EECC_CHECK_MSG(cfg_.numAreas <= kMaxAreas,
+                 "simulation supports at most kMaxAreas areas");
+  tiles_.reserve(static_cast<std::size_t>(cfg_.tiles()));
+  banks_.reserve(static_cast<std::size_t>(cfg_.tiles()));
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_.emplace_back(cfg_);
+    banks_.emplace_back(cfg_);
+  }
+}
+
+// ---------------------------------------------------------------- L1 side
+
+bool DiCoArinProtocol::tryHit(NodeId tile, Addr block, AccessType type) {
+  auto& tl = tileOf(tile);
+  energy_.l1TagProbe += 1;
+  L1Line* line = tl.l1.find(block);
+  if (line == nullptr) return false;
+  if (type == AccessType::Read) {
+    energy_.l1DataRead += 1;
+    tl.l1.touch(*line);
+    recordRead(tile, line->value);
+    return true;
+  }
+  if (line->state == L1State::M || line->state == L1State::E) {
+    line->state = L1State::M;
+    line->dirty = true;
+    line->value = commitWrite(block);
+    energy_.l1DataWrite += 1;
+    tl.l1.touch(*line);
+    return true;
+  }
+  if (line->state == L1State::O) {
+    energy_.l1DirRead += 1;
+    NodeSet others = line->areaSharers;
+    others.erase(tile);
+    if (others.empty()) {
+      line->state = L1State::M;
+      line->dirty = true;
+      line->value = commitWrite(block);
+      energy_.l1DataWrite += 1;
+      tl.l1.touch(*line);
+      return true;
+    }
+  }
+  return false;
+}
+
+void DiCoArinProtocol::installL1(NodeId tile, Addr block, L1State state,
+                                 bool dirty, std::uint64_t value,
+                                 NodeId supplier, const NodeSet& sharers) {
+  auto& l1 = tileOf(tile).l1;
+  L1Line* line = l1.find(block);
+  if (line == nullptr) {
+    L1Line* victim = l1.selectVictim(
+        block, [this](const L1Line& l) { return lineBusy(l.addr); });
+    if (victim == nullptr) victim = l1.selectVictim(block, nullptr);
+    EECC_CHECK(victim != nullptr);
+    if (victim->valid) evictL1Line(tile, *victim);
+    line = &l1.install(*victim, block);
+    energy_.l1TagProbe += 1;
+  } else {
+    l1.touch(*line);
+  }
+  line->state = state;
+  line->dirty = dirty;
+  line->value = value;
+  line->supplier = supplier;
+  line->areaSharers = sharers;
+  energy_.l1DataWrite += 1;
+  if (state == L1State::O) energy_.l1DirUpdate += 1;
+}
+
+void DiCoArinProtocol::evictL1Line(NodeId tile, L1Line& line) {
+  if (line.state == L1State::S || line.state == L1State::P) {
+    // Sharers evict silently; providers of global blocks do too — a stale
+    // home ProPo is repaired through the forwarder identity (IV-B).
+    if (line.supplier != kInvalidNode) {
+      tileOf(tile).l1c.update(line.addr, line.supplier);
+      energy_.l1cUpdate += 1;
+    }
+    line.valid = false;
+    return;
+  }
+  evictOwnerLine(tile, line);
+  line.valid = false;
+}
+
+void DiCoArinProtocol::evictOwnerLine(NodeId tile, L1Line& line) {
+  const Addr block = line.addr;
+  energy_.l1DirRead += 1;
+  NodeSet locals = line.areaSharers;
+  locals.erase(tile);
+  NodeId heir = kInvalidNode;
+  locals.forEach([&](NodeId s) {
+    if (heir != kInvalidNode) return;
+    if (tileOf(s).l1.find(block) != nullptr) {
+      heir = s;
+    } else {
+      Message probe;  // stale sharer refuses the transfer
+      probe.type = kChangeOwner;
+      probe.src = tile;
+      probe.dst = s;
+      probe.addr = block;
+      send(probe);
+    }
+  });
+  if (heir != kInvalidNode) {
+    stats_.ownershipTransfers += 1;
+    Message xfer;
+    xfer.type = kChangeOwner;
+    xfer.src = tile;
+    xfer.dst = heir;
+    xfer.addr = block;
+    send(xfer);
+    Message co;
+    co.type = kChangeOwner;
+    co.src = heir;
+    co.dst = homeOf(block);
+    co.addr = block;
+    send(co);
+    Message ack;
+    ack.type = kChangeOwnerAck;
+    ack.src = homeOf(block);
+    ack.dst = heir;
+    ack.addr = block;
+    send(ack);
+    NodeSet rest = locals;
+    rest.erase(heir);
+    rest.forEach([&](NodeId s) {
+      stats_.hintMessages += 1;
+      Message hint;
+      hint.type = kHint;
+      hint.src = tile;
+      hint.dst = s;
+      hint.addr = block;
+      hint.requestor = heir;
+      send(hint);
+    });
+    L1Line* heirLine = tileOf(heir).l1.find(block);
+    EECC_CHECK(heirLine != nullptr);
+    heirLine->state = L1State::O;
+    heirLine->dirty = line.dirty;
+    heirLine->areaSharers = rest;
+    energy_.l1DirUpdate += 1;
+    setL2cOwner(block, heir);
+    return;
+  }
+  // No live local sharers: relinquish to the home.
+  Bank& bank = bankOf(homeOf(block));
+  bank.l2c.invalidate(block);
+  energy_.l2cUpdate += 1;
+  if (line.dirty) {
+    stats_.writebacks += 1;
+    Message rel;
+    rel.type = kRelinquish;
+    rel.cls = MsgClass::Data;
+    rel.src = tile;
+    rel.dst = homeOf(block);
+    rel.addr = block;
+    rel.value = line.value;
+    send(rel);
+    L2Line& l2 = storeAtL2(homeOf(block), block, line.value, true);
+    l2.mode = L2Mode::SingleAreaOwner;
+    l2.area = areaOf(tile);
+    l2.sharers.clear();
+  } else {
+    Message note;
+    note.type = kRelinquish;
+    note.src = tile;
+    note.dst = homeOf(block);
+    note.addr = block;
+    send(note);
+    if (L2Line* l2line = bank.l2.find(block)) {
+      // The retained copy becomes the single-area owner again.
+      l2line->mode = L2Mode::SingleAreaOwner;
+      l2line->area = areaOf(tile);
+      l2line->sharers.clear();
+      energy_.l2DirUpdate += 1;
+    }
+  }
+}
+
+// --------------------------------------------------------------- Home side
+
+NodeId DiCoArinProtocol::l2cOwner(Addr block) const {
+  const Bank& bank = banks_[static_cast<std::size_t>(cfg_.homeOf(block))];
+  return const_cast<CoherenceCache&>(bank.l2c).lookup(block)
+      .value_or(kInvalidNode);
+}
+
+bool DiCoArinProtocol::isGlobal(Addr block) const {
+  const Bank& bank = banks_[static_cast<std::size_t>(cfg_.homeOf(block))];
+  const L2Line* line = bank.l2.find(block);
+  return line != nullptr && line->mode == L2Mode::Global;
+}
+
+void DiCoArinProtocol::setL2cOwner(Addr block, NodeId owner) {
+  Bank& bank = bankOf(homeOf(block));
+  energy_.l2cUpdate += 1;
+  if (auto displaced = bank.l2c.update(
+          block, owner, [this](Addr a) { return lineBusy(a); })) {
+    recallOwnership(displaced->first, displaced->second);
+  }
+}
+
+void DiCoArinProtocol::recallOwnership(Addr block, NodeId owner) {
+  const NodeId home = homeOf(block);
+  Message recall;
+  recall.type = kRecall;
+  recall.src = home;
+  recall.dst = owner;
+  recall.addr = block;
+  send(recall);
+
+  L1Line* line = tileOf(owner).l1.find(block);
+  if (line == nullptr) return;
+  EECC_CHECK(line->isOwner());
+  Message back;
+  back.type = kRecallData;
+  back.cls = line->dirty ? MsgClass::Data : MsgClass::Control;
+  back.src = owner;
+  back.dst = home;
+  back.addr = block;
+  back.value = line->value;
+  send(back);
+
+  L2Line& l2 = storeAtL2(home, block, line->value, line->dirty);
+  l2.mode = L2Mode::SingleAreaOwner;
+  l2.area = areaOf(owner);
+  l2.sharers = line->areaSharers;
+  l2.sharers.insert(owner);
+  line->state = L1State::S;
+  line->dirty = false;
+  line->areaSharers.clear();
+  energy_.l1DirUpdate += 1;
+  stats_.ownershipTransfers += 1;
+}
+
+DiCoArinProtocol::L2Line& DiCoArinProtocol::storeAtL2(NodeId home, Addr block,
+                                                      std::uint64_t value,
+                                                      bool dirty) {
+  Bank& bank = bankOf(home);
+  energy_.l2DataWrite += 1;
+  L2Line* line = bank.l2.find(block);
+  if (line == nullptr) {
+    L2Line* victim = bank.l2.selectVictim(
+        block, [this](const L2Line& l) { return lineBusy(l.addr); });
+    if (victim == nullptr) victim = bank.l2.selectVictim(block, nullptr);
+    EECC_CHECK(victim != nullptr);
+    if (victim->valid) evictL2Line(home, *victim);
+    line = &bank.l2.install(*victim, block);
+    line->dirty = false;
+  } else {
+    bank.l2.touch(*line);
+  }
+  line->value = value;
+  line->dirty = line->dirty || dirty;
+  energy_.l2DirUpdate += 1;
+  return *line;
+}
+
+void DiCoArinProtocol::evictL2Line(NodeId home, L2Line& line) {
+  stats_.l2Evictions += 1;
+  const Addr block = line.addr;
+  if (bankOf(home).l2c.lookup(block).has_value()) {
+    // Retained (possibly stale) copy under an L1 owner: drop silently.
+    line.valid = false;
+    return;
+  }
+  const bool global = line.mode == L2Mode::Global;
+  const NodeSet sharers = line.sharers;
+  if (line.dirty) {
+    energy_.l2DataRead += 1;
+    memWriteback(block, home, line.value);
+  }
+  line.valid = false;
+
+  if (global) {
+    // Three-way broadcast invalidation with the home collecting the acks
+    // (Section IV-B1, L2 replacement case).
+    withLine(block, [this, home, block] {
+      Txn& txn = txns_[block];
+      txn = Txn{};
+      txn.background = true;
+      txn.requestor = home;
+      txn.bgAcks = cfg_.tiles();
+      stats_.broadcastInvalidations += 1;
+      stats_.dirEvictionInvalidations += 1;
+      Message bcast;
+      bcast.type = kBcastInval;
+      bcast.src = home;
+      bcast.addr = block;
+      bcast.requestor = home;
+      sendBroadcast(bcast);
+    });
+    return;
+  }
+  if (sharers.empty()) return;
+  // Single-area block owned by the L2: targeted invalidation of the map.
+  withLine(block, [this, home, block, sharers] {
+    Txn& txn = txns_[block];
+    txn = Txn{};
+    txn.background = true;
+    txn.requestor = home;
+    txn.bgAcks = sharers.size();
+    stats_.dirEvictionInvalidations += 1;
+    sharers.forEach([this, home, block](NodeId s) {
+      stats_.invalidationsSent += 1;
+      Message inv;
+      inv.type = kInval;
+      inv.src = home;
+      inv.dst = s;
+      inv.addr = block;
+      inv.requestor = home;
+      send(inv);
+    });
+  });
+}
+
+void DiCoArinProtocol::globalizeFromOwner(NodeId owner, L1Line& line,
+                                          NodeId firstRemote) {
+  const Addr block = line.addr;
+  // The former owner sends the data to the home L2, which becomes a
+  // provider (and the ordering point); the former owner stays on as a
+  // provider too (Section III-B).
+  stats_.ownershipTransfers += 1;
+  stats_.providershipTransfers += 1;  // global transitions (diagnostics)
+  Message toHome;
+  toHome.type = kGlobalize;
+  toHome.cls = MsgClass::Data;
+  toHome.src = owner;
+  toHome.dst = homeOf(block);
+  toHome.addr = block;
+  toHome.value = line.value;
+  send(toHome);
+
+  Bank& bank = bankOf(homeOf(block));
+  bank.l2c.invalidate(block);
+  energy_.l2cUpdate += 1;
+  L2Line& l2 = storeAtL2(homeOf(block), block, line.value, line.dirty);
+  l2.mode = L2Mode::Global;
+  l2.sharers.clear();
+  l2.providers = emptyProPos();
+  l2.providers[static_cast<std::size_t>(areaOf(owner))] = owner;
+  l2.providers[static_cast<std::size_t>(areaOf(firstRemote))] = firstRemote;
+
+  line.state = L1State::P;
+  line.dirty = false;
+  line.areaSharers.clear();
+  energy_.l1DirUpdate += 1;
+}
+
+// ------------------------------------------------------------ Transactions
+
+void DiCoArinProtocol::startMiss(NodeId tile, Addr block, AccessType type,
+                                 DoneFn done) {
+  Txn& txn = txns_[block];
+  txn = Txn{};
+  txn.requestor = tile;
+  txn.type = type;
+  txn.done = std::move(done);
+  txn.start = events_.now();
+
+  auto& tl = tileOf(tile);
+  L1Line* line = tl.l1.find(block);
+
+  if (type == AccessType::Write && line != nullptr) {
+    txn.needsData = false;
+    stats_.upgrades += 1;
+    if (line->isOwner()) {
+      // Owner upgrade with sharers: invalidate the local map directly.
+      energy_.l1DirRead += 1;
+      NodeSet targets = line->areaSharers;
+      targets.erase(tile);
+      txn.acksOutstanding = targets.size();
+      targets.forEach([this, tile, block](NodeId s) {
+        stats_.invalidationsSent += 1;
+        Message inv;
+        inv.type = kInval;
+        inv.src = tile;
+        inv.dst = s;
+        inv.addr = block;
+        inv.requestor = tile;
+        after(cfg_.l1.tagLatency, [this, inv] { send(inv); });
+      });
+      line->areaSharers.clear();
+      txn.ackCountKnown = true;
+      txn.becomeOwner = true;
+      txn.grantArrived = true;
+      txn.cls = MissClass::PredOwnerHit;
+      maybeCompleteAccess(block);
+      return;
+    }
+    if (line->state == L1State::P) {
+      // Writes to global blocks are ordered at the home; providers cannot
+      // resolve them. Skip the prediction and go straight there.
+      txn.links += static_cast<std::uint32_t>(distance(tile, homeOf(block)));
+      Message req;
+      req.type = kReqHome;
+      req.src = tile;
+      req.dst = homeOf(block);
+      req.addr = block;
+      req.requestor = tile;
+      req.aux = 1;
+      send(req);
+      return;
+    }
+  }
+
+  NodeId target = kInvalidNode;
+  if (cfg_.enablePrediction) {
+    energy_.l1cProbe += 1;
+    if (line != nullptr && line->supplier != kInvalidNode) {
+      target = line->supplier;
+    } else if (auto pred = tl.l1c.lookup(block)) {
+      target = *pred;
+    }
+    if (target == tile) target = kInvalidNode;
+  }
+
+  Message req;
+  req.addr = block;
+  req.requestor = tile;
+  req.src = tile;
+  req.aux = type == AccessType::Write ? 1 : 0;
+  if (target != kInvalidNode) {
+    txn.predicted = true;
+    req.type = kReq;
+    req.dst = target;
+  } else {
+    req.type = kReqHome;
+    req.dst = homeOf(block);
+  }
+  txn.links += static_cast<std::uint32_t>(distance(tile, req.dst));
+  send(req);
+}
+
+void DiCoArinProtocol::supplierServeRead(NodeId node, L1Line& line,
+                                         const Message& msg,
+                                         bool asProvider) {
+  auto it = txns_.find(msg.addr);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+  const NodeId requestor = msg.requestor;
+
+  energy_.l1DataRead += 1;
+  if (asProvider && sameArea(node, requestor))
+    stats_.providerResolvedMisses += 1;
+  if (!asProvider) {
+    energy_.l1DirUpdate += 1;
+    line.areaSharers.insert(requestor);
+    if (line.state == L1State::E || line.state == L1State::M)
+      line.state = L1State::O;
+  }
+  if (txn.cls == MissClass::UnpredL2) {
+    if (txn.predicted && !txn.throughHome)
+      txn.cls = asProvider ? MissClass::PredProviderHit
+                           : MissClass::PredOwnerHit;
+    else if (txn.predicted)
+      txn.cls = MissClass::PredMiss;
+    else
+      txn.cls = MissClass::UnpredOwner;
+  }
+  txn.links += static_cast<std::uint32_t>(distance(node, requestor));
+  Message data;
+  // Copies of global blocks make their receiver a provider (III-B).
+  data.type = asProvider ? kProviderGrant : kData;
+  data.cls = MsgClass::Data;
+  data.src = node;
+  data.dst = requestor;
+  data.addr = msg.addr;
+  data.value = line.value;
+  data.forwarder = node;
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, data] { send(data); });
+}
+
+void DiCoArinProtocol::ownerServeWrite(NodeId node, L1Line& line,
+                                       const Message& msg) {
+  auto it = txns_.find(msg.addr);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+  const NodeId requestor = msg.requestor;
+  const Addr block = msg.addr;
+
+  energy_.l1DataRead += 1;
+  energy_.l1DirRead += 1;
+  NodeSet targets = line.areaSharers;
+  targets.erase(requestor);
+  targets.erase(node);
+  txn.acksOutstanding += targets.size();
+  txn.ackCountKnown = true;
+  targets.forEach([this, node, block, requestor](NodeId s) {
+    stats_.invalidationsSent += 1;
+    Message inv;
+    inv.type = kInval;
+    inv.src = node;
+    inv.dst = s;
+    inv.addr = block;
+    inv.requestor = requestor;
+    after(cfg_.l1.tagLatency, [this, inv] { send(inv); });
+  });
+
+  if (txn.cls == MissClass::UnpredL2) {
+    if (txn.predicted && !txn.throughHome) txn.cls = MissClass::PredOwnerHit;
+    else if (txn.predicted) txn.cls = MissClass::PredMiss;
+    else txn.cls = MissClass::UnpredOwner;
+  }
+  txn.becomeOwner = true;
+  txn.links += static_cast<std::uint32_t>(distance(node, requestor));
+  Message grant;
+  grant.type = txn.needsData ? kOwnerGrant : kAckCount;
+  grant.cls = txn.needsData ? MsgClass::Data : MsgClass::Control;
+  grant.src = node;
+  grant.dst = requestor;
+  grant.addr = block;
+  grant.value = line.value;
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
+        [this, grant] { send(grant); });
+
+  Message co;
+  co.type = kChangeOwner;
+  co.src = node;
+  co.dst = homeOf(block);
+  co.addr = block;
+  send(co);
+  Message ack;
+  ack.type = kChangeOwnerAck;
+  ack.src = homeOf(block);
+  ack.dst = requestor;
+  ack.addr = block;
+  send(ack);
+  setL2cOwner(block, requestor);
+  stats_.ownershipTransfers += 1;
+  line.valid = false;
+}
+
+void DiCoArinProtocol::handleRequestAtL1(const Message& msg) {
+  const NodeId tile = msg.dst;
+  energy_.l1TagProbe += 1;
+  L1Line* line = tileOf(tile).l1.find(msg.addr);
+  const bool isWrite = msg.aux != 0;
+  const NodeId requestor = msg.requestor;
+
+  // Fig. 5: a write request names the next owner; remember it.
+  if (isWrite && requestor != tile) {
+    tileOf(tile).l1c.update(msg.addr, requestor);
+    energy_.l1cUpdate += 1;
+  }
+
+  auto it = txns_.find(msg.addr);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+
+  if (line != nullptr) {
+    if (isWrite && line->isOwner()) {
+      ownerServeWrite(tile, *line, msg);
+      return;
+    }
+    if (!isWrite && line->isOwner()) {
+      if (sameArea(requestor, tile)) {
+        supplierServeRead(tile, *line, msg, /*asProvider=*/false);
+        return;
+      }
+      // First remote-area read: the ownership dissolves (Section III-B).
+      if (txn.cls == MissClass::UnpredL2) {
+        if (txn.predicted && !txn.throughHome)
+          txn.cls = MissClass::PredOwnerHit;
+        else if (txn.predicted)
+          txn.cls = MissClass::PredMiss;
+        else
+          txn.cls = MissClass::UnpredOwner;
+      }
+      energy_.l1DataRead += 1;
+      txn.links += static_cast<std::uint32_t>(distance(tile, requestor));
+      Message grant;
+      grant.type = kProviderGrant;
+      grant.cls = MsgClass::Data;
+      grant.src = tile;
+      grant.dst = requestor;
+      grant.addr = msg.addr;
+      grant.value = line->value;
+      grant.forwarder = tile;
+      after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
+            [this, grant] { send(grant); });
+      globalizeFromOwner(tile, *line, requestor);
+      return;
+    }
+    if (!isWrite && line->state == L1State::P) {
+      supplierServeRead(tile, *line, msg, /*asProvider=*/true);
+      return;
+    }
+  }
+  // Cannot act here: forward to the home with the forwarder identity so a
+  // stale provider pointer can be repaired (Section IV-B).
+  txn.throughHome = true;
+  txn.links += static_cast<std::uint32_t>(distance(tile, homeOf(msg.addr)));
+  Message fwd = msg;
+  fwd.type = kReqHome;
+  fwd.src = tile;
+  fwd.dst = homeOf(msg.addr);
+  fwd.forwarder = tile;
+  send(fwd);
+}
+
+void DiCoArinProtocol::serveGlobalRead(NodeId home, L2Line& line,
+                                       const Message& msg) {
+  auto it = txns_.find(msg.addr);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+  const NodeId requestor = msg.requestor;
+  const AreaId aR = areaOf(requestor);
+
+  energy_.l2DataRead += 1;
+  energy_.l2DirRead += 1;
+  stats_.l2DataHits += 1;
+
+  // Forwarder-identity repair: if the pointer for the forwarder's area
+  // still names the forwarder, that cache is no longer a provider.
+  if (msg.forwarder != kInvalidNode) {
+    const auto fa = static_cast<std::size_t>(areaOf(msg.forwarder));
+    if (line.providers[fa] == msg.forwarder)
+      line.providers[fa] = kInvalidNode;
+  }
+  // The provider identity for the requestor's area travels with the data
+  // so the requestor can predict it next time; with none recorded, the
+  // requestor itself becomes the area's provider.
+  NodeId hint = line.providers[static_cast<std::size_t>(aR)];
+  if (hint == kInvalidNode || hint == requestor) {
+    line.providers[static_cast<std::size_t>(aR)] = requestor;
+    hint = kInvalidNode;
+  }
+  energy_.l2DirUpdate += 1;
+
+  if (txn.cls == MissClass::UnpredL2 && txn.predicted)
+    txn.cls = MissClass::PredMiss;
+  txn.links += static_cast<std::uint32_t>(distance(home, requestor));
+  Message grant;
+  grant.type = kProviderGrant;
+  grant.cls = MsgClass::Data;
+  grant.src = home;
+  grant.dst = requestor;
+  grant.addr = msg.addr;
+  grant.value = line.value;
+  grant.forwarder = hint;  // L1C$ hint: the provider of the area (if any)
+  after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
+        [this, grant] { send(grant); });
+}
+
+void DiCoArinProtocol::startGlobalWrite(NodeId home, L2Line& line,
+                                        const Message& msg) {
+  auto it = txns_.find(msg.addr);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+  const NodeId requestor = msg.requestor;
+  const Addr block = msg.addr;
+
+  energy_.l2DataRead += 1;
+  stats_.l2DataHits += 1;
+  stats_.broadcastInvalidations += 1;
+  if (txn.cls == MissClass::UnpredL2 && txn.predicted)
+    txn.cls = MissClass::PredMiss;
+
+  // Three-way invalidation (IV-B1): broadcast, all-L1 acks to the writer,
+  // unblock broadcast from the writer once complete.
+  txn.acksOutstanding += cfg_.tiles();
+  txn.ackCountKnown = true;
+  txn.unblockPending = true;
+  txn.becomeOwner = true;
+  Message bcast;
+  bcast.type = kBcastInval;
+  bcast.src = home;
+  bcast.addr = block;
+  bcast.requestor = requestor;
+  after(cfg_.l2.tagLatency, [this, bcast] { sendBroadcast(bcast); });
+
+  txn.links += static_cast<std::uint32_t>(distance(home, requestor));
+  Message grant;
+  grant.type = txn.needsData ? kOwnerGrant : kAckCount;
+  grant.cls = txn.needsData ? MsgClass::Data : MsgClass::Control;
+  grant.src = home;
+  grant.dst = requestor;
+  grant.addr = block;
+  grant.value = line.value;
+  after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
+        [this, grant] { send(grant); });
+
+  // The block leaves global mode: the writer owns it alone; the home
+  // retains a stale (never-served) copy.
+  line.mode = L2Mode::SingleAreaOwner;
+  line.area = areaOf(requestor);
+  line.dirty = false;
+  line.sharers.clear();
+  line.providers = emptyProPos();
+  setL2cOwner(block, requestor);
+}
+
+void DiCoArinProtocol::handleRequestAtHome(const Message& msg) {
+  const NodeId home = msg.dst;
+  const NodeId requestor = msg.requestor;
+  const Addr block = msg.addr;
+  const bool isWrite = msg.aux != 0;
+  Bank& bank = bankOf(home);
+  energy_.l2TagProbe += 1;
+  energy_.l2cProbe += 1;
+
+  auto it = txns_.find(block);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+
+  if (auto owner = bank.l2c.lookup(block)) {
+    EECC_CHECK_MSG(*owner != requestor,
+                   "L2C$ points at the requestor of a miss");
+    txn.links += static_cast<std::uint32_t>(distance(home, *owner));
+    Message fwd = msg;
+    fwd.type = kFwd;
+    fwd.src = home;
+    fwd.dst = *owner;
+    after(cfg_.l2.tagLatency, [this, fwd] { send(fwd); });
+    return;
+  }
+
+  L2Line* line = bank.l2.find(block);
+  if (line != nullptr) {
+    if (line->mode == L2Mode::Global) {
+      if (isWrite) startGlobalWrite(home, *line, msg);
+      else serveGlobalRead(home, *line, msg);
+      return;
+    }
+    // Single-area block owned by the home L2.
+    energy_.l2DirRead += 1;
+    const bool remoteRead =
+        !isWrite && !line->sharers.empty() &&
+        areaOf(requestor) != line->area;
+    if (remoteRead) {
+      // "The L2 becomes a provider immediately upon the reception of the
+      // request": the block turns global with the home as ordering point.
+      energy_.l2DataRead += 1;
+      stats_.l2DataHits += 1;
+      stats_.providershipTransfers += 1;  // global transition
+      line->mode = L2Mode::Global;
+      line->providers = emptyProPos();
+      line->providers[static_cast<std::size_t>(areaOf(requestor))] =
+          requestor;
+      line->sharers.clear();
+      energy_.l2DirUpdate += 1;
+      if (txn.cls == MissClass::UnpredL2 && txn.predicted)
+        txn.cls = MissClass::PredMiss;
+      txn.links += static_cast<std::uint32_t>(distance(home, requestor));
+      Message grant;
+      grant.type = kProviderGrant;
+      grant.cls = MsgClass::Data;
+      grant.src = home;
+      grant.dst = requestor;
+      grant.addr = block;
+      grant.value = line->value;
+      after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
+            [this, grant] { send(grant); });
+      return;
+    }
+    energy_.l2DataRead += 1;
+    stats_.l2DataHits += 1;
+    if (!isWrite) {
+      // Single-area DiCo behaviour: the home keeps the ownership on
+      // reads and tracks the requestor in the area map.
+      if (line->sharers.empty()) line->area = areaOf(requestor);
+      line->sharers.insert(requestor);
+      energy_.l2DirUpdate += 1;
+      if (txn.cls == MissClass::UnpredL2 && txn.predicted)
+        txn.cls = MissClass::PredMiss;
+      txn.links += static_cast<std::uint32_t>(distance(home, requestor));
+      Message data;
+      data.type = kData;
+      data.cls = MsgClass::Data;
+      data.src = home;
+      data.dst = requestor;
+      data.addr = block;
+      data.value = line->value;
+      data.forwarder = home;
+      after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
+            [this, data] { send(data); });
+      return;
+    }
+    // Writes migrate the ownership to the requestor.
+    NodeSet sharers = line->sharers;
+    sharers.erase(requestor);
+    txn.acksOutstanding += sharers.size();
+    sharers.forEach([this, home, block, requestor](NodeId s) {
+      stats_.invalidationsSent += 1;
+      Message inv;
+      inv.type = kInval;
+      inv.src = home;
+      inv.dst = s;
+      inv.addr = block;
+      inv.requestor = requestor;
+      after(cfg_.l2.tagLatency, [this, inv] { send(inv); });
+    });
+    txn.ackCountKnown = true;
+    txn.becomeOwner = true;
+    txn.grantDirty = line->dirty;
+    if (txn.cls == MissClass::UnpredL2 && txn.predicted)
+      txn.cls = MissClass::PredMiss;
+    txn.links += static_cast<std::uint32_t>(distance(home, requestor));
+    Message grant;
+    grant.type = txn.needsData ? kOwnerGrant : kAckCount;
+    grant.cls = txn.needsData ? MsgClass::Data : MsgClass::Control;
+    grant.src = home;
+    grant.dst = requestor;
+    grant.addr = block;
+    grant.value = line->value;
+    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
+          [this, grant] { send(grant); });
+    // Non-inclusive retention: the copy stays while an L1 owns the block.
+    line->dirty = false;
+    line->sharers.clear();
+    setL2cOwner(block, requestor);
+    return;
+  }
+
+  // Off-chip. Adaptive ownership placement (see DESIGN.md): read fills
+  // migrate the ownership only if the L2C$ can track it; otherwise the
+  // home owns the filled line (single-area mode, requestor as sharer).
+  txn.ackCountKnown = true;
+  txn.cls = MissClass::Memory;
+  txn.links += static_cast<std::uint32_t>(
+      distance(home, cfg_.memControllerOf(block)) +
+      distance(cfg_.memControllerOf(block), requestor));
+  {
+    L2Line& fill = storeAtL2(home, block, memoryValue(block), false);
+    fill.mode = L2Mode::SingleAreaOwner;
+    fill.area = areaOf(requestor);
+    fill.sharers.clear();
+    fill.providers = emptyProPos();
+    if (isWrite ||
+        !bank.l2c.wouldDisplace(block, [this](Addr a) { return lineBusy(a); })) {
+      txn.becomeOwner = true;
+      setL2cOwner(block, requestor);
+    } else {
+      fill.sharers.insert(requestor);
+      energy_.l2DirUpdate += 1;
+    }
+  }
+  memFetch(block, home, requestor, [this, block](std::uint64_t value) {
+    auto t = txns_.find(block);
+    EECC_CHECK(t != txns_.end());
+    t->second.dataArrived = true;
+    t->second.grantArrived = true;
+    t->second.value = value;
+    maybeCompleteAccess(block);
+  });
+}
+
+void DiCoArinProtocol::maybeCompleteAccess(Addr block) {
+  auto it = txns_.find(block);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+  EECC_CHECK(!txn.background);
+
+  const bool dataReady =
+      txn.dataArrived || (!txn.needsData && txn.grantArrived);
+  if (!dataReady || !txn.ackCountKnown || txn.acksOutstanding != 0 ||
+      txn.coreNotified)
+    return;
+  txn.coreNotified = true;
+
+  const NodeId tile = txn.requestor;
+  if (txn.unblockPending) {
+    // Step 3 of the three-way invalidation: let the L1 caches respond to
+    // requests for the block again.
+    Message unblock;
+    unblock.type = kBcastUnblock;
+    unblock.src = tile;
+    unblock.addr = block;
+    sendBroadcast(unblock);
+  }
+
+  if (txn.type == AccessType::Read) {
+    if (txn.becomeOwner) {
+      const L1State st = !txn.grantSharers.empty() ? L1State::O
+                         : txn.grantDirty          ? L1State::M
+                                                   : L1State::E;
+      installL1(tile, block, st, txn.grantDirty, txn.value, kInvalidNode,
+                txn.grantSharers);
+      txn.grantSharers.forEach([this, tile, block](NodeId s) {
+        stats_.hintMessages += 1;
+        Message hint;
+        hint.type = kHint;
+        hint.src = tile;
+        hint.dst = s;
+        hint.addr = block;
+        hint.requestor = tile;
+        send(hint);
+      });
+    } else if (txn.becomeProvider) {
+      installL1(tile, block, L1State::P, false, txn.value, txn.supplier,
+                NodeSet{});
+    } else {
+      installL1(tile, block, L1State::S, false, txn.value, txn.supplier,
+                NodeSet{});
+    }
+    recordRead(tile, txn.value);
+  } else {
+    installL1(tile, block, L1State::M, true, 0, kInvalidNode, NodeSet{});
+    L1Line* line = tileOf(tile).l1.find(block);
+    EECC_CHECK(line != nullptr);
+    line->value = commitWrite(block);
+  }
+  recordMiss(txn.cls, txn.start, txn.links);
+  auto done = std::move(txn.done);
+  txns_.erase(it);
+  releaseLine(block);
+  done();
+}
+
+void DiCoArinProtocol::onMessage(const Message& msg) {
+  switch (msg.type) {
+    case kReq:
+    case kFwd:
+      handleRequestAtL1(msg);
+      return;
+    case kReqHome:
+      handleRequestAtHome(msg);
+      return;
+
+    case kData:
+    case kProviderGrant:
+    case kOwnerGrant: {
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      Txn& txn = it->second;
+      txn.dataArrived = true;
+      txn.grantArrived = true;
+      txn.value = msg.value;
+      txn.supplier = msg.forwarder;
+      if (msg.type != kOwnerGrant) txn.ackCountKnown = true;
+      if (msg.type == kProviderGrant) txn.becomeProvider = true;
+      if (msg.forwarder != kInvalidNode && msg.forwarder != msg.dst) {
+        tileOf(msg.dst).l1c.update(msg.addr, msg.forwarder);
+        energy_.l1cUpdate += 1;
+      }
+      maybeCompleteAccess(msg.addr);
+      return;
+    }
+
+    case kAckCount: {
+      auto ackIt = txns_.find(msg.addr);
+      EECC_CHECK(ackIt != txns_.end());
+      ackIt->second.grantArrived = true;
+      maybeCompleteAccess(msg.addr);
+      return;
+    }
+
+    case kInval: {
+      const NodeId tile = msg.dst;
+      auto& tl = tileOf(tile);
+      energy_.l1TagProbe += 1;
+      if (L1Line* line = tl.l1.find(msg.addr)) line->valid = false;
+      if (msg.requestor != tile) {
+        tl.l1c.update(msg.addr, msg.requestor);
+        energy_.l1cUpdate += 1;
+      }
+      Message ack;
+      ack.type = kInvalAck;
+      ack.src = tile;
+      ack.dst = msg.requestor;
+      ack.addr = msg.addr;
+      after(cfg_.l1.tagLatency, [this, ack] { send(ack); });
+      return;
+    }
+
+    case kInvalAck: {
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      Txn& txn = it->second;
+      if (txn.background) {
+        txn.bgAcks -= 1;
+        if (txn.bgAcks == 0) {
+          const Addr block = msg.addr;
+          txns_.erase(it);
+          releaseLine(block);
+        }
+      } else {
+        txn.acksOutstanding -= 1;
+        EECC_CHECK(txn.acksOutstanding >= 0);
+        maybeCompleteAccess(msg.addr);
+      }
+      return;
+    }
+
+    case kBcastInval: {
+      // Step 1 arrives at every L1: invalidate any copy, block the line
+      // (implicit under transaction serialization) and ack (step 2).
+      const NodeId tile = msg.dst;
+      energy_.l1TagProbe += 1;
+      if (L1Line* line = tileOf(tile).l1.find(msg.addr))
+        line->valid = false;
+      if (msg.requestor != tile && msg.requestor != homeOf(msg.addr)) {
+        tileOf(tile).l1c.update(msg.addr, msg.requestor);
+        energy_.l1cUpdate += 1;
+      }
+      Message ack;
+      ack.type = kBcastAck;
+      ack.src = tile;
+      ack.dst = msg.requestor;
+      ack.addr = msg.addr;
+      after(cfg_.l1.tagLatency, [this, ack] { send(ack); });
+      return;
+    }
+
+    case kBcastAck: {
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      Txn& txn = it->second;
+      if (txn.background) {
+        txn.bgAcks -= 1;
+        if (txn.bgAcks == 0) {
+          // Step 3 from the home (L2 replacement case).
+          Message unblock;
+          unblock.type = kBcastUnblock;
+          unblock.src = txn.requestor;
+          unblock.addr = msg.addr;
+          sendBroadcast(unblock);
+          const Addr block = msg.addr;
+          txns_.erase(it);
+          releaseLine(block);
+        }
+      } else {
+        txn.acksOutstanding -= 1;
+        EECC_CHECK(txn.acksOutstanding >= 0);
+        maybeCompleteAccess(msg.addr);
+      }
+      return;
+    }
+
+    case kHint: {
+      if (msg.requestor != msg.dst) {
+        auto& tl = tileOf(msg.dst);
+        tl.l1c.update(msg.addr, msg.requestor);
+        energy_.l1cUpdate += 1;
+        if (L1Line* line = tl.l1.find(msg.addr))
+          if (line->state == L1State::S) line->supplier = msg.requestor;
+      }
+      return;
+    }
+
+    case kBcastUnblock:
+    case kChangeOwner:
+    case kChangeOwnerAck:
+    case kRelinquish:
+    case kGlobalize:
+    case kRecall:
+    case kRecallData:
+      return;
+
+    default:
+      EECC_CHECK_MSG(false, "unknown DiCo-Arin message");
+  }
+}
+
+// ------------------------------------------------------------ Introspection
+
+DiCoArinProtocol::LineView DiCoArinProtocol::l1Line(NodeId tile,
+                                                    Addr block) const {
+  const auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
+  LineView v;
+  if (const L1Line* line = l1.find(block)) {
+    v.valid = true;
+    v.value = line->value;
+    switch (line->state) {
+      case L1State::S: v.state = 'S'; break;
+      case L1State::E: v.state = 'E'; break;
+      case L1State::M: v.state = 'M'; break;
+      case L1State::O: v.state = 'O'; break;
+      case L1State::P: v.state = 'P'; break;
+    }
+  }
+  return v;
+}
+
+void DiCoArinProtocol::checkInvariants() const {
+  std::unordered_map<Addr, NodeId> ownerOfBlock;
+  std::unordered_map<Addr, std::vector<NodeId>> sharersOf;
+  std::unordered_map<Addr, std::vector<NodeId>> providersOf;
+
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
+        [&](const L1Line& line) {
+          if (lineBusy(line.addr)) return;
+          EECC_CHECK_MSG(line.value == committedValue(line.addr),
+                         "L1 copy holds a stale value");
+          if (line.isOwner()) {
+            EECC_CHECK_MSG(!ownerOfBlock.contains(line.addr),
+                           "two owners for one block");
+            ownerOfBlock[line.addr] = t;
+          } else if (line.state == L1State::P) {
+            providersOf[line.addr].push_back(t);
+          } else {
+            sharersOf[line.addr].push_back(t);
+          }
+        });
+  }
+
+  for (const auto& [block, owner] : ownerOfBlock) {
+    EECC_CHECK_MSG(l2cOwner(block) == owner,
+                   "L2C$ does not point at the L1 owner");
+    // Single-area invariant: all copies in the owner's area, covered by
+    // its map.
+    const L1Line* ol =
+        tiles_[static_cast<std::size_t>(owner)].l1.find(block);
+    if (auto it = sharersOf.find(block); it != sharersOf.end()) {
+      for (const NodeId s : it->second) {
+        EECC_CHECK_MSG(cfg_.areaOf(s) == cfg_.areaOf(owner),
+                       "single-area block has a copy outside the area");
+        EECC_CHECK_MSG(ol->areaSharers.contains(s),
+                       "shared copy not covered by the owner's map");
+      }
+    }
+    EECC_CHECK_MSG(!providersOf.contains(block),
+                   "provider copies coexist with an L1 owner");
+  }
+
+  // Global blocks: always present at the home in global mode.
+  for (const auto& [block, provs] : providersOf) {
+    (void)provs;
+    EECC_CHECK_MSG(isGlobal(block),
+                   "provider copies exist but the home L2 is not global");
+  }
+
+  for (NodeId h = 0; h < cfg_.tiles(); ++h) {
+    banks_[static_cast<std::size_t>(h)].l2.forEachValid(
+        [&](const L2Line& line) {
+          if (lineBusy(line.addr)) return;
+          if (l2cOwner(line.addr) != kInvalidNode) return;  // retained
+          EECC_CHECK_MSG(line.value == committedValue(line.addr),
+                         "L2 line holds a stale value");
+          if (line.mode == L2Mode::Global) {
+            // ProPos point into the right areas (they may be stale after
+            // silent provider evictions — that is the design).
+            for (std::size_t a = 0; a < kMaxAreas; ++a) {
+              const NodeId p = line.providers[a];
+              if (p == kInvalidNode) continue;
+              EECC_CHECK_MSG(
+                  cfg_.areaOf(p) == static_cast<AreaId>(a),
+                  "global ProPo points outside its area");
+            }
+          } else {
+            // Single-area L2-owned block: sharers confined to its area.
+            line.sharers.forEach([&](NodeId s) {
+              EECC_CHECK_MSG(cfg_.areaOf(s) == line.area,
+                             "L2-owned sharer outside the recorded area");
+            });
+          }
+        });
+  }
+
+  // Sharers without an L1 owner must be covered by the home L2.
+  for (const auto& [block, list] : sharersOf) {
+    if (ownerOfBlock.contains(block)) continue;
+    const Bank& bank = banks_[static_cast<std::size_t>(cfg_.homeOf(block))];
+    const L2Line* line = bank.l2.find(block);
+    EECC_CHECK_MSG(line != nullptr, "orphan shared copies");
+    if (line->mode == L2Mode::SingleAreaOwner) {
+      for (const NodeId s : list)
+        EECC_CHECK_MSG(line->sharers.contains(s),
+                       "L2-owned sharer not in the home map");
+    }
+    // Global mode: sharers are legal anywhere (broadcast covers them).
+  }
+}
+
+}  // namespace eecc

@@ -1,0 +1,165 @@
+// DiCo-Arin (Section III-B / IV-B).
+//
+// A simplification of DiCo-Providers for the virtualized scenario. Blocks
+// confined to one area behave exactly like DiCo (with an area-local sharing
+// map). The first read from a remote area dissolves the ownership: the
+// former owner becomes a provider, the data is copied to the home L2 —
+// which becomes a provider and the permanent ordering point — and the block
+// enters "global" mode. The home keeps only one provider pointer per area
+// (no sharer maps); every copy handed out makes its receiver a provider;
+// stale pointers are repaired through the forwarder identity carried by
+// forwarded requests. Invalidating a global block (write or L2 eviction)
+// uses the safe three-way broadcast: invalidate-broadcast, all-L1 acks,
+// unblock-broadcast.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+
+#include "cache/cache_array.h"
+#include "common/bits.h"
+#include "cache/coherence_cache.h"
+#include "cache/node_set.h"
+#include "protocols/protocol.h"
+
+namespace eecc {
+
+class DiCoArinProtocol final : public Protocol {
+ public:
+  static constexpr std::uint32_t kMaxAreas = 16;
+
+  DiCoArinProtocol(EventQueue& events, Network& net, const CmpConfig& cfg);
+
+  ProtocolKind kind() const override { return ProtocolKind::DiCoArin; }
+  bool tryHit(NodeId tile, Addr block, AccessType type) override;
+  void checkInvariants() const override;
+
+  struct LineView {
+    bool valid = false;
+    char state = 'I';  // I/S/E/M/O/P
+    std::uint64_t value = 0;
+  };
+  LineView l1Line(NodeId tile, Addr block) const;
+  NodeId l2cOwner(Addr block) const;
+  /// True when the block is currently in global (inter-area) mode at its
+  /// home L2 (test hook).
+  bool isGlobal(Addr block) const;
+
+ protected:
+  void startMiss(NodeId tile, Addr block, AccessType type,
+                 DoneFn done) override;
+  void onMessage(const Message& msg) override;
+
+ private:
+  enum class L1State : std::uint8_t { S, E, M, O, P };
+  enum class L2Mode : std::uint8_t { SingleAreaOwner, Global };
+
+  using ProPoArray = std::array<NodeId, kMaxAreas>;
+  static ProPoArray emptyProPos() {
+    ProPoArray a;
+    a.fill(kInvalidNode);
+    return a;
+  }
+
+  struct L1Line : CacheLineBase {
+    L1State state = L1State::S;
+    bool dirty = false;
+    std::uint64_t value = 0;
+    NodeId supplier = kInvalidNode;
+    NodeSet areaSharers;  ///< Local-area map (owner of single-area blocks).
+
+    bool isOwner() const {
+      return state == L1State::E || state == L1State::M ||
+             state == L1State::O;
+    }
+  };
+
+  struct L2Line : CacheLineBase {
+    L2Mode mode = L2Mode::SingleAreaOwner;
+    bool dirty = false;
+    std::uint64_t value = 0;
+    AreaId area = -1;      ///< Single-area mode: which area holds copies.
+    NodeSet sharers;       ///< Single-area mode sharing map.
+    ProPoArray providers = emptyProPos();  ///< Global mode ProPos.
+  };
+
+  struct Tile {
+    CacheArray<L1Line> l1;
+    CoherenceCache l1c;
+    explicit Tile(const CmpConfig& c)
+        : l1(c.l1.entries, c.l1.assoc), l1c(c.l1cEntries, c.l1cAssoc) {}
+  };
+  struct Bank {
+    CacheArray<L2Line> l2;
+    CoherenceCache l2c;
+    explicit Bank(const CmpConfig& c)
+        : l2(c.l2.entries, c.l2.assoc,
+             log2ceil(static_cast<std::uint64_t>(c.tiles()))),
+          l2c(c.l2cEntries, c.l2cAssoc,
+              log2ceil(static_cast<std::uint64_t>(c.tiles()))) {}
+  };
+
+  struct Txn {
+    NodeId requestor = kInvalidNode;
+    AccessType type = AccessType::Read;
+    DoneFn done;
+    Tick start = 0;
+    std::uint32_t links = 0;
+    bool predicted = false;
+    bool throughHome = false;
+    bool needsData = true;
+    std::int32_t acksOutstanding = 0;
+    bool ackCountKnown = false;
+    bool dataArrived = false;
+    bool grantArrived = false;  ///< Grant / ack-count message landed.
+    bool coreNotified = false;
+    bool unblockPending = false;  ///< Third broadcast step still owed.
+    std::uint64_t value = 0;
+    NodeId supplier = kInvalidNode;
+    MissClass cls = MissClass::UnpredL2;
+    bool becomeOwner = false;
+    bool becomeProvider = false;
+    bool grantDirty = false;
+    NodeSet grantSharers;
+    // Background L2-line eviction.
+    bool background = false;
+    std::int32_t bgAcks = 0;
+    bool bgGlobal = false;
+    bool bgDirty = false;
+    std::uint64_t bgValue = 0;
+  };
+
+  Tile& tileOf(NodeId t) { return tiles_[static_cast<std::size_t>(t)]; }
+  Bank& bankOf(NodeId h) { return banks_[static_cast<std::size_t>(h)]; }
+
+  // --- L1 management ---
+  void installL1(NodeId tile, Addr block, L1State state, bool dirty,
+                 std::uint64_t value, NodeId supplier, const NodeSet& sharers);
+  void evictL1Line(NodeId tile, L1Line& line);
+  void evictOwnerLine(NodeId tile, L1Line& line);
+
+  // --- Home management ---
+  void setL2cOwner(Addr block, NodeId owner);
+  void recallOwnership(Addr block, NodeId owner);
+  L2Line& storeAtL2(NodeId home, Addr block, std::uint64_t value, bool dirty);
+  void evictL2Line(NodeId home, L2Line& line);
+  /// Owner-side global transition: the owner L1 becomes a provider and the
+  /// block moves to the home L2 in global mode (Section III-B).
+  void globalizeFromOwner(NodeId owner, L1Line& line, NodeId firstRemote);
+
+  // --- Transaction steps ---
+  void handleRequestAtL1(const Message& msg);
+  void handleRequestAtHome(const Message& msg);
+  void serveGlobalRead(NodeId home, L2Line& line, const Message& msg);
+  void startGlobalWrite(NodeId home, L2Line& line, const Message& msg);
+  void ownerServeWrite(NodeId node, L1Line& line, const Message& msg);
+  void supplierServeRead(NodeId node, L1Line& line, const Message& msg,
+                         bool asProvider);
+  void maybeCompleteAccess(Addr block);
+
+  std::vector<Tile> tiles_;
+  std::vector<Bank> banks_;
+  std::unordered_map<Addr, Txn> txns_;
+};
+
+}  // namespace eecc

@@ -1,0 +1,1246 @@
+#include "protocols/dico_providers.h"
+
+
+
+namespace eecc {
+
+namespace {
+enum ProvMsg : std::uint16_t {
+  kReq = Protocol::kFirstProtocolMsg,  // requestor -> predicted supplier
+  kReqHome,        // requestor/forwarder -> home
+  kFwd,            // home -> owner L1 (precise)
+  kFwdProvider,    // owner/home -> provider in the requestor's area
+  kData,           // supplier -> requestor (plain sharer copy)
+  kProviderGrant,  // owner -> remote requestor (becomes its area's provider)
+  kOwnerGrant,     // ownership + data -> requestor
+  kAckCount,       // control grant for upgrades
+  kInval,          // supplier -> sharer
+  kInvalAck,       // sharer -> writer (or home on L2 eviction)
+  kInvalProvider,  // owner/home -> provider
+  kInvalProviderAck,  // provider -> writer/home (aux = its sharer count)
+  kChangeOwner,
+  kChangeOwnerAck,
+  kChangeProvider,
+  kChangeProviderAck,
+  kNoProvider,
+  kHint,
+  kRelinquish,
+  kRecall,
+  kRecallData
+};
+}  // namespace
+
+DiCoProvidersProtocol::DiCoProvidersProtocol(EventQueue& events, Network& net,
+                                             const CmpConfig& cfg)
+    : Protocol(events, net, cfg) {
+  EECC_CHECK_MSG(cfg_.numAreas <= kMaxAreas,
+                 "simulation supports at most kMaxAreas areas");
+  tiles_.reserve(static_cast<std::size_t>(cfg_.tiles()));
+  banks_.reserve(static_cast<std::size_t>(cfg_.tiles()));
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_.emplace_back(cfg_);
+    banks_.emplace_back(cfg_);
+  }
+}
+
+// ---------------------------------------------------------------- L1 side
+
+bool DiCoProvidersProtocol::tryHit(NodeId tile, Addr block, AccessType type) {
+  auto& tl = tileOf(tile);
+  energy_.l1TagProbe += 1;
+  L1Line* line = tl.l1.find(block);
+  if (line == nullptr) return false;
+  if (type == AccessType::Read) {
+    energy_.l1DataRead += 1;
+    tl.l1.touch(*line);
+    recordRead(tile, line->value);
+    return true;
+  }
+  if (line->state == L1State::M || line->state == L1State::E) {
+    line->state = L1State::M;
+    line->dirty = true;
+    line->value = commitWrite(block);
+    energy_.l1DataWrite += 1;
+    tl.l1.touch(*line);
+    return true;
+  }
+  if (line->state == L1State::O) {
+    energy_.l1DirRead += 1;
+    bool anyProvider = false;
+    for (const NodeId p : line->providers) anyProvider |= p != kInvalidNode;
+    NodeSet others = line->areaSharers;
+    others.erase(tile);
+    if (!anyProvider && others.empty()) {
+      line->state = L1State::M;
+      line->dirty = true;
+      line->value = commitWrite(block);
+      energy_.l1DataWrite += 1;
+      tl.l1.touch(*line);
+      return true;
+    }
+  }
+  return false;  // S / P / O-with-copies: a miss transaction is needed
+}
+
+void DiCoProvidersProtocol::installL1(NodeId tile, Addr block, L1State state,
+                                      bool dirty, std::uint64_t value,
+                                      NodeId supplier, const NodeSet& sharers,
+                                      const ProPoArray& providers) {
+  auto& l1 = tileOf(tile).l1;
+  L1Line* line = l1.find(block);
+  if (line == nullptr) {
+    L1Line* victim = l1.selectVictim(
+        block, [this](const L1Line& l) { return lineBusy(l.addr); });
+    if (victim == nullptr) victim = l1.selectVictim(block, nullptr);
+    EECC_CHECK(victim != nullptr);
+    if (victim->valid) evictL1Line(tile, *victim);
+    line = &l1.install(*victim, block);
+    energy_.l1TagProbe += 1;
+  } else {
+    l1.touch(*line);
+  }
+  line->state = state;
+  line->dirty = dirty;
+  line->value = value;
+  line->supplier = supplier;
+  line->areaSharers = sharers;
+  line->providers = providers;
+  energy_.l1DataWrite += 1;
+  if (state != L1State::S) energy_.l1DirUpdate += 1;
+}
+
+NodeId DiCoProvidersProtocol::findLiveSharer(Addr block,
+                                             const NodeSet& candidates,
+                                             NodeId except,
+                                             NodeId chargeFrom) {
+  NodeId heir = kInvalidNode;
+  candidates.forEach([&](NodeId s) {
+    if (heir != kInvalidNode || s == except) return;
+    if (tileOf(s).l1.find(block) != nullptr) {
+      heir = s;
+    } else {
+      // Stale sharer refuses the transfer (Section IV-A1): wasted hop.
+      Message probe;
+      probe.type = kChangeProvider;
+      probe.src = chargeFrom;
+      probe.dst = s;
+      probe.addr = block;
+      send(probe);
+    }
+  });
+  return heir;
+}
+
+void DiCoProvidersProtocol::evictL1Line(NodeId tile, L1Line& line) {
+  if (line.state == L1State::S) {
+    if (line.supplier != kInvalidNode) {
+      tileOf(tile).l1c.update(line.addr, line.supplier);
+      energy_.l1cUpdate += 1;
+    }
+    line.valid = false;
+    return;
+  }
+  if (line.state == L1State::P) {
+    evictProviderLine(tile, line);
+  } else {
+    evictOwnerLine(tile, line);
+  }
+  line.valid = false;
+}
+
+void DiCoProvidersProtocol::evictProviderLine(NodeId tile, L1Line& line) {
+  const Addr block = line.addr;
+  const AreaId area = areaOf(tile);
+  energy_.l1DirRead += 1;
+  NodeSet others = line.areaSharers;
+  others.erase(tile);
+  if (others.empty()) {
+    // A provider tracking no sharers evicts silently; the owner's ProPo
+    // goes stale and is repaired through the forwarder identity of the
+    // next bounced request (same mechanism DiCo-Arin formalizes). This
+    // avoids a No_Provider storm under heavy L1 churn.
+    if (line.supplier != kInvalidNode) {
+      tileOf(tile).l1c.update(block, line.supplier);
+      energy_.l1cUpdate += 1;
+    }
+    return;
+  }
+  const NodeId heir = findLiveSharer(block, line.areaSharers, tile, tile);
+  if (heir != kInvalidNode) {
+    // Providership + sharing code to a sharer; it tells the owner
+    // (Change_Provider, acknowledged) — Table II.
+    stats_.providershipTransfers += 1;
+    Message xfer;
+    xfer.type = kChangeProvider;
+    xfer.src = tile;
+    xfer.dst = heir;
+    xfer.addr = block;
+    send(xfer);
+    L1Line* heirLine = tileOf(heir).l1.find(block);
+    EECC_CHECK(heirLine != nullptr);
+    heirLine->state = L1State::P;
+    heirLine->dirty = false;
+    heirLine->areaSharers = line.areaSharers;
+    heirLine->areaSharers.erase(heir);
+    energy_.l1DirUpdate += 1;
+    updateProviderAtOwner(block, area, heir, heir);
+  } else {
+    updateProviderAtOwner(block, area, kInvalidNode, tile);
+  }
+}
+
+void DiCoProvidersProtocol::evictOwnerLine(NodeId tile, L1Line& line) {
+  const Addr block = line.addr;
+  energy_.l1DirRead += 1;
+  NodeSet locals = line.areaSharers;
+  locals.erase(tile);
+  const NodeId heir = findLiveSharer(block, locals, tile, tile);
+  if (heir != kInvalidNode) {
+    // Ownership + sharing code + ProPos to a local sharer (Table II).
+    stats_.ownershipTransfers += 1;
+    Message xfer;
+    xfer.type = kChangeOwner;
+    xfer.src = tile;
+    xfer.dst = heir;
+    xfer.addr = block;
+    send(xfer);
+    Message co;
+    co.type = kChangeOwner;
+    co.src = heir;
+    co.dst = homeOf(block);
+    co.addr = block;
+    send(co);
+    Message ack;
+    ack.type = kChangeOwnerAck;
+    ack.src = homeOf(block);
+    ack.dst = heir;
+    ack.addr = block;
+    send(ack);
+    NodeSet rest = locals;
+    rest.erase(heir);
+    rest.forEach([&](NodeId s) {
+      stats_.hintMessages += 1;
+      Message hint;
+      hint.type = kHint;
+      hint.src = tile;
+      hint.dst = s;
+      hint.addr = block;
+      hint.requestor = heir;
+      send(hint);
+    });
+    L1Line* heirLine = tileOf(heir).l1.find(block);
+    EECC_CHECK(heirLine != nullptr);
+    heirLine->state = L1State::O;
+    heirLine->dirty = line.dirty;
+    heirLine->areaSharers = rest;
+    heirLine->providers = line.providers;
+    energy_.l1DirUpdate += 1;
+    setL2cOwner(block, heir);
+    return;
+  }
+  // No local sharers: the ownership goes to the home (Table II), keeping
+  // the remote providers alive at the L2 entry.
+  bool anyProvider = false;
+  for (const NodeId p : line.providers) anyProvider |= p != kInvalidNode;
+  Bank& bank = bankOf(homeOf(block));
+  bank.l2c.invalidate(block);
+  energy_.l2cUpdate += 1;
+  if (anyProvider || line.dirty) {
+    if (line.dirty) stats_.writebacks += 1;
+    Message rel;
+    rel.type = kRelinquish;
+    rel.cls = line.dirty ? MsgClass::Data : MsgClass::Control;
+    rel.src = tile;
+    rel.dst = homeOf(block);
+    rel.addr = block;
+    rel.value = line.value;
+    send(rel);
+    storeAtL2(homeOf(block), block, line.value, line.dirty, line.providers);
+  } else {
+    Message note;
+    note.type = kRelinquish;
+    note.src = tile;
+    note.dst = homeOf(block);
+    note.addr = block;
+    send(note);
+    // Clean, no providers: the home's retained copy (if any) becomes the
+    // owner again; otherwise memory stays current and the block drops.
+    if (L2Line* l2line = bank.l2.find(block)) {
+      l2line->providers = emptyProPos();
+      energy_.l2DirUpdate += 1;
+    }
+  }
+}
+
+// --------------------------------------------------- Ownership bookkeeping
+
+DiCoProvidersProtocol::OwnerKind DiCoProvidersProtocol::ownerOf(Addr block,
+                                                                NodeId* node) {
+  Bank& bank = bankOf(homeOf(block));
+  if (auto owner = bank.l2c.lookup(block)) {
+    *node = *owner;
+    return OwnerKind::L1;
+  }
+  if (bank.l2.find(block) != nullptr) {
+    *node = homeOf(block);
+    return OwnerKind::HomeL2;
+  }
+  *node = kInvalidNode;
+  return OwnerKind::None;
+}
+
+NodeId DiCoProvidersProtocol::l2cOwner(Addr block) const {
+  const Bank& bank = banks_[static_cast<std::size_t>(cfg_.homeOf(block))];
+  return const_cast<CoherenceCache&>(bank.l2c).lookup(block)
+      .value_or(kInvalidNode);
+}
+
+NodeId DiCoProvidersProtocol::providerOf(Addr block, AreaId area) const {
+  auto* self = const_cast<DiCoProvidersProtocol*>(this);
+  NodeId node = kInvalidNode;
+  const OwnerKind kind = self->ownerOf(block, &node);
+  if (kind == OwnerKind::L1) {
+    const L1Line* line = self->tileOf(node).l1.find(block);
+    if (line == nullptr) return kInvalidNode;
+    return line->providers[static_cast<std::size_t>(area)];
+  }
+  if (kind == OwnerKind::HomeL2) {
+    const L2Line* line = self->bankOf(node).l2.find(block);
+    if (line == nullptr) return kInvalidNode;
+    return line->providers[static_cast<std::size_t>(area)];
+  }
+  return kInvalidNode;
+}
+
+void DiCoProvidersProtocol::setL2cOwner(Addr block, NodeId owner) {
+  Bank& bank = bankOf(homeOf(block));
+  energy_.l2cUpdate += 1;
+  if (auto displaced = bank.l2c.update(
+          block, owner, [this](Addr a) { return lineBusy(a); })) {
+    recallOwnership(displaced->first, displaced->second);
+  }
+}
+
+void DiCoProvidersProtocol::recallOwnership(Addr block, NodeId owner) {
+  // L2C$ entry eviction: the owner relinquishes the ownership and sends
+  // back the providers and data; it becomes the provider for its area
+  // (Section IV-A1).
+  const NodeId home = homeOf(block);
+  Message recall;
+  recall.type = kRecall;
+  recall.src = home;
+  recall.dst = owner;
+  recall.addr = block;
+  send(recall);
+
+  L1Line* line = tileOf(owner).l1.find(block);
+  if (line == nullptr) return;
+  EECC_CHECK(line->isOwner());
+  Message back;
+  back.type = kRecallData;
+  back.cls = line->dirty ? MsgClass::Data : MsgClass::Control;
+  back.src = owner;
+  back.dst = home;
+  back.addr = block;
+  back.value = line->value;
+  send(back);
+
+  ProPoArray provs = line->providers;
+  provs[static_cast<std::size_t>(areaOf(owner))] = owner;
+  storeAtL2(home, block, line->value, line->dirty, provs);
+  line->state = L1State::P;
+  line->dirty = false;
+  line->providers = emptyProPos();
+  energy_.l1DirUpdate += 1;
+  stats_.ownershipTransfers += 1;
+}
+
+void DiCoProvidersProtocol::storeAtL2(NodeId home, Addr block,
+                                      std::uint64_t value, bool dirty,
+                                      const ProPoArray& providers) {
+  Bank& bank = bankOf(home);
+  energy_.l2DataWrite += 1;
+  L2Line* line = bank.l2.find(block);
+  if (line == nullptr) {
+    L2Line* victim = bank.l2.selectVictim(
+        block, [this](const L2Line& l) { return lineBusy(l.addr); });
+    if (victim == nullptr) victim = bank.l2.selectVictim(block, nullptr);
+    EECC_CHECK(victim != nullptr);
+    if (victim->valid) evictL2Line(home, *victim);
+    line = &bank.l2.install(*victim, block);
+    line->dirty = false;
+  } else {
+    bank.l2.touch(*line);
+  }
+  line->value = value;
+  line->dirty = line->dirty || dirty;
+  line->providers = providers;
+  energy_.l2DirUpdate += 1;
+}
+
+void DiCoProvidersProtocol::evictL2Line(NodeId home, L2Line& line) {
+  stats_.l2Evictions += 1;
+  const Addr block = line.addr;
+  if (bankOf(home).l2c.lookup(block).has_value()) {
+    // Retained (possibly stale) copy under an L1 owner: drop silently —
+    // the owner holds the authoritative data and coherence info.
+    line.valid = false;
+    return;
+  }
+  const ProPoArray providers = line.providers;
+  if (line.dirty) {
+    energy_.l2DataRead += 1;
+    memWriteback(block, home, line.value);
+  }
+  line.valid = false;
+  bool anyProvider = false;
+  for (const NodeId p : providers) anyProvider |= p != kInvalidNode;
+  if (!anyProvider) return;
+  // The home acts as owner and requestor: invalidate the providers, which
+  // invalidate the sharers of their areas; all acks come back here.
+  withLine(block, [this, home, block, providers] {
+    Txn& txn = txns_[block];
+    txn = Txn{};
+    txn.background = true;
+    txn.requestor = home;
+    stats_.dirEvictionInvalidations += 1;
+    // Two-counter scheme as in foreground writes: provider acks carry the
+    // sharer counts, and sharer acks may transiently outrun them.
+    for (std::size_t a = 0; a < kMaxAreas; ++a) {
+      const NodeId p = providers[a];
+      if (p == kInvalidNode) continue;
+      txn.providerAcks += 1;
+      stats_.invalidationsSent += 1;
+      Message inv;
+      inv.type = kInvalProvider;
+      inv.src = home;
+      inv.dst = p;
+      inv.addr = block;
+      inv.requestor = home;
+      send(inv);
+    }
+    if (txn.providerAcks == 0) {
+      txns_.erase(block);
+      releaseLine(block);
+    }
+  });
+}
+
+void DiCoProvidersProtocol::updateProviderAtOwner(Addr block, AreaId area,
+                                                  NodeId provider,
+                                                  NodeId notifier) {
+  NodeId node = kInvalidNode;
+  const OwnerKind kind = ownerOf(block, &node);
+  if (kind == OwnerKind::None) return;
+  // Change_Provider / No_Provider notification + acknowledgement.
+  Message note;
+  note.type = provider == kInvalidNode ? kNoProvider : kChangeProvider;
+  note.src = notifier;
+  note.dst = node;
+  note.addr = block;
+  send(note);
+  Message ack;
+  ack.type = kChangeProviderAck;
+  ack.src = node;
+  ack.dst = notifier;
+  ack.addr = block;
+  send(ack);
+
+  if (kind == OwnerKind::L1) {
+    if (L1Line* line = tileOf(node).l1.find(block)) {
+      line->providers[static_cast<std::size_t>(area)] = provider;
+      energy_.l1DirUpdate += 1;
+    }
+  } else {
+    if (L2Line* line = bankOf(node).l2.find(block)) {
+      line->providers[static_cast<std::size_t>(area)] = provider;
+      energy_.l2DirUpdate += 1;
+    }
+  }
+}
+
+// ------------------------------------------------------------ Transactions
+
+void DiCoProvidersProtocol::startMiss(NodeId tile, Addr block,
+                                      AccessType type, DoneFn done) {
+  Txn& txn = txns_[block];
+  txn = Txn{};
+  txn.requestor = tile;
+  txn.type = type;
+  txn.done = std::move(done);
+  txn.start = events_.now();
+
+  auto& tl = tileOf(tile);
+  L1Line* line = tl.l1.find(block);
+
+  if (type == AccessType::Write && line != nullptr) {
+    txn.needsData = false;
+    stats_.upgrades += 1;
+    if (line->isOwner()) {
+      // The requestor is the ordering point: invalidate its area sharers
+      // and the providers locally.
+      energy_.l1DirRead += 1;
+      NodeSet targets = line->areaSharers;
+      targets.erase(tile);
+      txn.sharerAcks += targets.size();
+      targets.forEach([this, tile, block](NodeId s) {
+        stats_.invalidationsSent += 1;
+        Message inv;
+        inv.type = kInval;
+        inv.src = tile;
+        inv.dst = s;
+        inv.addr = block;
+        inv.requestor = tile;
+        after(cfg_.l1.tagLatency, [this, inv] { send(inv); });
+      });
+      invalidateProviders(line->providers, block, tile, tile, txn);
+      line->areaSharers.clear();
+      line->providers = emptyProPos();
+      txn.ackCountKnown = true;
+      txn.becomeOwner = true;
+      txn.grantArrived = true;
+      txn.cls = MissClass::PredOwnerHit;
+      maybeCompleteAccess(block);
+      return;
+    }
+    if (line->state == L1State::P) {
+      // "The requestor of a write request is a provider": it must
+      // invalidate its own area's sharers, but only after receiving the
+      // ownership (Section IV-A).
+      txn.selfSharers = line->areaSharers;
+      txn.selfSharers.erase(tile);
+    }
+  }
+
+  NodeId target = kInvalidNode;
+  if (cfg_.enablePrediction) {
+    energy_.l1cProbe += 1;
+    if (line != nullptr && line->supplier != kInvalidNode) {
+      target = line->supplier;
+    } else if (auto pred = tl.l1c.lookup(block)) {
+      target = *pred;
+    }
+    if (target == tile) target = kInvalidNode;
+  }
+
+  Message req;
+  req.addr = block;
+  req.requestor = tile;
+  req.src = tile;
+  req.aux = type == AccessType::Write ? 1 : 0;
+  if (target != kInvalidNode) {
+    txn.predicted = true;
+    req.type = kReq;
+    req.dst = target;
+  } else {
+    req.type = kReqHome;
+    req.dst = homeOf(block);
+  }
+  txn.links += static_cast<std::uint32_t>(distance(tile, req.dst));
+  send(req);
+}
+
+void DiCoProvidersProtocol::invalidateProviders(const ProPoArray& providers,
+                                                Addr block, NodeId from,
+                                                NodeId ackTo, Txn& txn) {
+  for (std::size_t a = 0; a < kMaxAreas; ++a) {
+    const NodeId p = providers[a];
+    if (p == kInvalidNode || p == ackTo) continue;
+    txn.providerAcks += 1;
+    stats_.invalidationsSent += 1;
+    Message inv;
+    inv.type = kInvalProvider;
+    inv.src = from;
+    inv.dst = p;
+    inv.addr = block;
+    inv.requestor = ackTo;
+    send(inv);
+  }
+}
+
+void DiCoProvidersProtocol::supplierServeRead(NodeId node, L1Line& line,
+                                              const Message& msg) {
+  auto it = txns_.find(msg.addr);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+  const NodeId requestor = msg.requestor;
+
+  energy_.l1DataRead += 1;
+  energy_.l1DirUpdate += 1;
+  line.areaSharers.insert(requestor);
+  if (line.state == L1State::P && sameArea(node, requestor))
+    stats_.providerResolvedMisses += 1;
+  // An exclusive owner now tracks coherence info: E/M collapse into O.
+  if (line.state == L1State::E || line.state == L1State::M)
+    line.state = L1State::O;
+  if (txn.cls == MissClass::UnpredL2) {  // not yet classified
+    if (txn.predicted && !txn.throughHome)
+      txn.cls = line.isOwner() ? MissClass::PredOwnerHit
+                               : MissClass::PredProviderHit;
+    else if (txn.predicted)
+      txn.cls = MissClass::PredMiss;
+    else
+      txn.cls = MissClass::UnpredOwner;
+  }
+  txn.links += static_cast<std::uint32_t>(distance(node, requestor));
+  Message data;
+  data.type = kData;
+  data.cls = MsgClass::Data;
+  data.src = node;
+  data.dst = requestor;
+  data.addr = msg.addr;
+  data.value = line.value;
+  data.forwarder = node;
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, data] { send(data); });
+}
+
+void DiCoProvidersProtocol::ownerServeWrite(NodeId node, L1Line& line,
+                                            const Message& msg) {
+  auto it = txns_.find(msg.addr);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+  const NodeId requestor = msg.requestor;
+  const Addr block = msg.addr;
+
+  energy_.l1DataRead += 1;
+  energy_.l1DirRead += 1;
+  // The owner invalidates its area's sharers and the providers; providers
+  // invalidate their own areas. All acks go to the requestor, tracked by
+  // the two MSHR counters (Section IV-A).
+  NodeSet targets = line.areaSharers;
+  targets.erase(requestor);
+  targets.erase(node);
+  txn.sharerAcks += targets.size();
+  targets.forEach([this, node, block, requestor](NodeId s) {
+    stats_.invalidationsSent += 1;
+    Message inv;
+    inv.type = kInval;
+    inv.src = node;
+    inv.dst = s;
+    inv.addr = block;
+    inv.requestor = requestor;
+    after(cfg_.l1.tagLatency, [this, inv] { send(inv); });
+  });
+  invalidateProviders(line.providers, block, node, requestor, txn);
+  txn.ackCountKnown = true;
+  txn.becomeOwner = true;
+
+  if (txn.cls == MissClass::UnpredL2) {
+    if (txn.predicted && !txn.throughHome) txn.cls = MissClass::PredOwnerHit;
+    else if (txn.predicted) txn.cls = MissClass::PredMiss;
+    else txn.cls = MissClass::UnpredOwner;
+  }
+  txn.links += static_cast<std::uint32_t>(distance(node, requestor));
+  Message grant;
+  grant.type = txn.needsData ? kOwnerGrant : kAckCount;
+  grant.cls = txn.needsData ? MsgClass::Data : MsgClass::Control;
+  grant.src = node;
+  grant.dst = requestor;
+  grant.addr = block;
+  grant.value = line.value;
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
+        [this, grant] { send(grant); });
+
+  Message co;
+  co.type = kChangeOwner;
+  co.src = node;
+  co.dst = homeOf(block);
+  co.addr = block;
+  send(co);
+  Message ack;
+  ack.type = kChangeOwnerAck;
+  ack.src = homeOf(block);
+  ack.dst = requestor;
+  ack.addr = block;
+  send(ack);
+  setL2cOwner(block, requestor);
+  stats_.ownershipTransfers += 1;
+  line.valid = false;
+}
+
+void DiCoProvidersProtocol::handleRequestAtL1(const Message& msg) {
+  const NodeId tile = msg.dst;
+  auto& tl = tileOf(tile);
+  energy_.l1TagProbe += 1;
+  L1Line* line = tl.l1.find(msg.addr);
+  const bool isWrite = msg.aux != 0;
+  const NodeId requestor = msg.requestor;
+
+  auto it = txns_.find(msg.addr);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+
+  // Fig. 5: a write request names the next owner; remember it.
+  if (isWrite && requestor != tile) {
+    tl.l1c.update(msg.addr, requestor);
+    energy_.l1cUpdate += 1;
+  }
+
+  if (isWrite) {
+    if (line != nullptr && line->isOwner()) {
+      ownerServeWrite(tile, *line, msg);
+      return;
+    }
+  } else if (line != nullptr) {
+    if (line->isOwner()) {
+      // Stale-ProPo repair: a request forwarded by the cache the owner
+      // believes to be a provider proves that cache no longer provides.
+      if (msg.forwarder != kInvalidNode) {
+        const auto fa = static_cast<std::size_t>(areaOf(msg.forwarder));
+        if (line->providers[fa] == msg.forwarder) {
+          line->providers[fa] = kInvalidNode;
+          energy_.l1DirUpdate += 1;
+        }
+      }
+      if (sameArea(requestor, tile)) {
+        supplierServeRead(tile, *line, msg);
+        return;
+      }
+      const AreaId aR = areaOf(requestor);
+      const NodeId provider = line->providers[static_cast<std::size_t>(aR)];
+      if (provider != kInvalidNode && provider != requestor) {
+        // Forward to the provider of the requestor's area (Table I).
+        if (txn.cls == MissClass::UnpredL2) {
+          if (txn.predicted && !txn.throughHome)
+            txn.cls = MissClass::PredOwnerHit;
+          else if (txn.predicted)
+            txn.cls = MissClass::PredMiss;
+          else
+            txn.cls = MissClass::UnpredOwner;
+        }
+        txn.links += static_cast<std::uint32_t>(distance(tile, provider));
+        Message fwd = msg;
+        fwd.type = kFwdProvider;
+        fwd.src = tile;
+        fwd.dst = provider;
+        after(cfg_.l1.tagLatency, [this, fwd] { send(fwd); });
+        return;
+      }
+      // No provider in the requestor's area: the requestor becomes one.
+      energy_.l1DataRead += 1;
+      energy_.l1DirUpdate += 1;
+      line->providers[static_cast<std::size_t>(aR)] = requestor;
+      if (line->state == L1State::E || line->state == L1State::M)
+        line->state = L1State::O;
+      if (txn.cls == MissClass::UnpredL2) {
+        if (txn.predicted && !txn.throughHome)
+          txn.cls = MissClass::PredOwnerHit;
+        else if (txn.predicted)
+          txn.cls = MissClass::PredMiss;
+        else
+          txn.cls = MissClass::UnpredOwner;
+      }
+      txn.becomeProvider = true;
+      txn.links += static_cast<std::uint32_t>(distance(tile, requestor));
+      Message grant;
+      grant.type = kProviderGrant;
+      grant.cls = MsgClass::Data;
+      grant.src = tile;
+      grant.dst = requestor;
+      grant.addr = msg.addr;
+      grant.value = line->value;
+      grant.forwarder = tile;
+      after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
+            [this, grant] { send(grant); });
+      return;
+    }
+    if (line->state == L1State::P && sameArea(requestor, tile)) {
+      supplierServeRead(tile, *line, msg);
+      return;
+    }
+  }
+  // Cannot act: forward to the home (misprediction or remote provider).
+  // The forwarder identity is a staleness signal (it triggers ProPo
+  // repair), so it is only set when this cache holds no supplier copy —
+  // a live provider forwarding a remote-area request is NOT stale.
+  txn.throughHome = true;
+  txn.links += static_cast<std::uint32_t>(distance(tile, homeOf(msg.addr)));
+  Message fwd = msg;
+  fwd.type = kReqHome;
+  fwd.src = tile;
+  fwd.dst = homeOf(msg.addr);
+  fwd.forwarder =
+      (line == nullptr || !line->isSupplier()) ? tile : kInvalidNode;
+  send(fwd);
+}
+
+void DiCoProvidersProtocol::handleRequestAtHome(const Message& msg) {
+  const NodeId home = msg.dst;
+  const NodeId requestor = msg.requestor;
+  const Addr block = msg.addr;
+  const bool isWrite = msg.aux != 0;
+  Bank& bank = bankOf(home);
+  energy_.l2TagProbe += 1;
+  energy_.l2cProbe += 1;
+
+  auto it = txns_.find(block);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+
+  if (auto owner = bank.l2c.lookup(block)) {
+    EECC_CHECK_MSG(*owner != requestor,
+                   "L2C$ points at the requestor of a miss");
+    txn.links += static_cast<std::uint32_t>(distance(home, *owner));
+    Message fwd = msg;
+    fwd.type = kFwd;
+    fwd.src = home;
+    fwd.dst = *owner;
+    after(cfg_.l2.tagLatency, [this, fwd] { send(fwd); });
+    return;
+  }
+
+  L2Line* line = bank.l2.find(block);
+  if (line != nullptr) {
+    energy_.l2DirRead += 1;
+    const AreaId aR = areaOf(requestor);
+    if (msg.forwarder != kInvalidNode) {
+      const auto fa = static_cast<std::size_t>(areaOf(msg.forwarder));
+      if (line->providers[fa] == msg.forwarder) {
+        line->providers[fa] = kInvalidNode;
+        energy_.l2DirUpdate += 1;
+      }
+    }
+    if (!isWrite) {
+      const NodeId provider = line->providers[static_cast<std::size_t>(aR)];
+      if (provider != kInvalidNode && provider != requestor) {
+        // Table I: L2 owner, provider exists -> forward to provider.
+        if (txn.cls == MissClass::UnpredL2 && txn.predicted)
+          txn.cls = MissClass::PredMiss;
+        else if (txn.cls == MissClass::UnpredL2)
+          txn.cls = MissClass::UnpredOwner;
+        txn.links += static_cast<std::uint32_t>(distance(home, provider));
+        Message fwd = msg;
+        fwd.type = kFwdProvider;
+        fwd.src = home;
+        fwd.dst = provider;
+        after(cfg_.l2.tagLatency, [this, fwd] { send(fwd); });
+        return;
+      }
+    }
+    energy_.l2DataRead += 1;
+    stats_.l2DataHits += 1;
+    if (!isWrite &&
+        bank.l2c.wouldDisplace(block, [this](Addr a) { return lineBusy(a); })) {
+      // Adaptive ownership placement: no L2C$ room to track a new L1
+      // owner — keep the ownership at the home and make the requestor
+      // its area's provider instead (it is tracked through the ProPo).
+      line->providers[static_cast<std::size_t>(areaOf(requestor))] =
+          requestor;
+      energy_.l2DirUpdate += 1;
+      if (txn.cls == MissClass::UnpredL2 && txn.predicted)
+        txn.cls = MissClass::PredMiss;
+      txn.links += static_cast<std::uint32_t>(distance(home, requestor));
+      Message grant;
+      grant.type = kProviderGrant;
+      grant.cls = MsgClass::Data;
+      grant.src = home;
+      grant.dst = requestor;
+      grant.addr = block;
+      grant.value = line->value;
+      after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
+            [this, grant] { send(grant); });
+      return;
+    }
+    // The requestor becomes the owner (Table I: read with no supplier in
+    // its area, or any write). Writes also invalidate all providers.
+    if (isWrite) {
+      invalidateProviders(line->providers, block, home, requestor, txn);
+      txn.grantProviders = emptyProPos();
+    } else {
+      txn.grantProviders = line->providers;
+    }
+    txn.ackCountKnown = true;
+    txn.becomeOwner = true;
+    txn.grantDirty = line->dirty;
+    if (txn.cls == MissClass::UnpredL2 && txn.predicted)
+      txn.cls = MissClass::PredMiss;
+    txn.links += static_cast<std::uint32_t>(distance(home, requestor));
+    Message grant;
+    grant.type = txn.needsData ? kOwnerGrant : kAckCount;
+    grant.cls = txn.needsData ? MsgClass::Data : MsgClass::Control;
+    grant.src = home;
+    grant.dst = requestor;
+    grant.addr = block;
+    grant.value = line->value;
+    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
+          [this, grant] { send(grant); });
+    // Non-inclusive retention: the copy stays while the L1 owns the block
+    // (never served; refreshed by a dirty relinquish/recall). The ProPos
+    // moved to the new owner.
+    line->dirty = false;
+    line->providers = emptyProPos();
+    setL2cOwner(block, requestor);
+    return;
+  }
+
+  // Off-chip. Adaptive ownership placement (see DESIGN.md): read fills
+  // migrate the ownership to the requestor only if the L2C$ can track it;
+  // otherwise the home owns the filled line and the requestor becomes
+  // its area's provider.
+  txn.ackCountKnown = true;
+  txn.cls = MissClass::Memory;
+  txn.links += static_cast<std::uint32_t>(
+      distance(home, cfg_.memControllerOf(block)) +
+      distance(cfg_.memControllerOf(block), requestor));
+  storeAtL2(home, block, memoryValue(block), /*dirty=*/false,
+            emptyProPos());
+  if (isWrite ||
+      !bank.l2c.wouldDisplace(block, [this](Addr a) { return lineBusy(a); })) {
+    txn.becomeOwner = true;
+    setL2cOwner(block, requestor);
+  } else {
+    txn.becomeProvider = true;
+    L2Line* fillLine = bank.l2.find(block);
+    EECC_CHECK(fillLine != nullptr);
+    fillLine->providers[static_cast<std::size_t>(areaOf(requestor))] =
+        requestor;
+    energy_.l2DirUpdate += 1;
+  }
+  memFetch(block, home, requestor, [this, block](std::uint64_t value) {
+    auto t = txns_.find(block);
+    EECC_CHECK(t != txns_.end());
+    t->second.dataArrived = true;
+    t->second.grantArrived = true;
+    t->second.value = value;
+    maybeCompleteAccess(block);
+  });
+}
+
+void DiCoProvidersProtocol::maybeCompleteBackground(Addr block) {
+  auto it = txns_.find(block);
+  EECC_CHECK(it != txns_.end() && it->second.background);
+  if (it->second.providerAcks != 0 || it->second.sharerAcks != 0) return;
+  txns_.erase(it);
+  releaseLine(block);
+}
+
+void DiCoProvidersProtocol::maybeCompleteAccess(Addr block) {
+  auto it = txns_.find(block);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+  EECC_CHECK(!txn.background);
+
+  const bool dataReady =
+      txn.dataArrived || (!txn.needsData && txn.grantArrived);
+  if (!dataReady || !txn.ackCountKnown) return;
+
+  // A writing provider sends its own area's invalidations only once it
+  // holds the ownership (Section IV-A special case).
+  if (txn.type == AccessType::Write && !txn.selfSharers.empty()) {
+    const NodeSet targets = txn.selfSharers;
+    txn.selfSharers.clear();
+    txn.sharerAcks += targets.size();
+    targets.forEach([this, block, tile = txn.requestor](NodeId s) {
+      stats_.invalidationsSent += 1;
+      Message inv;
+      inv.type = kInval;
+      inv.src = tile;
+      inv.dst = s;
+      inv.addr = block;
+      inv.requestor = tile;
+      send(inv);
+    });
+  }
+  if (txn.providerAcks != 0 || txn.sharerAcks != 0 || txn.coreNotified)
+    return;
+  txn.coreNotified = true;
+
+  const NodeId tile = txn.requestor;
+  if (txn.type == AccessType::Read) {
+    if (txn.becomeOwner) {
+      bool anyProvider = false;
+      for (const NodeId p : txn.grantProviders)
+        anyProvider |= p != kInvalidNode;
+      const L1State st = anyProvider || !txn.grantSharers.empty()
+                             ? L1State::O
+                         : txn.grantDirty ? L1State::M
+                                          : L1State::E;
+      installL1(tile, block, st, txn.grantDirty, txn.value, kInvalidNode,
+                txn.grantSharers, txn.grantProviders);
+    } else if (txn.becomeProvider) {
+      installL1(tile, block, L1State::P, false, txn.value, txn.supplier,
+                NodeSet{}, emptyProPos());
+    } else {
+      installL1(tile, block, L1State::S, false, txn.value, txn.supplier,
+                NodeSet{}, emptyProPos());
+    }
+    recordRead(tile, txn.value);
+  } else {
+    installL1(tile, block, L1State::M, true, 0, kInvalidNode, NodeSet{},
+              emptyProPos());
+    L1Line* line = tileOf(tile).l1.find(block);
+    EECC_CHECK(line != nullptr);
+    line->value = commitWrite(block);
+  }
+  recordMiss(txn.cls, txn.start, txn.links);
+  auto done = std::move(txn.done);
+  txns_.erase(it);
+  releaseLine(block);
+  done();
+}
+
+void DiCoProvidersProtocol::onMessage(const Message& msg) {
+  switch (msg.type) {
+    case kReq:
+    case kFwd:
+      handleRequestAtL1(msg);
+      return;
+
+    case kFwdProvider: {
+      const NodeId tile = msg.dst;
+      energy_.l1TagProbe += 1;
+      L1Line* line = tileOf(tile).l1.find(msg.addr);
+      if (line != nullptr && line->isSupplier()) {
+        supplierServeRead(tile, *line, msg);
+        return;
+      }
+      // Stale forward: bounce through the home.
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      it->second.throughHome = true;
+      it->second.links += static_cast<std::uint32_t>(
+          distance(tile, homeOf(msg.addr)));
+      Message fwd = msg;
+      fwd.type = kReqHome;
+      fwd.src = tile;
+      fwd.dst = homeOf(msg.addr);
+      fwd.forwarder = tile;
+      send(fwd);
+      return;
+    }
+
+    case kReqHome:
+      handleRequestAtHome(msg);
+      return;
+
+    case kData:
+    case kProviderGrant:
+    case kOwnerGrant: {
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      Txn& txn = it->second;
+      txn.dataArrived = true;
+      txn.grantArrived = true;
+      txn.value = msg.value;
+      txn.supplier = msg.forwarder;
+      if (msg.type == kData || msg.type == kProviderGrant)
+        txn.ackCountKnown = true;
+      if (msg.type == kProviderGrant) txn.becomeProvider = true;
+      if (msg.forwarder != kInvalidNode && msg.forwarder != msg.dst) {
+        tileOf(msg.dst).l1c.update(msg.addr, msg.forwarder);
+        energy_.l1cUpdate += 1;
+      }
+      maybeCompleteAccess(msg.addr);
+      return;
+    }
+
+    case kAckCount: {
+      auto ackIt = txns_.find(msg.addr);
+      EECC_CHECK(ackIt != txns_.end());
+      ackIt->second.grantArrived = true;
+      maybeCompleteAccess(msg.addr);
+      return;
+    }
+
+    case kInval: {
+      const NodeId tile = msg.dst;
+      auto& tl = tileOf(tile);
+      energy_.l1TagProbe += 1;
+      if (L1Line* line = tl.l1.find(msg.addr)) line->valid = false;
+      if (msg.requestor != tile) {
+        tl.l1c.update(msg.addr, msg.requestor);
+        energy_.l1cUpdate += 1;
+      }
+      Message ack;
+      ack.type = kInvalAck;
+      ack.src = tile;
+      ack.dst = msg.requestor;
+      ack.addr = msg.addr;
+      after(cfg_.l1.tagLatency, [this, ack] { send(ack); });
+      return;
+    }
+
+    case kInvalAck: {
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      it->second.sharerAcks -= 1;
+      if (it->second.background) maybeCompleteBackground(msg.addr);
+      else maybeCompleteAccess(msg.addr);
+      return;
+    }
+
+    case kInvalProvider: {
+      const NodeId tile = msg.dst;
+      auto& tl = tileOf(tile);
+      energy_.l1TagProbe += 1;
+      std::uint64_t count = 0;
+      if (L1Line* line = tl.l1.find(msg.addr)) {
+        energy_.l1DirRead += 1;
+        NodeSet targets = line->areaSharers;
+        targets.erase(tile);
+        targets.erase(msg.requestor);
+        count = static_cast<std::uint64_t>(targets.size());
+        targets.forEach([this, tile, &msg](NodeId s) {
+          stats_.invalidationsSent += 1;
+          Message inv;
+          inv.type = kInval;
+          inv.src = tile;
+          inv.dst = s;
+          inv.addr = msg.addr;
+          inv.requestor = msg.requestor;
+          send(inv);
+        });
+        line->valid = false;
+      }
+      if (msg.requestor != tile) {
+        tl.l1c.update(msg.addr, msg.requestor);
+        energy_.l1cUpdate += 1;
+      }
+      Message ack;
+      ack.type = kInvalProviderAck;
+      ack.src = tile;
+      ack.dst = msg.requestor;
+      ack.addr = msg.addr;
+      ack.aux = count;
+      after(cfg_.l1.tagLatency, [this, ack] { send(ack); });
+      return;
+    }
+
+    case kInvalProviderAck: {
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      Txn& txn = it->second;
+      txn.providerAcks -= 1;
+      txn.sharerAcks += static_cast<std::int32_t>(msg.aux);
+      EECC_CHECK(txn.providerAcks >= 0);
+      if (txn.background) maybeCompleteBackground(msg.addr);
+      else maybeCompleteAccess(msg.addr);
+      return;
+    }
+
+    case kHint: {
+      if (msg.requestor != msg.dst) {
+        auto& tl = tileOf(msg.dst);
+        tl.l1c.update(msg.addr, msg.requestor);
+        energy_.l1cUpdate += 1;
+        if (L1Line* line = tl.l1.find(msg.addr))
+          if (line->state == L1State::S) line->supplier = msg.requestor;
+      }
+      return;
+    }
+
+    // Handshake / notification traffic whose state effects were applied
+    // atomically at the initiator.
+    case kChangeOwner:
+    case kChangeOwnerAck:
+    case kChangeProvider:
+    case kChangeProviderAck:
+    case kNoProvider:
+    case kRelinquish:
+    case kRecall:
+    case kRecallData:
+      return;
+
+    default:
+      EECC_CHECK_MSG(false, "unknown DiCo-Providers message");
+  }
+}
+
+// ------------------------------------------------------------ Introspection
+
+DiCoProvidersProtocol::LineView DiCoProvidersProtocol::l1Line(
+    NodeId tile, Addr block) const {
+  const auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
+  LineView v;
+  if (const L1Line* line = l1.find(block)) {
+    v.valid = true;
+    v.value = line->value;
+    v.sharerCount = line->areaSharers.size();
+    for (const NodeId p : line->providers)
+      if (p != kInvalidNode) v.providerCount += 1;
+    switch (line->state) {
+      case L1State::S: v.state = 'S'; break;
+      case L1State::E: v.state = 'E'; break;
+      case L1State::M: v.state = 'M'; break;
+      case L1State::O: v.state = 'O'; break;
+      case L1State::P: v.state = 'P'; break;
+    }
+  }
+  return v;
+}
+
+void DiCoProvidersProtocol::checkInvariants() const {
+  auto* self = const_cast<DiCoProvidersProtocol*>(this);
+  std::unordered_map<Addr, NodeId> ownerOfBlock;
+  std::unordered_map<Addr, std::vector<NodeId>> sharersOf;
+  std::unordered_map<Addr, std::vector<NodeId>> providersOf;
+
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
+        [&](const L1Line& line) {
+          if (lineBusy(line.addr)) return;
+          EECC_CHECK_MSG(line.value == committedValue(line.addr),
+                         "L1 copy holds a stale value");
+          if (line.isOwner()) {
+            EECC_CHECK_MSG(!ownerOfBlock.contains(line.addr),
+                           "two owners for one block");
+            ownerOfBlock[line.addr] = t;
+          } else if (line.state == L1State::P) {
+            providersOf[line.addr].push_back(t);
+          } else {
+            sharersOf[line.addr].push_back(t);
+          }
+        });
+  }
+
+  // L2C$ precision and owner/L2 exclusivity.
+  for (const auto& [block, owner] : ownerOfBlock) {
+    EECC_CHECK_MSG(l2cOwner(block) == owner,
+                   "L2C$ does not point at the L1 owner");
+  }
+
+  // Every provider must be registered at the owner for its area.
+  for (const auto& [block, provs] : providersOf) {
+    for (const NodeId p : provs) {
+      EECC_CHECK_MSG(self->providerOf(block, cfg_.areaOf(p)) == p,
+                     "provider not registered at the owner");
+    }
+  }
+
+  // Every shared copy must be covered by a supplier of its area.
+  for (const auto& [block, list] : sharersOf) {
+    for (const NodeId s : list) {
+      const AreaId a = cfg_.areaOf(s);
+      bool covered = false;
+      if (auto it = ownerOfBlock.find(block);
+          it != ownerOfBlock.end() && cfg_.areaOf(it->second) == a) {
+        const L1Line* ol =
+            tiles_[static_cast<std::size_t>(it->second)].l1.find(block);
+        covered = ol != nullptr && ol->areaSharers.contains(s);
+      }
+      if (!covered) {
+        const NodeId p = self->providerOf(block, a);
+        if (p != kInvalidNode) {
+          const L1Line* pl =
+              tiles_[static_cast<std::size_t>(p)].l1.find(block);
+          covered = pl != nullptr && (p == s || pl->areaSharers.contains(s));
+        }
+      }
+      EECC_CHECK_MSG(covered, "shared copy not covered by any area supplier");
+    }
+  }
+
+  // L2-owned lines hold the committed value (retained copies under an L1
+  // owner may be stale by design).
+  for (NodeId h = 0; h < cfg_.tiles(); ++h) {
+    banks_[static_cast<std::size_t>(h)].l2.forEachValid(
+        [&](const L2Line& line) {
+          if (lineBusy(line.addr)) return;
+          if (l2cOwner(line.addr) != kInvalidNode) return;
+          EECC_CHECK_MSG(line.value == committedValue(line.addr),
+                         "home-owned L2 line holds a stale value");
+        });
+  }
+}
+
+}  // namespace eecc

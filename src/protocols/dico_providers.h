@@ -1,0 +1,177 @@
+// DiCo-Providers (Section III-A / IV-A).
+//
+// The chip is statically divided into areas. Coherence information is kept
+// per area: the owner L1 tracks the sharers of *its* area (full map of nta
+// bits) plus one provider pointer (ProPo) per remote area; each provider
+// tracks the sharers of its own area. A read from a remote area is served
+// by (or creates) a provider in the requestor's area, so misses to data
+// shared between areas — deduplicated pages — resolve inside the area
+// ("shortened misses") while a single copy stays in the shared L2.
+// The owner remains the only ordering point (one-level protocol).
+#pragma once
+
+#include <array>
+#include <unordered_map>
+
+#include "cache/cache_array.h"
+#include "common/bits.h"
+#include "cache/coherence_cache.h"
+#include "cache/node_set.h"
+#include "protocols/protocol.h"
+
+namespace eecc {
+
+class DiCoProvidersProtocol final : public Protocol {
+ public:
+  /// Simulation supports up to this many areas (analytic storage results
+  /// for larger splits come from energy/storage_model.h).
+  static constexpr std::uint32_t kMaxAreas = 16;
+
+  DiCoProvidersProtocol(EventQueue& events, Network& net,
+                        const CmpConfig& cfg);
+
+  ProtocolKind kind() const override { return ProtocolKind::DiCoProviders; }
+  bool tryHit(NodeId tile, Addr block, AccessType type) override;
+  void checkInvariants() const override;
+
+  struct LineView {
+    bool valid = false;
+    char state = 'I';  // I/S/E/M/O/P
+    std::uint64_t value = 0;
+    std::int32_t sharerCount = 0;
+    std::int32_t providerCount = 0;
+  };
+  LineView l1Line(NodeId tile, Addr block) const;
+  NodeId l2cOwner(Addr block) const;
+  /// The provider recorded for (block, area) at the current owner, or
+  /// kInvalidNode (test hook).
+  NodeId providerOf(Addr block, AreaId area) const;
+
+ protected:
+  void startMiss(NodeId tile, Addr block, AccessType type,
+                 DoneFn done) override;
+  void onMessage(const Message& msg) override;
+
+ private:
+  enum class L1State : std::uint8_t { S, E, M, O, P };
+
+  using ProPoArray = std::array<NodeId, kMaxAreas>;
+  static ProPoArray emptyProPos() {
+    ProPoArray a;
+    a.fill(kInvalidNode);
+    return a;
+  }
+
+  struct L1Line : CacheLineBase {
+    L1State state = L1State::S;
+    bool dirty = false;
+    std::uint64_t value = 0;
+    NodeId supplier = kInvalidNode;  ///< Embedded prediction GenPo.
+    NodeSet areaSharers;             ///< Local-area sharing map (owner/provider).
+    ProPoArray providers = emptyProPos();  ///< Per-area ProPos (owner only).
+
+    bool isOwner() const {
+      return state == L1State::E || state == L1State::M ||
+             state == L1State::O;
+    }
+    bool isSupplier() const { return isOwner() || state == L1State::P; }
+  };
+
+  struct L2Line : CacheLineBase {
+    bool dirty = false;
+    std::uint64_t value = 0;
+    ProPoArray providers = emptyProPos();  ///< When the home L2 is owner.
+  };
+
+  struct Tile {
+    CacheArray<L1Line> l1;
+    CoherenceCache l1c;
+    explicit Tile(const CmpConfig& c)
+        : l1(c.l1.entries, c.l1.assoc), l1c(c.l1cEntries, c.l1cAssoc) {}
+  };
+  struct Bank {
+    CacheArray<L2Line> l2;
+    CoherenceCache l2c;
+    explicit Bank(const CmpConfig& c)
+        : l2(c.l2.entries, c.l2.assoc,
+             log2ceil(static_cast<std::uint64_t>(c.tiles()))),
+          l2c(c.l2cEntries, c.l2cAssoc,
+              log2ceil(static_cast<std::uint64_t>(c.tiles()))) {}
+  };
+
+  struct Txn {
+    NodeId requestor = kInvalidNode;
+    AccessType type = AccessType::Read;
+    DoneFn done;
+    Tick start = 0;
+    std::uint32_t links = 0;
+    bool predicted = false;
+    bool throughHome = false;
+    bool needsData = true;
+    // Write invalidation: the two MSHR counters of Section IV-A.
+    std::int32_t providerAcks = 0;
+    std::int32_t sharerAcks = 0;
+    bool ackCountKnown = false;
+    bool dataArrived = false;
+    bool grantArrived = false;  ///< Grant / ack-count message landed.
+    bool coreNotified = false;
+    std::uint64_t value = 0;
+    NodeId supplier = kInvalidNode;
+    MissClass cls = MissClass::UnpredL2;
+    // Grant contents.
+    bool becomeOwner = false;
+    bool becomeProvider = false;
+    bool grantDirty = false;
+    NodeSet grantSharers;
+    ProPoArray grantProviders = emptyProPos();
+    // Self-invalidation when the writing requestor was a provider.
+    NodeSet selfSharers;
+    // Background L2-owner eviction.
+    bool background = false;
+    std::int32_t bgAcks = 0;
+  };
+
+  Tile& tileOf(NodeId t) { return tiles_[static_cast<std::size_t>(t)]; }
+  Bank& bankOf(NodeId h) { return banks_[static_cast<std::size_t>(h)]; }
+  std::uint32_t areas() const { return cfg_.numAreas; }
+
+  // --- L1 management ---
+  void installL1(NodeId tile, Addr block, L1State state, bool dirty,
+                 std::uint64_t value, NodeId supplier, const NodeSet& sharers,
+                 const ProPoArray& providers);
+  void evictL1Line(NodeId tile, L1Line& line);
+  void evictProviderLine(NodeId tile, L1Line& line);
+  void evictOwnerLine(NodeId tile, L1Line& line);
+  NodeId findLiveSharer(Addr block, const NodeSet& candidates, NodeId except,
+                        NodeId chargeFrom);
+
+  // --- Ownership bookkeeping ---
+  /// Current owner location: an L1 tile, the home (L2 owner), or none.
+  enum class OwnerKind { None, L1, HomeL2 };
+  OwnerKind ownerOf(Addr block, NodeId* node);
+  void setL2cOwner(Addr block, NodeId owner);
+  void recallOwnership(Addr block, NodeId owner);
+  void storeAtL2(NodeId home, Addr block, std::uint64_t value, bool dirty,
+                 const ProPoArray& providers);
+  void evictL2Line(NodeId home, L2Line& line);
+  /// Atomically updates the provider pointer for (block, area) at the
+  /// current owner (L1 line or home L2 line), charging the message.
+  void updateProviderAtOwner(Addr block, AreaId area, NodeId provider,
+                             NodeId notifier);
+
+  // --- Transaction steps ---
+  void handleRequestAtL1(const Message& msg);
+  void handleRequestAtHome(const Message& msg);
+  void supplierServeRead(NodeId node, L1Line& line, const Message& msg);
+  void ownerServeWrite(NodeId node, L1Line& line, const Message& msg);
+  void invalidateProviders(const ProPoArray& providers, Addr block,
+                           NodeId from, NodeId ackTo, Txn& txn);
+  void maybeCompleteAccess(Addr block);
+  void maybeCompleteBackground(Addr block);
+
+  std::vector<Tile> tiles_;
+  std::vector<Bank> banks_;
+  std::unordered_map<Addr, Txn> txns_;
+};
+
+}  // namespace eecc

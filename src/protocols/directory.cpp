@@ -1,0 +1,816 @@
+#include "protocols/directory.h"
+
+namespace eecc {
+
+namespace {
+
+// Expands a precise sharer set to the set the directory's sharing code can
+// actually express. Coarse vectors invalidate whole groups (spurious
+// invalidations to non-holders, which simply ack); limited pointers track
+// up to N sharers precisely and fall back to broadcast-to-all on overflow.
+NodeSet expandSharingCode(const NodeSet& sharers, SharingCode code,
+                          std::int32_t tiles) {
+  std::int32_t group = 1;
+  std::int32_t ptrLimit = 0;
+  switch (code) {
+    case SharingCode::FullMap:
+      return sharers;
+    case SharingCode::CoarseVector2:
+      group = 2;
+      break;
+    case SharingCode::CoarseVector4:
+      group = 4;
+      break;
+    case SharingCode::LimitedPtr2:
+      ptrLimit = 2;
+      break;
+    case SharingCode::LimitedPtr4:
+      ptrLimit = 4;
+      break;
+  }
+  if (ptrLimit > 0) {
+    if (sharers.size() <= ptrLimit) return sharers;
+    NodeSet all;
+    for (NodeId t = 0; t < tiles; ++t) all.insert(t);
+    return all;
+  }
+  NodeSet expanded;
+  sharers.forEach([&](NodeId s) {
+    const NodeId base = (s / group) * group;
+    for (NodeId t = base; t < base + group && t < tiles; ++t)
+      expanded.insert(t);
+  });
+  return expanded;
+}
+
+enum DirMsg : std::uint16_t {
+  kReadReq = Protocol::kFirstProtocolMsg,  // requestor -> home (or bounce)
+  kWriteReq,                               // requestor -> home (or bounce)
+  kFwdRead,                                // home -> owner L1
+  kFwdWrite,                               // home -> owner L1
+  kData,                                   // supplier -> requestor
+  kAckCount,    // home -> requestor: #invalidation acks (upgrade path)
+  kInval,       // home -> sharer
+  kInvalAck,    // sharer -> requestor
+  kWbOwner,     // dirty owner -> home after a forwarded read
+  kWbL1Data,    // L1 M-eviction writeback -> home
+  kWbL1Clean,   // L1 E-eviction notice -> home
+  kDirInval,    // home -> holder (directory-entry eviction)
+  kDirInvalAck,     // holder -> home
+  kDirInvalAckData  // dirty holder -> home (carries the block)
+};
+}  // namespace
+
+DirectoryProtocol::DirectoryProtocol(EventQueue& events, Network& net,
+                                     const CmpConfig& cfg)
+    : Protocol(events, net, cfg) {
+  tiles_.reserve(static_cast<std::size_t>(cfg_.tiles()));
+  banks_.reserve(static_cast<std::size_t>(cfg_.tiles()));
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_.emplace_back(cfg_);
+    banks_.emplace_back(cfg_);
+  }
+}
+
+// ---------------------------------------------------------------- L1 side
+
+bool DirectoryProtocol::tryHit(NodeId tile, Addr block, AccessType type) {
+  auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
+  energy_.l1TagProbe += 1;
+  L1Line* line = l1.find(block);
+  if (line == nullptr) return false;
+  if (type == AccessType::Read) {
+    energy_.l1DataRead += 1;
+    l1.touch(*line);
+    recordRead(tile, line->value);
+    return true;
+  }
+  if (line->state == L1State::S) return false;  // upgrade needed
+  line->state = L1State::M;
+  line->value = commitWrite(block);
+  energy_.l1DataWrite += 1;
+  l1.touch(*line);
+  return true;
+}
+
+void DirectoryProtocol::installL1(NodeId tile, Addr block, L1State state,
+                                  std::uint64_t value) {
+  auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
+  if (L1Line* existing = l1.find(block)) {
+    existing->state = state;
+    existing->value = value;
+    l1.touch(*existing);
+    energy_.l1DataWrite += 1;
+    return;
+  }
+  L1Line* victim = l1.selectVictim(
+      block, [this](const L1Line& l) { return lineBusy(l.addr); });
+  if (victim == nullptr) {
+    // Every way busy with in-flight transactions (pathological); fall back
+    // to plain LRU — handlers tolerate lines vanishing under them.
+    victim = l1.selectVictim(block, nullptr);
+  }
+  EECC_CHECK(victim != nullptr);
+  if (victim->valid) evictL1Line(tile, *victim);
+  L1Line& line = l1.install(*victim, block);
+  line.state = state;
+  line.value = value;
+  energy_.l1DataWrite += 1;
+  energy_.l1TagProbe += 1;
+}
+
+void DirectoryProtocol::evictL1Line(NodeId tile, L1Line& line) {
+  if (line.state == L1State::S) {
+    // Silent eviction; the home's sharer vector becomes a stale superset.
+    line.valid = false;
+    return;
+  }
+  Message wb;
+  wb.type = line.state == L1State::M ? kWbL1Data : kWbL1Clean;
+  wb.cls = line.state == L1State::M ? MsgClass::Data : MsgClass::Control;
+  wb.src = tile;
+  wb.dst = homeOf(line.addr);
+  wb.addr = line.addr;
+  wb.value = line.value;
+  if (line.state == L1State::M) stats_.writebacks += 1;
+  line.valid = false;
+  energy_.l1DataRead += 1;
+  send(wb);
+}
+
+// --------------------------------------------------------------- Home side
+
+DirectoryProtocol::DirInfo* DirectoryProtocol::findDir(Bank& bank,
+                                                       Addr block) {
+  if (L2Line* line = bank.l2.find(block)) return &line->dir;
+  if (DirEntry* e = bank.dirCache.find(block)) return &e->dir;
+  if (auto it = dirOverflow_.find(block); it != dirOverflow_.end())
+    return &it->second;
+  return nullptr;
+}
+const DirectoryProtocol::DirInfo* DirectoryProtocol::findDir(
+    const Bank& bank, Addr block) const {
+  return const_cast<DirectoryProtocol*>(this)->findDir(
+      const_cast<Bank&>(bank), block);
+}
+
+DirectoryProtocol::DirInfo& DirectoryProtocol::ensureDir(NodeId home,
+                                                         Addr block) {
+  Bank& bank = bankOf(home);
+  if (DirInfo* d = findDir(bank, block)) return *d;
+  DirEntry* victim = bank.dirCache.selectVictim(
+      block, [this](const DirEntry& e) { return lineBusy(e.addr); });
+  energy_.dirCacheUpdate += 1;
+  if (victim == nullptr) {
+    // Every way holds a record with an in-flight transaction: park the new
+    // record in the overflow area instead of stranding either one.
+    return dirOverflow_[block];
+  }
+  if (victim->valid) evictDirEntry(home, *victim);
+  DirEntry& entry = bank.dirCache.install(*victim, block);
+  return entry.dir;
+}
+
+void DirectoryProtocol::dropDirIfEmpty(Bank& bank, Addr block) {
+  if (DirEntry* e = bank.dirCache.find(block)) {
+    if (e->dir.empty()) bank.dirCache.invalidate(*e);
+  }
+  if (auto it = dirOverflow_.find(block); it != dirOverflow_.end()) {
+    if (it->second.empty()) dirOverflow_.erase(it);
+  }
+}
+
+void DirectoryProtocol::storeAtL2(NodeId home, Addr block,
+                                  std::uint64_t value, bool dirty) {
+  Bank& bank = bankOf(home);
+  energy_.l2DataWrite += 1;
+  if (L2Line* line = bank.l2.find(block)) {
+    line->value = value;
+    line->dirty = line->dirty || dirty;
+    bank.l2.touch(*line);
+    return;
+  }
+  L2Line* victim = bank.l2.selectVictim(
+      block, [this](const L2Line& l) { return lineBusy(l.addr); });
+  if (victim == nullptr) victim = bank.l2.selectVictim(block, nullptr);
+  EECC_CHECK(victim != nullptr);
+  if (victim->valid) evictL2Line(home, *victim);
+  L2Line& line = bank.l2.install(*victim, block);
+  line.value = value;
+  line.dirty = dirty;
+  // Directory info migrates from the dir cache into the L2 entry (NCID).
+  if (DirEntry* e = bank.dirCache.find(block)) {
+    line.dir = e->dir;
+    bank.dirCache.invalidate(*e);
+    energy_.dirCacheUpdate += 1;
+    energy_.l2DirUpdate += 1;
+  } else if (auto it = dirOverflow_.find(block); it != dirOverflow_.end()) {
+    line.dir = it->second;
+    dirOverflow_.erase(it);
+    energy_.l2DirUpdate += 1;
+  }
+}
+
+void DirectoryProtocol::evictL2Line(NodeId home, L2Line& line) {
+  stats_.l2Evictions += 1;
+  Bank& bank = bankOf(home);
+  if (!line.dir.empty()) {
+    // NCID: keep the directory info alive in the extra tags so the L1
+    // copies survive the data eviction.
+    DirEntry* victim = bank.dirCache.selectVictim(
+        line.addr, [this](const DirEntry& e) { return lineBusy(e.addr); });
+    energy_.dirCacheUpdate += 1;
+    if (victim == nullptr) {
+      dirOverflow_[line.addr] = line.dir;
+    } else {
+      if (victim->valid) evictDirEntry(home, *victim);
+      DirEntry& entry = bank.dirCache.install(*victim, line.addr);
+      entry.dir = line.dir;
+    }
+  }
+  if (line.dirty && line.dir.owner == kInvalidNode) {
+    energy_.l2DataRead += 1;
+    memWriteback(line.addr, home, line.value);
+  }
+  line.valid = false;
+}
+
+void DirectoryProtocol::startDirEvictionInvalidation(NodeId home, Addr block,
+                                                     DirInfo snapshot) {
+  withLine(block, [this, home, block, snapshot] {
+    // Holders that evicted their copy in the meantime simply ack.
+    NodeSet targets = expandSharingCode(snapshot.sharers,
+                                        cfg_.dirSharingCode, cfg_.tiles());
+    if (snapshot.owner != kInvalidNode) targets.insert(snapshot.owner);
+
+    Txn& txn = txns_[block];
+    txn = Txn{};
+    txn.background = true;
+    txn.requestor = home;
+    txn.bgAcks = targets.size();
+    stats_.dirEvictionInvalidations += 1;
+    if (txn.bgAcks == 0) {
+      txns_.erase(block);
+      releaseLine(block);
+      return;
+    }
+    targets.forEach([this, home, block](NodeId t) {
+      Message inv;
+      inv.type = kDirInval;
+      inv.src = home;
+      inv.dst = t;
+      inv.addr = block;
+      inv.requestor = home;
+      stats_.invalidationsSent += 1;
+      send(inv);
+    });
+  });
+}
+
+void DirectoryProtocol::evictDirEntry(NodeId home, DirEntry& entry) {
+  const Addr block = entry.addr;
+  const DirInfo snapshot = entry.dir;
+  entry.valid = false;
+  energy_.dirCacheUpdate += 1;
+  // "Only when a directory entry is evicted, the block is also evicted
+  // (if present), and every copy of the block is invalidated."
+  Bank& bank = bankOf(home);
+  if (L2Line* line = bank.l2.find(block)) {
+    if (line->dirty && snapshot.owner == kInvalidNode) {
+      energy_.l2DataRead += 1;
+      memWriteback(block, home, line->value);
+    }
+    line->valid = false;
+  }
+  startDirEvictionInvalidation(home, block, snapshot);
+}
+
+// ------------------------------------------------------------ Transactions
+
+void DirectoryProtocol::startMiss(NodeId tile, Addr block, AccessType type,
+                                  DoneFn done) {
+  Txn& txn = txns_[block];
+  txn = Txn{};
+  txn.requestor = tile;
+  txn.type = type;
+  txn.done = std::move(done);
+  txn.start = events_.now();
+
+  if (type == AccessType::Write) {
+    const L1Line* line =
+        tiles_[static_cast<std::size_t>(tile)].l1.find(block);
+    if (line != nullptr) {
+      txn.needsData = false;  // upgrade from S
+      stats_.upgrades += 1;
+    }
+  }
+
+  Message req;
+  req.type = type == AccessType::Read ? kReadReq : kWriteReq;
+  req.src = tile;
+  req.dst = homeOf(block);
+  req.addr = block;
+  req.requestor = tile;
+  txn.links += static_cast<std::uint32_t>(distance(tile, req.dst));
+  send(req);
+}
+
+void DirectoryProtocol::maybeCompleteAccess(Addr block) {
+  auto it = txns_.find(block);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+  EECC_CHECK(!txn.background);
+
+  const bool dataReady =
+      txn.dataArrived || (!txn.needsData && txn.grantArrived);
+  if (txn.type == AccessType::Read) {
+    if (dataReady && !txn.coreNotified) {
+      txn.coreNotified = true;
+      installL1(txn.requestor, block,
+                txn.exclusiveGrant ? L1State::E : L1State::S, txn.value);
+      recordRead(txn.requestor, txn.value);
+      recordMiss(txn.cls, txn.start, txn.links);
+      txn.done();
+    }
+    if (txn.coreNotified && !txn.wbPending) {
+      txns_.erase(it);
+      releaseLine(block);
+    }
+    return;
+  }
+  // Write: needs the data (unless upgrading) and every invalidation ack.
+  if (dataReady && txn.ackCountKnown && txn.acksOutstanding == 0 &&
+      !txn.coreNotified) {
+    txn.coreNotified = true;
+    installL1(txn.requestor, block, L1State::M, commitWrite(block));
+    recordMiss(txn.cls, txn.start, txn.links);
+    txn.done();
+    txns_.erase(it);
+    releaseLine(block);
+  }
+}
+
+void DirectoryProtocol::homeHandleRead(const Message& msg) {
+  const NodeId home = msg.dst;
+  const NodeId requestor = msg.requestor;
+  const Addr block = msg.addr;
+  Bank& bank = bankOf(home);
+  energy_.l2TagProbe += 1;
+  energy_.dirCacheProbe += 1;
+
+  auto it = txns_.find(block);
+  EECC_CHECK_MSG(it != txns_.end(), "read request without transaction");
+  Txn& txn = it->second;
+
+  DirInfo* dir = findDir(bank, block);
+  L2Line* line = bank.l2.find(block);
+  if (dir != nullptr) energy_.l2DirRead += 1;
+
+  if (dir != nullptr && dir->owner != kInvalidNode &&
+      dir->owner != requestor) {
+    // 3-hop path: forward to the owning L1; the directory optimistically
+    // moves to the shared state (the owner downgrades on receipt).
+    const NodeId owner = dir->owner;
+    dir->owner = kInvalidNode;
+    dir->sharers.insert(owner);
+    dir->sharers.insert(requestor);
+    energy_.l2DirUpdate += 1;
+    txn.cls = MissClass::UnpredOwner;
+    txn.links += static_cast<std::uint32_t>(distance(home, owner));
+    Message fwd = msg;
+    fwd.type = kFwdRead;
+    fwd.src = home;
+    fwd.dst = owner;
+    after(cfg_.l2.tagLatency, [this, fwd] { send(fwd); });
+    return;
+  }
+  if (line != nullptr) {
+    // 2-hop path: data straight from the home bank.
+    energy_.l2DataRead += 1;
+    stats_.l2DataHits += 1;
+    DirInfo& d = ensureDir(home, block);
+    d.sharers.insert(requestor);
+    energy_.l2DirUpdate += 1;
+    txn.cls = MissClass::UnpredL2;
+    txn.links += static_cast<std::uint32_t>(distance(home, requestor));
+    Message data;
+    data.type = kData;
+    data.cls = MsgClass::Data;
+    data.src = home;
+    data.dst = requestor;
+    data.addr = block;
+    data.value = line->value;
+    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
+          [this, data] { send(data); });
+    return;
+  }
+  // Off-chip (possibly with clean sharers whose data left the L2: memory
+  // is still current, NCID keeps their directory info alive). NCID is an
+  // inclusive *directory*: the fill allocates a home L2 entry (tag + dir
+  // + the clean memory data), so only data evictions ever fall back to
+  // the extra-tag dir cache.
+  DirInfo* existing = findDir(bank, block);
+  const bool exclusive = existing == nullptr || existing->empty();
+  storeAtL2(home, block, memoryValue(block), /*dirty=*/false);
+  DirInfo& d = *findDir(bank, block);
+  if (exclusive) d.owner = requestor;
+  else d.sharers.insert(requestor);
+  energy_.l2DirUpdate += 1;
+  txn.cls = MissClass::Memory;
+  txn.exclusiveGrant = exclusive;
+  txn.links += static_cast<std::uint32_t>(
+      distance(home, cfg_.memControllerOf(block)) +
+      distance(cfg_.memControllerOf(block), requestor));
+  memFetch(block, home, requestor, [this, block](std::uint64_t value) {
+    auto t = txns_.find(block);
+    EECC_CHECK(t != txns_.end());
+    t->second.dataArrived = true;
+    t->second.grantArrived = true;
+    t->second.value = value;
+    maybeCompleteAccess(block);
+  });
+}
+
+void DirectoryProtocol::homeHandleWrite(const Message& msg) {
+  const NodeId home = msg.dst;
+  const NodeId requestor = msg.requestor;
+  const Addr block = msg.addr;
+  Bank& bank = bankOf(home);
+  energy_.l2TagProbe += 1;
+  energy_.dirCacheProbe += 1;
+
+  auto it = txns_.find(block);
+  EECC_CHECK_MSG(it != txns_.end(), "write request without transaction");
+  Txn& txn = it->second;
+
+  DirInfo* dir = findDir(bank, block);
+  L2Line* line = bank.l2.find(block);
+  if (dir != nullptr) energy_.l2DirRead += 1;
+
+  if (dir != nullptr && dir->owner != kInvalidNode &&
+      dir->owner != requestor) {
+    // Exclusive elsewhere: forward; the old owner supplies data + invalidates.
+    const NodeId owner = dir->owner;
+    dir->owner = requestor;
+    dir->sharers.clear();
+    energy_.l2DirUpdate += 1;
+    txn.cls = MissClass::UnpredOwner;
+    txn.ackCountKnown = true;
+    txn.links += static_cast<std::uint32_t>(distance(home, owner));
+    Message fwd = msg;
+    fwd.type = kFwdWrite;
+    fwd.src = home;
+    fwd.dst = owner;
+    after(cfg_.l2.tagLatency, [this, fwd] { send(fwd); });
+    return;
+  }
+
+  // Gather invalidation targets among current sharers, widened to what
+  // the configured sharing code can express (spurious targets ack too).
+  NodeSet targets;
+  if (dir != nullptr) {
+    targets = expandSharingCode(dir->sharers, cfg_.dirSharingCode,
+                                cfg_.tiles());
+    targets.erase(requestor);
+  }
+  txn.acksOutstanding += targets.size();
+  txn.ackCountKnown = true;
+  targets.forEach([this, home, block, requestor](NodeId s) {
+    Message inv;
+    inv.type = kInval;
+    inv.src = home;
+    inv.dst = s;
+    inv.addr = block;
+    inv.requestor = requestor;
+    stats_.invalidationsSent += 1;
+    after(cfg_.l2.tagLatency, [this, inv] { send(inv); });
+  });
+
+  DirInfo* dw = dir;
+  if (dw == nullptr) {
+    // Fill path handled below allocates the entry; for sharer
+    // invalidation paths the record must already exist.
+    dw = &ensureDir(home, block);
+  }
+  dw->owner = requestor;
+  dw->sharers.clear();
+  energy_.l2DirUpdate += 1;
+
+  if (!txn.needsData) {
+    // Upgrade: only the ack count travels back.
+    txn.cls = MissClass::UnpredL2;
+    txn.links += static_cast<std::uint32_t>(distance(home, requestor));
+    Message cnt;
+    cnt.type = kAckCount;
+    cnt.src = home;
+    cnt.dst = requestor;
+    cnt.addr = block;
+    after(cfg_.l2.tagLatency, [this, cnt] { send(cnt); });
+    return;
+  }
+  if (line != nullptr) {
+    energy_.l2DataRead += 1;
+    stats_.l2DataHits += 1;
+    txn.cls = MissClass::UnpredL2;
+    txn.links += static_cast<std::uint32_t>(distance(home, requestor));
+    Message data;
+    data.type = kData;
+    data.cls = MsgClass::Data;
+    data.src = home;
+    data.dst = requestor;
+    data.addr = block;
+    data.value = line->value;
+    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
+          [this, data] { send(data); });
+    return;
+  }
+  txn.cls = MissClass::Memory;
+  // Inclusive directory (NCID): allocate the home entry for the fill.
+  storeAtL2(home, block, memoryValue(block), /*dirty=*/false);
+  DirInfo& df = *findDir(bank, block);
+  df.owner = requestor;
+  df.sharers.clear();
+  energy_.l2DirUpdate += 1;
+  txn.links += static_cast<std::uint32_t>(
+      distance(home, cfg_.memControllerOf(block)) +
+      distance(cfg_.memControllerOf(block), requestor));
+  memFetch(block, home, requestor, [this, block](std::uint64_t value) {
+    auto t = txns_.find(block);
+    EECC_CHECK(t != txns_.end());
+    t->second.dataArrived = true;
+    t->second.grantArrived = true;
+    t->second.value = value;
+    maybeCompleteAccess(block);
+  });
+}
+
+void DirectoryProtocol::onMessage(const Message& msg) {
+  switch (msg.type) {
+    case kReadReq:
+      homeHandleRead(msg);
+      return;
+    case kWriteReq:
+      homeHandleWrite(msg);
+      return;
+
+    case kFwdRead: {
+      const NodeId tile = msg.dst;
+      auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
+      energy_.l1TagProbe += 1;
+      L1Line* line = l1.find(msg.addr);
+      if (line == nullptr || line->state == L1State::S) {
+        // Stale forward (the owner evicted; its writeback is ahead of this
+        // bounce on the same route): retry through the home.
+        Message bounce = msg;
+        bounce.type = kReadReq;
+        bounce.src = tile;
+        bounce.dst = homeOf(msg.addr);
+        auto it = txns_.find(msg.addr);
+        if (it != txns_.end())
+          it->second.links += static_cast<std::uint32_t>(
+              distance(tile, bounce.dst));
+        send(bounce);
+        return;
+      }
+      energy_.l1DataRead += 1;
+      const bool wasDirty = line->state == L1State::M;
+      line->state = L1State::S;
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      Txn& txn = it->second;
+      txn.links += static_cast<std::uint32_t>(distance(tile, msg.requestor));
+      Message data;
+      data.type = kData;
+      data.cls = MsgClass::Data;
+      data.src = tile;
+      data.dst = msg.requestor;
+      data.addr = msg.addr;
+      data.value = line->value;
+      after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
+            [this, data] { send(data); });
+      // The downgraded owner writes the block through to the home so the
+      // shared L2 can serve subsequent readers (dirty data makes this
+      // mandatory; clean data keeps the "optimized directory" baseline
+      // from bouncing every shared read off-chip).
+      txn.wbPending = true;
+      if (wasDirty) stats_.writebacks += 1;
+      Message wb;
+      wb.type = kWbOwner;
+      wb.cls = MsgClass::Data;
+      wb.src = tile;
+      wb.dst = homeOf(msg.addr);
+      wb.addr = msg.addr;
+      wb.value = line->value;
+      wb.aux = wasDirty ? 1 : 0;
+      after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
+            [this, wb] { send(wb); });
+      return;
+    }
+
+    case kFwdWrite: {
+      const NodeId tile = msg.dst;
+      auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
+      energy_.l1TagProbe += 1;
+      L1Line* line = l1.find(msg.addr);
+      if (line == nullptr || line->state == L1State::S) {
+        Message bounce = msg;
+        bounce.type = kWriteReq;
+        bounce.src = tile;
+        bounce.dst = homeOf(msg.addr);
+        auto it = txns_.find(msg.addr);
+        if (it != txns_.end())
+          it->second.links += static_cast<std::uint32_t>(
+              distance(tile, bounce.dst));
+        send(bounce);
+        return;
+      }
+      energy_.l1DataRead += 1;
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      it->second.links += static_cast<std::uint32_t>(
+          distance(tile, msg.requestor));
+      Message data;
+      data.type = kData;
+      data.cls = MsgClass::Data;
+      data.src = tile;
+      data.dst = msg.requestor;
+      data.addr = msg.addr;
+      data.value = line->value;
+      line->valid = false;  // the old owner invalidates itself
+      after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
+            [this, data] { send(data); });
+      return;
+    }
+
+    case kData: {
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      it->second.dataArrived = true;
+      it->second.grantArrived = true;
+      it->second.value = msg.value;
+      maybeCompleteAccess(msg.addr);
+      return;
+    }
+
+    case kAckCount: {
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      it->second.grantArrived = true;
+      maybeCompleteAccess(msg.addr);
+      return;
+    }
+
+    case kInval: {
+      const NodeId tile = msg.dst;
+      auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
+      energy_.l1TagProbe += 1;
+      if (L1Line* line = l1.find(msg.addr)) line->valid = false;
+      Message ack;
+      ack.type = kInvalAck;
+      ack.src = tile;
+      ack.dst = msg.requestor;
+      ack.addr = msg.addr;
+      after(cfg_.l1.tagLatency, [this, ack] { send(ack); });
+      return;
+    }
+
+    case kInvalAck: {
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      it->second.acksOutstanding -= 1;
+      EECC_CHECK(it->second.acksOutstanding >= 0);
+      maybeCompleteAccess(msg.addr);
+      return;
+    }
+
+    case kWbOwner: {
+      storeAtL2(msg.dst, msg.addr, msg.value, /*dirty=*/msg.aux != 0);
+      auto it = txns_.find(msg.addr);
+      if (it != txns_.end() && !it->second.background) {
+        it->second.wbPending = false;
+        maybeCompleteAccess(msg.addr);
+      }
+      return;
+    }
+
+    case kWbL1Data:
+    case kWbL1Clean: {
+      const NodeId home = msg.dst;
+      Bank& bank = bankOf(home);
+      energy_.l2TagProbe += 1;
+      energy_.dirCacheProbe += 1;
+      if (msg.type == kWbL1Data)
+        storeAtL2(home, msg.addr, msg.value, /*dirty=*/true);
+      if (DirInfo* dir = findDir(bank, msg.addr)) {
+        if (dir->owner == msg.src) dir->owner = kInvalidNode;
+        else dir->sharers.erase(msg.src);
+        energy_.l2DirUpdate += 1;
+        dropDirIfEmpty(bank, msg.addr);
+      }
+      return;
+    }
+
+    case kDirInval: {
+      const NodeId tile = msg.dst;
+      auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
+      energy_.l1TagProbe += 1;
+      Message ack;
+      ack.type = kDirInvalAck;
+      ack.src = tile;
+      ack.dst = msg.requestor;
+      ack.addr = msg.addr;
+      if (L1Line* line = l1.find(msg.addr)) {
+        if (line->state == L1State::M) {
+          ack.type = kDirInvalAckData;
+          ack.cls = MsgClass::Data;
+          ack.value = line->value;
+          energy_.l1DataRead += 1;
+        }
+        line->valid = false;
+      }
+      after(cfg_.l1.tagLatency, [this, ack] { send(ack); });
+      return;
+    }
+
+    case kDirInvalAck:
+    case kDirInvalAckData: {
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end() && it->second.background);
+      if (msg.type == kDirInvalAckData)
+        memWriteback(msg.addr, msg.dst, msg.value);
+      it->second.bgAcks -= 1;
+      if (it->second.bgAcks == 0) {
+        const Addr block = msg.addr;
+        txns_.erase(it);
+        releaseLine(block);
+      }
+      return;
+    }
+
+    default:
+      EECC_CHECK_MSG(false, "unknown directory message");
+  }
+}
+
+// ------------------------------------------------------------ Introspection
+
+DirectoryProtocol::LineView DirectoryProtocol::l1Line(NodeId tile,
+                                                      Addr block) const {
+  const auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
+  LineView v;
+  if (const L1Line* line = l1.find(block)) {
+    v.valid = true;
+    v.value = line->value;
+    v.state = line->state == L1State::M   ? 'M'
+              : line->state == L1State::E ? 'E'
+                                          : 'S';
+  }
+  return v;
+}
+
+void DirectoryProtocol::checkInvariants() const {
+  // Assumes a quiesced system (no events in flight). Per block: at most
+  // one E/M copy; E/M excludes other copies; all copies hold the committed
+  // value; every copy is covered by home directory info; the L2 value
+  // matches the committed value unless an L1 owner exists.
+  std::unordered_map<Addr, NodeId> exclusiveHolder;
+  std::unordered_map<Addr, std::vector<NodeId>> holders;
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
+        [&](const L1Line& line) {
+          if (lineBusy(line.addr)) return;
+          holders[line.addr].push_back(t);
+          if (line.state != L1State::S) {
+            EECC_CHECK_MSG(!exclusiveHolder.contains(line.addr),
+                           "two exclusive copies (SWMR violated)");
+            exclusiveHolder[line.addr] = t;
+          }
+          EECC_CHECK_MSG(line.value == committedValue(line.addr),
+                         "L1 copy holds a stale value");
+        });
+  }
+  for (const auto& [block, list] : holders) {
+    if (exclusiveHolder.contains(block))
+      EECC_CHECK_MSG(list.size() == 1, "E/M copy coexists with other copies");
+    const Bank& bank = banks_[static_cast<std::size_t>(cfg_.homeOf(block))];
+    const DirInfo* dir = findDir(bank, block);
+    EECC_CHECK_MSG(dir != nullptr, "L1 copy with no directory record");
+    for (const NodeId t : list)
+      EECC_CHECK_MSG(dir->owner == t || dir->sharers.contains(t),
+                     "L1 copy not covered by the directory");
+    if (exclusiveHolder.contains(block))
+      EECC_CHECK_MSG(dir->owner == exclusiveHolder[block],
+                     "directory owner pointer is wrong");
+  }
+  for (NodeId h = 0; h < cfg_.tiles(); ++h) {
+    banks_[static_cast<std::size_t>(h)].l2.forEachValid(
+        [&](const L2Line& line) {
+          if (lineBusy(line.addr)) return;
+          if (line.dir.owner == kInvalidNode)
+            EECC_CHECK_MSG(line.value == committedValue(line.addr),
+                           "L2 value stale with no L1 owner");
+        });
+  }
+}
+
+}  // namespace eecc

@@ -1,0 +1,141 @@
+// Flat full-map MESI directory protocol — the paper's highly-optimized
+// baseline (Section II-A).
+//
+// Every block has a home L2 bank selected by address bits. Directory
+// information (full-map sharer vector + owner pointer) lives with the L2
+// line when the block is cached in L2, and otherwise in a directory cache
+// built from extra L2 tags (NCID [17]), so evicting L2 data does not force
+// L1 invalidations; only evicting the *directory entry* does. L1 misses
+// indirect through the home: 2 hops when the home supplies the data, 3
+// hops when it forwards to the owning L1.
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/cache_array.h"
+#include "common/bits.h"
+#include "cache/node_set.h"
+#include "protocols/protocol.h"
+
+namespace eecc {
+
+class DirectoryProtocol final : public Protocol {
+ public:
+  DirectoryProtocol(EventQueue& events, Network& net, const CmpConfig& cfg);
+
+  ProtocolKind kind() const override { return ProtocolKind::Directory; }
+  bool tryHit(NodeId tile, Addr block, AccessType type) override;
+  void checkInvariants() const override;
+
+  /// Test hooks.
+  struct LineView {
+    bool valid = false;
+    char state = 'I';  // I/S/E/M
+    std::uint64_t value = 0;
+  };
+  LineView l1Line(NodeId tile, Addr block) const;
+
+ protected:
+  void startMiss(NodeId tile, Addr block, AccessType type,
+                 DoneFn done) override;
+  void onMessage(const Message& msg) override;
+
+ private:
+  enum class L1State : std::uint8_t { S, E, M };
+
+  struct L1Line : CacheLineBase {
+    L1State state = L1State::S;
+    std::uint64_t value = 0;
+  };
+
+  struct DirInfo {
+    NodeSet sharers;
+    NodeId owner = kInvalidNode;  ///< L1 holding the block in E/M.
+    bool empty() const { return sharers.empty() && owner == kInvalidNode; }
+  };
+
+  struct L2Line : CacheLineBase {
+    bool dirty = false;
+    std::uint64_t value = 0;
+    DirInfo dir;
+  };
+
+  struct DirEntry : CacheLineBase {
+    DirInfo dir;
+  };
+
+  struct Tile {
+    CacheArray<L1Line> l1;
+    explicit Tile(const CmpConfig& c) : l1(c.l1.entries, c.l1.assoc) {}
+  };
+  struct Bank {
+    CacheArray<L2Line> l2;
+    CacheArray<DirEntry> dirCache;
+    explicit Bank(const CmpConfig& c)
+        : l2(c.l2.entries, c.l2.assoc,
+             log2ceil(static_cast<std::uint64_t>(c.tiles()))),
+          dirCache(c.dirCacheEntries, c.dirCacheAssoc,
+                   log2ceil(static_cast<std::uint64_t>(c.tiles()))) {}
+  };
+
+  struct Txn {
+    NodeId requestor = kInvalidNode;
+    AccessType type = AccessType::Read;
+    DoneFn done;
+    Tick start = 0;
+    std::uint32_t links = 0;
+    MissClass cls = MissClass::UnpredL2;
+    // Write completion bookkeeping.
+    std::int32_t acksOutstanding = 0;
+    bool ackCountKnown = false;
+    bool dataArrived = false;
+    bool grantArrived = false;  ///< Grant / ack-count message landed.
+    bool needsData = true;        ///< False for upgrades.
+    bool exclusiveGrant = false;  ///< Read fill from memory installs E.
+    bool wbPending = false;       ///< A dirty-owner writeback must still
+                                  ///< reach the home before release.
+    bool coreNotified = false;
+    std::uint64_t value = 0;
+    // Background directory-eviction invalidation.
+    bool background = false;
+    std::int32_t bgAcks = 0;
+    bool bgDirty = false;
+  };
+
+  // --- Home-side directory access ---
+  DirInfo* findDir(Bank& bank, Addr block);
+  const DirInfo* findDir(const Bank& bank, Addr block) const;
+  /// Directory record for a block that is about to gain L1 copies; creates
+  /// a dir-cache entry when the block is not in L2 (may evict, triggering
+  /// a background invalidation of the victim block).
+  DirInfo& ensureDir(NodeId home, Addr block);
+  void dropDirIfEmpty(Bank& bank, Addr block);
+
+  /// Stores `value` into the home's L2 data array (allocating a line and
+  /// migrating any dir-cache info into it).
+  void storeAtL2(NodeId home, Addr block, std::uint64_t value, bool dirty);
+  void evictL2Line(NodeId home, L2Line& line);
+  void evictDirEntry(NodeId home, DirEntry& entry);
+
+  // --- L1 side ---
+  void installL1(NodeId tile, Addr block, L1State state, std::uint64_t value);
+  void evictL1Line(NodeId tile, L1Line& line);
+
+  // --- Transaction steps ---
+  void homeHandleRead(const Message& msg);
+  void homeHandleWrite(const Message& msg);
+  void maybeCompleteAccess(Addr block);
+  void maybeReleaseWrite(Addr block);
+  void startDirEvictionInvalidation(NodeId home, Addr block, DirInfo snapshot);
+
+  Bank& bankOf(NodeId home) { return banks_[static_cast<std::size_t>(home)]; }
+
+  std::vector<Tile> tiles_;
+  std::vector<Bank> banks_;
+  std::unordered_map<Addr, Txn> txns_;
+  /// Directory records whose dir-cache way was fully busy at insertion
+  /// time (MSHR-like transient holding area; see CoherenceCache docs).
+  std::unordered_map<Addr, DirInfo> dirOverflow_;
+};
+
+}  // namespace eecc

@@ -1,0 +1,25 @@
+#include "protocols/dico.h"
+#include "protocols/dico_arin.h"
+#include "protocols/dico_providers.h"
+#include "protocols/directory.h"
+#include "protocols/protocol.h"
+
+namespace eecc {
+
+std::unique_ptr<Protocol> makeProtocol(ProtocolKind kind, EventQueue& events,
+                                       Network& net, const CmpConfig& cfg) {
+  switch (kind) {
+    case ProtocolKind::Directory:
+      return std::make_unique<DirectoryProtocol>(events, net, cfg);
+    case ProtocolKind::DiCo:
+      return std::make_unique<DiCoProtocol>(events, net, cfg);
+    case ProtocolKind::DiCoProviders:
+      return std::make_unique<DiCoProvidersProtocol>(events, net, cfg);
+    case ProtocolKind::DiCoArin:
+      return std::make_unique<DiCoArinProtocol>(events, net, cfg);
+  }
+  EECC_CHECK_MSG(false, "unknown protocol kind");
+  return nullptr;
+}
+
+}  // namespace eecc

@@ -1,0 +1,141 @@
+#include "protocols/protocol.h"
+
+namespace eecc {
+
+Protocol::Protocol(EventQueue& events, Network& net, const CmpConfig& cfg)
+    : events_(events), net_(net), cfg_(cfg) {
+  cfg_.validate();
+  lastRead_.assign(static_cast<std::size_t>(cfg_.tiles()), 0);
+  if (cfg_.memoryModel == CmpConfig::MemoryModel::Ddr) {
+    const auto mcs = cfg_.memControllerTiles();
+    ddr_.resize(mcs.size());
+    for (std::size_t i = 0; i < mcs.size(); ++i) ddrIndex_[mcs[i]] = i;
+  }
+  net_.setHandler([this](const Message& msg) { handleBaseMessage(msg); });
+}
+
+void Protocol::handleBaseMessage(const Message& msg) {
+  if (msg.type >= kFirstProtocolMsg) {
+    onMessage(msg);
+    return;
+  }
+  switch (msg.type) {
+    case kMemReq: {
+      if ((msg.aux >> 32) == 0xffffffffULL) break;  // writeback: sink it
+      // The controller serves the request after the DRAM latency plus a
+      // small random delay (Section V-A) — or, under MemoryModel::Ddr,
+      // after the detailed bank/row-buffer schedule — then ships the
+      // block.
+      Tick latency = 0;
+      if (cfg_.memoryModel == CmpConfig::MemoryModel::Ddr) {
+        auto it = ddrIndex_.find(msg.dst);
+        EECC_CHECK(it != ddrIndex_.end());
+        latency = ddr_[it->second].schedule(msg.addr, events_.now()) -
+                  events_.now();
+      } else {
+        latency =
+            cfg_.memLatency + memJitterRng_.below(cfg_.memJitterMax + 1);
+      }
+      Message resp;
+      resp.type = kMemResp;
+      resp.cls = MsgClass::Data;
+      resp.src = msg.dst;
+      resp.dst = static_cast<NodeId>(msg.aux >> 32);  // data destination
+      resp.addr = msg.addr;
+      resp.aux = msg.aux & 0xffffffffULL;             // token
+      resp.value = memoryValue(msg.addr);
+      after(latency, [this, resp] { send(resp); });
+      break;
+    }
+    case kMemResp: {
+      auto it = memPending_.find(msg.aux);
+      EECC_CHECK_MSG(it != memPending_.end(), "orphan memory response");
+      auto cb = std::move(it->second);
+      memPending_.erase(it);
+      cb(msg.value);
+      break;
+    }
+    default:
+      EECC_CHECK_MSG(false, "unknown base message type");
+  }
+}
+
+void Protocol::memFetch(Addr block, NodeId from, NodeId dataDst,
+                        std::function<void(std::uint64_t)> cb) {
+  stats_.memoryFetches += 1;
+  const std::uint64_t token = ++memToken_;
+  memPending_.emplace(token, std::move(cb));
+  Message req;
+  req.type = kMemReq;
+  req.cls = MsgClass::Control;
+  req.src = from;
+  req.dst = cfg_.memControllerOf(block);
+  req.addr = block;
+  req.aux = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dataDst))
+             << 32) |
+            token;
+  send(req);
+}
+
+void Protocol::memWriteback(Addr block, NodeId from, std::uint64_t value) {
+  setMemoryValue(block, value);
+  Message wb;
+  wb.type = kMemReq;  // reuse the request channel; controllers sink it
+  wb.cls = MsgClass::Data;
+  wb.src = from;
+  wb.dst = cfg_.memControllerOf(block);
+  wb.addr = block;
+  wb.aux = (static_cast<std::uint64_t>(0xffffffffULL) << 32);
+  send(wb);
+}
+
+void Protocol::withLine(Addr block, std::function<void()> fn) {
+  if (busy_.insert(block).second) {
+    fn();
+  } else {
+    waiting_[block].push_back(std::move(fn));
+  }
+}
+
+void Protocol::releaseLine(Addr block) {
+  EECC_CHECK(busy_.erase(block) == 1);
+  auto it = waiting_.find(block);
+  if (it == waiting_.end() || it->second.empty()) {
+    if (it != waiting_.end()) waiting_.erase(it);
+    return;
+  }
+  auto fn = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) waiting_.erase(it);
+  EECC_CHECK(busy_.insert(block).second);
+  // Run queued work in a fresh event so completion handlers unwind first.
+  events_.scheduleAfter(1, std::move(fn));
+}
+
+void Protocol::access(NodeId tile, Addr block, AccessType type, DoneFn done) {
+  EECC_CHECK(blockAddr(block) == block);
+  if (type == AccessType::Read) stats_.reads += 1;
+  else stats_.writes += 1;
+
+  if (tryHit(tile, block, type)) {
+    if (type == AccessType::Read) stats_.l1ReadHits += 1;
+    else stats_.l1WriteHits += 1;
+    done();
+    return;
+  }
+  if (type == AccessType::Read) stats_.readMisses += 1;
+  else stats_.writeMisses += 1;
+
+  withLine(block, [this, tile, block, type, done = std::move(done)]() mutable {
+    // State may have changed while queued behind another transaction on
+    // this line (e.g. it brought the block into our L1) — re-check.
+    if (tryHit(tile, block, type)) {
+      releaseLine(block);
+      done();
+      return;
+    }
+    startMiss(tile, block, type, std::move(done));
+  });
+}
+
+}  // namespace eecc

@@ -1,0 +1,236 @@
+// Abstract coherence protocol and the machinery all four implementations
+// share: per-line transaction serialization, memory-controller traffic,
+// the data-value oracle used for verification, and miss bookkeeping.
+//
+// Concurrency model (see DESIGN.md): stable coherence state is exact and
+// updated atomically at message-handling events; *conflicting* transactions
+// on the same block are serialized through a per-line queue at the
+// protocol engine, standing in for the transient-state/NACK machinery of
+// the real implementations. All messages, hops, forwards and
+// acknowledgements of the stable-state protocol are modeled and charged.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/config.h"
+#include "mem/ddr_controller.h"
+#include "noc/network.h"
+#include "protocols/protocol_stats.h"
+#include "sim/event_queue.h"
+
+namespace eecc {
+
+class Protocol {
+ public:
+  using DoneFn = std::function<void()>;
+
+  Protocol(EventQueue& events, Network& net, const CmpConfig& cfg);
+  virtual ~Protocol() = default;
+
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  virtual ProtocolKind kind() const = 0;
+
+  /// Fast path: attempts to satisfy the access in the local L1 (reads need
+  /// any valid copy; writes need a writable one — E/M — and E upgrades to
+  /// M silently). Charges tag/data energy. Returns true on hit.
+  virtual bool tryHit(NodeId tile, Addr block, AccessType type) = 0;
+
+  /// Full access: hit fast-path, else a miss transaction. `done` fires at
+  /// completion time. Used by the core model and the tests.
+  void access(NodeId tile, Addr block, AccessType type, DoneFn done);
+
+  /// Asserts every protocol invariant (SWMR, pointer sanity, value
+  /// coherence). Aborts on violation. O(cache size); meant for tests.
+  virtual void checkInvariants() const = 0;
+
+  /// The last value committed to `block` by any completed write (the
+  /// data-value oracle). Reads observed by cores must equal this.
+  std::uint64_t committedValue(Addr block) const {
+    auto it = committed_.find(block);
+    return it == committed_.end() ? 0 : it->second;
+  }
+  /// Value the most recent read by the core on `tile` returned.
+  std::uint64_t lastReadValue(NodeId tile) const {
+    return lastRead_[static_cast<std::size_t>(tile)];
+  }
+
+  const ProtocolStats& stats() const { return stats_; }
+  const CacheEnergyEvents& energyEvents() const { return energy_; }
+  /// Clears measurement counters (after warmup). Cache/coherence state,
+  /// the value oracle and in-flight transactions are untouched.
+  void resetStats() {
+    stats_ = ProtocolStats{};
+    energy_ = CacheEnergyEvents{};
+  }
+  const CmpConfig& config() const { return cfg_; }
+  EventQueue& events() { return events_; }
+  Network& network() { return net_; }
+
+  /// Number of in-flight transactions (all protocols; for draining).
+  std::size_t inFlight() const { return busy_.size(); }
+
+  /// Messages sent per protocol-defined opcode, with the mesh distance
+  /// they covered (diagnostics for the traffic benches).
+  struct MsgTypeStats {
+    std::uint64_t count = 0;
+    std::uint64_t links = 0;
+  };
+  const std::array<MsgTypeStats, 64>& messageTypeStats() const {
+    return msgTypeStats_;
+  }
+
+  /// Unicast messages whose source and destination lie in different
+  /// static areas — the quantitative face of the paper's "(partial)
+  /// isolation among cores of different VMs" claim (Section I).
+  std::uint64_t interAreaMessages() const { return interAreaMessages_; }
+  std::uint64_t unicastMessages() const { return unicastMessages_; }
+  double interAreaFraction() const {
+    return unicastMessages_ ? static_cast<double>(interAreaMessages_) /
+                                  static_cast<double>(unicastMessages_)
+                            : 0.0;
+  }
+
+  /// Detailed DDR controllers (empty when memoryModel == FixedLatency);
+  /// indexed like CmpConfig::memControllerTiles().
+  const std::vector<DdrController>& ddrControllers() const {
+    return ddr_;
+  }
+
+  /// Message-type space: the base class owns types below this bound
+  /// (memory traffic); protocols define their opcodes from it upward.
+  static constexpr std::uint16_t kFirstProtocolMsg = 16;
+
+ protected:
+  /// Starts the protocol-specific miss transaction. The line lock for
+  /// `block` is already held; implementations must call finishAccess()
+  /// exactly once.
+  virtual void startMiss(NodeId tile, Addr block, AccessType type,
+                         DoneFn done) = 0;
+
+  /// Protocol-specific message dispatch (types >= kFirstProtocolMsg).
+  virtual void onMessage(const Message& msg) = 0;
+
+  // --- Line serialization ---
+  /// Runs `fn` immediately if no transaction holds `block`, else queues it.
+  void withLine(Addr block, std::function<void()> fn);
+  /// Releases the line lock and starts the next queued transaction.
+  void releaseLine(Addr block);
+  bool lineBusy(Addr block) const { return busy_.contains(block); }
+
+  // --- Messaging ---
+  static constexpr std::uint16_t kMemReq = 1;
+  static constexpr std::uint16_t kMemResp = 2;
+
+  void send(Message msg) {
+    countMsg(msg);
+    net_.send(msg);
+  }
+  void sendBroadcast(Message msg) {
+    countMsg(msg);
+    net_.broadcast(msg);
+  }
+  /// Schedules `fn` after `delay` cycles (cache access latencies etc.).
+  void after(Tick delay, std::function<void()> fn) {
+    events_.scheduleAfter(delay, std::move(fn));
+  }
+
+  /// Off-chip fetch: a request message from `from` to the block's memory
+  /// controller, the DRAM latency (+jitter), then a data message to
+  /// `dataDst`; `cb` runs when the data arrives carrying the memory value.
+  void memFetch(Addr block, NodeId from, NodeId dataDst,
+                std::function<void(std::uint64_t)> cb);
+
+  /// Fire-and-forget writeback of a dirty block to memory.
+  void memWriteback(Addr block, NodeId from, std::uint64_t value);
+
+  std::uint64_t memoryValue(Addr block) const {
+    auto it = memValue_.find(block);
+    return it == memValue_.end() ? 0 : it->second;
+  }
+
+  // --- Value oracle ---
+  /// Commits a write: returns the fresh value the new owner's line holds.
+  std::uint64_t commitWrite(Addr block) {
+    const std::uint64_t v = ++writeSeq_;
+    committed_[block] = v;
+    return v;
+  }
+  void recordRead(NodeId tile, std::uint64_t value) {
+    lastRead_[static_cast<std::size_t>(tile)] = value;
+  }
+  void setMemoryValue(Addr block, std::uint64_t v) { memValue_[block] = v; }
+
+  // --- Miss bookkeeping ---
+  /// Records a classified miss completion: latency from `start`, `links`
+  /// mesh links traversed on the critical path.
+  void recordMiss(MissClass cls, Tick start, std::uint32_t links) {
+    stats_.miss(cls) += 1;
+    const auto lat = static_cast<double>(events_.now() - start);
+    stats_.latencyByClass[static_cast<std::size_t>(cls)].add(lat);
+    stats_.linksByClass[static_cast<std::size_t>(cls)].add(links);
+    stats_.missLatency.add(lat);
+  }
+
+  std::int32_t distance(NodeId a, NodeId b) const {
+    return net_.topology().distance(a, b);
+  }
+  NodeId homeOf(Addr block) const { return cfg_.homeOf(block); }
+  AreaId areaOf(NodeId tile) const { return cfg_.areaOf(tile); }
+  bool sameArea(NodeId a, NodeId b) const { return areaOf(a) == areaOf(b); }
+
+  EventQueue& events_;
+  Network& net_;
+  CmpConfig cfg_;
+  ProtocolStats stats_;
+  CacheEnergyEvents energy_;
+  Rng memJitterRng_{0xEECCULL};
+
+ private:
+  void countMsg(const Message& msg) {
+    if (msg.dst != kInvalidNode && msg.src != msg.dst) {
+      ++unicastMessages_;
+      if (areaOf(msg.src) != areaOf(msg.dst)) ++interAreaMessages_;
+    }
+    if (msg.type >= msgTypeStats_.size()) return;
+    auto& s = msgTypeStats_[msg.type];
+    s.count += 1;
+    if (msg.dst != kInvalidNode && msg.src != msg.dst)
+      s.links += static_cast<std::uint64_t>(
+          net_.topology().distance(msg.src, msg.dst));
+  }
+
+  std::array<MsgTypeStats, 64> msgTypeStats_{};
+  std::uint64_t interAreaMessages_ = 0;
+  std::uint64_t unicastMessages_ = 0;
+
+  void handleBaseMessage(const Message& msg);
+
+  std::unordered_set<Addr> busy_;
+  std::unordered_map<Addr, std::deque<std::function<void()>>> waiting_;
+
+  std::unordered_map<Addr, std::uint64_t> committed_;
+  std::unordered_map<Addr, std::uint64_t> memValue_;
+  std::vector<std::uint64_t> lastRead_;
+  std::uint64_t writeSeq_ = 0;
+
+  std::unordered_map<std::uint64_t, std::function<void(std::uint64_t)>>
+      memPending_;
+  std::uint64_t memToken_ = 0;
+  std::vector<DdrController> ddr_;           // MemoryModel::Ddr only
+  std::unordered_map<NodeId, std::size_t> ddrIndex_;
+};
+
+/// Factory covering all four protocols of the paper.
+std::unique_ptr<Protocol> makeProtocol(ProtocolKind kind, EventQueue& events,
+                                       Network& net, const CmpConfig& cfg);
+
+}  // namespace eecc

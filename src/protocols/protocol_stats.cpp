@@ -1,0 +1,18 @@
+#include "protocols/protocol_stats.h"
+
+namespace eecc {
+
+const char* missClassName(MissClass c) {
+  switch (c) {
+    case MissClass::PredOwnerHit: return "pred-owner-hit";
+    case MissClass::PredProviderHit: return "pred-provider-hit";
+    case MissClass::PredMiss: return "pred-miss";
+    case MissClass::UnpredOwner: return "unpred-owner";
+    case MissClass::UnpredL2: return "unpred-l2";
+    case MissClass::Memory: return "memory";
+    case MissClass::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace eecc

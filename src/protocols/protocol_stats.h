@@ -1,0 +1,101 @@
+// Statistics every protocol reports: hit/miss counts, the six-way L1 miss
+// classification of Figure 9b, latency and link-distance distributions,
+// and the cache energy-event counters behind Figures 7 and 8a.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.h"
+
+namespace eecc {
+
+/// Figure 9b classification of L1 misses: predicted or not, resolved by an
+/// owner or an in-area provider, and whether the prediction succeeded.
+enum class MissClass : std::uint8_t {
+  PredOwnerHit,     ///< L1C$ prediction hit an owner (2-hop miss).
+  PredProviderHit,  ///< Prediction hit a provider in the area ("shortened").
+  PredMiss,         ///< Misprediction: forwarded through the home.
+  UnpredOwner,      ///< No prediction; home forwarded to an owner/provider.
+  UnpredL2,         ///< No prediction; home supplied the data itself.
+  Memory,           ///< Off-chip access.
+  kCount,
+};
+
+const char* missClassName(MissClass c);
+
+struct ProtocolStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t l1ReadHits = 0;
+  std::uint64_t l1WriteHits = 0;
+  std::uint64_t readMisses = 0;
+  std::uint64_t writeMisses = 0;
+  std::uint64_t upgrades = 0;  ///< Write misses that hit a Shared L1 line.
+
+  std::uint64_t l2DataHits = 0;    ///< Misses served with data from home L2.
+  std::uint64_t memoryFetches = 0;
+
+  std::uint64_t invalidationsSent = 0;
+  std::uint64_t broadcastInvalidations = 0;  ///< DiCo-Arin three-way invals.
+  std::uint64_t ownershipTransfers = 0;
+  std::uint64_t providershipTransfers = 0;
+  std::uint64_t hintMessages = 0;
+  /// Misses whose data came from a provider in the requestor's own area
+  /// — the paper's "shortened misses" (Section V-D).
+  std::uint64_t providerResolvedMisses = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t l2Evictions = 0;
+  std::uint64_t dirEvictionInvalidations = 0;
+
+  std::array<std::uint64_t, static_cast<std::size_t>(MissClass::kCount)>
+      missByClass{};
+  std::array<Accumulator, static_cast<std::size_t>(MissClass::kCount)>
+      latencyByClass{};
+  std::array<Accumulator, static_cast<std::size_t>(MissClass::kCount)>
+      linksByClass{};
+  Accumulator missLatency;
+
+  std::uint64_t l1Accesses() const { return reads + writes; }
+  std::uint64_t l1Misses() const { return readMisses + writeMisses; }
+  double l1MissRate() const {
+    return l1Accesses() ? static_cast<double>(l1Misses()) /
+                              static_cast<double>(l1Accesses())
+                        : 0.0;
+  }
+  double l2MissRate() const {
+    const std::uint64_t l2Lookups = l1Misses();
+    return l2Lookups ? static_cast<double>(memoryFetches) /
+                           static_cast<double>(l2Lookups)
+                     : 0.0;
+  }
+  std::uint64_t& miss(MissClass c) {
+    return missByClass[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t missCount(MissClass c) const {
+    return missByClass[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Cache energy events, counted per access class (Figure 8a breakdown).
+/// Each counter maps to a per-access energy in energy/energy_model.h.
+struct CacheEnergyEvents {
+  std::uint64_t l1TagProbe = 0;
+  std::uint64_t l1DataRead = 0;
+  std::uint64_t l1DataWrite = 0;
+  std::uint64_t l1DirRead = 0;    ///< Sharing code kept in L1 (DiCo family).
+  std::uint64_t l1DirUpdate = 0;
+  std::uint64_t l2TagProbe = 0;
+  std::uint64_t l2DataRead = 0;
+  std::uint64_t l2DataWrite = 0;
+  std::uint64_t l2DirRead = 0;
+  std::uint64_t l2DirUpdate = 0;
+  std::uint64_t dirCacheProbe = 0;   ///< Flat directory's dir cache.
+  std::uint64_t dirCacheUpdate = 0;
+  std::uint64_t l1cProbe = 0;
+  std::uint64_t l1cUpdate = 0;
+  std::uint64_t l2cProbe = 0;
+  std::uint64_t l2cUpdate = 0;
+};
+
+}  // namespace eecc

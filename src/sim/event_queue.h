@@ -1,0 +1,84 @@
+// Discrete-event simulation kernel.
+//
+// All timed behaviour in the simulator — message delivery, cache access
+// latencies, memory-controller responses, core wakeups — is expressed as
+// events scheduled on a single global queue. Events at the same tick are
+// executed in FIFO order of scheduling, which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace eecc {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time.
+  Tick now() const { return now_; }
+
+  /// Schedules `action` to run at absolute time `when` (>= now()).
+  void scheduleAt(Tick when, Action action) {
+    EECC_CHECK_MSG(when >= now_, "event scheduled in the past");
+    heap_.push(Event{when, next_seq_++, std::move(action)});
+  }
+
+  /// Schedules `action` to run `delay` ticks from now.
+  void scheduleAfter(Tick delay, Action action) {
+    scheduleAt(now_ + delay, std::move(action));
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Executes the next event. Returns false if the queue is empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    // Move the event out before popping so the action may schedule others.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ev.action();
+    ++executed_;
+    return true;
+  }
+
+  /// Runs until the queue drains or simulated time reaches `limit`.
+  /// Events scheduled exactly at `limit` do run.
+  void runUntil(Tick limit) {
+    while (!heap_.empty() && heap_.top().when <= limit) step();
+    if (now_ < limit) now_ = limit;
+  }
+
+  /// Runs until the queue is empty.
+  void runToCompletion() {
+    while (step()) {
+    }
+  }
+
+  std::uint64_t executedEvents() const { return executed_; }
+
+ private:
+  struct Event {
+    Tick when;
+    std::uint64_t seq;  // FIFO tie-break for same-tick events
+    Action action;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace eecc

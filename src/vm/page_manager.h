@@ -1,0 +1,98 @@
+// Physical page allocation with hypervisor-style memory deduplication.
+//
+// Models what KVM/Xen/VMware page sharing gives the coherence protocols
+// (Section I): identical read-only pages in several VMs are backed by one
+// physical page; the first write by a VM triggers copy-on-write and gives
+// that VM a private copy. The manager also tracks the memory saved by
+// deduplication, the quantity the paper reports in Table IV.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace eecc {
+
+class PageManager {
+ public:
+  /// `firstPage`: lowest physical page number handed out (leaves room for
+  /// firmware/IO the way a real machine would).
+  explicit PageManager(std::uint64_t firstPage = 64)
+      : nextPage_(firstPage) {}
+
+  /// Allocates a fresh physical page private to one mapping.
+  Addr allocPrivatePage() {
+    ++physPages_;
+    ++logicalMappings_;
+    return static_cast<Addr>(nextPage_++) << kPageOffsetBits;
+  }
+
+  /// Maps a logical page with content identity `contentKey` for VM `vm`.
+  /// Identical content across VMs shares one physical page (deduplication).
+  Addr mapContent(std::uint64_t contentKey, VmId vm) {
+    ++logicalMappings_;
+    auto it = content_.find(contentKey);
+    if (it != content_.end()) {
+      (void)vm;
+      return it->second;
+    }
+    ++physPages_;
+    const Addr page = static_cast<Addr>(nextPage_++) << kPageOffsetBits;
+    content_.emplace(contentKey, page);
+    return page;
+  }
+
+  /// Copy-on-write: VM `vm` writes a deduplicated page. Returns the VM's
+  /// private copy, allocating it on first write. Other VMs keep reading
+  /// the shared original.
+  Addr copyOnWrite(std::uint64_t contentKey, VmId vm) {
+    EECC_CHECK_MSG(content_.contains(contentKey),
+                   "copy-on-write of a page that was never deduplicated");
+    const std::uint64_t key = cowKey(contentKey, vm);
+    auto it = cow_.find(key);
+    if (it != cow_.end()) return it->second;
+    ++physPages_;
+    ++cowEvents_;
+    const Addr page = static_cast<Addr>(nextPage_++) << kPageOffsetBits;
+    cow_.emplace(key, page);
+    return page;
+  }
+
+  /// The VM's current translation for a deduplicated logical page: the
+  /// private copy if it was ever written, otherwise the shared page.
+  Addr translate(std::uint64_t contentKey, VmId vm) const {
+    auto it = cow_.find(cowKey(contentKey, vm));
+    if (it != cow_.end()) return it->second;
+    auto c = content_.find(contentKey);
+    EECC_CHECK(c != content_.end());
+    return c->second;
+  }
+
+  std::uint64_t physicalPages() const { return physPages_; }
+  std::uint64_t logicalMappings() const { return logicalMappings_; }
+  std::uint64_t cowEvents() const { return cowEvents_; }
+
+  /// Fraction of memory saved by deduplication: 1 - physical/logical.
+  /// This is the "Memory saved by deduplication" column of Table IV.
+  double savedFraction() const {
+    if (logicalMappings_ == 0) return 0.0;
+    return 1.0 - static_cast<double>(physPages_) /
+                     static_cast<double>(logicalMappings_);
+  }
+
+ private:
+  static std::uint64_t cowKey(std::uint64_t contentKey, VmId vm) {
+    return contentKey * 1000003ULL + static_cast<std::uint64_t>(vm) + 1;
+  }
+
+  std::uint64_t nextPage_;
+  std::uint64_t physPages_ = 0;
+  std::uint64_t logicalMappings_ = 0;
+  std::uint64_t cowEvents_ = 0;
+  std::unordered_map<std::uint64_t, Addr> content_;
+  std::unordered_map<std::uint64_t, Addr> cow_;
+};
+
+}  // namespace eecc

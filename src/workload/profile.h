@@ -1,0 +1,99 @@
+// Synthetic benchmark profiles standing in for the paper's full-system
+// workloads (Table IV): Apache, SPECjbb, and the SPLASH/SPEC scientific
+// codes radix, lu, volrend and tomcatv, each run as 4 VMs x 16 cores.
+//
+// We cannot boot Solaris inside this reproduction, so each workload is a
+// parameterized reference-stream generator exposing exactly the traits the
+// paper's results hinge on:
+//   * working-set size vs. L1/L2 capacity — separates the paper's
+//     "L1-power-dominated" (tomcatv, lu, radix, volrend) from
+//     "L2-power-dominated" (apache, jbb) workloads;
+//   * the fraction of accesses to deduplicated inter-VM read-only pages
+//     (sized from Table IV's memory savings);
+//   * intra-VM read/write sharing;
+//   * temporal locality (page popularity skew + block reuse).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eecc {
+
+struct BenchmarkProfile {
+  std::string name;
+
+  // --- Issue behaviour ---
+  /// Mean compute cycles between two memory operations of one core
+  /// (2-way in-order core; memory ops are roughly 1/3 of instructions).
+  double meanGapCycles = 2.0;
+  /// Memory operations per "transaction" for throughput-metric workloads.
+  std::uint64_t opsPerTransaction = 2000;
+  /// True for commercial workloads measured in transactions / 500M cycles
+  /// (apache, jbb); false for scientific ones measured in execution time.
+  bool commercial = false;
+
+  // --- Footprint (pages of 4 KB) ---
+  std::uint64_t privatePagesPerThread = 16;
+  std::uint64_t vmSharedPages = 32;      ///< Intra-VM shared, read-write.
+  /// Target "memory saved by deduplication" when 4 VMs of this benchmark
+  /// run together (Table IV). The number of deduplicated pages per VM is
+  /// derived from it in WorkloadSpec::build.
+  double dedupSavedTarget = 0.20;
+
+  // --- Access mix ---
+  double privateAccessFraction = 0.55;
+  double vmSharedAccessFraction = 0.30;  ///< Remainder goes to dedup pages.
+  double privateWriteFraction = 0.30;
+  double sharedWriteFraction = 0.12;
+  /// Probability that an access to a deduplicated page is a write
+  /// (triggers hypervisor copy-on-write; should be tiny, Section I).
+  double dedupWriteFraction = 0.0;
+  /// Fraction of this benchmark's deduplicated pages that are OS/common
+  /// pages (identical across *all* VMs); the rest are application pages
+  /// (identical only across VMs running the same benchmark). Scientific
+  /// codes have small footprints, so most of their Table IV savings come
+  /// from the guest OS; commercial images dedup mostly on app content.
+  double osDedupFraction = 0.49;
+
+  // --- Locality ---
+  double zipfAlpha = 0.9;       ///< Page popularity skew within each pool.
+  /// Dedup pages get their own skew (shared libraries/JVM text are very
+  /// hot even when the heap's popularity is flat). <0 means "use
+  /// zipfAlpha".
+  double dedupZipfAlpha = -1.0;
+  double blockReuseProb = 0.6;  ///< Re-touch one of the recent blocks.
+  std::uint32_t reuseWindow = 48;
+  /// Probability of re-touching a block from the longer access history —
+  /// typically evicted from the L1 already but still covered by the
+  /// L1C$'s retained supplier pointers (the re-reference behaviour behind
+  /// DiCo's prediction accuracy).
+  double historyReuseProb = 0.0;
+  std::uint32_t historyWindow = 16384;
+
+  double dedupAccessFraction() const {
+    return 1.0 - privateAccessFraction - vmSharedAccessFraction;
+  }
+};
+
+/// The eight workload configurations of Table IV.
+namespace profiles {
+BenchmarkProfile apache();
+BenchmarkProfile jbb();
+BenchmarkProfile radix();
+BenchmarkProfile lu();
+BenchmarkProfile volrend();
+BenchmarkProfile tomcatv();
+
+/// Per-VM profile lists for the 4-VM configurations.
+std::vector<BenchmarkProfile> uniform4(const BenchmarkProfile& p);
+std::vector<BenchmarkProfile> mixedCom();  ///< 2x apache + 2x jbb.
+std::vector<BenchmarkProfile> mixedSci();  ///< radix + lu + volrend + tomcatv.
+
+/// Profile by Table IV workload name ("apache4x16p", "mixed-sci", ...).
+std::vector<BenchmarkProfile> byWorkloadName(const std::string& name);
+/// All Table IV workload names in the paper's order.
+std::vector<std::string> allWorkloadNames();
+}  // namespace profiles
+
+}  // namespace eecc

@@ -1,0 +1,134 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/check.h"
+
+namespace eecc {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'E', 'C', 'C', 'T', 'R', 'C', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+void put(std::FILE* f, const void* data, std::size_t n) {
+  EECC_CHECK_MSG(std::fwrite(data, 1, n, f) == n, "trace write failed");
+}
+void get(std::FILE* f, void* data, std::size_t n) {
+  EECC_CHECK_MSG(std::fread(data, 1, n, f) == n, "trace read failed");
+}
+
+void putRecord(std::FILE* f, const TraceRecord& r) {
+  const std::uint16_t tile = static_cast<std::uint16_t>(r.tile);
+  const std::uint8_t type = r.type == AccessType::Write ? 1 : 0;
+  const std::uint8_t pad = 0;
+  const std::uint32_t gap = static_cast<std::uint32_t>(r.gapCycles);
+  put(f, &tile, sizeof tile);
+  put(f, &type, sizeof type);
+  put(f, &pad, sizeof pad);
+  put(f, &gap, sizeof gap);
+  put(f, &r.addr, sizeof r.addr);
+}
+
+TraceRecord getRecord(std::FILE* f) {
+  std::uint16_t tile = 0;
+  std::uint8_t type = 0;
+  std::uint8_t pad = 0;
+  std::uint32_t gap = 0;
+  Addr addr = 0;
+  get(f, &tile, sizeof tile);
+  get(f, &type, sizeof type);
+  get(f, &pad, sizeof pad);
+  get(f, &gap, sizeof gap);
+  get(f, &addr, sizeof addr);
+  TraceRecord r;
+  r.tile = static_cast<NodeId>(tile);
+  r.type = type != 0 ? AccessType::Write : AccessType::Read;
+  r.gapCycles = gap;
+  r.addr = addr;
+  return r;
+}
+
+}  // namespace
+
+std::uint64_t writeTrace(Workload& workload, const CmpConfig& cfg,
+                         std::uint64_t opsPerTile, const std::string& path) {
+  Trace trace;
+  trace.setTileCount(static_cast<std::uint32_t>(cfg.tiles()));
+  for (std::uint64_t i = 0; i < opsPerTile; ++i) {
+    for (NodeId t = 0; t < cfg.tiles(); ++t) {
+      if (!workload.tileActive(t)) continue;
+      const MemOp op = workload.next(t);
+      trace.append({t, op.type, op.computeCycles, op.addr});
+    }
+  }
+  trace.save(path);
+  return trace.records().size();
+}
+
+void Trace::save(const std::string& path) const {
+  File f(std::fopen(path.c_str(), "wb"));
+  EECC_CHECK_MSG(f != nullptr, "cannot open trace file for writing");
+  put(f.get(), kMagic, sizeof kMagic);
+  put(f.get(), &tileCount_, sizeof tileCount_);
+  const std::uint64_t count = records_.size();
+  put(f.get(), &count, sizeof count);
+  for (const TraceRecord& r : records_) putRecord(f.get(), r);
+}
+
+Trace Trace::load(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  EECC_CHECK_MSG(f != nullptr, "cannot open trace file for reading");
+  char magic[8];
+  get(f.get(), magic, sizeof magic);
+  EECC_CHECK_MSG(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+                 "not an EECC trace file");
+  Trace trace;
+  get(f.get(), &trace.tileCount_, sizeof trace.tileCount_);
+  std::uint64_t count = 0;
+  get(f.get(), &count, sizeof count);
+  trace.records_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i)
+    trace.records_.push_back(getRecord(f.get()));
+  return trace;
+}
+
+TraceSource::TraceSource(const Trace& trace)
+    : streams_(trace.splitByTile()),
+      positions_(streams_.size(), 0) {}
+
+MemOp TraceSource::next(NodeId tile) {
+  auto& stream = streams_[static_cast<std::size_t>(tile)];
+  EECC_CHECK_MSG(!stream.empty(), "next() on an inactive tile");
+  auto& pos = positions_[static_cast<std::size_t>(tile)];
+  const TraceRecord& r = stream[pos];
+  pos += 1;
+  if (pos == stream.size()) {
+    pos = 0;
+    ++wraparounds_;
+  }
+  MemOp op;
+  op.computeCycles = r.gapCycles;
+  op.addr = r.addr;
+  op.type = r.type;
+  return op;
+}
+
+std::vector<std::vector<TraceRecord>> Trace::splitByTile() const {
+  std::vector<std::vector<TraceRecord>> out(tileCount_);
+  for (const TraceRecord& r : records_) {
+    EECC_CHECK(static_cast<std::uint32_t>(r.tile) < tileCount_);
+    out[static_cast<std::size_t>(r.tile)].push_back(r);
+  }
+  return out;
+}
+
+}  // namespace eecc

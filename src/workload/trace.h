@@ -1,0 +1,79 @@
+// Memory-reference trace capture and replay.
+//
+// Simulation campaigns often want the exact same reference stream across
+// tools or runs (e.g. to hand a stream to another simulator, or to replay
+// a workload without its generator). A trace stores, per record, the
+// issuing tile, the access type, the compute gap preceding the access and
+// the block address, in a simple little-endian binary format:
+//
+//   header:  "EECCTRC1" (8 bytes), u32 tileCount, u64 recordCount
+//   record:  u16 tile, u8 type (0=read 1=write), u8 pad, u32 gapCycles,
+//            u64 addr                                     (16 bytes)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/workload.h"
+
+namespace eecc {
+
+struct TraceRecord {
+  NodeId tile = 0;
+  AccessType type = AccessType::Read;
+  Tick gapCycles = 0;
+  Addr addr = 0;
+  bool operator==(const TraceRecord&) const = default;
+};
+
+/// Draws `opsPerTile` operations per active tile from `workload`
+/// (round-robin, matching the interleaving a uniform run would see) and
+/// writes them to `path`. Returns the number of records written.
+std::uint64_t writeTrace(Workload& workload, const CmpConfig& cfg,
+                         std::uint64_t opsPerTile, const std::string& path);
+
+/// Replays a recorded trace as a per-tile reference stream. Each tile's
+/// stream wraps around when exhausted, so fixed-window measurements can
+/// run longer than the recording (document the wrap in results if the
+/// trace is short).
+class TraceSource final : public OpSource {
+ public:
+  explicit TraceSource(const class Trace& trace);
+
+  bool tileActive(NodeId tile) const override {
+    return !streams_[static_cast<std::size_t>(tile)].empty();
+  }
+  MemOp next(NodeId tile) override;
+
+  /// How many times any tile's stream has wrapped around.
+  std::uint64_t wraparounds() const { return wraparounds_; }
+
+ private:
+  std::vector<std::vector<TraceRecord>> streams_;
+  std::vector<std::size_t> positions_;
+  std::uint64_t wraparounds_ = 0;
+};
+
+/// In-memory trace, loadable from the file format above.
+class Trace {
+ public:
+  /// Loads a trace; aborts (EECC_CHECK) on a malformed file.
+  static Trace load(const std::string& path);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::uint32_t tileCount() const { return tileCount_; }
+
+  /// Per-tile streams in record order (for replay through a core model).
+  std::vector<std::vector<TraceRecord>> splitByTile() const;
+
+  void append(const TraceRecord& r) { records_.push_back(r); }
+  void setTileCount(std::uint32_t n) { tileCount_ = n; }
+  void save(const std::string& path) const;
+
+ private:
+  std::uint32_t tileCount_ = 0;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace eecc

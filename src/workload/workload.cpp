@@ -1,0 +1,235 @@
+#include "workload/workload.h"
+
+#include <cmath>
+
+namespace eecc {
+
+namespace {
+
+// FNV-1a over a string plus a slot number — stable content identities for
+// deduplicated pages.
+std::uint64_t contentKey(const std::string& group, std::uint64_t slot) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : group) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  h ^= slot;
+  h *= 1099511628211ULL;
+  return h;
+}
+
+// Geometric-ish compute gap with the profile's mean, never negative.
+Tick sampleGap(Rng& rng, double mean) {
+  const double u = rng.uniform();
+  const double g = -mean * std::log(1.0 - u);
+  return static_cast<Tick>(g + 0.5);
+}
+
+}  // namespace
+
+std::uint64_t Workload::dedupPagesFor(const BenchmarkProfile& p,
+                                      std::uint32_t numVms) {
+  // With v identical VMs, D deduplicated pages per VM and B = non-dedup
+  // pages per VM, memory saved = (v-1)*D / (v*(B+D)). Solving for D at the
+  // profile's Table IV target:
+  const double v = static_cast<double>(numVms);
+  const double base = static_cast<double>(16 * p.privatePagesPerThread +
+                                          p.vmSharedPages);
+  const double s = p.dedupSavedTarget;
+  const double denom = (v - 1.0) - s * v;
+  EECC_CHECK_MSG(denom > 0, "dedup savings target unreachable");
+  return static_cast<std::uint64_t>(s * v * base / denom + 0.5);
+}
+
+Workload::Workload(const CmpConfig& cfg, const VmLayout& layout,
+                   std::vector<BenchmarkProfile> perVm, std::uint64_t seed,
+                   bool dedupEnabled)
+    : cfg_(cfg), layout_(layout), dedupEnabled_(dedupEnabled) {
+  EECC_CHECK(perVm.size() == layout.numVms);
+  threadOfTile_.assign(static_cast<std::size_t>(cfg.tiles()), nullptr);
+
+  for (VmId vm = 0; static_cast<std::size_t>(vm) < perVm.size(); ++vm) {
+    auto image = std::make_unique<VmImage>();
+    image->profile = perVm[static_cast<std::size_t>(vm)];
+    const BenchmarkProfile& p = image->profile;
+    const auto vmTiles = layout.tilesOfVm(vm);
+    const auto nThreads = static_cast<std::uint32_t>(vmTiles.size());
+
+    // Private pools, one per thread.
+    image->privatePages.resize(nThreads);
+    for (std::uint32_t t = 0; t < nThreads; ++t)
+      for (std::uint64_t i = 0; i < p.privatePagesPerThread; ++i)
+        image->privatePages[t].push_back(pages_.allocPrivatePage());
+
+    // Intra-VM shared pool.
+    for (std::uint64_t i = 0; i < p.vmSharedPages; ++i)
+      image->sharedPages.push_back(pages_.allocPrivatePage());
+
+    // Deduplicated pool: D pages sized from the Table IV target assuming
+    // 4 identical VMs (the paper's homogeneous configurations). A slice
+    // of them is OS content (shared chip-wide), the rest app content
+    // (shared by same-benchmark VMs only).
+    const std::uint64_t dedup = dedupPagesFor(p, 4);
+    const auto osPages =
+        static_cast<std::uint64_t>(p.osDedupFraction *
+                                   static_cast<double>(dedup));
+    for (std::uint64_t i = 0; i < dedup; ++i) {
+      const std::uint64_t key = i < osPages
+                                    ? contentKey("os", i)
+                                    : contentKey(p.name, i - osPages);
+      image->dedupKeys.push_back(key);
+      const Addr page = dedupEnabled ? pages_.mapContent(key, vm)
+                                     : pages_.allocPrivatePage();
+      image->dedupView.push_back(page);
+      if (dedupEnabled) sharedDedupPages_.insert(page);
+    }
+
+    image->privateZipf = std::make_unique<ZipfSampler>(
+        std::max<std::uint64_t>(1, p.privatePagesPerThread), p.zipfAlpha);
+    image->sharedZipf = std::make_unique<ZipfSampler>(
+        std::max<std::uint64_t>(1, p.vmSharedPages), p.zipfAlpha);
+    image->dedupZipf = std::make_unique<ZipfSampler>(
+        std::max<std::uint64_t>(1, dedup),
+        p.dedupZipfAlpha >= 0 ? p.dedupZipfAlpha : p.zipfAlpha);
+
+    // Pin one thread per tile of the VM.
+    for (std::uint32_t t = 0; t < nThreads; ++t) {
+      auto thread = std::make_unique<Thread>();
+      thread->vm = image.get();
+      thread->vmId = vm;
+      thread->threadIdx = t;
+      thread->rng.reseed(seed * 1000003ULL +
+                         static_cast<std::uint64_t>(vm) * 131ULL + t);
+      thread->recentBlocks.assign(p.reuseWindow, 0);
+      if (p.historyReuseProb > 0.0)
+        thread->historyBlocks.assign(p.historyWindow, 0);
+      threadOfTile_[static_cast<std::size_t>(vmTiles[t])] = thread.get();
+      threads_.push_back(std::move(thread));
+    }
+    vms_.push_back(std::move(image));
+  }
+}
+
+const BenchmarkProfile& Workload::profileOf(NodeId tile) const {
+  const Thread* t = threadOfTile_[static_cast<std::size_t>(tile)];
+  EECC_CHECK(t != nullptr);
+  return t->vm->profile;
+}
+
+Addr Workload::pickBlock(Thread& t, Addr page, bool shared) {
+  const Addr block =
+      page + (t.rng.below(kPageBytes / kBlockBytes) << kBlockOffsetBits);
+  return remember(t, block, shared);
+}
+
+Addr Workload::remember(Thread& t, Addr block, bool shared) {
+  if (!t.recentBlocks.empty()) {
+    t.recentBlocks[t.recentPos] = block;
+    t.recentPos = (t.recentPos + 1) %
+                  static_cast<std::uint32_t>(t.recentBlocks.size());
+  }
+  // Only shared/deduplicated blocks enter the long-range history: their
+  // re-misses are the ones the L1C$ can predict (retained supplier
+  // pointers and invalidation updates both target shared lines).
+  if (shared && !t.historyBlocks.empty()) {
+    t.historyBlocks[t.historyPos] = block;
+    t.historyPos = (t.historyPos + 1) %
+                   static_cast<std::uint32_t>(t.historyBlocks.size());
+  }
+  return block;
+}
+
+MemOp Workload::genFresh(Thread& t) {
+  VmImage& vm = *t.vm;
+  const BenchmarkProfile& p = vm.profile;
+  MemOp op;
+  op.computeCycles = sampleGap(t.rng, p.meanGapCycles);
+
+  const double u = t.rng.uniform();
+  if (u < p.privateAccessFraction || vm.dedupView.empty()) {
+    auto& pool = vm.privatePages[t.threadIdx %
+                                 static_cast<std::uint32_t>(
+                                     vm.privatePages.size())];
+    const Addr page = pool[vm.privateZipf->sample(t.rng) % pool.size()];
+    op.addr = pickBlock(t, page, false);
+    op.type = t.rng.chance(p.privateWriteFraction) ? AccessType::Write
+                                                   : AccessType::Read;
+  } else if (u < p.privateAccessFraction + p.vmSharedAccessFraction &&
+             !vm.sharedPages.empty()) {
+    const Addr page =
+        vm.sharedPages[vm.sharedZipf->sample(t.rng) % vm.sharedPages.size()];
+    op.addr = pickBlock(t, page, true);
+    op.type = t.rng.chance(p.sharedWriteFraction) ? AccessType::Write
+                                                  : AccessType::Read;
+  } else {
+    // Deduplicated inter-VM data: read-only in the common case. A write
+    // models the guest dirtying a formerly deduplicated page: the
+    // hypervisor breaks the sharing (copy-on-write) and the write goes to
+    // the VM's fresh private copy — cached copies of the shared original
+    // stay valid for the other VMs, so no invalidation storm occurs.
+    const std::size_t slot = vm.dedupZipf->sample(t.rng) %
+                             vm.dedupView.size();
+    if (t.rng.chance(p.dedupWriteFraction)) {
+      // With deduplication disabled, the page is already private — the
+      // write needs no hypervisor copy.
+      const Addr target =
+          dedupEnabled_ ? pages_.copyOnWrite(vm.dedupKeys[slot], t.vmId)
+                        : vm.dedupView[slot];
+      vm.dedupView[slot] = target;
+      op.addr = pickBlock(t, target, false);
+      op.type = AccessType::Write;
+    } else {
+      op.addr = pickBlock(t, vm.dedupView[slot], true);
+      op.type = AccessType::Read;
+    }
+  }
+  return op;
+}
+
+MemOp Workload::next(NodeId tile) {
+  Thread* t = threadOfTile_[static_cast<std::size_t>(tile)];
+  EECC_CHECK_MSG(t != nullptr, "no thread pinned to this tile");
+  const BenchmarkProfile& p = t->vm->profile;
+
+  // Long-range re-reference: re-touch a block from the access history
+  // (usually evicted from the L1 by now, but still predictable through
+  // the L1C$). Reads only — writes to shared pages must go through the
+  // fresh path's pool logic.
+  if (!t->historyBlocks.empty() && t->rng.chance(p.historyReuseProb)) {
+    const Addr block = t->historyBlocks[t->rng.below(t->historyBlocks.size())];
+    if (block != 0) {
+      MemOp op;
+      op.computeCycles = sampleGap(t->rng, p.meanGapCycles);
+      op.addr = remember(*t, block, true);
+      op.type = AccessType::Read;
+      return op;
+    }
+  }
+  // Temporal reuse: with probability blockReuseProb, re-touch one of the
+  // recently accessed blocks instead of generating a fresh reference.
+  if (!t->recentBlocks.empty() && t->recentBlocks[0] != 0 &&
+      t->rng.chance(p.blockReuseProb)) {
+    MemOp op;
+    op.computeCycles = sampleGap(t->rng, p.meanGapCycles);
+    const Addr block =
+        t->recentBlocks[t->rng.below(t->recentBlocks.size())];
+    if (block != 0) {
+      op.addr = block;
+      // Reused blocks keep the pool's dominant read bias; writes to
+      // dedup pages are only generated on the fresh path (COW handling).
+      op.type = t->rng.chance(0.2 * p.privateWriteFraction)
+                    ? AccessType::Write
+                    : AccessType::Read;
+      // Never write a shared deduplicated page directly — real hardware
+      // would trap into the hypervisor first (COW handled on fresh path).
+      if (op.type == AccessType::Write &&
+          sharedDedupPages_.contains(pageAddr(block)))
+        op.type = AccessType::Read;
+      return op;
+    }
+  }
+  return genFresh(*t);
+}
+
+}  // namespace eecc

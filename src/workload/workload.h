@@ -1,0 +1,111 @@
+// Builds the physical-memory image of a consolidated server (per-thread
+// private pools, per-VM shared pools, deduplicated inter-VM pools) and
+// generates per-tile memory reference streams from it.
+//
+// Deduplicated content comes in two flavours with distinct content keys:
+// OS/common pages (identical across *all* VMs — same guest OS) and
+// application pages (identical across VMs running the *same* benchmark).
+// This split is what makes the mixed workloads of Table IV save less
+// memory than the homogeneous ones, exactly as the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/config.h"
+#include "vm/page_manager.h"
+#include "workload/profile.h"
+#include "workload/zipf.h"
+
+namespace eecc {
+
+/// One operation of a core's stream: `computeCycles` of non-memory work
+/// followed by one memory access.
+struct MemOp {
+  Tick computeCycles = 0;
+  Addr addr = 0;
+  AccessType type = AccessType::Read;
+};
+
+/// Anything that can feed per-tile reference streams to the core model:
+/// the synthetic Workload generator, or a recorded TraceSource.
+class OpSource {
+ public:
+  virtual ~OpSource() = default;
+  virtual bool tileActive(NodeId tile) const = 0;
+  virtual MemOp next(NodeId tile) = 0;
+};
+
+class Workload : public OpSource {
+ public:
+  /// `perVm[i]` is the benchmark VM i runs; threads are pinned one per
+  /// tile according to `layout`.
+  /// `dedupEnabled = false` disables hypervisor page sharing: every VM
+  /// gets private copies of its "deduplicated" pages (the ablation of the
+  /// paper's Section I claim via [6]).
+  Workload(const CmpConfig& cfg, const VmLayout& layout,
+           std::vector<BenchmarkProfile> perVm, std::uint64_t seed = 1,
+           bool dedupEnabled = true);
+
+  /// Whether `tile` runs a thread at all.
+  bool tileActive(NodeId tile) const override {
+    return threadOfTile_[static_cast<std::size_t>(tile)] != nullptr;
+  }
+
+  /// Next operation of the thread pinned to `tile`.
+  MemOp next(NodeId tile) override;
+
+  const BenchmarkProfile& profileOf(NodeId tile) const;
+  const VmLayout& layout() const { return layout_; }
+  const PageManager& pages() const { return pages_; }
+
+  /// Derives the number of deduplicated pages per VM needed to hit the
+  /// profile's Table IV memory-savings target when `numVms` identical VMs
+  /// share them. Exposed for tests.
+  static std::uint64_t dedupPagesFor(const BenchmarkProfile& p,
+                                     std::uint32_t numVms);
+
+ private:
+  struct VmImage {
+    BenchmarkProfile profile;
+    std::vector<std::vector<Addr>> privatePages;  // [thread][page]
+    std::vector<Addr> sharedPages;
+    // Deduplicated logical slots: content key + current translation for
+    // this VM (changes after copy-on-write).
+    std::vector<std::uint64_t> dedupKeys;
+    std::vector<Addr> dedupView;
+    std::unique_ptr<ZipfSampler> privateZipf;
+    std::unique_ptr<ZipfSampler> sharedZipf;
+    std::unique_ptr<ZipfSampler> dedupZipf;
+  };
+
+  struct Thread {
+    VmImage* vm = nullptr;
+    VmId vmId = -1;
+    std::uint32_t threadIdx = 0;
+    Rng rng;
+    std::vector<Addr> recentBlocks;   // short reuse ring (L1-resident)
+    std::uint32_t recentPos = 0;
+    std::vector<Addr> historyBlocks;  // long ring (L1C$-covered re-misses)
+    std::uint32_t historyPos = 0;
+  };
+
+  Addr pickBlock(Thread& t, Addr page, bool shared);
+  Addr remember(Thread& t, Addr block, bool shared);
+  MemOp genFresh(Thread& t);
+
+  CmpConfig cfg_;
+  VmLayout layout_;
+  PageManager pages_;
+  bool dedupEnabled_ = true;
+  std::unordered_set<Addr> sharedDedupPages_;
+  std::vector<std::unique_ptr<VmImage>> vms_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::vector<Thread*> threadOfTile_;
+};
+
+}  // namespace eecc

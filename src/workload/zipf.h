@@ -1,0 +1,42 @@
+// Zipf-distributed sampling of page indices — the standard model for
+// page-popularity skew in server workloads. Precomputes the CDF once and
+// samples by binary search, so sampling is O(log n) and allocation-free.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace eecc {
+
+class ZipfSampler {
+ public:
+  /// Ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^alpha.
+  ZipfSampler(std::size_t n, double alpha) : cdf_(n) {
+    EECC_CHECK(n >= 1);
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+      cdf_[k] = total;
+    }
+    for (auto& c : cdf_) c /= total;
+  }
+
+  std::size_t size() const { return cdf_.size(); }
+
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) return cdf_.size() - 1;
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace eecc

@@ -1,0 +1,110 @@
+// Unit tests for the generic set-associative cache array.
+#include <gtest/gtest.h>
+
+#include "cache/cache_array.h"
+
+namespace eecc {
+namespace {
+
+struct TestLine : CacheLineBase {
+  int payload = 0;
+};
+
+Addr blk(std::uint64_t i) { return i * kBlockBytes; }
+
+TEST(CacheArray, FindMissOnEmpty) {
+  CacheArray<TestLine> c(64, 4);
+  EXPECT_EQ(c.find(blk(1)), nullptr);
+  EXPECT_EQ(c.validCount(), 0u);
+}
+
+TEST(CacheArray, InstallAndFind) {
+  CacheArray<TestLine> c(64, 4);
+  TestLine* slot = c.selectVictim(blk(5), nullptr);
+  ASSERT_NE(slot, nullptr);
+  c.install(*slot, blk(5)).payload = 42;
+  TestLine* found = c.find(blk(5));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->payload, 42);
+  EXPECT_EQ(c.validCount(), 1u);
+}
+
+TEST(CacheArray, SetIndexSeparatesBlocks) {
+  CacheArray<TestLine> c(64, 4);  // 16 sets
+  // Blocks 0 and 16 map to the same set; 0 and 1 to different sets.
+  c.install(*c.selectVictim(blk(0), nullptr), blk(0));
+  c.install(*c.selectVictim(blk(1), nullptr), blk(1));
+  EXPECT_NE(c.find(blk(0)), nullptr);
+  EXPECT_NE(c.find(blk(1)), nullptr);
+  EXPECT_EQ(c.find(blk(16)), nullptr);
+}
+
+TEST(CacheArray, LruEvictsOldest) {
+  CacheArray<TestLine> c(16, 4);  // 4 sets; same set: blocks 0,4,8,12,16...
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    TestLine* v = c.selectVictim(blk(i * 4), nullptr);
+    EXPECT_FALSE(v->valid);  // invalid ways first
+    c.install(*v, blk(i * 4));
+  }
+  // Touch block 0 so block 4 becomes LRU.
+  c.touch(*c.find(blk(0)));
+  TestLine* victim = c.selectVictim(blk(16 * 4), nullptr);
+  ASSERT_NE(victim, nullptr);
+  EXPECT_TRUE(victim->valid);
+  EXPECT_EQ(victim->addr, blk(4));
+}
+
+TEST(CacheArray, BusyLinesAreNotVictims) {
+  CacheArray<TestLine> c(4, 4);  // one set
+  for (std::uint64_t i = 0; i < 4; ++i)
+    c.install(*c.selectVictim(blk(i), nullptr), blk(i));
+  // Mark the LRU line (block 0) busy: victim must be block 1 instead.
+  TestLine* victim = c.selectVictim(
+      blk(9), [](const TestLine& l) { return l.addr == blk(0); });
+  ASSERT_NE(victim, nullptr);
+  EXPECT_EQ(victim->addr, blk(1));
+  // All busy -> nullptr.
+  EXPECT_EQ(c.selectVictim(blk(9), [](const TestLine&) { return true; }),
+            nullptr);
+}
+
+TEST(CacheArray, InstallResetsLineState) {
+  CacheArray<TestLine> c(16, 4);
+  TestLine* slot = c.selectVictim(blk(0), nullptr);
+  c.install(*slot, blk(0)).payload = 99;
+  // Re-install another block over it: payload must reset.
+  c.find(blk(0))->valid = false;
+  TestLine* again = c.selectVictim(blk(0), nullptr);
+  c.install(*again, blk(0));
+  EXPECT_EQ(c.find(blk(0))->payload, 0);
+}
+
+TEST(CacheArray, ForEachValidVisitsAll) {
+  CacheArray<TestLine> c(64, 4);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    c.install(*c.selectVictim(blk(i), nullptr), blk(i));
+  int count = 0;
+  c.forEachValid([&](TestLine&) { ++count; });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(CacheArray, InvalidateFreesSlot) {
+  CacheArray<TestLine> c(16, 4);
+  c.install(*c.selectVictim(blk(3), nullptr), blk(3));
+  c.invalidate(*c.find(blk(3)));
+  EXPECT_EQ(c.find(blk(3)), nullptr);
+  EXPECT_EQ(c.validCount(), 0u);
+}
+
+TEST(CacheArray, DirectMapped) {
+  CacheArray<TestLine> c(8, 1);
+  c.install(*c.selectVictim(blk(1), nullptr), blk(1));
+  // Conflicting block (same set, 8 sets -> blocks 1 and 9 collide).
+  TestLine* v = c.selectVictim(blk(9), nullptr);
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(v->valid);
+  EXPECT_EQ(v->addr, blk(1));
+}
+
+}  // namespace
+}  // namespace eecc

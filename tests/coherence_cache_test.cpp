@@ -1,0 +1,98 @@
+// Unit tests for the L1C$/L2C$ pointer caches, including the busy-entry
+// overflow behaviour the precise L2C$ relies on.
+#include <gtest/gtest.h>
+
+#include "cache/coherence_cache.h"
+
+namespace eecc {
+namespace {
+
+Addr blk(std::uint64_t i) { return i * kBlockBytes; }
+
+TEST(CoherenceCache, LookupMissThenHit) {
+  CoherenceCache cc(16, 1);
+  EXPECT_FALSE(cc.lookup(blk(1)).has_value());
+  cc.update(blk(1), 7);
+  auto hit = cc.lookup(blk(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 7);
+}
+
+TEST(CoherenceCache, UpdateRefreshesExisting) {
+  CoherenceCache cc(16, 1);
+  cc.update(blk(1), 7);
+  const auto displaced = cc.update(blk(1), 9);
+  EXPECT_FALSE(displaced.has_value());
+  EXPECT_EQ(*cc.lookup(blk(1)), 9);
+  EXPECT_EQ(cc.validCount(), 1u);
+}
+
+TEST(CoherenceCache, DirectMappedDisplacementReported) {
+  CoherenceCache cc(16, 1);  // blocks 1 and 17 collide
+  cc.update(blk(1), 7);
+  const auto displaced = cc.update(blk(17), 8);
+  ASSERT_TRUE(displaced.has_value());
+  EXPECT_EQ(displaced->first, blk(1));
+  EXPECT_EQ(displaced->second, 7);
+  EXPECT_FALSE(cc.lookup(blk(1)).has_value());
+  EXPECT_EQ(*cc.lookup(blk(17)), 8);
+}
+
+TEST(CoherenceCache, BusyEntryParksNewcomerInOverflow) {
+  CoherenceCache cc(16, 1);
+  cc.update(blk(1), 7);
+  const auto displaced =
+      cc.update(blk(17), 8, [](Addr a) { return a == blk(1); });
+  EXPECT_FALSE(displaced.has_value());  // nothing displaced
+  EXPECT_EQ(*cc.lookup(blk(1)), 7);     // busy entry survives
+  EXPECT_EQ(*cc.lookup(blk(17)), 8);    // newcomer still findable
+  EXPECT_EQ(cc.overflowSize(), 1u);
+}
+
+TEST(CoherenceCache, OverflowEntryCanBeInvalidated) {
+  CoherenceCache cc(16, 1);
+  cc.update(blk(1), 7);
+  cc.update(blk(17), 8, [](Addr a) { return a == blk(1); });
+  cc.invalidate(blk(17));
+  EXPECT_FALSE(cc.lookup(blk(17)).has_value());
+  EXPECT_EQ(cc.overflowSize(), 0u);
+}
+
+TEST(CoherenceCache, ReinsertionClearsOverflow) {
+  CoherenceCache cc(16, 1);
+  cc.update(blk(1), 7);
+  cc.update(blk(17), 8, [](Addr a) { return a == blk(1); });
+  cc.invalidate(blk(1));
+  cc.update(blk(17), 9);  // slot now free; must not duplicate
+  EXPECT_EQ(*cc.lookup(blk(17)), 9);
+  EXPECT_EQ(cc.overflowSize(), 0u);
+  EXPECT_EQ(cc.validCount(), 1u);
+}
+
+TEST(CoherenceCache, InvalidateMissingIsNoop) {
+  CoherenceCache cc(16, 1);
+  cc.invalidate(blk(3));
+  EXPECT_EQ(cc.validCount(), 0u);
+}
+
+TEST(CoherenceCache, ForEachVisitsArrayAndOverflow) {
+  CoherenceCache cc(16, 1);
+  cc.update(blk(1), 7);
+  cc.update(blk(17), 8, [](Addr) { return true; });
+  int n = 0;
+  cc.forEach([&](Addr, NodeId) { ++n; });
+  EXPECT_EQ(n, 2);
+}
+
+TEST(CoherenceCache, SetAssociativeKeepsMultiple) {
+  CoherenceCache cc(16, 4);
+  cc.update(blk(1), 1);
+  cc.update(blk(5), 2);   // same set (4 sets), different ways
+  cc.update(blk(9), 3);
+  cc.update(blk(13), 4);
+  EXPECT_EQ(cc.validCount(), 4u);
+  EXPECT_EQ(*cc.lookup(blk(5)), 2);
+}
+
+}  // namespace
+}  // namespace eecc

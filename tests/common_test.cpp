@@ -1,0 +1,166 @@
+// Unit tests for common/: bit helpers, RNG determinism, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace eecc {
+namespace {
+
+TEST(Bits, Log2Ceil) {
+  EXPECT_EQ(log2ceil(1), 0u);
+  EXPECT_EQ(log2ceil(2), 1u);
+  EXPECT_EQ(log2ceil(3), 2u);
+  EXPECT_EQ(log2ceil(4), 2u);
+  EXPECT_EQ(log2ceil(5), 3u);
+  EXPECT_EQ(log2ceil(64), 6u);
+  EXPECT_EQ(log2ceil(1024), 10u);
+  EXPECT_EQ(log2ceil(1025), 11u);
+}
+
+TEST(Bits, Log2Floor) {
+  EXPECT_EQ(log2floor(1), 0u);
+  EXPECT_EQ(log2floor(2), 1u);
+  EXPECT_EQ(log2floor(3), 1u);
+  EXPECT_EQ(log2floor(64), 6u);
+  EXPECT_EQ(log2floor(65), 6u);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_TRUE(isPow2(1));
+  EXPECT_TRUE(isPow2(2));
+  EXPECT_TRUE(isPow2(4096));
+  EXPECT_FALSE(isPow2(0));
+  EXPECT_FALSE(isPow2(3));
+  EXPECT_FALSE(isPow2(4097));
+}
+
+TEST(Bits, BitsToKiB) {
+  EXPECT_DOUBLE_EQ(bitsToKiB(8192), 1.0);
+  EXPECT_DOUBLE_EQ(bitsToKiB(8 * 1024 * 134), 134.0);
+}
+
+TEST(Types, BlockAndPageArithmetic) {
+  const Addr a = 0x12345678;
+  EXPECT_EQ(blockAddr(a) % kBlockBytes, 0u);
+  EXPECT_LE(blockAddr(a), a);
+  EXPECT_LT(a - blockAddr(a), kBlockBytes);
+  EXPECT_EQ(pageAddr(a) % kPageBytes, 0u);
+  EXPECT_EQ(blockIndex(kBlockBytes * 7), 7u);
+}
+
+TEST(Types, ProtocolNames) {
+  EXPECT_STREQ(protocolName(ProtocolKind::Directory), "Directory");
+  EXPECT_STREQ(protocolName(ProtocolKind::DiCo), "DiCo");
+  EXPECT_STREQ(protocolName(ProtocolKind::DiCoProviders), "DiCo-Providers");
+  EXPECT_STREQ(protocolName(ProtocolKind::DiCoArin), "DiCo-Arin");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values reachable
+}
+
+TEST(Rng, ChanceFrequencies) {
+  Rng r(99);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (r.chance(0.25)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 1.25, 1e-12);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, Merge) {
+  Accumulator a;
+  Accumulator b;
+  a.add(1.0);
+  a.add(2.0);
+  b.add(10.0);
+  a += b;
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_NEAR(a.mean(), 13.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, BucketsAndSaturation) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(-3.0);   // saturates low
+  h.add(100.0);  // saturates high
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[5], 1u);
+  EXPECT_EQ(h.buckets()[9], 1u);
+  EXPECT_EQ(h.summary().count(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucketLow(5), 5.0);
+}
+
+TEST(CounterSet, AccumulateAndMerge) {
+  CounterSet a;
+  a["x"] += 3;
+  a["y"] += 1;
+  CounterSet b;
+  b["x"] += 2;
+  b["z"] += 7;
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 5u);
+  EXPECT_EQ(a.get("y"), 1u);
+  EXPECT_EQ(a.get("z"), 7u);
+  EXPECT_EQ(a.get("missing"), 0u);
+}
+
+}  // namespace
+}  // namespace eecc

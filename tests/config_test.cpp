@@ -1,0 +1,122 @@
+// Unit tests for the chip configuration: area division, home mapping,
+// memory controllers and the matched / "-alt" VM layouts of Figure 6.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/config.h"
+
+namespace eecc {
+namespace {
+
+TEST(CmpConfig, DefaultsMatchTableIII) {
+  CmpConfig cfg;
+  cfg.validate();
+  EXPECT_EQ(cfg.tiles(), 64);
+  EXPECT_EQ(cfg.tilesPerArea(), 16);
+  EXPECT_EQ(cfg.l1.entries * kBlockBytes, 128u * 1024u);  // 128 KB
+  EXPECT_EQ(cfg.l2.entries * kBlockBytes, 1024u * 1024u);  // 1 MB per bank
+  EXPECT_EQ(cfg.memLatency, 300u);
+}
+
+TEST(CmpConfig, FourAreasAreQuadrants) {
+  CmpConfig cfg;
+  // Corners of the 8x8 mesh land in the four distinct quadrants.
+  EXPECT_EQ(cfg.areaOf(0), 0);                // (0,0)
+  EXPECT_EQ(cfg.areaOf(7), 1);                // (7,0)
+  EXPECT_EQ(cfg.areaOf(56), 2);               // (0,7)
+  EXPECT_EQ(cfg.areaOf(63), 3);               // (7,7)
+  // Every area has exactly 16 tiles.
+  for (AreaId a = 0; a < 4; ++a)
+    EXPECT_EQ(cfg.tilesInArea(a).size(), 16u);
+}
+
+TEST(CmpConfig, AreaCountVariants) {
+  for (const std::uint32_t areas : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    CmpConfig cfg;
+    cfg.numAreas = areas;
+    cfg.validate();
+    std::set<AreaId> seen;
+    for (NodeId t = 0; t < cfg.tiles(); ++t) seen.insert(cfg.areaOf(t));
+    EXPECT_EQ(seen.size(), areas);
+    for (AreaId a = 0; a < static_cast<AreaId>(areas); ++a)
+      EXPECT_EQ(cfg.tilesInArea(a).size(), 64u / areas);
+  }
+}
+
+TEST(CmpConfig, AreasAreContiguousRectangles) {
+  CmpConfig cfg;
+  cfg.numAreas = 4;
+  // Tiles of area 0 are the 4x4 top-left quadrant.
+  const auto tiles = cfg.tilesInArea(0);
+  for (const NodeId t : tiles) {
+    EXPECT_LT(t % 8, 4);
+    EXPECT_LT(t / 8, 4);
+  }
+}
+
+TEST(CmpConfig, HomeInterleavesAllBanks) {
+  CmpConfig cfg;
+  std::set<NodeId> homes;
+  for (std::uint64_t i = 0; i < 64; ++i)
+    homes.insert(cfg.homeOf(i * kBlockBytes));
+  EXPECT_EQ(homes.size(), 64u);
+  // Stable mapping.
+  EXPECT_EQ(cfg.homeOf(kBlockBytes * 5), cfg.homeOf(kBlockBytes * 5));
+}
+
+TEST(CmpConfig, MemControllersOnBorders) {
+  CmpConfig cfg;
+  const auto mcs = cfg.memControllerTiles();
+  EXPECT_EQ(mcs.size(), 8u);
+  std::set<NodeId> unique(mcs.begin(), mcs.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (const NodeId mc : mcs) {
+    const std::int32_t y = mc / 8;
+    EXPECT_TRUE(y == 0 || y == 7) << "controller not on a border row";
+  }
+}
+
+TEST(CmpConfig, MemControllerOfSpreadsPages) {
+  CmpConfig cfg;
+  std::set<NodeId> used;
+  for (std::uint64_t p = 0; p < 16; ++p)
+    used.insert(cfg.memControllerOf(p * kPageBytes));
+  EXPECT_EQ(used.size(), 8u);
+}
+
+TEST(VmLayout, MatchedLayoutFollowsAreas) {
+  CmpConfig cfg;
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  EXPECT_EQ(layout.numVms, 4u);
+  for (NodeId t = 0; t < cfg.tiles(); ++t)
+    EXPECT_EQ(layout.vmOf(t), cfg.areaOf(t));
+  for (VmId vm = 0; vm < 4; ++vm)
+    EXPECT_EQ(layout.tilesOfVm(vm).size(), 16u);
+}
+
+TEST(VmLayout, AlternativeLayoutStraddlesAreas) {
+  CmpConfig cfg;
+  const VmLayout layout = VmLayout::alternative(cfg, 4);
+  // Every VM must use tiles from more than one area (Figure 6, right).
+  for (VmId vm = 0; vm < 4; ++vm) {
+    std::set<AreaId> areas;
+    for (const NodeId t : layout.tilesOfVm(vm)) areas.insert(cfg.areaOf(t));
+    EXPECT_GT(areas.size(), 1u) << "VM " << vm << " fits one area";
+  }
+  // Still a partition: 16 tiles each.
+  for (VmId vm = 0; vm < 4; ++vm)
+    EXPECT_EQ(layout.tilesOfVm(vm).size(), 16u);
+}
+
+TEST(VmLayout, FewerVmsThanAreasLeavesIdleTiles) {
+  CmpConfig cfg;
+  const VmLayout layout = VmLayout::matched(cfg, 2);
+  int idle = 0;
+  for (NodeId t = 0; t < cfg.tiles(); ++t)
+    if (layout.vmOf(t) < 0) ++idle;
+  EXPECT_EQ(idle, 32);
+}
+
+}  // namespace
+}  // namespace eecc

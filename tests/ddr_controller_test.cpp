@@ -1,0 +1,92 @@
+// Unit tests for the detailed DDR controller timing model.
+#include <gtest/gtest.h>
+
+#include "mem/ddr_controller.h"
+
+namespace eecc {
+namespace {
+
+DdrConfig cfg() { return DdrConfig{}; }
+
+Tick serviceOf(DdrController& ddr, Addr block, Tick now) {
+  return ddr.schedule(block, now) - now;
+}
+
+TEST(Ddr, RowBufferHitIsFasterThanMiss) {
+  DdrController ddr(cfg());
+  const Addr a = 0;
+  const Tick first = serviceOf(ddr, a, 0);        // closed bank
+  const Tick done1 = ddr.schedule(a, 10'000);     // same row: hit
+  const Tick second = done1 - 10'000;
+  EXPECT_LT(second, first);
+  EXPECT_EQ(ddr.rowHits(), 1u);
+  EXPECT_EQ(ddr.rowMisses(), 1u);
+}
+
+TEST(Ddr, RowConflictIsSlowest) {
+  DdrController ddr(cfg());
+  const DdrConfig& c = ddr.config();
+  const Addr a = 0;
+  // Same bank, different row: banks are block-interleaved, so stride by
+  // banks * rowBytes * banks to stay in bank 0 with a new row.
+  const Addr conflict =
+      static_cast<Addr>(c.rowBytes) * c.banks * c.banks;
+  ddr.schedule(a, 0);
+  const Tick hit = serviceOf(ddr, a, 100'000);
+  const Tick conf = serviceOf(ddr, conflict, 200'000);
+  EXPECT_GT(conf, hit);
+  EXPECT_EQ(ddr.rowConflicts(), 1u);
+}
+
+TEST(Ddr, BankLevelParallelism) {
+  DdrController ddr(cfg());
+  // Two requests to different banks at the same instant do not serialize;
+  // two to the same bank do.
+  const Addr bank0 = 0;
+  const Addr bank1 = kBlockBytes;  // next block -> next bank
+  const Tick doneA = ddr.schedule(bank0, 0);
+  const Tick doneB = ddr.schedule(bank1, 0);
+  EXPECT_EQ(doneA, doneB);  // independent banks, identical timing
+  DdrController ddr2(cfg());
+  const Tick c1 = ddr2.schedule(bank0, 0);
+  const Addr sameBankOtherRow = static_cast<Addr>(
+      ddr2.config().rowBytes) * ddr2.config().banks * ddr2.config().banks;
+  const Tick c2 = ddr2.schedule(sameBankOtherRow, 0);
+  EXPECT_GT(c2, c1);  // queued behind the first request's bank occupancy
+}
+
+TEST(Ddr, ServiceTimesAreInTheFixedModelsBallpark) {
+  // The paper's fixed model uses 300 cycles; the detailed model's range
+  // should straddle that (hits faster, conflicts slower).
+  DdrController ddr(cfg());
+  const DdrConfig& c = ddr.config();
+  const Tick hitLat = c.frontEndCycles +
+                      static_cast<Tick>(c.tCas + c.burst) *
+                          c.coreCyclesPerMemCycle;
+  const Tick confLat = c.frontEndCycles +
+                       static_cast<Tick>(c.tRp + c.tRcd + c.tCas + c.burst) *
+                           c.coreCyclesPerMemCycle;
+  EXPECT_GT(hitLat, 80u);
+  EXPECT_LT(confLat, 300u);
+}
+
+TEST(Ddr, StatsAccumulate) {
+  DdrController ddr(cfg());
+  for (int i = 0; i < 10; ++i) ddr.schedule(0, static_cast<Tick>(i) * 5000);
+  EXPECT_EQ(ddr.requests(), 10u);
+  EXPECT_EQ(ddr.rowHits(), 9u);
+  EXPECT_NEAR(ddr.rowHitRate(), 0.9, 1e-12);
+}
+
+TEST(Ddr, DeterministicSchedule) {
+  DdrController a(cfg());
+  DdrController b(cfg());
+  for (int i = 0; i < 50; ++i) {
+    const Addr block = static_cast<Addr>(i * 37) * kBlockBytes;
+    EXPECT_EQ(a.schedule(block, static_cast<Tick>(i) * 100),
+              b.schedule(block, static_cast<Tick>(i) * 100));
+  }
+}
+
+}  // namespace
+}  // namespace eecc

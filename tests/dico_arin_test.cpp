@@ -1,0 +1,189 @@
+// DiCo-Arin specific behaviour (Sections III-B, IV-B): global transition
+// on remote reads, home as permanent ordering point, provider repair via
+// forwarder identity, and the three-way broadcast invalidation.
+#include <gtest/gtest.h>
+
+#include "protocol_harness.h"
+#include "protocols/dico_arin.h"
+
+namespace eecc {
+namespace {
+
+using testutil::Harness;
+
+constexpr Addr kB = 5 * kBlockBytes;
+
+DiCoArinProtocol& arin(Harness& h) {
+  return dynamic_cast<DiCoArinProtocol&>(h.proto());
+}
+
+TEST(Arin, SingleAreaBlocksBehaveLikeDiCo) {
+  Harness h(ProtocolKind::DiCoArin);
+  h.read(0, kB);
+  h.read(1, kB);  // same area
+  EXPECT_EQ(arin(h).l1Line(0, kB).state, 'O');
+  EXPECT_EQ(arin(h).l1Line(1, kB).state, 'S');
+  EXPECT_FALSE(arin(h).isGlobal(kB));
+  EXPECT_EQ(arin(h).l2cOwner(kB), 0);
+  h.check();
+}
+
+TEST(Arin, RemoteReadDissolvesOwnership) {
+  Harness h(ProtocolKind::DiCoArin);
+  h.read(0, kB);    // owner in area 0
+  h.read(10, kB);   // remote read (area 3): global transition
+  EXPECT_TRUE(arin(h).isGlobal(kB));
+  EXPECT_EQ(arin(h).l1Line(0, kB).state, 'P');   // former owner
+  EXPECT_EQ(arin(h).l1Line(10, kB).state, 'P');  // new copy = provider
+  EXPECT_EQ(arin(h).l2cOwner(kB), kInvalidNode); // no L1 owner anymore
+  h.check();
+}
+
+TEST(Arin, GlobalBlockAlwaysPresentAtHome) {
+  Harness h(ProtocolKind::DiCoArin);
+  h.write(0, kB);   // make the data dirty first
+  h.read(0, kB);
+  h.read(10, kB);   // globalize: dirty data must reach the home L2
+  EXPECT_TRUE(arin(h).isGlobal(kB));
+  // Every subsequent reader gets the committed value.
+  for (const NodeId t : {2, 6, 9, 13})
+    EXPECT_EQ(h.read(t, kB), h.proto().committedValue(kB));
+  h.check();
+}
+
+TEST(Arin, EveryGlobalCopyIsAProvider) {
+  Harness h(ProtocolKind::DiCoArin);
+  h.read(0, kB);
+  h.read(10, kB);  // global now
+  h.read(6, kB);   // served by the home: becomes provider
+  EXPECT_EQ(arin(h).l1Line(6, kB).state, 'P');
+  h.read(7, kB);   // area 1: home hints at provider 6, or serves directly
+  EXPECT_EQ(arin(h).l1Line(7, kB).state, 'P');
+  h.check();
+}
+
+TEST(Arin, ProviderServesPredictedReads) {
+  Harness h(ProtocolKind::DiCoArin);
+  h.read(0, kB);
+  h.read(10, kB);   // global
+  h.read(11, kB);   // area 3: home sends provider hint (10)
+  // Evict 11's copy by set pressure; its L1C$ remembers a provider.
+  for (int i = 1; i <= 4; ++i)
+    h.read(11, kB + static_cast<Addr>(i) * 16 * kBlockBytes);
+  const auto before = h.proto().stats().missCount(MissClass::PredProviderHit);
+  h.read(11, kB);
+  EXPECT_GT(h.proto().stats().missCount(MissClass::PredProviderHit), before);
+  h.check();
+}
+
+TEST(Arin, WriteToGlobalBlockBroadcasts) {
+  Harness h(ProtocolKind::DiCoArin);
+  h.read(0, kB);
+  h.read(10, kB);  // global
+  h.read(6, kB);
+  const auto bcastsBefore = h.net().stats().broadcasts;
+  h.write(9, kB);
+  // Three-way protocol: invalidate broadcast + unblock broadcast.
+  EXPECT_EQ(h.net().stats().broadcasts, bcastsBefore + 2);
+  EXPECT_GE(h.proto().stats().broadcastInvalidations, 1u);
+  // All copies gone; the writer owns the block single-area again.
+  for (const NodeId t : {0, 10, 6})
+    EXPECT_FALSE(arin(h).l1Line(t, kB).valid);
+  EXPECT_EQ(arin(h).l1Line(9, kB).state, 'M');
+  EXPECT_EQ(arin(h).l2cOwner(kB), 9);
+  EXPECT_FALSE(arin(h).isGlobal(kB));
+  h.check();
+  for (const NodeId t : {0, 10, 6})
+    EXPECT_EQ(h.read(t, kB), h.proto().committedValue(kB));
+  h.check();
+}
+
+TEST(Arin, SingleAreaWriteDoesNotBroadcast) {
+  Harness h(ProtocolKind::DiCoArin);
+  h.read(0, kB);
+  h.read(1, kB);
+  const auto bcastsBefore = h.net().stats().broadcasts;
+  h.write(4, kB);  // all in area 0: targeted DiCo-style invalidation
+  EXPECT_EQ(h.net().stats().broadcasts, bcastsBefore);
+  h.check();
+}
+
+TEST(Arin, L2EvictionOfGlobalBlockBroadcasts) {
+  Harness h(ProtocolKind::DiCoArin);
+  const NodeId home = h.cfg().homeOf(kB);
+  h.read(0, kB);
+  h.read(10, kB);  // global: pinned at home bank
+  const auto bcastsBefore = h.net().stats().broadcasts;
+  // Force eviction of the home L2 line: the bank has 32 sets, 8 ways;
+  // write blocks that collide with kB's set at the same home.
+  std::uint64_t filled = 0;
+  for (std::uint64_t i = 1; filled < 10; ++i) {
+    const Addr other = kB + i * 16 * 32 * kBlockBytes;  // same home, same set
+    if (h.cfg().homeOf(other) != home) continue;
+    h.write(2, other);
+    // Relinquish dirty data to the home so it occupies an L2 slot.
+    for (int j = 1; j <= 4; ++j)
+      h.read(2, other + static_cast<Addr>(j) * 16 * kBlockBytes);
+    ++filled;
+  }
+  EXPECT_GT(h.net().stats().broadcasts, bcastsBefore);
+  h.check();
+  // The invalidated copies are gone but the value survives in memory.
+  EXPECT_EQ(h.read(5, kB), h.proto().committedValue(kB));
+  h.check();
+}
+
+TEST(Arin, ForwarderIdentityRepairsStaleProvider) {
+  Harness h(ProtocolKind::DiCoArin);
+  h.read(0, kB);
+  h.read(10, kB);   // providers: 0 (area 0), 10 (area 3)
+  h.read(11, kB);   // 11 learns provider 10
+  // Silently evict provider 10 (providers evict silently in Arin).
+  for (int i = 1; i <= 4; ++i)
+    h.read(10, kB + static_cast<Addr>(i) * 16 * kBlockBytes);
+  EXPECT_FALSE(arin(h).l1Line(10, kB).valid);
+  // Evict 11's own copy, keeping its (now stale) prediction of 10.
+  for (int i = 5; i <= 8; ++i)
+    h.read(11, kB + static_cast<Addr>(i) * 16 * kBlockBytes);
+  // 11 rereads: predicts 10, which cannot serve, forwards to home with
+  // its identity; the home repairs the area-3 pointer.
+  h.read(11, kB);
+  EXPECT_EQ(h.proto().committedValue(kB), arin(h).l1Line(11, kB).value);
+  EXPECT_GE(h.proto().stats().missCount(MissClass::PredMiss), 1u);
+  h.check();
+}
+
+TEST(Arin, RemoteReadOfL2OwnedBlockMakesL2Provider) {
+  Harness h(ProtocolKind::DiCoArin);
+  h.write(0, kB);
+  h.read(1, kB);  // sharer in area 0
+  // Evict the owner; ownership falls to the home... owner has a live
+  // sharer (1), so it transfers within the area instead. Evict both.
+  for (int i = 1; i <= 4; ++i) {
+    h.read(0, kB + static_cast<Addr>(i) * 16 * kBlockBytes);
+    h.read(1, kB + static_cast<Addr>(i + 4) * 16 * kBlockBytes);
+  }
+  h.check();
+  // Now a remote read: if the L2 owns it, it becomes a provider at once.
+  h.read(10, kB);
+  EXPECT_EQ(h.read(10, kB), h.proto().committedValue(kB));
+  h.check();
+}
+
+TEST(Arin, BroadcastCostScalesWithChip) {
+  // Broadcast traffic reaches every router once: 64 routings on 4x4=16
+  // tiles would be wrong; expect tiles() routings per broadcast.
+  Harness h(ProtocolKind::DiCoArin);
+  h.read(0, kB);
+  h.read(10, kB);
+  const auto routingsBefore = h.net().stats().routings;
+  const auto linksBefore = h.net().stats().linksTraversed;
+  h.write(9, kB);
+  // 2 broadcasts (inval + unblock) = 2*16 routings + 2*15 tree links,
+  // plus the unicast request/grant/ack traffic.
+  EXPECT_GE(h.net().stats().routings - routingsBefore, 32u);
+  EXPECT_GE(h.net().stats().linksTraversed - linksBefore, 30u);
+}
+
+}  // namespace
+}  // namespace eecc

@@ -1,0 +1,210 @@
+// DiCo-Providers specific behaviour (Tables I and II): provider creation
+// on remote reads, in-area serving ("shortened misses"), the two-counter
+// write invalidation, providership/ownership replacements.
+//
+// Small chip: 4x4 mesh, 4 areas of 2x2 tiles.
+//   area 0: tiles 0,1,4,5     area 1: tiles 2,3,6,7
+//   area 2: tiles 8,9,12,13   area 3: tiles 10,11,14,15
+#include <gtest/gtest.h>
+
+#include "protocol_harness.h"
+#include "protocols/dico_providers.h"
+
+namespace eecc {
+namespace {
+
+using testutil::Harness;
+
+constexpr Addr kB = 5 * kBlockBytes;
+
+DiCoProvidersProtocol& prov(Harness& h) {
+  return dynamic_cast<DiCoProvidersProtocol&>(h.proto());
+}
+
+TEST(Providers, RemoteReadCreatesProvider) {
+  Harness h(ProtocolKind::DiCoProviders);
+  h.read(0, kB);   // owner in area 0
+  h.read(10, kB);  // remote read from area 3
+  EXPECT_EQ(prov(h).l1Line(10, kB).state, 'P');
+  EXPECT_EQ(prov(h).providerOf(kB, h.cfg().areaOf(10)), 10);
+  EXPECT_EQ(prov(h).l1Line(0, kB).providerCount, 1);
+  h.check();
+}
+
+TEST(Providers, LocalReadBecomesPlainSharer) {
+  Harness h(ProtocolKind::DiCoProviders);
+  h.read(0, kB);
+  h.read(1, kB);  // same area as the owner
+  EXPECT_EQ(prov(h).l1Line(1, kB).state, 'S');
+  EXPECT_EQ(prov(h).l1Line(0, kB).state, 'O');
+  EXPECT_EQ(prov(h).l1Line(0, kB).sharerCount, 1);
+  h.check();
+}
+
+TEST(Providers, ProviderServesItsAreaShorteningTheMiss) {
+  Harness h(ProtocolKind::DiCoProviders);
+  h.read(0, kB);    // owner, area 0
+  h.read(10, kB);   // provider for area 3
+  h.read(11, kB);   // area 3: owner forwards... or direct? 11 has no
+                    // prediction -> home -> owner -> provider -> 11
+  EXPECT_EQ(prov(h).l1Line(11, kB).state, 'S');
+  h.check();
+  // 11's prediction now names the provider; after invalidation-free reuse
+  // a new read from 14 (area 3, no prediction) goes home->owner->provider.
+  h.read(14, kB);
+  EXPECT_EQ(prov(h).l1Line(14, kB).state, 'S');
+  // The provider's map covers its area's sharers.
+  EXPECT_GE(prov(h).l1Line(10, kB).sharerCount, 2);
+  h.check();
+}
+
+TEST(Providers, PredictedProviderHitIsClassified) {
+  Harness h(ProtocolKind::DiCoProviders);
+  h.read(0, kB);
+  h.read(10, kB);  // provider in area 3
+  h.read(11, kB);  // sharer in area 3, learns supplier via data message
+  // Invalidate 11's copy via a write, which also teaches it the writer;
+  // instead evict 11's line by set pressure so its L1C$ keeps pointing at
+  // the provider 10.
+  for (int i = 1; i <= 4; ++i)
+    h.read(11, kB + static_cast<Addr>(i) * 16 * kBlockBytes);
+  const auto before = h.proto().stats().missCount(MissClass::PredProviderHit);
+  h.read(11, kB);  // predicts 10 (provider) -> shortened miss
+  EXPECT_EQ(h.proto().stats().missCount(MissClass::PredProviderHit),
+            before + 1);
+  h.check();
+}
+
+TEST(Providers, ShortenedMissTraversesFewerLinks) {
+  Harness h(ProtocolKind::DiCoProviders);
+  h.read(0, kB);
+  h.read(15, kB);  // provider in area 3 (corner)
+  for (int i = 1; i <= 4; ++i)
+    h.read(14, kB + static_cast<Addr>(i) * 16 * kBlockBytes);
+  h.read(14, kB);  // area 3 read
+  h.check();
+  const auto& stats = h.proto().stats();
+  const auto pp =
+      static_cast<std::size_t>(MissClass::PredProviderHit);
+  if (stats.missByClass[pp] > 0) {
+    // Round trip inside a 2x2 area: at most 2*2 links..
+    EXPECT_LE(stats.linksByClass[pp].max(), 4.0);
+  }
+}
+
+TEST(Providers, WriteInvalidatesProvidersAndTheirSharers) {
+  Harness h(ProtocolKind::DiCoProviders);
+  h.read(0, kB);    // owner area 0
+  h.read(1, kB);    // local sharer
+  h.read(10, kB);   // provider area 3
+  h.read(11, kB);   // sharer under provider 10
+  h.read(8, kB);    // provider area 2
+  h.check();
+  h.write(6, kB);   // writer in area 1
+  h.check();
+  for (const NodeId t : {0, 1, 10, 11, 8})
+    EXPECT_FALSE(prov(h).l1Line(t, kB).valid) << "tile " << t;
+  EXPECT_EQ(prov(h).l1Line(6, kB).state, 'M');
+  EXPECT_EQ(prov(h).l2cOwner(kB), 6);
+  const std::uint64_t committed = h.proto().committedValue(kB);
+  for (const NodeId t : {0, 1, 10, 11, 8})
+    EXPECT_EQ(h.read(t, kB), committed);
+  h.check();
+}
+
+TEST(Providers, WritingProviderInvalidatesItsOwnSharersAfterGrant) {
+  Harness h(ProtocolKind::DiCoProviders);
+  h.read(0, kB);   // owner area 0
+  h.read(10, kB);  // provider area 3
+  h.read(11, kB);  // sharer under the provider
+  h.write(10, kB); // the provider writes (Section IV-A special case)
+  EXPECT_EQ(prov(h).l1Line(10, kB).state, 'M');
+  EXPECT_FALSE(prov(h).l1Line(11, kB).valid);
+  EXPECT_FALSE(prov(h).l1Line(0, kB).valid);
+  h.check();
+}
+
+TEST(Providers, ProviderEvictionTransfersProvidership) {
+  Harness h(ProtocolKind::DiCoProviders);
+  h.read(0, kB);
+  h.read(10, kB);  // provider area 3
+  h.read(11, kB);  // sharer area 3
+  const auto before = h.proto().stats().providershipTransfers;
+  for (int i = 1; i <= 4; ++i)  // evict 10's line
+    h.read(10, kB + static_cast<Addr>(i) * 16 * kBlockBytes);
+  EXPECT_EQ(h.proto().stats().providershipTransfers, before + 1);
+  EXPECT_EQ(prov(h).l1Line(11, kB).state, 'P');
+  EXPECT_EQ(prov(h).providerOf(kB, 3), 11);
+  h.check();
+}
+
+TEST(Providers, ProviderWithoutSharersEvictsSilentlyAndRepairs) {
+  Harness h(ProtocolKind::DiCoProviders);
+  h.read(0, kB);
+  h.read(10, kB);  // provider area 3, no sharers
+  for (int i = 1; i <= 4; ++i)
+    h.read(10, kB + static_cast<Addr>(i) * 16 * kBlockBytes);
+  // The eviction is silent: the owner's ProPo is stale for a while...
+  EXPECT_EQ(prov(h).providerOf(kB, 3), 10);
+  EXPECT_FALSE(prov(h).l1Line(10, kB).valid);
+  // ...until the next area-3 request bounces off the stale provider and
+  // the forwarder identity repairs the pointer (the requestor takes over).
+  h.read(11, kB);
+  EXPECT_EQ(prov(h).providerOf(kB, 3), 11);
+  EXPECT_EQ(h.proto().committedValue(kB), prov(h).l1Line(11, kB).value);
+  h.check();
+}
+
+TEST(Providers, OwnerEvictionKeepsProvidersAlive) {
+  Harness h(ProtocolKind::DiCoProviders);
+  h.read(0, kB);   // owner area 0
+  h.read(10, kB);  // provider area 3
+  for (int i = 1; i <= 4; ++i)  // evict the owner; no local sharers
+    h.read(0, kB + static_cast<Addr>(i) * 16 * kBlockBytes);
+  // Ownership fell back to the home L2, providers preserved there.
+  EXPECT_EQ(prov(h).l2cOwner(kB), kInvalidNode);
+  EXPECT_EQ(prov(h).providerOf(kB, 3), 10);
+  h.check();
+  // A read from area 3 is forwarded by the home to the provider.
+  h.read(11, kB);
+  EXPECT_EQ(prov(h).l1Line(11, kB).state, 'S');
+  h.check();
+}
+
+TEST(Providers, L2OwnerReadWithoutProviderMigratesOwnership) {
+  Harness h(ProtocolKind::DiCoProviders);
+  h.write(0, kB);  // dirty owner
+  for (int i = 1; i <= 4; ++i)  // relinquish to home
+    h.read(0, kB + static_cast<Addr>(i) * 16 * kBlockBytes);
+  h.read(9, kB);   // area 2, no provider: requestor becomes owner
+  EXPECT_EQ(prov(h).l2cOwner(kB), 9);
+  EXPECT_EQ(prov(h).l1Line(9, kB).state, 'M');  // inherited dirty data
+  h.check();
+}
+
+TEST(Providers, FiveHopChainResolvesCorrectly) {
+  // Misprediction + owner + provider: the Section III-B complaint.
+  Harness h(ProtocolKind::DiCoProviders);
+  h.read(2, kB);    // owner in area 1
+  h.read(8, kB);    // provider in area 2
+  h.read(9, kB);    // sharer in area 2 (prediction: 8)
+  h.write(2, kB);   // invalidate everyone; 9's l1c now points at 2
+  h.read(13, kB);   // area 2 again: fresh provider
+  // 9's prediction (2) is stale only in role: 2 is still owner, remote to
+  // 9 -> forwarded to provider 13 -> serves.
+  h.read(9, kB);
+  EXPECT_EQ(h.proto().committedValue(kB), prov(h).l1Line(9, kB).value);
+  h.check();
+}
+
+TEST(Providers, AreaSharingMapsStayLocal) {
+  Harness h(ProtocolKind::DiCoProviders);
+  h.read(0, kB);
+  for (const NodeId t : {1, 4, 5}) h.read(t, kB);   // owner's area
+  for (const NodeId t : {2, 3}) h.read(t, kB);      // area 1
+  h.check();  // includes the coverage invariant per area
+  EXPECT_EQ(prov(h).l1Line(0, kB).sharerCount, 3);  // only area-0 sharers
+}
+
+}  // namespace
+}  // namespace eecc

@@ -1,0 +1,170 @@
+// DiCo-specific behaviour: ownership migration, L1C$ prediction, two-hop
+// misses, owner-side invalidation, L2C$ precision.
+#include <gtest/gtest.h>
+
+#include "protocol_harness.h"
+#include "protocols/dico.h"
+
+namespace eecc {
+namespace {
+
+using testutil::Harness;
+using testutil::smallConfig;
+
+constexpr Addr kB = 5 * kBlockBytes;
+
+DiCoProtocol& dico(Harness& h) {
+  return dynamic_cast<DiCoProtocol&>(h.proto());
+}
+
+TEST(DiCo, ReadFromMemoryGrantsOwnership) {
+  Harness h(ProtocolKind::DiCo);
+  h.read(3, kB);
+  EXPECT_EQ(dico(h).l1Line(3, kB).state, 'E');
+  EXPECT_EQ(dico(h).l2cOwner(kB), 3);
+}
+
+TEST(DiCo, OwnerServesSecondReaderInTwoHops) {
+  Harness h(ProtocolKind::DiCo);
+  h.read(3, kB);   // 3 becomes owner
+  h.read(7, kB);   // 7 reads: home forwards to owner
+  EXPECT_EQ(dico(h).l1Line(3, kB).state, 'O');
+  EXPECT_EQ(dico(h).l1Line(7, kB).state, 'S');
+  EXPECT_EQ(dico(h).l1Line(3, kB).sharerCount, 1);
+  EXPECT_EQ(h.proto().stats().missCount(MissClass::UnpredOwner), 1u);
+}
+
+TEST(DiCo, PredictionResolvesMissWithoutHome) {
+  Harness h(ProtocolKind::DiCo);
+  h.read(3, kB);
+  h.read(7, kB);   // 7 learns supplier = 3 from the data message
+  // Force 7's line out by filling its set, keeping the L1C$ entry.
+  // Simpler: write from 3 invalidates 7 and tells it the new owner.
+  // The owner upgrade itself counts as a PredOwnerHit-resolved miss
+  // (the requestor is the ordering point), and 7's re-read predicts the
+  // new owner directly: two prediction-resolved misses total.
+  h.write(3, kB);  // owner upgrade; 7 invalidated, l1c[7] <- 3
+  h.read(7, kB);   // must predict 3 and hit the owner directly
+  EXPECT_EQ(h.proto().stats().missCount(MissClass::PredOwnerHit), 2u);
+}
+
+TEST(DiCo, WriteMigratesOwnershipAndInvalidates) {
+  Harness h(ProtocolKind::DiCo);
+  h.read(3, kB);
+  h.read(7, kB);
+  h.read(9, kB);
+  h.write(12, kB);
+  EXPECT_EQ(dico(h).l2cOwner(kB), 12);
+  EXPECT_EQ(dico(h).l1Line(12, kB).state, 'M');
+  EXPECT_FALSE(dico(h).l1Line(3, kB).valid);
+  EXPECT_FALSE(dico(h).l1Line(7, kB).valid);
+  EXPECT_FALSE(dico(h).l1Line(9, kB).valid);
+  h.check();
+}
+
+TEST(DiCo, InvalidationTeachesSharersTheNewOwner) {
+  Harness h(ProtocolKind::DiCo);
+  h.read(3, kB);
+  h.read(7, kB);
+  h.write(12, kB);  // 7 sees the invalidation naming 12
+  h.read(7, kB);    // prediction goes straight to 12
+  EXPECT_EQ(h.proto().stats().missCount(MissClass::PredOwnerHit), 1u);
+  EXPECT_EQ(dico(h).l1Line(7, kB).state, 'S');
+}
+
+TEST(DiCo, MispredictionDetoursThroughHome) {
+  Harness h(ProtocolKind::DiCo);
+  h.read(3, kB);
+  h.read(7, kB);   // supplier pred: 3
+  // Ownership moves away silently from 7's point of view: evict 3's line
+  // by filling its set in 3's L1 (64 entries, 4-way, 16 sets: same-set
+  // blocks are kB + i*16*64).
+  for (int i = 1; i <= 4; ++i)
+    h.read(3, kB + static_cast<Addr>(i) * 16 * kBlockBytes);
+  // 3 no longer has the line (ownership went to sharer 7 or home).
+  // 7 still holds its S copy; make it miss: fill 7's set too.
+  for (int i = 5; i <= 8; ++i)
+    h.read(7, kB + static_cast<Addr>(i) * 16 * kBlockBytes);
+  h.read(7, kB);
+  h.check();
+  EXPECT_EQ(h.proto().committedValue(kB), dico(h).l1Line(7, kB).value);
+}
+
+TEST(DiCo, OwnerEvictionHandsOwnershipToSharer) {
+  Harness h(ProtocolKind::DiCo);
+  h.read(3, kB);   // 3 owner
+  h.read(7, kB);   // 7 sharer
+  const auto transfersBefore = h.proto().stats().ownershipTransfers;
+  // Evict 3's line by conflict pressure. Conflict blocks are chosen to
+  // collide with kB in the 16-set L1 but NOT in the 64-set L2C$ (an index
+  // 69 block would displace kB's owner pointer and recall the ownership
+  // instead — also correct, but not what this test exercises).
+  for (const int i : {1, 2, 3, 5})
+    h.read(3, kB + static_cast<Addr>(i) * 16 * kBlockBytes);
+  EXPECT_GT(h.proto().stats().ownershipTransfers, transfersBefore);
+  EXPECT_EQ(dico(h).l1Line(7, kB).state, 'O');
+  EXPECT_EQ(dico(h).l2cOwner(kB), 7);
+  h.check();
+}
+
+TEST(DiCo, OwnerEvictionWithoutSharersGoesHome) {
+  Harness h(ProtocolKind::DiCo);
+  h.write(3, kB);  // dirty owner, no sharers
+  for (int i = 1; i <= 4; ++i)
+    h.read(3, kB + static_cast<Addr>(i) * 16 * kBlockBytes);
+  EXPECT_FALSE(dico(h).l1Line(3, kB).valid);
+  EXPECT_EQ(dico(h).l2cOwner(kB), kInvalidNode);
+  // Value survives at the home, which keeps the ownership on reads
+  // (only writes, memory fills and replacements migrate it).
+  EXPECT_EQ(h.read(9, kB), h.proto().committedValue(kB));
+  EXPECT_EQ(dico(h).l2cOwner(kB), kInvalidNode);
+  EXPECT_EQ(dico(h).l1Line(9, kB).state, 'S');
+  h.check();
+}
+
+TEST(DiCo, UpgradeAtOwnerInvalidatesLocally) {
+  Harness h(ProtocolKind::DiCo);
+  h.read(3, kB);
+  h.read(7, kB);
+  const auto missesBefore = h.net().stats().messages;
+  h.write(3, kB);  // owner with sharers: invalidation only, no request
+  EXPECT_GT(h.net().stats().messages, missesBefore);  // inval + ack
+  EXPECT_EQ(dico(h).l1Line(3, kB).state, 'M');
+  EXPECT_FALSE(dico(h).l1Line(7, kB).valid);
+  h.check();
+}
+
+TEST(DiCo, HintsFollowOwnershipTransfers) {
+  Harness h(ProtocolKind::DiCo);
+  h.read(3, kB);
+  h.read(7, kB);
+  h.read(9, kB);
+  const auto hintsBefore = h.proto().stats().hintMessages;
+  for (const int i : {1, 2, 3, 5})  // evict the owner: transfer + hints
+    h.read(3, kB + static_cast<Addr>(i) * 16 * kBlockBytes);
+  EXPECT_GT(h.proto().stats().hintMessages, hintsBefore);
+  h.check();
+}
+
+TEST(DiCo, TwoHopMissUsesFewerLinksThanDirectory) {
+  // The core DiCo claim: predicted misses avoid the home indirection.
+  Harness hd(ProtocolKind::Directory);
+  Harness hc(ProtocolKind::DiCo);
+  for (auto* h : {&hd, &hc}) {
+    h->read(3, kB);
+    h->read(7, kB);
+    h->write(3, kB);
+    h->read(7, kB);  // DiCo predicts owner 3; Directory goes via home
+  }
+  const auto linksOf = [](Harness& h) {
+    double total = 0;
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(MissClass::kCount); ++c)
+      total += h.proto().stats().linksByClass[c].sum();
+    return total;
+  };
+  EXPECT_LT(linksOf(hc), linksOf(hd));
+}
+
+}  // namespace
+}  // namespace eecc

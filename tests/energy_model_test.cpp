@@ -1,0 +1,109 @@
+// Energy model tests: Table VI leakage reproduction and the [22] network
+// energy relations.
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+
+namespace eecc {
+namespace {
+
+EnergyModel model(ProtocolKind k) { return EnergyModel(k, ChipParams{}); }
+
+TEST(Leakage, DirectoryMatchesCalibration) {
+  // The calibration point itself: 239 mW total, 37 mW tags (Table VI).
+  const auto m = model(ProtocolKind::Directory);
+  EXPECT_NEAR(m.tagLeakagePerTileMw(), 37.0, 0.01);
+  EXPECT_NEAR(m.totalLeakagePerTileMw(), 239.0, 0.01);
+}
+
+TEST(Leakage, TableVIRows) {
+  // DiCo: 241 mW / 39 mW (+1% / +5%); Providers: 222 / 20 (-7% / -45%);
+  // Arin: 219 / 17 (-8% / -54%). Our linear-leakage model lands within
+  // ~1.5 mW of each printed cell.
+  const auto dico = model(ProtocolKind::DiCo);
+  EXPECT_NEAR(dico.tagLeakagePerTileMw(), 39.0, 1.0);
+  EXPECT_NEAR(dico.totalLeakagePerTileMw(), 241.0, 1.5);
+
+  const auto prov = model(ProtocolKind::DiCoProviders);
+  EXPECT_NEAR(prov.tagLeakagePerTileMw(), 20.0, 1.0);
+  EXPECT_NEAR(prov.totalLeakagePerTileMw(), 222.0, 1.5);
+
+  const auto arin = model(ProtocolKind::DiCoArin);
+  EXPECT_NEAR(arin.tagLeakagePerTileMw(), 17.0, 1.5);
+  EXPECT_NEAR(arin.totalLeakagePerTileMw(), 219.0, 1.5);
+}
+
+TEST(Leakage, PaperHeadlinePercentages) {
+  // "reduces static power consumption by 45-54%" (tags).
+  const double dirTags = model(ProtocolKind::Directory).tagLeakagePerTileMw();
+  const double prov =
+      model(ProtocolKind::DiCoProviders).tagLeakagePerTileMw();
+  const double arin = model(ProtocolKind::DiCoArin).tagLeakagePerTileMw();
+  EXPECT_NEAR(1.0 - prov / dirTags, 0.466, 0.03);  // paper: -45%
+  EXPECT_NEAR(1.0 - arin / dirTags, 0.507, 0.04);  // paper: -54%
+}
+
+TEST(AccessEnergy, L2ReadCostsMoreThanL1) {
+  // Section V-C: "L2 block reads ... are more power consuming than L1
+  // block reads".
+  const auto m = model(ProtocolKind::Directory);
+  EXPECT_GT(m.l2DataPj(), m.l1DataPj());
+  EXPECT_LT(m.l2DataPj(), 3.0 * m.l1DataPj());  // sane ratio
+}
+
+TEST(AccessEnergy, TagProbesAreCheaperThanData) {
+  const auto m = model(ProtocolKind::Directory);
+  EXPECT_LT(m.l1TagProbePj(), m.l1DataPj());
+  EXPECT_LT(m.l2TagProbePj(), m.l2DataPj());
+}
+
+TEST(AccessEnergy, DirInfoCostScalesWithEntryWidth) {
+  // DiCo's 64-bit L1 sharing code costs more to touch than Arin's 16-bit
+  // area map.
+  const auto dico = model(ProtocolKind::DiCo);
+  const auto arin = model(ProtocolKind::DiCoArin);
+  EXPECT_GT(dico.l1DirPj(), arin.l1DirPj());
+}
+
+TEST(NocEnergy, PaperRelations) {
+  const auto m = model(ProtocolKind::Directory);
+  // [22]: routing == one L1 block read; flit-link == routing / 4.
+  EXPECT_DOUBLE_EQ(m.routingPj(), m.l1DataPj());
+  EXPECT_DOUBLE_EQ(m.flitLinkPj(), m.routingPj() / 4.0);
+}
+
+TEST(NocEnergy, AggregatesStats) {
+  const auto m = model(ProtocolKind::Directory);
+  NocStats stats;
+  stats.routings = 10;
+  stats.linkFlits = 40;
+  const auto b = m.nocEnergy(stats);
+  EXPECT_DOUBLE_EQ(b.routingPj, 10 * m.routingPj());
+  EXPECT_DOUBLE_EQ(b.linkPj, 40 * m.flitLinkPj());
+  EXPECT_DOUBLE_EQ(b.total(), b.routingPj + b.linkPj);
+}
+
+TEST(CacheEnergy, AggregatesEvents) {
+  const auto m = model(ProtocolKind::DiCo);
+  CacheEnergyEvents ev;
+  ev.l1TagProbe = 100;
+  ev.l1DataRead = 80;
+  ev.l2DataRead = 5;
+  ev.l1cProbe = 20;
+  const auto b = m.cacheEnergy(ev);
+  EXPECT_GT(b.l1Pj, 0.0);
+  EXPECT_GT(b.l2Pj, 0.0);
+  EXPECT_GT(b.pointerPj, 0.0);
+  EXPECT_DOUBLE_EQ(b.l1DirPj, 0.0);
+  EXPECT_NEAR(b.total(),
+              b.l1Pj + b.l2Pj + b.pointerPj + b.l1DirPj + b.l2DirPj, 1e-9);
+}
+
+TEST(Power, PjToMw) {
+  // 3 GHz: 1e6 cycles = 333.3 us; 1e9 pJ = 1 mJ -> 3 W = 3000 mW.
+  EXPECT_NEAR(EnergyModel::pjToMw(1e9, 1000000, 3.0), 3000.0, 0.1);
+  EXPECT_EQ(EnergyModel::pjToMw(1e9, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace eecc

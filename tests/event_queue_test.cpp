@@ -1,0 +1,83 @@
+// Unit tests for the discrete-event kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace eecc {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.scheduleAt(30, [&] { order.push_back(3); });
+  q.scheduleAt(10, [&] { order.push_back(1); });
+  q.scheduleAt(20, [&] { order.push_back(2); });
+  q.runToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.scheduleAt(5, [&order, i] { order.push_back(i); });
+  q.runToCompletion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesNow) {
+  EventQueue q;
+  Tick seen = 0;
+  q.scheduleAt(100, [&] {
+    q.scheduleAfter(5, [&] { seen = q.now(); });
+  });
+  q.runToCompletion();
+  EXPECT_EQ(seen, 105u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 50) q.scheduleAfter(1, recurse);
+  };
+  q.scheduleAt(0, recurse);
+  q.runToCompletion();
+  EXPECT_EQ(depth, 50);
+  EXPECT_EQ(q.now(), 49u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit) {
+  EventQueue q;
+  int ran = 0;
+  q.scheduleAt(10, [&] { ++ran; });
+  q.scheduleAt(20, [&] { ++ran; });
+  q.scheduleAt(30, [&] { ++ran; });
+  q.runUntil(20);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.now(), 20u);
+  EXPECT_EQ(q.pending(), 1u);
+  q.runToCompletion();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.runUntil(500);
+  EXPECT_EQ(q.now(), 500u);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.scheduleAt(1, [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+  EXPECT_EQ(q.executedEvents(), 1u);
+}
+
+}  // namespace
+}  // namespace eecc

@@ -1,0 +1,177 @@
+// Integration tests: the full CmpSystem stack (workload generator ->
+// cores -> protocol -> NoC -> memory) on a small chip, for every protocol.
+#include <gtest/gtest.h>
+
+#include "core/cmp_system.h"
+#include "core/experiment.h"
+#include "workload/profile.h"
+
+namespace eecc {
+namespace {
+
+CmpConfig smallChip() {
+  CmpConfig cfg;
+  cfg.meshWidth = 4;
+  cfg.meshHeight = 4;
+  cfg.numAreas = 4;
+  cfg.l1 = CacheGeometry{128, 4, 1, 2};
+  cfg.l2 = CacheGeometry{512, 8, 2, 3};
+  cfg.l1cEntries = 128;
+  cfg.l2cEntries = 128;
+  cfg.dirCacheEntries = 128;
+  cfg.numMemControllers = 4;
+  return cfg;
+}
+
+BenchmarkProfile tinyProfile() {
+  BenchmarkProfile p = profiles::apache();
+  p.privatePagesPerThread = 2;
+  p.vmSharedPages = 6;
+  p.historyWindow = 256;
+  return p;
+}
+
+class SystemTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, SystemTest,
+    ::testing::Values(ProtocolKind::Directory, ProtocolKind::DiCo,
+                      ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin),
+    [](const auto& info) {
+      std::string n = protocolName(info.param);
+      for (auto& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+TEST_P(SystemTest, RunsAndStaysCoherent) {
+  const CmpConfig cfg = smallChip();
+  CmpSystem system(cfg, GetParam(), VmLayout::matched(cfg, 4),
+                   profiles::uniform4(tinyProfile()), 42);
+  system.run(30'000);
+  EXPECT_GT(system.opsCompleted(), 1000u);
+  system.protocol().checkInvariants();
+}
+
+TEST_P(SystemTest, WarmupResetsCountersButKeepsState) {
+  const CmpConfig cfg = smallChip();
+  CmpSystem system(cfg, GetParam(), VmLayout::matched(cfg, 4),
+                   profiles::uniform4(tinyProfile()), 42);
+  system.warmup(20'000);
+  EXPECT_EQ(system.opsCompleted(), 0u);
+  EXPECT_EQ(system.protocol().stats().l1Accesses(), 0u);
+  EXPECT_EQ(system.network().stats().messages, 0u);
+  system.run(20'000);
+  // Warm caches: the measured miss rate must be lower than a cold run's.
+  CmpSystem cold(cfg, GetParam(), VmLayout::matched(cfg, 4),
+                 profiles::uniform4(tinyProfile()), 42);
+  cold.run(20'000);
+  EXPECT_LT(system.protocol().stats().l1MissRate(),
+            cold.protocol().stats().l1MissRate());
+  system.protocol().checkInvariants();
+}
+
+TEST_P(SystemTest, EveryCoreMakesProgress) {
+  const CmpConfig cfg = smallChip();
+  CmpSystem system(cfg, GetParam(), VmLayout::matched(cfg, 4),
+                   profiles::uniform4(tinyProfile()), 7);
+  system.run(30'000);
+  for (NodeId t = 0; t < cfg.tiles(); ++t)
+    EXPECT_GT(system.opsCompleted(t), 100u) << "tile " << t << " starved";
+}
+
+TEST_P(SystemTest, AltLayoutRunsAndStaysCoherent) {
+  const CmpConfig cfg = smallChip();
+  CmpSystem system(cfg, GetParam(), VmLayout::alternative(cfg, 4),
+                   profiles::uniform4(tinyProfile()), 42);
+  system.run(30'000);
+  EXPECT_GT(system.opsCompleted(), 1000u);
+  system.protocol().checkInvariants();
+}
+
+TEST_P(SystemTest, DedupOffRunsAndStaysCoherent) {
+  const CmpConfig cfg = smallChip();
+  CmpSystem system(cfg, GetParam(), VmLayout::matched(cfg, 4),
+                   profiles::uniform4(tinyProfile()), 42,
+                   /*dedupEnabled=*/false);
+  system.run(30'000);
+  EXPECT_EQ(system.workload().pages().savedFraction(), 0.0);
+  system.protocol().checkInvariants();
+}
+
+TEST_P(SystemTest, PredictionOffStillCorrect) {
+  CmpConfig cfg = smallChip();
+  cfg.enablePrediction = false;
+  CmpSystem system(cfg, GetParam(), VmLayout::matched(cfg, 4),
+                   profiles::uniform4(tinyProfile()), 42);
+  system.run(30'000);
+  const ProtocolStats& s = system.protocol().stats();
+  // No prediction: no predicted classes (DiCo family only; the upgrade
+  // path at an owner is local and still classified as a prediction hit).
+  EXPECT_EQ(s.missCount(MissClass::PredMiss), 0u);
+  system.protocol().checkInvariants();
+}
+
+TEST_P(SystemTest, MixedWorkloadRuns) {
+  const CmpConfig cfg = smallChip();
+  auto mixed = profiles::mixedSci();
+  for (auto& p : mixed) {
+    p.privatePagesPerThread = 2;
+    p.vmSharedPages = 4;
+  }
+  CmpSystem system(cfg, GetParam(), VmLayout::matched(cfg, 4), mixed, 11);
+  system.run(30'000);
+  EXPECT_GT(system.opsCompleted(), 1000u);
+  system.protocol().checkInvariants();
+}
+
+TEST(ExperimentRunner, ProducesConsistentResult) {
+  ExperimentConfig cfg;
+  cfg.chip = smallChip();
+  cfg.workloadName = "radix4x16p";
+  cfg.warmupCycles = 10'000;
+  cfg.windowCycles = 20'000;
+  cfg.protocol = ProtocolKind::DiCoProviders;
+  const ExperimentResult r = runExperiment(cfg);
+  EXPECT_EQ(r.workload, "radix4x16p");
+  EXPECT_EQ(r.cycles, 20'000u);
+  EXPECT_GT(r.ops, 0u);
+  EXPECT_GT(r.throughput, 0.0);
+  EXPECT_GT(r.cacheMw, 0.0);
+  EXPECT_GT(r.linkMw, 0.0);
+  EXPECT_GT(r.routingMw, 0.0);
+  double fractions = 0.0;
+  for (std::size_t c = 0; c < static_cast<std::size_t>(MissClass::kCount);
+       ++c)
+    fractions += r.missFraction(static_cast<MissClass>(c));
+  EXPECT_NEAR(fractions, 1.0, 1e-9);
+}
+
+TEST(ExperimentRunner, DeterministicAcrossRuns) {
+  ExperimentConfig cfg;
+  cfg.chip = smallChip();
+  cfg.workloadName = "lu4x16p";
+  cfg.warmupCycles = 5'000;
+  cfg.windowCycles = 10'000;
+  cfg.protocol = ProtocolKind::DiCo;
+  const ExperimentResult a = runExperiment(cfg);
+  const ExperimentResult b = runExperiment(cfg);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.noc.messages, b.noc.messages);
+  EXPECT_EQ(a.stats.l1Misses(), b.stats.l1Misses());
+}
+
+TEST(ExperimentRunner, RunAllProtocolsCoversFour) {
+  ExperimentConfig cfg;
+  cfg.chip = smallChip();
+  cfg.workloadName = "volrend4x16p";
+  cfg.warmupCycles = 5'000;
+  cfg.windowCycles = 10'000;
+  const auto results = runAllProtocols(cfg);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].protocol, ProtocolKind::Directory);
+  EXPECT_EQ(results[3].protocol, ProtocolKind::DiCoArin);
+}
+
+}  // namespace
+}  // namespace eecc

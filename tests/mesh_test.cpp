@@ -1,0 +1,111 @@
+// Unit tests for the 2D mesh topology and XY routing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "noc/mesh.h"
+
+namespace eecc {
+namespace {
+
+TEST(Mesh, GeometryBasics) {
+  MeshTopology m(8, 8);
+  EXPECT_EQ(m.nodeCount(), 64);
+  // Interior node: 4 out-links; 8x8 mesh has 2*2*(8*7) = 224 directed links.
+  EXPECT_EQ(m.linkCount(), 224);
+  EXPECT_EQ(m.coordOf(0).x, 0);
+  EXPECT_EQ(m.coordOf(0).y, 0);
+  EXPECT_EQ(m.coordOf(63).x, 7);
+  EXPECT_EQ(m.coordOf(63).y, 7);
+  EXPECT_EQ(m.nodeAt({3, 2}), 19);
+}
+
+TEST(Mesh, DistanceIsManhattan) {
+  MeshTopology m(8, 8);
+  EXPECT_EQ(m.distance(0, 0), 0);
+  EXPECT_EQ(m.distance(0, 7), 7);
+  EXPECT_EQ(m.distance(0, 63), 14);
+  EXPECT_EQ(m.distance(9, 18), 2);
+  // Symmetry.
+  for (NodeId a = 0; a < 64; a += 7)
+    for (NodeId b = 0; b < 64; b += 5) EXPECT_EQ(m.distance(a, b),
+                                                 m.distance(b, a));
+}
+
+TEST(Mesh, RouteLengthEqualsDistance) {
+  MeshTopology m(8, 8);
+  for (NodeId a = 0; a < 64; a += 3) {
+    for (NodeId b = 0; b < 64; b += 5) {
+      const auto route = m.route(a, b);
+      EXPECT_EQ(static_cast<std::int32_t>(route.size()), m.distance(a, b));
+    }
+  }
+}
+
+TEST(Mesh, RouteIsConnectedAndXYOrdered) {
+  MeshTopology m(8, 8);
+  const auto route = m.route(0, 63);
+  NodeId cur = 0;
+  bool seenY = false;
+  for (const LinkId l : route) {
+    EXPECT_EQ(m.linkSource(l), cur);
+    const MeshCoord a = m.coordOf(m.linkSource(l));
+    const MeshCoord b = m.coordOf(m.linkDest(l));
+    if (a.y != b.y) seenY = true;
+    else EXPECT_FALSE(seenY) << "X move after Y move violates XY routing";
+    cur = m.linkDest(l);
+  }
+  EXPECT_EQ(cur, 63);
+}
+
+TEST(Mesh, BroadcastTreeSpansAllNodes) {
+  MeshTopology m(8, 8);
+  for (const NodeId root : {NodeId{0}, NodeId{27}, NodeId{63}}) {
+    const auto tree = m.broadcastTree(root);
+    // A spanning tree of n nodes has n-1 edges.
+    EXPECT_EQ(tree.size(), 63u);
+    std::set<NodeId> reached{root};
+    // Tree links are emitted in forwardable order (row first, then columns).
+    for (const LinkId l : tree) {
+      EXPECT_TRUE(reached.contains(m.linkSource(l)))
+          << "tree link from unreached node";
+      reached.insert(m.linkDest(l));
+    }
+    EXPECT_EQ(reached.size(), 64u);
+  }
+}
+
+TEST(Mesh, AverageDistanceMatchesTheory) {
+  // The paper quotes ~ (2/3)*sqrt(ntc) ≈ 5.33 for the 8x8 mesh.
+  MeshTopology m(8, 8);
+  EXPECT_NEAR(m.averageDistance(), 5.25, 0.01);  // exact: 2*(n-1)(n+?)/...
+  // And the 2-hop round trip the paper calls "10.6 links".
+  EXPECT_NEAR(2 * m.averageDistance(), 10.5, 0.1);
+}
+
+TEST(Mesh, LinkBetweenAdjacentNodes) {
+  MeshTopology m(4, 4);
+  const LinkId l = m.linkBetween(5, 6);
+  EXPECT_EQ(m.linkSource(l), 5);
+  EXPECT_EQ(m.linkDest(l), 6);
+  const LinkId back = m.linkBetween(6, 5);
+  EXPECT_NE(l, back);
+}
+
+TEST(Mesh, OneByOneMesh) {
+  MeshTopology m(1, 1);
+  EXPECT_EQ(m.nodeCount(), 1);
+  EXPECT_EQ(m.linkCount(), 0);
+  EXPECT_TRUE(m.route(0, 0).empty());
+}
+
+TEST(Mesh, RectangularMesh) {
+  MeshTopology m(4, 2);
+  EXPECT_EQ(m.nodeCount(), 8);
+  EXPECT_EQ(m.distance(0, 7), 4);
+  EXPECT_EQ(m.route(0, 7).size(), 4u);
+  EXPECT_EQ(m.broadcastTree(0).size(), 7u);
+}
+
+}  // namespace
+}  // namespace eecc

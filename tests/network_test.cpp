@@ -1,0 +1,217 @@
+// Unit tests for the timed NoC model: latency, contention, broadcast and
+// the statistics the energy model consumes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "noc/network.h"
+#include "sim/event_queue.h"
+
+namespace eecc {
+namespace {
+
+struct NetFixture {
+  EventQueue events;
+  MeshTopology topo{8, 8};
+  Network net{events, topo};
+  std::vector<Message> delivered;
+
+  NetFixture() {
+    net.setHandler([this](const Message& m) { delivered.push_back(m); });
+  }
+};
+
+TEST(Network, UnicastLatencyNoContention) {
+  NetFixture f;
+  Message m;
+  m.src = 0;
+  m.dst = 7;  // 7 hops across the top row
+  m.cls = MsgClass::Control;
+  f.net.send(m);
+  f.events.runToCompletion();
+  ASSERT_EQ(f.delivered.size(), 1u);
+  // 7 hops * (2 link + 2 switch + 1 router) + (1 flit - 1) = 35 cycles.
+  EXPECT_EQ(f.events.now(), 35u);
+}
+
+TEST(Network, DataMessageSerialization) {
+  NetFixture f;
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.cls = MsgClass::Data;
+  f.net.send(m);
+  f.events.runToCompletion();
+  // 1 hop * 5 + (5 flits - 1) = 9 cycles.
+  EXPECT_EQ(f.events.now(), 9u);
+}
+
+TEST(Network, SelfMessageUsesNoNetwork) {
+  NetFixture f;
+  Message m;
+  m.src = 5;
+  m.dst = 5;
+  f.net.send(m);
+  f.events.runToCompletion();
+  EXPECT_EQ(f.delivered.size(), 1u);
+  EXPECT_EQ(f.net.stats().messages, 0u);
+  EXPECT_EQ(f.net.stats().routings, 0u);
+}
+
+TEST(Network, StatsCountLinksFlitsRoutings) {
+  NetFixture f;
+  Message m;
+  m.src = 0;
+  m.dst = 9;  // distance 2
+  m.cls = MsgClass::Data;
+  f.net.send(m);
+  f.events.runToCompletion();
+  const NocStats& s = f.net.stats();
+  EXPECT_EQ(s.messages, 1u);
+  EXPECT_EQ(s.dataMessages, 1u);
+  EXPECT_EQ(s.linksTraversed, 2u);
+  EXPECT_EQ(s.linkFlits, 10u);   // 2 links * 5 flits
+  EXPECT_EQ(s.routings, 3u);     // 3 routers on the path
+}
+
+TEST(Network, ContentionDelaysSecondMessage) {
+  NetFixture f;
+  Message a;
+  a.src = 0;
+  a.dst = 1;
+  a.cls = MsgClass::Data;  // occupies link 0->1 for 5 cycles
+  Message b = a;
+  f.net.send(a);
+  f.net.send(b);
+  f.events.runToCompletion();
+  ASSERT_EQ(f.delivered.size(), 2u);
+  EXPECT_GT(f.net.stats().contentionWait.max(), 0.0);
+}
+
+TEST(Network, ContentionCanBeDisabled) {
+  EventQueue events;
+  MeshTopology topo(8, 8);
+  NetworkConfig cfg;
+  cfg.modelContention = false;
+  Network net(events, topo, cfg);
+  int count = 0;
+  net.setHandler([&](const Message&) { ++count; });
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.cls = MsgClass::Data;
+  net.send(m);
+  net.send(m);
+  events.runToCompletion();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(net.stats().contentionWait.max(), 0.0);
+}
+
+TEST(Network, BroadcastReachesEveryNode) {
+  NetFixture f;
+  Message m;
+  m.src = 27;
+  m.cls = MsgClass::Control;
+  f.net.broadcast(m);
+  f.events.runToCompletion();
+  EXPECT_EQ(f.delivered.size(), 64u);
+  std::vector<bool> seen(64, false);
+  for (const Message& d : f.delivered) {
+    EXPECT_FALSE(seen[static_cast<size_t>(d.dst)]);
+    seen[static_cast<size_t>(d.dst)] = true;
+  }
+}
+
+TEST(Network, BroadcastChargesTreeOnce) {
+  NetFixture f;
+  Message m;
+  m.src = 0;
+  m.cls = MsgClass::Control;
+  f.net.broadcast(m);
+  f.events.runToCompletion();
+  const NocStats& s = f.net.stats();
+  EXPECT_EQ(s.broadcasts, 1u);
+  EXPECT_EQ(s.linksTraversed, 63u);  // spanning tree edges
+  EXPECT_EQ(s.linkFlits, 63u);       // 1 flit each
+  EXPECT_EQ(s.routings, 64u);        // every router forwards/replicates
+}
+
+TEST(Network, FarthestBroadcastTargetArrivesLast) {
+  NetFixture f;
+  Message m;
+  m.src = 0;
+  f.net.broadcast(m);
+  f.events.runToCompletion();
+  // Farthest node (63) is at distance 14: 14 * 5 = 70 cycles.
+  EXPECT_EQ(f.events.now(), 70u);
+}
+
+TEST(FlitLevelNetwork, UncontendedLatencyMatchesMessageLevel) {
+  for (const MsgClass cls : {MsgClass::Control, MsgClass::Data}) {
+    EventQueue e1;
+    EventQueue e2;
+    MeshTopology topo(8, 8);
+    NetworkConfig msgCfg;
+    NetworkConfig flitCfg;
+    flitCfg.flitLevel = true;
+    Network msgNet(e1, topo, msgCfg);
+    Network flitNet(e2, topo, flitCfg);
+    msgNet.setHandler([](const Message&) {});
+    flitNet.setHandler([](const Message&) {});
+    Message m;
+    m.src = 0;
+    m.dst = 42;
+    m.cls = cls;
+    msgNet.send(m);
+    flitNet.send(m);
+    e1.runToCompletion();
+    e2.runToCompletion();
+    EXPECT_EQ(e1.now(), e2.now())
+        << "uncontended flit-level must equal message-level";
+  }
+}
+
+TEST(FlitLevelNetwork, FlitsInterleaveUnderContention) {
+  // Two data messages sharing a link: flit-level interleaving delivers
+  // the second no later than the message-level wholesale occupancy.
+  auto lastArrival = [](bool flitLevel) {
+    EventQueue e;
+    MeshTopology topo(8, 8);
+    NetworkConfig cfg;
+    cfg.flitLevel = flitLevel;
+    Network net(e, topo, cfg);
+    net.setHandler([](const Message&) {});
+    Message a;
+    a.src = 0;
+    a.dst = 3;
+    a.cls = MsgClass::Data;
+    Message b = a;
+    net.send(a);
+    net.send(b);
+    e.runToCompletion();
+    return e.now();
+  };
+  EXPECT_LE(lastArrival(true), lastArrival(false));
+  EXPECT_GT(lastArrival(true), 0u);
+}
+
+TEST(FlitLevelNetwork, StatsIdenticalToMessageLevel) {
+  EventQueue e;
+  MeshTopology topo(8, 8);
+  NetworkConfig cfg;
+  cfg.flitLevel = true;
+  Network net(e, topo, cfg);
+  net.setHandler([](const Message&) {});
+  Message m;
+  m.src = 0;
+  m.dst = 9;  // 2 hops
+  m.cls = MsgClass::Data;
+  net.send(m);
+  e.runToCompletion();
+  EXPECT_EQ(net.stats().linkFlits, 10u);
+  EXPECT_EQ(net.stats().routings, 3u);
+  EXPECT_EQ(net.stats().linksTraversed, 2u);
+}
+
+}  // namespace
+}  // namespace eecc

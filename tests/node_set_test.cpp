@@ -1,0 +1,87 @@
+// Unit tests for the full-map sharing-vector representation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/node_set.h"
+
+namespace eecc {
+namespace {
+
+TEST(NodeSet, EmptyByDefault) {
+  NodeSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_EQ(s.first(), kInvalidNode);
+}
+
+TEST(NodeSet, InsertEraseContains) {
+  NodeSet s;
+  s.insert(3);
+  s.insert(63);
+  s.insert(200);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_TRUE(s.contains(200));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.size(), 3);
+  s.erase(63);
+  EXPECT_FALSE(s.contains(63));
+  EXPECT_EQ(s.size(), 2);
+}
+
+TEST(NodeSet, InsertIsIdempotent) {
+  NodeSet s;
+  s.insert(5);
+  s.insert(5);
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(NodeSet, FirstIsLowest) {
+  NodeSet s;
+  s.insert(100);
+  s.insert(7);
+  s.insert(64);
+  EXPECT_EQ(s.first(), 7);
+  s.erase(7);
+  EXPECT_EQ(s.first(), 64);
+}
+
+TEST(NodeSet, ForEachAscending) {
+  NodeSet s;
+  for (const NodeId n : {250, 1, 64, 65, 13}) s.insert(n);
+  std::vector<NodeId> seen;
+  s.forEach([&](NodeId n) { seen.push_back(n); });
+  EXPECT_EQ(seen, (std::vector<NodeId>{1, 13, 64, 65, 250}));
+}
+
+TEST(NodeSet, UnionOperator) {
+  NodeSet a;
+  NodeSet b;
+  a.insert(1);
+  b.insert(2);
+  b.insert(1);
+  a |= b;
+  EXPECT_EQ(a.size(), 2);
+  EXPECT_TRUE(a.contains(2));
+}
+
+TEST(NodeSet, ClearAndEquality) {
+  NodeSet a;
+  a.insert(42);
+  NodeSet b;
+  EXPECT_NE(a, b);
+  a.clear();
+  EXPECT_EQ(a, b);
+}
+
+TEST(NodeSet, WordBoundaries) {
+  NodeSet s;
+  for (const NodeId n : {0, 63, 64, 127, 128, 191, 192, 255}) s.insert(n);
+  EXPECT_EQ(s.size(), 8);
+  for (const NodeId n : {0, 63, 64, 127, 128, 191, 192, 255})
+    EXPECT_TRUE(s.contains(n));
+}
+
+}  // namespace
+}  // namespace eecc

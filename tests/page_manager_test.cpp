@@ -1,0 +1,80 @@
+// Unit tests for hypervisor-style page deduplication and copy-on-write.
+#include <gtest/gtest.h>
+
+#include "vm/page_manager.h"
+
+namespace eecc {
+namespace {
+
+TEST(PageManager, PrivatePagesAreUnique) {
+  PageManager pm;
+  const Addr a = pm.allocPrivatePage();
+  const Addr b = pm.allocPrivatePage();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a % kPageBytes, 0u);
+  EXPECT_EQ(pm.physicalPages(), 2u);
+  EXPECT_EQ(pm.savedFraction(), 0.0);
+}
+
+TEST(PageManager, IdenticalContentDeduplicates) {
+  PageManager pm;
+  const Addr a = pm.mapContent(/*contentKey=*/42, /*vm=*/0);
+  const Addr b = pm.mapContent(42, 1);
+  const Addr c = pm.mapContent(42, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(pm.physicalPages(), 1u);
+  EXPECT_EQ(pm.logicalMappings(), 3u);
+  EXPECT_NEAR(pm.savedFraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(PageManager, DifferentContentDoesNot) {
+  PageManager pm;
+  EXPECT_NE(pm.mapContent(1, 0), pm.mapContent(2, 0));
+  EXPECT_EQ(pm.physicalPages(), 2u);
+}
+
+TEST(PageManager, CopyOnWriteGivesPrivateCopy) {
+  PageManager pm;
+  const Addr shared = pm.mapContent(42, 0);
+  pm.mapContent(42, 1);
+  const Addr copy = pm.copyOnWrite(42, 0);
+  EXPECT_NE(copy, shared);
+  // Writer reads its copy; the other VM keeps the shared original.
+  EXPECT_EQ(pm.translate(42, 0), copy);
+  EXPECT_EQ(pm.translate(42, 1), shared);
+  EXPECT_EQ(pm.cowEvents(), 1u);
+}
+
+TEST(PageManager, CopyOnWriteIsStablePerVm) {
+  PageManager pm;
+  pm.mapContent(7, 0);
+  const Addr first = pm.copyOnWrite(7, 0);
+  const Addr second = pm.copyOnWrite(7, 0);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(pm.cowEvents(), 1u);
+}
+
+TEST(PageManager, SavedFractionMatchesTableIVShape) {
+  // 4 VMs, each mapping 100 private + 30 deduplicated pages:
+  // saved = 3*30 / (4*130) = 17.3%.
+  PageManager pm;
+  for (VmId vm = 0; vm < 4; ++vm) {
+    for (int i = 0; i < 100; ++i) pm.allocPrivatePage();
+    for (std::uint64_t k = 0; k < 30; ++k) pm.mapContent(1000 + k, vm);
+  }
+  EXPECT_NEAR(pm.savedFraction(), 3.0 * 30 / (4 * 130), 1e-12);
+}
+
+TEST(PageManager, PagesAreDistinctAcrossKinds) {
+  PageManager pm;
+  const Addr priv = pm.allocPrivatePage();
+  const Addr shared = pm.mapContent(9, 0);
+  const Addr cow = pm.copyOnWrite(9, 0);
+  EXPECT_NE(priv, shared);
+  EXPECT_NE(priv, cow);
+  EXPECT_NE(shared, cow);
+}
+
+}  // namespace
+}  // namespace eecc

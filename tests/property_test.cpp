@@ -1,0 +1,142 @@
+// Property-based tests: randomized access streams across all protocols,
+// several chip shapes and sharing patterns, with the full invariant
+// checker (SWMR, value coherence, pointer precision, area coverage) run
+// at quiesce points — plus cross-protocol differential value checks.
+#include <gtest/gtest.h>
+
+#include "protocol_harness.h"
+
+namespace eecc {
+namespace {
+
+using testutil::Harness;
+
+struct FuzzCase {
+  ProtocolKind kind;
+  std::int32_t meshW;
+  std::int32_t meshH;
+  std::uint32_t areas;
+  std::uint64_t blocks;      // address pool size
+  double writeFraction;
+  std::uint64_t seed;
+};
+
+CmpConfig fuzzConfig(const FuzzCase& c) {
+  CmpConfig cfg;
+  cfg.meshWidth = c.meshW;
+  cfg.meshHeight = c.meshH;
+  cfg.numAreas = c.areas;
+  cfg.l1 = CacheGeometry{32, 4, 1, 2};     // tiny: maximal eviction churn
+  cfg.l2 = CacheGeometry{128, 8, 2, 3};
+  cfg.l1cEntries = 32;
+  cfg.l2cEntries = 32;
+  cfg.dirCacheEntries = 32;
+  cfg.numMemControllers = 2;
+  return cfg;
+}
+
+class Fuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+std::string fuzzName(const ::testing::TestParamInfo<FuzzCase>& info) {
+  std::string n = protocolName(info.param.kind);
+  for (auto& c : n)
+    if (c == '-') c = '_';
+  return n + "_m" + std::to_string(info.param.meshW) + "x" +
+         std::to_string(info.param.meshH) + "_a" +
+         std::to_string(info.param.areas) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+TEST_P(Fuzz, RandomStreamKeepsInvariants) {
+  const FuzzCase& c = GetParam();
+  Harness h(c.kind, fuzzConfig(c));
+  Rng rng(c.seed);
+  const auto tiles = static_cast<std::uint64_t>(c.meshW * c.meshH);
+
+  for (int round = 0; round < 40; ++round) {
+    // A burst of concurrent accesses, then quiesce and check everything.
+    const int burst = 1 + static_cast<int>(rng.below(48));
+    for (int i = 0; i < burst; ++i) {
+      const auto tile = static_cast<NodeId>(rng.below(tiles));
+      const Addr block = rng.below(c.blocks) * kBlockBytes;
+      const AccessType type = rng.chance(c.writeFraction)
+                                  ? AccessType::Write
+                                  : AccessType::Read;
+      h.issue(tile, block, type);
+    }
+    h.drain();
+    h.check();
+  }
+
+  // Every block's final readable value equals the committed value.
+  for (std::uint64_t b = 0; b < c.blocks; b += 3) {
+    const Addr block = b * kBlockBytes;
+    const auto tile = static_cast<NodeId>(b % tiles);
+    EXPECT_EQ(h.read(tile, block), h.proto().committedValue(block));
+  }
+  h.check();
+}
+
+std::vector<FuzzCase> makeCases() {
+  std::vector<FuzzCase> cases;
+  const ProtocolKind kinds[] = {ProtocolKind::Directory, ProtocolKind::DiCo,
+                                ProtocolKind::DiCoProviders,
+                                ProtocolKind::DiCoArin};
+  std::uint64_t seed = 100;
+  for (const ProtocolKind k : kinds) {
+    cases.push_back({k, 4, 4, 4, 48, 0.3, seed++});   // hot pool, square
+    cases.push_back({k, 4, 4, 2, 200, 0.15, seed++}); // wide pool, 2 areas
+    cases.push_back({k, 4, 2, 4, 64, 0.5, seed++});   // rectangular mesh
+    cases.push_back({k, 8, 8, 16, 96, 0.25, seed++}); // many small areas
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Fuzz, ::testing::ValuesIn(makeCases()),
+                         fuzzName);
+
+// Differential fuzz: identical streams must read identical values under
+// every protocol, across several seeds.
+class DifferentialFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialFuzz, AllProtocolsAgree) {
+  const std::uint64_t seed = GetParam();
+  struct Op {
+    NodeId tile;
+    Addr block;
+    bool write;
+  };
+  std::vector<Op> ops;
+  Rng rng(seed);
+  for (int i = 0; i < 1500; ++i)
+    ops.push_back({static_cast<NodeId>(rng.below(16)),
+                   rng.below(80) * kBlockBytes, rng.chance(0.35)});
+
+  std::vector<std::uint64_t> reference;
+  bool first = true;
+  for (const ProtocolKind kind :
+       {ProtocolKind::Directory, ProtocolKind::DiCo,
+        ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin}) {
+    FuzzCase c{kind, 4, 4, 4, 80, 0.0, seed};
+    Harness h(kind, fuzzConfig(c));
+    std::vector<std::uint64_t> values;
+    for (const Op& op : ops) {
+      if (op.write) h.write(op.tile, op.block);
+      else values.push_back(h.read(op.tile, op.block));
+    }
+    h.check();
+    if (first) {
+      reference = std::move(values);
+      first = false;
+    } else {
+      EXPECT_EQ(values, reference)
+          << protocolName(kind) << " diverged (seed " << seed << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+}  // namespace
+}  // namespace eecc

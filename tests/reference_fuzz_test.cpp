@@ -1,0 +1,117 @@
+// Reference-model fuzz tests: the compact data structures are checked
+// against straightforward std:: containers under long random operation
+// sequences.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cache/coherence_cache.h"
+#include "cache/node_set.h"
+#include "common/rng.h"
+
+namespace eecc {
+namespace {
+
+TEST(NodeSetFuzz, MatchesStdSet) {
+  Rng rng(2024);
+  NodeSet set;
+  std::set<NodeId> ref;
+  for (int i = 0; i < 20000; ++i) {
+    const auto n = static_cast<NodeId>(rng.below(NodeSet::kCapacity));
+    switch (rng.below(3)) {
+      case 0:
+        set.insert(n);
+        ref.insert(n);
+        break;
+      case 1:
+        set.erase(n);
+        ref.erase(n);
+        break;
+      default:
+        ASSERT_EQ(set.contains(n), ref.contains(n)) << "node " << n;
+    }
+    if (i % 500 == 0) {
+      ASSERT_EQ(set.size(), static_cast<std::int32_t>(ref.size()));
+      ASSERT_EQ(set.empty(), ref.empty());
+      ASSERT_EQ(set.first(),
+                ref.empty() ? kInvalidNode : *ref.begin());
+      std::vector<NodeId> walked;
+      set.forEach([&walked](NodeId x) { walked.push_back(x); });
+      ASSERT_EQ(walked, std::vector<NodeId>(ref.begin(), ref.end()));
+    }
+  }
+}
+
+TEST(CoherenceCacheFuzz, NeverLiesAboutPointers) {
+  // The pointer cache may forget entries (finite capacity) but must never
+  // return a value different from the most recent update.
+  Rng rng(77);
+  CoherenceCache cc(64, 4);
+  std::map<Addr, NodeId> ref;
+  for (int i = 0; i < 20000; ++i) {
+    const Addr block = rng.below(256) * kBlockBytes;
+    switch (rng.below(3)) {
+      case 0: {
+        const auto node = static_cast<NodeId>(rng.below(64));
+        const auto displaced = cc.update(block, node);
+        ref[block] = node;
+        if (displaced) ref.erase(displaced->first);
+        break;
+      }
+      case 1:
+        cc.invalidate(block);
+        ref.erase(block);
+        break;
+      default: {
+        const auto got = cc.lookup(block);
+        if (got) {
+          auto it = ref.find(block);
+          ASSERT_TRUE(it != ref.end()) << "cache invented an entry";
+          ASSERT_EQ(*got, it->second) << "cache returned a stale pointer";
+        }
+        break;
+      }
+    }
+  }
+}
+
+TEST(CoherenceCacheFuzz, BusyEntriesSurviveAnyChurn) {
+  Rng rng(123);
+  CoherenceCache cc(32, 2);
+  // Pin four blocks as permanently busy and hammer the cache; the pinned
+  // pointers must remain correct throughout.
+  // Distinct sets (32 entries, 2-way -> 16 sets): indices 1..4.
+  const Addr pinned[] = {1 * kBlockBytes, 2 * kBlockBytes, 3 * kBlockBytes,
+                         4 * kBlockBytes};
+  for (const Addr p : pinned)
+    cc.update(p, static_cast<NodeId>(blockIndex(p) % 60));
+  const auto busy = [&](Addr a) {
+    for (const Addr p : pinned)
+      if (p == a) return true;
+    return false;
+  };
+  for (int i = 0; i < 10000; ++i) {
+    const Addr block = rng.below(512) * kBlockBytes;
+    if (busy(block)) continue;
+    cc.update(block, static_cast<NodeId>(rng.below(60)), busy);
+    if (i % 100 == 0) {
+      for (const Addr p : pinned) {
+        const auto got = cc.lookup(p);
+        ASSERT_TRUE(got.has_value()) << "busy entry evicted";
+        ASSERT_EQ(*got, static_cast<NodeId>(blockIndex(p) % 60));
+      }
+    }
+  }
+}
+
+TEST(RngFuzz, BelowIsUnbiasedEnough) {
+  Rng rng(5);
+  int counts[7] = {};
+  const int n = 700000;
+  for (int i = 0; i < n; ++i) counts[rng.below(7)] += 1;
+  for (const int c : counts) EXPECT_NEAR(c, n / 7, n / 7 / 20);
+}
+
+}  // namespace
+}  // namespace eecc

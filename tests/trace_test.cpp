@@ -1,0 +1,151 @@
+// Tests for trace capture/replay: round-trip fidelity, determinism, and
+// per-tile splitting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/cmp_system.h"
+#include "workload/profile.h"
+#include "workload/trace.h"
+
+namespace eecc {
+namespace {
+
+CmpConfig smallChip() {
+  CmpConfig cfg;
+  cfg.meshWidth = 4;
+  cfg.meshHeight = 4;
+  cfg.numAreas = 4;
+  cfg.l1 = CacheGeometry{64, 4, 1, 2};
+  cfg.l2 = CacheGeometry{256, 8, 2, 3};
+  cfg.l1cEntries = 64;
+  cfg.l2cEntries = 64;
+  cfg.dirCacheEntries = 64;
+  cfg.numMemControllers = 4;
+  return cfg;
+}
+
+std::string tempTracePath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name + ".eecctrc";
+}
+
+TEST(Trace, RoundTripPreservesRecords) {
+  Trace trace;
+  trace.setTileCount(16);
+  trace.append({3, AccessType::Read, 5, 0x1000});
+  trace.append({7, AccessType::Write, 0, 0xdeadbe40});
+  trace.append({0, AccessType::Read, 123456, kBlockBytes});
+  const std::string path = tempTracePath("roundtrip");
+  trace.save(path);
+  const Trace loaded = Trace::load(path);
+  EXPECT_EQ(loaded.tileCount(), 16u);
+  ASSERT_EQ(loaded.records().size(), 3u);
+  EXPECT_EQ(loaded.records()[0], trace.records()[0]);
+  EXPECT_EQ(loaded.records()[1], trace.records()[1]);
+  EXPECT_EQ(loaded.records()[2], trace.records()[2]);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, WriteTraceFromWorkloadIsDeterministic) {
+  const CmpConfig cfg = smallChip();
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  const std::string pathA = tempTracePath("wlA");
+  const std::string pathB = tempTracePath("wlB");
+  {
+    Workload w(cfg, layout, profiles::uniform4(profiles::radix()), 9);
+    EXPECT_EQ(writeTrace(w, cfg, 50, pathA), 50u * 16u);
+  }
+  {
+    Workload w(cfg, layout, profiles::uniform4(profiles::radix()), 9);
+    writeTrace(w, cfg, 50, pathB);
+  }
+  const Trace a = Trace::load(pathA);
+  const Trace b = Trace::load(pathB);
+  EXPECT_EQ(a.records(), b.records());
+  std::remove(pathA.c_str());
+  std::remove(pathB.c_str());
+}
+
+TEST(Trace, SplitByTilePartitionsRecords) {
+  Trace trace;
+  trace.setTileCount(4);
+  for (int i = 0; i < 20; ++i)
+    trace.append({static_cast<NodeId>(i % 4), AccessType::Read, 1,
+                  static_cast<Addr>(i) * kBlockBytes});
+  const auto split = trace.splitByTile();
+  ASSERT_EQ(split.size(), 4u);
+  for (const auto& stream : split) EXPECT_EQ(stream.size(), 5u);
+  EXPECT_EQ(split[2][1].addr, 6u * kBlockBytes);
+}
+
+TEST(Trace, AddressesAreBlockAlignedInWorkloadTraces) {
+  const CmpConfig cfg = smallChip();
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  Workload w(cfg, layout, profiles::uniform4(profiles::lu()), 3);
+  const std::string path = tempTracePath("aligned");
+  writeTrace(w, cfg, 20, path);
+  const Trace t = Trace::load(path);
+  for (const TraceRecord& r : t.records()) {
+    EXPECT_EQ(r.addr % kBlockBytes, 0u);
+    EXPECT_LT(r.tile, 16);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplay, DrivesTheFullSystemCoherently) {
+  const CmpConfig cfg = smallChip();
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  const std::string path = tempTracePath("replay");
+  {
+    Workload w(cfg, layout, profiles::uniform4(profiles::apache()), 5);
+    writeTrace(w, cfg, 300, path);
+  }
+  const Trace trace = Trace::load(path);
+  for (const ProtocolKind kind :
+       {ProtocolKind::Directory, ProtocolKind::DiCoProviders}) {
+    CmpSystem sys(cfg, kind, std::make_unique<TraceSource>(trace));
+    sys.run(20'000);
+    EXPECT_GT(sys.opsCompleted(), 1000u) << protocolName(kind);
+    sys.protocol().checkInvariants();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplay, ReplayIsDeterministic) {
+  const CmpConfig cfg = smallChip();
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  const std::string path = tempTracePath("replay_det");
+  {
+    Workload w(cfg, layout, profiles::uniform4(profiles::lu()), 8);
+    writeTrace(w, cfg, 200, path);
+  }
+  const Trace trace = Trace::load(path);
+  std::uint64_t ops[2];
+  std::uint64_t msgs[2];
+  for (int i = 0; i < 2; ++i) {
+    CmpSystem sys(cfg, ProtocolKind::DiCoArin,
+                  std::make_unique<TraceSource>(trace));
+    sys.run(15'000);
+    ops[i] = sys.opsCompleted();
+    msgs[i] = sys.network().stats().messages;
+  }
+  EXPECT_EQ(ops[0], ops[1]);
+  EXPECT_EQ(msgs[0], msgs[1]);
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplay, WrapsAroundShortTraces) {
+  Trace trace;
+  trace.setTileCount(2);
+  trace.append({0, AccessType::Read, 1, kBlockBytes});
+  trace.append({0, AccessType::Write, 1, 2 * kBlockBytes});
+  TraceSource source(trace);
+  EXPECT_TRUE(source.tileActive(0));
+  EXPECT_FALSE(source.tileActive(1));
+  for (int i = 0; i < 5; ++i) source.next(0);
+  EXPECT_EQ(source.wraparounds(), 2u);
+  EXPECT_EQ(source.next(0).addr, 2 * kBlockBytes);
+}
+
+}  // namespace
+}  // namespace eecc

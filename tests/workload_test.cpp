@@ -1,0 +1,171 @@
+// Unit tests for the synthetic consolidated workloads: dedup sizing against
+// Table IV, stream determinism, address-pool structure and access mixes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/workload.h"
+#include "workload/zipf.h"
+
+namespace eecc {
+namespace {
+
+TEST(Zipf, SkewFavoursLowRanks) {
+  ZipfSampler z(100, 1.0);
+  Rng rng(1);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) counts[z.sample(rng)] += 1;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  ZipfSampler z(10, 0.0);
+  Rng rng(2);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) counts[z.sample(rng)] += 1;
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Zipf, SingleElement) {
+  ZipfSampler z(1, 1.2);
+  Rng rng(3);
+  EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(WorkloadDedup, PagesMatchTableIVTargets) {
+  // Closed-form check: with the derived D, 4 identical VMs hit the target.
+  for (const auto& p :
+       {profiles::apache(), profiles::jbb(), profiles::radix(),
+        profiles::lu(), profiles::volrend(), profiles::tomcatv()}) {
+    const double d = static_cast<double>(Workload::dedupPagesFor(p, 4));
+    const double base =
+        static_cast<double>(16 * p.privatePagesPerThread + p.vmSharedPages);
+    const double saved = 3.0 * d / (4.0 * (base + d));
+    EXPECT_NEAR(saved, p.dedupSavedTarget, 0.01) << p.name;
+  }
+}
+
+TEST(WorkloadDedup, HomogeneousSavingsEmergeFromPageManager) {
+  CmpConfig cfg;
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  Workload w(cfg, layout, profiles::uniform4(profiles::apache()), 1);
+  EXPECT_NEAR(w.pages().savedFraction(), 0.2172, 0.02);
+}
+
+TEST(WorkloadDedup, MixedComSavesLessThanHomogeneous) {
+  CmpConfig cfg;
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  Workload mixed(cfg, layout, profiles::mixedCom(), 1);
+  // Table IV: 15.74% for mixed-com vs 21.7/23.9% for the pure workloads.
+  EXPECT_NEAR(mixed.pages().savedFraction(), 0.1574, 0.03);
+  Workload pureJbb(cfg, layout, profiles::uniform4(profiles::jbb()), 1);
+  EXPECT_LT(mixed.pages().savedFraction(), pureJbb.pages().savedFraction());
+}
+
+TEST(WorkloadDedup, MixedSciSavingsComeFromOsPages) {
+  CmpConfig cfg;
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  Workload mixed(cfg, layout, profiles::mixedSci(), 1);
+  EXPECT_NEAR(mixed.pages().savedFraction(), 0.1521, 0.04);
+}
+
+TEST(Workload, DeterministicStreams) {
+  CmpConfig cfg;
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  Workload a(cfg, layout, profiles::uniform4(profiles::apache()), 7);
+  Workload b(cfg, layout, profiles::uniform4(profiles::apache()), 7);
+  for (int i = 0; i < 2000; ++i) {
+    const MemOp oa = a.next(5);
+    const MemOp ob = b.next(5);
+    EXPECT_EQ(oa.addr, ob.addr);
+    EXPECT_EQ(oa.type, ob.type);
+    EXPECT_EQ(oa.computeCycles, ob.computeCycles);
+  }
+}
+
+TEST(Workload, AllTilesActiveInMatched4VmLayout) {
+  CmpConfig cfg;
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  Workload w(cfg, layout, profiles::uniform4(profiles::lu()), 1);
+  for (NodeId t = 0; t < cfg.tiles(); ++t) EXPECT_TRUE(w.tileActive(t));
+}
+
+TEST(Workload, AddressesAreBlockAligned) {
+  CmpConfig cfg;
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  Workload w(cfg, layout, profiles::uniform4(profiles::radix()), 1);
+  for (int i = 0; i < 5000; ++i) {
+    const MemOp op = w.next(0);
+    EXPECT_EQ(op.addr % kBlockBytes, 0u);
+    EXPECT_NE(op.addr, 0u);
+  }
+}
+
+TEST(Workload, WriteFractionIsReasonable) {
+  CmpConfig cfg;
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  Workload w(cfg, layout, profiles::uniform4(profiles::apache()), 1);
+  int writes = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (w.next(3).type == AccessType::Write) ++writes;
+  const double frac = static_cast<double>(writes) / n;
+  EXPECT_GT(frac, 0.02);
+  EXPECT_LT(frac, 0.40);
+}
+
+TEST(Workload, VmsUseDisjointNonDedupPages) {
+  CmpConfig cfg;
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  Workload w(cfg, layout, profiles::uniform4(profiles::tomcatv()), 1);
+  // Tiles 0 (VM 0) and 7 (VM 1): private/shared pools must not overlap;
+  // only dedup pages may be common.
+  std::set<Addr> vm0;
+  std::set<Addr> vm1;
+  for (int i = 0; i < 20000; ++i) {
+    vm0.insert(pageAddr(w.next(0).addr));
+    vm1.insert(pageAddr(w.next(7).addr));
+  }
+  std::set<Addr> common;
+  for (const Addr p : vm0)
+    if (vm1.contains(p)) common.insert(p);
+  // Some shared dedup pages expected, but the bulk must be disjoint.
+  EXPECT_LT(common.size(), std::min(vm0.size(), vm1.size()) / 2);
+}
+
+TEST(Workload, DedupSharingAcrossVmsExists) {
+  CmpConfig cfg;
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  Workload w(cfg, layout, profiles::uniform4(profiles::volrend()), 1);
+  std::set<Addr> vm0;
+  std::set<Addr> vm1;
+  for (int i = 0; i < 50000; ++i) {
+    vm0.insert(pageAddr(w.next(0).addr));
+    vm1.insert(pageAddr(w.next(7).addr));
+  }
+  int common = 0;
+  for (const Addr p : vm0)
+    if (vm1.contains(p)) ++common;
+  EXPECT_GT(common, 0) << "no deduplicated pages shared across VMs";
+}
+
+TEST(Workload, CowRedirectsDedupWrites) {
+  CmpConfig cfg;
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  auto p = profiles::apache();
+  p.dedupWriteFraction = 0.05;  // force COW events quickly
+  Workload w(cfg, layout, profiles::uniform4(p), 1);
+  for (int i = 0; i < 200000 && w.pages().cowEvents() == 0; ++i) w.next(1);
+  EXPECT_GT(w.pages().cowEvents(), 0u);
+}
+
+TEST(Workload, ByNameCoversAllTableIVRows) {
+  for (const auto& name : profiles::allWorkloadNames()) {
+    const auto perVm = profiles::byWorkloadName(name);
+    EXPECT_EQ(perVm.size(), 4u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace eecc

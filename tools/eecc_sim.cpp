@@ -1,0 +1,175 @@
+// eecc_sim — command-line driver for one-off simulations.
+//
+//   eecc_sim [options]
+//     --workload NAME     Table IV workload (default apache4x16p)
+//     --protocol P        dir | dico | providers | arin | all (default all)
+//     --warmup N          warmup cycles (default 500000)
+//     --cycles N          measured cycles (default 250000)
+//     --areas N           static areas on the chip (default 4)
+//     --alt               use the Figure-6-right misaligned VM placement
+//     --contiguous        area-aligned VMs covering all tiles (ablations)
+//     --no-dedup          disable hypervisor page deduplication
+//     --no-prediction     disable the L1C$ supplier prediction
+//     --ddr               detailed DDR memory controllers
+//     --flit-level        flit-level NoC arbitration
+//     --seed N            workload seed (default 1)
+//     --csv               machine-readable one-line-per-protocol output
+//     --dump-trace FILE   write a reference trace instead of simulating
+//     --trace-ops N       operations per tile for --dump-trace (default
+//                         10000)
+//     --replay FILE       drive the cores from a recorded trace (streams
+//                         wrap around when exhausted)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/cmp_system.h"
+#include "core/experiment.h"
+#include "workload/profile.h"
+#include "workload/trace.h"
+
+using namespace eecc;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workload NAME] [--protocol "
+               "dir|dico|providers|arin|all]\n"
+               "       [--warmup N] [--cycles N] [--areas N] [--alt] "
+               "[--contiguous]\n"
+               "       [--no-dedup] [--no-prediction] [--ddr] "
+               "[--flit-level] [--seed N] [--csv]\n"
+               "       [--dump-trace FILE] [--trace-ops N]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::vector<ProtocolKind> parseProtocols(const std::string& p) {
+  if (p == "dir" || p == "directory") return {ProtocolKind::Directory};
+  if (p == "dico") return {ProtocolKind::DiCo};
+  if (p == "providers") return {ProtocolKind::DiCoProviders};
+  if (p == "arin") return {ProtocolKind::DiCoArin};
+  if (p == "all")
+    return {ProtocolKind::Directory, ProtocolKind::DiCo,
+            ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin};
+  std::fprintf(stderr, "unknown protocol '%s'\n", p.c_str());
+  std::exit(2);
+}
+
+void printHuman(const ExperimentResult& r) {
+  std::printf("%-15s perf=%7.3f ops/cyc  L1miss=%5.2f%%  L2miss=%5.2f%%  "
+              "missLat=%6.1f  dyn=%7.1f mW  bcasts=%llu\n",
+              protocolName(r.protocol), r.throughput,
+              100.0 * r.stats.l1MissRate(), 100.0 * r.stats.l2MissRate(),
+              r.stats.missLatency.mean(), r.totalDynamicMw(),
+              static_cast<unsigned long long>(r.noc.broadcasts));
+}
+
+void printCsvHeader() {
+  std::printf(
+      "workload,protocol,throughput,l1_miss_rate,l2_miss_rate,"
+      "miss_latency,cache_mw,link_mw,routing_mw,broadcasts,"
+      "provider_resolved,dedup_saved\n");
+}
+
+void printCsv(const ExperimentResult& r) {
+  const double prov =
+      r.stats.l1Misses()
+          ? static_cast<double>(r.stats.providerResolvedMisses) /
+                static_cast<double>(r.stats.l1Misses())
+          : 0.0;
+  std::printf("%s,%s,%.6f,%.6f,%.6f,%.2f,%.3f,%.3f,%.3f,%llu,%.6f,%.6f\n",
+              r.workload.c_str(), protocolName(r.protocol), r.throughput,
+              r.stats.l1MissRate(), r.stats.l2MissRate(),
+              r.stats.missLatency.mean(), r.cacheMw, r.linkMw, r.routingMw,
+              static_cast<unsigned long long>(r.noc.broadcasts), prov,
+              r.dedupSavedFraction);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig cfg;
+  std::string protocols = "all";
+  bool csv = false;
+  std::string tracePath;
+  std::string replayPath;
+  std::uint64_t traceOps = 10'000;
+  cfg.warmupCycles = 500'000;
+  cfg.windowCycles = 250'000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--workload") cfg.workloadName = next();
+    else if (arg == "--protocol") protocols = next();
+    else if (arg == "--warmup") cfg.warmupCycles = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--cycles") cfg.windowCycles = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--areas") cfg.chip.numAreas = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    else if (arg == "--alt") cfg.altLayout = true;
+    else if (arg == "--contiguous") cfg.contiguousLayout = true;
+    else if (arg == "--no-dedup") cfg.dedupEnabled = false;
+    else if (arg == "--no-prediction") cfg.chip.enablePrediction = false;
+    else if (arg == "--ddr") cfg.chip.memoryModel = CmpConfig::MemoryModel::Ddr;
+    else if (arg == "--flit-level") cfg.chip.net.flitLevel = true;
+    else if (arg == "--seed") cfg.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--csv") csv = true;
+    else if (arg == "--dump-trace") tracePath = next();
+    else if (arg == "--replay") replayPath = next();
+    else if (arg == "--trace-ops") traceOps = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--help" || arg == "-h") usage(argv[0]);
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  cfg.chip.validate();
+
+  if (!tracePath.empty()) {
+    const auto perVm = profiles::byWorkloadName(cfg.workloadName);
+    const auto numVms = static_cast<std::uint32_t>(perVm.size());
+    const VmLayout layout =
+        cfg.altLayout ? VmLayout::alternative(cfg.chip, numVms)
+                      : VmLayout::matched(cfg.chip, numVms);
+    Workload workload(cfg.chip, layout, perVm, cfg.seed, cfg.dedupEnabled);
+    const std::uint64_t n =
+        writeTrace(workload, cfg.chip, traceOps, tracePath);
+    std::printf("wrote %llu records (%s, %llu ops/tile) to %s\n",
+                static_cast<unsigned long long>(n),
+                cfg.workloadName.c_str(),
+                static_cast<unsigned long long>(traceOps),
+                tracePath.c_str());
+    return 0;
+  }
+
+  if (!replayPath.empty()) {
+    const Trace trace = Trace::load(replayPath);
+    for (const ProtocolKind kind : parseProtocols(protocols)) {
+      CmpSystem sys(cfg.chip, kind, std::make_unique<TraceSource>(trace));
+      sys.warmup(cfg.warmupCycles);
+      sys.run(cfg.windowCycles);
+      std::printf("%-15s perf=%7.3f ops/cyc  L1miss=%5.2f%%  msgs=%llu\n",
+                  protocolName(kind), sys.throughput(),
+                  100.0 * sys.protocol().stats().l1MissRate(),
+                  static_cast<unsigned long long>(
+                      sys.network().stats().messages));
+      sys.protocol().checkInvariants();
+    }
+    return 0;
+  }
+
+  if (csv) printCsvHeader();
+  for (const ProtocolKind kind : parseProtocols(protocols)) {
+    cfg.protocol = kind;
+    const ExperimentResult r = runExperiment(cfg);
+    if (csv) printCsv(r);
+    else printHuman(r);
+  }
+  return 0;
+}
