@@ -14,17 +14,31 @@ int main() {
       "Ablation — area count trade-off on the 64-tile chip (apache)");
   if (bench::quickMode()) std::printf("(EECC_QUICK: reduced windows)\n");
 
-  for (const ProtocolKind kind :
-       {ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin}) {
-    std::printf("\n%s\n", protocolName(kind));
-    std::printf("  %5s %10s %12s %12s %12s %12s\n", "areas", "perf",
-                "prov-res", "links(prov)", "power(mW)", "storage-ovh");
-    for (const std::uint32_t areas : {2u, 4u, 8u, 16u}) {
+  const ProtocolKind kinds[] = {ProtocolKind::DiCoProviders,
+                                ProtocolKind::DiCoArin};
+  const std::uint32_t areaCounts[] = {2u, 4u, 8u, 16u};
+
+  std::vector<ExperimentConfig> cfgs;
+  for (const ProtocolKind kind : kinds)
+    for (const std::uint32_t areas : areaCounts) {
       auto cfg = bench::makeConfig("apache4x16p", kind);
       cfg.chip.numAreas = areas;
       cfg.contiguousLayout = true;  // VMs keep 16 tiles at any granularity
-      const auto r = runExperiment(cfg);
-      ChipParams p = chipParamsOf(cfg.chip);
+      cfgs.push_back(cfg);
+    }
+
+  ExperimentRunner runner;
+  const std::vector<ExperimentResult> results = runner.runMany(cfgs);
+
+  std::size_t i = 0;
+  for (const ProtocolKind kind : kinds) {
+    std::printf("\n%s\n", protocolName(kind));
+    std::printf("  %5s %10s %12s %12s %12s %12s\n", "areas", "perf",
+                "prov-res", "links(prov)", "power(mW)", "storage-ovh");
+    for (const std::uint32_t areas : areaCounts) {
+      const ExperimentResult& r = results[i];
+      const ChipParams p = chipParamsOf(cfgs[i].chip);
+      ++i;
       const double provFrac =
           r.stats.l1Misses()
               ? 100.0 * static_cast<double>(

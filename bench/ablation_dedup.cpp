@@ -11,18 +11,31 @@ int main() {
   bench::banner("Ablation — memory deduplication on/off");
   if (bench::quickMode()) std::printf("(EECC_QUICK: reduced windows)\n");
 
-  for (const std::string workload : {"apache4x16p", "jbb4x16p"}) {
+  const std::vector<std::string> workloads = {"apache4x16p", "jbb4x16p"};
+  const ProtocolKind kinds[] = {ProtocolKind::Directory,
+                                ProtocolKind::DiCoProviders,
+                                ProtocolKind::DiCoArin};
+  std::vector<ExperimentConfig> cfgs;
+  for (const std::string& workload : workloads)
+    for (const ProtocolKind kind : kinds) {
+      auto cfg = bench::makeConfig(workload, kind);
+      cfgs.push_back(cfg);  // dedup on
+      cfg.dedupEnabled = false;
+      cfgs.push_back(cfg);  // dedup off
+    }
+
+  ExperimentRunner runner;
+  const std::vector<ExperimentResult> results = runner.runMany(cfgs);
+
+  std::size_t i = 0;
+  for (const std::string& workload : workloads) {
     std::printf("\n%s\n", workload.c_str());
     std::printf("  %-15s %10s %10s %10s %10s %12s %12s\n", "protocol",
                 "perf", "perf-off", "l2miss", "l2miss-off", "saved-mem",
                 "prov-res");
-    for (const ProtocolKind kind :
-         {ProtocolKind::Directory, ProtocolKind::DiCoProviders,
-          ProtocolKind::DiCoArin}) {
-      auto cfg = bench::makeConfig(workload, kind);
-      const auto on = runExperiment(cfg);
-      cfg.dedupEnabled = false;
-      const auto off = runExperiment(cfg);
+    for (const ProtocolKind kind : kinds) {
+      const ExperimentResult& on = results[i++];
+      const ExperimentResult& off = results[i++];
       const double provFrac =
           on.stats.l1Misses()
               ? 100.0 * static_cast<double>(

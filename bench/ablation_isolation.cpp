@@ -5,7 +5,7 @@
 //
 // A flat directory sprays every miss at a chip-wide home; the DiCo family
 // keeps owners (and providers) inside the VM's area, so most traffic
-// should stay home.
+// should stay home. The four systems run concurrently on the pool.
 #include "bench_util.h"
 #include "core/cmp_system.h"
 
@@ -17,28 +17,43 @@ int main() {
       "(apache, matched placement)");
   if (bench::quickMode()) std::printf("(EECC_QUICK: reduced windows)\n");
 
+  struct Row {
+    double interArea = 0.0;
+    double vmOps[4] = {0, 0, 0, 0};
+  };
+  const auto& kinds = allProtocolKinds();
+  std::vector<Row> rows(kinds.size());
+
+  ExperimentRunner runner;
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < kinds.size(); ++i)
+    tasks.push_back([i, &kinds, &rows] {
+      CmpConfig chip;
+      const VmLayout layout = VmLayout::matched(chip, 4);
+      CmpSystem sys(chip, kinds[i], layout,
+                    profiles::byWorkloadName("apache4x16p"), 1);
+      sys.warmup(bench::warmupFor("apache4x16p"));
+      sys.run(bench::windowFor());
+      Row& row = rows[i];
+      row.interArea = sys.protocol().interAreaFraction();
+      for (NodeId t = 0; t < chip.tiles(); ++t)
+        row.vmOps[layout.vmOf(t)] +=
+            static_cast<double>(sys.opsCompleted(t));
+    });
+  runner.runTasks(std::move(tasks));
+
   std::printf("\n%-15s %14s %14s %14s\n", "protocol", "inter-area",
               "per-VM min/max", "spread");
-  for (const ProtocolKind kind : bench::allProtocols()) {
-    CmpConfig chip;
-    const VmLayout layout = VmLayout::matched(chip, 4);
-    CmpSystem sys(chip, kind, layout,
-                  profiles::byWorkloadName("apache4x16p"), 1);
-    sys.warmup(bench::warmupFor("apache4x16p"));
-    sys.run(bench::windowFor());
-
-    double vmOps[4] = {0, 0, 0, 0};
-    for (NodeId t = 0; t < chip.tiles(); ++t)
-      vmOps[layout.vmOf(t)] += static_cast<double>(sys.opsCompleted(t));
-    double lo = vmOps[0];
-    double hi = vmOps[0];
-    for (const double v : vmOps) {
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const Row& row = rows[i];
+    double lo = row.vmOps[0];
+    double hi = row.vmOps[0];
+    for (const double v : row.vmOps) {
       if (v < lo) lo = v;
       if (v > hi) hi = v;
     }
     std::printf("%-15s %13.1f%% %8.0f/%6.0f %13.2f%%\n",
-                protocolName(kind),
-                100.0 * sys.protocol().interAreaFraction(), lo, hi,
+                protocolName(kinds[i]), 100.0 * row.interArea, lo, hi,
                 100.0 * (hi / lo - 1.0));
   }
   std::printf(

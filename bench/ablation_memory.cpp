@@ -13,17 +13,29 @@ int main() {
       "(Section V-A validation)");
   if (bench::quickMode()) std::printf("(EECC_QUICK: reduced windows)\n");
 
-  for (const std::string workload : {"apache4x16p", "jbb4x16p"}) {
+  const std::vector<std::string> workloads = {"apache4x16p", "jbb4x16p"};
+  std::vector<ExperimentConfig> cfgs;
+  for (const std::string& workload : workloads)
+    for (const ProtocolKind kind : allProtocolKinds()) {
+      auto cfg = bench::makeConfig(workload, kind);
+      cfgs.push_back(cfg);  // fixed-latency model
+      cfg.chip.memoryModel = CmpConfig::MemoryModel::Ddr;
+      cfgs.push_back(cfg);  // detailed DDR model
+    }
+
+  ExperimentRunner runner;
+  const std::vector<ExperimentResult> results = runner.runMany(cfgs);
+
+  std::size_t i = 0;
+  for (const std::string& workload : workloads) {
     std::printf("\n%s\n", workload.c_str());
     std::printf("  %-15s %11s %11s %13s %13s\n", "protocol", "perf-fixed",
                 "perf-ddr", "power-fixed", "power-ddr");
     double baseFixed = 0.0;
     double baseDdr = 0.0;
-    for (const ProtocolKind kind : bench::allProtocols()) {
-      auto cfg = bench::makeConfig(workload, kind);
-      const auto fixed = runExperiment(cfg);
-      cfg.chip.memoryModel = CmpConfig::MemoryModel::Ddr;
-      const auto ddr = runExperiment(cfg);
+    for (const ProtocolKind kind : allProtocolKinds()) {
+      const ExperimentResult& fixed = results[i++];
+      const ExperimentResult& ddr = results[i++];
       if (kind == ProtocolKind::Directory) {
         baseFixed = fixed.throughput;
         baseDdr = ddr.throughput;

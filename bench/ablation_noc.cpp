@@ -12,15 +12,25 @@ int main() {
       "Ablation — message-level vs. flit-level NoC arbitration (apache)");
   if (bench::quickMode()) std::printf("(EECC_QUICK: reduced windows)\n");
 
+  std::vector<ExperimentConfig> cfgs;
+  for (const ProtocolKind kind : allProtocolKinds()) {
+    auto cfg = bench::makeConfig("apache4x16p", kind);
+    cfgs.push_back(cfg);  // message-level
+    cfg.chip.net.flitLevel = true;
+    cfgs.push_back(cfg);  // flit-level
+  }
+
+  ExperimentRunner runner;
+  const std::vector<ExperimentResult> results = runner.runMany(cfgs);
+
   std::printf("\n%-15s %11s %11s %13s %13s %13s\n", "protocol", "perf-msg",
               "perf-flit", "missLat-msg", "missLat-flit", "power-flit");
   double baseMsg = 0.0;
   double baseFlit = 0.0;
-  for (const ProtocolKind kind : bench::allProtocols()) {
-    auto cfg = bench::makeConfig("apache4x16p", kind);
-    const auto msg = runExperiment(cfg);
-    cfg.chip.net.flitLevel = true;
-    const auto flit = runExperiment(cfg);
+  std::size_t i = 0;
+  for (const ProtocolKind kind : allProtocolKinds()) {
+    const ExperimentResult& msg = results[i++];
+    const ExperimentResult& flit = results[i++];
     if (kind == ProtocolKind::Directory) {
       baseMsg = msg.throughput;
       baseFlit = flit.throughput;

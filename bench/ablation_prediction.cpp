@@ -9,15 +9,26 @@ int main() {
   bench::banner("Ablation — L1C$ supplier prediction on/off (apache)");
   if (bench::quickMode()) std::printf("(EECC_QUICK: reduced windows)\n");
 
+  const ProtocolKind kinds[] = {ProtocolKind::DiCo,
+                                ProtocolKind::DiCoProviders,
+                                ProtocolKind::DiCoArin};
+  std::vector<ExperimentConfig> cfgs;
+  for (const ProtocolKind kind : kinds) {
+    auto cfg = bench::makeConfig("apache4x16p", kind);
+    cfgs.push_back(cfg);  // prediction on
+    cfg.chip.enablePrediction = false;
+    cfgs.push_back(cfg);  // prediction off
+  }
+
+  ExperimentRunner runner;
+  const std::vector<ExperimentResult> results = runner.runMany(cfgs);
+
   std::printf("\n%-15s %10s %10s %14s %14s %12s\n", "protocol", "perf",
               "perf-off", "missLat(cyc)", "missLat-off", "power Δ");
-  for (const ProtocolKind kind :
-       {ProtocolKind::DiCo, ProtocolKind::DiCoProviders,
-        ProtocolKind::DiCoArin}) {
-    auto cfg = bench::makeConfig("apache4x16p", kind);
-    const auto on = runExperiment(cfg);
-    cfg.chip.enablePrediction = false;
-    const auto off = runExperiment(cfg);
+  std::size_t i = 0;
+  for (const ProtocolKind kind : kinds) {
+    const ExperimentResult& on = results[i++];
+    const ExperimentResult& off = results[i++];
     std::printf("%-15s %10.3f %10.3f %14.1f %14.1f %+10.1f%%\n",
                 protocolName(kind), on.throughput, off.throughput,
                 on.stats.missLatency.mean(), off.stats.missLatency.mean(),

@@ -14,17 +14,26 @@ int main() {
       "apache)");
   if (bench::quickMode()) std::printf("(EECC_QUICK: reduced windows)\n");
 
-  std::printf("\n%-12s %10s %12s %12s %12s %12s\n", "code", "perf",
-              "invals", "links", "power(mW)", "storage-ovh");
   const SharingCode codes[] = {SharingCode::FullMap,
                                SharingCode::CoarseVector2,
                                SharingCode::CoarseVector4,
                                SharingCode::LimitedPtr4};
+  std::vector<ExperimentConfig> cfgs;
   for (const SharingCode code : codes) {
     auto cfg = bench::makeConfig("apache4x16p", ProtocolKind::Directory);
     cfg.chip.dirSharingCode = code;
-    const auto r = runExperiment(cfg);
-    ChipParams p = chipParamsOf(cfg.chip);
+    cfgs.push_back(cfg);
+  }
+
+  ExperimentRunner runner;
+  const std::vector<ExperimentResult> results = runner.runMany(cfgs);
+
+  std::printf("\n%-12s %10s %12s %12s %12s %12s\n", "code", "perf",
+              "invals", "links", "power(mW)", "storage-ovh");
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    const SharingCode code = codes[i];
+    const ChipParams p = chipParamsOf(cfgs[i].chip);
     std::printf("%-12s %10.3f %12llu %12llu %12.1f %11.2f%%\n",
                 sharingCodeName(code), r.throughput,
                 static_cast<unsigned long long>(r.stats.invalidationsSent),

@@ -12,15 +12,27 @@ int main() {
       "Alternative VM placement (Figure 6 right): VMs straddle areas");
   if (bench::quickMode()) std::printf("(EECC_QUICK: reduced windows)\n");
 
-  for (const std::string workload : {"apache4x16p", "radix4x16p"}) {
+  const std::vector<std::string> workloads = {"apache4x16p", "radix4x16p"};
+  std::vector<ExperimentConfig> cfgs;
+  for (const std::string& workload : workloads)
+    for (const ProtocolKind kind : allProtocolKinds()) {
+      auto cfg = bench::makeConfig(workload, kind);
+      cfgs.push_back(cfg);  // matched placement
+      cfg.altLayout = true;
+      cfgs.push_back(cfg);  // alternative placement
+    }
+
+  ExperimentRunner runner;
+  const std::vector<ExperimentResult> results = runner.runMany(cfgs);
+
+  std::size_t i = 0;
+  for (const std::string& workload : workloads) {
     std::printf("\n%s\n", workload.c_str());
     std::printf("  %-15s %10s %10s %12s %12s %12s\n", "protocol",
                 "perf", "perf-alt", "power(mW)", "power-alt", "bcasts m/a");
-    for (const ProtocolKind kind : bench::allProtocols()) {
-      auto cfg = bench::makeConfig(workload, kind);
-      const auto matched = runExperiment(cfg);
-      cfg.altLayout = true;
-      const auto alt = runExperiment(cfg);
+    for (const ProtocolKind kind : allProtocolKinds()) {
+      const ExperimentResult& matched = results[i++];
+      const ExperimentResult& alt = results[i++];
       std::printf("  %-15s %10.3f %10.3f %12.1f %12.1f %6llu/%llu\n",
                   protocolName(kind), matched.throughput, alt.throughput,
                   matched.totalDynamicMw(), alt.totalDynamicMw(),

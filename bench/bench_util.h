@@ -1,15 +1,18 @@
 // Shared plumbing for the table/figure regeneration benches: per-workload
-// warmup budgets, protocol iteration, and text-table formatting.
+// warmup budgets, parallel sweep execution, and text-table formatting.
 //
 // Set EECC_QUICK=1 to cut warmup/measurement windows 10x (smoke runs).
+// Set EECC_JOBS=N to bound the experiment pool (default: all hardware
+// threads); results are bit-identical at any width.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
-#include "core/experiment.h"
+#include "core/runner.h"
 #include "workload/profile.h"
 
 namespace eecc::bench {
@@ -30,13 +33,6 @@ inline Tick warmupFor(const std::string& workload) {
 
 inline Tick windowFor() { return quickMode() ? 100'000 : 250'000; }
 
-inline const std::vector<ProtocolKind>& allProtocols() {
-  static const std::vector<ProtocolKind> kinds = {
-      ProtocolKind::Directory, ProtocolKind::DiCo,
-      ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin};
-  return kinds;
-}
-
 inline ExperimentConfig makeConfig(const std::string& workload,
                                    ProtocolKind kind) {
   ExperimentConfig cfg;
@@ -46,6 +42,33 @@ inline ExperimentConfig makeConfig(const std::string& workload,
   cfg.windowCycles = windowFor();
   return cfg;
 }
+
+/// The workload x protocol sweep grid of the figure benches, in print
+/// order: for workload index w and protocol index p the result of a
+/// runMany() over this grid sits at w * allProtocolKinds().size() + p.
+inline std::vector<ExperimentConfig> protocolGrid(
+    const std::vector<std::string>& workloads) {
+  std::vector<ExperimentConfig> cfgs;
+  cfgs.reserve(workloads.size() * allProtocolKinds().size());
+  for (const std::string& workload : workloads)
+    for (const ProtocolKind kind : allProtocolKinds())
+      cfgs.push_back(makeConfig(workload, kind));
+  return cfgs;
+}
+
+/// Monotonic wall clock for sweep timing.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 inline void hr(int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar('-');

@@ -7,7 +7,8 @@
 // exercise the hierarchy within bench-sized windows, and reports the same
 // quantities as Figure 9b plus the inter-area traffic share. The paper's
 // 64-VM arithmetic projection (32 / 21.3 / 2.6 links) is printed
-// alongside from the mesh geometry.
+// alongside from the mesh geometry. The four 256-tile systems run
+// concurrently on the pool.
 #include "bench_util.h"
 #include "core/cmp_system.h"
 #include "noc/mesh.h"
@@ -30,40 +31,64 @@ int main() {
   auto profile = profiles::apache();
   profile.privatePagesPerThread /= 2;  // keep per-VM footprints in scale
   profile.vmSharedPages /= 2;
-  std::vector<BenchmarkProfile> perVm(16, profile);
+  const std::vector<BenchmarkProfile> perVm(16, profile);
   const VmLayout layout = VmLayout::matched(chip, 16);
 
   const Tick warmup = bench::quickMode() ? 60'000 : 400'000;
   const Tick window = bench::quickMode() ? 40'000 : 150'000;
 
+  struct Row {
+    double throughput = 0.0;
+    double provFrac = 0.0;
+    double provLinks = 0.0;
+    double ownerLinks = 0.0;
+    double interArea = 0.0;
+    double mw = 0.0;
+  };
+  const auto& kinds = allProtocolKinds();
+  std::vector<Row> rows(kinds.size());
+
+  ExperimentRunner runner;
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < kinds.size(); ++i)
+    tasks.push_back([i, &kinds, &rows, &chip, &layout, &perVm, warmup,
+                     window] {
+      CmpSystem sys(chip, kinds[i], layout, perVm, 1);
+      sys.warmup(warmup);
+      sys.run(window);
+      const ProtocolStats& s = sys.protocol().stats();
+      const EnergyModel energy(kinds[i], chipParamsOf(chip));
+      const auto cachePj = energy.cacheEnergy(sys.protocol().energyEvents());
+      const auto nocPj = energy.nocEnergy(sys.network().stats());
+      Row& row = rows[i];
+      row.throughput = sys.throughput();
+      row.provFrac =
+          s.l1Misses() ? 100.0 *
+                             static_cast<double>(s.providerResolvedMisses) /
+                             static_cast<double>(s.l1Misses())
+                       : 0.0;
+      row.provLinks =
+          s.linksByClass[static_cast<std::size_t>(MissClass::PredProviderHit)]
+              .mean();
+      row.ownerLinks =
+          s.linksByClass[static_cast<std::size_t>(MissClass::PredOwnerHit)]
+              .mean();
+      row.interArea = sys.protocol().interAreaFraction();
+      row.mw = EnergyModel::pjToMw(cachePj.total() + nocPj.total(),
+                                   sys.cycles());
+    });
+  runner.runTasks(std::move(tasks));
+
   std::printf("\n%-15s %8s %10s %12s %12s %12s %12s\n", "protocol", "perf",
               "prov-res", "links(prov)", "links(own)", "inter-area",
               "power(mW)");
-  double basePerf = 0.0;
-  for (const ProtocolKind kind : bench::allProtocols()) {
-    CmpSystem sys(chip, kind, layout, perVm, 1);
-    sys.warmup(warmup);
-    sys.run(window);
-    const ProtocolStats& s = sys.protocol().stats();
-    const double provFrac =
-        s.l1Misses() ? 100.0 *
-                           static_cast<double>(s.providerResolvedMisses) /
-                           static_cast<double>(s.l1Misses())
-                     : 0.0;
-    const EnergyModel energy(kind, chipParamsOf(chip));
-    const auto cachePj = energy.cacheEnergy(sys.protocol().energyEvents());
-    const auto nocPj = energy.nocEnergy(sys.network().stats());
-    const double mw = EnergyModel::pjToMw(cachePj.total() + nocPj.total(),
-                                          sys.cycles());
-    if (kind == ProtocolKind::Directory) basePerf = sys.throughput();
-    std::printf(
-        "%-15s %8.3f %9.1f%% %12.1f %12.1f %11.1f%% %12.1f\n",
-        protocolName(kind), sys.throughput() / basePerf, provFrac,
-        s.linksByClass[static_cast<std::size_t>(MissClass::PredProviderHit)]
-            .mean(),
-        s.linksByClass[static_cast<std::size_t>(MissClass::PredOwnerHit)]
-            .mean(),
-        100.0 * sys.protocol().interAreaFraction(), mw);
+  const double basePerf = rows[0].throughput;  // Directory is first
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const Row& row = rows[i];
+    std::printf("%-15s %8.3f %9.1f%% %12.1f %12.1f %11.1f%% %12.1f\n",
+                protocolName(kinds[i]), row.throughput / basePerf,
+                row.provFrac, row.provLinks, row.ownerLinks,
+                100.0 * row.interArea, row.mw);
   }
 
   const MeshTopology big(16, 16);

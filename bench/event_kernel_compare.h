@@ -1,0 +1,151 @@
+// Head-to-head harness for the event-kernel overhaul: the pre-overhaul
+// std::priority_queue/std::function kernel (kept here verbatim as the
+// reference) against the production slab/timing-wheel EventQueue, on
+// workloads shaped like the simulator's real traffic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace eecc::bench {
+
+/// The seed-repo event kernel (src/sim/event_queue.h before the hot-path
+/// overhaul): binary heap of events, one std::function per event — which
+/// heap-allocates for any capture beyond the small-buffer optimization.
+class LegacyEventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  Tick now() const { return now_; }
+
+  void scheduleAt(Tick when, Action action) {
+    heap_.push(Event{when, next_seq_++, std::move(action)});
+  }
+  void scheduleAfter(Tick delay, Action action) {
+    scheduleAt(now_ + delay, std::move(action));
+  }
+
+  bool step() {
+    if (heap_.empty()) return false;
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ev.action();
+    ++executed_;
+    return true;
+  }
+
+  void runToCompletion() {
+    while (step()) {
+    }
+  }
+
+  std::uint64_t executedEvents() const { return executed_; }
+
+ private:
+  struct Event {
+    Tick when;
+    std::uint64_t seq;
+    Action action;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+/// Steady-state churn shaped like coherence traffic: `chains` concurrent
+/// event chains (cores/transactions), each event rescheduling its
+/// successor a short pseudo-random delay ahead while carrying a
+/// Message-sized payload — the capture size that defeats std::function's
+/// small-buffer optimization. A slice of events lands far in the future
+/// (DRAM-horizon wakeups) to exercise the overflow path too.
+template <class Queue>
+std::uint64_t runChurn(std::uint64_t totalEvents, std::uint32_t chains) {
+  struct Payload {  // stand-in for a captured Message (48 bytes)
+    std::uint64_t a, b, c, d, e, f;
+  };
+  Queue q;
+  std::uint64_t executed = 0;
+  std::uint64_t sink = 0;
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  std::function<void(Tick)> chainStep = [&](Tick delayHint) {
+    q.scheduleAfter(delayHint, [&, p = Payload{rng, 1, 2, 3, 4, 5}] {
+      sink += p.a;
+      ++executed;
+      if (executed >= totalEvents) return;
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      // 1-in-128 events jumps past the near window (far-future wakeup).
+      const Tick delay = (rng & 127u) == 0 ? Tick{100'000}
+                                           : Tick{1 + (rng % 100)};
+      chainStep(delay);
+    });
+  };
+  for (std::uint32_t c = 0; c < chains; ++c) chainStep(Tick{1 + c});
+  q.runToCompletion();
+  return sink;
+}
+
+/// Burst pattern of the old micro_benchmarks: schedule a block of events
+/// across a small time window, then drain.
+template <class Queue>
+std::uint64_t runBurst(std::uint64_t totalEvents) {
+  std::uint64_t sink = 0;
+  std::uint64_t done = 0;
+  while (done < totalEvents) {
+    Queue q;
+    for (int i = 0; i < 1000; ++i)
+      q.scheduleAt(static_cast<Tick>(i % 97), [&sink] { ++sink; });
+    q.runToCompletion();
+    done += 1000;
+  }
+  return sink;
+}
+
+struct KernelComparison {
+  double legacyEventsPerSec = 0.0;
+  double wheelEventsPerSec = 0.0;
+  double speedup() const {
+    return legacyEventsPerSec > 0.0 ? wheelEventsPerSec / legacyEventsPerSec
+                                    : 0.0;
+  }
+};
+
+template <class Fn>
+double eventsPerSec(Fn&& run, std::uint64_t events) {
+  const auto start = std::chrono::steady_clock::now();
+  volatile std::uint64_t guard = run();
+  (void)guard;
+  const double s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return s > 0.0 ? static_cast<double>(events) / s : 0.0;
+}
+
+/// The headline comparison recorded in BENCH_sweep.json: steady-state
+/// churn, `events` events per kernel (one warmup pass each).
+inline KernelComparison compareEventKernels(std::uint64_t events = 400'000,
+                                            std::uint32_t chains = 64) {
+  KernelComparison cmp;
+  runChurn<LegacyEventQueue>(events / 4, chains);  // warmup
+  cmp.legacyEventsPerSec = eventsPerSec(
+      [&] { return runChurn<LegacyEventQueue>(events, chains); }, events);
+  runChurn<EventQueue>(events / 4, chains);  // warmup
+  cmp.wheelEventsPerSec = eventsPerSec(
+      [&] { return runChurn<EventQueue>(events, chains); }, events);
+  return cmp;
+}
+
+}  // namespace eecc::bench

@@ -1,7 +1,7 @@
 // Regenerates Figure 7: total dynamic power consumption by protocol for
 // every Table IV workload, normalized to the *cache* dynamic power of the
 // directory protocol (as in the paper), broken down into cache, network
-// links and network routing.
+// links and network routing. The grid runs on the EECC_JOBS-wide pool.
 #include "bench_util.h"
 
 using namespace eecc;
@@ -12,20 +12,22 @@ int main() {
       "directory's cache power (cache + links + routing)");
   if (bench::quickMode()) std::printf("(EECC_QUICK: reduced windows)\n");
 
-  for (const auto& workload : profiles::allWorkloadNames()) {
-    std::printf("\n%s\n", workload.c_str());
+  const std::vector<std::string> workloads = profiles::allWorkloadNames();
+  const std::size_t numKinds = allProtocolKinds().size();
+  ExperimentRunner runner;
+  const std::vector<ExperimentResult> results =
+      runner.runMany(bench::protocolGrid(workloads));
+
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    std::printf("\n%s\n", workloads[w].c_str());
     std::printf("  %-15s %8s %8s %8s %8s %12s\n", "protocol", "cache",
                 "links", "routing", "total", "vs. dir");
-    double dirCacheMw = 0.0;
-    double dirTotal = 0.0;
-    for (const ProtocolKind kind : bench::allProtocols()) {
-      const auto r = runExperiment(bench::makeConfig(workload, kind));
-      if (kind == ProtocolKind::Directory) {
-        dirCacheMw = r.cacheMw;
-        dirTotal = r.totalDynamicMw();
-      }
+    const double dirCacheMw = results[w * numKinds].cacheMw;
+    const double dirTotal = results[w * numKinds].totalDynamicMw();
+    for (std::size_t p = 0; p < numKinds; ++p) {
+      const ExperimentResult& r = results[w * numKinds + p];
       std::printf("  %-15s %8.2f %8.2f %8.2f %8.2f %+10.1f%%\n",
-                  protocolName(kind), r.cacheMw / dirCacheMw,
+                  protocolName(r.protocol), r.cacheMw / dirCacheMw,
                   r.linkMw / dirCacheMw, r.routingMw / dirCacheMw,
                   r.totalDynamicMw() / dirCacheMw,
                   100.0 * (r.totalDynamicMw() / dirTotal - 1.0));

@@ -1,6 +1,7 @@
 // Regenerates Figure 8: (a) cache dynamic power broken down by the event
 // classes that cause it, and (b) network dynamic power broken down into
 // link usage and routing — both normalized per workload to the directory.
+// One parallel grid run feeds both sub-figures.
 #include "bench_util.h"
 
 using namespace eecc;
@@ -11,52 +12,44 @@ int main() {
       "directory's cache power)");
   if (bench::quickMode()) std::printf("(EECC_QUICK: reduced windows)\n");
 
-  // Keep results for 8b without re-simulating.
-  struct Row {
-    std::string workload;
-    ProtocolKind kind;
-    ExperimentResult r;
-  };
-  std::vector<Row> rows;
+  const std::vector<std::string> workloads = profiles::allWorkloadNames();
+  const std::size_t numKinds = allProtocolKinds().size();
+  ExperimentRunner runner;
+  const std::vector<ExperimentResult> results =
+      runner.runMany(bench::protocolGrid(workloads));
 
-  for (const auto& workload : profiles::allWorkloadNames()) {
-    std::printf("\n%s\n", workload.c_str());
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    std::printf("\n%s\n", workloads[w].c_str());
     std::printf("  %-15s %7s %7s %7s %7s %7s %8s\n", "protocol", "L1",
                 "L1dir", "L2", "L2dir", "ptr$", "total");
-    double dirCachePj = 0.0;
-    for (const ProtocolKind kind : bench::allProtocols()) {
-      const auto r = runExperiment(bench::makeConfig(workload, kind));
-      if (kind == ProtocolKind::Directory) dirCachePj = r.cachePj.total();
+    const double dirCachePj = results[w * numKinds].cachePj.total();
+    for (std::size_t p = 0; p < numKinds; ++p) {
+      const ExperimentResult& r = results[w * numKinds + p];
       std::printf("  %-15s %7.3f %7.3f %7.3f %7.3f %7.3f %8.3f\n",
-                  protocolName(kind), r.cachePj.l1Pj / dirCachePj,
+                  protocolName(r.protocol), r.cachePj.l1Pj / dirCachePj,
                   r.cachePj.l1DirPj / dirCachePj,
                   r.cachePj.l2Pj / dirCachePj,
                   r.cachePj.l2DirPj / dirCachePj,
                   r.cachePj.pointerPj / dirCachePj,
                   r.cachePj.total() / dirCachePj);
-      rows.push_back({workload, kind, r});
     }
   }
 
   bench::banner(
       "Figure 8b — network dynamic power breakdown (normalized to the "
       "directory's network power)");
-  std::string current;
-  double dirNetPj = 0.0;
-  for (const Row& row : rows) {
-    if (row.workload != current) {
-      current = row.workload;
-      std::printf("\n%s\n", current.c_str());
-      std::printf("  %-15s %9s %9s %9s %12s\n", "protocol", "links",
-                  "routing", "total", "broadcasts");
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    std::printf("\n%s\n", workloads[w].c_str());
+    std::printf("  %-15s %9s %9s %9s %12s\n", "protocol", "links",
+                "routing", "total", "broadcasts");
+    const double dirNetPj = results[w * numKinds].nocPj.total();
+    for (std::size_t p = 0; p < numKinds; ++p) {
+      const ExperimentResult& r = results[w * numKinds + p];
+      std::printf("  %-15s %9.3f %9.3f %9.3f %12llu\n",
+                  protocolName(r.protocol), r.nocPj.linkPj / dirNetPj,
+                  r.nocPj.routingPj / dirNetPj, r.nocPj.total() / dirNetPj,
+                  static_cast<unsigned long long>(r.noc.broadcasts));
     }
-    if (row.kind == ProtocolKind::Directory)
-      dirNetPj = row.r.nocPj.total();
-    std::printf("  %-15s %9.3f %9.3f %9.3f %12llu\n",
-                protocolName(row.kind), row.r.nocPj.linkPj / dirNetPj,
-                row.r.nocPj.routingPj / dirNetPj,
-                row.r.nocPj.total() / dirNetPj,
-                static_cast<unsigned long long>(row.r.noc.broadcasts));
   }
   std::printf(
       "\nPaper shape (8a): DiCo-family L1 energy exceeds the directory's "

@@ -2,7 +2,13 @@
 // protocol, and (b) the breakdown of L1 misses by prediction outcome and
 // supplier kind, with the mean mesh links traversed per class (the
 // "shortened misses" analysis of Section V-D).
+//
+// The full workload x protocol grid runs on the ExperimentRunner pool
+// (EECC_JOBS-wide) and the per-experiment wall-clock / events-per-second
+// instrumentation is written to BENCH_sweep.json (path overridable via
+// EECC_SWEEP_JSON) — the perf-trajectory record for this repository.
 #include "bench_util.h"
+#include "event_kernel_compare.h"
 #include "noc/mesh.h"
 
 using namespace eecc;
@@ -11,56 +17,54 @@ int main() {
   bench::banner("Figure 9a — performance normalized to the directory");
   if (bench::quickMode()) std::printf("(EECC_QUICK: reduced windows)\n");
 
-  struct Row {
-    std::string workload;
-    ProtocolKind kind;
-    ExperimentResult r;
-  };
-  std::vector<Row> rows;
+  const std::vector<std::string> workloads = profiles::allWorkloadNames();
+  const std::size_t numKinds = allProtocolKinds().size();
+
+  ExperimentRunner runner;
+  std::printf("(%u experiment jobs)\n", runner.jobs());
+  const bench::WallTimer timer;
+  const std::vector<ExperimentResult> results =
+      runner.runMany(bench::protocolGrid(workloads));
+  const double sweepSeconds = timer.seconds();
 
   std::printf("\n%-14s", "workload");
-  for (const ProtocolKind kind : bench::allProtocols())
+  for (const ProtocolKind kind : allProtocolKinds())
     std::printf("%16s", protocolName(kind));
   std::printf("\n");
-  for (const auto& workload : profiles::allWorkloadNames()) {
-    std::printf("%-14s", workload.c_str());
-    double dirThr = 0.0;
-    for (const ProtocolKind kind : bench::allProtocols()) {
-      const auto r = runExperiment(bench::makeConfig(workload, kind));
-      if (kind == ProtocolKind::Directory) dirThr = r.throughput;
-      std::printf("%16.3f", r.throughput / dirThr);
-      rows.push_back({workload, kind, r});
-    }
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    std::printf("%-14s", workloads[w].c_str());
+    const double dirThr = results[w * numKinds].throughput;
+    for (std::size_t p = 0; p < numKinds; ++p)
+      std::printf("%16.3f", results[w * numKinds + p].throughput / dirThr);
     std::printf("\n");
   }
 
   bench::banner(
       "Figure 9b — L1 miss breakdown (fraction of misses | mean links "
       "traversed)");
-  std::string current;
-  for (const Row& row : rows) {
-    if (row.workload != current) {
-      current = row.workload;
-      std::printf("\n%s\n  %-15s", current.c_str(), "protocol");
-      for (std::size_t c = 0; c < static_cast<std::size_t>(MissClass::kCount);
-           ++c)
-        std::printf("  %18s", missClassName(static_cast<MissClass>(c)));
-      std::printf("  %12s\n", "prov-resolved");
-    }
-    std::printf("  %-15s", protocolName(row.kind));
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    std::printf("\n%s\n  %-15s", workloads[w].c_str(), "protocol");
     for (std::size_t c = 0; c < static_cast<std::size_t>(MissClass::kCount);
-         ++c) {
-      const auto cls = static_cast<MissClass>(c);
-      std::printf("  %8.1f%% | %5.1f",
-                  100.0 * row.r.missFraction(cls), row.r.meanLinks(cls));
+         ++c)
+      std::printf("  %18s", missClassName(static_cast<MissClass>(c)));
+    std::printf("  %12s\n", "prov-resolved");
+    for (std::size_t p = 0; p < numKinds; ++p) {
+      const ExperimentResult& r = results[w * numKinds + p];
+      std::printf("  %-15s", protocolName(r.protocol));
+      for (std::size_t c = 0;
+           c < static_cast<std::size_t>(MissClass::kCount); ++c) {
+        const auto cls = static_cast<MissClass>(c);
+        std::printf("  %8.1f%% | %5.1f", 100.0 * r.missFraction(cls),
+                    r.meanLinks(cls));
+      }
+      const double provFrac =
+          r.stats.l1Misses()
+              ? 100.0 *
+                    static_cast<double>(r.stats.providerResolvedMisses) /
+                    static_cast<double>(r.stats.l1Misses())
+              : 0.0;
+      std::printf("  %11.1f%%\n", provFrac);
     }
-    const double provFrac =
-        row.r.stats.l1Misses()
-            ? 100.0 * static_cast<double>(
-                          row.r.stats.providerResolvedMisses) /
-                  static_cast<double>(row.r.stats.l1Misses())
-            : 0.0;
-    std::printf("  %11.1f%%\n", provFrac);
   }
 
   // Section V-D theory: average distances on the default mesh.
@@ -86,5 +90,23 @@ int main() {
       "  shortened miss:        %.1f links (paper: 2.6)\n",
       3.0 * big.averageDistance(), 2.0 * big.averageDistance(),
       2.0 * area.averageDistance());
+
+  // Perf-trajectory record: per-experiment wall clock + events/sec, plus
+  // the event-kernel microbenchmark headline (see bench/micro_event_queue).
+  const bench::KernelComparison kernelCmp = bench::compareEventKernels();
+  const char* sweepPath = std::getenv("EECC_SWEEP_JSON");
+  if (sweepPath == nullptr) sweepPath = "BENCH_sweep.json";
+  writeSweepJson(sweepPath, "fig9_performance", runner.jobs(), sweepSeconds,
+                 runner.metrics(),
+                 {{"event_kernel_legacy_events_per_sec",
+                   kernelCmp.legacyEventsPerSec},
+                  {"event_kernel_wheel_events_per_sec",
+                   kernelCmp.wheelEventsPerSec},
+                  {"event_kernel_speedup", kernelCmp.speedup()}});
+  std::printf(
+      "\nsweep: %zu experiments in %.2fs on %u jobs; event-kernel "
+      "speedup %.2fx -> %s\n",
+      results.size(), sweepSeconds, runner.jobs(), kernelCmp.speedup(),
+      sweepPath);
   return 0;
 }

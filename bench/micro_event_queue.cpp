@@ -1,0 +1,69 @@
+// Microbenchmark of the event-kernel overhaul: the slab/timing-wheel
+// EventQueue vs. the seed repo's std::priority_queue + std::function
+// kernel (kept verbatim in event_kernel_compare.h), on three workload
+// shapes. The acceptance bar for the overhaul is >= 1.3x events/sec on
+// the steady-state churn scenario (the one resembling live simulation
+// traffic); the measured ratio is also recorded into BENCH_sweep.json by
+// bench/fig9_performance.
+//
+//   $ ./build/bench/micro_event_queue
+#include <cstdio>
+
+#include "event_kernel_compare.h"
+
+using namespace eecc;
+using namespace eecc::bench;
+
+namespace {
+
+void report(const char* scenario, double legacy, double wheel) {
+  std::printf("%-22s %14.2f %14.2f %9.2fx\n", scenario, legacy / 1e6,
+              wheel / 1e6, wheel / legacy);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kChurnEvents = 2'000'000;
+  constexpr std::uint64_t kBurstEvents = 2'000'000;
+
+  std::printf("event-kernel comparison (events/sec, higher is better)\n\n");
+  std::printf("%-22s %14s %14s %9s\n", "scenario", "legacy (M/s)",
+              "wheel (M/s)", "speedup");
+
+  // Steady-state churn: Message-sized captures, short pseudo-random
+  // delays, 64 concurrent chains, ~1% far-future events.
+  runChurn<LegacyEventQueue>(kChurnEvents / 4, 64);
+  const double churnLegacy = eventsPerSec(
+      [&] { return runChurn<LegacyEventQueue>(kChurnEvents, 64); },
+      kChurnEvents);
+  runChurn<EventQueue>(kChurnEvents / 4, 64);
+  const double churnWheel = eventsPerSec(
+      [&] { return runChurn<EventQueue>(kChurnEvents, 64); }, kChurnEvents);
+  report("steady-state churn", churnLegacy, churnWheel);
+
+  // Burst: tiny captures (fit any SBO), schedule 1000 then drain — the
+  // legacy kernel's best case (no allocation, shallow heap).
+  runBurst<LegacyEventQueue>(kBurstEvents / 4);
+  const double burstLegacy = eventsPerSec(
+      [&] { return runBurst<LegacyEventQueue>(kBurstEvents); },
+      kBurstEvents);
+  runBurst<EventQueue>(kBurstEvents / 4);
+  const double burstWheel = eventsPerSec(
+      [&] { return runBurst<EventQueue>(kBurstEvents); }, kBurstEvents);
+  report("burst schedule+drain", burstLegacy, burstWheel);
+
+  // Single chain: latency-bound pointer chasing, no queue depth at all.
+  const double soloLegacy = eventsPerSec(
+      [&] { return runChurn<LegacyEventQueue>(kChurnEvents / 2, 1); },
+      kChurnEvents / 2);
+  const double soloWheel = eventsPerSec(
+      [&] { return runChurn<EventQueue>(kChurnEvents / 2, 1); },
+      kChurnEvents / 2);
+  report("single chain", soloLegacy, soloWheel);
+
+  const double speedup = churnWheel / churnLegacy;
+  std::printf("\nheadline (steady-state churn): %.2fx %s 1.3x target\n",
+              speedup, speedup >= 1.3 ? ">=" : "< BELOW");
+  return speedup >= 1.3 ? 0 : 1;
+}

@@ -23,7 +23,7 @@ int main() {
   const double dirTags =
       EnergyModel(ProtocolKind::Directory, chip).tagLeakagePerTileMw();
   int i = 0;
-  for (const ProtocolKind kind : bench::allProtocols()) {
+  for (const ProtocolKind kind : allProtocolKinds()) {
     const EnergyModel m(kind, chip);
     const double total = m.totalLeakagePerTileMw();
     const double tags = m.tagLeakagePerTileMw();

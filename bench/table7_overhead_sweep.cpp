@@ -16,7 +16,7 @@ int main() {
     for (std::uint32_t a = 2; a <= cores; a *= 2) areaCounts.push_back(a);
     for (const std::uint32_t a : areaCounts) std::printf("%9u", a);
     std::printf("\n");
-    for (const ProtocolKind kind : bench::allProtocols()) {
+    for (const ProtocolKind kind : allProtocolKinds()) {
       std::printf("%-15s", protocolName(kind));
       for (const std::uint32_t areas : areaCounts) {
         ChipParams p;
@@ -46,7 +46,7 @@ int main() {
   std::printf("%-15s", "code:");
   for (const char* n : codeNames) std::printf("%12s", n);
   std::printf("\n");
-  for (const ProtocolKind kind : bench::allProtocols()) {
+  for (const ProtocolKind kind : allProtocolKinds()) {
     std::printf("%-15s", protocolName(kind));
     for (const SharingCode code : codes) {
       ChipParams p;

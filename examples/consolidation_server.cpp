@@ -25,17 +25,15 @@ int main() {
   std::printf("%-15s %8s %9s %9s | %9s %9s %9s | %10s %9s\n", "protocol",
               "perf", "L1 miss", "missLat", "cacheMw", "linkMw", "routeMw",
               "dyn total", "leakage");
-  double basePerf = 0.0;
-  for (const ProtocolKind kind :
-       {ProtocolKind::Directory, ProtocolKind::DiCo,
-        ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin}) {
-    cfg.protocol = kind;
-    const ExperimentResult r = runExperiment(cfg);
-    if (kind == ProtocolKind::Directory) basePerf = r.throughput;
-    const EnergyModel energy(kind, chipParamsOf(cfg.chip));
+  // All four experiments run concurrently on the EECC_JOBS-wide pool;
+  // results come back in protocol order, identical to a sequential loop.
+  const std::vector<ExperimentResult> results = runAllProtocols(cfg);
+  const double basePerf = results.front().throughput;  // Directory first
+  for (const ExperimentResult& r : results) {
+    const EnergyModel energy(r.protocol, chipParamsOf(cfg.chip));
     std::printf(
         "%-15s %8.3f %8.1f%% %8.1f | %9.1f %9.1f %9.1f | %10.1f %8.0fmW\n",
-        protocolName(kind), r.throughput / basePerf,
+        protocolName(r.protocol), r.throughput / basePerf,
         100.0 * r.stats.l1MissRate(), r.stats.missLatency.mean(), r.cacheMw,
         r.linkMw, r.routingMw, r.totalDynamicMw(),
         energy.totalLeakagePerTileMw() *

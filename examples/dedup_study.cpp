@@ -7,7 +7,7 @@
 //   $ ./build/examples/dedup_study
 #include <cstdio>
 
-#include "core/experiment.h"
+#include "core/runner.h"
 #include "workload/profile.h"
 #include "workload/workload.h"
 
@@ -39,9 +39,14 @@ int main() {
   cfg.protocol = ProtocolKind::DiCoArin;
   cfg.warmupCycles = 400'000;
   cfg.windowCycles = 200'000;
-  const ExperimentResult on = runExperiment(cfg);
-  cfg.dedupEnabled = false;
-  const ExperimentResult off = runExperiment(cfg);
+  // Both configurations run concurrently on the experiment pool.
+  ExperimentConfig offCfg = cfg;
+  offCfg.dedupEnabled = false;
+  ExperimentRunner runner;
+  const std::vector<ExperimentResult> results =
+      runner.runMany({cfg, offCfg});
+  const ExperimentResult& on = results[0];
+  const ExperimentResult& off = results[1];
   std::printf("  dedup ON : perf=%.3f  L2 miss=%.1f%%\n", on.throughput,
               100.0 * on.stats.l2MissRate());
   std::printf("  dedup OFF: perf=%.3f  L2 miss=%.1f%%\n", off.throughput,

@@ -7,7 +7,7 @@
 //   $ ./build/examples/vm_isolation
 #include <cstdio>
 
-#include "core/experiment.h"
+#include "core/runner.h"
 
 using namespace eecc;
 
@@ -34,11 +34,15 @@ int main() {
   cfg.warmupCycles = 400'000;
   cfg.windowCycles = 200'000;
 
-  const ExperimentResult matched = runExperiment(cfg);
+  // Both placements run concurrently on the experiment pool.
+  ExperimentConfig altCfg = cfg;
+  altCfg.altLayout = true;
+  ExperimentRunner runner;
+  const std::vector<ExperimentResult> results =
+      runner.runMany({cfg, altCfg});
+  const ExperimentResult& matched = results[0];
+  const ExperimentResult& alt = results[1];
   show("matched placement", matched);
-
-  cfg.altLayout = true;
-  const ExperimentResult alt = runExperiment(cfg);
   show("alternative placement", alt);
 
   std::printf(

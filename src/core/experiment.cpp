@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include "core/runner.h"
 #include "workload/profile.h"
 
 namespace eecc {
@@ -38,6 +39,7 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
   r.cycles = system.cycles();
   r.ops = system.opsCompleted();
   r.throughput = system.throughput();
+  r.simEvents = system.events().executedEvents();
   r.stats = system.protocol().stats();
   r.events = system.protocol().energyEvents();
   r.noc = system.network().stats();
@@ -56,14 +58,8 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
 }
 
 std::vector<ExperimentResult> runAllProtocols(ExperimentConfig cfg) {
-  std::vector<ExperimentResult> out;
-  for (const ProtocolKind kind :
-       {ProtocolKind::Directory, ProtocolKind::DiCo,
-        ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin}) {
-    cfg.protocol = kind;
-    out.push_back(runExperiment(cfg));
-  }
-  return out;
+  ExperimentRunner runner;
+  return runner.runAllProtocols(std::move(cfg));
 }
 
 }  // namespace eecc

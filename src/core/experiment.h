@@ -34,6 +34,9 @@ struct ExperimentResult {
   Tick cycles = 0;
   std::uint64_t ops = 0;
   double throughput = 0.0;  ///< Memory ops per cycle (performance metric).
+  /// Kernel events executed over the whole run (incl. warmup) — the
+  /// denominator-free work measure behind the runner's events/sec metric.
+  std::uint64_t simEvents = 0;
 
   ProtocolStats stats;
   CacheEnergyEvents events;
@@ -64,6 +67,8 @@ struct ExperimentResult {
 ExperimentResult runExperiment(const ExperimentConfig& cfg);
 
 /// Runs the same workload under every protocol (the paper's comparisons).
+/// Executes through a default-width ExperimentRunner pool (EECC_JOBS);
+/// results are in protocol order and bit-identical to a sequential loop.
 std::vector<ExperimentResult> runAllProtocols(ExperimentConfig cfg);
 
 /// ChipParams mirror of a CmpConfig (for the energy/storage models).

@@ -1,0 +1,152 @@
+#include "core/runner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace eecc {
+
+unsigned ExperimentRunner::defaultJobs() {
+  if (const char* env = std::getenv("EECC_JOBS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ExperimentRunner::ExperimentRunner(unsigned jobs)
+    : jobs_(jobs > 0 ? jobs : defaultJobs()) {
+  workers_.reserve(jobs_);
+  for (unsigned i = 0; i < jobs_; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ExperimentRunner::~ExperimentRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  taskReady_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ExperimentRunner::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      taskReady_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown with a drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ExperimentRunner::runTasks(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  // Batch completion state shared with the workers; everything on the
+  // stack because runTasks blocks until remaining hits zero.
+  std::mutex doneMutex;
+  std::condition_variable allDone;
+  std::size_t remaining = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::function<void()>& t : tasks) {
+      tasks_.push([&doneMutex, &allDone, &remaining, task = std::move(t)] {
+        task();
+        std::lock_guard<std::mutex> doneLock(doneMutex);
+        if (--remaining == 0) allDone.notify_one();
+      });
+    }
+  }
+  taskReady_.notify_all();
+  std::unique_lock<std::mutex> lock(doneMutex);
+  allDone.wait(lock, [&remaining] { return remaining == 0; });
+}
+
+std::vector<ExperimentResult> ExperimentRunner::runMany(
+    const std::vector<ExperimentConfig>& cfgs) {
+  std::vector<ExperimentResult> results(cfgs.size());
+  std::vector<RunMetrics> batch(cfgs.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    tasks.push_back([&cfgs, &results, &batch, i] {
+      const auto start = std::chrono::steady_clock::now();
+      results[i] = runExperiment(cfgs[i]);
+      const auto end = std::chrono::steady_clock::now();
+      RunMetrics& m = batch[i];
+      m.workload = cfgs[i].workloadName;
+      m.protocol = cfgs[i].protocol;
+      m.simEvents = results[i].simEvents;
+      m.ops = results[i].ops;
+      m.wallSeconds = std::chrono::duration<double>(end - start).count();
+    });
+  }
+  runTasks(std::move(tasks));
+  metrics_.insert(metrics_.end(), batch.begin(), batch.end());
+  return results;
+}
+
+std::vector<ExperimentResult> ExperimentRunner::runAllProtocols(
+    ExperimentConfig cfg) {
+  std::vector<ExperimentConfig> cfgs;
+  cfgs.reserve(allProtocolKinds().size());
+  for (const ProtocolKind kind : allProtocolKinds()) {
+    cfg.protocol = kind;
+    cfgs.push_back(cfg);
+  }
+  return runMany(cfgs);
+}
+
+void writeSweepJson(
+    const std::string& path, const std::string& sweepName, unsigned jobs,
+    double sweepWallSeconds, const std::vector<RunMetrics>& metrics,
+    const std::vector<std::pair<std::string, double>>& extraFields) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "writeSweepJson: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::uint64_t totalEvents = 0;
+  double sumExpSeconds = 0.0;
+  for (const RunMetrics& m : metrics) {
+    totalEvents += m.simEvents;
+    sumExpSeconds += m.wallSeconds;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"sweep\": \"%s\",\n", sweepName.c_str());
+  std::fprintf(f, "  \"jobs\": %u,\n", jobs);
+  std::fprintf(f, "  \"experiments\": %zu,\n", metrics.size());
+  std::fprintf(f, "  \"wall_seconds\": %.3f,\n", sweepWallSeconds);
+  std::fprintf(f, "  \"sum_experiment_seconds\": %.3f,\n", sumExpSeconds);
+  std::fprintf(f, "  \"total_sim_events\": %llu,\n",
+               static_cast<unsigned long long>(totalEvents));
+  std::fprintf(f, "  \"events_per_wall_second\": %.0f,\n",
+               sweepWallSeconds > 0.0
+                   ? static_cast<double>(totalEvents) / sweepWallSeconds
+                   : 0.0);
+  for (const auto& [key, value] : extraFields)
+    std::fprintf(f, "  \"%s\": %.4f,\n", key.c_str(), value);
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const RunMetrics& m = metrics[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"protocol\": \"%s\", "
+                 "\"sim_events\": %llu, \"ops\": %llu, "
+                 "\"wall_seconds\": %.3f, \"events_per_sec\": %.0f}%s\n",
+                 m.workload.c_str(), protocolName(m.protocol),
+                 static_cast<unsigned long long>(m.simEvents),
+                 static_cast<unsigned long long>(m.ops), m.wallSeconds,
+                 m.eventsPerSec(), i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace eecc

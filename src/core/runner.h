@@ -1,0 +1,93 @@
+// Parallel experiment runner: a fixed-size thread pool that executes
+// independent ExperimentConfigs concurrently.
+//
+// Every CmpSystem is self-contained and seed-deterministic — no module
+// keeps mutable global state — so N experiments shard perfectly across
+// threads. Results (and the per-run metrics) are collected into
+// submission-order slots, which makes the output bit-identical to a
+// sequential loop regardless of completion order; runner_test asserts
+// this down to every counter. The pool size comes from the EECC_JOBS
+// environment variable, defaulting to std::thread::hardware_concurrency().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace eecc {
+
+/// Wall-clock and throughput instrumentation for one experiment run —
+/// the per-experiment rows of BENCH_sweep.json.
+struct RunMetrics {
+  std::string workload;
+  ProtocolKind protocol = ProtocolKind::Directory;
+  std::uint64_t simEvents = 0;  ///< Kernel events executed (incl. warmup).
+  std::uint64_t ops = 0;        ///< Memory operations completed (measured).
+  double wallSeconds = 0.0;
+  double eventsPerSec() const {
+    return wallSeconds > 0.0 ? static_cast<double>(simEvents) / wallSeconds
+                             : 0.0;
+  }
+};
+
+class ExperimentRunner {
+ public:
+  /// EECC_JOBS environment override, else hardware_concurrency (min 1).
+  static unsigned defaultJobs();
+
+  /// jobs == 0 selects defaultJobs().
+  explicit ExperimentRunner(unsigned jobs = 0);
+  ~ExperimentRunner();
+
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
+
+  unsigned jobs() const { return jobs_; }
+
+  /// Runs every configuration on the pool; returns results in submission
+  /// order. Appends one RunMetrics per experiment (same order) to
+  /// metrics().
+  std::vector<ExperimentResult> runMany(
+      const std::vector<ExperimentConfig>& cfgs);
+
+  /// The same workload under every protocol, in the paper's order.
+  std::vector<ExperimentResult> runAllProtocols(ExperimentConfig cfg);
+
+  /// Generic fan-out for drivers that build CmpSystems directly: executes
+  /// all tasks on the pool and blocks until every one completed. Tasks
+  /// must be mutually independent.
+  void runTasks(std::vector<std::function<void()>> tasks);
+
+  /// Metrics of every experiment run so far, in submission order.
+  const std::vector<RunMetrics>& metrics() const { return metrics_; }
+  void clearMetrics() { metrics_.clear(); }
+
+ private:
+  void workerLoop();
+
+  unsigned jobs_;
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  bool shutdown_ = false;
+
+  std::vector<RunMetrics> metrics_;
+};
+
+/// Writes a BENCH_sweep.json-style record: sweep name, pool width, total
+/// wall clock, the per-experiment metrics rows, and any extra scalar
+/// fields (e.g. the event-kernel microbenchmark speedup).
+void writeSweepJson(
+    const std::string& path, const std::string& sweepName, unsigned jobs,
+    double sweepWallSeconds, const std::vector<RunMetrics>& metrics,
+    const std::vector<std::pair<std::string, double>>& extraFields = {});
+
+}  // namespace eecc

@@ -27,6 +27,16 @@
 
 namespace eecc {
 
+/// The four protocols of the paper, in its evaluation order (Directory
+/// baseline first). The canonical list for every sweep — benches, examples
+/// and runAllProtocols all iterate this.
+inline const std::array<ProtocolKind, 4>& allProtocolKinds() {
+  static const std::array<ProtocolKind, 4> kinds = {
+      ProtocolKind::Directory, ProtocolKind::DiCo,
+      ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin};
+  return kinds;
+}
+
 class Protocol {
  public:
   using DoneFn = std::function<void()>;
@@ -139,8 +149,11 @@ class Protocol {
     net_.broadcast(msg);
   }
   /// Schedules `fn` after `delay` cycles (cache access latencies etc.).
-  void after(Tick delay, std::function<void()> fn) {
-    events_.scheduleAfter(delay, std::move(fn));
+  /// Templated so lambdas reach the event queue's inline storage directly
+  /// instead of being boxed into a std::function first.
+  template <class F>
+  void after(Tick delay, F&& fn) {
+    events_.scheduleAfter(delay, std::forward<F>(fn));
   }
 
   /// Off-chip fetch: a request message from `from` to the block's memory

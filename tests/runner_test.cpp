@@ -1,0 +1,359 @@
+// Tests for the parallel experiment runner and the timing-wheel half of
+// the event kernel it leans on.
+//
+// The determinism contract is the load-bearing property: results coming
+// off the worker pool must be bit-identical to a sequential loop, down to
+// every statistics counter and energy picojoule, or every figure in the
+// paper reproduction would silently depend on EECC_JOBS. The first half
+// of this file pins that contract; the second half pins the timing-wheel
+// behaviours the contract rests on (same-tick FIFO across the far->near
+// migration boundary, runUntil semantics).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/runner.h"
+#include "sim/event_queue.h"
+
+namespace eecc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parallel determinism
+// ---------------------------------------------------------------------------
+
+ExperimentConfig smallConfig(ProtocolKind kind, const std::string& workload,
+                             bool altLayout = false) {
+  ExperimentConfig cfg;
+  cfg.workloadName = workload;
+  cfg.protocol = kind;
+  cfg.altLayout = altLayout;
+  cfg.warmupCycles = 30'000;
+  cfg.windowCycles = 20'000;
+  return cfg;
+}
+
+void expectAccumulatorEq(const Accumulator& a, const Accumulator& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.variance(), b.variance());
+}
+
+// Bit-identical comparison: every counter, accumulator, and derived
+// energy number. Doubles compared with EXPECT_EQ on purpose — the
+// parallel path must produce the *same bits*, not merely close values.
+void expectResultsIdentical(const ExperimentResult& a,
+                            const ExperimentResult& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.protocol, b.protocol);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.simEvents, b.simEvents);
+
+  const ProtocolStats& s = a.stats;
+  const ProtocolStats& t = b.stats;
+  EXPECT_EQ(s.reads, t.reads);
+  EXPECT_EQ(s.writes, t.writes);
+  EXPECT_EQ(s.l1ReadHits, t.l1ReadHits);
+  EXPECT_EQ(s.l1WriteHits, t.l1WriteHits);
+  EXPECT_EQ(s.readMisses, t.readMisses);
+  EXPECT_EQ(s.writeMisses, t.writeMisses);
+  EXPECT_EQ(s.upgrades, t.upgrades);
+  EXPECT_EQ(s.l2DataHits, t.l2DataHits);
+  EXPECT_EQ(s.memoryFetches, t.memoryFetches);
+  EXPECT_EQ(s.invalidationsSent, t.invalidationsSent);
+  EXPECT_EQ(s.broadcastInvalidations, t.broadcastInvalidations);
+  EXPECT_EQ(s.ownershipTransfers, t.ownershipTransfers);
+  EXPECT_EQ(s.providershipTransfers, t.providershipTransfers);
+  EXPECT_EQ(s.hintMessages, t.hintMessages);
+  EXPECT_EQ(s.providerResolvedMisses, t.providerResolvedMisses);
+  EXPECT_EQ(s.writebacks, t.writebacks);
+  EXPECT_EQ(s.l2Evictions, t.l2Evictions);
+  EXPECT_EQ(s.dirEvictionInvalidations, t.dirEvictionInvalidations);
+  for (std::size_t c = 0; c < static_cast<std::size_t>(MissClass::kCount);
+       ++c) {
+    EXPECT_EQ(s.missByClass[c], t.missByClass[c]);
+    expectAccumulatorEq(s.latencyByClass[c], t.latencyByClass[c]);
+    expectAccumulatorEq(s.linksByClass[c], t.linksByClass[c]);
+  }
+  expectAccumulatorEq(s.missLatency, t.missLatency);
+
+  EXPECT_EQ(a.noc.messages, b.noc.messages);
+  EXPECT_EQ(a.noc.broadcasts, b.noc.broadcasts);
+  EXPECT_EQ(a.noc.routings, b.noc.routings);
+  EXPECT_EQ(a.noc.linkFlits, b.noc.linkFlits);
+  EXPECT_EQ(a.noc.linksTraversed, b.noc.linksTraversed);
+
+  // Energy, down to the picojoule breakdowns.
+  EXPECT_EQ(a.cachePj.l1Pj, b.cachePj.l1Pj);
+  EXPECT_EQ(a.cachePj.l1DirPj, b.cachePj.l1DirPj);
+  EXPECT_EQ(a.cachePj.l2Pj, b.cachePj.l2Pj);
+  EXPECT_EQ(a.cachePj.l2DirPj, b.cachePj.l2DirPj);
+  EXPECT_EQ(a.cachePj.pointerPj, b.cachePj.pointerPj);
+  EXPECT_EQ(a.nocPj.routingPj, b.nocPj.routingPj);
+  EXPECT_EQ(a.nocPj.linkPj, b.nocPj.linkPj);
+  EXPECT_EQ(a.cacheMw, b.cacheMw);
+  EXPECT_EQ(a.linkMw, b.linkMw);
+  EXPECT_EQ(a.routingMw, b.routingMw);
+  EXPECT_EQ(a.dedupSavedFraction, b.dedupSavedFraction);
+}
+
+TEST(ExperimentRunner, ParallelBitIdenticalToSequential) {
+  std::vector<ExperimentConfig> cfgs;
+  for (const ProtocolKind kind : allProtocolKinds()) {
+    cfgs.push_back(smallConfig(kind, "apache4x16p"));
+    cfgs.push_back(smallConfig(kind, "mixed-com", kind == ProtocolKind::DiCo));
+  }
+
+  std::vector<ExperimentResult> sequential;
+  sequential.reserve(cfgs.size());
+  for (const ExperimentConfig& cfg : cfgs)
+    sequential.push_back(runExperiment(cfg));
+
+  ExperimentRunner runner(4);
+  const std::vector<ExperimentResult> parallel = runner.runMany(cfgs);
+
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    SCOPED_TRACE(i);
+    expectResultsIdentical(parallel[i], sequential[i]);
+  }
+}
+
+TEST(ExperimentRunner, SingleJobPoolMatchesWiderPool) {
+  const ExperimentConfig cfg = smallConfig(ProtocolKind::DiCoArin, "apache4x16p");
+  ExperimentRunner narrow(1);
+  ExperimentRunner wide(3);
+  const auto a = narrow.runAllProtocols(cfg);
+  const auto b = wide.runAllProtocols(cfg);
+  ASSERT_EQ(a.size(), allProtocolKinds().size());
+  ASSERT_EQ(b.size(), allProtocolKinds().size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    // runAllProtocols overrides cfg.protocol slot by slot, in order.
+    EXPECT_EQ(a[i].protocol, allProtocolKinds()[i]);
+    expectResultsIdentical(a[i], b[i]);
+  }
+}
+
+TEST(ExperimentRunner, MetricsRecordedInSubmissionOrder) {
+  ExperimentRunner runner(2);
+  const auto results =
+      runner.runMany({smallConfig(ProtocolKind::Directory, "apache4x16p"),
+                      smallConfig(ProtocolKind::DiCo, "mixed-com")});
+  ASSERT_EQ(runner.metrics().size(), 2u);
+  EXPECT_EQ(runner.metrics()[0].workload, "apache4x16p");
+  EXPECT_EQ(runner.metrics()[0].protocol, ProtocolKind::Directory);
+  EXPECT_EQ(runner.metrics()[1].workload, "mixed-com");
+  EXPECT_EQ(runner.metrics()[1].protocol, ProtocolKind::DiCo);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(runner.metrics()[i].simEvents, results[i].simEvents);
+    EXPECT_EQ(runner.metrics()[i].ops, results[i].ops);
+    EXPECT_GT(runner.metrics()[i].simEvents, 0u);
+    EXPECT_GE(runner.metrics()[i].wallSeconds, 0.0);
+  }
+  runner.clearMetrics();
+  EXPECT_TRUE(runner.metrics().empty());
+}
+
+TEST(ExperimentRunner, RunTasksExecutesEveryTask) {
+  ExperimentRunner runner(4);
+  std::vector<int> slots(64, 0);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    tasks.push_back([&slots, i] { slots[i] = static_cast<int>(i) + 1; });
+  runner.runTasks(std::move(tasks));
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    EXPECT_EQ(slots[i], static_cast<int>(i) + 1);
+}
+
+TEST(ExperimentRunner, JobsFromEnvironment) {
+  ::setenv("EECC_JOBS", "7", 1);
+  EXPECT_EQ(ExperimentRunner::defaultJobs(), 7u);
+  ExperimentRunner fromEnv;
+  EXPECT_EQ(fromEnv.jobs(), 7u);
+  ::setenv("EECC_JOBS", "0", 1);  // invalid: fall back to hardware
+  EXPECT_GE(ExperimentRunner::defaultJobs(), 1u);
+  ::unsetenv("EECC_JOBS");
+  EXPECT_GE(ExperimentRunner::defaultJobs(), 1u);
+  ExperimentRunner explicitWidth(3);
+  EXPECT_EQ(explicitWidth.jobs(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Timing wheel: behaviours beyond event_queue_test's near-future basics
+// ---------------------------------------------------------------------------
+
+TEST(TimingWheel, FarFutureEventsExecuteInOrder) {
+  EventQueue q;
+  std::vector<Tick> order;
+  // All of these start on the overflow heap (>= kWheelSize ahead).
+  const Tick base = EventQueue::kWheelSize * 3;
+  q.scheduleAt(base + 700, [&] { order.push_back(q.now()); });
+  q.scheduleAt(base + 100, [&] { order.push_back(q.now()); });
+  q.scheduleAt(base + 400, [&] { order.push_back(q.now()); });
+  q.runToCompletion();
+  EXPECT_EQ(order, (std::vector<Tick>{base + 100, base + 400, base + 700}));
+  EXPECT_EQ(q.now(), base + 700);
+}
+
+TEST(TimingWheel, SameTickFifoAcrossMigrationBoundary) {
+  // Events for tick T arrive via both paths: scheduled far ahead (overflow
+  // heap, migrated later) and scheduled from inside the near window
+  // (direct wheel append). FIFO across the boundary must hold: the far
+  // events were scheduled first, so they run first.
+  EventQueue q;
+  const Tick target = EventQueue::kWheelSize + 1000;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    q.scheduleAt(target, [&order, i] { order.push_back(i); });  // far path
+  // At `target - 10` the target tick is well inside the near window, so
+  // these appends land behind the already-migrated far events.
+  q.scheduleAt(target - 10, [&] {
+    for (int i = 5; i < 10; ++i)
+      q.scheduleAt(target, [&order, i] { order.push_back(i); });
+  });
+  q.runToCompletion();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(TimingWheel, WheelSlotAliasingKeepsTicksSeparate) {
+  // Ticks T and T + kWheelSize alias to the same ring slot. The far event
+  // must not run during the first pass of the wheel over that slot.
+  EventQueue q;
+  std::vector<Tick> order;
+  const Tick t = 42;
+  q.scheduleAt(t + EventQueue::kWheelSize, [&] { order.push_back(q.now()); });
+  q.scheduleAt(t, [&] { order.push_back(q.now()); });
+  q.runToCompletion();
+  EXPECT_EQ(order,
+            (std::vector<Tick>{t, t + EventQueue::kWheelSize}));
+}
+
+TEST(TimingWheel, RunUntilDoesNotTouchFarEvents) {
+  EventQueue q;
+  int ran = 0;
+  q.scheduleAt(10, [&] { ++ran; });
+  q.scheduleAt(EventQueue::kWheelSize * 2, [&] { ++ran; });
+  q.runUntil(EventQueue::kWheelSize);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.now(), EventQueue::kWheelSize);
+  EXPECT_EQ(q.pending(), 1u);
+  q.runToCompletion();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.now(), EventQueue::kWheelSize * 2);
+}
+
+TEST(TimingWheel, RunUntilBoundaryIsInclusive) {
+  EventQueue q;
+  int ran = 0;
+  q.scheduleAt(EventQueue::kWheelSize + 5, [&] { ++ran; });
+  q.runUntil(EventQueue::kWheelSize + 5);  // event exactly at the limit runs
+  EXPECT_EQ(ran, 1);
+  q.scheduleAfter(1, [&] { ++ran; });
+  q.runUntil(q.now());  // limit == now: the future event must not run
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(TimingWheel, StressRandomInterleaveMatchesReferenceOrder) {
+  // Deterministic xorshift schedule of near, far, and boundary delays;
+  // execution order must equal a stable sort by time (FIFO within a tick).
+  EventQueue q;
+  struct Ref {
+    Tick when;
+    int id;
+  };
+  std::vector<Ref> expected;
+  std::vector<int> order;
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  auto nextRand = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  int id = 0;
+  for (int batch = 0; batch < 8; ++batch) {
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+      // Mix: mostly near, some straddling kWheelSize, some far out.
+      Tick delay = nextRand() % 64;
+      if (i % 7 == 0) delay = EventQueue::kWheelSize - 2 + (nextRand() % 5);
+      if (i % 13 == 0) delay = EventQueue::kWheelSize * (1 + nextRand() % 3);
+      const Tick when = q.now() + delay;
+      expected.push_back({when, id});
+      q.scheduleAt(when, [&order, id] { order.push_back(id); });
+      ++id;
+    }
+    // Drain partially so later batches schedule from a moved clock.
+    q.runUntil(q.now() + 96);
+  }
+  q.runToCompletion();
+
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Ref& a, const Ref& b) { return a.when < b.when; });
+  ASSERT_EQ(order.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(order[i], expected[i].id) << "at position " << i;
+}
+
+TEST(TimingWheel, OversizedCallableUsesHeapFallback) {
+  // A capture larger than the inline storage goes through the heap-fallback
+  // path of emplaceAction; it must still run and destruct exactly once.
+  EventQueue q;
+  auto guard = std::make_shared<int>(7);
+  struct Big {
+    std::shared_ptr<int> p;
+    std::byte pad[EventQueue::kInlineActionBytes];
+  };
+  static_assert(sizeof(Big) > EventQueue::kInlineActionBytes);
+  int seen = 0;
+  q.scheduleAt(3, [big = Big{guard, {}}, &seen] { seen = *big.p; });
+  EXPECT_EQ(guard.use_count(), 2);
+  q.runToCompletion();
+  EXPECT_EQ(seen, 7);
+  EXPECT_EQ(guard.use_count(), 1);  // callable destroyed after running
+}
+
+TEST(TimingWheel, DestructorReleasesPendingCallables) {
+  auto nearGuard = std::make_shared<int>(1);
+  auto farGuard = std::make_shared<int>(2);
+  {
+    EventQueue q;
+    q.scheduleAt(5, [p = nearGuard] { (void)p; });
+    q.scheduleAt(EventQueue::kWheelSize * 4, [p = farGuard] { (void)p; });
+    EXPECT_EQ(nearGuard.use_count(), 2);
+    EXPECT_EQ(farGuard.use_count(), 2);
+  }
+  EXPECT_EQ(nearGuard.use_count(), 1);
+  EXPECT_EQ(farGuard.use_count(), 1);
+}
+
+TEST(TimingWheel, NodeRecyclingSurvivesChurn) {
+  // Heavy schedule/run churn recycles slab nodes; counters must stay exact.
+  EventQueue q;
+  std::uint64_t chainRan = 0;
+  std::uint64_t extraRan = 0;
+  std::function<void()> chain = [&] {
+    if (++chainRan < 20'000) q.scheduleAfter(1 + (chainRan % 90), chain);
+  };
+  q.scheduleAt(0, chain);
+  for (int i = 0; i < 1000; ++i)
+    q.scheduleAfter(i % 50, [&extraRan] { ++extraRan; });
+  q.runToCompletion();
+  EXPECT_EQ(chainRan, 20'000u);
+  EXPECT_EQ(extraRan, 1'000u);
+  EXPECT_EQ(q.executedEvents(), 21'000u);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace eecc

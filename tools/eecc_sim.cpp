@@ -26,7 +26,7 @@
 #include <string>
 
 #include "core/cmp_system.h"
-#include "core/experiment.h"
+#include "core/runner.h"
 #include "workload/profile.h"
 #include "workload/trace.h"
 
@@ -52,9 +52,10 @@ std::vector<ProtocolKind> parseProtocols(const std::string& p) {
   if (p == "dico") return {ProtocolKind::DiCo};
   if (p == "providers") return {ProtocolKind::DiCoProviders};
   if (p == "arin") return {ProtocolKind::DiCoArin};
-  if (p == "all")
-    return {ProtocolKind::Directory, ProtocolKind::DiCo,
-            ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin};
+  if (p == "all") {
+    const auto& kinds = allProtocolKinds();
+    return {kinds.begin(), kinds.end()};
+  }
   std::fprintf(stderr, "unknown protocol '%s'\n", p.c_str());
   std::exit(2);
 }
@@ -165,9 +166,15 @@ int main(int argc, char** argv) {
   }
 
   if (csv) printCsvHeader();
+  // The requested protocols run concurrently on the experiment pool;
+  // results print in request order, identical to a sequential loop.
+  std::vector<ExperimentConfig> cfgs;
   for (const ProtocolKind kind : parseProtocols(protocols)) {
     cfg.protocol = kind;
-    const ExperimentResult r = runExperiment(cfg);
+    cfgs.push_back(cfg);
+  }
+  ExperimentRunner runner;
+  for (const ExperimentResult& r : runner.runMany(cfgs)) {
     if (csv) printCsv(r);
     else printHuman(r);
   }
