@@ -1,0 +1,107 @@
+// Microbenchmark guard for the conformance subsystem: the monitors must be
+// zero-cost when disabled. With no checker attached the protocol hot path
+// pays exactly one untaken, [[unlikely]]-hinted branch per access — the
+// only difference from the pre-conformance hot path — so we bound the
+// cost from above: even the *attached* null-hook configuration (virtual
+// dispatch to empty bodies on every access and write commit, no monitor
+// work) must stay within 3% of the detached run. If dispatch itself is in
+// the noise, the lone untaken branch of the disabled path certainly is.
+//
+//   $ ./build/bench/micro_check_overhead        (EECC_QUICK=1 for a smoke run)
+//
+// Exits nonzero when attached-null drops below 0.97x detached.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "check/hooks.h"
+#include "check/monitor.h"
+#include "core/cmp_system.h"
+
+using namespace eecc;
+using namespace eecc::bench;
+
+namespace {
+
+/// Hook dispatch with no observation behind it: the upper bound on what
+/// the disabled fast path could possibly cost.
+struct NullHooks final : CheckHooks {
+  void onAccessIssued(NodeId, Addr, AccessType, Tick) override {}
+  void onAccessDone(NodeId, Addr, AccessType, Tick, std::uint64_t,
+                    bool) override {}
+  void onWriteCommitted(Addr, std::uint64_t, Tick) override {}
+};
+
+enum class Mode { Detached, NullHooks, FullMonitors };
+
+CmpConfig benchChip() {
+  CmpConfig cfg;
+  cfg.meshWidth = 4;
+  cfg.meshHeight = 4;
+  cfg.numAreas = 4;
+  cfg.l1 = CacheGeometry{128, 4, 1, 2};
+  cfg.l2 = CacheGeometry{512, 8, 2, 3};
+  cfg.l1cEntries = 128;
+  cfg.l2cEntries = 128;
+  cfg.dirCacheEntries = 128;
+  cfg.numMemControllers = 4;
+  return cfg;
+}
+
+double eventsPerSec(Mode mode, Tick cycles) {
+  const CmpConfig cfg = benchChip();
+  CmpSystem system(cfg, ProtocolKind::DiCoProviders,
+                   VmLayout::matched(cfg, 4),
+                   profiles::uniform4(profiles::apache()), /*seed=*/7);
+  NullHooks nullHooks;
+  MonitorSet monitors;
+  if (mode == Mode::NullHooks) {
+    // Raw hook attach, no sweep chunking: isolates per-access dispatch.
+    system.protocol().setCheckHooks(&nullHooks);
+  } else if (mode == Mode::FullMonitors) {
+    system.attachChecker(&monitors, /*sweepEvery=*/50'000);
+  }
+  const WallTimer timer;
+  system.run(cycles);
+  const double secs = timer.seconds();
+  return secs > 0.0
+             ? static_cast<double>(system.events().executedEvents()) / secs
+             : 0.0;
+}
+
+/// Best-of-3 to damp scheduler noise (the gate compares two same-process
+/// measurements, so systematic machine speed cancels out).
+double bestOf3(Mode mode, Tick cycles) {
+  double best = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    const double r = eventsPerSec(mode, cycles);
+    if (r > best) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const Tick cycles = quickMode() ? 200'000 : 2'000'000;
+  constexpr double kGate = 0.97;
+
+  eventsPerSec(Mode::Detached, cycles / 4);  // warm the allocator/caches
+
+  const double detached = bestOf3(Mode::Detached, cycles);
+  const double nullAttached = bestOf3(Mode::NullHooks, cycles);
+  const double fullMonitors = bestOf3(Mode::FullMonitors, cycles);
+
+  std::printf("conformance-hook overhead (events/sec, best of 3)\n\n");
+  std::printf("%-24s %12.2f M/s  %6.3fx\n", "monitors detached",
+              detached / 1e6, 1.0);
+  std::printf("%-24s %12.2f M/s  %6.3fx\n", "null hooks attached",
+              nullAttached / 1e6, nullAttached / detached);
+  std::printf("%-24s %12.2f M/s  %6.3fx\n", "full monitor battery",
+              fullMonitors / 1e6, fullMonitors / detached);
+
+  const double ratio = nullAttached / detached;
+  std::printf("\ngate: null-attached/detached = %.3f %s %.2fx\n", ratio,
+              ratio >= kGate ? ">=" : "< BELOW", kGate);
+  return ratio >= kGate ? 0 : 1;
+}

@@ -1,0 +1,236 @@
+#include "check/fuzzer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "core/cmp_system.h"
+#include "core/runner.h"
+#include "workload/profile.h"
+#include "workload/workload.h"
+
+namespace eecc {
+
+CmpConfig fuzzChip() {
+  // Small enough that a few hundred ops per tile already churn through
+  // evictions and owner migrations; same shape the protocol tests use.
+  CmpConfig cfg;
+  cfg.meshWidth = 4;
+  cfg.meshHeight = 4;
+  cfg.numAreas = 4;
+  cfg.l1 = CacheGeometry{64, 4, 1, 2};
+  cfg.l2 = CacheGeometry{256, 8, 2, 3};
+  cfg.l1cEntries = 64;
+  cfg.l2cEntries = 64;
+  cfg.dirCacheEntries = 64;
+  cfg.numMemControllers = 4;
+  return cfg;
+}
+
+FuzzOptions::FuzzOptions() : chip(fuzzChip()) {}
+
+Trace makeFuzzTrace(const CmpConfig& chip, const std::string& workloadName,
+                    std::uint64_t seed, std::uint64_t opsPerTile) {
+  const auto perVm = profiles::byWorkloadName(workloadName);
+  const auto numVms = static_cast<std::uint32_t>(perVm.size());
+  const VmLayout layout = VmLayout::matched(chip, numVms);
+  Workload workload(chip, layout, perVm, seed);
+  return recordTrace(workload, chip, opsPerTile);
+}
+
+ProtocolRunReport runTraceChecked(const CmpConfig& chip, ProtocolKind kind,
+                                  const Trace& trace, Tick sweepEvery,
+                                  Tick progressBound) {
+  CmpSystem system(chip, kind,
+                   std::make_unique<TraceSource>(trace, /*bounded=*/true));
+  MonitorSet monitors({progressBound, /*maxViolations=*/64});
+  system.attachChecker(&monitors, sweepEvery);
+  // The window only bounds issuing; a bounded source stops the run as soon
+  // as every stream is replayed and the last transaction drained.
+  system.run(Tick{1} << 40);
+
+  ProtocolRunReport r;
+  r.kind = kind;
+  r.ops = system.opsCompleted();
+  r.violationCount = monitors.log().total();
+  r.violations = monitors.log().entries();
+  r.image = monitors.image();
+  if (r.ops != trace.records().size()) {
+    // The run drained with operations still unissued or incomplete —
+    // a deadlock or lost completion that the cycle bound may be too
+    // generous to catch.
+    r.violationCount += 1;
+    r.violations.push_back(
+        {"progress",
+         "bounded replay completed " + std::to_string(r.ops) + " of " +
+             std::to_string(trace.records().size()) + " operations (" +
+             std::to_string(monitors.outstandingAccesses()) +
+             " still outstanding at drain)",
+         system.events().now(), 0, kInvalidNode});
+  }
+  return r;
+}
+
+namespace {
+
+std::string hexBlock(Addr block) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(block));
+  return buf;
+}
+
+bool violatesUnder(const CmpConfig& chip, ProtocolKind kind,
+                   const std::vector<TraceRecord>& records,
+                   std::uint32_t tileCount, Tick sweepEvery,
+                   Tick progressBound) {
+  Trace t;
+  t.setTileCount(tileCount);
+  for (const TraceRecord& r : records) t.append(r);
+  return runTraceChecked(chip, kind, t, sweepEvery, progressBound)
+             .violationCount != 0;
+}
+
+/// Appends per-block count mismatches between a reference image and
+/// another protocol's, capped so a systematically broken protocol does
+/// not produce thousands of report lines.
+void compareImages(const ProtocolRunReport& ref, const ProtocolRunReport& run,
+                   std::vector<std::string>& out) {
+  constexpr std::size_t kMaxMessages = 8;
+  std::uint64_t diffs = 0;
+  auto note = [&](const std::string& msg) {
+    if (diffs < kMaxMessages) out.push_back(msg);
+    ++diffs;
+  };
+  const char* refName = protocolName(ref.kind);
+  const char* runName = protocolName(run.kind);
+  for (const auto& [block, img] : ref.image) {
+    const auto it = run.image.find(block);
+    const std::uint64_t writes = it == run.image.end() ? 0 : it->second.writes;
+    const std::uint64_t reads = it == run.image.end() ? 0 : it->second.reads;
+    if (writes != img.writes || reads != img.reads)
+      note("block " + hexBlock(block) + ": " + refName + " saw " +
+           std::to_string(img.writes) + "w/" + std::to_string(img.reads) +
+           "r, " + runName + " saw " + std::to_string(writes) + "w/" +
+           std::to_string(reads) + "r");
+  }
+  for (const auto& [block, img] : run.image) {
+    if (ref.image.find(block) == ref.image.end())
+      note("block " + hexBlock(block) + ": touched under " + runName +
+           " (" + std::to_string(img.writes) + "w/" +
+           std::to_string(img.reads) + "r) but never under " + refName);
+  }
+  if (diffs > kMaxMessages)
+    out.push_back("... and " + std::to_string(diffs - kMaxMessages) +
+                  " more blocks disagree between " + refName + " and " +
+                  runName);
+}
+
+}  // namespace
+
+Trace minimizeTrace(const CmpConfig& chip, ProtocolKind kind,
+                    const Trace& trace, Tick sweepEvery, Tick progressBound) {
+  std::vector<TraceRecord> records = trace.records();
+  const std::uint32_t tiles = trace.tileCount();
+  if (!violatesUnder(chip, kind, records, tiles, sweepEvery, progressBound))
+    return trace;  // not reproducible in isolation: keep the full stream
+
+  // ddmin: remove ever-finer chunks as long as the violation survives.
+  std::size_t n = 2;
+  while (records.size() >= 2 && n <= records.size()) {
+    const std::size_t chunk = (records.size() + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t start = 0; start < records.size(); start += chunk) {
+      std::vector<TraceRecord> candidate;
+      candidate.reserve(records.size() - chunk);
+      candidate.insert(candidate.end(), records.begin(),
+                       records.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(
+          candidate.end(),
+          records.begin() + static_cast<std::ptrdiff_t>(
+                                std::min(start + chunk, records.size())),
+          records.end());
+      if (candidate.empty()) continue;
+      if (violatesUnder(chip, kind, candidate, tiles, sweepEvery,
+                        progressBound)) {
+        records = std::move(candidate);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk <= 1) break;  // already at single-record granularity
+      n = std::min(n * 2, records.size());
+    }
+  }
+
+  Trace out;
+  out.setTileCount(tiles);
+  for (const TraceRecord& r : records) out.append(r);
+  return out;
+}
+
+SeedReport fuzzOneSeed(const FuzzOptions& opt, std::uint64_t seed) {
+  SeedReport rep;
+  rep.seed = seed;
+  const Trace trace =
+      makeFuzzTrace(opt.chip, opt.workloadName, seed, opt.opsPerTile);
+  rep.records = trace.records().size();
+
+  for (ProtocolKind kind : opt.protocols)
+    rep.runs.push_back(runTraceChecked(opt.chip, kind, trace, opt.sweepEvery,
+                                       opt.progressBound));
+
+  // Differential cross-check: every protocol replayed the same bounded
+  // streams to completion, so completed-op totals and per-block golden
+  // counts must agree with the first protocol's.
+  if (!rep.runs.empty()) {
+    const ProtocolRunReport& ref = rep.runs.front();
+    for (std::size_t i = 1; i < rep.runs.size(); ++i) {
+      const ProtocolRunReport& run = rep.runs[i];
+      if (run.ops != ref.ops)
+        rep.mismatches.push_back(
+            std::string(protocolName(run.kind)) + " completed " +
+            std::to_string(run.ops) + " ops, " + protocolName(ref.kind) +
+            " completed " + std::to_string(ref.ops));
+      compareImages(ref, run, rep.mismatches);
+    }
+  }
+
+  if (!rep.ok()) {
+    // Minimize against the first protocol with an in-run violation; pure
+    // cross-protocol mismatches dump the full stream (minimizing against
+    // a differential oracle would re-run every protocol per ddmin step).
+    Trace dump = trace;
+    for (const ProtocolRunReport& run : rep.runs) {
+      if (run.violationCount == 0) continue;
+      if (opt.minimize)
+        dump = minimizeTrace(opt.chip, run.kind, trace, opt.sweepEvery,
+                             opt.progressBound);
+      break;
+    }
+    rep.counterexample = opt.outDir + "/counterexample-seed" +
+                         std::to_string(seed) + ".eecctrc";
+    dump.save(rep.counterexample);
+  }
+  return rep;
+}
+
+FuzzReport fuzz(const FuzzOptions& opt) {
+  FuzzReport report;
+  report.seeds.resize(opt.seeds);
+  ExperimentRunner runner(opt.jobs);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(opt.seeds);
+  for (std::uint64_t i = 0; i < opt.seeds; ++i)
+    tasks.push_back([&opt, &report, i] {
+      report.seeds[i] = fuzzOneSeed(opt, opt.baseSeed + i);
+    });
+  runner.runTasks(std::move(tasks));
+  return report;
+}
+
+}  // namespace eecc

@@ -1,0 +1,120 @@
+// Differential conformance fuzzer (see DESIGN.md §9).
+//
+// Each fuzz seed builds one randomized reference stream from the synthetic
+// workload generators (same Workload + Rng machinery as the experiments),
+// records it as a bounded trace, and replays that identical trace through
+// all four protocols with the full monitor battery attached. Because every
+// protocol executes the same per-tile streams to completion, the final
+// per-block read/write counts of the golden memory image are protocol-
+// independent — any disagreement is a coherence bug in one of them.
+//
+// On a violation (or a cross-protocol image mismatch) the failing stream
+// is minimized ddmin-style against the violating protocol and dumped as a
+// replayable `.eecctrc` counterexample:
+//
+//   eecc_sim --replay <file>.eecctrc --protocol <kind> --check
+//
+// Seeds run in parallel on the ExperimentRunner pool (EECC_JOBS).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/monitor.h"
+#include "core/config.h"
+#include "workload/trace.h"
+
+namespace eecc {
+
+struct FuzzOptions {
+  CmpConfig chip;  ///< Defaults to fuzzChip().
+  std::vector<ProtocolKind> protocols = {
+      ProtocolKind::Directory, ProtocolKind::DiCo,
+      ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin};
+  std::string workloadName = "apache4x16p";  ///< Table IV name.
+  std::uint64_t seeds = 10;
+  std::uint64_t baseSeed = 1;       ///< Seed i fuzzes stream baseSeed + i.
+  std::uint64_t opsPerTile = 300;
+  Tick sweepEvery = 20'000;
+  Tick progressBound = 100'000;
+  std::string outDir = ".";         ///< Counterexample dump directory.
+  unsigned jobs = 0;                ///< Pool width; 0 = EECC_JOBS default.
+  bool minimize = true;             ///< ddmin before dumping.
+
+  FuzzOptions();
+};
+
+/// The default fuzzing chip: small 4x4 mesh with small caches, so a few
+/// hundred ops per tile already exercise evictions, replacements and every
+/// protocol race.
+CmpConfig fuzzChip();
+
+/// One protocol's checked replay of a seed's trace.
+struct ProtocolRunReport {
+  ProtocolKind kind = ProtocolKind::Directory;
+  std::uint64_t ops = 0;            ///< Completed memory operations.
+  std::uint64_t violationCount = 0;
+  std::vector<Violation> violations;  ///< Capped sample (see ViolationLog).
+  /// Final golden-memory image (per-block read/write counts + value).
+  std::unordered_map<Addr, ValueMonitor::BlockImage> image;
+};
+
+struct SeedReport {
+  std::uint64_t seed = 0;
+  std::uint64_t records = 0;        ///< Trace length replayed.
+  std::vector<ProtocolRunReport> runs;
+  /// Cross-protocol disagreements (block counts or completed-op totals).
+  std::vector<std::string> mismatches;
+  std::string counterexample;       ///< Dumped trace path, if any.
+
+  bool ok() const {
+    if (!mismatches.empty()) return false;
+    for (const ProtocolRunReport& r : runs)
+      if (r.violationCount != 0) return false;
+    return true;
+  }
+};
+
+struct FuzzReport {
+  std::vector<SeedReport> seeds;
+
+  bool ok() const {
+    for (const SeedReport& s : seeds)
+      if (!s.ok()) return false;
+    return true;
+  }
+  std::uint64_t totalViolations() const {
+    std::uint64_t n = 0;
+    for (const SeedReport& s : seeds) {
+      n += s.mismatches.size();
+      for (const ProtocolRunReport& r : s.runs) n += r.violationCount;
+    }
+    return n;
+  }
+};
+
+/// Builds the bounded reference trace for one fuzz seed.
+Trace makeFuzzTrace(const CmpConfig& chip, const std::string& workloadName,
+                    std::uint64_t seed, std::uint64_t opsPerTile);
+
+/// Replays `trace` (bounded, to completion) under `kind` with the monitor
+/// battery attached. Also reports, as a progress violation, any trace
+/// operation that never completed.
+ProtocolRunReport runTraceChecked(const CmpConfig& chip, ProtocolKind kind,
+                                  const Trace& trace, Tick sweepEvery,
+                                  Tick progressBound);
+
+/// ddmin-style reduction: the smallest record subsequence of `trace` that
+/// still produces a monitor violation under `kind`.
+Trace minimizeTrace(const CmpConfig& chip, ProtocolKind kind,
+                    const Trace& trace, Tick sweepEvery, Tick progressBound);
+
+/// Fuzzes a single seed: generate, replay under every protocol,
+/// cross-check, and (on failure) minimize + dump the counterexample.
+SeedReport fuzzOneSeed(const FuzzOptions& opt, std::uint64_t seed);
+
+/// The full campaign: `opt.seeds` independent streams in parallel.
+FuzzReport fuzz(const FuzzOptions& opt);
+
+}  // namespace eecc

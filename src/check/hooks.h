@@ -1,0 +1,38 @@
+// Observation interface between the protocol engines and the conformance
+// subsystem (src/check/). The base Protocol holds a CheckHooks pointer that
+// is null in normal runs: every hook site is a single predictable
+// null-check branch, so the monitors are free when disabled (the
+// bench/micro_check_overhead gate holds the hook dispatch itself under 3%
+// even when attached).
+//
+// Hook semantics:
+//  * onAccessIssued fires when the core-visible access enters the protocol
+//    (before the hit fast-path), onAccessDone when its completion callback
+//    is about to run. Hits produce both calls back-to-back at the same
+//    tick.
+//  * onWriteCommitted fires at the serialization point of every write (the
+//    value-oracle commit), carrying the fresh oracle value. This is the
+//    write stream a golden flat memory replays.
+//  * `lineBusy` on completion tells the monitor whether another
+//    transaction currently holds the block's serialization lock — hit-path
+//    reads during such a window may legitimately observe the pre-commit
+//    value, so exact-value checks are relaxed to per-tile monotonicity.
+#pragma once
+
+#include "common/types.h"
+
+namespace eecc {
+
+class CheckHooks {
+ public:
+  virtual ~CheckHooks() = default;
+
+  virtual void onAccessIssued(NodeId tile, Addr block, AccessType type,
+                              Tick now) = 0;
+  virtual void onAccessDone(NodeId tile, Addr block, AccessType type,
+                            Tick now, std::uint64_t value, bool lineBusy) = 0;
+  virtual void onWriteCommitted(Addr block, std::uint64_t value,
+                                Tick now) = 0;
+};
+
+}  // namespace eecc

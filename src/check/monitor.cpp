@@ -1,0 +1,199 @@
+#include "check/monitor.h"
+
+#include <cstdio>
+
+#include "protocols/protocol.h"
+
+namespace eecc {
+
+std::string Violation::str() const {
+  char head[96];
+  std::snprintf(head, sizeof head, "[%s @%llu] ", monitor.c_str(),
+                static_cast<unsigned long long>(tick));
+  return head + message;
+}
+
+// ------------------------------------------------------------------- SWMR
+
+void SwmrMonitor::sweep(const Protocol& proto, Tick now, ViolationLog& log) {
+  // Per block over quiesced copies: writable states (E/M) are exclusive in
+  // every protocol of the paper; O/P owners legally coexist with S copies.
+  struct BlockCopies {
+    NodeId writable = kInvalidNode;
+    std::uint32_t copies = 0;
+  };
+  std::unordered_map<Addr, BlockCopies> blocks;
+  proto.forEachL1Copy([&](const Protocol::L1CopyView& c) {
+    if (c.busy) return;
+    BlockCopies& b = blocks[c.block];
+    b.copies += 1;
+    if (c.state != 'E' && c.state != 'M') return;
+    if (b.writable != kInvalidNode)
+      log.report({name(),
+                  "two writable copies of one block (SWMR violated): "
+                  "tiles " +
+                      std::to_string(b.writable) + " and " +
+                      std::to_string(c.tile),
+                  now, c.block, c.tile});
+    b.writable = c.tile;
+  });
+  for (const auto& [block, b] : blocks) {
+    if (b.writable != kInvalidNode && b.copies > 1)
+      log.report({name(),
+                  "writable copy coexists with " +
+                      std::to_string(b.copies - 1) +
+                      " other cop" + (b.copies == 2 ? "y" : "ies") +
+                      " (SWMR violated): writer tile " +
+                      std::to_string(b.writable),
+                  now, block, b.writable});
+  }
+}
+
+// ------------------------------------------------------------------ Value
+
+void ValueMonitor::onWriteCommitted(Addr block, std::uint64_t value,
+                                    Tick now) {
+  BlockImage& img = golden_[block];
+  img.writes += 1;
+  // Oracle values are a global monotone sequence; a per-block regression
+  // means the protocol re-committed an old write.
+  if (value <= img.value && img.value != 0 && log_ != nullptr)
+    log_->report({name(),
+                  "write commit is not newer than the golden value (" +
+                      std::to_string(value) + " <= " +
+                      std::to_string(img.value) + ")",
+                  now, block, kInvalidNode});
+  img.value = value;
+}
+
+void ValueMonitor::onAccessDone(NodeId tile, Addr block, AccessType type,
+                                Tick now, std::uint64_t value,
+                                bool lineBusy) {
+  BlockImage& img = golden_[block];
+  if (type == AccessType::Write) return;
+  img.reads += 1;
+
+  // Exact check when the observation cannot race an in-flight conflicting
+  // transaction; otherwise the load may legitimately be serialized before
+  // a write that already committed, so fall back to per-tile monotonicity.
+  if (!lineBusy && value != img.value && log_ != nullptr)
+    log_->report({name(),
+                  "load observed a stale value: tile " +
+                      std::to_string(tile) + " read " +
+                      std::to_string(value) + ", golden memory holds " +
+                      std::to_string(img.value),
+                  now, block, tile});
+  auto& seen = lastSeen_[block];
+  const auto idx = static_cast<std::size_t>(tile);
+  if (seen.size() <= idx) seen.resize(idx + 1, 0);
+  if (value < seen[idx] && log_ != nullptr)
+    log_->report({name(),
+                  "per-tile read order went backwards: tile " +
+                      std::to_string(tile) + " read " +
+                      std::to_string(value) + " after " +
+                      std::to_string(seen[idx]),
+                  now, block, tile});
+  seen[idx] = value;
+}
+
+void ValueMonitor::sweep(const Protocol& proto, Tick now,
+                         ViolationLog& log) {
+  // Every quiesced cache copy must hold the golden value. (Copies of
+  // never-written blocks hold the zero-filled memory image.)
+  proto.forEachL1Copy([&](const Protocol::L1CopyView& c) {
+    if (c.busy) return;
+    const auto it = golden_.find(c.block);
+    const std::uint64_t want = it == golden_.end() ? 0 : it->second.value;
+    if (c.value != want)
+      log.report({name(),
+                  "cache copy diverged from the golden memory: tile " +
+                      std::to_string(c.tile) + " state " +
+                      std::string(1, c.state) + " holds " +
+                      std::to_string(c.value) + ", golden memory holds " +
+                      std::to_string(want),
+                  now, c.block, c.tile});
+  });
+}
+
+// --------------------------------------------------------------- Metadata
+
+void MetadataMonitor::sweep(const Protocol& proto, Tick now,
+                            ViolationLog& log) {
+  proto.auditInvariants([&](const std::string& msg) {
+    log.report({name(), msg, now, 0, kInvalidNode});
+  });
+}
+
+// --------------------------------------------------------------- Progress
+
+void ProgressMonitor::onAccessIssued(NodeId tile, Addr block,
+                                     AccessType type, Tick now) {
+  outstanding_.push_back({tile, block, type, now});
+}
+
+void ProgressMonitor::onAccessDone(NodeId tile, Addr block, AccessType type,
+                                   Tick /*now*/, std::uint64_t /*value*/,
+                                   bool /*lineBusy*/) {
+  for (auto it = outstanding_.begin(); it != outstanding_.end(); ++it) {
+    if (it->tile == tile && it->block == block && it->type == type) {
+      outstanding_.erase(it);
+      return;
+    }
+  }
+  // A completion with no matching issue means the hooks were attached
+  // mid-transaction (e.g. after warmup); ignore it.
+}
+
+void ProgressMonitor::sweep(const Protocol& /*proto*/, Tick now,
+                            ViolationLog& log) {
+  for (Out& o : outstanding_) {
+    if (o.reported || now - o.start <= bound_) continue;
+    o.reported = true;
+    log.report({name(),
+                "access outstanding beyond the progress bound: tile " +
+                    std::to_string(o.tile) +
+                    (o.type == AccessType::Write ? " write" : " read") +
+                    " issued at " + std::to_string(o.start) + ", still "
+                    "incomplete after " + std::to_string(now - o.start) +
+                    " cycles",
+                now, o.block, o.tile});
+  }
+}
+
+// ------------------------------------------------------------- MonitorSet
+
+MonitorSet::MonitorSet() : MonitorSet(Options{}) {}
+
+MonitorSet::MonitorSet(Options opt) : log_(opt.maxViolations) {
+  monitors_.push_back(std::make_unique<SwmrMonitor>());
+  auto value = std::make_unique<ValueMonitor>();
+  value->setLog(&log_);
+  value_ = value.get();
+  monitors_.push_back(std::move(value));
+  monitors_.push_back(std::make_unique<MetadataMonitor>());
+  auto progress = std::make_unique<ProgressMonitor>(opt.progressBound);
+  progress_ = progress.get();
+  monitors_.push_back(std::move(progress));
+}
+
+void MonitorSet::onAccessIssued(NodeId tile, Addr block, AccessType type,
+                                Tick now) {
+  for (auto& m : monitors_) m->onAccessIssued(tile, block, type, now);
+}
+
+void MonitorSet::onAccessDone(NodeId tile, Addr block, AccessType type,
+                              Tick now, std::uint64_t value, bool lineBusy) {
+  for (auto& m : monitors_)
+    m->onAccessDone(tile, block, type, now, value, lineBusy);
+}
+
+void MonitorSet::onWriteCommitted(Addr block, std::uint64_t value,
+                                  Tick now) {
+  for (auto& m : monitors_) m->onWriteCommitted(block, value, now);
+}
+
+void MonitorSet::sweep(const Protocol& proto, Tick now) {
+  for (auto& m : monitors_) m->sweep(proto, now, log_);
+}
+
+}  // namespace eecc

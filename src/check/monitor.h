@@ -1,0 +1,212 @@
+// Online invariant monitors — the conformance subsystem's pluggable
+// checkers (see DESIGN.md §9).
+//
+// A MonitorSet implements the CheckHooks observation interface and fans
+// every event out to its monitors; violations are *collected*, not
+// aborted on, so the differential fuzzer can minimize the failing input
+// and dump a replayable counterexample trace. Four monitors ship:
+//
+//  * SwmrMonitor      — single-writer/multiple-reader: at most one E/M
+//                       copy per block, and an E/M copy excludes all
+//                       other copies (state sweep).
+//  * ValueMonitor     — data-value correctness against a golden flat
+//                       memory replayed from the write-commit stream:
+//                       loads must observe the current golden value
+//                       (exactly when unserialized state cannot race,
+//                       monotonically otherwise), and every quiesced
+//                       cache copy must hold it (online + sweep).
+//  * MetadataMonitor  — per-protocol coherence-metadata consistency:
+//                       directory coverage, L2C$ owner precision,
+//                       provider registration, inclusion. Delegates to
+//                       Protocol::auditInvariants (sweep).
+//  * ProgressMonitor  — no access outstanding longer than a cycle bound
+//                       (online bookkeeping, checked at sweeps).
+//
+// Sweeps walk quiesced protocol state (blocks with in-flight transactions
+// are skipped) and are driven by CmpSystem::attachChecker between run
+// chunks and after the final drain.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/hooks.h"
+#include "common/types.h"
+
+namespace eecc {
+
+class Protocol;
+
+/// One invariant violation, with enough context to debug it and to pick
+/// the failing block out of a counterexample trace.
+struct Violation {
+  std::string monitor;  ///< "swmr" | "value" | "metadata" | "progress"
+  std::string message;
+  Tick tick = 0;
+  Addr block = 0;
+  NodeId tile = kInvalidNode;
+
+  std::string str() const;
+};
+
+/// Collects violations for the monitors (capped; a broken protocol can
+/// produce thousands of identical reports per sweep).
+class ViolationLog {
+ public:
+  explicit ViolationLog(std::size_t cap = 64) : cap_(cap) {}
+
+  void report(Violation v) {
+    if (log_.size() < cap_) log_.push_back(std::move(v));
+    ++total_;
+  }
+  const std::vector<Violation>& entries() const { return log_; }
+  std::uint64_t total() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  void clear() {
+    log_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::size_t cap_;
+  std::vector<Violation> log_;
+  std::uint64_t total_ = 0;
+};
+
+/// A pluggable invariant monitor. Online hooks default to no-ops so
+/// sweep-only monitors implement just sweep(), and vice versa.
+class Monitor {
+ public:
+  virtual ~Monitor() = default;
+  virtual const char* name() const = 0;
+
+  virtual void onAccessIssued(NodeId /*tile*/, Addr /*block*/,
+                              AccessType /*type*/, Tick /*now*/) {}
+  virtual void onAccessDone(NodeId /*tile*/, Addr /*block*/,
+                            AccessType /*type*/, Tick /*now*/,
+                            std::uint64_t /*value*/, bool /*lineBusy*/) {}
+  virtual void onWriteCommitted(Addr /*block*/, std::uint64_t /*value*/,
+                                Tick /*now*/) {}
+  /// Full-state check over quiesced protocol state.
+  virtual void sweep(const Protocol& /*proto*/, Tick /*now*/,
+                     ViolationLog& /*log*/) {}
+};
+
+class SwmrMonitor final : public Monitor {
+ public:
+  const char* name() const override { return "swmr"; }
+  void sweep(const Protocol& proto, Tick now, ViolationLog& log) override;
+};
+
+class ValueMonitor final : public Monitor {
+ public:
+  const char* name() const override { return "value"; }
+  void onAccessDone(NodeId tile, Addr block, AccessType type, Tick now,
+                    std::uint64_t value, bool lineBusy) override;
+  void onWriteCommitted(Addr block, std::uint64_t value, Tick now) override;
+  void sweep(const Protocol& proto, Tick now, ViolationLog& log) override;
+
+  /// The golden image of one block: commit count and current value.
+  struct BlockImage {
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t value = 0;
+    bool operator==(const BlockImage&) const = default;
+  };
+  /// Golden flat memory, keyed by block address — the protocol-independent
+  /// final image the differential fuzzer cross-checks (all four protocols
+  /// executing the same bounded reference stream to completion must agree
+  /// on every block's read/write counts).
+  const std::unordered_map<Addr, BlockImage>& image() const {
+    return golden_;
+  }
+
+  void setLog(ViolationLog* log) { log_ = log; }
+
+ private:
+  std::unordered_map<Addr, BlockImage> golden_;
+  /// Last value each tile observed per block (per-tile coherence order:
+  /// a tile must never read an older write after a newer one).
+  std::unordered_map<Addr, std::vector<std::uint64_t>> lastSeen_;
+  ViolationLog* log_ = nullptr;
+};
+
+class MetadataMonitor final : public Monitor {
+ public:
+  const char* name() const override { return "metadata"; }
+  void sweep(const Protocol& proto, Tick now, ViolationLog& log) override;
+};
+
+class ProgressMonitor final : public Monitor {
+ public:
+  /// `bound` — cycles an access may stay outstanding before it counts as
+  /// a progress violation (default generously above any legal miss:
+  /// DRAM latency + full-mesh hops + invalidation fan-out is < 10^4).
+  explicit ProgressMonitor(Tick bound = 100'000) : bound_(bound) {}
+  const char* name() const override { return "progress"; }
+  void onAccessIssued(NodeId tile, Addr block, AccessType type,
+                      Tick now) override;
+  void onAccessDone(NodeId tile, Addr block, AccessType type, Tick now,
+                    std::uint64_t value, bool lineBusy) override;
+  void sweep(const Protocol& proto, Tick now, ViolationLog& log) override;
+
+  std::size_t outstanding() const { return outstanding_.size(); }
+
+ private:
+  struct Out {
+    NodeId tile;
+    Addr block;
+    AccessType type;
+    Tick start;
+    bool reported = false;
+  };
+  Tick bound_;
+  std::vector<Out> outstanding_;
+};
+
+/// The standard monitor battery behind `--check`: owns the four monitors,
+/// fans the protocol hooks out to them, and runs their sweeps.
+class MonitorSet final : public CheckHooks {
+ public:
+  struct Options {
+    Tick progressBound = 100'000;
+    std::size_t maxViolations = 64;
+  };
+
+  MonitorSet();
+  explicit MonitorSet(Options opt);
+
+  /// Adds a custom monitor (tests plug violation-injecting mocks in).
+  void add(std::unique_ptr<Monitor> m) { monitors_.push_back(std::move(m)); }
+
+  // CheckHooks — fan-out to every monitor.
+  void onAccessIssued(NodeId tile, Addr block, AccessType type,
+                      Tick now) override;
+  void onAccessDone(NodeId tile, Addr block, AccessType type, Tick now,
+                    std::uint64_t value, bool lineBusy) override;
+  void onWriteCommitted(Addr block, std::uint64_t value, Tick now) override;
+
+  /// Runs every monitor's full-state check. Call on quiesced (or at least
+  /// drained-to-a-tick) protocol state.
+  void sweep(const Protocol& proto, Tick now);
+
+  const ViolationLog& log() const { return log_; }
+  bool ok() const { return log_.empty(); }
+  /// Golden flat-memory image (differential cross-checks).
+  const std::unordered_map<Addr, ValueMonitor::BlockImage>& image() const {
+    return value_->image();
+  }
+  std::size_t outstandingAccesses() const {
+    return progress_->outstanding();
+  }
+
+ private:
+  ViolationLog log_;
+  ValueMonitor* value_;      // owned by monitors_
+  ProgressMonitor* progress_;  // owned by monitors_
+  std::vector<std::unique_ptr<Monitor>> monitors_;
+};
+
+}  // namespace eecc

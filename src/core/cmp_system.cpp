@@ -1,5 +1,9 @@
 #include "core/cmp_system.h"
 
+#include <algorithm>
+
+#include "check/monitor.h"
+
 namespace eecc {
 
 CmpSystem::CmpSystem(const CmpConfig& cfg, ProtocolKind kind,
@@ -44,6 +48,10 @@ void CmpSystem::coreStep(NodeId tile) {
       events_.scheduleAt(core.localTime, [this, tile] { coreStep(tile); });
       return;
     }
+    if (source_->exhausted(tile)) {  // bounded stream fully issued
+      core.active = false;
+      return;
+    }
     const MemOp op = source_->next(tile);
     core.localTime += op.computeCycles;
     const Addr block = blockAddr(op.addr);
@@ -83,9 +91,31 @@ void CmpSystem::run(Tick cycles) {
     if (core.localTime < events_.now()) core.localTime = events_.now();
     events_.scheduleAfter(0, [this, t] { coreStep(t); });
   }
-  events_.runUntil(stopAt_);
+  if (checker_ == nullptr) {
+    events_.runUntil(stopAt_);
+  } else {
+    // Chunked so the monitors' full-state sweeps run between event bursts.
+    // (A self-rescheduling sweep event would keep the queue non-empty and
+    // break the runToCompletion() drain below.)
+    Tick lastSweep = kTickMax;
+    while (events_.now() < stopAt_ && !events_.empty()) {
+      events_.runUntil(std::min(stopAt_, events_.now() + sweepEvery_));
+      checker_->sweep(*protocol_, events_.now());
+      lastSweep = events_.now();
+    }
+    events_.runToCompletion();  // drain in-flight misses
+    if (events_.now() != lastSweep)
+      checker_->sweep(*protocol_, events_.now());
+    return;
+  }
   // Drain in-flight misses (no new operations are issued past stopAt_).
   events_.runToCompletion();
+}
+
+void CmpSystem::attachChecker(MonitorSet* checker, Tick sweepEvery) {
+  checker_ = checker;
+  sweepEvery_ = sweepEvery > 0 ? sweepEvery : 50'000;
+  protocol_->setCheckHooks(checker);
 }
 
 void CmpSystem::warmup(Tick cycles) {

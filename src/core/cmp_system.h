@@ -25,6 +25,8 @@
 
 namespace eecc {
 
+class MonitorSet;
+
 class CmpSystem {
  public:
   CmpSystem(const CmpConfig& cfg, ProtocolKind kind, const VmLayout& layout,
@@ -44,6 +46,14 @@ class CmpSystem {
   /// Runs `cycles` of warmup and then clears every measurement counter
   /// (caches stay warm; the measured window starts cold on statistics).
   void warmup(Tick cycles);
+
+  /// Attaches the conformance monitors: `checker` observes every access
+  /// and write commit through the protocol's check hooks, and run() is
+  /// chunked so the full-state sweeps execute every `sweepEvery` cycles
+  /// plus once after the final drain. Pass nullptr to detach. With no
+  /// checker attached the protocol hot path pays a single untaken branch
+  /// per access (see check/hooks.h).
+  void attachChecker(MonitorSet* checker, Tick sweepEvery = 50'000);
 
   Tick cycles() const { return cyclesRun_; }
   std::uint64_t opsCompleted() const;
@@ -91,6 +101,8 @@ class CmpSystem {
   std::vector<Core> cores_;
   Tick stopAt_ = 0;
   Tick cyclesRun_ = 0;
+  MonitorSet* checker_ = nullptr;  // not owned
+  Tick sweepEvery_ = 50'000;
 };
 
 }  // namespace eecc

@@ -1,5 +1,8 @@
 #include "core/experiment.h"
 
+#include <memory>
+
+#include "check/monitor.h"
 #include "core/runner.h"
 #include "workload/profile.h"
 
@@ -29,10 +32,20 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
 
   CmpSystem system(cfg.chip, cfg.protocol, layout, perVm, cfg.seed,
                    cfg.dedupEnabled);
+  std::unique_ptr<MonitorSet> monitors;
+  if (cfg.conformanceCheck) {
+    monitors = std::make_unique<MonitorSet>();
+    system.attachChecker(monitors.get(), cfg.checkSweepEvery);
+  }
   if (cfg.warmupCycles > 0) system.warmup(cfg.warmupCycles);
   system.run(cfg.windowCycles);
 
   ExperimentResult r;
+  if (monitors != nullptr) {
+    r.checkViolations = monitors->log().total();
+    for (const Violation& v : monitors->log().entries())
+      r.checkMessages.push_back(v.str());
+  }
   r.workload = cfg.workloadName;
   r.protocol = cfg.protocol;
   r.altLayout = cfg.altLayout;

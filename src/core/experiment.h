@@ -24,6 +24,11 @@ struct ExperimentConfig {
   Tick windowCycles = 250'000;  ///< Scaled-down "500 million cycles".
   Tick warmupCycles = 200'000;  ///< Cache warmup before measuring.
   std::uint64_t seed = 1;
+  /// Attach the conformance monitor battery (src/check) for the whole run
+  /// including warmup. Violations land in ExperimentResult; the simulation
+  /// itself is unaffected (monitors collect, they don't abort).
+  bool conformanceCheck = false;
+  Tick checkSweepEvery = 50'000;  ///< Full-state sweep period when checking.
 };
 
 struct ExperimentResult {
@@ -37,6 +42,10 @@ struct ExperimentResult {
   /// Kernel events executed over the whole run (incl. warmup) — the
   /// denominator-free work measure behind the runner's events/sec metric.
   std::uint64_t simEvents = 0;
+
+  /// Conformance-check outcome (conformanceCheck runs only).
+  std::uint64_t checkViolations = 0;
+  std::vector<std::string> checkMessages;  ///< Capped diagnostic sample.
 
   ProtocolStats stats;
   CacheEnergyEvents events;

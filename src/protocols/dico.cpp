@@ -35,6 +35,8 @@ DiCoProtocol::DiCoProtocol(EventQueue& events, Network& net,
     tiles_.emplace_back(cfg_);
     banks_.emplace_back(cfg_);
   }
+  const char* st = std::getenv("EECC_CHECK_SELFTEST");
+  selftestFault_ = st != nullptr && st[0] == '1';
 }
 
 // ---------------------------------------------------------------- L1 side
@@ -432,7 +434,9 @@ void DiCoProtocol::ownerServeRead(NodeId owner, L1Line& line,
   energy_.l1DirUpdate += 1;
   if (line.state == L1State::M || line.state == L1State::E)
     line.state = L1State::O;
-  line.sharers.insert(requestor);
+  // Seeded conformance bug (EECC_CHECK_SELFTEST): the owner forgets to
+  // register the reader, so its next write never invalidates that copy.
+  if (!selftestFault_) line.sharers.insert(requestor);
   finishClassification(txn, /*servedByL1Owner=*/true, false, false);
   txn.links += static_cast<std::uint32_t>(distance(owner, requestor));
   Message data;
@@ -859,8 +863,27 @@ DiCoProtocol::LineView DiCoProtocol::l1Line(NodeId tile, Addr block) const {
   return v;
 }
 
-void DiCoProtocol::checkInvariants() const {
-  // Quiesced-system invariants: one owner per block; L2C$ points at the
+void DiCoProtocol::forEachL1Copy(
+    const std::function<void(const L1CopyView&)>& fn) const {
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
+        [&](const L1Line& line) {
+          L1CopyView v;
+          v.tile = t;
+          v.block = line.addr;
+          v.state = line.state == L1State::M   ? 'M'
+                    : line.state == L1State::E ? 'E'
+                    : line.state == L1State::O ? 'O'
+                                               : 'S';
+          v.value = line.value;
+          v.busy = lineBusy(line.addr);
+          fn(v);
+        });
+  }
+}
+
+void DiCoProtocol::auditInvariants(const AuditFailFn& fail) const {
+  // Quiesced-block invariants: one owner per block; L2C$ points at the
   // actual L1 owner; the owner's sharing code covers every shared copy;
   // every copy holds the committed value; no L2 line coexists with an L1
   // owner.
@@ -870,35 +893,49 @@ void DiCoProtocol::checkInvariants() const {
     tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
         [&](const L1Line& line) {
           if (lineBusy(line.addr)) return;
-          EECC_CHECK_MSG(line.value == committedValue(line.addr),
-                         "L1 copy holds a stale value");
+          if (line.value != committedValue(line.addr))
+            fail("L1 copy holds a stale value: tile " + std::to_string(t) +
+                 ", " + describeBlock(line.addr));
           if (line.state == L1State::S) {
             sharersOf[line.addr].push_back(t);
           } else {
-            EECC_CHECK_MSG(!ownerOf.contains(line.addr),
-                           "two owners for one block");
+            if (ownerOf.contains(line.addr))
+              fail("two owners for one block: tiles " +
+                   std::to_string(ownerOf[line.addr]) + " and " +
+                   std::to_string(t) + ", " + describeBlock(line.addr));
             ownerOf[line.addr] = t;
           }
         });
   }
   for (const auto& [block, owner] : ownerOf) {
-    EECC_CHECK_MSG(l2cOwner(block) == owner,
-                   "L2C$ does not point at the L1 owner");
+    if (l2cOwner(block) != owner)
+      fail("L2C$ does not point at the L1 owner: " + describeBlock(block) +
+           ", owner " + std::to_string(owner) + ", L2C$ says " +
+           std::to_string(l2cOwner(block)));
     const L1Line* line =
         tiles_[static_cast<std::size_t>(owner)].l1.find(block);
-    for (const NodeId s : sharersOf[block])
-      EECC_CHECK_MSG(line->sharers.contains(s),
-                     "shared copy not covered by the owner's sharing code");
+    if (line == nullptr) continue;
+    if (auto it = sharersOf.find(block); it != sharersOf.end())
+      for (const NodeId s : it->second)
+        if (!line->sharers.contains(s))
+          fail("shared copy not covered by the owner's sharing code: tile " +
+               std::to_string(s) + ", owner " + std::to_string(owner) +
+               ", " + describeBlock(block));
   }
   for (const auto& [block, list] : sharersOf) {
     if (ownerOf.contains(block)) continue;
     // No L1 owner: the home L2 must own the block and cover the sharers.
     const Bank& bank = banks_[static_cast<std::size_t>(cfg_.homeOf(block))];
     const L2Line* line = bank.l2.find(block);
-    EECC_CHECK_MSG(line != nullptr, "orphan shared copies (no owner at all)");
+    if (line == nullptr) {
+      fail("orphan shared copies (no owner at all): " +
+           describeBlock(block));
+      continue;
+    }
     for (const NodeId s : list)
-      EECC_CHECK_MSG(line->sharers.contains(s),
-                     "shared copy not covered by the home's sharing code");
+      if (!line->sharers.contains(s))
+        fail("shared copy not covered by the home's sharing code: tile " +
+             std::to_string(s) + ", " + describeBlock(block));
   }
   for (NodeId h = 0; h < cfg_.tiles(); ++h) {
     banks_[static_cast<std::size_t>(h)].l2.forEachValid(
@@ -906,8 +943,9 @@ void DiCoProtocol::checkInvariants() const {
           if (lineBusy(line.addr)) return;
           // Retained copies under an L1 owner may legitimately be stale.
           if (l2cOwner(line.addr) != kInvalidNode) return;
-          EECC_CHECK_MSG(line.value == committedValue(line.addr),
-                         "home-owned L2 line holds a stale value");
+          if (line.value != committedValue(line.addr))
+            fail("home-owned L2 line holds a stale value: " +
+                 describeBlock(line.addr));
         });
   }
 }

@@ -26,7 +26,9 @@ class DiCoProtocol final : public Protocol {
 
   ProtocolKind kind() const override { return ProtocolKind::DiCo; }
   bool tryHit(NodeId tile, Addr block, AccessType type) override;
-  void checkInvariants() const override;
+  void auditInvariants(const AuditFailFn& fail) const override;
+  void forEachL1Copy(
+      const std::function<void(const L1CopyView&)>& fn) const override;
 
   struct LineView {
     bool valid = false;
@@ -137,6 +139,13 @@ class DiCoProtocol final : public Protocol {
   std::vector<Tile> tiles_;
   std::vector<Bank> banks_;
   std::unordered_map<Addr, Txn> txns_;
+
+  /// EECC_CHECK_SELFTEST (env, read at construction): intentionally drops
+  /// the sharer registration when the owner serves a remote read, leaving
+  /// untracked shared copies that later writes fail to invalidate. Used to
+  /// prove the conformance monitors catch real coherence bugs end-to-end
+  /// (value violation online, uncovered-sharer violation at sweeps).
+  bool selftestFault_ = false;
 };
 
 }  // namespace eecc

@@ -1107,7 +1107,27 @@ DiCoArinProtocol::LineView DiCoArinProtocol::l1Line(NodeId tile,
   return v;
 }
 
-void DiCoArinProtocol::checkInvariants() const {
+void DiCoArinProtocol::forEachL1Copy(
+    const std::function<void(const L1CopyView&)>& fn) const {
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
+        [&](const L1Line& line) {
+          L1CopyView v;
+          v.tile = t;
+          v.block = line.addr;
+          v.state = line.state == L1State::M   ? 'M'
+                    : line.state == L1State::E ? 'E'
+                    : line.state == L1State::O ? 'O'
+                    : line.state == L1State::P ? 'P'
+                                               : 'S';
+          v.value = line.value;
+          v.busy = lineBusy(line.addr);
+          fn(v);
+        });
+  }
+}
+
+void DiCoArinProtocol::auditInvariants(const AuditFailFn& fail) const {
   std::unordered_map<Addr, NodeId> ownerOfBlock;
   std::unordered_map<Addr, std::vector<NodeId>> sharersOf;
   std::unordered_map<Addr, std::vector<NodeId>> providersOf;
@@ -1116,11 +1136,14 @@ void DiCoArinProtocol::checkInvariants() const {
     tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
         [&](const L1Line& line) {
           if (lineBusy(line.addr)) return;
-          EECC_CHECK_MSG(line.value == committedValue(line.addr),
-                         "L1 copy holds a stale value");
+          if (line.value != committedValue(line.addr))
+            fail("L1 copy holds a stale value: tile " + std::to_string(t) +
+                 ", " + describeBlock(line.addr));
           if (line.isOwner()) {
-            EECC_CHECK_MSG(!ownerOfBlock.contains(line.addr),
-                           "two owners for one block");
+            if (ownerOfBlock.contains(line.addr))
+              fail("two owners for one block: tiles " +
+                   std::to_string(ownerOfBlock[line.addr]) + " and " +
+                   std::to_string(t) + ", " + describeBlock(line.addr));
             ownerOfBlock[line.addr] = t;
           } else if (line.state == L1State::P) {
             providersOf[line.addr].push_back(t);
@@ -1131,29 +1154,37 @@ void DiCoArinProtocol::checkInvariants() const {
   }
 
   for (const auto& [block, owner] : ownerOfBlock) {
-    EECC_CHECK_MSG(l2cOwner(block) == owner,
-                   "L2C$ does not point at the L1 owner");
+    if (l2cOwner(block) != owner)
+      fail("L2C$ does not point at the L1 owner: " + describeBlock(block) +
+           ", owner " + std::to_string(owner) + ", L2C$ says " +
+           std::to_string(l2cOwner(block)));
     // Single-area invariant: all copies in the owner's area, covered by
     // its map.
     const L1Line* ol =
         tiles_[static_cast<std::size_t>(owner)].l1.find(block);
-    if (auto it = sharersOf.find(block); it != sharersOf.end()) {
+    if (auto it = sharersOf.find(block);
+        it != sharersOf.end() && ol != nullptr) {
       for (const NodeId s : it->second) {
-        EECC_CHECK_MSG(cfg_.areaOf(s) == cfg_.areaOf(owner),
-                       "single-area block has a copy outside the area");
-        EECC_CHECK_MSG(ol->areaSharers.contains(s),
-                       "shared copy not covered by the owner's map");
+        if (cfg_.areaOf(s) != cfg_.areaOf(owner))
+          fail("single-area block has a copy outside the area: tile " +
+               std::to_string(s) + ", " + describeBlock(block));
+        if (!ol->areaSharers.contains(s))
+          fail("shared copy not covered by the owner's map: tile " +
+               std::to_string(s) + ", owner " + std::to_string(owner) +
+               ", " + describeBlock(block));
       }
     }
-    EECC_CHECK_MSG(!providersOf.contains(block),
-                   "provider copies coexist with an L1 owner");
+    if (providersOf.contains(block))
+      fail("provider copies coexist with an L1 owner: " +
+           describeBlock(block));
   }
 
   // Global blocks: always present at the home in global mode.
   for (const auto& [block, provs] : providersOf) {
     (void)provs;
-    EECC_CHECK_MSG(isGlobal(block),
-                   "provider copies exist but the home L2 is not global");
+    if (!isGlobal(block))
+      fail("provider copies exist but the home L2 is not global: " +
+           describeBlock(block));
   }
 
   for (NodeId h = 0; h < cfg_.tiles(); ++h) {
@@ -1161,23 +1192,25 @@ void DiCoArinProtocol::checkInvariants() const {
         [&](const L2Line& line) {
           if (lineBusy(line.addr)) return;
           if (l2cOwner(line.addr) != kInvalidNode) return;  // retained
-          EECC_CHECK_MSG(line.value == committedValue(line.addr),
-                         "L2 line holds a stale value");
+          if (line.value != committedValue(line.addr))
+            fail("L2 line holds a stale value: " + describeBlock(line.addr));
           if (line.mode == L2Mode::Global) {
             // ProPos point into the right areas (they may be stale after
             // silent provider evictions — that is the design).
             for (std::size_t a = 0; a < kMaxAreas; ++a) {
               const NodeId p = line.providers[a];
               if (p == kInvalidNode) continue;
-              EECC_CHECK_MSG(
-                  cfg_.areaOf(p) == static_cast<AreaId>(a),
-                  "global ProPo points outside its area");
+              if (cfg_.areaOf(p) != static_cast<AreaId>(a))
+                fail("global ProPo points outside its area: area " +
+                     std::to_string(a) + " names tile " + std::to_string(p) +
+                     ", " + describeBlock(line.addr));
             }
           } else {
             // Single-area L2-owned block: sharers confined to its area.
             line.sharers.forEach([&](NodeId s) {
-              EECC_CHECK_MSG(cfg_.areaOf(s) == line.area,
-                             "L2-owned sharer outside the recorded area");
+              if (cfg_.areaOf(s) != line.area)
+                fail("L2-owned sharer outside the recorded area: tile " +
+                     std::to_string(s) + ", " + describeBlock(line.addr));
             });
           }
         });
@@ -1188,11 +1221,15 @@ void DiCoArinProtocol::checkInvariants() const {
     if (ownerOfBlock.contains(block)) continue;
     const Bank& bank = banks_[static_cast<std::size_t>(cfg_.homeOf(block))];
     const L2Line* line = bank.l2.find(block);
-    EECC_CHECK_MSG(line != nullptr, "orphan shared copies");
+    if (line == nullptr) {
+      fail("orphan shared copies: " + describeBlock(block));
+      continue;
+    }
     if (line->mode == L2Mode::SingleAreaOwner) {
       for (const NodeId s : list)
-        EECC_CHECK_MSG(line->sharers.contains(s),
-                       "L2-owned sharer not in the home map");
+        if (!line->sharers.contains(s))
+          fail("L2-owned sharer not in the home map: tile " +
+               std::to_string(s) + ", " + describeBlock(block));
     }
     // Global mode: sharers are legal anywhere (broadcast covers them).
   }

@@ -1169,7 +1169,27 @@ DiCoProvidersProtocol::LineView DiCoProvidersProtocol::l1Line(
   return v;
 }
 
-void DiCoProvidersProtocol::checkInvariants() const {
+void DiCoProvidersProtocol::forEachL1Copy(
+    const std::function<void(const L1CopyView&)>& fn) const {
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
+        [&](const L1Line& line) {
+          L1CopyView v;
+          v.tile = t;
+          v.block = line.addr;
+          v.state = line.state == L1State::M   ? 'M'
+                    : line.state == L1State::E ? 'E'
+                    : line.state == L1State::O ? 'O'
+                    : line.state == L1State::P ? 'P'
+                                               : 'S';
+          v.value = line.value;
+          v.busy = lineBusy(line.addr);
+          fn(v);
+        });
+  }
+}
+
+void DiCoProvidersProtocol::auditInvariants(const AuditFailFn& fail) const {
   auto* self = const_cast<DiCoProvidersProtocol*>(this);
   std::unordered_map<Addr, NodeId> ownerOfBlock;
   std::unordered_map<Addr, std::vector<NodeId>> sharersOf;
@@ -1179,11 +1199,14 @@ void DiCoProvidersProtocol::checkInvariants() const {
     tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
         [&](const L1Line& line) {
           if (lineBusy(line.addr)) return;
-          EECC_CHECK_MSG(line.value == committedValue(line.addr),
-                         "L1 copy holds a stale value");
+          if (line.value != committedValue(line.addr))
+            fail("L1 copy holds a stale value: tile " + std::to_string(t) +
+                 ", " + describeBlock(line.addr));
           if (line.isOwner()) {
-            EECC_CHECK_MSG(!ownerOfBlock.contains(line.addr),
-                           "two owners for one block");
+            if (ownerOfBlock.contains(line.addr))
+              fail("two owners for one block: tiles " +
+                   std::to_string(ownerOfBlock[line.addr]) + " and " +
+                   std::to_string(t) + ", " + describeBlock(line.addr));
             ownerOfBlock[line.addr] = t;
           } else if (line.state == L1State::P) {
             providersOf[line.addr].push_back(t);
@@ -1195,15 +1218,19 @@ void DiCoProvidersProtocol::checkInvariants() const {
 
   // L2C$ precision and owner/L2 exclusivity.
   for (const auto& [block, owner] : ownerOfBlock) {
-    EECC_CHECK_MSG(l2cOwner(block) == owner,
-                   "L2C$ does not point at the L1 owner");
+    if (l2cOwner(block) != owner)
+      fail("L2C$ does not point at the L1 owner: " + describeBlock(block) +
+           ", owner " + std::to_string(owner) + ", L2C$ says " +
+           std::to_string(l2cOwner(block)));
   }
 
   // Every provider must be registered at the owner for its area.
   for (const auto& [block, provs] : providersOf) {
     for (const NodeId p : provs) {
-      EECC_CHECK_MSG(self->providerOf(block, cfg_.areaOf(p)) == p,
-                     "provider not registered at the owner");
+      if (self->providerOf(block, cfg_.areaOf(p)) != p)
+        fail("provider not registered at the owner: tile " +
+             std::to_string(p) + ", area " +
+             std::to_string(cfg_.areaOf(p)) + ", " + describeBlock(block));
     }
   }
 
@@ -1226,7 +1253,10 @@ void DiCoProvidersProtocol::checkInvariants() const {
           covered = pl != nullptr && (p == s || pl->areaSharers.contains(s));
         }
       }
-      EECC_CHECK_MSG(covered, "shared copy not covered by any area supplier");
+      if (!covered)
+        fail("shared copy not covered by any area supplier: tile " +
+             std::to_string(s) + ", area " + std::to_string(a) + ", " +
+             describeBlock(block));
     }
   }
 
@@ -1237,8 +1267,9 @@ void DiCoProvidersProtocol::checkInvariants() const {
         [&](const L2Line& line) {
           if (lineBusy(line.addr)) return;
           if (l2cOwner(line.addr) != kInvalidNode) return;
-          EECC_CHECK_MSG(line.value == committedValue(line.addr),
-                         "home-owned L2 line holds a stale value");
+          if (line.value != committedValue(line.addr))
+            fail("home-owned L2 line holds a stale value: " +
+                 describeBlock(line.addr));
         });
   }
 }

@@ -32,7 +32,9 @@ class DiCoProvidersProtocol final : public Protocol {
 
   ProtocolKind kind() const override { return ProtocolKind::DiCoProviders; }
   bool tryHit(NodeId tile, Addr block, AccessType type) override;
-  void checkInvariants() const override;
+  void auditInvariants(const AuditFailFn& fail) const override;
+  void forEachL1Copy(
+      const std::function<void(const L1CopyView&)>& fn) const override;
 
   struct LineView {
     bool valid = false;

@@ -768,11 +768,29 @@ DirectoryProtocol::LineView DirectoryProtocol::l1Line(NodeId tile,
   return v;
 }
 
-void DirectoryProtocol::checkInvariants() const {
-  // Assumes a quiesced system (no events in flight). Per block: at most
-  // one E/M copy; E/M excludes other copies; all copies hold the committed
-  // value; every copy is covered by home directory info; the L2 value
-  // matches the committed value unless an L1 owner exists.
+void DirectoryProtocol::forEachL1Copy(
+    const std::function<void(const L1CopyView&)>& fn) const {
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
+        [&](const L1Line& line) {
+          L1CopyView v;
+          v.tile = t;
+          v.block = line.addr;
+          v.state = line.state == L1State::M   ? 'M'
+                    : line.state == L1State::E ? 'E'
+                                               : 'S';
+          v.value = line.value;
+          v.busy = lineBusy(line.addr);
+          fn(v);
+        });
+  }
+}
+
+void DirectoryProtocol::auditInvariants(const AuditFailFn& fail) const {
+  // Assumes quiesced blocks (in-flight ones are skipped). Per block: at
+  // most one E/M copy; E/M excludes other copies; all copies hold the
+  // committed value; every copy is covered by home directory info; the L2
+  // value matches the committed value unless an L1 owner exists.
   std::unordered_map<Addr, NodeId> exclusiveHolder;
   std::unordered_map<Addr, std::vector<NodeId>> holders;
   for (NodeId t = 0; t < cfg_.tiles(); ++t) {
@@ -781,34 +799,44 @@ void DirectoryProtocol::checkInvariants() const {
           if (lineBusy(line.addr)) return;
           holders[line.addr].push_back(t);
           if (line.state != L1State::S) {
-            EECC_CHECK_MSG(!exclusiveHolder.contains(line.addr),
-                           "two exclusive copies (SWMR violated)");
+            if (exclusiveHolder.contains(line.addr))
+              fail("two exclusive copies (SWMR violated): tiles " +
+                   std::to_string(exclusiveHolder[line.addr]) + " and " +
+                   std::to_string(t) + ", " + describeBlock(line.addr));
             exclusiveHolder[line.addr] = t;
           }
-          EECC_CHECK_MSG(line.value == committedValue(line.addr),
-                         "L1 copy holds a stale value");
+          if (line.value != committedValue(line.addr))
+            fail("L1 copy holds a stale value: tile " + std::to_string(t) +
+                 ", " + describeBlock(line.addr));
         });
   }
   for (const auto& [block, list] : holders) {
-    if (exclusiveHolder.contains(block))
-      EECC_CHECK_MSG(list.size() == 1, "E/M copy coexists with other copies");
+    if (exclusiveHolder.contains(block) && list.size() != 1)
+      fail("E/M copy coexists with other copies: " + describeBlock(block));
     const Bank& bank = banks_[static_cast<std::size_t>(cfg_.homeOf(block))];
     const DirInfo* dir = findDir(bank, block);
-    EECC_CHECK_MSG(dir != nullptr, "L1 copy with no directory record");
+    if (dir == nullptr) {
+      fail("L1 copy with no directory record: " + describeBlock(block));
+      continue;
+    }
     for (const NodeId t : list)
-      EECC_CHECK_MSG(dir->owner == t || dir->sharers.contains(t),
-                     "L1 copy not covered by the directory");
-    if (exclusiveHolder.contains(block))
-      EECC_CHECK_MSG(dir->owner == exclusiveHolder[block],
-                     "directory owner pointer is wrong");
+      if (dir->owner != t && !dir->sharers.contains(t))
+        fail("L1 copy not covered by the directory: tile " +
+             std::to_string(t) + ", " + describeBlock(block));
+    if (auto it = exclusiveHolder.find(block);
+        it != exclusiveHolder.end() && dir->owner != it->second)
+      fail("directory owner pointer is wrong: " + describeBlock(block) +
+           ", owner tile " + std::to_string(it->second) +
+           ", directory says " + std::to_string(dir->owner));
   }
   for (NodeId h = 0; h < cfg_.tiles(); ++h) {
     banks_[static_cast<std::size_t>(h)].l2.forEachValid(
         [&](const L2Line& line) {
           if (lineBusy(line.addr)) return;
-          if (line.dir.owner == kInvalidNode)
-            EECC_CHECK_MSG(line.value == committedValue(line.addr),
-                           "L2 value stale with no L1 owner");
+          if (line.dir.owner == kInvalidNode &&
+              line.value != committedValue(line.addr))
+            fail("L2 value stale with no L1 owner: " +
+                 describeBlock(line.addr));
         });
   }
 }

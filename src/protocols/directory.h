@@ -25,7 +25,9 @@ class DirectoryProtocol final : public Protocol {
 
   ProtocolKind kind() const override { return ProtocolKind::Directory; }
   bool tryHit(NodeId tile, Addr block, AccessType type) override;
-  void checkInvariants() const override;
+  void auditInvariants(const AuditFailFn& fail) const override;
+  void forEachL1Copy(
+      const std::function<void(const L1CopyView&)>& fn) const override;
 
   /// Test hooks.
   struct LineView {

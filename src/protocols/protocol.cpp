@@ -112,19 +112,56 @@ void Protocol::releaseLine(Addr block) {
   events_.scheduleAfter(1, std::move(fn));
 }
 
+void Protocol::checkInvariants() const {
+  auditInvariants([](const std::string& msg) {
+    EECC_CHECK_MSG(false, msg.c_str());
+  });
+}
+
+std::string Protocol::describeBlock(Addr block) const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "block 0x%llx (home %d)",
+                static_cast<unsigned long long>(block),
+                static_cast<int>(homeOf(block)));
+  return buf;
+}
+
 void Protocol::access(NodeId tile, Addr block, AccessType type, DoneFn done) {
   EECC_CHECK(blockAddr(block) == block);
   if (type == AccessType::Read) stats_.reads += 1;
   else stats_.writes += 1;
 
+  if (hooks_ != nullptr) [[unlikely]]
+    hooks_->onAccessIssued(tile, block, type, events_.now());
+
   if (tryHit(tile, block, type)) {
     if (type == AccessType::Read) stats_.l1ReadHits += 1;
     else stats_.l1WriteHits += 1;
+    // Hit-path observations may race a *foreign* in-flight transaction on
+    // the block (hits bypass the line lock), so the monitor is told when
+    // exact-value checks must be relaxed to monotonicity.
+    if (hooks_ != nullptr) [[unlikely]]
+      hooks_->onAccessDone(tile, block, type, events_.now(),
+                           observedValue(tile, block, type),
+                           lineBusy(block));
     done();
     return;
   }
   if (type == AccessType::Read) stats_.readMisses += 1;
   else stats_.writeMisses += 1;
+
+  if (hooks_ != nullptr) [[unlikely]] {
+    // Miss completions run under the block's own serialization lock, so
+    // conflicting writes are queued behind us: the observation is exact.
+    // Fire before the core's callback — on completion the core immediately
+    // issues its next access, which would overwrite lastReadValue().
+    done = [this, tile, block, type, done = std::move(done)] {
+      hooks_->onAccessDone(tile, block, type, events_.now(),
+                           observedValue(tile, block, type),
+                           /*lineBusy=*/false);
+      done();
+    };
+  }
 
   withLine(block, [this, tile, block, type, done = std::move(done)]() mutable {
     // State may have changed while queued behind another transaction on

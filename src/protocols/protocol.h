@@ -14,9 +14,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "check/hooks.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "core/config.h"
@@ -60,7 +62,40 @@ class Protocol {
 
   /// Asserts every protocol invariant (SWMR, pointer sanity, value
   /// coherence). Aborts on violation. O(cache size); meant for tests.
-  virtual void checkInvariants() const = 0;
+  void checkInvariants() const;
+
+  // --- Conformance introspection (src/check/) ---
+
+  /// Walks the protocol state and reports every invariant violation —
+  /// directory/owner/provider-metadata consistency, inclusion, SWMR,
+  /// value coherence — through `fail` with a human-readable diagnostic,
+  /// instead of aborting. Blocks with an in-flight transaction are
+  /// skipped (their stable state is not yet defined). O(cache size).
+  using AuditFailFn = std::function<void(const std::string&)>;
+  virtual void auditInvariants(const AuditFailFn& fail) const = 0;
+
+  /// One valid L1 line, protocol-agnostic: `state` uses the MOESI+P
+  /// letters of the engines ('S','E','M','O','P'); `busy` marks blocks
+  /// with an in-flight transaction. The generic SWMR and value monitors
+  /// are built on this view.
+  struct L1CopyView {
+    NodeId tile = kInvalidNode;
+    Addr block = 0;
+    char state = 'I';
+    std::uint64_t value = 0;
+    bool busy = false;
+  };
+  virtual void forEachL1Copy(
+      const std::function<void(const L1CopyView&)>& fn) const = 0;
+
+  /// Attaches (or detaches, with nullptr) the conformance observation
+  /// hooks. The pointer is not owned and must outlive the protocol's use.
+  void setCheckHooks(CheckHooks* hooks) { hooks_ = hooks; }
+  CheckHooks* checkHooks() const { return hooks_; }
+
+  /// Whether a miss transaction currently holds `block`'s serialization
+  /// lock (monitors use this to skip transient state during sweeps).
+  bool transactionInFlight(Addr block) const { return lineBusy(block); }
 
   /// The last value committed to `block` by any completed write (the
   /// data-value oracle). Reads observed by cores must equal this.
@@ -175,6 +210,8 @@ class Protocol {
   std::uint64_t commitWrite(Addr block) {
     const std::uint64_t v = ++writeSeq_;
     committed_[block] = v;
+    if (hooks_ != nullptr) [[unlikely]]
+      hooks_->onWriteCommitted(block, v, events_.now());
     return v;
   }
   void recordRead(NodeId tile, std::uint64_t value) {
@@ -193,6 +230,9 @@ class Protocol {
     stats_.missLatency.add(lat);
   }
 
+  /// "block 0x2a40 (home 5)" — diagnostic prefix for audit messages.
+  std::string describeBlock(Addr block) const;
+
   std::int32_t distance(NodeId a, NodeId b) const {
     return net_.topology().distance(a, b);
   }
@@ -206,8 +246,17 @@ class Protocol {
   ProtocolStats stats_;
   CacheEnergyEvents energy_;
   Rng memJitterRng_{0xEECCULL};
+  CheckHooks* hooks_ = nullptr;  ///< Conformance monitors; null = off.
 
  private:
+  /// The value a just-completed access exposed to its core: the last read
+  /// value for loads, the current oracle value for stores.
+  std::uint64_t observedValue(NodeId tile, Addr block,
+                              AccessType type) const {
+    return type == AccessType::Read ? lastReadValue(tile)
+                                    : committedValue(block);
+  }
+
   void countMsg(const Message& msg) {
     if (msg.dst != kInvalidNode && msg.src != msg.dst) {
       ++unicastMessages_;

@@ -59,8 +59,8 @@ TraceRecord getRecord(std::FILE* f) {
 
 }  // namespace
 
-std::uint64_t writeTrace(Workload& workload, const CmpConfig& cfg,
-                         std::uint64_t opsPerTile, const std::string& path) {
+Trace recordTrace(Workload& workload, const CmpConfig& cfg,
+                  std::uint64_t opsPerTile) {
   Trace trace;
   trace.setTileCount(static_cast<std::uint32_t>(cfg.tiles()));
   for (std::uint64_t i = 0; i < opsPerTile; ++i) {
@@ -70,6 +70,12 @@ std::uint64_t writeTrace(Workload& workload, const CmpConfig& cfg,
       trace.append({t, op.type, op.computeCycles, op.addr});
     }
   }
+  return trace;
+}
+
+std::uint64_t writeTrace(Workload& workload, const CmpConfig& cfg,
+                         std::uint64_t opsPerTile, const std::string& path) {
+  const Trace trace = recordTrace(workload, cfg, opsPerTile);
   trace.save(path);
   return trace.records().size();
 }
@@ -101,17 +107,21 @@ Trace Trace::load(const std::string& path) {
   return trace;
 }
 
-TraceSource::TraceSource(const Trace& trace)
+TraceSource::TraceSource(const Trace& trace, bool bounded)
     : streams_(trace.splitByTile()),
-      positions_(streams_.size(), 0) {}
+      positions_(streams_.size(), 0),
+      bounded_(bounded) {}
 
 MemOp TraceSource::next(NodeId tile) {
+  EECC_CHECK_MSG(static_cast<std::size_t>(tile) < streams_.size(),
+                 "next() on a tile beyond the recorded tile count");
   auto& stream = streams_[static_cast<std::size_t>(tile)];
   EECC_CHECK_MSG(!stream.empty(), "next() on an inactive tile");
   auto& pos = positions_[static_cast<std::size_t>(tile)];
+  EECC_CHECK_MSG(pos < stream.size(), "next() past a bounded stream's end");
   const TraceRecord& r = stream[pos];
   pos += 1;
-  if (pos == stream.size()) {
+  if (pos == stream.size() && !bounded_) {
     pos = 0;
     ++wraparounds_;
   }

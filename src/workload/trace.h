@@ -28,8 +28,12 @@ struct TraceRecord {
 };
 
 /// Draws `opsPerTile` operations per active tile from `workload`
-/// (round-robin, matching the interleaving a uniform run would see) and
-/// writes them to `path`. Returns the number of records written.
+/// (round-robin, matching the interleaving a uniform run would see) into
+/// an in-memory trace.
+class Trace recordTrace(Workload& workload, const CmpConfig& cfg,
+                        std::uint64_t opsPerTile);
+
+/// recordTrace + save to `path`. Returns the number of records written.
 std::uint64_t writeTrace(Workload& workload, const CmpConfig& cfg,
                          std::uint64_t opsPerTile, const std::string& path);
 
@@ -39,12 +43,24 @@ std::uint64_t writeTrace(Workload& workload, const CmpConfig& cfg,
 /// trace is short).
 class TraceSource final : public OpSource {
  public:
-  explicit TraceSource(const class Trace& trace);
+  /// `bounded = true` turns wraparound off: each tile's stream ends after
+  /// its last record and the tile reports exhausted(). Bounded replays
+  /// execute the trace exactly once, so runs over the same trace complete
+  /// the same operations under every protocol (conformance fuzzing).
+  explicit TraceSource(const class Trace& trace, bool bounded = false);
 
+  /// Tiles beyond the recorded tile count (replaying a small-chip trace
+  /// on a larger chip) are simply inactive.
   bool tileActive(NodeId tile) const override {
-    return !streams_[static_cast<std::size_t>(tile)].empty();
+    const auto i = static_cast<std::size_t>(tile);
+    return i < streams_.size() && !streams_[i].empty();
   }
   MemOp next(NodeId tile) override;
+  bool exhausted(NodeId tile) const override {
+    const auto i = static_cast<std::size_t>(tile);
+    if (i >= streams_.size()) return true;
+    return bounded_ && positions_[i] >= streams_[i].size();
+  }
 
   /// How many times any tile's stream has wrapped around.
   std::uint64_t wraparounds() const { return wraparounds_; }
@@ -52,6 +68,7 @@ class TraceSource final : public OpSource {
  private:
   std::vector<std::vector<TraceRecord>> streams_;
   std::vector<std::size_t> positions_;
+  bool bounded_ = false;
   std::uint64_t wraparounds_ = 0;
 };
 

@@ -38,6 +38,12 @@ class OpSource {
   virtual ~OpSource() = default;
   virtual bool tileActive(NodeId tile) const = 0;
   virtual MemOp next(NodeId tile) = 0;
+  /// True once `tile` has no further operations (bounded sources only;
+  /// generators and wrapping replays never exhaust). A core whose source
+  /// is exhausted stops issuing, which lets bounded runs terminate with
+  /// every tile having executed its exact stream — the property the
+  /// conformance fuzzer's cross-protocol comparison relies on.
+  virtual bool exhausted(NodeId /*tile*/) const { return false; }
 };
 
 class Workload : public OpSource {

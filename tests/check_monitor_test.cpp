@@ -1,0 +1,201 @@
+// Unit tests for the conformance monitors (src/check/monitor.h): each
+// monitor must fire — with a diagnostic naming the culprit — when a known
+// violation is injected through a mock protocol, and stay silent on
+// healthy state.
+#include <gtest/gtest.h>
+
+#include "check/monitor.h"
+#include "protocol_harness.h"
+
+namespace eecc {
+namespace {
+
+/// A protocol whose observable state (L1 copies, audit failures) is set
+/// directly by the test — no coherence engine behind it.
+class MockProtocol final : public Protocol {
+ public:
+  MockProtocol(EventQueue& events, Network& net, const CmpConfig& cfg)
+      : Protocol(events, net, cfg) {}
+
+  ProtocolKind kind() const override { return ProtocolKind::Directory; }
+  bool tryHit(NodeId, Addr, AccessType) override { return false; }
+  void auditInvariants(const AuditFailFn& fail) const override {
+    for (const std::string& m : auditFailures) fail(m);
+  }
+  void forEachL1Copy(
+      const std::function<void(const L1CopyView&)>& fn) const override {
+    for (const L1CopyView& c : copies) fn(c);
+  }
+
+  std::vector<L1CopyView> copies;
+  std::vector<std::string> auditFailures;
+
+ protected:
+  void startMiss(NodeId, Addr, AccessType, DoneFn done) override { done(); }
+  void onMessage(const Message&) override {}
+};
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest()
+      : cfg_(testutil::smallConfig()),
+        topo_(cfg_.meshWidth, cfg_.meshHeight),
+        net_(events_, topo_, cfg_.net),
+        proto_(events_, net_, cfg_) {}
+
+  CmpConfig cfg_;
+  EventQueue events_;
+  MeshTopology topo_;
+  Network net_;
+  MockProtocol proto_;
+  ViolationLog log_;
+};
+
+constexpr Addr kBlock = 4 * kBlockBytes;
+
+TEST_F(MonitorTest, SwmrFiresOnTwoWritableCopies) {
+  proto_.copies = {{0, kBlock, 'M', 7, false}, {3, kBlock, 'M', 7, false}};
+  SwmrMonitor swmr;
+  swmr.sweep(proto_, 100, log_);
+  // Two M copies violate both ways: a second writer, and a writable copy
+  // that is not alone.
+  ASSERT_EQ(log_.total(), 2u);
+  EXPECT_EQ(log_.entries()[0].monitor, "swmr");
+  EXPECT_EQ(log_.entries()[0].block, kBlock);
+  EXPECT_NE(log_.entries()[0].message.find("two writable"),
+            std::string::npos);
+  EXPECT_NE(log_.entries()[0].message.find("0"), std::string::npos);
+  EXPECT_NE(log_.entries()[0].message.find("3"), std::string::npos);
+}
+
+TEST_F(MonitorTest, SwmrFiresWhenWriterCoexistsWithReader) {
+  proto_.copies = {{1, kBlock, 'E', 0, false}, {2, kBlock, 'S', 0, false}};
+  SwmrMonitor swmr;
+  swmr.sweep(proto_, 100, log_);
+  ASSERT_EQ(log_.total(), 1u);
+  EXPECT_NE(log_.entries()[0].message.find("coexists"), std::string::npos);
+  EXPECT_EQ(log_.entries()[0].tile, 1);
+}
+
+TEST_F(MonitorTest, SwmrAcceptsLegalStates) {
+  // O owner + S sharers is legal (DiCo); so is a lone M; busy copies of a
+  // mid-transaction block are skipped.
+  proto_.copies = {{0, kBlock, 'O', 5, false},
+                   {1, kBlock, 'S', 5, false},
+                   {2, kBlock + kBlockBytes, 'M', 9, false},
+                   {3, kBlock + kBlockBytes, 'M', 9, true}};
+  SwmrMonitor swmr;
+  swmr.sweep(proto_, 100, log_);
+  EXPECT_EQ(log_.total(), 0u);
+}
+
+TEST_F(MonitorTest, ValueMonitorFlagsStaleRead) {
+  ValueMonitor value;
+  value.setLog(&log_);
+  value.onWriteCommitted(kBlock, 5, 10);
+  value.onAccessDone(2, kBlock, AccessType::Read, 20, /*value=*/3,
+                     /*lineBusy=*/false);
+  ASSERT_EQ(log_.total(), 1u);
+  EXPECT_EQ(log_.entries()[0].monitor, "value");
+  EXPECT_NE(log_.entries()[0].message.find("stale"), std::string::npos);
+  EXPECT_EQ(log_.entries()[0].tile, 2);
+}
+
+TEST_F(MonitorTest, ValueMonitorRelaxesToMonotonicUnderRacingLine) {
+  ValueMonitor value;
+  value.setLog(&log_);
+  value.onWriteCommitted(kBlock, 5, 10);
+  // A load serialized before the in-flight write may still see an older
+  // value — not a violation while the line is busy...
+  value.onAccessDone(2, kBlock, AccessType::Read, 20, 3, /*lineBusy=*/true);
+  EXPECT_EQ(log_.total(), 0u);
+  // ...but going backwards per tile always is.
+  value.onAccessDone(2, kBlock, AccessType::Read, 25, 5, true);
+  value.onAccessDone(2, kBlock, AccessType::Read, 30, 3, true);
+  ASSERT_EQ(log_.total(), 1u);
+  EXPECT_NE(log_.entries()[0].message.find("backwards"), std::string::npos);
+}
+
+TEST_F(MonitorTest, ValueSweepFlagsDivergedCopy) {
+  ValueMonitor value;
+  value.setLog(&log_);
+  value.onWriteCommitted(kBlock, 5, 10);
+  proto_.copies = {{1, kBlock, 'S', /*value=*/4, false}};
+  value.sweep(proto_, 50, log_);
+  ASSERT_EQ(log_.total(), 1u);
+  EXPECT_NE(log_.entries()[0].message.find("diverged"), std::string::npos);
+}
+
+TEST_F(MonitorTest, MetadataMonitorReportsAuditFailures) {
+  proto_.auditFailures = {"L1 line not covered by its L2 bank "
+                          "(inclusion violated): tile 4, block 0x1c0"};
+  MetadataMonitor meta;
+  meta.sweep(proto_, 77, log_);
+  ASSERT_EQ(log_.total(), 1u);
+  EXPECT_EQ(log_.entries()[0].monitor, "metadata");
+  EXPECT_NE(log_.entries()[0].message.find("inclusion"), std::string::npos);
+  EXPECT_EQ(log_.entries()[0].tick, 77u);
+}
+
+TEST_F(MonitorTest, ProgressMonitorFiresBeyondBoundOnce) {
+  ProgressMonitor progress(/*bound=*/1000);
+  progress.onAccessIssued(6, kBlock, AccessType::Write, 0);
+  progress.sweep(proto_, 500, log_);
+  EXPECT_EQ(log_.total(), 0u);  // still within the bound
+  progress.sweep(proto_, 1500, log_);
+  ASSERT_EQ(log_.total(), 1u);
+  EXPECT_EQ(log_.entries()[0].monitor, "progress");
+  EXPECT_EQ(log_.entries()[0].tile, 6);
+  EXPECT_NE(log_.entries()[0].message.find("outstanding"), std::string::npos);
+  progress.sweep(proto_, 2000, log_);
+  EXPECT_EQ(log_.total(), 1u);  // reported once, not every sweep
+  progress.onAccessDone(6, kBlock, AccessType::Write, 2100, 1, false);
+  EXPECT_EQ(progress.outstanding(), 0u);
+}
+
+TEST_F(MonitorTest, ViolationLogCapsEntriesButCountsAll) {
+  ViolationLog capped(4);
+  for (int i = 0; i < 10; ++i)
+    capped.report({"swmr", "msg", 0, 0, kInvalidNode});
+  EXPECT_EQ(capped.entries().size(), 4u);
+  EXPECT_EQ(capped.total(), 10u);
+  EXPECT_FALSE(capped.empty());
+}
+
+TEST_F(MonitorTest, MonitorSetFansOutAndStaysCleanOnHealthyState) {
+  MonitorSet set;
+  set.onWriteCommitted(kBlock, 1, 5);
+  set.onAccessIssued(0, kBlock, AccessType::Read, 6);
+  set.onAccessDone(0, kBlock, AccessType::Read, 12, 1, false);
+  proto_.copies = {{0, kBlock, 'S', 1, false}};
+  set.sweep(proto_, 20);
+  EXPECT_TRUE(set.ok());
+  EXPECT_EQ(set.outstandingAccesses(), 0u);
+  ASSERT_EQ(set.image().count(kBlock), 1u);
+  EXPECT_EQ(set.image().at(kBlock).writes, 1u);
+  EXPECT_EQ(set.image().at(kBlock).reads, 1u);
+}
+
+TEST_F(MonitorTest, MonitorSetCollectsAcrossMonitors) {
+  MonitorSet set;
+  set.onWriteCommitted(kBlock, 3, 5);
+  proto_.copies = {{0, kBlock, 'M', 2, false},  // diverged value
+                   {1, kBlock, 'M', 3, false}};  // second writable copy
+  proto_.auditFailures = {"dangling owner pointer"};
+  set.sweep(proto_, 30);
+  EXPECT_FALSE(set.ok());
+  // SWMR (two M copies) + value (copy 2 != golden 3) + metadata.
+  EXPECT_GE(set.log().total(), 3u);
+}
+
+TEST_F(MonitorTest, HooksAttachAndDetachOnProtocol) {
+  MonitorSet set;
+  EXPECT_EQ(proto_.checkHooks(), nullptr);  // zero-cost default
+  proto_.setCheckHooks(&set);
+  EXPECT_EQ(proto_.checkHooks(), &set);
+  proto_.setCheckHooks(nullptr);
+  EXPECT_EQ(proto_.checkHooks(), nullptr);
+}
+
+}  // namespace
+}  // namespace eecc

@@ -1,0 +1,124 @@
+// End-to-end conformance tests: clean fuzzing runs across all four
+// protocols, the differential cross-check, and the seeded-bug selftest
+// (EECC_CHECK_SELFTEST) with its counterexample round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "check/fuzzer.h"
+#include "core/experiment.h"
+#include "protocol_harness.h"
+
+namespace eecc {
+namespace {
+
+FuzzOptions quickOptions() {
+  FuzzOptions opt;
+  opt.opsPerTile = 150;
+  opt.sweepEvery = 10'000;
+  opt.outDir = ::testing::TempDir();
+  return opt;
+}
+
+TEST(Conformance, CleanRunHasNoViolationsUnderEveryProtocol) {
+  const FuzzOptions opt = quickOptions();
+  const Trace trace =
+      makeFuzzTrace(opt.chip, opt.workloadName, /*seed=*/11, opt.opsPerTile);
+  for (const ProtocolKind kind : allProtocolKinds()) {
+    const ProtocolRunReport r = runTraceChecked(
+        opt.chip, kind, trace, opt.sweepEvery, opt.progressBound);
+    EXPECT_EQ(r.violationCount, 0u) << protocolName(kind);
+    EXPECT_EQ(r.ops, trace.records().size()) << protocolName(kind);
+  }
+}
+
+TEST(Conformance, DifferentialImagesAgreeAcrossProtocols) {
+  SeedReport rep = fuzzOneSeed(quickOptions(), /*seed=*/5);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_TRUE(rep.mismatches.empty());
+  EXPECT_TRUE(rep.counterexample.empty());
+  ASSERT_EQ(rep.runs.size(), 4u);
+  // The per-block golden counts are the protocol-independent image.
+  for (std::size_t i = 1; i < rep.runs.size(); ++i) {
+    EXPECT_EQ(rep.runs[i].ops, rep.runs[0].ops);
+    EXPECT_EQ(rep.runs[i].image.size(), rep.runs[0].image.size());
+  }
+}
+
+TEST(Conformance, WorkloadDrivenExperimentPassesWithMonitorsAttached) {
+  ExperimentConfig cfg;
+  cfg.chip = testutil::smallChip();
+  cfg.protocol = ProtocolKind::DiCoProviders;
+  cfg.warmupCycles = 5'000;
+  cfg.windowCycles = 20'000;
+  cfg.conformanceCheck = true;
+  cfg.checkSweepEvery = 5'000;
+  const ExperimentResult r = runExperiment(cfg);
+  EXPECT_EQ(r.checkViolations, 0u);
+  EXPECT_GT(r.ops, 0u);
+}
+
+class ConformanceSelftest : public ::testing::Test {
+ protected:
+  void SetUp() override { setenv("EECC_CHECK_SELFTEST", "1", 1); }
+  void TearDown() override { unsetenv("EECC_CHECK_SELFTEST"); }
+};
+
+TEST_F(ConformanceSelftest, SeededBugIsCaughtAndCounterexampleReplays) {
+  FuzzOptions opt = quickOptions();
+  opt.protocols = {ProtocolKind::DiCo};
+  const SeedReport rep = fuzzOneSeed(opt, /*seed=*/2);
+  ASSERT_FALSE(rep.ok());
+  ASSERT_EQ(rep.runs.size(), 1u);
+  EXPECT_GT(rep.runs[0].violationCount, 0u);
+  ASSERT_FALSE(rep.counterexample.empty());
+
+  // Round-trip: the dumped (minimized) trace still reproduces under the
+  // buggy protocol...
+  const Trace cex = Trace::load(rep.counterexample);
+  EXPECT_GT(cex.records().size(), 0u);
+  EXPECT_LE(cex.records().size(), rep.records);
+  const ProtocolRunReport buggy = runTraceChecked(
+      opt.chip, ProtocolKind::DiCo, cex, opt.sweepEvery, opt.progressBound);
+  EXPECT_GT(buggy.violationCount, 0u);
+
+  // ...and passes once the fault is disabled (protocols read the env at
+  // construction).
+  unsetenv("EECC_CHECK_SELFTEST");
+  const ProtocolRunReport fixed = runTraceChecked(
+      opt.chip, ProtocolKind::DiCo, cex, opt.sweepEvery, opt.progressBound);
+  EXPECT_EQ(fixed.violationCount, 0u);
+
+  std::remove(rep.counterexample.c_str());
+}
+
+TEST_F(ConformanceSelftest, MinimizationShrinksTheFailingStream) {
+  FuzzOptions opt = quickOptions();
+  opt.protocols = {ProtocolKind::DiCo};
+  const Trace trace =
+      makeFuzzTrace(opt.chip, opt.workloadName, /*seed=*/2, opt.opsPerTile);
+  const Trace minimized = minimizeTrace(opt.chip, ProtocolKind::DiCo, trace,
+                                        opt.sweepEvery, opt.progressBound);
+  EXPECT_LT(minimized.records().size(), trace.records().size());
+  EXPECT_GT(minimized.records().size(), 0u);
+  const ProtocolRunReport r =
+      runTraceChecked(opt.chip, ProtocolKind::DiCo, minimized,
+                      opt.sweepEvery, opt.progressBound);
+  EXPECT_GT(r.violationCount, 0u);
+}
+
+TEST(Conformance, FuzzCampaignRunsSeedsInParallel) {
+  FuzzOptions opt = quickOptions();
+  opt.seeds = 4;
+  opt.opsPerTile = 80;
+  const FuzzReport report = fuzz(opt);
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.seeds.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i)
+    EXPECT_EQ(report.seeds[i].seed, opt.baseSeed + i);
+  EXPECT_EQ(report.totalViolations(), 0u);
+}
+
+}  // namespace
+}  // namespace eecc

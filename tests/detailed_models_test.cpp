@@ -4,31 +4,17 @@
 #include <gtest/gtest.h>
 
 #include "core/cmp_system.h"
+#include "protocol_harness.h"
 #include "workload/profile.h"
 
 namespace eecc {
 namespace {
 
-CmpConfig smallChip() {
-  CmpConfig cfg;
-  cfg.meshWidth = 4;
-  cfg.meshHeight = 4;
-  cfg.numAreas = 4;
-  cfg.l1 = CacheGeometry{128, 4, 1, 2};
-  cfg.l2 = CacheGeometry{512, 8, 2, 3};
-  cfg.l1cEntries = 128;
-  cfg.l2cEntries = 128;
-  cfg.dirCacheEntries = 128;
-  cfg.numMemControllers = 4;
-  return cfg;
-}
+using testutil::smallChip;
 
 BenchmarkProfile tinyProfile() {
-  BenchmarkProfile p = profiles::jbb();
-  p.privatePagesPerThread = 4;
-  p.vmSharedPages = 24;  // larger than the tiny L2 share: memory traffic
-  p.historyWindow = 256;
-  return p;
+  // 24 shared pages: larger than the tiny L2 share, forcing memory traffic.
+  return testutil::tinyProfile(profiles::jbb(), 4, 24);
 }
 
 struct ModelCase {

@@ -4,31 +4,16 @@
 
 #include "core/cmp_system.h"
 #include "core/experiment.h"
+#include "protocol_harness.h"
 #include "workload/profile.h"
 
 namespace eecc {
 namespace {
 
-CmpConfig smallChip() {
-  CmpConfig cfg;
-  cfg.meshWidth = 4;
-  cfg.meshHeight = 4;
-  cfg.numAreas = 4;
-  cfg.l1 = CacheGeometry{128, 4, 1, 2};
-  cfg.l2 = CacheGeometry{512, 8, 2, 3};
-  cfg.l1cEntries = 128;
-  cfg.l2cEntries = 128;
-  cfg.dirCacheEntries = 128;
-  cfg.numMemControllers = 4;
-  return cfg;
-}
+using testutil::smallChip;
 
 BenchmarkProfile tinyProfile() {
-  BenchmarkProfile p = profiles::apache();
-  p.privatePagesPerThread = 2;
-  p.vmSharedPages = 6;
-  p.historyWindow = 256;
-  return p;
+  return testutil::tinyProfile(profiles::apache(), 2, 6);
 }
 
 class SystemTest : public ::testing::TestWithParam<ProtocolKind> {};

@@ -8,6 +8,7 @@
 #include "noc/network.h"
 #include "protocols/protocol.h"
 #include "sim/event_queue.h"
+#include "workload/profile.h"
 
 namespace eecc::testutil {
 
@@ -24,6 +25,30 @@ inline CmpConfig smallConfig() {
   cfg.dirCacheEntries = 64;
   cfg.numMemControllers = 4;
   return cfg;
+}
+
+/// smallConfig with doubled caches — the full-stack integration chip
+/// (enough capacity that a synthetic workload makes forward progress,
+/// small enough that evictions still happen within a short run).
+inline CmpConfig smallChip() {
+  CmpConfig cfg = smallConfig();
+  cfg.l1 = CacheGeometry{128, 4, 1, 2};
+  cfg.l2 = CacheGeometry{512, 8, 2, 3};
+  cfg.l1cEntries = 128;
+  cfg.l2cEntries = 128;
+  cfg.dirCacheEntries = 128;
+  return cfg;
+}
+
+/// Shrinks a Table IV profile to a footprint the small test chips churn
+/// through quickly.
+inline BenchmarkProfile tinyProfile(BenchmarkProfile base,
+                                    std::uint64_t privatePagesPerThread,
+                                    std::uint64_t vmSharedPages) {
+  base.privatePagesPerThread = privatePagesPerThread;
+  base.vmSharedPages = vmSharedPages;
+  base.historyWindow = 256;
+  return base;
 }
 
 class Harness {

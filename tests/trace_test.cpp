@@ -5,25 +5,14 @@
 #include <cstdio>
 
 #include "core/cmp_system.h"
+#include "protocol_harness.h"
 #include "workload/profile.h"
 #include "workload/trace.h"
 
 namespace eecc {
 namespace {
 
-CmpConfig smallChip() {
-  CmpConfig cfg;
-  cfg.meshWidth = 4;
-  cfg.meshHeight = 4;
-  cfg.numAreas = 4;
-  cfg.l1 = CacheGeometry{64, 4, 1, 2};
-  cfg.l2 = CacheGeometry{256, 8, 2, 3};
-  cfg.l1cEntries = 64;
-  cfg.l2cEntries = 64;
-  cfg.dirCacheEntries = 64;
-  cfg.numMemControllers = 4;
-  return cfg;
-}
+using testutil::smallConfig;
 
 std::string tempTracePath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name + ".eecctrc";
@@ -47,7 +36,7 @@ TEST(Trace, RoundTripPreservesRecords) {
 }
 
 TEST(Trace, WriteTraceFromWorkloadIsDeterministic) {
-  const CmpConfig cfg = smallChip();
+  const CmpConfig cfg = smallConfig();
   const VmLayout layout = VmLayout::matched(cfg, 4);
   const std::string pathA = tempTracePath("wlA");
   const std::string pathB = tempTracePath("wlB");
@@ -79,7 +68,7 @@ TEST(Trace, SplitByTilePartitionsRecords) {
 }
 
 TEST(Trace, AddressesAreBlockAlignedInWorkloadTraces) {
-  const CmpConfig cfg = smallChip();
+  const CmpConfig cfg = smallConfig();
   const VmLayout layout = VmLayout::matched(cfg, 4);
   Workload w(cfg, layout, profiles::uniform4(profiles::lu()), 3);
   const std::string path = tempTracePath("aligned");
@@ -93,7 +82,7 @@ TEST(Trace, AddressesAreBlockAlignedInWorkloadTraces) {
 }
 
 TEST(TraceReplay, DrivesTheFullSystemCoherently) {
-  const CmpConfig cfg = smallChip();
+  const CmpConfig cfg = smallConfig();
   const VmLayout layout = VmLayout::matched(cfg, 4);
   const std::string path = tempTracePath("replay");
   {
@@ -112,7 +101,7 @@ TEST(TraceReplay, DrivesTheFullSystemCoherently) {
 }
 
 TEST(TraceReplay, ReplayIsDeterministic) {
-  const CmpConfig cfg = smallChip();
+  const CmpConfig cfg = smallConfig();
   const VmLayout layout = VmLayout::matched(cfg, 4);
   const std::string path = tempTracePath("replay_det");
   {

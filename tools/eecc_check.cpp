@@ -1,0 +1,142 @@
+// eecc_check — differential conformance fuzzer driver.
+//
+// Replays randomized bounded reference streams through all four coherence
+// protocols with the invariant monitors attached and cross-checks their
+// final memory images. On a violation, dumps a minimized counterexample
+// trace replayable with `eecc_sim --replay FILE --protocol P --check`.
+//
+//   eecc_check [options]
+//     --seeds N        number of randomized streams (default 10)
+//     --base-seed N    first seed (default 1)
+//     --ops N          operations per tile per stream (default 300)
+//     --workload NAME  Table IV workload to draw streams from
+//                      (default apache4x16p)
+//     --protocol P     dir | dico | providers | arin | all (default all)
+//     --out DIR        counterexample dump directory (default .)
+//     --jobs N         fuzz-pool width (default EECC_JOBS / hw threads)
+//     --sweep N        full-state sweep period in cycles (default 20000)
+//     --no-minimize    dump the full failing trace without ddmin
+//     --selftest       seed a known DiCo coherence bug (drops a sharer
+//                      registration) and expect the monitors to catch it:
+//                      exits 0 iff the bug IS caught and a counterexample
+//                      is dumped
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "check/fuzzer.h"
+
+using namespace eecc;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds N] [--base-seed N] [--ops N] "
+               "[--workload NAME]\n"
+               "       [--protocol dir|dico|providers|arin|all] [--out DIR] "
+               "[--jobs N]\n"
+               "       [--sweep N] [--no-minimize] [--selftest]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::vector<ProtocolKind> parseProtocols(const std::string& p) {
+  if (p == "dir" || p == "directory") return {ProtocolKind::Directory};
+  if (p == "dico") return {ProtocolKind::DiCo};
+  if (p == "providers") return {ProtocolKind::DiCoProviders};
+  if (p == "arin") return {ProtocolKind::DiCoArin};
+  if (p == "all")
+    return {ProtocolKind::Directory, ProtocolKind::DiCo,
+            ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin};
+  std::fprintf(stderr, "unknown protocol '%s'\n", p.c_str());
+  std::exit(2);
+}
+
+void printSeed(const SeedReport& s) {
+  std::printf("seed %llu: %llu records, %s\n",
+              static_cast<unsigned long long>(s.seed),
+              static_cast<unsigned long long>(s.records),
+              s.ok() ? "ok" : "FAILED");
+  for (const ProtocolRunReport& run : s.runs) {
+    if (run.violationCount == 0) continue;
+    std::printf("  %s: %llu violation(s)\n", protocolName(run.kind),
+                static_cast<unsigned long long>(run.violationCount));
+    for (const Violation& v : run.violations)
+      std::printf("    %s\n", v.str().c_str());
+  }
+  for (const std::string& m : s.mismatches)
+    std::printf("  image mismatch: %s\n", m.c_str());
+  if (!s.counterexample.empty())
+    std::printf("  counterexample: %s\n  replay: eecc_sim --fuzz-chip "
+                "--replay %s --protocol all --check\n",
+                s.counterexample.c_str(), s.counterexample.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzOptions opt;
+  opt.seeds = 10;
+  opt.sweepEvery = 20'000;
+  bool selftest = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--seeds") opt.seeds = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--base-seed") opt.baseSeed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--ops") opt.opsPerTile = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--workload") opt.workloadName = next();
+    else if (arg == "--protocol") opt.protocols = parseProtocols(next());
+    else if (arg == "--out") opt.outDir = next();
+    else if (arg == "--jobs") opt.jobs = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    else if (arg == "--sweep") opt.sweepEvery = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--no-minimize") opt.minimize = false;
+    else if (arg == "--selftest") selftest = true;
+    else if (arg == "--help" || arg == "-h") usage(argv[0]);
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+
+  if (selftest) {
+    // The DiCo protocols read this at construction: the owner "forgets"
+    // to register a reader, leaving an untracked stale copy.
+    setenv("EECC_CHECK_SELFTEST", "1", /*overwrite=*/1);
+    opt.protocols = {ProtocolKind::DiCo};
+  }
+
+  const FuzzReport report = fuzz(opt);
+  std::uint64_t failedSeeds = 0;
+  bool haveCounterexample = false;
+  for (const SeedReport& s : report.seeds) {
+    printSeed(s);
+    if (!s.ok()) ++failedSeeds;
+    haveCounterexample = haveCounterexample || !s.counterexample.empty();
+  }
+  std::printf("%llu/%llu seeds ok, %llu total violation(s)\n",
+              static_cast<unsigned long long>(report.seeds.size() -
+                                              failedSeeds),
+              static_cast<unsigned long long>(report.seeds.size()),
+              static_cast<unsigned long long>(report.totalViolations()));
+
+  if (selftest) {
+    // Inverted verdict: the seeded bug must be detected and reproducible.
+    if (failedSeeds == 0 || !haveCounterexample) {
+      std::fprintf(stderr,
+                   "selftest FAILED: seeded bug was not caught "
+                   "(%llu failed seeds, counterexample=%d)\n",
+                   static_cast<unsigned long long>(failedSeeds),
+                   haveCounterexample ? 1 : 0);
+      return 1;
+    }
+    std::printf("selftest ok: seeded bug caught and dumped\n");
+    return 0;
+  }
+  return report.ok() ? 0 : 1;
+}

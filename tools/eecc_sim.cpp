@@ -18,13 +18,21 @@
 //     --trace-ops N       operations per tile for --dump-trace (default
 //                         10000)
 //     --replay FILE       drive the cores from a recorded trace (streams
-//                         wrap around when exhausted)
+//                         wrap around when exhausted; with --check the
+//                         trace is replayed bounded, exactly once)
+//     --check             attach the conformance monitors (SWMR, data
+//                         value, metadata, progress); exit nonzero on any
+//                         violation
+//     --fuzz-chip         use eecc_check's small 4x4 fuzzing chip (needed
+//                         to replay its counterexample traces faithfully)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 
+#include "check/fuzzer.h"
+#include "check/monitor.h"
 #include "core/cmp_system.h"
 #include "core/runner.h"
 #include "workload/profile.h"
@@ -42,7 +50,8 @@ namespace {
                "[--contiguous]\n"
                "       [--no-dedup] [--no-prediction] [--ddr] "
                "[--flit-level] [--seed N] [--csv]\n"
-               "       [--dump-trace FILE] [--trace-ops N]\n",
+               "       [--dump-trace FILE] [--trace-ops N] "
+               "[--replay FILE] [--check] [--fuzz-chip]\n",
                argv0);
   std::exit(2);
 }
@@ -98,6 +107,7 @@ int main(int argc, char** argv) {
   bool csv = false;
   std::string tracePath;
   std::string replayPath;
+  bool check = false;
   std::uint64_t traceOps = 10'000;
   cfg.warmupCycles = 500'000;
   cfg.windowCycles = 250'000;
@@ -124,6 +134,8 @@ int main(int argc, char** argv) {
     else if (arg == "--dump-trace") tracePath = next();
     else if (arg == "--replay") replayPath = next();
     else if (arg == "--trace-ops") traceOps = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--check") check = true;
+    else if (arg == "--fuzz-chip") cfg.chip = fuzzChip();
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
@@ -151,7 +163,26 @@ int main(int argc, char** argv) {
 
   if (!replayPath.empty()) {
     const Trace trace = Trace::load(replayPath);
+    bool anyViolation = false;
     for (const ProtocolKind kind : parseProtocols(protocols)) {
+      if (check) {
+        // Counterexample replay: the exact recorded stream, once, under
+        // the full monitor battery (the path eecc_check prints on failure).
+        CmpSystem sys(cfg.chip, kind,
+                      std::make_unique<TraceSource>(trace, /*bounded=*/true));
+        MonitorSet monitors;
+        sys.attachChecker(&monitors, /*sweepEvery=*/20'000);
+        sys.run(Tick{1} << 40);
+        std::printf("%-15s replayed %llu/%llu ops  violations=%llu\n",
+                    protocolName(kind),
+                    static_cast<unsigned long long>(sys.opsCompleted()),
+                    static_cast<unsigned long long>(trace.records().size()),
+                    static_cast<unsigned long long>(monitors.log().total()));
+        for (const Violation& v : monitors.log().entries())
+          std::printf("  %s\n", v.str().c_str());
+        anyViolation = anyViolation || !monitors.ok();
+        continue;
+      }
       CmpSystem sys(cfg.chip, kind, std::make_unique<TraceSource>(trace));
       sys.warmup(cfg.warmupCycles);
       sys.run(cfg.windowCycles);
@@ -162,21 +193,31 @@ int main(int argc, char** argv) {
                       sys.network().stats().messages));
       sys.protocol().checkInvariants();
     }
-    return 0;
+    return anyViolation ? 1 : 0;
   }
 
   if (csv) printCsvHeader();
   // The requested protocols run concurrently on the experiment pool;
   // results print in request order, identical to a sequential loop.
+  cfg.conformanceCheck = check;
   std::vector<ExperimentConfig> cfgs;
   for (const ProtocolKind kind : parseProtocols(protocols)) {
     cfg.protocol = kind;
     cfgs.push_back(cfg);
   }
   ExperimentRunner runner;
+  std::uint64_t violations = 0;
   for (const ExperimentResult& r : runner.runMany(cfgs)) {
     if (csv) printCsv(r);
     else printHuman(r);
+    violations += r.checkViolations;
+    if (r.checkViolations != 0) {
+      std::printf("%-15s CHECK FAILED: %llu violation(s)\n",
+                  protocolName(r.protocol),
+                  static_cast<unsigned long long>(r.checkViolations));
+      for (const std::string& msg : r.checkMessages)
+        std::printf("  %s\n", msg.c_str());
+    }
   }
-  return 0;
+  return violations != 0 ? 1 : 0;
 }
