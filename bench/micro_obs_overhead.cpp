@@ -1,0 +1,105 @@
+// Microbenchmark guard for the observability layer: tracing must be
+// zero-cost when detached. With no sink attached the protocol and network
+// hot paths each pay exactly one untaken, [[unlikely]]-hinted branch per
+// access/message — the same pattern micro_check_overhead guards for the
+// conformance hooks — so we bound the cost from above: even the *attached*
+// null-sink configuration (virtual dispatch to empty bodies on every
+// transaction completion and message send, no recording) must stay within
+// 3% of the detached run. The ring-recording configuration is reported for
+// information only; it is an opt-in diagnostic mode, not a gate.
+//
+//   $ ./build/bench/micro_obs_overhead        (EECC_QUICK=1 for a smoke run)
+//
+// Exits nonzero when attached-null drops below 0.97x detached.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/cmp_system.h"
+#include "obs/trace.h"
+
+using namespace eecc;
+using namespace eecc::bench;
+
+namespace {
+
+/// Sink dispatch with no recording behind it: the upper bound on what the
+/// disabled fast path could possibly cost.
+struct NullTraceSink final : TraceSink {
+  void onTransaction(NodeId, Addr, AccessType, Tick, Tick, bool, MissClass,
+                     std::uint32_t) override {}
+  void onMessage(const Message&, Tick, Tick, std::uint32_t) override {}
+  void onBroadcast(const Message&, Tick, Tick) override {}
+};
+
+enum class Mode { Detached, NullSink, RingSink };
+
+CmpConfig benchChip() {
+  CmpConfig cfg;
+  cfg.meshWidth = 4;
+  cfg.meshHeight = 4;
+  cfg.numAreas = 4;
+  cfg.l1 = CacheGeometry{128, 4, 1, 2};
+  cfg.l2 = CacheGeometry{512, 8, 2, 3};
+  cfg.l1cEntries = 128;
+  cfg.l2cEntries = 128;
+  cfg.dirCacheEntries = 128;
+  cfg.numMemControllers = 4;
+  return cfg;
+}
+
+double eventsPerSec(Mode mode, Tick cycles) {
+  const CmpConfig cfg = benchChip();
+  CmpSystem system(cfg, ProtocolKind::DiCoProviders,
+                   VmLayout::matched(cfg, 4),
+                   profiles::uniform4(profiles::apache()), /*seed=*/7);
+  NullTraceSink nullSink;
+  RingTraceSink ring(/*capacity=*/1 << 16, /*recordHits=*/true);
+  if (mode == Mode::NullSink) {
+    system.attachTrace(&nullSink);
+  } else if (mode == Mode::RingSink) {
+    system.attachTrace(&ring);
+  }
+  const WallTimer timer;
+  system.run(cycles);
+  const double secs = timer.seconds();
+  return secs > 0.0
+             ? static_cast<double>(system.events().executedEvents()) / secs
+             : 0.0;
+}
+
+/// Best-of-3 to damp scheduler noise (the gate compares two same-process
+/// measurements, so systematic machine speed cancels out).
+double bestOf3(Mode mode, Tick cycles) {
+  double best = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    const double r = eventsPerSec(mode, cycles);
+    if (r > best) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const Tick cycles = quickMode() ? 200'000 : 2'000'000;
+  constexpr double kGate = 0.97;
+
+  eventsPerSec(Mode::Detached, cycles / 4);  // warm the allocator/caches
+
+  const double detached = bestOf3(Mode::Detached, cycles);
+  const double nullAttached = bestOf3(Mode::NullSink, cycles);
+  const double ringAttached = bestOf3(Mode::RingSink, cycles);
+
+  std::printf("trace-sink overhead (events/sec, best of 3)\n\n");
+  std::printf("%-24s %12.2f M/s  %6.3fx\n", "trace detached",
+              detached / 1e6, 1.0);
+  std::printf("%-24s %12.2f M/s  %6.3fx\n", "null sink attached",
+              nullAttached / 1e6, nullAttached / detached);
+  std::printf("%-24s %12.2f M/s  %6.3fx\n", "ring sink (hits too)",
+              ringAttached / 1e6, ringAttached / detached);
+
+  const double ratio = nullAttached / detached;
+  std::printf("\ngate: null-attached/detached = %.3f %s %.2fx\n", ratio,
+              ratio >= kGate ? ">=" : "< BELOW", kGate);
+  return ratio >= kGate ? 0 : 1;
+}

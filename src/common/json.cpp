@@ -1,0 +1,147 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace eecc {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newlineIndent() {
+  std::fputc('\n', f_);
+  for (std::size_t i = 0; i < stack_.size(); ++i) std::fputs("  ", f_);
+}
+
+void JsonWriter::beforeValue() {
+  EECC_CHECK_MSG(!finished_, "JsonWriter: write after finish()");
+  if (afterKey_) {
+    afterKey_ = false;
+    return;  // value sits on the key's line
+  }
+  if (!stack_.empty()) {
+    EECC_CHECK_MSG(stack_.back() == Scope::Array,
+                   "JsonWriter: object member without key()");
+    if (!firstInScope_) std::fputc(',', f_);
+    newlineIndent();
+  }
+  firstInScope_ = false;
+}
+
+void JsonWriter::beginObject() {
+  beforeValue();
+  std::fputc('{', f_);
+  stack_.push_back(Scope::Object);
+  firstInScope_ = true;
+}
+
+void JsonWriter::endObject() {
+  EECC_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::Object &&
+                     !afterKey_,
+                 "JsonWriter: unbalanced endObject");
+  const bool empty = firstInScope_;
+  stack_.pop_back();
+  if (!empty) newlineIndent();
+  std::fputc('}', f_);
+  firstInScope_ = false;
+}
+
+void JsonWriter::beginArray() {
+  beforeValue();
+  std::fputc('[', f_);
+  stack_.push_back(Scope::Array);
+  firstInScope_ = true;
+}
+
+void JsonWriter::endArray() {
+  EECC_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::Array,
+                 "JsonWriter: unbalanced endArray");
+  const bool empty = firstInScope_;
+  stack_.pop_back();
+  if (!empty) newlineIndent();
+  std::fputc(']', f_);
+  firstInScope_ = false;
+}
+
+void JsonWriter::key(std::string_view k) {
+  EECC_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::Object &&
+                     !afterKey_,
+                 "JsonWriter: key() outside an object");
+  if (!firstInScope_) std::fputc(',', f_);
+  newlineIndent();
+  std::fprintf(f_, "\"%s\": ", jsonEscape(k).c_str());
+  firstInScope_ = false;
+  afterKey_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  beforeValue();
+  std::fprintf(f_, "\"%s\"", jsonEscape(s).c_str());
+}
+
+void JsonWriter::value(double d) {
+  if (!std::isfinite(d)) {
+    null();
+    return;
+  }
+  beforeValue();
+  // %.17g round-trips every double; trim the common integral case.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  std::fputs(buf, f_);
+}
+
+void JsonWriter::value(std::uint64_t u) {
+  beforeValue();
+  std::fprintf(f_, "%llu", static_cast<unsigned long long>(u));
+}
+
+void JsonWriter::value(std::int64_t i) {
+  beforeValue();
+  std::fprintf(f_, "%lld", static_cast<long long>(i));
+}
+
+void JsonWriter::value(bool b) {
+  beforeValue();
+  std::fputs(b ? "true" : "false", f_);
+}
+
+void JsonWriter::null() {
+  beforeValue();
+  std::fputs("null", f_);
+}
+
+void JsonWriter::finish() {
+  if (finished_) return;
+  EECC_CHECK_MSG(stack_.empty() && !afterKey_,
+                 "JsonWriter: finish() with open scopes");
+  std::fputc('\n', f_);
+  finished_ = true;
+}
+
+}  // namespace eecc

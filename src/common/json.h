@@ -1,0 +1,80 @@
+// Minimal JSON emission utilities shared by every exporter (the sweep
+// record of core/runner, the observability layer's stats/timeline/trace
+// writers). Two layers:
+//
+//  * jsonEscape() — RFC 8259 string escaping. Every string that reaches a
+//    JSON file MUST pass through it: a workload or sweep name containing
+//    `"` or `\` used to produce an unparseable BENCH_sweep.json.
+//  * JsonWriter — a streaming writer over a FILE* that tracks the
+//    object/array nesting and inserts commas and indentation itself, so
+//    call sites cannot produce trailing-comma or unbalanced output.
+//    Non-finite doubles are emitted as `null` (JSON has no NaN/Inf).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eecc {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included): `"` and `\` are backslash-escaped, control characters become
+/// \n \t \r \b \f or \u00XX.
+std::string jsonEscape(std::string_view s);
+
+class JsonWriter {
+ public:
+  /// Writes to `f` (not owned; caller opens and closes).
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  // --- Structure ---
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+  /// Key of the next member (inside an object).
+  void key(std::string_view k);
+
+  // --- Values (as array elements or after key()) ---
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double d);
+  void value(std::uint64_t u);
+  void value(std::int64_t i);
+  void value(unsigned u) { value(static_cast<std::uint64_t>(u)); }
+  void value(int i) { value(static_cast<std::int64_t>(i)); }
+  void value(bool b);
+  void null();
+
+  // --- Convenience: key + value in one call ---
+  template <class V>
+  void field(std::string_view k, V v) {
+    key(k);
+    value(v);
+  }
+
+  /// Terminates the document with a final newline. All scopes must be
+  /// closed. Implicit in the destructor for convenience.
+  void finish();
+
+  ~JsonWriter() { finish(); }
+
+ private:
+  enum class Scope : std::uint8_t { Object, Array };
+
+  void beforeValue();   ///< Comma/indent bookkeeping before any value.
+  void newlineIndent();
+
+  std::FILE* f_;
+  std::vector<Scope> stack_;
+  bool firstInScope_ = true;   ///< No element emitted in the current scope.
+  bool afterKey_ = false;      ///< A key was written; value comes inline.
+  bool finished_ = false;
+};
+
+}  // namespace eecc

@@ -3,6 +3,7 @@
 // harness reports (message counts, link traversals, latency distributions).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -11,26 +12,35 @@
 namespace eecc {
 
 /// Accumulates samples of a scalar quantity (e.g. miss latency).
+///
+/// Variance uses Welford's online algorithm: the textbook
+/// `sumsq/n - mean^2` form suffers catastrophic cancellation for tight
+/// distributions (millions of near-identical latencies drive it negative),
+/// whereas Welford's recurrence keeps the centered second moment directly.
+/// Merging two accumulators uses Chan's parallel formula.
 class Accumulator {
  public:
   void add(double value) {
     count_ += 1;
     sum_ += value;
-    sumsq_ += value * value;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
     if (count_ == 1 || value < min_) min_ = value;
     if (count_ == 1 || value > max_) max_ = value;
   }
 
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
-  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double mean() const { return count_ ? mean_ : 0.0; }
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
-  /// Population variance.
+  /// Population variance; never negative (the centered moment is clamped
+  /// against the tiny negative residues rounding can still produce).
   double variance() const {
     if (count_ == 0) return 0.0;
-    const double m = mean();
-    return sumsq_ / static_cast<double>(count_) - m * m;
+    const double v = m2_ / static_cast<double>(count_);
+    return v > 0.0 ? v : 0.0;
   }
 
   void reset() { *this = Accumulator{}; }
@@ -39,22 +49,31 @@ class Accumulator {
     if (other.count_ == 0) return *this;
     if (count_ == 0 || other.min_ < min_) min_ = other.min_;
     if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    // Chan et al.: M2 = M2_a + M2_b + delta^2 * n_a*n_b/(n_a+n_b).
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    mean_ += delta * n2 / (n1 + n2);
     count_ += other.count_;
     sum_ += other.sum_;
-    sumsq_ += other.sumsq_;
     return *this;
   }
 
  private:
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
-  double sumsq_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  ///< Centered second moment: sum of (x - mean)^2.
   double min_ = 0.0;
   double max_ = 0.0;
 };
 
 /// Histogram with uniform buckets over [lo, hi); out-of-range samples land
-/// in the saturating edge buckets.
+/// in the saturating edge buckets. Non-finite samples are routed
+/// deterministically: -inf to the lowest bucket, +inf and NaN to the
+/// highest. summary() accumulates finite samples only (a single NaN would
+/// otherwise poison every derived moment).
 class Histogram {
  public:
   Histogram() : Histogram(0.0, 1.0, 1) {}
@@ -62,14 +81,25 @@ class Histogram {
       : lo_(lo), hi_(hi), counts_(buckets, 0) {}
 
   void add(double value) {
+    const std::size_t last = counts_.size() - 1;
+    if (!std::isfinite(value)) {
+      counts_[value < 0.0 ? 0 : last] += 1;  // NaN compares false: last
+      return;
+    }
     acc_.add(value);
+    // Clamp in floating point *before* any integer cast: a huge sample
+    // converted to int64 first is undefined behaviour, not saturation.
     const double span = hi_ - lo_;
-    auto idx = static_cast<std::int64_t>((value - lo_) / span *
-                                         static_cast<double>(counts_.size()));
-    if (idx < 0) idx = 0;
-    if (idx >= static_cast<std::int64_t>(counts_.size()))
-      idx = static_cast<std::int64_t>(counts_.size()) - 1;
-    counts_[static_cast<std::size_t>(idx)] += 1;
+    const double pos = (value - lo_) / span * static_cast<double>(counts_.size());
+    std::size_t idx;
+    if (!(pos > 0.0)) {
+      idx = 0;
+    } else if (pos >= static_cast<double>(counts_.size())) {
+      idx = last;
+    } else {
+      idx = static_cast<std::size_t>(pos);
+    }
+    counts_[idx] += 1;
   }
 
   const std::vector<std::uint64_t>& buckets() const { return counts_; }

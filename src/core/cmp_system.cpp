@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "check/monitor.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 
 namespace eecc {
 
@@ -91,31 +93,57 @@ void CmpSystem::run(Tick cycles) {
     if (core.localTime < events_.now()) core.localTime = events_.now();
     events_.scheduleAfter(0, [this, t] { coreStep(t); });
   }
-  if (checker_ == nullptr) {
+  if (checker_ == nullptr && timeline_ == nullptr) {
     events_.runUntil(stopAt_);
-  } else {
-    // Chunked so the monitors' full-state sweeps run between event bursts.
-    // (A self-rescheduling sweep event would keep the queue non-empty and
-    // break the runToCompletion() drain below.)
-    Tick lastSweep = kTickMax;
-    while (events_.now() < stopAt_ && !events_.empty()) {
-      events_.runUntil(std::min(stopAt_, events_.now() + sweepEvery_));
+    // Drain in-flight misses (no new operations are issued past stopAt_).
+    events_.runToCompletion();
+    return;
+  }
+  // Chunked so the monitors' full-state sweeps and the timeline samples
+  // run between event bursts. (A self-rescheduling sweep/sample event
+  // would keep the queue non-empty and break the runToCompletion() drain
+  // below.) Neither mutates simulator state, so event order and every
+  // counter are identical to the unchunked run.
+  Tick lastSweep = kTickMax;
+  Tick lastSample = kTickMax;
+  Tick nextSample =
+      timeline_ != nullptr ? events_.now() + timeline_->period() : Tick{0};
+  while (events_.now() < stopAt_ && !events_.empty()) {
+    Tick target = stopAt_;
+    if (checker_ != nullptr)
+      target = std::min(target, events_.now() + sweepEvery_);
+    if (timeline_ != nullptr) target = std::min(target, nextSample);
+    events_.runUntil(target);
+    if (checker_ != nullptr) {
       checker_->sweep(*protocol_, events_.now());
       lastSweep = events_.now();
     }
-    events_.runToCompletion();  // drain in-flight misses
-    if (events_.now() != lastSweep)
-      checker_->sweep(*protocol_, events_.now());
-    return;
+    if (timeline_ != nullptr && events_.now() >= nextSample) {
+      timeline_->sample(events_.now());
+      lastSample = events_.now();
+      nextSample = events_.now() + timeline_->period();
+    }
   }
-  // Drain in-flight misses (no new operations are issued past stopAt_).
-  events_.runToCompletion();
+  events_.runToCompletion();  // drain in-flight misses
+  if (checker_ != nullptr && events_.now() != lastSweep)
+    checker_->sweep(*protocol_, events_.now());
+  if (timeline_ != nullptr && events_.now() != lastSample)
+    timeline_->sample(events_.now());
 }
 
 void CmpSystem::attachChecker(MonitorSet* checker, Tick sweepEvery) {
   checker_ = checker;
   sweepEvery_ = sweepEvery > 0 ? sweepEvery : 50'000;
   protocol_->setCheckHooks(checker);
+}
+
+void CmpSystem::attachTimeline(TimelineSampler* sampler) {
+  timeline_ = sampler;
+}
+
+void CmpSystem::attachTrace(TraceSink* sink) {
+  protocol_->setTraceSink(sink);
+  net_.setTraceSink(sink);
 }
 
 void CmpSystem::warmup(Tick cycles) {

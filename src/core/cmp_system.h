@@ -26,6 +26,8 @@
 namespace eecc {
 
 class MonitorSet;
+class TimelineSampler;
+class TraceSink;
 
 class CmpSystem {
  public:
@@ -55,6 +57,17 @@ class CmpSystem {
   /// per access (see check/hooks.h).
   void attachChecker(MonitorSet* checker, Tick sweepEvery = 50'000);
 
+  /// Attaches the observability timeline sampler: run() is chunked so
+  /// `sampler` captures a metrics row every sampler->period() cycles, plus
+  /// one after the final drain. Sampling is a pure observation — event
+  /// order and every counter are bit-identical with or without it. Pass
+  /// nullptr to detach.
+  void attachTimeline(TimelineSampler* sampler);
+
+  /// Attaches the message/transaction trace sink to both the protocol and
+  /// the network (obs/trace.h); nullptr detaches. Zero-cost when detached.
+  void attachTrace(TraceSink* sink);
+
   Tick cycles() const { return cyclesRun_; }
   std::uint64_t opsCompleted() const;
   std::uint64_t opsCompleted(NodeId tile) const {
@@ -75,6 +88,7 @@ class CmpSystem {
   }
   const CmpConfig& config() const { return cfg_; }
   EventQueue& events() { return events_; }
+  const EventQueue& events() const { return events_; }
 
  private:
   struct Core {
@@ -103,6 +117,7 @@ class CmpSystem {
   Tick cyclesRun_ = 0;
   MonitorSet* checker_ = nullptr;  // not owned
   Tick sweepEvery_ = 50'000;
+  TimelineSampler* timeline_ = nullptr;  // not owned
 };
 
 }  // namespace eecc

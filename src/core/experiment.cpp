@@ -4,6 +4,7 @@
 
 #include "check/monitor.h"
 #include "core/runner.h"
+#include "obs/system_metrics.h"
 #include "workload/profile.h"
 
 namespace eecc {
@@ -38,9 +39,26 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     system.attachChecker(monitors.get(), cfg.checkSweepEvery);
   }
   if (cfg.warmupCycles > 0) system.warmup(cfg.warmupCycles);
+
+  // Observability attaches after warmup so the timeline, trace and
+  // snapshot cover exactly the measured window.
+  ExperimentResult r;
+  MetricRegistry registry;
+  if (cfg.obs.any()) registerSystem(registry, system);
+  if (cfg.obs.timelineEvery > 0) {
+    r.timeline = std::make_shared<TimelineSampler>(
+        &registry, cfg.obs.timelineEvery, cfg.obs.timelineMetrics);
+    system.attachTimeline(r.timeline.get());
+  }
+  if (cfg.obs.traceCapacity > 0) {
+    r.trace = std::make_shared<RingTraceSink>(cfg.obs.traceCapacity,
+                                              cfg.obs.traceHits);
+    system.attachTrace(r.trace.get());
+  }
+
   system.run(cfg.windowCycles);
 
-  ExperimentResult r;
+  if (cfg.obs.snapshotMetrics) r.metrics = registry.snapshot();
   if (monitors != nullptr) {
     r.checkViolations = monitors->log().total();
     for (const Violation& v : monitors->log().entries())

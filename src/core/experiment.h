@@ -4,13 +4,38 @@
 // derived dynamic power numbers of Figures 7 and 8.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/cmp_system.h"
 #include "energy/energy_model.h"
+#include "obs/metric_registry.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 
 namespace eecc {
+
+/// Observability attachments for one experiment (DESIGN.md §10). All off
+/// by default — a default-constructed ObsOptions adds zero work and zero
+/// allocations to the run.
+struct ObsOptions {
+  /// Snapshot every registry metric into ExperimentResult::metrics after
+  /// the run (the --stats-json / --stats-csv backing store).
+  bool snapshotMetrics = false;
+  /// Timeline sample period in cycles; 0 disables the sampler.
+  Tick timelineEvery = 0;
+  /// Metrics the timeline samples (registry names; empty = all).
+  std::vector<std::string> timelineMetrics;
+  /// Trace ring capacity in records; 0 disables the trace sink.
+  std::size_t traceCapacity = 0;
+  /// Record L1 hits in the trace (floods the ring; off by default).
+  bool traceHits = false;
+
+  bool any() const {
+    return snapshotMetrics || timelineEvery > 0 || traceCapacity > 0;
+  }
+};
 
 struct ExperimentConfig {
   CmpConfig chip{};
@@ -29,6 +54,10 @@ struct ExperimentConfig {
   /// itself is unaffected (monitors collect, they don't abort).
   bool conformanceCheck = false;
   Tick checkSweepEvery = 50'000;  ///< Full-state sweep period when checking.
+  /// Observability attachments (metrics snapshot, timeline, trace). The
+  /// timeline and trace observe the measured window only (attached after
+  /// warmup); none of them perturbs simulation results.
+  ObsOptions obs{};
 };
 
 struct ExperimentResult {
@@ -51,6 +80,14 @@ struct ExperimentResult {
   CacheEnergyEvents events;
   NocStats noc;
   double dedupSavedFraction = 0.0;
+
+  // --- Observability artifacts (only populated when cfg.obs asks) ---
+  /// Full registry snapshot taken after the run (obs.snapshotMetrics).
+  std::vector<MetricRegistry::Sample> metrics;
+  /// Per-run time series (obs.timelineEvery > 0).
+  std::shared_ptr<TimelineSampler> timeline;
+  /// Message/transaction trace of the measured window (obs.traceCapacity).
+  std::shared_ptr<RingTraceSink> trace;
 
   // Whole-chip dynamic power (mW) over the run window.
   CacheEnergyBreakdown cachePj;

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/check.h"
+#include "common/json.h"
 
 namespace eecc {
 
@@ -119,33 +120,37 @@ void writeSweepJson(
     totalEvents += m.simEvents;
     sumExpSeconds += m.wallSeconds;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"sweep\": \"%s\",\n", sweepName.c_str());
-  std::fprintf(f, "  \"jobs\": %u,\n", jobs);
-  std::fprintf(f, "  \"experiments\": %zu,\n", metrics.size());
-  std::fprintf(f, "  \"wall_seconds\": %.3f,\n", sweepWallSeconds);
-  std::fprintf(f, "  \"sum_experiment_seconds\": %.3f,\n", sumExpSeconds);
-  std::fprintf(f, "  \"total_sim_events\": %llu,\n",
-               static_cast<unsigned long long>(totalEvents));
-  std::fprintf(f, "  \"events_per_wall_second\": %.0f,\n",
-               sweepWallSeconds > 0.0
-                   ? static_cast<double>(totalEvents) / sweepWallSeconds
-                   : 0.0);
-  for (const auto& [key, value] : extraFields)
-    std::fprintf(f, "  \"%s\": %.4f,\n", key.c_str(), value);
-  std::fprintf(f, "  \"runs\": [\n");
-  for (std::size_t i = 0; i < metrics.size(); ++i) {
-    const RunMetrics& m = metrics[i];
-    std::fprintf(f,
-                 "    {\"workload\": \"%s\", \"protocol\": \"%s\", "
-                 "\"sim_events\": %llu, \"ops\": %llu, "
-                 "\"wall_seconds\": %.3f, \"events_per_sec\": %.0f}%s\n",
-                 m.workload.c_str(), protocolName(m.protocol),
-                 static_cast<unsigned long long>(m.simEvents),
-                 static_cast<unsigned long long>(m.ops), m.wallSeconds,
-                 m.eventsPerSec(), i + 1 < metrics.size() ? "," : "");
+  {
+    // JsonWriter escapes every name — a sweep or workload called e.g.
+    // `mixed"com` must still produce a parseable file.
+    JsonWriter w(f);
+    w.beginObject();
+    w.field("sweep", sweepName);
+    w.field("jobs", jobs);
+    w.field("experiments", static_cast<std::uint64_t>(metrics.size()));
+    w.field("wall_seconds", sweepWallSeconds);
+    w.field("sum_experiment_seconds", sumExpSeconds);
+    w.field("total_sim_events", totalEvents);
+    w.field("events_per_wall_second",
+            sweepWallSeconds > 0.0
+                ? static_cast<double>(totalEvents) / sweepWallSeconds
+                : 0.0);
+    for (const auto& [key, value] : extraFields) w.field(key, value);
+    w.key("runs");
+    w.beginArray();
+    for (const RunMetrics& m : metrics) {
+      w.beginObject();
+      w.field("workload", m.workload);
+      w.field("protocol", protocolName(m.protocol));
+      w.field("sim_events", m.simEvents);
+      w.field("ops", m.ops);
+      w.field("wall_seconds", m.wallSeconds);
+      w.field("events_per_sec", m.eventsPerSec());
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
   }
-  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
 }
 

@@ -1,5 +1,7 @@
 #include "noc/network.h"
 
+#include "obs/trace.h"
+
 namespace eecc {
 
 void Network::deliverAt(Tick when, Message msg) {
@@ -70,6 +72,10 @@ void Network::send(const Message& msg) {
   stats_.routings += route.size() + 1;  // every router visited incl. source
   stats_.unicastLatency.add(static_cast<double>(arrival - events_.now()));
 
+  if (trace_ != nullptr) [[unlikely]]
+    trace_->onMessage(msg, events_.now(), arrival,
+                      static_cast<std::uint32_t>(route.size()));
+
   deliverAt(arrival, msg);
 }
 
@@ -92,6 +98,7 @@ void Network::broadcast(const Message& msg) {
   // a flit-level model); broadcasts are rare enough that this is a
   // second-order effect, and their energy is fully charged above.
   const Tick base = events_.now();
+  Tick lastArrive = base;
   for (NodeId n = 0; n < topo_.nodeCount(); ++n) {
     Message copy = msg;
     copy.dst = n;
@@ -100,8 +107,11 @@ void Network::broadcast(const Message& msg) {
                           : static_cast<Tick>(topo_.distance(msg.src, n)) *
                                     cfg_.hopLatency() +
                                 (flits - 1);
+    if (base + dist > lastArrive) lastArrive = base + dist;
     deliverAt(base + dist, copy);
   }
+  if (trace_ != nullptr) [[unlikely]]
+    trace_->onBroadcast(msg, base, lastArrive);
 }
 
 }  // namespace eecc

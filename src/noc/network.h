@@ -23,6 +23,8 @@
 
 namespace eecc {
 
+class TraceSink;
+
 struct NetworkConfig {
   Tick linkCycles = 2;
   Tick switchCycles = 2;
@@ -78,6 +80,13 @@ class Network {
 
   const MeshTopology& topology() const { return topo_; }
   const NetworkConfig& config() const { return cfg_; }
+
+  /// Attaches (or detaches, with nullptr) the observability trace sink:
+  /// every NoC message reports its send time and modeled arrival. A single
+  /// [[unlikely]] null check when detached (obs/trace.h).
+  void setTraceSink(TraceSink* sink) { trace_ = sink; }
+  TraceSink* traceSink() const { return trace_; }
+
   NocStats& stats() { return stats_; }
   const NocStats& stats() const { return stats_; }
   void resetStats() { stats_ = NocStats{}; }
@@ -106,6 +115,7 @@ class Network {
   const MeshTopology& topo_;
   NetworkConfig cfg_;
   Handler handler_;
+  TraceSink* trace_ = nullptr;  ///< Observability trace sink; null = off.
   std::vector<Tick> linkBusyUntil_;   // message-level occupancy
   std::vector<Tick> linkFlitSlot_;    // flit-level next free cycle
   NocStats stats_;

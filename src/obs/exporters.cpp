@@ -1,0 +1,207 @@
+#include "obs/exporters.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/json.h"
+#include "common/types.h"
+
+namespace eecc {
+
+namespace {
+
+std::FILE* openOrComplain(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    std::fprintf(stderr, "obs exporter: cannot open %s\n", path.c_str());
+  return f;
+}
+
+/// RFC-4180 CSV field quoting: quoted iff the value contains a comma,
+/// quote or newline; embedded quotes double.
+std::string csvField(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string hexBlock(Addr block) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%" PRIx64, block);
+  return buf;
+}
+
+}  // namespace
+
+bool writeStatsJson(const std::string& path,
+                    const std::vector<MetricsDoc>& runs) {
+  std::FILE* f = openOrComplain(path);
+  if (f == nullptr) return false;
+  {
+    JsonWriter w(f);
+    w.beginObject();
+    w.key("runs");
+    w.beginArray();
+    for (const MetricsDoc& run : runs) {
+      w.beginObject();
+      w.field("workload", run.workload);
+      w.field("protocol", run.protocol);
+      w.key("metrics");
+      w.beginObject();
+      for (const MetricRegistry::Sample& s : run.samples) {
+        w.key(s.name);
+        if (s.kind == MetricRegistry::Kind::Counter) w.value(s.u64);
+        else w.value(s.f64);
+      }
+      w.endObject();
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool writeStatsCsv(const std::string& path,
+                   const std::vector<MetricsDoc>& runs) {
+  std::FILE* f = openOrComplain(path);
+  if (f == nullptr) return false;
+  std::fprintf(f, "workload,protocol,metric,value\n");
+  for (const MetricsDoc& run : runs) {
+    const std::string prefix =
+        csvField(run.workload) + "," + csvField(run.protocol) + ",";
+    for (const MetricRegistry::Sample& s : run.samples) {
+      if (s.kind == MetricRegistry::Kind::Counter) {
+        std::fprintf(f, "%s%s,%llu\n", prefix.c_str(),
+                     csvField(s.name).c_str(),
+                     static_cast<unsigned long long>(s.u64));
+      } else {
+        std::fprintf(f, "%s%s,%.17g\n", prefix.c_str(),
+                     csvField(s.name).c_str(), s.f64);
+      }
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool writeTimelineJson(const std::string& path, const TimelineSampler& tl,
+                       const std::string& workload,
+                       const std::string& protocol) {
+  std::FILE* f = openOrComplain(path);
+  if (f == nullptr) return false;
+  {
+    JsonWriter w(f);
+    w.beginObject();
+    w.field("workload", workload);
+    w.field("protocol", protocol);
+    w.field("every", static_cast<std::uint64_t>(tl.period()));
+    w.key("metrics");
+    w.beginArray();
+    for (const std::string& name : tl.names()) w.value(name);
+    w.endArray();
+    w.key("rows");
+    w.beginArray();
+    for (const TimelineSampler::Row& row : tl.rows()) {
+      w.beginObject();
+      w.field("tick", static_cast<std::uint64_t>(row.tick));
+      w.key("values");
+      w.beginArray();
+      for (const double v : row.values) w.value(v);
+      w.endArray();
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool writeChromeTrace(const std::string& path, const RingTraceSink& sink) {
+  std::FILE* f = openOrComplain(path);
+  if (f == nullptr) return false;
+  {
+    JsonWriter w(f);
+    w.beginArray();
+
+    // Process-name metadata so the two lanes are labeled in the viewer.
+    for (const auto& [pid, name] :
+         {std::pair<int, const char*>{0, "coherence transactions"},
+          std::pair<int, const char*>{1, "network messages"}}) {
+      w.beginObject();
+      w.field("name", "process_name");
+      w.field("ph", "M");
+      w.field("pid", pid);
+      w.field("tid", 0);
+      w.key("args");
+      w.beginObject();
+      w.field("name", name);
+      w.endObject();
+      w.endObject();
+    }
+
+    sink.forEach([&w](const RingTraceSink::Record& r) {
+      using Kind = RingTraceSink::Record::Kind;
+      w.beginObject();
+      switch (r.kind) {
+        case Kind::Hit:
+        case Kind::Miss: {
+          const bool hit = r.kind == Kind::Hit;
+          w.field("name", hit              ? "l1-hit"
+                          : r.cls == MissClass::kCount
+                              ? "queued-hit"
+                              : missClassName(r.cls));
+          w.field("cat", hit ? "hit" : "miss");
+          w.field("ph", "X");
+          w.field("ts", static_cast<std::uint64_t>(r.start));
+          w.field("dur", static_cast<std::uint64_t>(r.end - r.start));
+          w.field("pid", 0);
+          w.field("tid", static_cast<std::int64_t>(r.tile));
+          w.key("args");
+          w.beginObject();
+          w.field("block", hexBlock(r.block));
+          w.field("type", r.access == AccessType::Read ? "R" : "W");
+          if (!hit) w.field("links", static_cast<std::uint64_t>(r.links));
+          w.endObject();
+          break;
+        }
+        case Kind::Message:
+        case Kind::Broadcast: {
+          const bool bcast = r.kind == Kind::Broadcast;
+          w.field("name", (bcast ? "bcast." : "msg.") +
+                              std::to_string(r.msgType));
+          w.field("cat", r.msgClass == 0 ? "control" : "data");
+          w.field("ph", "X");
+          w.field("ts", static_cast<std::uint64_t>(r.start));
+          w.field("dur", static_cast<std::uint64_t>(r.end - r.start));
+          w.field("pid", 1);
+          w.field("tid", static_cast<std::int64_t>(r.tile));
+          w.key("args");
+          w.beginObject();
+          w.field("block", hexBlock(r.block));
+          if (bcast) {
+            w.field("dst", "all");
+          } else {
+            w.field("dst", static_cast<std::int64_t>(r.dst));
+            w.field("hops", static_cast<std::uint64_t>(r.links));
+          }
+          w.endObject();
+          break;
+        }
+      }
+      w.endObject();
+    });
+    w.endArray();
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace eecc

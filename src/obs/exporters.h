@@ -1,0 +1,47 @@
+// File exporters for the observability layer (DESIGN.md §10): the
+// `--stats-json` / `--stats-csv` / `--timeline` / `--trace-out` outputs of
+// eecc_sim. All JSON goes through common/json.h (escaped, comma-safe,
+// non-finite -> null) and validates under `python3 -m json.tool`; the
+// trace writer emits the Chrome trace_event array format, loadable in
+// chrome://tracing and Perfetto.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metric_registry.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+
+namespace eecc {
+
+/// One run's worth of metrics in a stats export (one per protocol when
+/// eecc_sim sweeps several).
+struct MetricsDoc {
+  std::string workload;
+  std::string protocol;
+  std::vector<MetricRegistry::Sample> samples;
+};
+
+/// `{"runs": [{"workload", "protocol", "metrics": {name: value, ...}}]}`.
+/// Counters are emitted as integers, gauges as doubles. Returns false when
+/// the file cannot be opened (diagnostic on stderr).
+bool writeStatsJson(const std::string& path,
+                    const std::vector<MetricsDoc>& runs);
+
+/// `workload,protocol,metric,value` rows, one per metric per run.
+bool writeStatsCsv(const std::string& path,
+                   const std::vector<MetricsDoc>& runs);
+
+/// `{"every": N, "metrics": [...], "rows": [{"tick": T, "values": [...]}]}`.
+bool writeTimelineJson(const std::string& path, const TimelineSampler& tl,
+                       const std::string& workload,
+                       const std::string& protocol);
+
+/// Chrome trace_event JSON (array form). Transactions render as complete
+/// ("X") spans on pid 0 with one thread per tile, named by MissClass;
+/// messages as spans on pid 1, one thread per source node. Opens in
+/// chrome://tracing and ui.perfetto.dev.
+bool writeChromeTrace(const std::string& path, const RingTraceSink& sink);
+
+}  // namespace eecc

@@ -1,0 +1,72 @@
+#include "obs/metric_registry.h"
+
+#include "common/check.h"
+
+namespace eecc {
+
+void MetricRegistry::addCounter(std::string name, CounterFn fn) {
+  EECC_CHECK_MSG(static_cast<bool>(fn), "null counter accessor");
+  const auto [it, inserted] = metrics_.emplace(
+      std::move(name), Metric{Kind::Counter, std::move(fn), {}});
+  EECC_CHECK_MSG(inserted, "duplicate metric name");
+  (void)it;
+}
+
+void MetricRegistry::addGauge(std::string name, GaugeFn fn) {
+  EECC_CHECK_MSG(static_cast<bool>(fn), "null gauge accessor");
+  const auto [it, inserted] = metrics_.emplace(
+      std::move(name), Metric{Kind::Gauge, {}, std::move(fn)});
+  EECC_CHECK_MSG(inserted, "duplicate metric name");
+  (void)it;
+}
+
+void MetricRegistry::addAccumulator(const std::string& prefix,
+                                    const Accumulator* acc) {
+  EECC_CHECK(acc != nullptr);
+  addCounter(prefix + ".count", [acc] { return acc->count(); });
+  addGauge(prefix + ".sum", [acc] { return acc->sum(); });
+  addGauge(prefix + ".mean", [acc] { return acc->mean(); });
+  addGauge(prefix + ".min", [acc] { return acc->min(); });
+  addGauge(prefix + ".max", [acc] { return acc->max(); });
+  addGauge(prefix + ".variance", [acc] { return acc->variance(); });
+}
+
+std::uint64_t MetricRegistry::counter(const std::string& name) const {
+  const auto it = metrics_.find(name);
+  EECC_CHECK_MSG(it != metrics_.end(), "unknown metric");
+  EECC_CHECK_MSG(it->second.kind == Kind::Counter, "metric is not a counter");
+  return it->second.counter();
+}
+
+double MetricRegistry::value(const std::string& name) const {
+  const auto it = metrics_.find(name);
+  EECC_CHECK_MSG(it != metrics_.end(), "unknown metric");
+  return it->second.kind == Kind::Counter
+             ? static_cast<double>(it->second.counter())
+             : it->second.gauge();
+}
+
+std::vector<MetricRegistry::Sample> MetricRegistry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, m] : metrics_) {
+    Sample s;
+    s.name = name;
+    s.kind = m.kind;
+    if (m.kind == Kind::Counter) {
+      s.u64 = m.counter();
+      s.f64 = static_cast<double>(s.u64);
+    } else {
+      s.f64 = m.gauge();
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricRegistry::forEachName(
+    const std::function<void(const std::string&, Kind)>& fn) const {
+  for (const auto& [name, m] : metrics_) fn(name, m.kind);
+}
+
+}  // namespace eecc

@@ -1,0 +1,83 @@
+// MetricRegistry — the observability layer's name space (DESIGN.md §10).
+//
+// Every counter the simulator keeps (ProtocolStats, NocStats, cache energy
+// events, DDR controllers, per-tile core progress) is registered under a
+// stable hierarchical dotted name — `proto.readMisses`, `net.linkFlits`,
+// `ddr.0.rowHits`, `tile.3.core.opsDone` — as a *live* metric: the
+// registry stores accessors, not values, so one registration at system
+// construction serves the exporters, the timeline sampler, and the
+// reconciliation tests alike. Reading a metric is always a pure
+// observation of simulator state.
+//
+// Two metric kinds:
+//  * Counter — an exact uint64 (event counts). Snapshot values compare
+//    bit-for-bit against the legacy aggregate structs.
+//  * Gauge   — a derived double (means, variances, rates).
+// Accumulators expand into one counter (.count) and five gauges
+// (.sum/.mean/.min/.max/.variance).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace eecc {
+
+class MetricRegistry {
+ public:
+  enum class Kind : std::uint8_t { Counter, Gauge };
+
+  using CounterFn = std::function<std::uint64_t()>;
+  using GaugeFn = std::function<double()>;
+
+  /// One evaluated metric (what exporters and the sampler consume).
+  struct Sample {
+    std::string name;
+    Kind kind = Kind::Counter;
+    std::uint64_t u64 = 0;  ///< Kind::Counter
+    double f64 = 0.0;       ///< Kind::Gauge (and u64 mirrored as double)
+
+    double asDouble() const {
+      return kind == Kind::Counter ? static_cast<double>(u64) : f64;
+    }
+  };
+
+  void addCounter(std::string name, CounterFn fn);
+  void addGauge(std::string name, GaugeFn fn);
+  /// Registers `prefix`.count/.sum/.mean/.min/.max/.variance over `acc`.
+  /// The accumulator must outlive the registry.
+  void addAccumulator(const std::string& prefix, const Accumulator* acc);
+
+  std::size_t size() const { return metrics_.size(); }
+  bool contains(const std::string& name) const {
+    return metrics_.count(name) != 0;
+  }
+
+  /// Evaluates one counter metric; aborts if `name` is unknown or a gauge.
+  std::uint64_t counter(const std::string& name) const;
+  /// Evaluates any metric as a double.
+  double value(const std::string& name) const;
+
+  /// Evaluates every metric, in lexicographic name order (stable across
+  /// runs and builds — names are the schema).
+  std::vector<Sample> snapshot() const;
+
+  /// Visits (name, kind) in lexicographic order without evaluating.
+  void forEachName(
+      const std::function<void(const std::string&, Kind)>& fn) const;
+
+ private:
+  struct Metric {
+    Kind kind;
+    CounterFn counter;  // Kind::Counter
+    GaugeFn gauge;      // Kind::Gauge
+  };
+
+  std::map<std::string, Metric> metrics_;  // sorted => stable iteration
+};
+
+}  // namespace eecc

@@ -1,0 +1,142 @@
+#include "obs/system_metrics.h"
+
+#include "core/cmp_system.h"
+#include "protocols/protocol.h"
+#include "protocols/protocol_stats.h"
+
+namespace eecc {
+
+namespace {
+
+std::string idx(const std::string& prefix, std::size_t i) {
+  return prefix + "." + std::to_string(i);
+}
+
+}  // namespace
+
+void registerProtocolStats(MetricRegistry& reg, const std::string& prefix,
+                           const ProtocolStats& stats) {
+  const ProtocolStats* s = &stats;
+  const auto counter = [&](const char* name, const std::uint64_t* field) {
+    reg.addCounter(prefix + "." + name, [field] { return *field; });
+  };
+  counter("reads", &s->reads);
+  counter("writes", &s->writes);
+  counter("l1ReadHits", &s->l1ReadHits);
+  counter("l1WriteHits", &s->l1WriteHits);
+  counter("readMisses", &s->readMisses);
+  counter("writeMisses", &s->writeMisses);
+  counter("upgrades", &s->upgrades);
+  counter("l2DataHits", &s->l2DataHits);
+  counter("memoryFetches", &s->memoryFetches);
+  counter("invalidationsSent", &s->invalidationsSent);
+  counter("broadcastInvalidations", &s->broadcastInvalidations);
+  counter("ownershipTransfers", &s->ownershipTransfers);
+  counter("providershipTransfers", &s->providershipTransfers);
+  counter("hintMessages", &s->hintMessages);
+  counter("providerResolvedMisses", &s->providerResolvedMisses);
+  counter("writebacks", &s->writebacks);
+  counter("l2Evictions", &s->l2Evictions);
+  counter("dirEvictionInvalidations", &s->dirEvictionInvalidations);
+
+  for (std::size_t c = 0; c < static_cast<std::size_t>(MissClass::kCount);
+       ++c) {
+    const std::string base =
+        prefix + ".miss." + missClassName(static_cast<MissClass>(c));
+    reg.addCounter(base + ".count", [s, c] { return s->missByClass[c]; });
+    reg.addAccumulator(base + ".latency", &s->latencyByClass[c]);
+    reg.addAccumulator(base + ".links", &s->linksByClass[c]);
+  }
+  reg.addAccumulator(prefix + ".missLatency", &s->missLatency);
+
+  reg.addGauge(prefix + ".l1MissRate", [s] { return s->l1MissRate(); });
+  reg.addGauge(prefix + ".l2MissRate", [s] { return s->l2MissRate(); });
+}
+
+void registerProtocol(MetricRegistry& reg, const std::string& prefix,
+                      const Protocol& proto) {
+  registerProtocolStats(reg, prefix, proto.stats());
+  const Protocol* p = &proto;
+  reg.addCounter(prefix + ".unicastMessages",
+                 [p] { return p->unicastMessages(); });
+  reg.addCounter(prefix + ".interAreaMessages",
+                 [p] { return p->interAreaMessages(); });
+  reg.addGauge(prefix + ".interAreaFraction",
+               [p] { return p->interAreaFraction(); });
+  const auto& msgStats = proto.messageTypeStats();
+  for (std::size_t t = 0; t < msgStats.size(); ++t) {
+    const std::string base = idx(prefix + ".msg", t);
+    reg.addCounter(base + ".count",
+                   [p, t] { return p->messageTypeStats()[t].count; });
+    reg.addCounter(base + ".links",
+                   [p, t] { return p->messageTypeStats()[t].links; });
+  }
+  const auto& ddr = proto.ddrControllers();
+  for (std::size_t i = 0; i < ddr.size(); ++i) {
+    const DdrController* d = &ddr[i];
+    const std::string base = idx("ddr", i);
+    reg.addCounter(base + ".requests", [d] { return d->requests(); });
+    reg.addCounter(base + ".rowHits", [d] { return d->rowHits(); });
+    reg.addCounter(base + ".rowMisses", [d] { return d->rowMisses(); });
+    reg.addCounter(base + ".rowConflicts", [d] { return d->rowConflicts(); });
+  }
+}
+
+void registerNocStats(MetricRegistry& reg, const std::string& prefix,
+                      const NocStats& stats) {
+  const NocStats* s = &stats;
+  const auto counter = [&](const char* name, const std::uint64_t* field) {
+    reg.addCounter(prefix + "." + name, [field] { return *field; });
+  };
+  counter("messages", &s->messages);
+  counter("controlMessages", &s->controlMessages);
+  counter("dataMessages", &s->dataMessages);
+  counter("broadcasts", &s->broadcasts);
+  counter("routings", &s->routings);
+  counter("linkFlits", &s->linkFlits);
+  counter("linksTraversed", &s->linksTraversed);
+  reg.addAccumulator(prefix + ".unicastLatency", &s->unicastLatency);
+  reg.addAccumulator(prefix + ".contentionWait", &s->contentionWait);
+}
+
+void registerCacheEnergy(MetricRegistry& reg, const std::string& prefix,
+                         const CacheEnergyEvents& events) {
+  const CacheEnergyEvents* e = &events;
+  const auto counter = [&](const char* name, const std::uint64_t* field) {
+    reg.addCounter(prefix + "." + name, [field] { return *field; });
+  };
+  counter("l1TagProbe", &e->l1TagProbe);
+  counter("l1DataRead", &e->l1DataRead);
+  counter("l1DataWrite", &e->l1DataWrite);
+  counter("l1DirRead", &e->l1DirRead);
+  counter("l1DirUpdate", &e->l1DirUpdate);
+  counter("l2TagProbe", &e->l2TagProbe);
+  counter("l2DataRead", &e->l2DataRead);
+  counter("l2DataWrite", &e->l2DataWrite);
+  counter("l2DirRead", &e->l2DirRead);
+  counter("l2DirUpdate", &e->l2DirUpdate);
+  counter("dirCacheProbe", &e->dirCacheProbe);
+  counter("dirCacheUpdate", &e->dirCacheUpdate);
+  counter("l1cProbe", &e->l1cProbe);
+  counter("l1cUpdate", &e->l1cUpdate);
+  counter("l2cProbe", &e->l2cProbe);
+  counter("l2cUpdate", &e->l2cUpdate);
+}
+
+void registerSystem(MetricRegistry& reg, const CmpSystem& sys) {
+  const CmpSystem* s = &sys;
+  reg.addCounter("sys.cycles",
+                 [s] { return static_cast<std::uint64_t>(s->cycles()); });
+  reg.addCounter("sys.ops", [s] { return s->opsCompleted(); });
+  reg.addCounter("sys.events", [s] { return s->events().executedEvents(); });
+  reg.addGauge("sys.throughput", [s] { return s->throughput(); });
+  for (NodeId t = 0; t < s->config().tiles(); ++t) {
+    reg.addCounter(idx("tile", static_cast<std::size_t>(t)) + ".core.opsDone",
+                   [s, t] { return s->opsCompleted(t); });
+  }
+  registerProtocol(reg, "proto", sys.protocol());
+  registerNocStats(reg, "net", sys.network().stats());
+  registerCacheEnergy(reg, "energy", sys.protocol().energyEvents());
+}
+
+}  // namespace eecc

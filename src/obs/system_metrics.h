@@ -1,0 +1,49 @@
+// Registration walkers: enumerate every statistic a live CmpSystem (or
+// one of its building blocks) keeps into a MetricRegistry under the stable
+// hierarchical naming scheme of DESIGN.md §10:
+//
+//   sys.cycles / sys.ops / sys.events
+//   tile.<n>.core.opsDone
+//   proto.<counter>                       (ProtocolStats uint64 fields)
+//   proto.miss.<Class>.count              (Figure 9b classification)
+//   proto.miss.<Class>.latency.*          (Accumulator expansion)
+//   proto.miss.<Class>.links.*
+//   proto.missLatency.*
+//   proto.msg.<opcode>.{count,links}      (per-opcode traffic)
+//   proto.unicastMessages / proto.interAreaMessages
+//   net.<counter>  net.unicastLatency.*  net.contentionWait.*
+//   energy.<event>                        (CacheEnergyEvents fields)
+//   ddr.<i>.{requests,rowHits,rowMisses,rowConflicts}
+//
+// The registry holds accessors into the walked objects, which must outlive
+// it (in practice: build the registry next to the CmpSystem, snapshot
+// before tearing either down).
+#pragma once
+
+#include <string>
+
+#include "obs/metric_registry.h"
+
+namespace eecc {
+
+class CmpSystem;
+class Protocol;
+struct ProtocolStats;
+struct NocStats;
+struct CacheEnergyEvents;
+
+/// Registers every metric of a full system: sys/tile totals plus the
+/// protocol, network, energy and DDR walkers below.
+void registerSystem(MetricRegistry& reg, const CmpSystem& sys);
+
+/// Individual walkers (prefix, e.g. "proto", is prepended to every name).
+void registerProtocolStats(MetricRegistry& reg, const std::string& prefix,
+                           const ProtocolStats& stats);
+void registerProtocol(MetricRegistry& reg, const std::string& prefix,
+                      const Protocol& proto);
+void registerNocStats(MetricRegistry& reg, const std::string& prefix,
+                      const NocStats& stats);
+void registerCacheEnergy(MetricRegistry& reg, const std::string& prefix,
+                         const CacheEnergyEvents& events);
+
+}  // namespace eecc

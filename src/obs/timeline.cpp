@@ -1,0 +1,32 @@
+#include "obs/timeline.h"
+
+#include "common/check.h"
+
+namespace eecc {
+
+TimelineSampler::TimelineSampler(const MetricRegistry* reg, Tick every,
+                                 std::vector<std::string> select)
+    : reg_(reg), every_(every > 0 ? every : 10'000) {
+  EECC_CHECK(reg_ != nullptr);
+  if (select.empty()) {
+    reg_->forEachName([this](const std::string& name, MetricRegistry::Kind) {
+      names_.push_back(name);
+    });
+  } else {
+    for (std::string& name : select) {
+      EECC_CHECK_MSG(reg_->contains(name), "unknown timeline metric");
+      names_.push_back(std::move(name));
+    }
+  }
+}
+
+void TimelineSampler::sample(Tick now) {
+  Row row;
+  row.tick = now;
+  row.values.reserve(names_.size());
+  for (const std::string& name : names_)
+    row.values.push_back(reg_->value(name));
+  rows_.push_back(std::move(row));
+}
+
+}  // namespace eecc

@@ -1,5 +1,7 @@
 #include "protocols/protocol.h"
 
+#include "obs/trace.h"
+
 namespace eecc {
 
 Protocol::Protocol(EventQueue& events, Network& net, const CmpConfig& cfg)
@@ -144,6 +146,9 @@ void Protocol::access(NodeId tile, Addr block, AccessType type, DoneFn done) {
       hooks_->onAccessDone(tile, block, type, events_.now(),
                            observedValue(tile, block, type),
                            lineBusy(block));
+    if (trace_ != nullptr) [[unlikely]]
+      trace_->onTransaction(tile, block, type, events_.now(), events_.now(),
+                            /*hit=*/true, MissClass::kCount, 0);
     done();
     return;
   }
@@ -159,6 +164,25 @@ void Protocol::access(NodeId tile, Addr block, AccessType type, DoneFn done) {
       hooks_->onAccessDone(tile, block, type, events_.now(),
                            observedValue(tile, block, type),
                            /*lineBusy=*/false);
+      done();
+    };
+  }
+
+  if (trace_ != nullptr) [[unlikely]] {
+    // Outermost wrapper: runs first in the completion chain, right after
+    // the protocol's recordMiss() call. An unconsumed classification at
+    // the current tick belongs to this transaction; without one the access
+    // was satisfied by the re-check hit after queueing behind another
+    // transaction on the line ("queued hit", MissClass::kCount).
+    const Tick t0 = events_.now();
+    done = [this, tile, block, type, t0, done = std::move(done)] {
+      const bool classified =
+          traceClsValid_ && traceClsTick_ == events_.now();
+      traceClsValid_ = false;
+      trace_->onTransaction(tile, block, type, t0, events_.now(),
+                            /*hit=*/!classified,
+                            classified ? traceCls_ : MissClass::kCount,
+                            classified ? traceLinks_ : 0);
       done();
     };
   }

@@ -29,6 +29,8 @@
 
 namespace eecc {
 
+class TraceSink;
+
 /// The four protocols of the paper, in its evaluation order (Directory
 /// baseline first). The canonical list for every sweep — benches, examples
 /// and runAllProtocols all iterate this.
@@ -92,6 +94,12 @@ class Protocol {
   /// hooks. The pointer is not owned and must outlive the protocol's use.
   void setCheckHooks(CheckHooks* hooks) { hooks_ = hooks; }
   CheckHooks* checkHooks() const { return hooks_; }
+
+  /// Attaches (or detaches, with nullptr) the observability trace sink
+  /// (obs/trace.h): every access completion reports a span tagged with its
+  /// MissClass. Same zero-cost-when-detached contract as the check hooks.
+  void setTraceSink(TraceSink* sink) { trace_ = sink; }
+  TraceSink* traceSink() const { return trace_; }
 
   /// Whether a miss transaction currently holds `block`'s serialization
   /// lock (monitors use this to skip transient state during sweeps).
@@ -228,6 +236,15 @@ class Protocol {
     stats_.latencyByClass[static_cast<std::size_t>(cls)].add(lat);
     stats_.linksByClass[static_cast<std::size_t>(cls)].add(links);
     stats_.missLatency.add(lat);
+    if (trace_ != nullptr) [[unlikely]] {
+      // Every protocol records the classification immediately before
+      // invoking the completion callback (same tick, same call chain), so
+      // the trace wrapper in access() can pick it up from here.
+      traceCls_ = cls;
+      traceLinks_ = links;
+      traceClsTick_ = events_.now();
+      traceClsValid_ = true;
+    }
   }
 
   /// "block 0x2a40 (home 5)" — diagnostic prefix for audit messages.
@@ -247,6 +264,7 @@ class Protocol {
   CacheEnergyEvents energy_;
   Rng memJitterRng_{0xEECCULL};
   CheckHooks* hooks_ = nullptr;  ///< Conformance monitors; null = off.
+  TraceSink* trace_ = nullptr;   ///< Observability trace sink; null = off.
 
  private:
   /// The value a just-completed access exposed to its core: the last read
@@ -278,6 +296,13 @@ class Protocol {
 
   std::unordered_set<Addr> busy_;
   std::unordered_map<Addr, std::deque<std::function<void()>>> waiting_;
+
+  // Hand-off from recordMiss() to the access() trace wrapper: the pending
+  // classification of the miss whose completion chain is running right now.
+  MissClass traceCls_ = MissClass::kCount;
+  std::uint32_t traceLinks_ = 0;
+  Tick traceClsTick_ = 0;
+  bool traceClsValid_ = false;
 
   std::unordered_map<Addr, std::uint64_t> committed_;
   std::unordered_map<Addr, std::uint64_t> memValue_;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/bits.h"
@@ -146,6 +147,105 @@ TEST(Histogram, BucketsAndSaturation) {
   EXPECT_EQ(h.buckets()[9], 1u);
   EXPECT_EQ(h.summary().count(), 4u);
   EXPECT_DOUBLE_EQ(h.bucketLow(5), 5.0);
+}
+
+// Regression: the pre-Welford `sumsq/n - mean^2` form cancels
+// catastrophically on tight distributions around a large mean and went
+// negative (1e7 samples of 1e9 +/- 1 has true variance exactly 1).
+TEST(Accumulator, WelfordSurvivesLargeMeanTightSpread) {
+  Accumulator acc;
+  for (int i = 0; i < 10'000'000; ++i)
+    acc.add(1e9 + ((i & 1) ? 1.0 : -1.0));
+  EXPECT_NEAR(acc.variance(), 1.0, 1e-6);
+  EXPECT_GE(acc.variance(), 0.0);
+  EXPECT_NEAR(acc.mean(), 1e9, 1e-3);
+}
+
+TEST(Accumulator, VarianceNeverNegativeOnConstantSamples) {
+  // Identical samples: the centered moment must stay exactly clamped at
+  // zero no matter how the rounding residue lands.
+  Accumulator acc;
+  for (int i = 0; i < 1'000'000; ++i) acc.add(1234567.89);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 1234567.89);
+}
+
+TEST(Accumulator, ChanMergeMatchesSequential) {
+  // Chan's parallel merge must reproduce the single-stream moments —
+  // the ExperimentRunner merges per-thread accumulators this way.
+  Accumulator seq;
+  Accumulator a;
+  Accumulator b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = 100.0 + 0.001 * static_cast<double>(i * i % 97);
+    seq.add(v);
+    (i < 400 ? a : b).add(v);
+  }
+  a += b;
+  EXPECT_EQ(a.count(), seq.count());
+  // Sums differ by rounding only (FP addition is not associative).
+  EXPECT_NEAR(a.sum(), seq.sum(), 1e-6);
+  EXPECT_NEAR(a.mean(), seq.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), seq.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), seq.min());
+  EXPECT_DOUBLE_EQ(a.max(), seq.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides) {
+  Accumulator a;
+  Accumulator empty;
+  a.add(3.0);
+  a.add(5.0);
+  a += empty;  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  Accumulator c;
+  c += a;  // empty left side adopts the right side wholesale
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(c.min(), 3.0);
+  EXPECT_DOUBLE_EQ(c.max(), 5.0);
+  EXPECT_NEAR(c.variance(), 1.0, 1e-12);
+}
+
+// Regression: add() used to cast the sample to int64 *before* clamping —
+// undefined behaviour for values outside int64 range and for NaN/inf.
+// The clamp now happens in floating point and non-finite samples route
+// deterministically to the edge buckets.
+TEST(Histogram, HugeValuesSaturateWithoutUb) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(1e300);   // far beyond int64 range
+  h.add(-1e300);
+  h.add(9.999e18);  // just past int64 max
+  EXPECT_EQ(h.buckets()[9], 2u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.summary().count(), 3u);  // finite samples hit the summary
+}
+
+TEST(Histogram, NonFiniteRoutesToEdgeBuckets) {
+  Histogram h(0.0, 10.0, 4);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(std::nan(""));
+  EXPECT_EQ(h.buckets()[3], 2u);  // +inf and NaN: highest bucket
+  EXPECT_EQ(h.buckets()[0], 1u);  // -inf: lowest bucket
+  // Non-finite samples must not poison the summary moments.
+  EXPECT_EQ(h.summary().count(), 0u);
+  h.add(2.5);
+  EXPECT_EQ(h.summary().count(), 1u);
+  EXPECT_DOUBLE_EQ(h.summary().mean(), 2.5);
+  EXPECT_FALSE(std::isnan(h.summary().variance()));
+}
+
+TEST(Histogram, DegenerateRangeStillDeterministic) {
+  Histogram h(5.0, 5.0, 3);  // zero span: pos is NaN or inf
+  h.add(5.0);
+  h.add(4.0);
+  h.add(6.0);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : h.buckets()) total += c;
+  EXPECT_EQ(total, 3u);  // every sample lands somewhere, no UB
+  EXPECT_EQ(h.summary().count(), 3u);
 }
 
 TEST(CounterSet, AccumulateAndMerge) {

@@ -1,0 +1,227 @@
+// Test-side JSON tools: a strict recursive-descent validator (the
+// in-process stand-in for CI's `python3 -m json.tool` gate) plus the
+// unescape/lookup helpers the round-trip tests use. Lives under tests/ on
+// purpose — production code only ever *writes* JSON.
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace eecc::testjson {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  bool valid() {
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return pos_ == s_.size();  // trailing garbage is a failure
+  }
+
+  const std::string& error() const { return err_; }
+
+ private:
+  bool fail(const char* what) {
+    if (err_.empty())
+      err_ = std::string(what) + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value() {
+    if (pos_ >= s_.size()) return fail("unexpected end");
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected key");
+      if (!string()) return false;
+      skipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == '}') { ++pos_; return true; }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; return true; }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string() {
+    ++pos_;  // opening quote
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return fail("dangling escape");
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_])))
+              return fail("bad \\u escape");
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    if (pos_ == start || (pos_ == start + 1 && s_[start] == '-'))
+      return fail("expected number");
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+inline bool jsonValid(std::string_view text, std::string* err = nullptr) {
+  Parser p(text);
+  const bool ok = p.valid();
+  if (!ok && err != nullptr) *err = p.error();
+  return ok;
+}
+
+/// Reverses jsonEscape (handles the \u00XX form it emits for control
+/// characters; other \uXXXX escapes are out of scope for these tests).
+inline std::string jsonUnescape(std::string_view s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') { out += s[i]; continue; }
+    ++i;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        const int hi = std::stoi(std::string(s.substr(i + 1, 2)), nullptr, 16);
+        const int lo = std::stoi(std::string(s.substr(i + 3, 2)), nullptr, 16);
+        out += static_cast<char>(hi * 16 * 16 + lo);  // \u00XX only
+        i += 4;
+        break;
+      }
+      default: out += s[i]; break;
+    }
+  }
+  return out;
+}
+
+/// Finds `"key": "<string>"` anywhere in `text` and returns the unescaped
+/// string value (the keys our exporters emit are unique per document).
+inline std::optional<std::string> jsonFindString(std::string_view text,
+                                                 std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  std::size_t at = text.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  at += needle.size();
+  while (at < text.size() && (text[at] == ' ' || text[at] == '\n')) ++at;
+  if (at >= text.size() || text[at] != '"') return std::nullopt;
+  ++at;
+  std::string raw;
+  while (at < text.size()) {
+    if (text[at] == '\\') {
+      raw += text[at];
+      raw += text[at + 1];
+      at += 2;
+      continue;
+    }
+    if (text[at] == '"') return jsonUnescape(raw);
+    raw += text[at];
+    ++at;
+  }
+  return std::nullopt;
+}
+
+/// Slurps a file (tests only; returns empty on failure).
+inline std::string readFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace eecc::testjson

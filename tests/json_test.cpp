@@ -1,0 +1,140 @@
+// Tests for common/json (escaping + streaming writer) and the sweep-JSON
+// regression: hostile workload/sweep names used to reach BENCH_sweep.json
+// unescaped and break every downstream parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/json.h"
+#include "core/runner.h"
+#include "json_checker.h"
+
+namespace eecc {
+namespace {
+
+std::string capture(const std::function<void(JsonWriter&)>& body) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  {
+    JsonWriter w(f);
+    body(w);
+  }
+  std::fflush(f);
+  std::rewind(f);
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+TEST(JsonEscape, PassesPlainStringsThrough) {
+  EXPECT_EQ(jsonEscape("apache4x16p"), "apache4x16p");
+  EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(jsonEscape(std::string("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(JsonEscape, RoundTripsHostileNames) {
+  const std::string hostile = "mix\"ed\\com\nwork\tload\x02!";
+  const std::string escaped = jsonEscape(hostile);
+  EXPECT_TRUE(testjson::jsonValid("\"" + escaped + "\""));
+  EXPECT_EQ(testjson::jsonUnescape(escaped), hostile);
+}
+
+TEST(JsonWriter, NestedDocumentIsValid) {
+  const std::string doc = capture([](JsonWriter& w) {
+    w.beginObject();
+    w.field("name", "run \"1\"");
+    w.field("count", std::uint64_t{42});
+    w.field("ratio", 0.125);
+    w.field("ok", true);
+    w.key("tags");
+    w.beginArray();
+    w.value("a");
+    w.value("b\\c");
+    w.endArray();
+    w.key("inner");
+    w.beginObject();
+    w.field("neg", std::int64_t{-7});
+    w.endObject();
+    w.endObject();
+  });
+  std::string err;
+  EXPECT_TRUE(testjson::jsonValid(doc, &err)) << err << "\n" << doc;
+  EXPECT_EQ(testjson::jsonFindString(doc, "name"), "run \"1\"");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  const std::string doc = capture([](JsonWriter& w) {
+    w.beginObject();
+    w.field("nan", std::nan(""));
+    w.field("inf", INFINITY);
+    w.field("fine", 1.5);
+    w.endObject();
+  });
+  std::string err;
+  EXPECT_TRUE(testjson::jsonValid(doc, &err)) << err << "\n" << doc;
+  EXPECT_NE(doc.find("\"nan\": null"), std::string::npos);
+  EXPECT_NE(doc.find("\"inf\": null"), std::string::npos);
+  EXPECT_EQ(doc.find("nan,"), std::string::npos);  // no bare nan tokens
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  const std::string doc = capture([](JsonWriter& w) {
+    w.beginObject();
+    w.key("empty_arr");
+    w.beginArray();
+    w.endArray();
+    w.key("empty_obj");
+    w.beginObject();
+    w.endObject();
+    w.endObject();
+  });
+  EXPECT_TRUE(testjson::jsonValid(doc)) << doc;
+}
+
+// Regression: writeSweepJson interpolated names verbatim, so a sweep or
+// workload name containing `"` or `\` produced unparseable JSON.
+TEST(SweepJson, HostileNamesRoundTrip) {
+  const std::string path = ::testing::TempDir() + "eecc_hostile_sweep.json";
+  const std::string sweepName = "table\"iv\\sweep\n2026";
+  RunMetrics m;
+  m.workload = "mixed\"com\\";
+  m.protocol = ProtocolKind::DiCoProviders;
+  m.simEvents = 1000;
+  m.ops = 500;
+  m.wallSeconds = 0.25;
+  writeSweepJson(path, sweepName, 4, 1.5, {m},
+                 {{"kernel_speedup", 1.75}});
+
+  const std::string doc = testjson::readFile(path);
+  ASSERT_FALSE(doc.empty());
+  std::string err;
+  ASSERT_TRUE(testjson::jsonValid(doc, &err)) << err << "\n" << doc;
+  EXPECT_EQ(testjson::jsonFindString(doc, "sweep"), sweepName);
+  EXPECT_EQ(testjson::jsonFindString(doc, "workload"), m.workload);
+  std::remove(path.c_str());
+}
+
+TEST(SweepJson, EmptyMetricsStillValid) {
+  const std::string path = ::testing::TempDir() + "eecc_empty_sweep.json";
+  writeSweepJson(path, "empty", 1, 0.0, {});
+  const std::string doc = testjson::readFile(path);
+  ASSERT_FALSE(doc.empty());
+  std::string err;
+  EXPECT_TRUE(testjson::jsonValid(doc, &err)) << err << "\n" << doc;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eecc

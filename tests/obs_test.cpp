@@ -1,0 +1,383 @@
+// Observability-layer tests (DESIGN.md §10): MetricRegistry semantics, the
+// timeline sampler, the ring trace sink, the exporters' JSON validity, and
+// the two system-level properties the layer is built on —
+//  1. registry snapshots reconcile bit-for-bit with the legacy aggregate
+//     structs on every protocol × workload pair, and
+//  2. attaching a trace sink or timeline sampler changes no counter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "core/experiment.h"
+#include "json_checker.h"
+#include "obs/exporters.h"
+#include "obs/metric_registry.h"
+#include "obs/system_metrics.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+#include "protocols/protocol_stats.h"
+
+namespace eecc {
+namespace {
+
+using SampleMap = std::map<std::string, MetricRegistry::Sample>;
+
+SampleMap byName(const std::vector<MetricRegistry::Sample>& samples) {
+  SampleMap m;
+  for (const auto& s : samples) m[s.name] = s;
+  return m;
+}
+
+std::uint64_t counterOf(const SampleMap& m, const std::string& name) {
+  const auto it = m.find(name);
+  EXPECT_NE(it, m.end()) << "missing metric " << name;
+  if (it == m.end()) return 0;
+  EXPECT_EQ(it->second.kind, MetricRegistry::Kind::Counter) << name;
+  return it->second.u64;
+}
+
+double gaugeOf(const SampleMap& m, const std::string& name) {
+  const auto it = m.find(name);
+  EXPECT_NE(it, m.end()) << "missing metric " << name;
+  return it == m.end() ? 0.0 : it->second.f64;
+}
+
+ExperimentConfig obsConfig(ProtocolKind kind, const std::string& workload) {
+  ExperimentConfig cfg;
+  cfg.chip = fuzzChip();
+  cfg.protocol = kind;
+  cfg.workloadName = workload;
+  cfg.warmupCycles = 10'000;
+  cfg.windowCycles = 30'000;
+  cfg.obs.snapshotMetrics = true;
+  return cfg;
+}
+
+// --- MetricRegistry unit tests ---
+
+TEST(MetricRegistry, CountersAndGauges) {
+  MetricRegistry reg;
+  std::uint64_t hits = 7;
+  reg.addCounter("cache.hits", [&] { return hits; });
+  reg.addGauge("cache.rate", [&] { return 0.5; });
+  EXPECT_TRUE(reg.contains("cache.hits"));
+  EXPECT_FALSE(reg.contains("cache.misses"));
+  EXPECT_EQ(reg.counter("cache.hits"), 7u);
+  hits = 9;  // live accessor, not a stored value
+  EXPECT_EQ(reg.counter("cache.hits"), 9u);
+  EXPECT_DOUBLE_EQ(reg.value("cache.rate"), 0.5);
+  EXPECT_DOUBLE_EQ(reg.value("cache.hits"), 9.0);
+}
+
+TEST(MetricRegistry, SnapshotIsSortedByName) {
+  MetricRegistry reg;
+  reg.addCounter("z.last", [] { return std::uint64_t{1}; });
+  reg.addCounter("a.first", [] { return std::uint64_t{2}; });
+  reg.addGauge("m.mid", [] { return 3.0; });
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.first");
+  EXPECT_EQ(snap[1].name, "m.mid");
+  EXPECT_EQ(snap[2].name, "z.last");
+}
+
+TEST(MetricRegistry, AccumulatorExpansion) {
+  MetricRegistry reg;
+  Accumulator acc;
+  acc.add(2.0);
+  acc.add(4.0);
+  reg.addAccumulator("lat", &acc);
+  EXPECT_EQ(reg.counter("lat.count"), 2u);
+  EXPECT_DOUBLE_EQ(reg.value("lat.sum"), 6.0);
+  EXPECT_DOUBLE_EQ(reg.value("lat.mean"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.value("lat.min"), 2.0);
+  EXPECT_DOUBLE_EQ(reg.value("lat.max"), 4.0);
+  EXPECT_DOUBLE_EQ(reg.value("lat.variance"), 1.0);
+  acc.add(6.0);  // live view
+  EXPECT_EQ(reg.counter("lat.count"), 3u);
+}
+
+// --- RingTraceSink unit tests ---
+
+TEST(RingTraceSink, OverwritesOldestWhenFull) {
+  RingTraceSink sink(/*capacity=*/4, /*recordHits=*/true);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    sink.onTransaction(0, /*block=*/i, AccessType::Read, /*start=*/i,
+                       /*end=*/i + 1, /*hit=*/true, MissClass::kCount, 0);
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.recorded(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  std::vector<Addr> blocks;
+  sink.forEach([&](const RingTraceSink::Record& r) {
+    blocks.push_back(r.block);
+  });
+  EXPECT_EQ(blocks, (std::vector<Addr>{6, 7, 8, 9}));  // oldest first
+}
+
+TEST(RingTraceSink, HitsSkippedUnlessRequested) {
+  RingTraceSink sink(/*capacity=*/8, /*recordHits=*/false);
+  sink.onTransaction(0, 1, AccessType::Read, 0, 0, /*hit=*/true,
+                     MissClass::kCount, 0);
+  sink.onTransaction(0, 2, AccessType::Write, 0, 5, /*hit=*/false,
+                     MissClass::Memory, 3);
+  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.recorded(), 1u);
+  sink.forEach([&](const RingTraceSink::Record& r) {
+    EXPECT_EQ(r.kind, RingTraceSink::Record::Kind::Miss);
+    EXPECT_EQ(r.cls, MissClass::Memory);
+    EXPECT_EQ(r.links, 3u);
+  });
+}
+
+// --- The reconciliation property (satellite test task) ---
+
+class ObsReconcile
+    : public ::testing::TestWithParam<std::tuple<ProtocolKind, const char*>> {
+};
+
+TEST_P(ObsReconcile, RegistryMatchesLegacyAggregatesBitForBit) {
+  const auto [kind, workload] = GetParam();
+  const ExperimentResult r = runExperiment(obsConfig(kind, workload));
+  ASSERT_FALSE(r.metrics.empty());
+  const SampleMap m = byName(r.metrics);
+
+  // System-level counters.
+  EXPECT_EQ(counterOf(m, "sys.cycles"), static_cast<std::uint64_t>(r.cycles));
+  EXPECT_EQ(counterOf(m, "sys.ops"), r.ops);
+  EXPECT_EQ(counterOf(m, "sys.events"), r.simEvents);
+  EXPECT_EQ(gaugeOf(m, "sys.throughput"), r.throughput);
+
+  // Per-tile core progress sums to the system total.
+  std::uint64_t tileSum = 0;
+  for (std::uint32_t t = 0; t < 16; ++t)
+    tileSum += counterOf(m, "tile." + std::to_string(t) + ".core.opsDone");
+  EXPECT_EQ(tileSum, r.ops);
+
+  // Every ProtocolStats scalar, bit for bit.
+  const ProtocolStats& s = r.stats;
+  EXPECT_EQ(counterOf(m, "proto.reads"), s.reads);
+  EXPECT_EQ(counterOf(m, "proto.writes"), s.writes);
+  EXPECT_EQ(counterOf(m, "proto.l1ReadHits"), s.l1ReadHits);
+  EXPECT_EQ(counterOf(m, "proto.l1WriteHits"), s.l1WriteHits);
+  EXPECT_EQ(counterOf(m, "proto.readMisses"), s.readMisses);
+  EXPECT_EQ(counterOf(m, "proto.writeMisses"), s.writeMisses);
+  EXPECT_EQ(counterOf(m, "proto.upgrades"), s.upgrades);
+  EXPECT_EQ(counterOf(m, "proto.l2DataHits"), s.l2DataHits);
+  EXPECT_EQ(counterOf(m, "proto.memoryFetches"), s.memoryFetches);
+  EXPECT_EQ(counterOf(m, "proto.invalidationsSent"), s.invalidationsSent);
+  EXPECT_EQ(counterOf(m, "proto.broadcastInvalidations"),
+            s.broadcastInvalidations);
+  EXPECT_EQ(counterOf(m, "proto.ownershipTransfers"), s.ownershipTransfers);
+  EXPECT_EQ(counterOf(m, "proto.providershipTransfers"),
+            s.providershipTransfers);
+  EXPECT_EQ(counterOf(m, "proto.hintMessages"), s.hintMessages);
+  EXPECT_EQ(counterOf(m, "proto.providerResolvedMisses"),
+            s.providerResolvedMisses);
+  EXPECT_EQ(counterOf(m, "proto.writebacks"), s.writebacks);
+  EXPECT_EQ(counterOf(m, "proto.l2Evictions"), s.l2Evictions);
+  EXPECT_EQ(counterOf(m, "proto.dirEvictionInvalidations"),
+            s.dirEvictionInvalidations);
+
+  // Figure-9b miss classification and latency moments.
+  std::uint64_t classSum = 0;
+  for (std::size_t c = 0; c < static_cast<std::size_t>(MissClass::kCount);
+       ++c) {
+    const std::string base =
+        std::string("proto.miss.") + missClassName(static_cast<MissClass>(c));
+    EXPECT_EQ(counterOf(m, base + ".count"), s.missByClass[c]) << base;
+    EXPECT_EQ(counterOf(m, base + ".latency.count"),
+              s.latencyByClass[c].count());
+    EXPECT_EQ(gaugeOf(m, base + ".latency.mean"), s.latencyByClass[c].mean());
+    EXPECT_EQ(gaugeOf(m, base + ".links.mean"), s.linksByClass[c].mean());
+    classSum += s.missByClass[c];
+  }
+  EXPECT_EQ(classSum, s.l1Misses());
+  EXPECT_EQ(counterOf(m, "proto.missLatency.count"), s.missLatency.count());
+  EXPECT_EQ(gaugeOf(m, "proto.missLatency.mean"), s.missLatency.mean());
+  EXPECT_EQ(gaugeOf(m, "proto.missLatency.variance"),
+            s.missLatency.variance());
+  EXPECT_GE(gaugeOf(m, "proto.missLatency.variance"), 0.0);
+  EXPECT_EQ(gaugeOf(m, "proto.l1MissRate"), s.l1MissRate());
+  EXPECT_EQ(gaugeOf(m, "proto.l2MissRate"), s.l2MissRate());
+
+  // NoC aggregates.
+  EXPECT_EQ(counterOf(m, "net.messages"), r.noc.messages);
+  EXPECT_EQ(counterOf(m, "net.controlMessages"), r.noc.controlMessages);
+  EXPECT_EQ(counterOf(m, "net.dataMessages"), r.noc.dataMessages);
+  EXPECT_EQ(counterOf(m, "net.broadcasts"), r.noc.broadcasts);
+  EXPECT_EQ(counterOf(m, "net.routings"), r.noc.routings);
+  EXPECT_EQ(counterOf(m, "net.linkFlits"), r.noc.linkFlits);
+  EXPECT_EQ(counterOf(m, "net.linksTraversed"), r.noc.linksTraversed);
+  EXPECT_EQ(counterOf(m, "net.unicastLatency.count"),
+            r.noc.unicastLatency.count());
+  EXPECT_EQ(gaugeOf(m, "net.unicastLatency.mean"),
+            r.noc.unicastLatency.mean());
+
+  // Cache energy events.
+  EXPECT_EQ(counterOf(m, "energy.l1TagProbe"), r.events.l1TagProbe);
+  EXPECT_EQ(counterOf(m, "energy.l1DataRead"), r.events.l1DataRead);
+  EXPECT_EQ(counterOf(m, "energy.l1DataWrite"), r.events.l1DataWrite);
+  EXPECT_EQ(counterOf(m, "energy.l2TagProbe"), r.events.l2TagProbe);
+  EXPECT_EQ(counterOf(m, "energy.l1cProbe"), r.events.l1cProbe);
+  EXPECT_EQ(counterOf(m, "energy.l2cProbe"), r.events.l2cProbe);
+
+  // The run did real work (the comparisons above aren't vacuous 0 == 0).
+  EXPECT_GT(r.ops, 0u);
+  EXPECT_GT(s.reads + s.writes, 0u);
+  EXPECT_GT(r.noc.messages, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ObsReconcile,
+    ::testing::Combine(::testing::Values(ProtocolKind::Directory,
+                                         ProtocolKind::DiCo,
+                                         ProtocolKind::DiCoProviders,
+                                         ProtocolKind::DiCoArin),
+                       ::testing::Values("apache4x16p", "mixed-com")),
+    [](const auto& info) {
+      std::string name = std::string(protocolName(std::get<0>(info.param))) +
+                         "_" +
+                         (std::string(std::get<1>(info.param)) == "apache4x16p"
+                              ? "apache"
+                              : "mixedcom");
+      std::erase_if(name, [](char c) { return !std::isalnum(
+                        static_cast<unsigned char>(c)) && c != '_'; });
+      return name;
+    });
+
+// --- Observation purity: attaching obs must change nothing ---
+
+TEST(ObsPurity, TraceAndTimelineChangeNoCounter) {
+  for (const ProtocolKind kind :
+       {ProtocolKind::Directory, ProtocolKind::DiCoProviders}) {
+    ExperimentConfig plain = obsConfig(kind, "apache4x16p");
+    ExperimentConfig instrumented = plain;
+    instrumented.obs.timelineEvery = 2'000;
+    instrumented.obs.traceCapacity = 1 << 12;
+    instrumented.obs.traceHits = true;
+
+    const ExperimentResult a = runExperiment(plain);
+    const ExperimentResult b = runExperiment(instrumented);
+    ASSERT_NE(b.trace, nullptr);
+    EXPECT_GT(b.trace->recorded(), 0u);
+    ASSERT_NE(b.timeline, nullptr);
+    EXPECT_GT(b.timeline->rows().size(), 1u);
+
+    // Identical snapshots: every name present in both, counters bit for
+    // bit, gauges exactly equal.
+    ASSERT_EQ(a.metrics.size(), b.metrics.size());
+    for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+      const auto& ma = a.metrics[i];
+      const auto& mb = b.metrics[i];
+      ASSERT_EQ(ma.name, mb.name);
+      EXPECT_EQ(ma.kind, mb.kind) << ma.name;
+      EXPECT_EQ(ma.u64, mb.u64) << ma.name;
+      EXPECT_EQ(ma.f64, mb.f64) << ma.name;
+    }
+    EXPECT_EQ(a.ops, b.ops);
+    EXPECT_EQ(a.simEvents, b.simEvents);
+    EXPECT_EQ(a.noc.messages, b.noc.messages);
+  }
+}
+
+// --- TimelineSampler behaviour ---
+
+TEST(Timeline, SamplesAtRequestedCadence) {
+  ExperimentConfig cfg = obsConfig(ProtocolKind::DiCo, "apache4x16p");
+  cfg.obs.timelineEvery = 5'000;
+  cfg.obs.timelineMetrics = {"sys.ops", "net.messages", "proto.reads"};
+  const ExperimentResult r = runExperiment(cfg);
+  ASSERT_NE(r.timeline, nullptr);
+  const TimelineSampler& tl = *r.timeline;
+  EXPECT_EQ(tl.period(), 5'000u);
+  EXPECT_EQ(tl.names(),
+            (std::vector<std::string>{"sys.ops", "net.messages",
+                                      "proto.reads"}));
+  ASSERT_GE(tl.rows().size(), 30'000u / 5'000u);
+  Tick prev = 0;
+  double prevOps = -1.0;
+  for (const auto& row : tl.rows()) {
+    EXPECT_GT(row.tick, prev);  // strictly increasing, no duplicate rows
+    prev = row.tick;
+    ASSERT_EQ(row.values.size(), 3u);
+    EXPECT_GE(row.values[0], prevOps);  // counters are monotone
+    prevOps = row.values[0];
+  }
+  // The post-drain row captures the final totals.
+  EXPECT_EQ(tl.rows().back().values[0], static_cast<double>(r.ops));
+}
+
+// --- Exporters ---
+
+class ObsExportFiles : public ::testing::Test {
+ protected:
+  std::string path(const char* name) {
+    return ::testing::TempDir() + "eecc_obs_" + name;
+  }
+};
+
+TEST_F(ObsExportFiles, StatsJsonAndCsvAreValid) {
+  ExperimentConfig cfg = obsConfig(ProtocolKind::DiCoProviders, "mixed-com");
+  const ExperimentResult r = runExperiment(cfg);
+  const std::vector<MetricsDoc> docs = {
+      {r.workload, protocolName(r.protocol), r.metrics},
+      {"hostile\"name\\", "proto,with\"commas", r.metrics}};
+
+  const std::string jsonPath = path("stats.json");
+  ASSERT_TRUE(writeStatsJson(jsonPath, docs));
+  const std::string doc = testjson::readFile(jsonPath);
+  std::string err;
+  ASSERT_TRUE(testjson::jsonValid(doc, &err)) << err;
+  EXPECT_EQ(testjson::jsonFindString(doc, "workload"), r.workload);
+  EXPECT_NE(doc.find("proto.readMisses"), std::string::npos);
+  std::remove(jsonPath.c_str());
+
+  const std::string csvPath = path("stats.csv");
+  ASSERT_TRUE(writeStatsCsv(csvPath, docs));
+  const std::string csv = testjson::readFile(csvPath);
+  // Header + one row per metric per doc.
+  std::size_t lines = 0;
+  for (const char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, 1 + docs.size() * r.metrics.size());
+  std::remove(csvPath.c_str());
+}
+
+TEST_F(ObsExportFiles, TimelineAndChromeTraceAreValid) {
+  ExperimentConfig cfg = obsConfig(ProtocolKind::DiCoArin, "apache4x16p");
+  cfg.obs.timelineEvery = 5'000;
+  cfg.obs.traceCapacity = 1 << 12;
+  const ExperimentResult r = runExperiment(cfg);
+  ASSERT_NE(r.timeline, nullptr);
+  ASSERT_NE(r.trace, nullptr);
+  EXPECT_GT(r.trace->recorded(), 0u);
+
+  const std::string tlPath = path("timeline.json");
+  ASSERT_TRUE(writeTimelineJson(tlPath, *r.timeline, r.workload,
+                                protocolName(r.protocol)));
+  std::string err;
+  ASSERT_TRUE(testjson::jsonValid(testjson::readFile(tlPath), &err)) << err;
+  std::remove(tlPath.c_str());
+
+  const std::string trPath = path("trace.json");
+  ASSERT_TRUE(writeChromeTrace(trPath, *r.trace));
+  const std::string doc = testjson::readFile(trPath);
+  ASSERT_TRUE(testjson::jsonValid(doc, &err)) << err;
+  // trace_event essentials: metadata + complete events with timestamps.
+  EXPECT_NE(doc.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ts\":"), std::string::npos);
+  std::remove(trPath.c_str());
+}
+
+TEST_F(ObsExportFiles, OpenFailureReturnsFalse) {
+  const std::vector<MetricsDoc> docs;
+  EXPECT_FALSE(writeStatsJson("/nonexistent-dir/x.json", docs));
+  EXPECT_FALSE(writeStatsCsv("/nonexistent-dir/x.csv", docs));
+}
+
+}  // namespace
+}  // namespace eecc

@@ -25,6 +25,19 @@
 //                         violation
 //     --fuzz-chip         use eecc_check's small 4x4 fuzzing chip (needed
 //                         to replay its counterexample traces faithfully)
+//
+//   Observability exports (DESIGN.md §10; all JSON passes json.tool):
+//     --stats-json FILE   full metric-registry snapshot, every protocol
+//     --stats-csv FILE    same snapshot as workload,protocol,metric,value
+//     --timeline FILE     per-run metric time series (JSON); with several
+//                         protocols the protocol name is inserted before
+//                         the extension (timeline.json -> timeline.dir.json)
+//     --timeline-every N  timeline sample period in cycles (default 10000)
+//     --trace-out FILE    Chrome trace_event JSON of the measured window
+//                         (chrome://tracing / Perfetto); per-protocol
+//                         suffixing as for --timeline
+//     --trace-capacity N  trace ring size in records (default 65536)
+//     --trace-hits        include L1 hits in the trace
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +48,7 @@
 #include "check/monitor.h"
 #include "core/cmp_system.h"
 #include "core/runner.h"
+#include "obs/exporters.h"
 #include "workload/profile.h"
 #include "workload/trace.h"
 
@@ -51,7 +65,11 @@ namespace {
                "       [--no-dedup] [--no-prediction] [--ddr] "
                "[--flit-level] [--seed N] [--csv]\n"
                "       [--dump-trace FILE] [--trace-ops N] "
-               "[--replay FILE] [--check] [--fuzz-chip]\n",
+               "[--replay FILE] [--check] [--fuzz-chip]\n"
+               "       [--stats-json FILE] [--stats-csv FILE] "
+               "[--timeline FILE] [--timeline-every N]\n"
+               "       [--trace-out FILE] [--trace-capacity N] "
+               "[--trace-hits]\n",
                argv0);
   std::exit(2);
 }
@@ -109,6 +127,13 @@ int main(int argc, char** argv) {
   std::string replayPath;
   bool check = false;
   std::uint64_t traceOps = 10'000;
+  std::string statsJsonPath;
+  std::string statsCsvPath;
+  std::string timelinePath;
+  Tick timelineEvery = 10'000;
+  std::string traceOutPath;
+  std::size_t traceCapacity = 1 << 16;
+  bool traceHits = false;
   cfg.warmupCycles = 500'000;
   cfg.windowCycles = 250'000;
 
@@ -136,6 +161,13 @@ int main(int argc, char** argv) {
     else if (arg == "--trace-ops") traceOps = std::strtoull(next(), nullptr, 10);
     else if (arg == "--check") check = true;
     else if (arg == "--fuzz-chip") cfg.chip = fuzzChip();
+    else if (arg == "--stats-json") statsJsonPath = next();
+    else if (arg == "--stats-csv") statsCsvPath = next();
+    else if (arg == "--timeline") timelinePath = next();
+    else if (arg == "--timeline-every") timelineEvery = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--trace-out") traceOutPath = next();
+    else if (arg == "--trace-capacity") traceCapacity = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--trace-hits") traceHits = true;
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
@@ -200,14 +232,21 @@ int main(int argc, char** argv) {
   // The requested protocols run concurrently on the experiment pool;
   // results print in request order, identical to a sequential loop.
   cfg.conformanceCheck = check;
+  cfg.obs.snapshotMetrics = !statsJsonPath.empty() || !statsCsvPath.empty();
+  if (!timelinePath.empty()) cfg.obs.timelineEvery = timelineEvery;
+  if (!traceOutPath.empty()) {
+    cfg.obs.traceCapacity = traceCapacity;
+    cfg.obs.traceHits = traceHits;
+  }
   std::vector<ExperimentConfig> cfgs;
   for (const ProtocolKind kind : parseProtocols(protocols)) {
     cfg.protocol = kind;
     cfgs.push_back(cfg);
   }
   ExperimentRunner runner;
+  const std::vector<ExperimentResult> results = runner.runMany(cfgs);
   std::uint64_t violations = 0;
-  for (const ExperimentResult& r : runner.runMany(cfgs)) {
+  for (const ExperimentResult& r : results) {
     if (csv) printCsv(r);
     else printHuman(r);
     violations += r.checkViolations;
@@ -219,5 +258,37 @@ int main(int argc, char** argv) {
         std::printf("  %s\n", msg.c_str());
     }
   }
+
+  bool exportFailed = false;
+  if (cfg.obs.snapshotMetrics) {
+    std::vector<MetricsDoc> docs;
+    for (const ExperimentResult& r : results)
+      docs.push_back({r.workload, protocolName(r.protocol), r.metrics});
+    if (!statsJsonPath.empty() && !writeStatsJson(statsJsonPath, docs))
+      exportFailed = true;
+    if (!statsCsvPath.empty() && !writeStatsCsv(statsCsvPath, docs))
+      exportFailed = true;
+  }
+  // Timeline and trace files are per-run; with several protocols the
+  // protocol name goes before the extension (out.json -> out.dico.json).
+  const auto suffixed = [&](const std::string& path,
+                            const ExperimentResult& r) -> std::string {
+    if (results.size() == 1) return path;
+    const std::size_t dot = path.rfind('.');
+    const std::string tag = std::string(".") + protocolName(r.protocol);
+    if (dot == std::string::npos || path.find('/', dot) != std::string::npos)
+      return path + tag;
+    return path.substr(0, dot) + tag + path.substr(dot);
+  };
+  for (const ExperimentResult& r : results) {
+    if (r.timeline != nullptr && !timelinePath.empty() &&
+        !writeTimelineJson(suffixed(timelinePath, r), *r.timeline,
+                           r.workload, protocolName(r.protocol)))
+      exportFailed = true;
+    if (r.trace != nullptr && !traceOutPath.empty() &&
+        !writeChromeTrace(suffixed(traceOutPath, r), *r.trace))
+      exportFailed = true;
+  }
+  if (exportFailed) return 1;
   return violations != 0 ? 1 : 0;
 }
