@@ -1,12 +1,15 @@
-// Microbenchmark guard for the observability layer: tracing must be
-// zero-cost when detached. With no sink attached the protocol and network
-// hot paths each pay exactly one untaken, [[unlikely]]-hinted branch per
-// access/message — the same pattern micro_check_overhead guards for the
-// conformance hooks — so we bound the cost from above: even the *attached*
-// null-sink configuration (virtual dispatch to empty bodies on every
-// transaction completion and message send, no recording) must stay within
-// 3% of the detached run. The ring-recording configuration is reported for
-// information only; it is an opt-in diagnostic mode, not a gate.
+// Microbenchmark guard for the observability layer: tracing and the
+// attribution ledger must be zero-cost when detached. With nothing
+// attached the protocol and network hot paths each pay exactly one
+// untaken, [[unlikely]]-hinted branch per access/message for the trace
+// sink plus one for the ledger — the same pattern micro_check_overhead
+// guards for the conformance hooks — so we bound the cost from above:
+// even the *attached* null-sink configuration (virtual dispatch to empty
+// bodies on every transaction completion and message send, no recording)
+// must stay within 3% of the detached run. The detached baseline includes
+// the ledger's untaken branches, so the gate covers them. The
+// ring-recording and ledger-attached configurations are reported for
+// information only; they are opt-in diagnostic modes, not gates.
 //
 //   $ ./build/bench/micro_obs_overhead        (EECC_QUICK=1 for a smoke run)
 //
@@ -15,6 +18,7 @@
 
 #include "bench_util.h"
 #include "core/cmp_system.h"
+#include "obs/ledger.h"
 #include "obs/trace.h"
 
 using namespace eecc;
@@ -31,7 +35,7 @@ struct NullTraceSink final : TraceSink {
   void onBroadcast(const Message&, Tick, Tick) override {}
 };
 
-enum class Mode { Detached, NullSink, RingSink };
+enum class Mode { Detached, NullSink, RingSink, Ledger };
 
 CmpConfig benchChip() {
   CmpConfig cfg;
@@ -49,15 +53,20 @@ CmpConfig benchChip() {
 
 double eventsPerSec(Mode mode, Tick cycles) {
   const CmpConfig cfg = benchChip();
-  CmpSystem system(cfg, ProtocolKind::DiCoProviders,
-                   VmLayout::matched(cfg, 4),
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  CmpSystem system(cfg, ProtocolKind::DiCoProviders, layout,
                    profiles::uniform4(profiles::apache()), /*seed=*/7);
   NullTraceSink nullSink;
   RingTraceSink ring(/*capacity=*/1 << 16, /*recordHits=*/true);
+  AttributionLedger ledger(
+      cfg, layout,
+      [&system](Addr page) { return system.workload().vmOfPage(page); });
   if (mode == Mode::NullSink) {
     system.attachTrace(&nullSink);
   } else if (mode == Mode::RingSink) {
     system.attachTrace(&ring);
+  } else if (mode == Mode::Ledger) {
+    system.attachLedger(&ledger);
   }
   const WallTimer timer;
   system.run(cycles);
@@ -89,14 +98,17 @@ int main() {
   const double detached = bestOf3(Mode::Detached, cycles);
   const double nullAttached = bestOf3(Mode::NullSink, cycles);
   const double ringAttached = bestOf3(Mode::RingSink, cycles);
+  const double ledgerAttached = bestOf3(Mode::Ledger, cycles);
 
-  std::printf("trace-sink overhead (events/sec, best of 3)\n\n");
-  std::printf("%-24s %12.2f M/s  %6.3fx\n", "trace detached",
+  std::printf("observability overhead (events/sec, best of 3)\n\n");
+  std::printf("%-24s %12.2f M/s  %6.3fx\n", "all detached",
               detached / 1e6, 1.0);
   std::printf("%-24s %12.2f M/s  %6.3fx\n", "null sink attached",
               nullAttached / 1e6, nullAttached / detached);
   std::printf("%-24s %12.2f M/s  %6.3fx\n", "ring sink (hits too)",
               ringAttached / 1e6, ringAttached / detached);
+  std::printf("%-24s %12.2f M/s  %6.3fx\n", "ledger attached",
+              ledgerAttached / 1e6, ledgerAttached / detached);
 
   const double ratio = nullAttached / detached;
   std::printf("\ngate: null-attached/detached = %.3f %s %.2fx\n", ratio,

@@ -1,7 +1,9 @@
 #include "common/json.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/check.h"
 
@@ -142,6 +144,305 @@ void JsonWriter::finish() {
                  "JsonWriter: finish() with open scopes");
   std::fputc('\n', f_);
   finished_ = true;
+}
+
+// --- JsonValue ------------------------------------------------------------
+
+bool JsonValue::asBool() const {
+  EECC_CHECK_MSG(kind_ == Kind::Bool, "JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::asNumber() const {
+  EECC_CHECK_MSG(kind_ == Kind::Number, "JsonValue: not a number");
+  return num_;
+}
+
+const std::string& JsonValue::asString() const {
+  EECC_CHECK_MSG(kind_ == Kind::String, "JsonValue: not a string");
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::asArray() const {
+  EECC_CHECK_MSG(kind_ == Kind::Array, "JsonValue: not an array");
+  return arr_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::asObject() const {
+  EECC_CHECK_MSG(kind_ == Kind::Object, "JsonValue: not an object");
+  return obj_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  const auto it = obj_.find(std::string(key));
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+double JsonValue::numberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->isNumber()) ? v->num_ : fallback;
+}
+
+std::string JsonValue::stringOr(std::string_view key,
+                                std::string_view fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->isString()) ? v->str_ : std::string(fallback);
+}
+
+std::vector<JsonValue>& JsonValue::makeArray() {
+  kind_ = Kind::Array;
+  return arr_;
+}
+
+std::map<std::string, JsonValue>& JsonValue::makeObject() {
+  kind_ = Kind::Object;
+  return obj_;
+}
+
+// --- Parser ---------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent parser over the input span. Position is a byte
+/// offset so errors can point at the offending character.
+class Parser {
+ public:
+  Parser(std::string_view text, std::string& error)
+      : text_(text), error_(error) {}
+
+  bool parseDocument(JsonValue& out) {
+    skipWs();
+    if (!parseValue(out, /*depth=*/0)) return false;
+    skipWs();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;  ///< Recursion guard.
+
+  bool fail(const std::string& what) {
+    error_ = "JSON parse error at offset " + std::to_string(pos_) + ": " +
+             what;
+    return false;
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skipWs() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  bool consume(char expect) {
+    if (eof() || peek() != expect)
+      return fail(std::string("expected '") + expect + "'");
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("invalid literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parseObject(out, depth);
+      case '[': return parseArray(out, depth);
+      case '"': {
+        std::string s;
+        if (!parseString(s)) return false;
+        out = JsonValue(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        out = JsonValue(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        out = JsonValue(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        out = JsonValue();
+        return true;
+      default: return parseNumber(out);
+    }
+  }
+
+  bool parseObject(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    auto& members = out.makeObject();
+    skipWs();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      std::string key;
+      if (!parseString(key)) return false;
+      skipWs();
+      if (!consume(':')) return false;
+      skipWs();
+      JsonValue v;
+      if (!parseValue(v, depth + 1)) return false;
+      members.insert_or_assign(std::move(key), std::move(v));
+      skipWs();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool parseArray(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    auto& elems = out.makeArray();
+    skipWs();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      JsonValue v;
+      if (!parseValue(v, depth + 1)) return false;
+      elems.push_back(std::move(v));
+      skipWs();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool parseString(std::string& out) {
+    if (eof() || peek() != '"') return fail("expected string");
+    ++pos_;
+    out.clear();
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("invalid \\u escape");
+          }
+          // Encode the code point as UTF-8. Surrogate pairs are not
+          // recombined — our writer only emits \u00XX control escapes.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("invalid escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == token.c_str())
+      return fail("malformed number");
+    out = JsonValue(d);
+    return true;
+  }
+
+  std::string_view text_;
+  std::string& error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool jsonParse(std::string_view text, JsonValue& out, std::string& error) {
+  Parser p(text, error);
+  return p.parseDocument(out);
+}
+
+bool jsonParseFile(const std::string& path, JsonValue& out,
+                   std::string& error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return jsonParse(text, out, error);
 }
 
 }  // namespace eecc

@@ -1,6 +1,6 @@
-// Minimal JSON emission utilities shared by every exporter (the sweep
-// record of core/runner, the observability layer's stats/timeline/trace
-// writers). Two layers:
+// Minimal JSON utilities shared by every exporter (the sweep record of
+// core/runner, the observability layer's stats/timeline/trace writers)
+// and by the report generator that reads those files back. Three layers:
 //
 //  * jsonEscape() — RFC 8259 string escaping. Every string that reaches a
 //    JSON file MUST pass through it: a workload or sweep name containing
@@ -9,10 +9,15 @@
 //    object/array nesting and inserts commas and indentation itself, so
 //    call sites cannot produce trailing-comma or unbalanced output.
 //    Non-finite doubles are emitted as `null` (JSON has no NaN/Inf).
+//  * JsonValue / jsonParse() — a small DOM parser for reading our own
+//    emitted files back (tools/eecc_report). Strict RFC 8259 subset:
+//    no comments, no trailing commas; numbers are stored as double.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -76,5 +81,63 @@ class JsonWriter {
   bool afterKey_ = false;      ///< A key was written; value comes inline.
   bool finished_ = false;
 };
+
+/// Parsed JSON document node. A tagged union over the seven RFC 8259
+/// value kinds (numbers are doubles; `null` from JsonWriter's non-finite
+/// doubles round-trips back to Null). Object member order is not
+/// preserved — members are kept sorted by key (std::map), which is fine
+/// for our own files and keeps lookups log-time.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;  ///< Null.
+  explicit JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+  explicit JsonValue(double d) : kind_(Kind::Number), num_(d) {}
+  explicit JsonValue(std::string s)
+      : kind_(Kind::String), str_(std::move(s)) {}
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
+  bool isNumber() const { return kind_ == Kind::Number; }
+  bool isString() const { return kind_ == Kind::String; }
+  bool isArray() const { return kind_ == Kind::Array; }
+  bool isObject() const { return kind_ == Kind::Object; }
+
+  /// Value accessors; wrong-kind access aborts (these read files our own
+  /// writer produced — a kind mismatch is a bug, not an input condition).
+  bool asBool() const;
+  double asNumber() const;
+  const std::string& asString() const;
+  const std::vector<JsonValue>& asArray() const;
+  const std::map<std::string, JsonValue>& asObject() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// find() + asNumber(), with `fallback` when absent or non-numeric.
+  double numberOr(std::string_view key, double fallback) const;
+  /// find() + asString(), with `fallback` when absent or non-string.
+  std::string stringOr(std::string_view key, std::string_view fallback) const;
+
+  // Mutators used by the parser (and by tests building documents).
+  std::vector<JsonValue>& makeArray();
+  std::map<std::string, JsonValue>& makeObject();
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::map<std::string, JsonValue> obj_;
+};
+
+/// Parses a complete JSON document. Returns false and fills `error` (with
+/// a byte offset) on malformed input; `out` is unspecified on failure.
+bool jsonParse(std::string_view text, JsonValue& out, std::string& error);
+
+/// File convenience: reads `path` entirely and parses it.
+bool jsonParseFile(const std::string& path, JsonValue& out,
+                   std::string& error);
 
 }  // namespace eecc

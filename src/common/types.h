@@ -28,6 +28,11 @@ using VmId = std::int32_t;
 using AreaId = std::int32_t;
 
 inline constexpr NodeId kInvalidNode = -1;
+inline constexpr VmId kInvalidVm = -1;
+/// Sentinel VM identity for pages shared across VMs by hypervisor
+/// deduplication (no single VM owns them; the attribution ledger keeps a
+/// dedicated row for their footprint).
+inline constexpr VmId kVmShared = -2;
 inline constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
 
 /// Size of a coherence block in bytes (Table III).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/monitor.h"
+#include "obs/ledger.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 
@@ -93,26 +94,34 @@ void CmpSystem::run(Tick cycles) {
     if (core.localTime < events_.now()) core.localTime = events_.now();
     events_.scheduleAfter(0, [this, t] { coreStep(t); });
   }
-  if (checker_ == nullptr && timeline_ == nullptr) {
+  const bool ledgerSamples =
+      ledger_ != nullptr && ledger_->occupancyEvery() > 0;
+  if (checker_ == nullptr && timeline_ == nullptr && !ledgerSamples) {
     events_.runUntil(stopAt_);
     // Drain in-flight misses (no new operations are issued past stopAt_).
     events_.runToCompletion();
+    finishLedger();
     return;
   }
-  // Chunked so the monitors' full-state sweeps and the timeline samples
-  // run between event bursts. (A self-rescheduling sweep/sample event
-  // would keep the queue non-empty and break the runToCompletion() drain
-  // below.) Neither mutates simulator state, so event order and every
-  // counter are identical to the unchunked run.
+  // Chunked so the monitors' full-state sweeps, the timeline samples and
+  // the ledger's occupancy samples run between event bursts. (A
+  // self-rescheduling sweep/sample event would keep the queue non-empty
+  // and break the runToCompletion() drain below.) None of them mutates
+  // simulator state, so event order and every counter are identical to
+  // the unchunked run.
   Tick lastSweep = kTickMax;
   Tick lastSample = kTickMax;
   Tick nextSample =
       timeline_ != nullptr ? events_.now() + timeline_->period() : Tick{0};
+  Tick lastOcc = kTickMax;
+  Tick nextOcc =
+      ledgerSamples ? events_.now() + ledger_->occupancyEvery() : Tick{0};
   while (events_.now() < stopAt_ && !events_.empty()) {
     Tick target = stopAt_;
     if (checker_ != nullptr)
       target = std::min(target, events_.now() + sweepEvery_);
     if (timeline_ != nullptr) target = std::min(target, nextSample);
+    if (ledgerSamples) target = std::min(target, nextOcc);
     events_.runUntil(target);
     if (checker_ != nullptr) {
       checker_->sweep(*protocol_, events_.now());
@@ -123,12 +132,28 @@ void CmpSystem::run(Tick cycles) {
       lastSample = events_.now();
       nextSample = events_.now() + timeline_->period();
     }
+    if (ledgerSamples && events_.now() >= nextOcc) {
+      ledger_->sampleOccupancy(*protocol_);
+      lastOcc = events_.now();
+      nextOcc = events_.now() + ledger_->occupancyEvery();
+    }
   }
   events_.runToCompletion();  // drain in-flight misses
   if (checker_ != nullptr && events_.now() != lastSweep)
     checker_->sweep(*protocol_, events_.now());
   if (timeline_ != nullptr && events_.now() != lastSample)
     timeline_->sample(events_.now());
+  if (ledger_ != nullptr && events_.now() != lastOcc) finishLedger();
+  else if (ledger_ != nullptr) ledger_->finalize();
+}
+
+/// End-of-run ledger bookkeeping: one final occupancy sample at drain time
+/// and a flush of any energy accrued outside a work scope, so snapshots
+/// taken after run() decompose the chip counters exactly.
+void CmpSystem::finishLedger() {
+  if (ledger_ == nullptr) return;
+  ledger_->sampleOccupancy(*protocol_);
+  ledger_->finalize();
 }
 
 void CmpSystem::attachChecker(MonitorSet* checker, Tick sweepEvery) {
@@ -146,12 +171,23 @@ void CmpSystem::attachTrace(TraceSink* sink) {
   net_.setTraceSink(sink);
 }
 
+void CmpSystem::attachLedger(AttributionLedger* ledger) {
+  ledger_ = ledger;
+  protocol_->setLedger(ledger);
+  net_.setLedger(ledger);
+  if (ledger != nullptr) ledger->bindEnergy(&protocol_->energyEvents());
+}
+
 void CmpSystem::warmup(Tick cycles) {
   run(cycles);
   protocol_->resetStats();
   net_.resetStats();
   for (Core& c : cores_) c.opsDone = 0;
   cyclesRun_ = 0;
+  // A ledger attached before warmup restarts its window with the stats:
+  // warmup activity is dropped and the energy baseline re-snapped (the
+  // counters it diffs against were just zeroed).
+  if (ledger_ != nullptr) ledger_->resetWindow();
 }
 
 std::uint64_t CmpSystem::opsCompleted() const {

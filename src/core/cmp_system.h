@@ -28,6 +28,7 @@ namespace eecc {
 class MonitorSet;
 class TimelineSampler;
 class TraceSink;
+class AttributionLedger;
 
 class CmpSystem {
  public:
@@ -68,6 +69,14 @@ class CmpSystem {
   /// the network (obs/trace.h); nullptr detaches. Zero-cost when detached.
   void attachTrace(TraceSink* sink);
 
+  /// Attaches the per-VM/per-area attribution ledger (obs/ledger.h) to the
+  /// protocol and the network, binds the protocol's live energy counters,
+  /// and — when the ledger's occupancyEvery() is nonzero — chunks run() so
+  /// cache occupancy is sampled on that cadence (plus once after the final
+  /// drain). Pure observation: event order and every chip-level counter
+  /// are bit-identical with or without it. Pass nullptr to detach.
+  void attachLedger(AttributionLedger* ledger);
+
   Tick cycles() const { return cyclesRun_; }
   std::uint64_t opsCompleted() const;
   std::uint64_t opsCompleted(NodeId tile) const {
@@ -102,6 +111,7 @@ class CmpSystem {
   static constexpr Tick kQuantum = 200;
 
   void coreStep(NodeId tile);
+  void finishLedger();
   Tick hitLatency() const {
     return cfg_.l1.tagLatency + cfg_.l1.dataLatency;
   }
@@ -118,6 +128,7 @@ class CmpSystem {
   MonitorSet* checker_ = nullptr;  // not owned
   Tick sweepEvery_ = 50'000;
   TimelineSampler* timeline_ = nullptr;  // not owned
+  AttributionLedger* ledger_ = nullptr;  // not owned
 };
 
 }  // namespace eecc

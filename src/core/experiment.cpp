@@ -55,6 +55,14 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
                                               cfg.obs.traceHits);
     system.attachTrace(r.trace.get());
   }
+  if (cfg.obs.ledger) {
+    r.ledger = std::make_shared<AttributionLedger>(
+        cfg.chip, layout,
+        [w = &system.workload()](Addr page) { return w->vmOfPage(page); },
+        cfg.obs.ledgerOccupancyEvery);
+    system.attachLedger(r.ledger.get());
+    registerLedger(registry, *r.ledger, &system);
+  }
 
   system.run(cfg.windowCycles);
 

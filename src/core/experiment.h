@@ -10,6 +10,7 @@
 
 #include "core/cmp_system.h"
 #include "energy/energy_model.h"
+#include "obs/ledger.h"
 #include "obs/metric_registry.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
@@ -31,9 +32,16 @@ struct ObsOptions {
   std::size_t traceCapacity = 0;
   /// Record L1 hits in the trace (floods the ring; off by default).
   bool traceHits = false;
+  /// Attach the per-VM/per-area attribution ledger (obs/ledger.h) over the
+  /// measured window and register its matrices in the registry.
+  bool ledger = false;
+  /// Ledger occupancy sampling period in cycles (0 = end-of-run sample
+  /// only). Drives the leakage apportioning of the report generator.
+  Tick ledgerOccupancyEvery = 50'000;
 
   bool any() const {
-    return snapshotMetrics || timelineEvery > 0 || traceCapacity > 0;
+    return snapshotMetrics || timelineEvery > 0 || traceCapacity > 0 ||
+           ledger;
   }
 };
 
@@ -88,6 +96,9 @@ struct ExperimentResult {
   std::shared_ptr<TimelineSampler> timeline;
   /// Message/transaction trace of the measured window (obs.traceCapacity).
   std::shared_ptr<RingTraceSink> trace;
+  /// Per-VM/per-area attribution matrices of the measured window
+  /// (obs.ledger). Its metrics are part of `metrics` under "ledger.".
+  std::shared_ptr<AttributionLedger> ledger;
 
   // Whole-chip dynamic power (mW) over the run window.
   CacheEnergyBreakdown cachePj;

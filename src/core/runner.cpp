@@ -74,10 +74,24 @@ std::vector<ExperimentResult> ExperimentRunner::runMany(
     const std::vector<ExperimentConfig>& cfgs) {
   std::vector<ExperimentResult> results(cfgs.size());
   std::vector<RunMetrics> batch(cfgs.size());
+  // Heartbeat state shared by the tasks; stack-held because runTasks
+  // blocks until the whole batch drained. The heartbeat only reads its
+  // own counters, so it cannot perturb results (runner_test's
+  // bit-identity holds with progress on).
+  struct Progress {
+    std::mutex mutex;
+    std::size_t done = 0;
+    std::uint64_t events = 0;
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+  } progress;
+  const bool heartbeat = progress_;
+  const std::size_t total = cfgs.size();
   std::vector<std::function<void()>> tasks;
   tasks.reserve(cfgs.size());
   for (std::size_t i = 0; i < cfgs.size(); ++i) {
-    tasks.push_back([&cfgs, &results, &batch, i] {
+    tasks.push_back([&cfgs, &results, &batch, &progress, heartbeat, total,
+                     i] {
       const auto start = std::chrono::steady_clock::now();
       results[i] = runExperiment(cfgs[i]);
       const auto end = std::chrono::steady_clock::now();
@@ -87,6 +101,26 @@ std::vector<ExperimentResult> ExperimentRunner::runMany(
       m.simEvents = results[i].simEvents;
       m.ops = results[i].ops;
       m.wallSeconds = std::chrono::duration<double>(end - start).count();
+      if (heartbeat) {
+        std::lock_guard<std::mutex> lock(progress.mutex);
+        progress.done += 1;
+        progress.events += m.simEvents;
+        const double elapsed =
+            std::chrono::duration<double>(end - progress.start).count();
+        const double rate =
+            elapsed > 0.0 ? static_cast<double>(progress.events) / elapsed
+                          : 0.0;
+        const double eta =
+            progress.done > 0
+                ? elapsed / static_cast<double>(progress.done) *
+                      static_cast<double>(total - progress.done)
+                : 0.0;
+        std::fprintf(stderr,
+                     "[eecc] %zu/%zu experiments  %s %-15s  %.2f Mev/s  "
+                     "ETA %.1fs\n",
+                     progress.done, total, m.workload.c_str(),
+                     protocolName(m.protocol), rate / 1e6, eta);
+      }
     });
   }
   runTasks(std::move(tasks));

@@ -51,6 +51,13 @@ class ExperimentRunner {
 
   unsigned jobs() const { return jobs_; }
 
+  /// Progress heartbeat on stderr (never stdout — stdout carries CSV and
+  /// result tables): one line per completed experiment with done/total,
+  /// cumulative kernel events per wall second, and a remaining-time
+  /// estimate. Off by default; enable for long interactive sweeps
+  /// (eecc_sim --progress).
+  void enableProgress(bool on) { progress_ = on; }
+
   /// Runs every configuration on the pool; returns results in submission
   /// order. Appends one RunMetrics per experiment (same order) to
   /// metrics().
@@ -73,6 +80,7 @@ class ExperimentRunner {
   void workerLoop();
 
   unsigned jobs_;
+  bool progress_ = false;
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;

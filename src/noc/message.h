@@ -27,6 +27,12 @@ struct Message {
   NodeId requestor = kInvalidNode;  ///< Original requestor of a transaction.
   NodeId forwarder = kInvalidNode;  ///< Identity of a forwarding cache
                                     ///< (DiCo-Arin provider repair, IV-B).
+  /// Tile whose activity caused this message — the attribution tag the
+  /// observability ledger maps to a VM. Left invalid by the protocol
+  /// engines except where the cause is neither `requestor` nor `src`
+  /// (Protocol::send defaults it to requestor-else-src). Never read by the
+  /// NoC timing or coherence logic.
+  NodeId origin = kInvalidNode;
   std::uint64_t aux = 0;            ///< Opcode-specific (ack counts, maps...).
   std::uint64_t value = 0;          ///< Modeled data value (verification).
 };

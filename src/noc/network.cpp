@@ -1,5 +1,6 @@
 #include "noc/network.h"
 
+#include "obs/ledger.h"
 #include "obs/trace.h"
 
 namespace eecc {
@@ -75,6 +76,8 @@ void Network::send(const Message& msg) {
   if (trace_ != nullptr) [[unlikely]]
     trace_->onMessage(msg, events_.now(), arrival,
                       static_cast<std::uint32_t>(route.size()));
+  if (ledger_ != nullptr) [[unlikely]]
+    ledger_->onUnicast(msg, static_cast<std::uint32_t>(route.size()), flits);
 
   deliverAt(arrival, msg);
 }
@@ -112,6 +115,9 @@ void Network::broadcast(const Message& msg) {
   }
   if (trace_ != nullptr) [[unlikely]]
     trace_->onBroadcast(msg, base, lastArrive);
+  if (ledger_ != nullptr) [[unlikely]]
+    ledger_->onBroadcast(msg, static_cast<std::uint32_t>(tree.size()), flits,
+                         topo_.nodeCount());
 }
 
 }  // namespace eecc

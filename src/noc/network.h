@@ -24,6 +24,7 @@
 namespace eecc {
 
 class TraceSink;
+class AttributionLedger;
 
 struct NetworkConfig {
   Tick linkCycles = 2;
@@ -87,6 +88,14 @@ class Network {
   void setTraceSink(TraceSink* sink) { trace_ = sink; }
   TraceSink* traceSink() const { return trace_; }
 
+  /// Attaches (or detaches, with nullptr) the attribution ledger
+  /// (obs/ledger.h): every message's hop/flit/routing counts are also
+  /// credited to the originating VM's row. The hook receives exactly the
+  /// quantities added to NocStats, so the per-VM sums reconcile
+  /// bit-for-bit. Same null-check-only cost when detached.
+  void setLedger(AttributionLedger* ledger) { ledger_ = ledger; }
+  AttributionLedger* ledger() const { return ledger_; }
+
   NocStats& stats() { return stats_; }
   const NocStats& stats() const { return stats_; }
   void resetStats() { stats_ = NocStats{}; }
@@ -116,6 +125,7 @@ class Network {
   NetworkConfig cfg_;
   Handler handler_;
   TraceSink* trace_ = nullptr;  ///< Observability trace sink; null = off.
+  AttributionLedger* ledger_ = nullptr;  ///< Attribution ledger; null = off.
   std::vector<Tick> linkBusyUntil_;   // message-level occupancy
   std::vector<Tick> linkFlitSlot_;    // flit-level next free cycle
   NocStats stats_;

@@ -1,0 +1,169 @@
+#include "obs/ledger.h"
+
+#include "noc/message.h"
+#include "protocols/protocol.h"
+
+namespace eecc {
+
+const std::array<EnergyEventField, 16>& energyEventFields() {
+  static const std::array<EnergyEventField, 16> fields = {{
+      {"l1TagProbe", &CacheEnergyEvents::l1TagProbe},
+      {"l1DataRead", &CacheEnergyEvents::l1DataRead},
+      {"l1DataWrite", &CacheEnergyEvents::l1DataWrite},
+      {"l1DirRead", &CacheEnergyEvents::l1DirRead},
+      {"l1DirUpdate", &CacheEnergyEvents::l1DirUpdate},
+      {"l2TagProbe", &CacheEnergyEvents::l2TagProbe},
+      {"l2DataRead", &CacheEnergyEvents::l2DataRead},
+      {"l2DataWrite", &CacheEnergyEvents::l2DataWrite},
+      {"l2DirRead", &CacheEnergyEvents::l2DirRead},
+      {"l2DirUpdate", &CacheEnergyEvents::l2DirUpdate},
+      {"dirCacheProbe", &CacheEnergyEvents::dirCacheProbe},
+      {"dirCacheUpdate", &CacheEnergyEvents::dirCacheUpdate},
+      {"l1cProbe", &CacheEnergyEvents::l1cProbe},
+      {"l1cUpdate", &CacheEnergyEvents::l1cUpdate},
+      {"l2cProbe", &CacheEnergyEvents::l2cProbe},
+      {"l2cUpdate", &CacheEnergyEvents::l2cUpdate},
+  }};
+  return fields;
+}
+
+AttributionLedger::AttributionLedger(const CmpConfig& cfg,
+                                     const VmLayout& layout,
+                                     std::function<VmId(Addr)> vmOfPage,
+                                     Tick occupancyEvery)
+    : numVms_(layout.numVms),
+      numAreas_(cfg.numAreas),
+      occupancyEvery_(occupancyEvery),
+      vmOfPage_(std::move(vmOfPage)),
+      tilesMod_(static_cast<std::uint32_t>(cfg.tiles())) {
+  const auto tiles = static_cast<std::size_t>(cfg.tiles());
+  rowOfTile_.resize(tiles);
+  areaOfTile_.resize(tiles);
+  layoutTiles_.assign(rows() * numAreas_, 0);
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const VmId vm = layout.vmOfTile[t];
+    rowOfTile_[t] = static_cast<std::uint32_t>(rowOfVm(vm));
+    areaOfTile_[t] = static_cast<std::uint32_t>(
+        cfg.areaOf(static_cast<NodeId>(t)));
+    layoutTiles_[cell(rowOfTile_[t], areaOfTile_[t])] += 1;
+  }
+
+  const std::size_t cells = rows() * numAreas_;
+  missByClass_.assign(cells, {});
+  missLatency_.assign(cells, Accumulator{});
+  net_.assign(cells, NetCell{});
+  energy_.assign(cells, CacheEnergyEvents{});
+  latencyHist_.assign(rows(),
+                      Histogram(0.0, kHistMaxLatency, kHistBuckets));
+  l1Occ_.assign(rows(), 0);
+  l2Occ_.assign(cells, 0);
+  scopes_.reserve(8);
+}
+
+std::string AttributionLedger::rowLabel(std::size_t row) const {
+  if (row < numVms_) return "vm" + std::to_string(row);
+  return row == sharedRow() ? "shared" : "other";
+}
+
+void AttributionLedger::bindEnergy(const CacheEnergyEvents* live) {
+  live_ = live;
+  snap_ = live != nullptr ? *live : CacheEnergyEvents{};
+}
+
+std::size_t AttributionLedger::rowOfMsg(const Message& msg) const {
+  const NodeId cause = msg.origin != kInvalidNode ? msg.origin : msg.src;
+  if (cause < 0 || static_cast<std::size_t>(cause) >= rowOfTile_.size())
+    return otherRow();
+  return rowOfTile_[static_cast<std::size_t>(cause)];
+}
+
+void AttributionLedger::msgWorkBegin(const Message& msg) {
+  flushEnergy();
+  // Energy of a message handler is paid at the destination tile's
+  // structures, on behalf of the message's originating VM.
+  std::uint32_t area = 0;
+  if (msg.dst >= 0 && static_cast<std::size_t>(msg.dst) < areaOfTile_.size())
+    area = areaOfTile_[static_cast<std::size_t>(msg.dst)];
+  scopes_.push_back(
+      Scope{static_cast<std::uint32_t>(rowOfMsg(msg)), area});
+}
+
+void AttributionLedger::onMiss(NodeId tile, Addr block, MissClass cls,
+                               double latency, std::uint32_t links) {
+  (void)links;
+  // Area of a miss: where its home bank sits — the paper's in-area vs
+  // cross-area distinction for miss resolution.
+  const std::size_t homeArea =
+      areaOfTile_[static_cast<std::size_t>(blockIndex(block) % tilesMod_)];
+  const std::size_t row = rowOfTile(tile);
+  const std::size_t c = cell(row, homeArea);
+  missByClass_[c][static_cast<std::size_t>(cls)] += 1;
+  missLatency_[c].add(latency);
+  latencyHist_[row].add(latency);
+}
+
+void AttributionLedger::onUnicast(const Message& msg, std::uint32_t hops,
+                                  std::uint32_t flits) {
+  // Cost is charged where the wires are: the destination's area (the
+  // route ends there; XY routes stay within the src/dst bounding box).
+  NetCell& n = net_[cell(rowOfMsg(msg),
+                         areaOfTile_[static_cast<std::size_t>(msg.dst)])];
+  n.messages += 1;
+  n.hops += hops;
+  n.flits += static_cast<std::uint64_t>(hops) * flits;
+  n.routings += static_cast<std::uint64_t>(hops) + 1;
+}
+
+void AttributionLedger::onBroadcast(const Message& msg,
+                                    std::uint32_t treeLinks,
+                                    std::uint32_t flits, std::int32_t nodes) {
+  NetCell& n = net_[cell(rowOfMsg(msg),
+                         areaOfTile_[static_cast<std::size_t>(msg.src)])];
+  n.messages += 1;
+  n.broadcasts += 1;
+  n.hops += treeLinks;
+  n.flits += static_cast<std::uint64_t>(treeLinks) * flits;
+  n.routings += static_cast<std::uint64_t>(nodes);
+}
+
+void AttributionLedger::sampleOccupancy(const Protocol& proto) {
+  proto.forEachL1Copy([this](const Protocol::L1CopyView& v) {
+    l1Occ_[rowOfTile(v.tile)] += 1;
+  });
+  proto.forEachL2Block([this](NodeId tile, Addr block) {
+    std::size_t row = otherRow();
+    if (vmOfPage_) row = rowOfVm(vmOfPage_(pageAddr(block)));
+    l2Occ_[cell(row, areaOfTile_[static_cast<std::size_t>(tile)])] += 1;
+  });
+  occSamples_ += 1;
+}
+
+void AttributionLedger::resetWindow() {
+  const std::size_t cells = rows() * numAreas_;
+  missByClass_.assign(cells, {});
+  missLatency_.assign(cells, Accumulator{});
+  net_.assign(cells, NetCell{});
+  energy_.assign(cells, CacheEnergyEvents{});
+  latencyHist_.assign(rows(),
+                      Histogram(0.0, kHistMaxLatency, kHistBuckets));
+  l1Occ_.assign(rows(), 0);
+  l2Occ_.assign(cells, 0);
+  occSamples_ = 0;
+  if (live_ != nullptr) snap_ = *live_;
+}
+
+void AttributionLedger::flushEnergy() {
+  if (live_ == nullptr) return;
+  const CacheEnergyEvents& live = *live_;
+  CacheEnergyEvents& into =
+      energy_[scopes_.empty()
+                  ? cell(otherRow(), 0)
+                  : cell(scopes_.back().row, scopes_.back().area)];
+  for (const EnergyEventField& f : energyEventFields()) {
+    const std::uint64_t delta = live.*(f.field) - snap_.*(f.field);
+    if (delta != 0) into.*(f.field) += delta;
+  }
+  snap_ = live;
+}
+
+}  // namespace eecc

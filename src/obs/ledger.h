@@ -1,0 +1,230 @@
+// AttributionLedger — per-VM × per-area accounting of coherence activity
+// (DESIGN.md §11).
+//
+// The chip-level structs (ProtocolStats, NocStats, CacheEnergyEvents)
+// answer "what did the chip do"; the ledger answers "on whose behalf and
+// where": every classified L1 miss, every NoC message and every cache
+// energy event is attributed to the VM that caused it and to the static
+// chip area where the cost was paid. Summing any ledger matrix over all
+// rows (including the `shared` and `other` rows) reproduces the
+// corresponding chip-level counter bit-for-bit — ledger_test enforces this
+// for every protocol — so the ledger is a *decomposition* of the legacy
+// stats, never a second (and eventually divergent) bookkeeping.
+//
+// Attribution rules:
+//  * Misses: the issuing tile's VM; the area of the block's home bank.
+//  * Messages: the VM of Message::origin (the tile whose activity caused
+//    the message — protocols tag responses/forwards explicitly, see
+//    noc/message.h); the area of the destination (unicast) or the source
+//    (broadcast) — where the wires are.
+//  * Cache energy: bracket-based. The protocol opens a work scope around
+//    each access and each message handler (workBegin/msgWorkBegin …
+//    workEnd); on every scope boundary the delta of the protocol's live
+//    CacheEnergyEvents since the previous boundary is flushed into the
+//    scope's cell. Energy charged outside any scope lands in the `other`
+//    row, so the decomposition stays exact without touching the ~170
+//    energy charge sites in the protocol engines.
+//  * Leakage: not accumulated here — it is a function of time, not events.
+//    The ledger samples per-VM cache occupancy (L1 copies by tile, L2
+//    blocks by owning page) on the chunked CmpSystem::run cadence;
+//    consumers (obs/report.h) apportion the chip's leakage power by mean
+//    occupancy share.
+//
+// Hot-path contract: same as TraceSink/CheckHooks — a detached ledger
+// costs one untaken [[unlikely]] branch per access/message
+// (bench/micro_obs_overhead gates this); attached cost is array indexing
+// only, no allocation, no hashing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/config.h"
+#include "protocols/protocol_stats.h"
+
+namespace eecc {
+
+class Protocol;
+struct Message;
+
+/// Name/pointer-to-member table over CacheEnergyEvents — the single place
+/// that enumerates its fields, shared by the ledger's delta flush, the
+/// registry walkers and the report generator.
+struct EnergyEventField {
+  const char* name;
+  std::uint64_t CacheEnergyEvents::*field;
+};
+const std::array<EnergyEventField, 16>& energyEventFields();
+
+class AttributionLedger {
+ public:
+  /// Per-cell NoC usage, mirroring the NocStats counters it decomposes.
+  struct NetCell {
+    std::uint64_t messages = 0;
+    std::uint64_t broadcasts = 0;
+    std::uint64_t hops = 0;      ///< NocStats::linksTraversed share.
+    std::uint64_t flits = 0;     ///< NocStats::linkFlits share.
+    std::uint64_t routings = 0;  ///< NocStats::routings share.
+  };
+
+  /// `vmOfPage` resolves a page address to its owning VM (kVmShared for
+  /// hypervisor-deduplicated pages, kInvalidVm for unknown); only used by
+  /// occupancy sampling, may be empty. `occupancyEvery` is the sampling
+  /// period in cycles (0 = only the end-of-run sample).
+  AttributionLedger(const CmpConfig& cfg, const VmLayout& layout,
+                    std::function<VmId(Addr)> vmOfPage = {},
+                    Tick occupancyEvery = 50'000);
+
+  // --- Geometry ---
+  std::size_t numVms() const { return numVms_; }
+  std::size_t numAreas() const { return numAreas_; }
+  /// Rows: one per VM, then `shared` (deduplicated pages), then `other`
+  /// (unassigned tiles and unattributed energy).
+  std::size_t rows() const { return numVms_ + 2; }
+  std::size_t sharedRow() const { return numVms_; }
+  std::size_t otherRow() const { return numVms_ + 1; }
+  /// "vm0".."vmN-1", "shared", "other" — the stable row labels of the
+  /// registry names and report tables.
+  std::string rowLabel(std::size_t row) const;
+  Tick occupancyEvery() const { return occupancyEvery_; }
+
+  /// Tiles the layout statically assigns to (row, area) — the denominator
+  /// for per-VM normalizations. Unassigned tiles count under `other`.
+  std::uint64_t layoutTiles(std::size_t row, std::size_t area) const {
+    return layoutTiles_[cell(row, area)];
+  }
+
+  // --- Attach-time binding (CmpSystem::attachLedger) ---
+  /// Binds the protocol's live energy counters for the delta flush; snaps
+  /// the current values so only energy from now on is attributed.
+  void bindEnergy(const CacheEnergyEvents* live);
+
+  // --- Protocol hooks (hot path; callers guard with [[unlikely]]) ---
+  /// Opens a work scope for core-issued work on `tile`.
+  void workBegin(NodeId tile) {
+    flushEnergy();
+    scopes_.push_back(scopeOfTile(tile));
+  }
+  /// Opens a work scope for handling `msg` at its destination.
+  void msgWorkBegin(const Message& msg);
+  /// Closes the innermost scope, attributing energy since the last
+  /// boundary to it.
+  void workEnd() {
+    flushEnergy();
+    scopes_.pop_back();
+  }
+
+  /// One classified miss completion (same values recordMiss() fed the
+  /// chip-level stats, so the sums reconcile exactly).
+  void onMiss(NodeId tile, Addr block, MissClass cls, double latency,
+              std::uint32_t links);
+
+  // --- Network hooks ---
+  /// Mirrors Network::send's stat increments for one unicast.
+  void onUnicast(const Message& msg, std::uint32_t hops, std::uint32_t flits);
+  /// Mirrors Network::broadcast's: `treeLinks` tree links crossed,
+  /// `nodes` routers visited.
+  void onBroadcast(const Message& msg, std::uint32_t treeLinks,
+                   std::uint32_t flits, std::int32_t nodes);
+
+  // --- Sampling / lifecycle ---
+  /// Accumulates one occupancy sample: L1 lines per VM (by tile), L2
+  /// blocks per VM × area (by owning page via vmOfPage).
+  void sampleOccupancy(const Protocol& proto);
+  /// Flushes energy accrued since the last scope boundary into `other`.
+  /// CmpSystem::run calls this after the final drain so the energy
+  /// decomposition is exact at snapshot time.
+  void finalize() { flushEnergy(); }
+  /// Clears every accumulated matrix and re-snaps the energy baseline
+  /// (CmpSystem::warmup: measurement restarts, attachment stays).
+  void resetWindow();
+
+  // --- Results ---
+  std::uint64_t missCount(std::size_t row, std::size_t area,
+                          MissClass cls) const {
+    return missByClass_[cell(row, area)][static_cast<std::size_t>(cls)];
+  }
+  const Accumulator& missLatency(std::size_t row, std::size_t area) const {
+    return missLatency_[cell(row, area)];
+  }
+  /// Miss-latency histogram per row (16 buckets over [0, 2048) cycles).
+  const Histogram& latencyHistogram(std::size_t row) const {
+    return latencyHist_[row];
+  }
+  const NetCell& net(std::size_t row, std::size_t area) const {
+    return net_[cell(row, area)];
+  }
+  const CacheEnergyEvents& energy(std::size_t row, std::size_t area) const {
+    return energy_[cell(row, area)];
+  }
+  std::uint64_t l1OccupiedLines(std::size_t row) const { return l1Occ_[row]; }
+  std::uint64_t l2OccupiedLines(std::size_t row, std::size_t area) const {
+    return l2Occ_[cell(row, area)];
+  }
+  std::uint64_t occupancySamples() const { return occSamples_; }
+
+  /// Histogram geometry (report/export constants).
+  static constexpr std::size_t kHistBuckets = 16;
+  static constexpr double kHistMaxLatency = 2048.0;
+
+ private:
+  struct Scope {
+    std::uint32_t row;
+    std::uint32_t area;
+  };
+
+  std::size_t cell(std::size_t row, std::size_t area) const {
+    return row * numAreas_ + area;
+  }
+  std::size_t rowOfTile(NodeId tile) const {
+    return rowOfTile_[static_cast<std::size_t>(tile)];
+  }
+  Scope scopeOfTile(NodeId tile) const {
+    const auto t = static_cast<std::size_t>(tile);
+    return Scope{rowOfTile_[t], areaOfTile_[t]};
+  }
+  std::size_t rowOfVm(VmId vm) const {
+    if (vm >= 0 && static_cast<std::size_t>(vm) < numVms_)
+      return static_cast<std::size_t>(vm);
+    return vm == kVmShared ? sharedRow() : otherRow();
+  }
+  /// Attribution row of a message: the VM of its origin tile (falling
+  /// back to the sender for untagged messages).
+  std::size_t rowOfMsg(const Message& msg) const;
+
+  /// Moves the live-counter delta since the last boundary into the
+  /// innermost scope's cell (`other` when no scope is open).
+  void flushEnergy();
+
+  std::size_t numVms_;
+  std::size_t numAreas_;
+  Tick occupancyEvery_;
+  std::function<VmId(Addr)> vmOfPage_;
+  std::vector<std::uint32_t> rowOfTile_;   // [tile]
+  std::vector<std::uint32_t> areaOfTile_;  // [tile]
+  std::uint32_t tilesMod_;                 // homeOf() divisor
+  std::vector<std::uint64_t> layoutTiles_;  // [cell]
+
+  // Matrices, indexed by cell(row, area).
+  std::vector<std::array<std::uint64_t,
+                         static_cast<std::size_t>(MissClass::kCount)>>
+      missByClass_;
+  std::vector<Accumulator> missLatency_;
+  std::vector<NetCell> net_;
+  std::vector<CacheEnergyEvents> energy_;
+  std::vector<Histogram> latencyHist_;  // [row]
+  std::vector<std::uint64_t> l1Occ_;    // [row]
+  std::vector<std::uint64_t> l2Occ_;    // [cell]
+  std::uint64_t occSamples_ = 0;
+
+  const CacheEnergyEvents* live_ = nullptr;
+  CacheEnergyEvents snap_{};
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace eecc

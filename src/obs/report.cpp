@@ -1,0 +1,395 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <string>
+
+#include "common/json.h"
+#include "obs/ledger.h"
+
+namespace eecc {
+
+namespace {
+
+/// Simulated core clock the mW gauges assume (EnergyModel::pjToMw).
+constexpr double kGhz = 3.0;
+
+std::FILE* openOrComplain(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    std::fprintf(stderr, "eecc_report: cannot open %s\n", path.c_str());
+  return f;
+}
+
+/// The one number formatting of every report file: %.10g round-trips all
+/// values we care about and is byte-stable for bit-identical inputs.
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+std::string cellName(const std::string& row, std::size_t area,
+                     const char* leaf) {
+  return "ledger." + row + "." + std::to_string(area) + "." + leaf;
+}
+
+}  // namespace
+
+std::vector<StatsRun> statsRunsFromJson(const JsonValue& doc) {
+  std::vector<StatsRun> out;
+  const JsonValue* runs = doc.find("runs");
+  if (runs == nullptr || !runs->isArray()) return out;
+  for (const JsonValue& r : runs->asArray()) {
+    if (!r.isObject()) continue;
+    StatsRun run;
+    run.workload = r.stringOr("workload", "");
+    run.protocol = r.stringOr("protocol", "");
+    const JsonValue* metrics = r.find("metrics");
+    if (metrics != nullptr && metrics->isObject())
+      for (const auto& [name, v] : metrics->asObject())
+        if (v.isNumber()) run.metrics.emplace(name, v.asNumber());
+    out.push_back(std::move(run));
+  }
+  return out;
+}
+
+bool loadStatsRuns(const std::string& path, std::vector<StatsRun>& out,
+                   std::string& error) {
+  JsonValue doc;
+  if (!jsonParseFile(path, doc, error)) return false;
+  out = statsRunsFromJson(doc);
+  if (out.empty()) {
+    error = path + ": no runs (expected {\"runs\": [...]})";
+    return false;
+  }
+  return true;
+}
+
+Report buildReport(const std::vector<StatsRun>& runs) {
+  Report rep;
+
+  // --- Figure 8: energy breakdown, normalized against Directory ---
+  for (const StatsRun& run : runs) {
+    EnergyBreakdownRow row;
+    row.workload = run.workload;
+    row.protocol = run.protocol;
+    row.l1Pj = run.metric("energy.pj.cache.l1");
+    row.l1DirPj = run.metric("energy.pj.cache.l1Dir");
+    row.l2Pj = run.metric("energy.pj.cache.l2");
+    row.l2DirPj = run.metric("energy.pj.cache.l2Dir");
+    row.pointerPj = run.metric("energy.pj.cache.pointer");
+    row.routingPj = run.metric("energy.pj.noc.routing");
+    row.linkPj = run.metric("energy.pj.noc.link");
+    // mW over `cycles` at kGhz back to pJ: pJ = mW * cycles / GHz.
+    row.leakagePj = run.metric("energy.leakage.chipMw") *
+                    run.metric("sys.cycles") / kGhz;
+    rep.energy.push_back(row);
+  }
+  for (EnergyBreakdownRow& row : rep.energy) {
+    // Normalization base: the workload's Directory run, else its first run.
+    const EnergyBreakdownRow* base = nullptr;
+    for (const EnergyBreakdownRow& cand : rep.energy) {
+      if (cand.workload != row.workload) continue;
+      if (base == nullptr || cand.protocol == "Directory") base = &cand;
+      if (cand.protocol == "Directory") break;
+    }
+    row.normalized = (base != nullptr && base->totalPj() > 0.0)
+                         ? row.totalPj() / base->totalPj()
+                         : 0.0;
+  }
+
+  // --- Per-VM attribution + interference (ledger runs only) ---
+  for (const StatsRun& run : runs) {
+    if (!run.has("ledger.rows")) continue;
+    const auto rows = static_cast<std::size_t>(run.metric("ledger.rows"));
+    const auto vms = static_cast<std::size_t>(run.metric("ledger.vms"));
+    const auto areas = static_cast<std::size_t>(run.metric("ledger.areas"));
+    if (areas > rep.areas) rep.areas = areas;
+
+    const auto label = [vms](std::size_t r) -> std::string {
+      if (r < vms) return "vm" + std::to_string(r);
+      return r == vms ? "shared" : "other";
+    };
+
+    // Chip-level denominators.
+    double chipMisses = 0;
+    const double chipDynamicPj = run.metric("energy.pj.cache.total") +
+                                 run.metric("energy.pj.noc.total");
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t a = 0; a < areas; ++a)
+        chipMisses += run.metric(cellName(label(r), a, "missLatency.count"));
+    const double chipLeakMw = run.metric("energy.leakage.chipMw");
+    const double occSamples = run.metric("ledger.occ.samples");
+    const double chipLines =
+        run.metric("cfg.tiles") *
+        (run.metric("cfg.l1Entries") + run.metric("cfg.l2Entries"));
+
+    double apportionedMw = 0;
+    std::size_t otherIdx = rep.perVm.size();
+    bool haveOther = false;
+    for (std::size_t r = 0; r < rows; ++r) {
+      PerVmRow row;
+      row.workload = run.workload;
+      row.protocol = run.protocol;
+      row.row = label(r);
+      double latSum = 0;
+      double occLines = run.metric("ledger." + row.row + ".occ.l1Lines");
+      for (std::size_t a = 0; a < areas; ++a) {
+        row.tiles += run.metric(cellName(row.row, a, "tiles"));
+        row.misses += run.metric(cellName(row.row, a, "missLatency.count"));
+        latSum += run.metric(cellName(row.row, a, "missLatency.sum"));
+        row.dynamicPj += run.metric(cellName(row.row, a, "pj.cache")) +
+                         run.metric(cellName(row.row, a, "pj.noc"));
+        occLines += run.metric(cellName(row.row, a, "occ.l2Lines"));
+      }
+      row.missShare = chipMisses > 0 ? row.misses / chipMisses : 0.0;
+      row.missLatencyMean = row.misses > 0 ? latSum / row.misses : 0.0;
+      row.dynamicShare =
+          chipDynamicPj > 0 ? row.dynamicPj / chipDynamicPj : 0.0;
+      row.occShare = (occSamples > 0 && chipLines > 0)
+                         ? occLines / occSamples / chipLines
+                         : 0.0;
+      row.leakageMw = chipLeakMw * row.occShare;
+      apportionedMw += row.leakageMw;
+      for (std::size_t b = 0; b < AttributionLedger::kHistBuckets; ++b)
+        row.latencyHist.push_back(
+            run.metric("ledger." + row.row + ".hist." + std::to_string(b)));
+      if (row.row == "other") {
+        otherIdx = rep.perVm.size();
+        haveOther = true;
+      }
+      rep.perVm.push_back(std::move(row));
+    }
+    // Leakage of unoccupied capacity lands in `other`, so the per-row
+    // leakage sums exactly to the chip's leakage power.
+    if (haveOther)
+      rep.perVm[otherIdx].leakageMw += chipLeakMw - apportionedMw;
+
+    for (std::size_t r = 0; r < rows; ++r) {
+      InterferenceRow row;
+      row.workload = run.workload;
+      row.protocol = run.protocol;
+      row.row = label(r);
+      double total = 0;
+      std::vector<double> flits(areas, 0.0);
+      for (std::size_t a = 0; a < areas; ++a) {
+        flits[a] = run.metric(cellName(row.row, a, "net.flits"));
+        total += flits[a];
+      }
+      for (std::size_t a = 0; a < areas; ++a) {
+        const double share = total > 0 ? flits[a] / total : 0.0;
+        row.flitShareByArea.push_back(share);
+        if (run.metric(cellName(row.row, a, "tiles")) == 0.0)
+          row.remoteShare += share;
+      }
+      rep.interference.push_back(std::move(row));
+    }
+  }
+  return rep;
+}
+
+bool writeReportJson(const std::string& path, const Report& report) {
+  std::FILE* f = openOrComplain(path);
+  if (f == nullptr) return false;
+  {
+    JsonWriter w(f);
+    w.beginObject();
+    w.field("areas", static_cast<std::uint64_t>(report.areas));
+    w.key("energyBreakdown");
+    w.beginArray();
+    for (const EnergyBreakdownRow& r : report.energy) {
+      w.beginObject();
+      w.field("workload", r.workload);
+      w.field("protocol", r.protocol);
+      w.field("l1Pj", r.l1Pj);
+      w.field("l1DirPj", r.l1DirPj);
+      w.field("l2Pj", r.l2Pj);
+      w.field("l2DirPj", r.l2DirPj);
+      w.field("pointerPj", r.pointerPj);
+      w.field("routingPj", r.routingPj);
+      w.field("linkPj", r.linkPj);
+      w.field("leakagePj", r.leakagePj);
+      w.field("totalPj", r.totalPj());
+      w.field("normalized", r.normalized);
+      w.endObject();
+    }
+    w.endArray();
+    w.key("perVm");
+    w.beginArray();
+    for (const PerVmRow& r : report.perVm) {
+      w.beginObject();
+      w.field("workload", r.workload);
+      w.field("protocol", r.protocol);
+      w.field("row", r.row);
+      w.field("tiles", r.tiles);
+      w.field("misses", r.misses);
+      w.field("missShare", r.missShare);
+      w.field("missLatencyMean", r.missLatencyMean);
+      w.field("dynamicPj", r.dynamicPj);
+      w.field("dynamicShare", r.dynamicShare);
+      w.field("occShare", r.occShare);
+      w.field("leakageMw", r.leakageMw);
+      w.key("latencyHist");
+      w.beginArray();
+      for (const double v : r.latencyHist) w.value(v);
+      w.endArray();
+      w.endObject();
+    }
+    w.endArray();
+    w.key("interference");
+    w.beginArray();
+    for (const InterferenceRow& r : report.interference) {
+      w.beginObject();
+      w.field("workload", r.workload);
+      w.field("protocol", r.protocol);
+      w.field("row", r.row);
+      w.key("flitShareByArea");
+      w.beginArray();
+      for (const double v : r.flitShareByArea) w.value(v);
+      w.endArray();
+      w.field("remoteShare", r.remoteShare);
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool writeEnergyBreakdownCsv(const std::string& path, const Report& report) {
+  std::FILE* f = openOrComplain(path);
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "workload,protocol,l1_pj,l1_dir_pj,l2_pj,l2_dir_pj,"
+               "pointer_pj,routing_pj,link_pj,leakage_pj,total_pj,"
+               "normalized\n");
+  for (const EnergyBreakdownRow& r : report.energy)
+    std::fprintf(f, "%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+                 r.workload.c_str(), r.protocol.c_str(), fmt(r.l1Pj).c_str(),
+                 fmt(r.l1DirPj).c_str(), fmt(r.l2Pj).c_str(),
+                 fmt(r.l2DirPj).c_str(), fmt(r.pointerPj).c_str(),
+                 fmt(r.routingPj).c_str(), fmt(r.linkPj).c_str(),
+                 fmt(r.leakagePj).c_str(), fmt(r.totalPj()).c_str(),
+                 fmt(r.normalized).c_str());
+  std::fclose(f);
+  return true;
+}
+
+bool writePerVmCsv(const std::string& path, const Report& report) {
+  std::FILE* f = openOrComplain(path);
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "workload,protocol,row,tiles,misses,miss_share,"
+               "miss_latency_mean,dynamic_pj,dynamic_share,occ_share,"
+               "leakage_mw");
+  for (std::size_t b = 0; b < AttributionLedger::kHistBuckets; ++b)
+    std::fprintf(f, ",hist_%zu", b);
+  std::fprintf(f, "\n");
+  for (const PerVmRow& r : report.perVm) {
+    std::fprintf(f, "%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s",
+                 r.workload.c_str(), r.protocol.c_str(), r.row.c_str(),
+                 fmt(r.tiles).c_str(), fmt(r.misses).c_str(),
+                 fmt(r.missShare).c_str(), fmt(r.missLatencyMean).c_str(),
+                 fmt(r.dynamicPj).c_str(), fmt(r.dynamicShare).c_str(),
+                 fmt(r.occShare).c_str(), fmt(r.leakageMw).c_str());
+    for (const double v : r.latencyHist)
+      std::fprintf(f, ",%s", fmt(v).c_str());
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool writeInterferenceCsv(const std::string& path, const Report& report) {
+  std::FILE* f = openOrComplain(path);
+  if (f == nullptr) return false;
+  std::fprintf(f, "workload,protocol,row");
+  for (std::size_t a = 0; a < report.areas; ++a)
+    std::fprintf(f, ",area_%zu_share", a);
+  std::fprintf(f, ",remote_share\n");
+  for (const InterferenceRow& r : report.interference) {
+    std::fprintf(f, "%s,%s,%s", r.workload.c_str(), r.protocol.c_str(),
+                 r.row.c_str());
+    for (std::size_t a = 0; a < report.areas; ++a)
+      std::fprintf(f, ",%s",
+                   a < r.flitShareByArea.size()
+                       ? fmt(r.flitShareByArea[a]).c_str()
+                       : "0");
+    std::fprintf(f, ",%s\n", fmt(r.remoteShare).c_str());
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool writeReportMarkdown(const std::string& path, const Report& report) {
+  std::FILE* f = openOrComplain(path);
+  if (f == nullptr) return false;
+  std::fprintf(f, "# EECC paper-figure report\n");
+
+  std::fprintf(f,
+               "\n## Energy breakdown (Figure 8)\n\n"
+               "Dynamic + leakage energy over the measured window, in "
+               "picojoules; `normalized` is against the Directory "
+               "protocol's total for the same workload.\n\n");
+  std::fprintf(f,
+               "| workload | protocol | L1 | L1 dir | L2 | L2 dir | "
+               "pointer | routing | link | leakage | total | normalized "
+               "|\n");
+  std::fprintf(f, "|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+  for (const EnergyBreakdownRow& r : report.energy)
+    std::fprintf(f,
+                 "| %s | %s | %s | %s | %s | %s | %s | %s | %s | %s | %s "
+                 "| %s |\n",
+                 r.workload.c_str(), r.protocol.c_str(), fmt(r.l1Pj).c_str(),
+                 fmt(r.l1DirPj).c_str(), fmt(r.l2Pj).c_str(),
+                 fmt(r.l2DirPj).c_str(), fmt(r.pointerPj).c_str(),
+                 fmt(r.routingPj).c_str(), fmt(r.linkPj).c_str(),
+                 fmt(r.leakagePj).c_str(), fmt(r.totalPj()).c_str(),
+                 fmt(r.normalized).c_str());
+
+  std::fprintf(f,
+               "\n## Per-VM attribution\n\n"
+               "Misses, dynamic energy and apportioned leakage per ledger "
+               "row (leakage of unoccupied capacity is charged to "
+               "`other`).\n\n");
+  std::fprintf(f,
+               "| workload | protocol | row | tiles | misses | miss share "
+               "| mean latency | dynamic pJ | dynamic share | occ share | "
+               "leakage mW |\n");
+  std::fprintf(f, "|---|---|---|---|---|---|---|---|---|---|---|\n");
+  for (const PerVmRow& r : report.perVm)
+    std::fprintf(
+        f, "| %s | %s | %s | %s | %s | %s | %s | %s | %s | %s | %s |\n",
+        r.workload.c_str(), r.protocol.c_str(), r.row.c_str(),
+        fmt(r.tiles).c_str(), fmt(r.misses).c_str(),
+        fmt(r.missShare).c_str(), fmt(r.missLatencyMean).c_str(),
+        fmt(r.dynamicPj).c_str(), fmt(r.dynamicShare).c_str(),
+        fmt(r.occShare).c_str(), fmt(r.leakageMw).c_str());
+
+  std::fprintf(f,
+               "\n## Inter-VM interference (flit shares by area)\n\n"
+               "Fraction of each row's NoC flits paid in each static chip "
+               "area; `remote` is the fraction in areas where the row "
+               "owns no tiles.\n\n");
+  std::fprintf(f, "| workload | protocol | row |");
+  for (std::size_t a = 0; a < report.areas; ++a)
+    std::fprintf(f, " area %zu |", a);
+  std::fprintf(f, " remote |\n|---|---|---|");
+  for (std::size_t a = 0; a < report.areas; ++a) std::fprintf(f, "---|");
+  std::fprintf(f, "---|\n");
+  for (const InterferenceRow& r : report.interference) {
+    std::fprintf(f, "| %s | %s | %s |", r.workload.c_str(),
+                 r.protocol.c_str(), r.row.c_str());
+    for (std::size_t a = 0; a < report.areas; ++a)
+      std::fprintf(f, " %s |",
+                   a < r.flitShareByArea.size()
+                       ? fmt(r.flitShareByArea[a]).c_str()
+                       : "0");
+    std::fprintf(f, " %s |\n", fmt(r.remoteShare).c_str());
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace eecc

@@ -1,0 +1,128 @@
+// Paper-figure report generator (DESIGN.md §11, tools/eecc_report).
+//
+// Consumes the stats-JSON files eecc_sim --stats-json writes (one
+// metric-registry snapshot per protocol run) and reduces them to the
+// figure-ready tables of the paper's evaluation section:
+//
+//  * Energy breakdown (Figure 8): per (workload, protocol), dynamic
+//    energy split into the cache components (L1, L1 dir, L2, L2 dir,
+//    pointer caches), NoC routing/link energy and the leakage energy of
+//    the window, normalized against the Directory protocol's total for
+//    the same workload.
+//  * Per-VM attribution: per (workload, protocol, ledger row), miss
+//    counts and shares, mean miss latency, dynamic energy and share,
+//    and the chip leakage power apportioned by mean cache-occupancy
+//    share (unoccupied capacity leaks into the `other` row, keeping the
+//    per-row leakage an exact decomposition of energy.leakage.chipMw).
+//  * Interference matrix: per ledger row, the fraction of its NoC flits
+//    spent in each static chip area, plus the total fraction spent in
+//    areas where the row owns no tiles ("remote share") — the server-
+//    consolidation isolation question (can VM i's traffic burden VM j's
+//    area?) as one number per VM.
+//
+// All emitted numbers go through a fixed %.10g formatting, so report
+// files are byte-identical for bit-identical simulations (the golden
+// tests and the EECC_JOBS determinism test rely on this).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eecc {
+
+class JsonValue;
+
+/// One run (one protocol on one workload) of a stats-JSON file, with the
+/// metric snapshot flattened to name → value.
+struct StatsRun {
+  std::string workload;
+  std::string protocol;
+  std::map<std::string, double> metrics;
+
+  bool has(const std::string& name) const {
+    return metrics.find(name) != metrics.end();
+  }
+  double metric(const std::string& name, double fallback = 0.0) const {
+    const auto it = metrics.find(name);
+    return it == metrics.end() ? fallback : it->second;
+  }
+};
+
+/// Extracts the runs of a parsed stats document
+/// (`{"runs": [{workload, protocol, metrics: {...}}]}`).
+std::vector<StatsRun> statsRunsFromJson(const JsonValue& doc);
+
+/// Reads and parses `path`; false + `error` on I/O or parse failure.
+bool loadStatsRuns(const std::string& path, std::vector<StatsRun>& out,
+                   std::string& error);
+
+/// One (workload, protocol) row of the Figure 8 energy table. Energies in
+/// picojoules over the measured window.
+struct EnergyBreakdownRow {
+  std::string workload;
+  std::string protocol;
+  double l1Pj = 0;
+  double l1DirPj = 0;
+  double l2Pj = 0;
+  double l2DirPj = 0;
+  double pointerPj = 0;
+  double routingPj = 0;
+  double linkPj = 0;
+  double leakagePj = 0;  ///< energy.leakage.chipMw over the window.
+  double totalPj() const {
+    return l1Pj + l1DirPj + l2Pj + l2DirPj + pointerPj + routingPj +
+           linkPj + leakagePj;
+  }
+  /// totalPj / the Directory run's totalPj for the same workload (the
+  /// Figure 8 normalization; 1.0 for Directory itself).
+  double normalized = 0;
+};
+
+/// One (workload, protocol, ledger row) of the per-VM attribution table.
+struct PerVmRow {
+  std::string workload;
+  std::string protocol;
+  std::string row;          ///< Ledger row label ("vm0".., "shared", "other").
+  double tiles = 0;         ///< Tiles the layout assigns to this row.
+  double misses = 0;        ///< L1 misses attributed to the row.
+  double missShare = 0;     ///< misses / all attributed misses.
+  double missLatencyMean = 0;
+  double dynamicPj = 0;     ///< Cache + NoC dynamic energy of the row.
+  double dynamicShare = 0;  ///< dynamicPj / chip dynamic total.
+  double occShare = 0;      ///< Mean share of all cache lines occupied.
+  double leakageMw = 0;     ///< Chip leakage apportioned by occShare.
+  std::vector<double> latencyHist;  ///< 16-bucket miss-latency histogram.
+};
+
+/// One (workload, protocol, ledger row) of the interference matrix.
+struct InterferenceRow {
+  std::string workload;
+  std::string protocol;
+  std::string row;
+  std::vector<double> flitShareByArea;  ///< Σ = 1 when the row has flits.
+  double remoteShare = 0;  ///< Flits in areas where the row owns no tiles.
+};
+
+struct Report {
+  std::size_t areas = 0;  ///< Max area count across runs (matrix width).
+  std::vector<EnergyBreakdownRow> energy;
+  std::vector<PerVmRow> perVm;
+  std::vector<InterferenceRow> interference;
+};
+
+/// Reduces the runs to the three tables. Runs without ledger metrics
+/// still contribute energy rows; the per-VM and interference tables only
+/// cover runs recorded with --ledger.
+Report buildReport(const std::vector<StatsRun>& runs);
+
+/// Writers. Each returns false (with a stderr diagnostic) when the file
+/// cannot be opened. Deterministic output: fixed column order, fixed
+/// %.10g number formatting, rows in input order.
+bool writeReportJson(const std::string& path, const Report& report);
+bool writeEnergyBreakdownCsv(const std::string& path, const Report& report);
+bool writePerVmCsv(const std::string& path, const Report& report);
+bool writeInterferenceCsv(const std::string& path, const Report& report);
+bool writeReportMarkdown(const std::string& path, const Report& report);
+
+}  // namespace eecc

@@ -1,6 +1,11 @@
 #include "obs/system_metrics.h"
 
+#include <optional>
+
 #include "core/cmp_system.h"
+#include "core/experiment.h"
+#include "energy/energy_model.h"
+#include "obs/ledger.h"
 #include "protocols/protocol.h"
 #include "protocols/protocol_stats.h"
 
@@ -80,6 +85,20 @@ void registerProtocol(MetricRegistry& reg, const std::string& prefix,
     reg.addCounter(base + ".rowMisses", [d] { return d->rowMisses(); });
     reg.addCounter(base + ".rowConflicts", [d] { return d->rowConflicts(); });
   }
+  // Chip-wide aggregates (timeline- and report-friendly: one column
+  // instead of one per controller).
+  const auto ddrTotal = [p](std::uint64_t (DdrController::*get)() const) {
+    return [p, get] {
+      std::uint64_t total = 0;
+      for (const DdrController& d : p->ddrControllers()) total += (d.*get)();
+      return total;
+    };
+  };
+  reg.addCounter("ddr.total.requests", ddrTotal(&DdrController::requests));
+  reg.addCounter("ddr.total.rowHits", ddrTotal(&DdrController::rowHits));
+  reg.addCounter("ddr.total.rowMisses", ddrTotal(&DdrController::rowMisses));
+  reg.addCounter("ddr.total.rowConflicts",
+                 ddrTotal(&DdrController::rowConflicts));
 }
 
 void registerNocStats(MetricRegistry& reg, const std::string& prefix,
@@ -123,6 +142,131 @@ void registerCacheEnergy(MetricRegistry& reg, const std::string& prefix,
   counter("l2cUpdate", &e->l2cUpdate);
 }
 
+void registerEnergyModel(MetricRegistry& reg, const std::string& prefix,
+                         const CmpSystem& sys) {
+  // The model itself is a small value type of analytic constants — the
+  // gauges capture a copy and apply it to the live counters on every read.
+  const EnergyModel model(sys.protocol().kind(), chipParamsOf(sys.config()),
+                          sys.protocol().kind() == ProtocolKind::Directory
+                              ? sys.config().dirSharingCode
+                              : SharingCode::FullMap);
+  const CmpSystem* s = &sys;
+  const auto cache = [s, model] {
+    return model.cacheEnergy(s->protocol().energyEvents());
+  };
+  const auto noc = [s, model] {
+    return model.nocEnergy(s->network().stats());
+  };
+  reg.addGauge(prefix + ".pj.cache.l1", [cache] { return cache().l1Pj; });
+  reg.addGauge(prefix + ".pj.cache.l1Dir",
+               [cache] { return cache().l1DirPj; });
+  reg.addGauge(prefix + ".pj.cache.l2", [cache] { return cache().l2Pj; });
+  reg.addGauge(prefix + ".pj.cache.l2Dir",
+               [cache] { return cache().l2DirPj; });
+  reg.addGauge(prefix + ".pj.cache.pointer",
+               [cache] { return cache().pointerPj; });
+  reg.addGauge(prefix + ".pj.cache.total",
+               [cache] { return cache().total(); });
+  reg.addGauge(prefix + ".pj.noc.routing",
+               [noc] { return noc().routingPj; });
+  reg.addGauge(prefix + ".pj.noc.link", [noc] { return noc().linkPj; });
+  reg.addGauge(prefix + ".pj.noc.total", [noc] { return noc().total(); });
+  reg.addGauge(prefix + ".mw.cache", [s, cache] {
+    return EnergyModel::pjToMw(cache().total(), s->cycles());
+  });
+  reg.addGauge(prefix + ".mw.link", [s, noc] {
+    return EnergyModel::pjToMw(noc().linkPj, s->cycles());
+  });
+  reg.addGauge(prefix + ".mw.routing", [s, noc] {
+    return EnergyModel::pjToMw(noc().routingPj, s->cycles());
+  });
+  reg.addGauge(prefix + ".mw.totalDynamic", [s, cache, noc] {
+    return EnergyModel::pjToMw(cache().total() + noc().total(), s->cycles());
+  });
+  const double tiles = static_cast<double>(sys.config().tiles());
+  reg.addGauge(prefix + ".leakage.tagPerTileMw",
+               [model] { return model.tagLeakagePerTileMw(); });
+  reg.addGauge(prefix + ".leakage.totalPerTileMw",
+               [model] { return model.totalLeakagePerTileMw(); });
+  reg.addGauge(prefix + ".leakage.chipMw", [model, tiles] {
+    return model.totalLeakagePerTileMw() * tiles;
+  });
+}
+
+void registerLedger(MetricRegistry& reg, const AttributionLedger& ledger,
+                    const CmpSystem* sys) {
+  const AttributionLedger* l = &ledger;
+  // Per-cell dynamic picojoules use the same analytic model as the
+  // chip-level energy.pj.* gauges, applied to the cell's event counts —
+  // the report's per-VM energy shares then need no model reconstruction
+  // and sum to the chip totals (cacheEnergy is linear in the counts).
+  std::optional<EnergyModel> model;
+  if (sys != nullptr)
+    model.emplace(sys->protocol().kind(), chipParamsOf(sys->config()),
+                  sys->protocol().kind() == ProtocolKind::Directory
+                      ? sys->config().dirSharingCode
+                      : SharingCode::FullMap);
+  reg.addCounter("ledger.vms",
+                 [l] { return static_cast<std::uint64_t>(l->numVms()); });
+  reg.addCounter("ledger.areas",
+                 [l] { return static_cast<std::uint64_t>(l->numAreas()); });
+  reg.addCounter("ledger.rows",
+                 [l] { return static_cast<std::uint64_t>(l->rows()); });
+  reg.addCounter("ledger.occ.samples",
+                 [l] { return l->occupancySamples(); });
+  for (std::size_t row = 0; row < l->rows(); ++row) {
+    const std::string rbase = "ledger." + l->rowLabel(row);
+    reg.addCounter(rbase + ".occ.l1Lines",
+                   [l, row] { return l->l1OccupiedLines(row); });
+    for (std::size_t b = 0; b < AttributionLedger::kHistBuckets; ++b)
+      reg.addCounter(idx(rbase + ".hist", b), [l, row, b] {
+        return l->latencyHistogram(row).buckets()[b];
+      });
+    for (std::size_t a = 0; a < l->numAreas(); ++a) {
+      const std::string base = idx(rbase, a);
+      reg.addCounter(base + ".tiles",
+                     [l, row, a] { return l->layoutTiles(row, a); });
+      for (std::size_t c = 0;
+           c < static_cast<std::size_t>(MissClass::kCount); ++c) {
+        reg.addCounter(
+            base + ".miss." + missClassName(static_cast<MissClass>(c)) +
+                ".count",
+            [l, row, a, c] {
+              return l->missCount(row, a, static_cast<MissClass>(c));
+            });
+      }
+      reg.addAccumulator(base + ".missLatency", &l->missLatency(row, a));
+      reg.addCounter(base + ".net.messages",
+                     [l, row, a] { return l->net(row, a).messages; });
+      reg.addCounter(base + ".net.broadcasts",
+                     [l, row, a] { return l->net(row, a).broadcasts; });
+      reg.addCounter(base + ".net.hops",
+                     [l, row, a] { return l->net(row, a).hops; });
+      reg.addCounter(base + ".net.flits",
+                     [l, row, a] { return l->net(row, a).flits; });
+      reg.addCounter(base + ".net.routings",
+                     [l, row, a] { return l->net(row, a).routings; });
+      for (const EnergyEventField& f : energyEventFields())
+        reg.addCounter(base + ".energy." + f.name,
+                       [l, row, a, field = f.field] {
+                         return l->energy(row, a).*field;
+                       });
+      reg.addCounter(base + ".occ.l2Lines",
+                     [l, row, a] { return l->l2OccupiedLines(row, a); });
+      if (model.has_value()) {
+        reg.addGauge(base + ".pj.cache", [l, row, a, m = *model] {
+          return m.cacheEnergy(l->energy(row, a)).total();
+        });
+        reg.addGauge(base + ".pj.noc", [l, row, a, m = *model] {
+          const AttributionLedger::NetCell& n = l->net(row, a);
+          return static_cast<double>(n.routings) * m.routingPj() +
+                 static_cast<double>(n.flits) * m.flitLinkPj();
+        });
+      }
+    }
+  }
+}
+
 void registerSystem(MetricRegistry& reg, const CmpSystem& sys) {
   const CmpSystem* s = &sys;
   reg.addCounter("sys.cycles",
@@ -134,9 +278,19 @@ void registerSystem(MetricRegistry& reg, const CmpSystem& sys) {
     reg.addCounter(idx("tile", static_cast<std::size_t>(t)) + ".core.opsDone",
                    [s, t] { return s->opsCompleted(t); });
   }
+  // Static geometry, so exported stats files are self-describing (the
+  // report generator reconstructs per-VM shares from these).
+  const auto constant = [&](const char* name, std::uint64_t v) {
+    reg.addCounter(name, [v] { return v; });
+  };
+  constant("cfg.tiles", static_cast<std::uint64_t>(s->config().tiles()));
+  constant("cfg.areas", s->config().numAreas);
+  constant("cfg.l1Entries", s->config().l1.entries);
+  constant("cfg.l2Entries", s->config().l2.entries);
   registerProtocol(reg, "proto", sys.protocol());
   registerNocStats(reg, "net", sys.network().stats());
   registerCacheEnergy(reg, "energy", sys.protocol().energyEvents());
+  registerEnergyModel(reg, "energy", sys);
 }
 
 }  // namespace eecc

@@ -13,7 +13,14 @@
 //   proto.unicastMessages / proto.interAreaMessages
 //   net.<counter>  net.unicastLatency.*  net.contentionWait.*
 //   energy.<event>                        (CacheEnergyEvents fields)
+//   energy.pj.cache.{l1,l1Dir,l2,l2Dir,pointer,total}   (EnergyModel)
+//   energy.pj.noc.{routing,link,total}
+//   energy.mw.{cache,link,routing,totalDynamic}
+//   energy.leakage.{tagPerTileMw,totalPerTileMw,chipMw}
 //   ddr.<i>.{requests,rowHits,rowMisses,rowConflicts}
+//   ddr.total.{requests,rowHits,rowMisses,rowConflicts}
+//   cfg.{tiles,areas,l1Entries,l2Entries}
+//   ledger.*                              (attribution matrices, §11)
 //
 // The registry holds accessors into the walked objects, which must outlive
 // it (in practice: build the registry next to the CmpSystem, snapshot
@@ -31,10 +38,31 @@ class Protocol;
 struct ProtocolStats;
 struct NocStats;
 struct CacheEnergyEvents;
+class AttributionLedger;
 
 /// Registers every metric of a full system: sys/tile totals plus the
 /// protocol, network, energy and DDR walkers below.
 void registerSystem(MetricRegistry& reg, const CmpSystem& sys);
+
+/// Derived energy gauges: the analytic EnergyModel applied to the live
+/// counters. Dynamic picojoules (Fig. 8 cache + NoC breakdowns), average
+/// milliwatts over the elapsed window (Fig. 7), and the constant leakage
+/// terms of Table VI. `prefix` is normally "energy" (see the header map).
+void registerEnergyModel(MetricRegistry& reg, const std::string& prefix,
+                         const CmpSystem& sys);
+
+/// Attribution-ledger walker (DESIGN.md §11). Per (row, area) cell:
+///   ledger.<row>.<a>.miss.<Class>.count   ledger.<row>.<a>.missLatency.*
+///   ledger.<row>.<a>.net.{messages,broadcasts,hops,flits,routings}
+///   ledger.<row>.<a>.energy.<event>       ledger.<row>.<a>.occ.l2Lines
+///   ledger.<row>.<a>.tiles
+/// Per row: ledger.<row>.occ.l1Lines, ledger.<row>.hist.<bucket>.
+/// Chip-wide: ledger.{vms,areas,rows}, ledger.occ.samples.
+/// <row> is the ledger's row label ("vm0".."shared","other").
+/// With `sys`, adds per-cell dynamic-energy gauges (the EnergyModel
+/// applied to the cell's event counts): ledger.<row>.<a>.pj.{cache,noc}.
+void registerLedger(MetricRegistry& reg, const AttributionLedger& ledger,
+                    const CmpSystem* sys = nullptr);
 
 /// Individual walkers (prefix, e.g. "proto", is prepended to every name).
 void registerProtocolStats(MetricRegistry& reg, const std::string& prefix,

@@ -154,17 +154,20 @@ void DiCoProtocol::transferOwnership(NodeId from, const L1Line& line,
   xfer.dst = to;
   xfer.addr = block;
   send(xfer);
-  // Change_Owner handshake with the home (heir -> home -> heir).
+  // Change_Owner handshake with the home (heir -> home -> heir). The
+  // whole handoff is maintenance of the evictor's footprint — tag it so.
   Message co;
   co.type = kChangeOwner;
   co.src = to;
   co.dst = homeOf(block);
+  co.origin = from;
   co.addr = block;
   send(co);
   Message ack;
   ack.type = kChangeOwnerAck;
   ack.src = homeOf(block);
   ack.dst = to;
+  ack.origin = from;
   ack.addr = block;
   send(ack);
   // Hints to the remaining sharers: the supplier moved (Fig. 5).
@@ -179,6 +182,7 @@ void DiCoProtocol::transferOwnership(NodeId from, const L1Line& line,
     hint.dst = s;
     hint.addr = block;
     hint.requestor = to;
+    hint.origin = from;
     send(hint);
   });
 
@@ -267,6 +271,7 @@ void DiCoProtocol::recallOwnership(Addr block, NodeId owner) {
   back.cls = line->dirty ? MsgClass::Data : MsgClass::Control;
   back.src = owner;
   back.dst = home;
+  back.origin = home;  // home-side maintenance (L2C$ displacement)
   back.addr = block;
   back.value = line->value;
   send(back);
@@ -444,6 +449,7 @@ void DiCoProtocol::ownerServeRead(NodeId owner, L1Line& line,
   data.cls = MsgClass::Data;
   data.src = owner;
   data.dst = requestor;
+  data.origin = requestor;
   data.addr = msg.addr;
   data.value = line.value;
   data.forwarder = owner;  // supplier identity for the L1C$ update
@@ -484,6 +490,7 @@ void DiCoProtocol::ownerServeWrite(NodeId owner, L1Line& line,
   grant.cls = txn.needsData ? MsgClass::Data : MsgClass::Control;
   grant.src = owner;
   grant.dst = requestor;
+  grant.origin = requestor;
   grant.addr = block;
   grant.value = line.value;
   after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
@@ -495,12 +502,14 @@ void DiCoProtocol::ownerServeWrite(NodeId owner, L1Line& line,
   co.type = kChangeOwner;
   co.src = owner;
   co.dst = homeOf(block);
+  co.origin = requestor;
   co.addr = block;
   send(co);
   Message ack;
   ack.type = kChangeOwnerAck;
   ack.src = homeOf(block);
   ack.dst = requestor;
+  ack.origin = requestor;
   ack.addr = block;
   send(ack);
   setL2cOwner(block, requestor);
@@ -586,6 +595,7 @@ void DiCoProtocol::handleRequestAtHome(const Message& msg) {
       data.cls = MsgClass::Data;
       data.src = home;
       data.dst = requestor;
+      data.origin = requestor;
       data.addr = block;
       data.value = line->value;
       data.forwarder = home;
@@ -619,6 +629,7 @@ void DiCoProtocol::handleRequestAtHome(const Message& msg) {
     grant.cls = txn.needsData ? MsgClass::Data : MsgClass::Control;
     grant.src = home;
     grant.dst = requestor;
+    grant.origin = requestor;
     grant.addr = block;
     grant.value = line->value;
     after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
@@ -781,6 +792,7 @@ void DiCoProtocol::onMessage(const Message& msg) {
       ack.type = kInvalAck;
       ack.src = tile;
       ack.dst = msg.requestor;
+      ack.origin = msg.requestor;  // the write that forced the invalidation
       ack.addr = msg.addr;
       after(cfg_.l1.tagLatency, [this, ack] { send(ack); });
       return;
@@ -813,6 +825,7 @@ void DiCoProtocol::onMessage(const Message& msg) {
       ack.type = kBgInvalAck;
       ack.src = tile;
       ack.dst = msg.requestor;
+      ack.origin = msg.origin;  // background maintenance: keep the home's tag
       ack.addr = msg.addr;
       after(cfg_.l1.tagLatency, [this, ack] { send(ack); });
       return;
@@ -880,6 +893,13 @@ void DiCoProtocol::forEachL1Copy(
           fn(v);
         });
   }
+}
+
+void DiCoProtocol::forEachL2Block(
+    const std::function<void(NodeId tile, Addr block)>& fn) const {
+  for (NodeId h = 0; h < cfg_.tiles(); ++h)
+    banks_[static_cast<std::size_t>(h)].l2.forEachValid(
+        [&](const L2Line& line) { fn(h, line.addr); });
 }
 
 void DiCoProtocol::auditInvariants(const AuditFailFn& fail) const {

@@ -29,6 +29,8 @@ class DiCoProtocol final : public Protocol {
   void auditInvariants(const AuditFailFn& fail) const override;
   void forEachL1Copy(
       const std::function<void(const L1CopyView&)>& fn) const override;
+  void forEachL2Block(
+      const std::function<void(NodeId tile, Addr block)>& fn) const override;
 
   struct LineView {
     bool valid = false;

@@ -147,12 +147,14 @@ void DiCoArinProtocol::evictOwnerLine(NodeId tile, L1Line& line) {
     co.type = kChangeOwner;
     co.src = heir;
     co.dst = homeOf(block);
+    co.origin = tile;  // maintenance of the evictor's footprint
     co.addr = block;
     send(co);
     Message ack;
     ack.type = kChangeOwnerAck;
     ack.src = homeOf(block);
     ack.dst = heir;
+    ack.origin = tile;
     ack.addr = block;
     send(ack);
     NodeSet rest = locals;
@@ -165,6 +167,7 @@ void DiCoArinProtocol::evictOwnerLine(NodeId tile, L1Line& line) {
       hint.dst = s;
       hint.addr = block;
       hint.requestor = heir;
+      hint.origin = tile;
       send(hint);
     });
     L1Line* heirLine = tileOf(heir).l1.find(block);
@@ -251,6 +254,7 @@ void DiCoArinProtocol::recallOwnership(Addr block, NodeId owner) {
   back.cls = line->dirty ? MsgClass::Data : MsgClass::Control;
   back.src = owner;
   back.dst = home;
+  back.origin = home;  // home-side maintenance (L2C$ displacement)
   back.addr = block;
   back.value = line->value;
   send(back);
@@ -361,6 +365,7 @@ void DiCoArinProtocol::globalizeFromOwner(NodeId owner, L1Line& line,
   toHome.cls = MsgClass::Data;
   toHome.src = owner;
   toHome.dst = homeOf(block);
+  toHome.origin = firstRemote;  // the read that pushed the block global
   toHome.addr = block;
   toHome.value = line.value;
   send(toHome);
@@ -499,6 +504,7 @@ void DiCoArinProtocol::supplierServeRead(NodeId node, L1Line& line,
   data.cls = MsgClass::Data;
   data.src = node;
   data.dst = requestor;
+  data.origin = requestor;
   data.addr = msg.addr;
   data.value = line.value;
   data.forwarder = node;
@@ -543,6 +549,7 @@ void DiCoArinProtocol::ownerServeWrite(NodeId node, L1Line& line,
   grant.cls = txn.needsData ? MsgClass::Data : MsgClass::Control;
   grant.src = node;
   grant.dst = requestor;
+  grant.origin = requestor;
   grant.addr = block;
   grant.value = line.value;
   after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
@@ -552,12 +559,14 @@ void DiCoArinProtocol::ownerServeWrite(NodeId node, L1Line& line,
   co.type = kChangeOwner;
   co.src = node;
   co.dst = homeOf(block);
+  co.origin = requestor;
   co.addr = block;
   send(co);
   Message ack;
   ack.type = kChangeOwnerAck;
   ack.src = homeOf(block);
   ack.dst = requestor;
+  ack.origin = requestor;
   ack.addr = block;
   send(ack);
   setL2cOwner(block, requestor);
@@ -608,6 +617,7 @@ void DiCoArinProtocol::handleRequestAtL1(const Message& msg) {
       grant.cls = MsgClass::Data;
       grant.src = tile;
       grant.dst = requestor;
+      grant.origin = requestor;
       grant.addr = msg.addr;
       grant.value = line->value;
       grant.forwarder = tile;
@@ -670,6 +680,7 @@ void DiCoArinProtocol::serveGlobalRead(NodeId home, L2Line& line,
   grant.cls = MsgClass::Data;
   grant.src = home;
   grant.dst = requestor;
+  grant.origin = requestor;
   grant.addr = msg.addr;
   grant.value = line.value;
   grant.forwarder = hint;  // L1C$ hint: the provider of the area (if any)
@@ -710,6 +721,7 @@ void DiCoArinProtocol::startGlobalWrite(NodeId home, L2Line& line,
   grant.cls = txn.needsData ? MsgClass::Data : MsgClass::Control;
   grant.src = home;
   grant.dst = requestor;
+  grant.origin = requestor;
   grant.addr = block;
   grant.value = line.value;
   after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
@@ -782,6 +794,7 @@ void DiCoArinProtocol::handleRequestAtHome(const Message& msg) {
       grant.cls = MsgClass::Data;
       grant.src = home;
       grant.dst = requestor;
+      grant.origin = requestor;
       grant.addr = block;
       grant.value = line->value;
       after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
@@ -804,6 +817,7 @@ void DiCoArinProtocol::handleRequestAtHome(const Message& msg) {
       data.cls = MsgClass::Data;
       data.src = home;
       data.dst = requestor;
+      data.origin = requestor;
       data.addr = block;
       data.value = line->value;
       data.forwarder = home;
@@ -836,6 +850,7 @@ void DiCoArinProtocol::handleRequestAtHome(const Message& msg) {
     grant.cls = txn.needsData ? MsgClass::Data : MsgClass::Control;
     grant.src = home;
     grant.dst = requestor;
+    grant.origin = requestor;
     grant.addr = block;
     grant.value = line->value;
     after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
@@ -993,6 +1008,7 @@ void DiCoArinProtocol::onMessage(const Message& msg) {
       ack.type = kInvalAck;
       ack.src = tile;
       ack.dst = msg.requestor;
+      ack.origin = msg.requestor;  // the write that forced the invalidation
       ack.addr = msg.addr;
       after(cfg_.l1.tagLatency, [this, ack] { send(ack); });
       return;
@@ -1032,6 +1048,7 @@ void DiCoArinProtocol::onMessage(const Message& msg) {
       ack.type = kBcastAck;
       ack.src = tile;
       ack.dst = msg.requestor;
+      ack.origin = msg.origin;  // writer or home (background), as tagged
       ack.addr = msg.addr;
       after(cfg_.l1.tagLatency, [this, ack] { send(ack); });
       return;
@@ -1125,6 +1142,13 @@ void DiCoArinProtocol::forEachL1Copy(
           fn(v);
         });
   }
+}
+
+void DiCoArinProtocol::forEachL2Block(
+    const std::function<void(NodeId tile, Addr block)>& fn) const {
+  for (NodeId h = 0; h < cfg_.tiles(); ++h)
+    banks_[static_cast<std::size_t>(h)].l2.forEachValid(
+        [&](const L2Line& line) { fn(h, line.addr); });
 }
 
 void DiCoArinProtocol::auditInvariants(const AuditFailFn& fail) const {

@@ -208,12 +208,14 @@ void DiCoProvidersProtocol::evictOwnerLine(NodeId tile, L1Line& line) {
     co.type = kChangeOwner;
     co.src = heir;
     co.dst = homeOf(block);
+    co.origin = tile;  // maintenance of the evictor's footprint
     co.addr = block;
     send(co);
     Message ack;
     ack.type = kChangeOwnerAck;
     ack.src = homeOf(block);
     ack.dst = heir;
+    ack.origin = tile;
     ack.addr = block;
     send(ack);
     NodeSet rest = locals;
@@ -226,6 +228,7 @@ void DiCoProvidersProtocol::evictOwnerLine(NodeId tile, L1Line& line) {
       hint.dst = s;
       hint.addr = block;
       hint.requestor = heir;
+      hint.origin = tile;
       send(hint);
     });
     L1Line* heirLine = tileOf(heir).l1.find(block);
@@ -341,6 +344,7 @@ void DiCoProvidersProtocol::recallOwnership(Addr block, NodeId owner) {
   back.cls = line->dirty ? MsgClass::Data : MsgClass::Control;
   back.src = owner;
   back.dst = home;
+  back.origin = home;  // home-side maintenance (L2C$ displacement)
   back.addr = block;
   back.value = line->value;
   send(back);
@@ -443,6 +447,7 @@ void DiCoProvidersProtocol::updateProviderAtOwner(Addr block, AreaId area,
   ack.type = kChangeProviderAck;
   ack.src = node;
   ack.dst = notifier;
+  ack.origin = notifier;  // reply to the notifier's maintenance action
   ack.addr = block;
   send(ack);
 
@@ -588,6 +593,7 @@ void DiCoProvidersProtocol::supplierServeRead(NodeId node, L1Line& line,
   data.cls = MsgClass::Data;
   data.src = node;
   data.dst = requestor;
+  data.origin = requestor;
   data.addr = msg.addr;
   data.value = line.value;
   data.forwarder = node;
@@ -636,6 +642,7 @@ void DiCoProvidersProtocol::ownerServeWrite(NodeId node, L1Line& line,
   grant.cls = txn.needsData ? MsgClass::Data : MsgClass::Control;
   grant.src = node;
   grant.dst = requestor;
+  grant.origin = requestor;
   grant.addr = block;
   grant.value = line.value;
   after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
@@ -645,12 +652,14 @@ void DiCoProvidersProtocol::ownerServeWrite(NodeId node, L1Line& line,
   co.type = kChangeOwner;
   co.src = node;
   co.dst = homeOf(block);
+  co.origin = requestor;
   co.addr = block;
   send(co);
   Message ack;
   ack.type = kChangeOwnerAck;
   ack.src = homeOf(block);
   ack.dst = requestor;
+  ack.origin = requestor;
   ack.addr = block;
   send(ack);
   setL2cOwner(block, requestor);
@@ -737,6 +746,7 @@ void DiCoProvidersProtocol::handleRequestAtL1(const Message& msg) {
       grant.cls = MsgClass::Data;
       grant.src = tile;
       grant.dst = requestor;
+      grant.origin = requestor;
       grant.addr = msg.addr;
       grant.value = line->value;
       grant.forwarder = tile;
@@ -835,6 +845,7 @@ void DiCoProvidersProtocol::handleRequestAtHome(const Message& msg) {
       grant.cls = MsgClass::Data;
       grant.src = home;
       grant.dst = requestor;
+      grant.origin = requestor;
       grant.addr = block;
       grant.value = line->value;
       after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
@@ -860,6 +871,7 @@ void DiCoProvidersProtocol::handleRequestAtHome(const Message& msg) {
     grant.cls = txn.needsData ? MsgClass::Data : MsgClass::Control;
     grant.src = home;
     grant.dst = requestor;
+    grant.origin = requestor;
     grant.addr = block;
     grant.value = line->value;
     after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
@@ -1055,6 +1067,7 @@ void DiCoProvidersProtocol::onMessage(const Message& msg) {
       ack.type = kInvalAck;
       ack.src = tile;
       ack.dst = msg.requestor;
+      ack.origin = msg.requestor;  // the write that forced the invalidation
       ack.addr = msg.addr;
       after(cfg_.l1.tagLatency, [this, ack] { send(ack); });
       return;
@@ -1100,6 +1113,7 @@ void DiCoProvidersProtocol::onMessage(const Message& msg) {
       ack.type = kInvalProviderAck;
       ack.src = tile;
       ack.dst = msg.requestor;
+      ack.origin = msg.requestor;
       ack.addr = msg.addr;
       ack.aux = count;
       after(cfg_.l1.tagLatency, [this, ack] { send(ack); });
@@ -1187,6 +1201,13 @@ void DiCoProvidersProtocol::forEachL1Copy(
           fn(v);
         });
   }
+}
+
+void DiCoProvidersProtocol::forEachL2Block(
+    const std::function<void(NodeId tile, Addr block)>& fn) const {
+  for (NodeId h = 0; h < cfg_.tiles(); ++h)
+    banks_[static_cast<std::size_t>(h)].l2.forEachValid(
+        [&](const L2Line& line) { fn(h, line.addr); });
 }
 
 void DiCoProvidersProtocol::auditInvariants(const AuditFailFn& fail) const {

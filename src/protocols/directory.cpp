@@ -398,6 +398,7 @@ void DirectoryProtocol::homeHandleRead(const Message& msg) {
     data.cls = MsgClass::Data;
     data.src = home;
     data.dst = requestor;
+    data.origin = requestor;
     data.addr = block;
     data.value = line->value;
     after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
@@ -504,6 +505,7 @@ void DirectoryProtocol::homeHandleWrite(const Message& msg) {
     cnt.type = kAckCount;
     cnt.src = home;
     cnt.dst = requestor;
+    cnt.origin = requestor;
     cnt.addr = block;
     after(cfg_.l2.tagLatency, [this, cnt] { send(cnt); });
     return;
@@ -518,6 +520,7 @@ void DirectoryProtocol::homeHandleWrite(const Message& msg) {
     data.cls = MsgClass::Data;
     data.src = home;
     data.dst = requestor;
+    data.origin = requestor;
     data.addr = block;
     data.value = line->value;
     after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
@@ -584,6 +587,7 @@ void DirectoryProtocol::onMessage(const Message& msg) {
       data.cls = MsgClass::Data;
       data.src = tile;
       data.dst = msg.requestor;
+      data.origin = msg.requestor;
       data.addr = msg.addr;
       data.value = line->value;
       after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
@@ -599,6 +603,7 @@ void DirectoryProtocol::onMessage(const Message& msg) {
       wb.cls = MsgClass::Data;
       wb.src = tile;
       wb.dst = homeOf(msg.addr);
+      wb.origin = msg.requestor;  // write-through is part of the read txn
       wb.addr = msg.addr;
       wb.value = line->value;
       wb.aux = wasDirty ? 1 : 0;
@@ -634,6 +639,7 @@ void DirectoryProtocol::onMessage(const Message& msg) {
       data.cls = MsgClass::Data;
       data.src = tile;
       data.dst = msg.requestor;
+      data.origin = msg.requestor;
       data.addr = msg.addr;
       data.value = line->value;
       line->valid = false;  // the old owner invalidates itself
@@ -669,6 +675,7 @@ void DirectoryProtocol::onMessage(const Message& msg) {
       ack.type = kInvalAck;
       ack.src = tile;
       ack.dst = msg.requestor;
+      ack.origin = msg.requestor;  // the write that forced the invalidation
       ack.addr = msg.addr;
       after(cfg_.l1.tagLatency, [this, ack] { send(ack); });
       return;
@@ -718,6 +725,7 @@ void DirectoryProtocol::onMessage(const Message& msg) {
       ack.type = kDirInvalAck;
       ack.src = tile;
       ack.dst = msg.requestor;
+      ack.origin = msg.origin;  // background maintenance: keep the home's tag
       ack.addr = msg.addr;
       if (L1Line* line = l1.find(msg.addr)) {
         if (line->state == L1State::M) {
@@ -784,6 +792,13 @@ void DirectoryProtocol::forEachL1Copy(
           fn(v);
         });
   }
+}
+
+void DirectoryProtocol::forEachL2Block(
+    const std::function<void(NodeId tile, Addr block)>& fn) const {
+  for (NodeId h = 0; h < cfg_.tiles(); ++h)
+    banks_[static_cast<std::size_t>(h)].l2.forEachValid(
+        [&](const L2Line& line) { fn(h, line.addr); });
 }
 
 void DirectoryProtocol::auditInvariants(const AuditFailFn& fail) const {

@@ -1,8 +1,33 @@
 #include "protocols/protocol.h"
 
+#include "obs/ledger.h"
 #include "obs/trace.h"
 
 namespace eecc {
+
+namespace {
+
+/// RAII energy-attribution bracket: opens a ledger work scope on entry and
+/// closes it on every exit path. No-op (one untaken branch) when detached.
+struct LedgerScope {
+  AttributionLedger* ledger;
+  LedgerScope(AttributionLedger* l, NodeId tile) : ledger(l) {
+    if (ledger != nullptr) [[unlikely]]
+      ledger->workBegin(tile);
+  }
+  LedgerScope(AttributionLedger* l, const Message& msg) : ledger(l) {
+    if (ledger != nullptr) [[unlikely]]
+      ledger->msgWorkBegin(msg);
+  }
+  ~LedgerScope() {
+    if (ledger != nullptr) [[unlikely]]
+      ledger->workEnd();
+  }
+  LedgerScope(const LedgerScope&) = delete;
+  LedgerScope& operator=(const LedgerScope&) = delete;
+};
+
+}  // namespace
 
 Protocol::Protocol(EventQueue& events, Network& net, const CmpConfig& cfg)
     : events_(events), net_(net), cfg_(cfg) {
@@ -17,6 +42,14 @@ Protocol::Protocol(EventQueue& events, Network& net, const CmpConfig& cfg)
 }
 
 void Protocol::handleBaseMessage(const Message& msg) {
+  // Every message handler runs inside an energy-attribution bracket: cache
+  // energy charged while handling `msg` belongs to the VM of its origin,
+  // paid in the destination tile's area.
+  LedgerScope scope(ledger_, msg);
+  dispatchMessage(msg);
+}
+
+void Protocol::dispatchMessage(const Message& msg) {
   if (msg.type >= kFirstProtocolMsg) {
     onMessage(msg);
     return;
@@ -46,6 +79,7 @@ void Protocol::handleBaseMessage(const Message& msg) {
       resp.addr = msg.addr;
       resp.aux = msg.aux & 0xffffffffULL;             // token
       resp.value = memoryValue(msg.addr);
+      resp.origin = msg.origin;  // data is on behalf of the fetch's cause
       after(latency, [this, resp] { send(resp); });
       break;
     }
@@ -76,6 +110,9 @@ void Protocol::memFetch(Addr block, NodeId from, NodeId dataDst,
   req.aux = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dataDst))
              << 32) |
             token;
+  // Attribution: the fetch serves whoever receives the data (usually the
+  // requestor), not the controller-facing sender.
+  req.origin = dataDst;
   send(req);
 }
 
@@ -130,6 +167,9 @@ std::string Protocol::describeBlock(Addr block) const {
 
 void Protocol::access(NodeId tile, Addr block, AccessType type, DoneFn done) {
   EECC_CHECK(blockAddr(block) == block);
+  // Energy charged during the synchronous part of an access (L1/L1C$
+  // probes of tryHit and the miss start) belongs to the issuing tile's VM.
+  LedgerScope scope(ledger_, tile);
   if (type == AccessType::Read) stats_.reads += 1;
   else stats_.writes += 1;
 
@@ -168,28 +208,36 @@ void Protocol::access(NodeId tile, Addr block, AccessType type, DoneFn done) {
     };
   }
 
-  if (trace_ != nullptr) [[unlikely]] {
+  if (trace_ != nullptr || ledger_ != nullptr) [[unlikely]] {
     // Outermost wrapper: runs first in the completion chain, right after
     // the protocol's recordMiss() call. An unconsumed classification at
     // the current tick belongs to this transaction; without one the access
     // was satisfied by the re-check hit after queueing behind another
-    // transaction on the line ("queued hit", MissClass::kCount).
+    // transaction on the line ("queued hit", MissClass::kCount). The
+    // hand-off is consumed once, and feeds the trace sink and the
+    // attribution ledger the same classification and latency recordMiss()
+    // fed the chip-level stats.
     const Tick t0 = events_.now();
     done = [this, tile, block, type, t0, done = std::move(done)] {
-      const bool classified =
-          traceClsValid_ && traceClsTick_ == events_.now();
-      traceClsValid_ = false;
-      trace_->onTransaction(tile, block, type, t0, events_.now(),
-                            /*hit=*/!classified,
-                            classified ? traceCls_ : MissClass::kCount,
-                            classified ? traceLinks_ : 0);
+      const bool classified = obsClsValid_ && obsClsTick_ == events_.now();
+      obsClsValid_ = false;
+      if (ledger_ != nullptr && classified)
+        ledger_->onMiss(tile, block, obsCls_, obsLat_, obsLinks_);
+      if (trace_ != nullptr)
+        trace_->onTransaction(tile, block, type, t0, events_.now(),
+                              /*hit=*/!classified,
+                              classified ? obsCls_ : MissClass::kCount,
+                              classified ? obsLinks_ : 0);
       done();
     };
   }
 
   withLine(block, [this, tile, block, type, done = std::move(done)]() mutable {
     // State may have changed while queued behind another transaction on
-    // this line (e.g. it brought the block into our L1) — re-check.
+    // this line (e.g. it brought the block into our L1) — re-check. When
+    // the queued start runs in its own event (deferred by releaseLine),
+    // its energy needs its own attribution bracket.
+    LedgerScope qscope(ledger_, tile);
     if (tryHit(tile, block, type)) {
       releaseLine(block);
       done();

@@ -30,6 +30,7 @@
 namespace eecc {
 
 class TraceSink;
+class AttributionLedger;
 
 /// The four protocols of the paper, in its evaluation order (Directory
 /// baseline first). The canonical list for every sweep — benches, examples
@@ -100,6 +101,19 @@ class Protocol {
   /// MissClass. Same zero-cost-when-detached contract as the check hooks.
   void setTraceSink(TraceSink* sink) { trace_ = sink; }
   TraceSink* traceSink() const { return trace_; }
+
+  /// Attaches (or detaches, with nullptr) the per-VM/per-area attribution
+  /// ledger (obs/ledger.h): misses, messages and energy deltas are
+  /// bracketed and attributed to their originating VM. Same
+  /// zero-cost-when-detached contract as the trace sink.
+  void setLedger(AttributionLedger* ledger) { ledger_ = ledger; }
+  AttributionLedger* ledger() const { return ledger_; }
+
+  /// One valid L2 line: the bank's tile and the block it caches. Used by
+  /// the ledger's occupancy sampling (leakage apportioning); the default
+  /// reports nothing so mock protocols need not implement it.
+  virtual void forEachL2Block(
+      const std::function<void(NodeId tile, Addr block)>& /*fn*/) const {}
 
   /// Whether a miss transaction currently holds `block`'s serialization
   /// lock (monitors use this to skip transient state during sweeps).
@@ -184,10 +198,12 @@ class Protocol {
   static constexpr std::uint16_t kMemResp = 2;
 
   void send(Message msg) {
+    tagOrigin(msg);
     countMsg(msg);
     net_.send(msg);
   }
   void sendBroadcast(Message msg) {
+    tagOrigin(msg);
     countMsg(msg);
     net_.broadcast(msg);
   }
@@ -236,14 +252,15 @@ class Protocol {
     stats_.latencyByClass[static_cast<std::size_t>(cls)].add(lat);
     stats_.linksByClass[static_cast<std::size_t>(cls)].add(links);
     stats_.missLatency.add(lat);
-    if (trace_ != nullptr) [[unlikely]] {
+    if (trace_ != nullptr || ledger_ != nullptr) [[unlikely]] {
       // Every protocol records the classification immediately before
       // invoking the completion callback (same tick, same call chain), so
-      // the trace wrapper in access() can pick it up from here.
-      traceCls_ = cls;
-      traceLinks_ = links;
-      traceClsTick_ = events_.now();
-      traceClsValid_ = true;
+      // the observation wrapper in access() can pick it up from here.
+      obsCls_ = cls;
+      obsLinks_ = links;
+      obsLat_ = lat;
+      obsClsTick_ = events_.now();
+      obsClsValid_ = true;
     }
   }
 
@@ -265,6 +282,7 @@ class Protocol {
   Rng memJitterRng_{0xEECCULL};
   CheckHooks* hooks_ = nullptr;  ///< Conformance monitors; null = off.
   TraceSink* trace_ = nullptr;   ///< Observability trace sink; null = off.
+  AttributionLedger* ledger_ = nullptr;  ///< Attribution ledger; null = off.
 
  private:
   /// The value a just-completed access exposed to its core: the last read
@@ -273,6 +291,15 @@ class Protocol {
                               AccessType type) const {
     return type == AccessType::Read ? lastReadValue(tile)
                                     : committedValue(block);
+  }
+
+  /// Defaults the attribution tag of an untagged message: the requestor a
+  /// transaction runs on behalf of, else the sender. Protocols override
+  /// only where neither is the cause (e.g. data responses, which carry no
+  /// requestor field — the destination is the served VM).
+  static void tagOrigin(Message& msg) {
+    if (msg.origin == kInvalidNode)
+      msg.origin = msg.requestor != kInvalidNode ? msg.requestor : msg.src;
   }
 
   void countMsg(const Message& msg) {
@@ -293,16 +320,19 @@ class Protocol {
   std::uint64_t unicastMessages_ = 0;
 
   void handleBaseMessage(const Message& msg);
+  void dispatchMessage(const Message& msg);
 
   std::unordered_set<Addr> busy_;
   std::unordered_map<Addr, std::deque<std::function<void()>>> waiting_;
 
-  // Hand-off from recordMiss() to the access() trace wrapper: the pending
-  // classification of the miss whose completion chain is running right now.
-  MissClass traceCls_ = MissClass::kCount;
-  std::uint32_t traceLinks_ = 0;
-  Tick traceClsTick_ = 0;
-  bool traceClsValid_ = false;
+  // Hand-off from recordMiss() to the access() observation wrapper: the
+  // pending classification of the miss whose completion chain is running
+  // right now (consumed by the trace sink and the attribution ledger).
+  MissClass obsCls_ = MissClass::kCount;
+  std::uint32_t obsLinks_ = 0;
+  double obsLat_ = 0.0;
+  Tick obsClsTick_ = 0;
+  bool obsClsValid_ = false;
 
   std::unordered_map<Addr, std::uint64_t> committed_;
   std::unordered_map<Addr, std::uint64_t> memValue_;

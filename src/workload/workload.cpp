@@ -59,12 +59,18 @@ Workload::Workload(const CmpConfig& cfg, const VmLayout& layout,
     // Private pools, one per thread.
     image->privatePages.resize(nThreads);
     for (std::uint32_t t = 0; t < nThreads; ++t)
-      for (std::uint64_t i = 0; i < p.privatePagesPerThread; ++i)
-        image->privatePages[t].push_back(pages_.allocPrivatePage());
+      for (std::uint64_t i = 0; i < p.privatePagesPerThread; ++i) {
+        const Addr page = pages_.allocPrivatePage();
+        image->privatePages[t].push_back(page);
+        pageVm_.emplace(page, vm);
+      }
 
     // Intra-VM shared pool.
-    for (std::uint64_t i = 0; i < p.vmSharedPages; ++i)
-      image->sharedPages.push_back(pages_.allocPrivatePage());
+    for (std::uint64_t i = 0; i < p.vmSharedPages; ++i) {
+      const Addr page = pages_.allocPrivatePage();
+      image->sharedPages.push_back(page);
+      pageVm_.emplace(page, vm);
+    }
 
     // Deduplicated pool: D pages sized from the Table IV target assuming
     // 4 identical VMs (the paper's homogeneous configurations). A slice
@@ -83,6 +89,9 @@ Workload::Workload(const CmpConfig& cfg, const VmLayout& layout,
                                      : pages_.allocPrivatePage();
       image->dedupView.push_back(page);
       if (dedupEnabled) sharedDedupPages_.insert(page);
+      // A deduplicated page has no single owner; a disabled-dedup private
+      // copy belongs to this VM outright.
+      pageVm_.emplace(page, dedupEnabled ? kVmShared : vm);
     }
 
     image->privateZipf = std::make_unique<ZipfSampler>(
@@ -176,6 +185,9 @@ MemOp Workload::genFresh(Thread& t) {
       const Addr target =
           dedupEnabled_ ? pages_.copyOnWrite(vm.dedupKeys[slot], t.vmId)
                         : vm.dedupView[slot];
+      // The fresh COW copy is private to the writing VM (no-op when the
+      // copy already existed, or when dedup is off and the page was ours).
+      pageVm_.insert_or_assign(target, t.vmId);
       vm.dedupView[slot] = target;
       op.addr = pickBlock(t, target, false);
       op.type = AccessType::Write;

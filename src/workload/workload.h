@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -69,6 +70,16 @@ class Workload : public OpSource {
   const VmLayout& layout() const { return layout_; }
   const PageManager& pages() const { return pages_; }
 
+  /// Owning VM of a physical page: the VM whose pool it belongs to,
+  /// kVmShared for hypervisor-deduplicated pages (no single owner), or
+  /// kInvalidVm for addresses outside any pool. Copy-on-write copies are
+  /// owned by the writing VM from the moment the hypervisor creates them.
+  /// Backs the attribution ledger's occupancy sampling.
+  VmId vmOfPage(Addr page) const {
+    auto it = pageVm_.find(pageAddr(page));
+    return it == pageVm_.end() ? kInvalidVm : it->second;
+  }
+
   /// Derives the number of deduplicated pages per VM needed to hit the
   /// profile's Table IV memory-savings target when `numVms` identical VMs
   /// share them. Exposed for tests.
@@ -109,6 +120,7 @@ class Workload : public OpSource {
   PageManager pages_;
   bool dedupEnabled_ = true;
   std::unordered_set<Addr> sharedDedupPages_;
+  std::unordered_map<Addr, VmId> pageVm_;  ///< page address -> owner.
   std::vector<std::unique_ptr<VmImage>> vms_;
   std::vector<std::unique_ptr<Thread>> threads_;
   std::vector<Thread*> threadOfTile_;

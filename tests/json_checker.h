@@ -1,7 +1,10 @@
 // Test-side JSON tools: a strict recursive-descent validator (the
 // in-process stand-in for CI's `python3 -m json.tool` gate) plus the
 // unescape/lookup helpers the round-trip tests use. Lives under tests/ on
-// purpose — production code only ever *writes* JSON.
+// purpose as an *independent* check: common/json now has its own DOM
+// parser (used by tools/eecc_report), and validating the writers with a
+// second, separately written grammar keeps the two from vouching for
+// each other.
 #pragma once
 
 #include <cctype>

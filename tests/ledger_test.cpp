@@ -1,0 +1,201 @@
+// Attribution-ledger tests (DESIGN.md §11). The ledger is only useful if
+// it is a *decomposition* of the legacy chip-level stats, so the core
+// battery here is exact reconciliation: summing every ledger matrix over
+// all rows × areas must reproduce the corresponding ProtocolStats /
+// NocStats / CacheEnergyEvents counter bit-for-bit, on every protocol ×
+// workload pair. Plus the two harness properties every observability
+// attachment owes us: attaching changes no simulation counter, and
+// results are bit-identical regardless of EECC_JOBS.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "core/experiment.h"
+#include "core/runner.h"
+#include "obs/ledger.h"
+#include "protocols/protocol_stats.h"
+
+namespace eecc {
+namespace {
+
+ExperimentConfig ledgerConfig(ProtocolKind kind,
+                              const std::string& workload) {
+  ExperimentConfig cfg;
+  cfg.chip = fuzzChip();
+  cfg.protocol = kind;
+  cfg.workloadName = workload;
+  cfg.warmupCycles = 10'000;
+  cfg.windowCycles = 30'000;
+  cfg.obs.ledger = true;
+  cfg.obs.ledgerOccupancyEvery = 5'000;
+  return cfg;
+}
+
+const std::vector<std::string> kWorkloads = {"apache4x16p", "mixed-com"};
+
+TEST(Ledger, MissMatrixReconcilesExactly) {
+  for (const ProtocolKind kind : allProtocolKinds()) {
+    for (const std::string& wl : kWorkloads) {
+      const ExperimentResult r = runExperiment(ledgerConfig(kind, wl));
+      ASSERT_NE(r.ledger, nullptr);
+      const AttributionLedger& l = *r.ledger;
+      for (std::size_t c = 0;
+           c < static_cast<std::size_t>(MissClass::kCount); ++c) {
+        std::uint64_t sum = 0;
+        for (std::size_t row = 0; row < l.rows(); ++row)
+          for (std::size_t a = 0; a < l.numAreas(); ++a)
+            sum += l.missCount(row, a, static_cast<MissClass>(c));
+        EXPECT_EQ(sum, r.stats.missByClass[c])
+            << protocolName(kind) << " " << wl << " class " << c;
+      }
+      // Latency accumulators and per-row histograms count every miss
+      // exactly once.
+      std::uint64_t latCount = 0;
+      for (std::size_t row = 0; row < l.rows(); ++row) {
+        std::uint64_t rowCount = 0;
+        for (std::size_t a = 0; a < l.numAreas(); ++a) {
+          latCount += l.missLatency(row, a).count();
+          rowCount += l.missLatency(row, a).count();
+        }
+        std::uint64_t histCount = 0;
+        for (const std::uint64_t b : l.latencyHistogram(row).buckets())
+          histCount += b;
+        EXPECT_EQ(histCount, rowCount)
+            << protocolName(kind) << " " << wl << " row " << row;
+      }
+      EXPECT_EQ(latCount, r.stats.missLatency.count())
+          << protocolName(kind) << " " << wl;
+    }
+  }
+}
+
+TEST(Ledger, NetworkMatrixReconcilesExactly) {
+  for (const ProtocolKind kind : allProtocolKinds()) {
+    for (const std::string& wl : kWorkloads) {
+      const ExperimentResult r = runExperiment(ledgerConfig(kind, wl));
+      ASSERT_NE(r.ledger, nullptr);
+      const AttributionLedger& l = *r.ledger;
+      AttributionLedger::NetCell sum;
+      for (std::size_t row = 0; row < l.rows(); ++row)
+        for (std::size_t a = 0; a < l.numAreas(); ++a) {
+          const AttributionLedger::NetCell& n = l.net(row, a);
+          sum.messages += n.messages;
+          sum.broadcasts += n.broadcasts;
+          sum.hops += n.hops;
+          sum.flits += n.flits;
+          sum.routings += n.routings;
+        }
+      EXPECT_EQ(sum.messages, r.noc.messages) << protocolName(kind) << wl;
+      EXPECT_EQ(sum.broadcasts, r.noc.broadcasts)
+          << protocolName(kind) << wl;
+      EXPECT_EQ(sum.hops, r.noc.linksTraversed) << protocolName(kind) << wl;
+      EXPECT_EQ(sum.flits, r.noc.linkFlits) << protocolName(kind) << wl;
+      EXPECT_EQ(sum.routings, r.noc.routings) << protocolName(kind) << wl;
+    }
+  }
+}
+
+TEST(Ledger, EnergyMatrixReconcilesExactly) {
+  for (const ProtocolKind kind : allProtocolKinds()) {
+    for (const std::string& wl : kWorkloads) {
+      const ExperimentResult r = runExperiment(ledgerConfig(kind, wl));
+      ASSERT_NE(r.ledger, nullptr);
+      const AttributionLedger& l = *r.ledger;
+      for (const EnergyEventField& f : energyEventFields()) {
+        std::uint64_t sum = 0;
+        for (std::size_t row = 0; row < l.rows(); ++row)
+          for (std::size_t a = 0; a < l.numAreas(); ++a)
+            sum += l.energy(row, a).*f.field;
+        EXPECT_EQ(sum, r.events.*f.field)
+            << protocolName(kind) << " " << wl << " " << f.name;
+      }
+    }
+  }
+}
+
+TEST(Ledger, AttachingChangesNoSimulationCounter) {
+  for (const ProtocolKind kind : allProtocolKinds()) {
+    ExperimentConfig with = ledgerConfig(kind, "apache4x16p");
+    ExperimentConfig without = with;
+    without.obs.ledger = false;
+    const ExperimentResult a = runExperiment(with);
+    const ExperimentResult b = runExperiment(without);
+    EXPECT_EQ(a.ops, b.ops) << protocolName(kind);
+    EXPECT_EQ(a.cycles, b.cycles) << protocolName(kind);
+    EXPECT_EQ(a.simEvents, b.simEvents) << protocolName(kind);
+    EXPECT_EQ(std::memcmp(&a.events, &b.events, sizeof a.events), 0)
+        << protocolName(kind);
+    EXPECT_EQ(a.noc.messages, b.noc.messages) << protocolName(kind);
+    EXPECT_EQ(a.noc.linkFlits, b.noc.linkFlits) << protocolName(kind);
+    EXPECT_EQ(a.stats.l1Misses(), b.stats.l1Misses()) << protocolName(kind);
+    EXPECT_EQ(a.stats.missLatency.sum(), b.stats.missLatency.sum())
+        << protocolName(kind);
+  }
+}
+
+TEST(Ledger, BitIdenticalAcrossPoolWidths) {
+  std::vector<ExperimentConfig> cfgs;
+  for (const ProtocolKind kind : allProtocolKinds())
+    cfgs.push_back(ledgerConfig(kind, "apache4x16p"));
+  for (ExperimentConfig& cfg : cfgs) cfg.obs.snapshotMetrics = true;
+
+  ExperimentRunner narrow(1);
+  ExperimentRunner wide(4);
+  const auto a = narrow.runMany(cfgs);
+  const auto b = wide.runMany(cfgs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].metrics.size(), b[i].metrics.size()) << i;
+    for (std::size_t m = 0; m < a[i].metrics.size(); ++m) {
+      const auto& sa = a[i].metrics[m];
+      const auto& sb = b[i].metrics[m];
+      ASSERT_EQ(sa.name, sb.name) << i;
+      EXPECT_EQ(sa.kind, sb.kind) << sa.name;
+      if (sa.kind == MetricRegistry::Kind::Counter) {
+        EXPECT_EQ(sa.u64, sb.u64) << sa.name;
+      } else {
+        // Bitwise, not ==: the determinism claim is bit-identity.
+        EXPECT_EQ(std::memcmp(&sa.f64, &sb.f64, sizeof sa.f64), 0)
+            << sa.name;
+      }
+    }
+  }
+}
+
+TEST(Ledger, OccupancyAndLayoutSanity) {
+  const ExperimentResult r =
+      runExperiment(ledgerConfig(ProtocolKind::DiCo, "apache4x16p"));
+  ASSERT_NE(r.ledger, nullptr);
+  const AttributionLedger& l = *r.ledger;
+  EXPECT_GT(l.occupancySamples(), 0u);
+
+  // The layout partitions the chip: tile assignments over all rows and
+  // areas cover every tile exactly once.
+  std::uint64_t tiles = 0;
+  for (std::size_t row = 0; row < l.rows(); ++row)
+    for (std::size_t a = 0; a < l.numAreas(); ++a)
+      tiles += l.layoutTiles(row, a);
+  EXPECT_EQ(tiles, static_cast<std::uint64_t>(fuzzChip().tiles()));
+
+  // Occupancy never exceeds capacity: accumulated line counts are bounded
+  // by samples × total lines of the level.
+  const CmpConfig chip = fuzzChip();
+  std::uint64_t l1 = 0;
+  std::uint64_t l2 = 0;
+  for (std::size_t row = 0; row < l.rows(); ++row) {
+    l1 += l.l1OccupiedLines(row);
+    for (std::size_t a = 0; a < l.numAreas(); ++a)
+      l2 += l.l2OccupiedLines(row, a);
+  }
+  const std::uint64_t tilesN = static_cast<std::uint64_t>(chip.tiles());
+  EXPECT_LE(l1, l.occupancySamples() * tilesN * chip.l1.entries);
+  EXPECT_LE(l2, l.occupancySamples() * tilesN * chip.l2.entries);
+  // A warmed-up run has real cached footprint attributed to the VMs.
+  EXPECT_GT(l1 + l2, 0u);
+}
+
+}  // namespace
+}  // namespace eecc

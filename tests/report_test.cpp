@@ -1,0 +1,239 @@
+// Report-generator tests: the common/json DOM parser (the read half of
+// the JSON layer — the writer half is covered in json_test), the
+// buildReport reductions on a handcrafted stats fixture with known
+// arithmetic, and golden byte-compares of every writer output (the
+// fixture is under tests/fixtures; regenerate the goldens with
+// `eecc_report tests/fixtures/report_stats.json --out-dir
+// tests/fixtures/golden` after an intentional format change).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/report.h"
+
+namespace eecc {
+namespace {
+
+std::string fixtureDir() { return std::string(EECC_TEST_DIR) + "/fixtures"; }
+
+std::string readFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+// --- JSON DOM parser ---
+
+TEST(JsonParse, ParsesScalarsAndStructure) {
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(jsonParse(
+      R"({"a": 1.5, "b": [true, false, null, "x\ny"], "c": {"d": -2e3}})", v,
+      err))
+      << err;
+  ASSERT_TRUE(v.isObject());
+  EXPECT_DOUBLE_EQ(v.find("a")->asNumber(), 1.5);
+  const auto& arr = v.find("b")->asArray();
+  ASSERT_EQ(arr.size(), 4u);
+  EXPECT_TRUE(arr[0].asBool());
+  EXPECT_FALSE(arr[1].asBool());
+  EXPECT_TRUE(arr[2].isNull());
+  EXPECT_EQ(arr[3].asString(), "x\ny");
+  EXPECT_DOUBLE_EQ(v.find("c")->find("d")->asNumber(), -2000.0);
+}
+
+TEST(JsonParse, LookupHelpers) {
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(jsonParse(R"({"n": 7, "s": "hi"})", v, err)) << err;
+  EXPECT_DOUBLE_EQ(v.numberOr("n", -1), 7.0);
+  EXPECT_DOUBLE_EQ(v.numberOr("missing", -1), -1.0);
+  EXPECT_DOUBLE_EQ(v.numberOr("s", -1), -1.0);  // wrong kind -> fallback
+  EXPECT_EQ(v.stringOr("s", "?"), "hi");
+  EXPECT_EQ(v.stringOr("n", "?"), "?");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, DecodesEscapes) {
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(jsonParse(R"(["\" \\ \/ \n \t A é"])", v, err))
+      << err;
+  EXPECT_EQ(v.asArray()[0].asString(), "\" \\ / \n \t A \xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",           "{",          "[1,]",       "{\"a\": }", "[1 2]",
+      "{\"a\" 1}",  "tru",        "\"open",     "01a",       "[1] x",
+      "{\"a\": 1,}", "[\x01]",
+  };
+  for (const char* text : bad) {
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(jsonParse(text, v, err)) << "accepted: " << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  // The reader exists to consume our own writer's files — non-finite
+  // doubles become null, escapes decode back.
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  {
+    JsonWriter w(f);
+    w.beginObject();
+    w.field("name", "a\"b\\c\n");
+    w.field("v", 0.1);
+    w.key("inf");
+    w.value(std::numeric_limits<double>::infinity());
+    w.endObject();
+  }
+  std::fflush(f);
+  std::rewind(f);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(jsonParse(text, v, err)) << err;
+  EXPECT_EQ(v.find("name")->asString(), "a\"b\\c\n");
+  EXPECT_DOUBLE_EQ(v.find("v")->asNumber(), 0.1);
+  EXPECT_TRUE(v.find("inf")->isNull());
+}
+
+// --- Fixture loading + report arithmetic ---
+
+std::vector<StatsRun> loadFixture() {
+  std::vector<StatsRun> runs;
+  std::string err;
+  EXPECT_TRUE(
+      loadStatsRuns(fixtureDir() + "/report_stats.json", runs, err))
+      << err;
+  return runs;
+}
+
+TEST(Report, LoadsStatsRuns) {
+  const std::vector<StatsRun> runs = loadFixture();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].workload, "toy");
+  EXPECT_EQ(runs[0].protocol, "Directory");
+  EXPECT_TRUE(runs[0].has("ledger.rows"));
+  EXPECT_FALSE(runs[1].has("ledger.rows"));
+  EXPECT_DOUBLE_EQ(runs[1].metric("energy.pj.cache.pointer"), 150.0);
+}
+
+TEST(Report, EnergyBreakdownNormalizesAgainstDirectory) {
+  const Report rep = buildReport(loadFixture());
+  ASSERT_EQ(rep.energy.size(), 2u);
+  const EnergyBreakdownRow& dir = rep.energy[0];
+  const EnergyBreakdownRow& dico = rep.energy[1];
+  // Directory: 1800 cache + 1000 noc + 3 mW * 30000 cyc / 3 GHz = 30000 pJ.
+  EXPECT_DOUBLE_EQ(dir.leakagePj, 30000.0);
+  EXPECT_DOUBLE_EQ(dir.totalPj(), 32800.0);
+  EXPECT_DOUBLE_EQ(dir.normalized, 1.0);
+  // DiCo: 1500 + 800 + 24000 = 26300 pJ, normalized to Directory.
+  EXPECT_DOUBLE_EQ(dico.totalPj(), 26300.0);
+  EXPECT_DOUBLE_EQ(dico.normalized, 26300.0 / 32800.0);
+}
+
+TEST(Report, PerVmSharesAndLeakageApportioning) {
+  const Report rep = buildReport(loadFixture());
+  ASSERT_EQ(rep.perVm.size(), 4u);  // vm0, vm1, shared, other (ledger run)
+  const PerVmRow& vm0 = rep.perVm[0];
+  const PerVmRow& vm1 = rep.perVm[1];
+  const PerVmRow& shared = rep.perVm[2];
+  const PerVmRow& other = rep.perVm[3];
+
+  EXPECT_EQ(vm0.row, "vm0");
+  EXPECT_DOUBLE_EQ(vm0.tiles, 8.0);
+  EXPECT_DOUBLE_EQ(vm0.misses, 150.0);
+  EXPECT_DOUBLE_EQ(vm0.missShare, 0.75);
+  EXPECT_DOUBLE_EQ(vm0.missLatencyMean, 35000.0 / 150.0);
+  EXPECT_DOUBLE_EQ(vm0.dynamicPj, 1900.0);
+  EXPECT_DOUBLE_EQ(vm0.dynamicShare, 1900.0 / 2800.0);
+  // Mean occupancy 2048 of 16*(128+512)=10240 lines -> 20%.
+  EXPECT_DOUBLE_EQ(vm0.occShare, 0.2);
+  EXPECT_DOUBLE_EQ(vm0.leakageMw, 0.6);
+  ASSERT_EQ(vm0.latencyHist.size(), 16u);
+  EXPECT_DOUBLE_EQ(vm0.latencyHist[2], 150.0);
+
+  EXPECT_DOUBLE_EQ(vm1.missShare, 0.25);
+  EXPECT_DOUBLE_EQ(vm1.occShare, 0.1);
+  EXPECT_DOUBLE_EQ(vm1.leakageMw, 0.3);
+
+  EXPECT_DOUBLE_EQ(shared.leakageMw, 0.0);
+  // Unoccupied capacity leaks into `other`: 3.0 - 0.6 - 0.3.
+  EXPECT_DOUBLE_EQ(other.leakageMw, 3.0 - 0.6 - 0.3);
+  // The decomposition is exact.
+  EXPECT_DOUBLE_EQ(
+      vm0.leakageMw + vm1.leakageMw + shared.leakageMw + other.leakageMw,
+      3.0);
+}
+
+TEST(Report, InterferenceMatrixFlitShares) {
+  const Report rep = buildReport(loadFixture());
+  ASSERT_EQ(rep.interference.size(), 4u);
+  EXPECT_EQ(rep.areas, 2u);
+  const InterferenceRow& vm0 = rep.interference[0];
+  ASSERT_EQ(vm0.flitShareByArea.size(), 2u);
+  EXPECT_DOUBLE_EQ(vm0.flitShareByArea[0], 0.75);
+  EXPECT_DOUBLE_EQ(vm0.flitShareByArea[1], 0.25);
+  // vm0 owns tiles only in area 0 -> everything in area 1 is remote.
+  EXPECT_DOUBLE_EQ(vm0.remoteShare, 0.25);
+  const InterferenceRow& vm1 = rep.interference[1];
+  EXPECT_DOUBLE_EQ(vm1.flitShareByArea[1], 1.0);
+  EXPECT_DOUBLE_EQ(vm1.remoteShare, 0.0);
+  // Rows with no traffic have all-zero shares, not NaN.
+  const InterferenceRow& shared = rep.interference[2];
+  EXPECT_DOUBLE_EQ(shared.flitShareByArea[0], 0.0);
+  EXPECT_DOUBLE_EQ(shared.remoteShare, 0.0);
+}
+
+// --- Golden byte-compares ---
+
+TEST(Report, WritersMatchGoldenFiles) {
+  std::vector<StatsRun> runs = loadFixture();
+  const Report rep = buildReport(runs);
+  const std::string out = ::testing::TempDir();
+  ASSERT_TRUE(writeReportJson(out + "/report.json", rep));
+  ASSERT_TRUE(writeEnergyBreakdownCsv(out + "/energy_breakdown.csv", rep));
+  ASSERT_TRUE(writePerVmCsv(out + "/per_vm.csv", rep));
+  ASSERT_TRUE(writeInterferenceCsv(out + "/interference.csv", rep));
+  ASSERT_TRUE(writeReportMarkdown(out + "/report.md", rep));
+  const char* files[] = {"report.json", "energy_breakdown.csv",
+                         "per_vm.csv", "interference.csv", "report.md"};
+  for (const char* name : files) {
+    const std::string got = readFile(out + "/" + name);
+    const std::string want = readFile(fixtureDir() + "/golden/" + name);
+    EXPECT_EQ(got, want) << name;
+  }
+}
+
+TEST(Report, ReportJsonIsValidJson) {
+  const Report rep = buildReport(loadFixture());
+  const std::string path = ::testing::TempDir() + "/report_valid.json";
+  ASSERT_TRUE(writeReportJson(path, rep));
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(jsonParseFile(path, v, err)) << err;
+  ASSERT_TRUE(v.isObject());
+  EXPECT_EQ(v.find("energyBreakdown")->asArray().size(), 2u);
+  EXPECT_EQ(v.find("perVm")->asArray().size(), 4u);
+}
+
+}  // namespace
+}  // namespace eecc

@@ -1,0 +1,87 @@
+// eecc_report — paper-figure report generator (DESIGN.md §11).
+//
+//   eecc_report STATS.json [STATS2.json ...] [--out-dir DIR]
+//
+// Reads one or more --stats-json files written by eecc_sim (runs from
+// several files are concatenated in argument order) and writes into
+// --out-dir (default "."):
+//
+//   report.json            every table, machine-readable
+//   energy_breakdown.csv   Figure 8 normalized energy breakdown
+//   per_vm.csv             per-VM misses/latency/energy/leakage shares
+//   interference.csv       inter-VM interference (flit shares by area)
+//   report.md              all three tables as markdown
+//
+// The per-VM and interference tables need runs recorded with
+// `eecc_sim --ledger`; runs without ledger metrics still contribute to
+// the energy breakdown. Output is deterministic: byte-identical files
+// for bit-identical simulations.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/report.h"
+
+using namespace eecc;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s STATS.json [STATS2.json ...] [--out-dir DIR]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string outDir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out-dir") {
+      if (i + 1 >= argc) usage(argv[0]);
+      outDir = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) usage(argv[0]);
+
+  std::vector<StatsRun> runs;
+  for (const std::string& path : inputs) {
+    std::vector<StatsRun> fileRuns;
+    std::string error;
+    if (!loadStatsRuns(path, fileRuns, error)) {
+      std::fprintf(stderr, "eecc_report: %s\n", error.c_str());
+      return 1;
+    }
+    for (StatsRun& r : fileRuns) runs.push_back(std::move(r));
+  }
+
+  const Report report = buildReport(runs);
+  const std::string base = outDir + "/";
+  bool ok = true;
+  ok = writeReportJson(base + "report.json", report) && ok;
+  ok = writeEnergyBreakdownCsv(base + "energy_breakdown.csv", report) && ok;
+  ok = writePerVmCsv(base + "per_vm.csv", report) && ok;
+  ok = writeInterferenceCsv(base + "interference.csv", report) && ok;
+  ok = writeReportMarkdown(base + "report.md", report) && ok;
+  if (!ok) return 1;
+
+  std::size_t ledgerRuns = 0;
+  for (const StatsRun& r : runs)
+    if (r.has("ledger.rows")) ++ledgerRuns;
+  std::fprintf(stderr,
+               "eecc_report: %zu run(s) (%zu with ledger) -> %sreport.{json,"
+               "md} + 3 csv\n",
+               runs.size(), ledgerRuns, base.c_str());
+  return 0;
+}

@@ -38,6 +38,13 @@
 //                         suffixing as for --timeline
 //     --trace-capacity N  trace ring size in records (default 65536)
 //     --trace-hits        include L1 hits in the trace
+//     --ledger            attach the per-VM/per-area attribution ledger;
+//                         its matrices land in the stats exports under
+//                         "ledger." (feed the file to eecc_report)
+//     --ledger-occupancy N  occupancy sampling period in cycles
+//                         (default 50000; 0 = end-of-run sample only)
+//     --progress          per-experiment heartbeat on stderr (never
+//                         stdout; off by default)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,7 +76,8 @@ namespace {
                "       [--stats-json FILE] [--stats-csv FILE] "
                "[--timeline FILE] [--timeline-every N]\n"
                "       [--trace-out FILE] [--trace-capacity N] "
-               "[--trace-hits]\n",
+               "[--trace-hits]\n"
+               "       [--ledger] [--ledger-occupancy N] [--progress]\n",
                argv0);
   std::exit(2);
 }
@@ -134,6 +142,7 @@ int main(int argc, char** argv) {
   std::string traceOutPath;
   std::size_t traceCapacity = 1 << 16;
   bool traceHits = false;
+  bool progress = false;
   cfg.warmupCycles = 500'000;
   cfg.windowCycles = 250'000;
 
@@ -168,6 +177,9 @@ int main(int argc, char** argv) {
     else if (arg == "--trace-out") traceOutPath = next();
     else if (arg == "--trace-capacity") traceCapacity = std::strtoull(next(), nullptr, 10);
     else if (arg == "--trace-hits") traceHits = true;
+    else if (arg == "--ledger") cfg.obs.ledger = true;
+    else if (arg == "--ledger-occupancy") cfg.obs.ledgerOccupancyEvery = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--progress") progress = true;
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
@@ -244,6 +256,7 @@ int main(int argc, char** argv) {
     cfgs.push_back(cfg);
   }
   ExperimentRunner runner;
+  runner.enableProgress(progress);
   const std::vector<ExperimentResult> results = runner.runMany(cfgs);
   std::uint64_t violations = 0;
   for (const ExperimentResult& r : results) {
