@@ -9,9 +9,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/journal.h"
 #include "core/runner.h"
 #include "workload/profile.h"
 
@@ -54,6 +56,28 @@ inline std::vector<ExperimentConfig> protocolGrid(
     for (const ProtocolKind kind : allProtocolKinds())
       cfgs.push_back(makeConfig(workload, kind));
   return cfgs;
+}
+
+/// EECC_JOURNAL=FILE attaches a crash-safe sweep journal to the runner
+/// (DESIGN.md §12), always in resume mode: a killed bench run re-executed
+/// with the same journal path skips every experiment that already
+/// finished and its output stays bit-identical. Keep the returned handle
+/// alive for as long as the runner executes.
+inline std::unique_ptr<SweepJournal> attachEnvJournal(
+    ExperimentRunner& runner) {
+  const char* path = std::getenv("EECC_JOURNAL");
+  if (path == nullptr || path[0] == '\0') return nullptr;
+  auto journal = std::make_unique<SweepJournal>();
+  std::string error;
+  if (!journal->open(path, /*resume=*/true, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return nullptr;
+  }
+  if (journal->restoredCount() > 0)
+    std::printf("(EECC_JOURNAL: %zu experiments already journaled in %s)\n",
+                journal->restoredCount(), path);
+  runner.setJournal(journal.get());
+  return journal;
 }
 
 /// Monotonic wall clock for sweep timing.

@@ -15,6 +15,7 @@ int main() {
   const std::vector<std::string> workloads = profiles::allWorkloadNames();
   const std::size_t numKinds = allProtocolKinds().size();
   ExperimentRunner runner;
+  const auto journal = bench::attachEnvJournal(runner);
   const std::vector<ExperimentResult> results =
       runner.runMany(bench::protocolGrid(workloads));
 

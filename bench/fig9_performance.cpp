@@ -21,6 +21,7 @@ int main() {
   const std::size_t numKinds = allProtocolKinds().size();
 
   ExperimentRunner runner;
+  const auto journal = bench::attachEnvJournal(runner);
   std::printf("(%u experiment jobs)\n", runner.jobs());
   const bench::WallTimer timer;
   const std::vector<ExperimentResult> results =
@@ -96,17 +97,16 @@ int main() {
   const bench::KernelComparison kernelCmp = bench::compareEventKernels();
   const char* sweepPath = std::getenv("EECC_SWEEP_JSON");
   if (sweepPath == nullptr) sweepPath = "BENCH_sweep.json";
-  writeSweepJson(sweepPath, "fig9_performance", runner.jobs(), sweepSeconds,
-                 runner.metrics(),
-                 {{"event_kernel_legacy_events_per_sec",
-                   kernelCmp.legacyEventsPerSec},
-                  {"event_kernel_wheel_events_per_sec",
-                   kernelCmp.wheelEventsPerSec},
-                  {"event_kernel_speedup", kernelCmp.speedup()}});
+  const bool sweepOk = writeSweepJson(
+      sweepPath, "fig9_performance", runner.jobs(), sweepSeconds,
+      runner.metrics(),
+      {{"event_kernel_legacy_events_per_sec", kernelCmp.legacyEventsPerSec},
+       {"event_kernel_wheel_events_per_sec", kernelCmp.wheelEventsPerSec},
+       {"event_kernel_speedup", kernelCmp.speedup()}});
   std::printf(
       "\nsweep: %zu experiments in %.2fs on %u jobs; event-kernel "
       "speedup %.2fx -> %s\n",
       results.size(), sweepSeconds, runner.jobs(), kernelCmp.speedup(),
       sweepPath);
-  return 0;
+  return sweepOk ? 0 : 1;
 }

@@ -1,0 +1,43 @@
+#include "common/atomic_file.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace eecc {
+
+AtomicFile::AtomicFile(std::string path)
+    : path_(std::move(path)), tmpPath_(path_ + ".tmp") {
+  f_ = std::fopen(tmpPath_.c_str(), "w");
+  if (f_ == nullptr)
+    std::fprintf(stderr, "AtomicFile: cannot open %s for %s: %s\n",
+                 tmpPath_.c_str(), path_.c_str(), std::strerror(errno));
+}
+
+AtomicFile::~AtomicFile() {
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    std::remove(tmpPath_.c_str());
+  }
+}
+
+bool AtomicFile::commit() {
+  if (f_ == nullptr) return committed_;
+  std::FILE* f = f_;
+  f_ = nullptr;  // whatever happens, the destructor has nothing to do ...
+  bool ok = std::fflush(f) == 0;
+  ok = ok && std::ferror(f) == 0;
+  ok = ok && ::fsync(fileno(f)) == 0;
+  ok = std::fclose(f) == 0 && ok;  // ... except removing a failed tmp
+  if (ok && std::rename(tmpPath_.c_str(), path_.c_str()) != 0) ok = false;
+  if (!ok) {
+    std::fprintf(stderr, "AtomicFile: write to %s failed: %s\n",
+                 path_.c_str(), std::strerror(errno));
+    std::remove(tmpPath_.c_str());
+  }
+  committed_ = ok;
+  return ok;
+}
+
+}  // namespace eecc

@@ -1,0 +1,48 @@
+// Crash-safe file writes for every exporter (DESIGN.md §12). The old
+// pattern — fopen(path, "w"), write, fclose — leaves a truncated but
+// present file after a crash or ENOSPC mid-write, and downstream readers
+// (eecc_report, sweep --resume) would trust it. AtomicFile writes to
+// `<path>.tmp` and only renames over the destination after the stream
+// flushed, ferror() came back clean and the data reached the disk
+// (fsync), so `path` either keeps its previous content or holds the
+// complete new file — never a prefix.
+//
+// Not for concurrent writers of the same path (the .tmp name would
+// collide); every exporter in this codebase writes distinct paths.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace eecc {
+
+class AtomicFile {
+ public:
+  /// Opens `<path>.tmp` for writing. On failure get() is nullptr and a
+  /// diagnostic naming `path` is printed to stderr.
+  explicit AtomicFile(std::string path);
+
+  /// Discards the temporary file when commit() was never called (or
+  /// failed): the destination is left untouched.
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  std::FILE* get() const { return f_; }
+  explicit operator bool() const { return f_ != nullptr; }
+
+  /// Flushes, checks ferror(), fsyncs, closes, and renames the temporary
+  /// over the destination. Returns false (diagnostic on stderr, temporary
+  /// removed) if any step failed — the destination is never replaced with
+  /// partial data. Idempotent: a second call returns the first outcome.
+  bool commit();
+
+ private:
+  std::string path_;
+  std::string tmpPath_;
+  std::FILE* f_ = nullptr;
+  bool committed_ = false;
+};
+
+}  // namespace eecc

@@ -4,10 +4,34 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/check.h"
 
 namespace eecc {
+
+std::string jsonDoubleBits(double d) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof d);
+  std::memcpy(&bits, &d, sizeof bits);
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "x%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+double jsonDoubleFromBits(std::string_view s) {
+  if (s.size() != 17 || s[0] != 'x') return 0.0;
+  char buf[17];
+  std::memcpy(buf, s.data() + 1, 16);
+  buf[16] = '\0';
+  char* end = nullptr;
+  const std::uint64_t bits = std::strtoull(buf, &end, 16);
+  if (end != buf + 16) return 0.0;
+  double d = 0.0;
+  std::memcpy(&d, &bits, sizeof d);
+  return d;
+}
 
 std::string jsonEscape(std::string_view s) {
   std::string out;

@@ -29,6 +29,23 @@ namespace eecc {
 /// \n \t \r \b \f or \u00XX.
 std::string jsonEscape(std::string_view s);
 
+// --- Bit-exact double round-trip for machine-only files ---------------
+//
+// JSON numbers cannot carry every double: JsonWriter turns non-finite
+// values into `null`, and the DOM parser stores all numbers as double (a
+// uint64 above 2^53 would round). The sweep journal (core/journal.h) must
+// restore results *bit-identically* — including the ±inf min/max of an
+// empty Accumulator — so it stores doubles as their IEEE-754 bit pattern
+// in a string ("x" + 16 hex digits) and uint64 counters as decimal
+// strings. These helpers are that encoding.
+
+/// "x3ff0000000000000"-style bit-pattern encoding of `d` (any value,
+/// including ±inf, NaN and -0.0).
+std::string jsonDoubleBits(double d);
+
+/// Inverse of jsonDoubleBits(). Returns 0.0 for malformed input.
+double jsonDoubleFromBits(std::string_view s);
+
 class JsonWriter {
  public:
   /// Writes to `f` (not owned; caller opens and closes).

@@ -45,6 +45,31 @@ class Accumulator {
 
   void reset() { *this = Accumulator{}; }
 
+  /// Raw internal state, for bit-exact persistence (the sweep journal of
+  /// core/journal.h). The public accessors are lossy on empty
+  /// accumulators (min()/mean() return 0.0 when count is 0) and
+  /// variance() clamps, so round-tripping through them would not restore
+  /// the same bits.
+  struct State {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  State state() const { return {count_, sum_, mean_, m2_, min_, max_}; }
+  static Accumulator fromState(const State& s) {
+    Accumulator a;
+    a.count_ = s.count;
+    a.sum_ = s.sum;
+    a.mean_ = s.mean;
+    a.m2_ = s.m2;
+    a.min_ = s.min;
+    a.max_ = s.max;
+    return a;
+  }
+
   Accumulator& operator+=(const Accumulator& other) {
     if (other.count_ == 0) return *this;
     if (count_ == 0 || other.min_ < min_) min_ = other.min_;

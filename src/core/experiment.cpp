@@ -75,6 +75,7 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
   r.workload = cfg.workloadName;
   r.protocol = cfg.protocol;
   r.altLayout = cfg.altLayout;
+  r.seed = cfg.seed;
   r.cycles = system.cycles();
   r.ops = system.opsCompleted();
   r.throughput = system.throughput();

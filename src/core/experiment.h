@@ -72,6 +72,20 @@ struct ExperimentResult {
   std::string workload;
   ProtocolKind protocol = ProtocolKind::Directory;
   bool altLayout = false;
+  std::uint64_t seed = 0;  ///< Echo of cfg.seed (failure reports name it).
+
+  // --- Failure containment (DESIGN.md §12) ---
+  /// The experiment threw on every attempt. All measurement fields below
+  /// are zero; `error` holds the exception's what(). A failed result
+  /// never reaches the sweep journal, so --resume re-runs it.
+  bool failed = false;
+  std::string error;
+  /// Attempts consumed (1 = first try succeeded; retries come from
+  /// EECC_RETRIES / ExperimentRunner::setRetries).
+  std::uint32_t attempts = 1;
+  /// Result was spliced from a sweep journal instead of executed
+  /// (ExperimentRunner journal resume). Bit-identical to a live run.
+  bool restored = false;
 
   Tick cycles = 0;
   std::uint64_t ops = 0;

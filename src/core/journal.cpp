@@ -1,0 +1,561 @@
+#include "core/journal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/json.h"
+
+namespace eecc {
+
+namespace {
+
+constexpr std::size_t kMissClasses =
+    static_cast<std::size_t>(MissClass::kCount);
+
+// --- Config digest ----------------------------------------------------
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Canonical '|'-separated rendering of every config field that can
+/// change a result record. Bump the leading tag when adding fields: old
+/// journals then simply fail to match and the sweep re-runs.
+std::string canonicalConfig(const ExperimentConfig& cfg) {
+  std::string s = "eecc-config-v1|";
+  const auto u = [&s](std::uint64_t v) {
+    s += std::to_string(v);
+    s += '|';
+  };
+  const auto i = [&s](std::int64_t v) {
+    s += std::to_string(v);
+    s += '|';
+  };
+  const auto b = [&s](bool v) {
+    s += v ? "1|" : "0|";
+  };
+  s += cfg.workloadName;
+  s += '|';
+  u(static_cast<std::uint64_t>(cfg.protocol));
+  b(cfg.altLayout);
+  b(cfg.contiguousLayout);
+  b(cfg.dedupEnabled);
+  u(cfg.windowCycles);
+  u(cfg.warmupCycles);
+  u(cfg.seed);
+  b(cfg.conformanceCheck);
+  u(cfg.checkSweepEvery);
+  b(cfg.obs.snapshotMetrics);
+  u(cfg.obs.timelineEvery);
+  for (const std::string& m : cfg.obs.timelineMetrics) {
+    s += m;
+    s += ';';
+  }
+  s += '|';
+  u(cfg.obs.traceCapacity);
+  b(cfg.obs.traceHits);
+  b(cfg.obs.ledger);
+  u(cfg.obs.ledgerOccupancyEvery);
+  const CmpConfig& c = cfg.chip;
+  i(c.meshWidth);
+  i(c.meshHeight);
+  u(c.numAreas);
+  for (const CacheGeometry& g : {c.l1, c.l2}) {
+    u(g.entries);
+    u(g.assoc);
+    u(g.tagLatency);
+    u(g.dataLatency);
+  }
+  u(c.l1cEntries);
+  u(c.l2cEntries);
+  u(c.l1cAssoc);
+  u(c.l2cAssoc);
+  u(c.dirCacheEntries);
+  u(c.dirCacheAssoc);
+  u(c.memLatency);
+  u(c.memJitterMax);
+  u(c.numMemControllers);
+  u(static_cast<std::uint64_t>(c.memoryModel));
+  u(c.net.linkCycles);
+  u(c.net.switchCycles);
+  u(c.net.routerCycles);
+  u(c.net.controlFlits);
+  u(c.net.dataFlits);
+  b(c.net.modelContention);
+  b(c.net.flitLevel);
+  u(static_cast<std::uint64_t>(c.dirSharingCode));
+  b(c.enablePrediction);
+  return s;
+}
+
+// --- Record encoding (JsonValue DOM -> one compact line) --------------
+
+JsonValue jU(std::uint64_t v) { return JsonValue(std::to_string(v)); }
+JsonValue jD(double v) { return JsonValue(jsonDoubleBits(v)); }
+
+JsonValue jAcc(const Accumulator& a) {
+  const Accumulator::State st = a.state();
+  JsonValue v;
+  auto& o = v.makeObject();
+  o["count"] = jU(st.count);
+  o["sum"] = jD(st.sum);
+  o["mean"] = jD(st.mean);
+  o["m2"] = jD(st.m2);
+  o["min"] = jD(st.min);
+  o["max"] = jD(st.max);
+  return v;
+}
+
+std::uint64_t rU(const JsonValue& o, const char* k) {
+  const JsonValue* v = o.find(k);
+  if (v == nullptr || !v->isString()) return 0;
+  return std::strtoull(v->asString().c_str(), nullptr, 10);
+}
+
+double rD(const JsonValue& o, const char* k) {
+  const JsonValue* v = o.find(k);
+  return v != nullptr && v->isString() ? jsonDoubleFromBits(v->asString())
+                                       : 0.0;
+}
+
+bool rB(const JsonValue& o, const char* k) {
+  const JsonValue* v = o.find(k);
+  return v != nullptr && v->kind() == JsonValue::Kind::Bool && v->asBool();
+}
+
+Accumulator rAcc(const JsonValue& o, const char* k) {
+  const JsonValue* v = o.find(k);
+  if (v == nullptr || !v->isObject()) return Accumulator{};
+  Accumulator::State st;
+  st.count = rU(*v, "count");
+  st.sum = rD(*v, "sum");
+  st.mean = rD(*v, "mean");
+  st.m2 = rD(*v, "m2");
+  st.min = rD(*v, "min");
+  st.max = rD(*v, "max");
+  return Accumulator::fromState(st);
+}
+
+JsonValue jStats(const ProtocolStats& s) {
+  JsonValue v;
+  auto& o = v.makeObject();
+  o["reads"] = jU(s.reads);
+  o["writes"] = jU(s.writes);
+  o["l1ReadHits"] = jU(s.l1ReadHits);
+  o["l1WriteHits"] = jU(s.l1WriteHits);
+  o["readMisses"] = jU(s.readMisses);
+  o["writeMisses"] = jU(s.writeMisses);
+  o["upgrades"] = jU(s.upgrades);
+  o["l2DataHits"] = jU(s.l2DataHits);
+  o["memoryFetches"] = jU(s.memoryFetches);
+  o["invalidationsSent"] = jU(s.invalidationsSent);
+  o["broadcastInvalidations"] = jU(s.broadcastInvalidations);
+  o["ownershipTransfers"] = jU(s.ownershipTransfers);
+  o["providershipTransfers"] = jU(s.providershipTransfers);
+  o["hintMessages"] = jU(s.hintMessages);
+  o["providerResolvedMisses"] = jU(s.providerResolvedMisses);
+  o["writebacks"] = jU(s.writebacks);
+  o["l2Evictions"] = jU(s.l2Evictions);
+  o["dirEvictionInvalidations"] = jU(s.dirEvictionInvalidations);
+  auto& byClass = o["missByClass"].makeArray();
+  auto& latency = o["latencyByClass"].makeArray();
+  auto& links = o["linksByClass"].makeArray();
+  for (std::size_t c = 0; c < kMissClasses; ++c) {
+    byClass.push_back(jU(s.missByClass[c]));
+    latency.push_back(jAcc(s.latencyByClass[c]));
+    links.push_back(jAcc(s.linksByClass[c]));
+  }
+  o["missLatency"] = jAcc(s.missLatency);
+  return v;
+}
+
+void rStats(const JsonValue& o, ProtocolStats& s) {
+  s.reads = rU(o, "reads");
+  s.writes = rU(o, "writes");
+  s.l1ReadHits = rU(o, "l1ReadHits");
+  s.l1WriteHits = rU(o, "l1WriteHits");
+  s.readMisses = rU(o, "readMisses");
+  s.writeMisses = rU(o, "writeMisses");
+  s.upgrades = rU(o, "upgrades");
+  s.l2DataHits = rU(o, "l2DataHits");
+  s.memoryFetches = rU(o, "memoryFetches");
+  s.invalidationsSent = rU(o, "invalidationsSent");
+  s.broadcastInvalidations = rU(o, "broadcastInvalidations");
+  s.ownershipTransfers = rU(o, "ownershipTransfers");
+  s.providershipTransfers = rU(o, "providershipTransfers");
+  s.hintMessages = rU(o, "hintMessages");
+  s.providerResolvedMisses = rU(o, "providerResolvedMisses");
+  s.writebacks = rU(o, "writebacks");
+  s.l2Evictions = rU(o, "l2Evictions");
+  s.dirEvictionInvalidations = rU(o, "dirEvictionInvalidations");
+  const JsonValue* byClass = o.find("missByClass");
+  const JsonValue* latency = o.find("latencyByClass");
+  const JsonValue* links = o.find("linksByClass");
+  for (std::size_t c = 0; c < kMissClasses; ++c) {
+    if (byClass != nullptr && byClass->isArray() &&
+        c < byClass->asArray().size() && byClass->asArray()[c].isString())
+      s.missByClass[c] =
+          std::strtoull(byClass->asArray()[c].asString().c_str(), nullptr, 10);
+    const auto accAt = [c](const JsonValue* arr) {
+      if (arr == nullptr || !arr->isArray() || c >= arr->asArray().size())
+        return Accumulator{};
+      Accumulator::State st;
+      const JsonValue& a = arr->asArray()[c];
+      st.count = rU(a, "count");
+      st.sum = rD(a, "sum");
+      st.mean = rD(a, "mean");
+      st.m2 = rD(a, "m2");
+      st.min = rD(a, "min");
+      st.max = rD(a, "max");
+      return Accumulator::fromState(st);
+    };
+    s.latencyByClass[c] = accAt(latency);
+    s.linksByClass[c] = accAt(links);
+  }
+  s.missLatency = rAcc(o, "missLatency");
+}
+
+JsonValue jEvents(const CacheEnergyEvents& e) {
+  JsonValue v;
+  auto& o = v.makeObject();
+  o["l1TagProbe"] = jU(e.l1TagProbe);
+  o["l1DataRead"] = jU(e.l1DataRead);
+  o["l1DataWrite"] = jU(e.l1DataWrite);
+  o["l1DirRead"] = jU(e.l1DirRead);
+  o["l1DirUpdate"] = jU(e.l1DirUpdate);
+  o["l2TagProbe"] = jU(e.l2TagProbe);
+  o["l2DataRead"] = jU(e.l2DataRead);
+  o["l2DataWrite"] = jU(e.l2DataWrite);
+  o["l2DirRead"] = jU(e.l2DirRead);
+  o["l2DirUpdate"] = jU(e.l2DirUpdate);
+  o["dirCacheProbe"] = jU(e.dirCacheProbe);
+  o["dirCacheUpdate"] = jU(e.dirCacheUpdate);
+  o["l1cProbe"] = jU(e.l1cProbe);
+  o["l1cUpdate"] = jU(e.l1cUpdate);
+  o["l2cProbe"] = jU(e.l2cProbe);
+  o["l2cUpdate"] = jU(e.l2cUpdate);
+  return v;
+}
+
+void rEvents(const JsonValue& o, CacheEnergyEvents& e) {
+  e.l1TagProbe = rU(o, "l1TagProbe");
+  e.l1DataRead = rU(o, "l1DataRead");
+  e.l1DataWrite = rU(o, "l1DataWrite");
+  e.l1DirRead = rU(o, "l1DirRead");
+  e.l1DirUpdate = rU(o, "l1DirUpdate");
+  e.l2TagProbe = rU(o, "l2TagProbe");
+  e.l2DataRead = rU(o, "l2DataRead");
+  e.l2DataWrite = rU(o, "l2DataWrite");
+  e.l2DirRead = rU(o, "l2DirRead");
+  e.l2DirUpdate = rU(o, "l2DirUpdate");
+  e.dirCacheProbe = rU(o, "dirCacheProbe");
+  e.dirCacheUpdate = rU(o, "dirCacheUpdate");
+  e.l1cProbe = rU(o, "l1cProbe");
+  e.l1cUpdate = rU(o, "l1cUpdate");
+  e.l2cProbe = rU(o, "l2cProbe");
+  e.l2cUpdate = rU(o, "l2cUpdate");
+}
+
+JsonValue jNoc(const NocStats& n) {
+  JsonValue v;
+  auto& o = v.makeObject();
+  o["messages"] = jU(n.messages);
+  o["controlMessages"] = jU(n.controlMessages);
+  o["dataMessages"] = jU(n.dataMessages);
+  o["broadcasts"] = jU(n.broadcasts);
+  o["routings"] = jU(n.routings);
+  o["linkFlits"] = jU(n.linkFlits);
+  o["linksTraversed"] = jU(n.linksTraversed);
+  o["unicastLatency"] = jAcc(n.unicastLatency);
+  o["contentionWait"] = jAcc(n.contentionWait);
+  return v;
+}
+
+void rNoc(const JsonValue& o, NocStats& n) {
+  n.messages = rU(o, "messages");
+  n.controlMessages = rU(o, "controlMessages");
+  n.dataMessages = rU(o, "dataMessages");
+  n.broadcasts = rU(o, "broadcasts");
+  n.routings = rU(o, "routings");
+  n.linkFlits = rU(o, "linkFlits");
+  n.linksTraversed = rU(o, "linksTraversed");
+  n.unicastLatency = rAcc(o, "unicastLatency");
+  n.contentionWait = rAcc(o, "contentionWait");
+}
+
+JsonValue jResult(const ExperimentResult& r) {
+  JsonValue v;
+  auto& o = v.makeObject();
+  o["altLayout"] = JsonValue(r.altLayout);
+  o["attempts"] = jU(r.attempts);
+  o["cycles"] = jU(r.cycles);
+  o["ops"] = jU(r.ops);
+  o["throughput"] = jD(r.throughput);
+  o["simEvents"] = jU(r.simEvents);
+  o["checkViolations"] = jU(r.checkViolations);
+  auto& msgs = o["checkMessages"].makeArray();
+  for (const std::string& m : r.checkMessages) msgs.push_back(JsonValue(m));
+  o["stats"] = jStats(r.stats);
+  o["events"] = jEvents(r.events);
+  o["noc"] = jNoc(r.noc);
+  o["dedupSavedFraction"] = jD(r.dedupSavedFraction);
+  auto& metrics = o["metrics"].makeArray();
+  for (const MetricRegistry::Sample& s : r.metrics) {
+    JsonValue m;
+    auto& mo = m.makeObject();
+    mo["n"] = JsonValue(s.name);
+    if (s.kind == MetricRegistry::Kind::Counter) {
+      mo["k"] = JsonValue(std::string("c"));
+      mo["u"] = jU(s.u64);
+    } else {
+      mo["k"] = JsonValue(std::string("g"));
+    }
+    mo["f"] = jD(s.f64);
+    metrics.push_back(std::move(m));
+  }
+  JsonValue cache;
+  auto& co = cache.makeObject();
+  co["l1Pj"] = jD(r.cachePj.l1Pj);
+  co["l1DirPj"] = jD(r.cachePj.l1DirPj);
+  co["l2Pj"] = jD(r.cachePj.l2Pj);
+  co["l2DirPj"] = jD(r.cachePj.l2DirPj);
+  co["pointerPj"] = jD(r.cachePj.pointerPj);
+  o["cachePj"] = std::move(cache);
+  JsonValue noc;
+  auto& no = noc.makeObject();
+  no["routingPj"] = jD(r.nocPj.routingPj);
+  no["linkPj"] = jD(r.nocPj.linkPj);
+  o["nocPj"] = std::move(noc);
+  o["cacheMw"] = jD(r.cacheMw);
+  o["linkMw"] = jD(r.linkMw);
+  o["routingMw"] = jD(r.routingMw);
+  return v;
+}
+
+void rResult(const JsonValue& o, ExperimentResult& r) {
+  r.altLayout = rB(o, "altLayout");
+  r.attempts = static_cast<std::uint32_t>(rU(o, "attempts"));
+  if (r.attempts == 0) r.attempts = 1;
+  r.cycles = rU(o, "cycles");
+  r.ops = rU(o, "ops");
+  r.throughput = rD(o, "throughput");
+  r.simEvents = rU(o, "simEvents");
+  r.checkViolations = rU(o, "checkViolations");
+  if (const JsonValue* msgs = o.find("checkMessages");
+      msgs != nullptr && msgs->isArray())
+    for (const JsonValue& m : msgs->asArray())
+      if (m.isString()) r.checkMessages.push_back(m.asString());
+  if (const JsonValue* s = o.find("stats"); s != nullptr && s->isObject())
+    rStats(*s, r.stats);
+  if (const JsonValue* e = o.find("events"); e != nullptr && e->isObject())
+    rEvents(*e, r.events);
+  if (const JsonValue* n = o.find("noc"); n != nullptr && n->isObject())
+    rNoc(*n, r.noc);
+  r.dedupSavedFraction = rD(o, "dedupSavedFraction");
+  if (const JsonValue* metrics = o.find("metrics");
+      metrics != nullptr && metrics->isArray()) {
+    for (const JsonValue& m : metrics->asArray()) {
+      if (!m.isObject()) continue;
+      MetricRegistry::Sample s;
+      s.name = m.stringOr("n", "");
+      s.kind = m.stringOr("k", "g") == "c" ? MetricRegistry::Kind::Counter
+                                           : MetricRegistry::Kind::Gauge;
+      s.u64 = rU(m, "u");
+      s.f64 = rD(m, "f");
+      r.metrics.push_back(std::move(s));
+    }
+  }
+  if (const JsonValue* c = o.find("cachePj"); c != nullptr && c->isObject()) {
+    r.cachePj.l1Pj = rD(*c, "l1Pj");
+    r.cachePj.l1DirPj = rD(*c, "l1DirPj");
+    r.cachePj.l2Pj = rD(*c, "l2Pj");
+    r.cachePj.l2DirPj = rD(*c, "l2DirPj");
+    r.cachePj.pointerPj = rD(*c, "pointerPj");
+  }
+  if (const JsonValue* n = o.find("nocPj"); n != nullptr && n->isObject()) {
+    r.nocPj.routingPj = rD(*n, "routingPj");
+    r.nocPj.linkPj = rD(*n, "linkPj");
+  }
+  r.cacheMw = rD(o, "cacheMw");
+  r.linkMw = rD(o, "linkMw");
+  r.routingMw = rD(o, "routingMw");
+}
+
+/// Single-line (no indentation) JSON rendering of a DOM value; object
+/// members come out in std::map order, which keeps records canonical.
+void writeCompact(const JsonValue& v, std::string& out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::Null:
+      out += "null";
+      break;
+    case JsonValue::Kind::Bool:
+      out += v.asBool() ? "true" : "false";
+      break;
+    case JsonValue::Kind::Number: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", v.asNumber());
+      out += buf;
+      break;
+    }
+    case JsonValue::Kind::String:
+      out += '"';
+      out += jsonEscape(v.asString());
+      out += '"';
+      break;
+    case JsonValue::Kind::Array: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& e : v.asArray()) {
+        if (!first) out += ',';
+        first = false;
+        writeCompact(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.asObject()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += jsonEscape(k);
+        out += "\":";
+        writeCompact(e, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+bool readWholeFile(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+std::string SweepJournal::configDigest(const ExperimentConfig& cfg) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a(canonicalConfig(cfg))));
+  return buf;
+}
+
+SweepJournal::~SweepJournal() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+bool SweepJournal::open(const std::string& path, bool resume,
+                        std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+  restored_.clear();
+  if (resume) {
+    std::string text;
+    if (readWholeFile(path, text)) {
+      std::size_t lineNo = 0;
+      std::size_t pos = 0;
+      while (pos < text.size()) {
+        std::size_t end = text.find('\n', pos);
+        const bool complete = end != std::string::npos;
+        if (!complete) end = text.size();
+        const std::string_view line(text.data() + pos, end - pos);
+        pos = end + 1;
+        ++lineNo;
+        if (line.empty()) continue;
+        JsonValue doc;
+        std::string parseError;
+        if (!complete || !jsonParse(line, doc, parseError) ||
+            !doc.isObject()) {
+          // The crash case: a record cut short mid-append. Warn and skip —
+          // the experiment it would have recorded simply re-runs.
+          std::fprintf(stderr,
+                       "SweepJournal: %s:%zu: skipping unparseable record\n",
+                       path.c_str(), lineNo);
+          continue;
+        }
+        const std::string digest = doc.stringOr("digest", "");
+        const JsonValue* result = doc.find("result");
+        if (digest.empty() || result == nullptr || !result->isObject())
+          continue;
+        ExperimentResult r;
+        r.workload = doc.stringOr("workload", "");
+        r.protocol = static_cast<ProtocolKind>(rU(doc, "protoKind"));
+        r.seed = rU(doc, "seed");
+        r.restored = true;
+        rResult(*result, r);
+        restored_[digest] = std::move(r);
+      }
+    }
+  }
+  f_ = std::fopen(path.c_str(), resume ? "a" : "w");
+  if (f_ == nullptr) {
+    if (error != nullptr)
+      *error = path + ": " + std::strerror(errno);
+    restored_.clear();
+    return false;
+  }
+  path_ = path;
+  return true;
+}
+
+const ExperimentResult* SweepJournal::find(const std::string& digest) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = restored_.find(digest);
+  return it == restored_.end() ? nullptr : &it->second;
+}
+
+bool SweepJournal::append(const std::string& digest,
+                          const ExperimentResult& r) {
+  JsonValue rec;
+  auto& o = rec.makeObject();
+  o["v"] = jU(1);
+  o["digest"] = JsonValue(digest);
+  o["workload"] = JsonValue(r.workload);
+  o["protocol"] = JsonValue(std::string(protocolName(r.protocol)));
+  o["protoKind"] = jU(static_cast<std::uint64_t>(r.protocol));
+  o["seed"] = jU(r.seed);
+  o["result"] = jResult(r);
+  std::string line;
+  writeCompact(rec, line);
+  line += '\n';
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (f_ == nullptr) return false;
+  bool ok = std::fwrite(line.data(), 1, line.size(), f_) == line.size();
+  ok = ok && std::fflush(f_) == 0;
+  ok = ok && ::fsync(fileno(f_)) == 0;
+  if (!ok) {
+    // A journal we cannot trust is worse than none: close it and let the
+    // sweep finish unjournaled (results are still returned in memory).
+    std::fprintf(stderr,
+                 "SweepJournal: append to %s failed (%s); journaling off\n",
+                 path_.c_str(), std::strerror(errno));
+    std::fclose(f_);
+    f_ = nullptr;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace eecc

@@ -1,0 +1,78 @@
+// Sweep journal: crash-safe progress persistence for long experiment
+// sweeps (DESIGN.md §12).
+//
+// A journal is a JSON-Lines file with one record per *completed*
+// experiment: a digest of the full ExperimentConfig plus a bit-exact
+// snapshot of its ExperimentResult. Records are appended and fsync'd one
+// at a time, so after a crash (or SIGKILL) the file holds every finished
+// experiment and at worst one truncated trailing line, which the loader
+// skips. Re-running the same sweep with resume enabled splices the
+// journaled results back in by digest and executes only the remainder —
+// and because every experiment is seed-deterministic, the spliced sweep
+// is bit-identical to an uninterrupted one, down to every counter
+// (fault_tolerance_test pins this).
+//
+// Encoding: every uint64 is a decimal string and every double is an
+// IEEE-754 bit-pattern string (common/json.h jsonDoubleBits) — the DOM
+// parser stores plain JSON numbers as double, which would round large
+// counters and cannot represent the ±inf state of an empty Accumulator.
+//
+// Failed experiments are NOT journaled: resume retries them.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/experiment.h"
+
+namespace eecc {
+
+class SweepJournal {
+ public:
+  SweepJournal() = default;
+  ~SweepJournal();
+
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  /// FNV-1a digest (16 hex chars) over a canonical rendering of every
+  /// result-affecting ExperimentConfig field — workload, protocol, seed,
+  /// layout, windows, chip geometry, NoC and memory model, observability
+  /// attachments. Two configs collide only if they would produce the
+  /// same result record.
+  static std::string configDigest(const ExperimentConfig& cfg);
+
+  /// Opens `path` for appending. With `resume` the existing records are
+  /// loaded first (malformed lines — e.g. one truncated by a crash — are
+  /// skipped with a stderr warning); without it any existing file is
+  /// truncated: no --resume means a fresh sweep. Returns false with
+  /// `error` set when the file cannot be opened.
+  bool open(const std::string& path, bool resume, std::string* error);
+
+  bool isOpen() const { return f_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Records loaded by open(..., resume=true).
+  std::size_t restoredCount() const { return restored_.size(); }
+
+  /// The journaled result for a config digest, or nullptr. The returned
+  /// result has `restored` set.
+  const ExperimentResult* find(const std::string& digest) const;
+
+  /// Appends one completed experiment and fsyncs the line to disk before
+  /// returning. Thread-safe (runner tasks complete concurrently). On a
+  /// write failure, prints a diagnostic, closes the journal and returns
+  /// false — the sweep carries on unjournaled rather than trusting a
+  /// half-written file.
+  bool append(const std::string& digest, const ExperimentResult& r);
+
+ private:
+  mutable std::mutex mutex_;
+  std::FILE* f_ = nullptr;
+  std::string path_;
+  std::map<std::string, ExperimentResult> restored_;
+};
+
+}  // namespace eecc

@@ -4,10 +4,79 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/atomic_file.h"
 #include "common/check.h"
 #include "common/json.h"
+#include "core/journal.h"
 
 namespace eecc {
+
+namespace {
+
+/// what() of a captured exception, for failure reports.
+std::string describeException(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+/// Structured error slot for an experiment that threw on every attempt.
+ExperimentResult failedResult(const ExperimentConfig& cfg,
+                              const std::exception_ptr& e,
+                              std::uint32_t attempts) {
+  ExperimentResult r;
+  r.workload = cfg.workloadName;
+  r.protocol = cfg.protocol;
+  r.altLayout = cfg.altLayout;
+  r.seed = cfg.seed;
+  r.failed = true;
+  r.error = describeException(e);
+  r.attempts = attempts;
+  return r;
+}
+
+/// EECC_FAULT_RATE: per-(experiment, attempt) injected fault probability
+/// in [0, 1]. The decision is a pure hash of the config digest and the
+/// attempt index — deterministic across runs, pool widths and schedules,
+/// and a retry re-rolls deterministically (the "transient" fault model).
+double faultRateFromEnv() {
+  const char* env = std::getenv("EECC_FAULT_RATE");
+  if (env == nullptr) return 0.0;
+  const double rate = std::strtod(env, nullptr);
+  return rate > 0.0 ? (rate < 1.0 ? rate : 1.0) : 0.0;
+}
+
+bool injectedFaultFires(const std::string& digest, std::uint32_t attempt,
+                        double rate) {
+  if (rate <= 0.0) return false;
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](unsigned char c) {
+    h ^= c;
+    h *= 1099511628211ull;
+  };
+  for (const char c : digest) mix(static_cast<unsigned char>(c));
+  mix(':');
+  for (std::uint32_t a = attempt; ; a >>= 8) {
+    mix(static_cast<unsigned char>(a & 0xff));
+    if (a < 0x100) break;
+  }
+  // FNV alone leaves the trailing bytes (the attempt index) in the low
+  // bits only; avalanche so `h >> 11` below actually varies per attempt.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  const double unit =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0, 1)
+  return unit < rate;
+}
+
+}  // namespace
 
 unsigned ExperimentRunner::defaultJobs() {
   if (const char* env = std::getenv("EECC_JOBS")) {
@@ -18,8 +87,16 @@ unsigned ExperimentRunner::defaultJobs() {
   return hw > 0 ? hw : 1;
 }
 
+unsigned ExperimentRunner::defaultRetries() {
+  if (const char* env = std::getenv("EECC_RETRIES")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 0) return static_cast<unsigned>(v);
+  }
+  return 0;
+}
+
 ExperimentRunner::ExperimentRunner(unsigned jobs)
-    : jobs_(jobs > 0 ? jobs : defaultJobs()) {
+    : jobs_(jobs > 0 ? jobs : defaultJobs()), retries_(defaultRetries()) {
   workers_.reserve(jobs_);
   for (unsigned i = 0; i < jobs_; ++i)
     workers_.emplace_back([this] { workerLoop(); });
@@ -48,18 +125,28 @@ void ExperimentRunner::workerLoop() {
   }
 }
 
-void ExperimentRunner::runTasks(std::vector<std::function<void()>> tasks) {
-  if (tasks.empty()) return;
+std::vector<std::exception_ptr> ExperimentRunner::runTasksCollect(
+    std::vector<std::function<void()>> tasks) {
+  std::vector<std::exception_ptr> errors(tasks.size());
+  if (tasks.empty()) return errors;
   // Batch completion state shared with the workers; everything on the
-  // stack because runTasks blocks until remaining hits zero.
+  // stack because this call blocks until remaining hits zero. The
+  // decrement sits outside the try: a throwing task must still count
+  // down, or the submitting thread would wait forever (the pre-PR-5
+  // deadlock — and with no catch at all, std::terminate).
   std::mutex doneMutex;
   std::condition_variable allDone;
   std::size_t remaining = tasks.size();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (std::function<void()>& t : tasks) {
-      tasks_.push([&doneMutex, &allDone, &remaining, task = std::move(t)] {
-        task();
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      tasks_.push([&doneMutex, &allDone, &remaining, &errors, i,
+                   task = std::move(tasks[i])] {
+        try {
+          task();
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
         std::lock_guard<std::mutex> doneLock(doneMutex);
         if (--remaining == 0) allDone.notify_one();
       });
@@ -68,12 +155,49 @@ void ExperimentRunner::runTasks(std::vector<std::function<void()>> tasks) {
   taskReady_.notify_all();
   std::unique_lock<std::mutex> lock(doneMutex);
   allDone.wait(lock, [&remaining] { return remaining == 0; });
+  return errors;
+}
+
+void ExperimentRunner::runTasks(std::vector<std::function<void()>> tasks) {
+  const std::vector<std::exception_ptr> errors =
+      runTasksCollect(std::move(tasks));
+  // Every task ran; surface the submission-order-first failure.
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
 }
 
 std::vector<ExperimentResult> ExperimentRunner::runMany(
     const std::vector<ExperimentConfig>& cfgs) {
   std::vector<ExperimentResult> results(cfgs.size());
   std::vector<RunMetrics> batch(cfgs.size());
+  const double faultRate = faultRateFromEnv();
+  const bool wantDigest = journal_ != nullptr || faultRate > 0.0;
+
+  // Journal splice: configs already completed in a resumed sweep get
+  // their journaled result (bit-identical thanks to seed determinism)
+  // and never reach the pool.
+  std::vector<std::string> digests(cfgs.size());
+  std::vector<std::size_t> toRun;
+  toRun.reserve(cfgs.size());
+  std::size_t spliced = 0;
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    if (wantDigest) digests[i] = SweepJournal::configDigest(cfgs[i]);
+    const ExperimentResult* restored =
+        journal_ != nullptr ? journal_->find(digests[i]) : nullptr;
+    if (restored != nullptr) {
+      results[i] = *restored;
+      RunMetrics& m = batch[i];
+      m.workload = results[i].workload;
+      m.protocol = results[i].protocol;
+      m.simEvents = results[i].simEvents;
+      m.ops = results[i].ops;
+      m.restored = true;
+      ++spliced;
+    } else {
+      toRun.push_back(i);
+    }
+  }
+
   // Heartbeat state shared by the tasks; stack-held because runTasks
   // blocks until the whole batch drained. The heartbeat only reads its
   // own counters, so it cannot perturb results (runner_test's
@@ -85,15 +209,49 @@ std::vector<ExperimentResult> ExperimentRunner::runMany(
     std::chrono::steady_clock::time_point start =
         std::chrono::steady_clock::now();
   } progress;
+  progress.done = spliced;
   const bool heartbeat = progress_;
   const std::size_t total = cfgs.size();
+  if (heartbeat && spliced > 0)
+    std::fprintf(stderr, "[eecc] %zu/%zu experiments restored from %s\n",
+                 spliced, total, journal_->path().c_str());
+
+  const unsigned retries = retries_;
   std::vector<std::function<void()>> tasks;
-  tasks.reserve(cfgs.size());
-  for (std::size_t i = 0; i < cfgs.size(); ++i) {
-    tasks.push_back([&cfgs, &results, &batch, &progress, heartbeat, total,
+  tasks.reserve(toRun.size());
+  for (const std::size_t i : toRun) {
+    const std::uint64_t ordinal = ++submitted_;
+    const std::uint64_t faultAt = injectFaultAt_;
+    tasks.push_back([this, &cfgs, &results, &batch, &digests, &progress,
+                     heartbeat, total, retries, faultRate, ordinal, faultAt,
                      i] {
       const auto start = std::chrono::steady_clock::now();
-      results[i] = runExperiment(cfgs[i]);
+      for (std::uint32_t attempt = 0;; ++attempt) {
+        try {
+          if (faultAt != 0 && ordinal == faultAt && attempt == 0)
+            throw std::runtime_error(
+                "injected fault (--inject-fault " +
+                std::to_string(faultAt) + ") in " + cfgs[i].workloadName);
+          if (injectedFaultFires(digests[i], attempt, faultRate))
+            throw std::runtime_error("injected fault (EECC_FAULT_RATE) in " +
+                                     cfgs[i].workloadName);
+          results[i] = runExperiment(cfgs[i]);
+          results[i].attempts = attempt + 1;
+          break;
+        } catch (...) {
+          const std::exception_ptr e = std::current_exception();
+          if (attempt >= retries) {
+            results[i] = failedResult(cfgs[i], e, attempt + 1);
+            break;
+          }
+          std::fprintf(stderr, "[eecc] %s %s seed=%llu attempt %u failed "
+                               "(%s); retrying\n",
+                       cfgs[i].workloadName.c_str(),
+                       protocolName(cfgs[i].protocol),
+                       static_cast<unsigned long long>(cfgs[i].seed),
+                       attempt + 1, describeException(e).c_str());
+        }
+      }
       const auto end = std::chrono::steady_clock::now();
       RunMetrics& m = batch[i];
       m.workload = cfgs[i].workloadName;
@@ -101,6 +259,9 @@ std::vector<ExperimentResult> ExperimentRunner::runMany(
       m.simEvents = results[i].simEvents;
       m.ops = results[i].ops;
       m.wallSeconds = std::chrono::duration<double>(end - start).count();
+      m.failed = results[i].failed;
+      if (journal_ != nullptr && !results[i].failed)
+        journal_->append(digests[i], results[i]);
       if (heartbeat) {
         std::lock_guard<std::mutex> lock(progress.mutex);
         progress.done += 1;
@@ -117,13 +278,16 @@ std::vector<ExperimentResult> ExperimentRunner::runMany(
                 : 0.0;
         std::fprintf(stderr,
                      "[eecc] %zu/%zu experiments  %s %-15s  %.2f Mev/s  "
-                     "ETA %.1fs\n",
+                     "ETA %.1fs%s\n",
                      progress.done, total, m.workload.c_str(),
-                     protocolName(m.protocol), rate / 1e6, eta);
+                     protocolName(m.protocol), rate / 1e6, eta,
+                     m.failed ? "  [FAILED]" : "");
       }
     });
   }
-  runTasks(std::move(tasks));
+  // Tasks catch everything themselves; runTasksCollect is belt and
+  // braces so a throwing std::function move could still not deadlock us.
+  runTasksCollect(std::move(tasks));
   metrics_.insert(metrics_.end(), batch.begin(), batch.end());
   return results;
 }
@@ -139,29 +303,38 @@ std::vector<ExperimentResult> ExperimentRunner::runAllProtocols(
   return runMany(cfgs);
 }
 
-void writeSweepJson(
+bool anyFailed(const std::vector<ExperimentResult>& results) {
+  for (const ExperimentResult& r : results)
+    if (r.failed) return true;
+  return false;
+}
+
+bool writeSweepJson(
     const std::string& path, const std::string& sweepName, unsigned jobs,
     double sweepWallSeconds, const std::vector<RunMetrics>& metrics,
     const std::vector<std::pair<std::string, double>>& extraFields) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "writeSweepJson: cannot open %s\n", path.c_str());
-    return;
-  }
+  AtomicFile out(path);
+  if (!out) return false;
   std::uint64_t totalEvents = 0;
   double sumExpSeconds = 0.0;
+  std::uint64_t failures = 0;
+  std::uint64_t restored = 0;
   for (const RunMetrics& m : metrics) {
     totalEvents += m.simEvents;
     sumExpSeconds += m.wallSeconds;
+    if (m.failed) ++failures;
+    if (m.restored) ++restored;
   }
   {
     // JsonWriter escapes every name — a sweep or workload called e.g.
     // `mixed"com` must still produce a parseable file.
-    JsonWriter w(f);
+    JsonWriter w(out.get());
     w.beginObject();
     w.field("sweep", sweepName);
     w.field("jobs", jobs);
     w.field("experiments", static_cast<std::uint64_t>(metrics.size()));
+    w.field("failures", failures);
+    w.field("restored", restored);
     w.field("wall_seconds", sweepWallSeconds);
     w.field("sum_experiment_seconds", sumExpSeconds);
     w.field("total_sim_events", totalEvents);
@@ -180,12 +353,14 @@ void writeSweepJson(
       w.field("ops", m.ops);
       w.field("wall_seconds", m.wallSeconds);
       w.field("events_per_sec", m.eventsPerSec());
+      if (m.failed) w.field("failed", true);
+      if (m.restored) w.field("restored", true);
       w.endObject();
     }
     w.endArray();
     w.endObject();
   }
-  std::fclose(f);
+  return out.commit();
 }
 
 }  // namespace eecc

@@ -8,10 +8,19 @@
 // sequential loop regardless of completion order; runner_test asserts
 // this down to every counter. The pool size comes from the EECC_JOBS
 // environment variable, defaulting to std::thread::hardware_concurrency().
+//
+// Failure containment (DESIGN.md §12): an exception inside one
+// experiment no longer kills the batch. runMany() catches per-task
+// exceptions, optionally retries them (EECC_RETRIES / setRetries), and
+// surfaces what survives as a structured ExperimentResult with `failed`
+// set — the rest of the sweep runs to completion. Attach a SweepJournal
+// (core/journal.h) to persist completed experiments and resume an
+// interrupted sweep bit-identically.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -23,6 +32,8 @@
 
 namespace eecc {
 
+class SweepJournal;
+
 /// Wall-clock and throughput instrumentation for one experiment run —
 /// the per-experiment rows of BENCH_sweep.json.
 struct RunMetrics {
@@ -31,6 +42,8 @@ struct RunMetrics {
   std::uint64_t simEvents = 0;  ///< Kernel events executed (incl. warmup).
   std::uint64_t ops = 0;        ///< Memory operations completed (measured).
   double wallSeconds = 0.0;
+  bool failed = false;    ///< Experiment threw on every attempt.
+  bool restored = false;  ///< Spliced from a sweep journal (wall is 0).
   double eventsPerSec() const {
     return wallSeconds > 0.0 ? static_cast<double>(simEvents) / wallSeconds
                              : 0.0;
@@ -41,6 +54,9 @@ class ExperimentRunner {
  public:
   /// EECC_JOBS environment override, else hardware_concurrency (min 1).
   static unsigned defaultJobs();
+
+  /// EECC_RETRIES environment override, else 0 (fail on first throw).
+  static unsigned defaultRetries();
 
   /// jobs == 0 selects defaultJobs().
   explicit ExperimentRunner(unsigned jobs = 0);
@@ -58,9 +74,34 @@ class ExperimentRunner {
   /// (eecc_sim --progress).
   void enableProgress(bool on) { progress_ = on; }
 
+  /// Bounded retry for throwing experiments: a task is re-attempted up to
+  /// `retries` extra times before its slot becomes a failed result. The
+  /// experiment seed is unchanged across attempts (results stay
+  /// bit-identical); only the EECC_FAULT_RATE injection hash folds the
+  /// attempt index in, so injected transient faults clear
+  /// deterministically on retry. The constructor seeds this from
+  /// EECC_RETRIES.
+  void setRetries(unsigned retries) { retries_ = retries; }
+  unsigned retries() const { return retries_; }
+
+  /// Deterministic fault injection for testing the containment/retry/
+  /// resume machinery (eecc_sim --inject-fault N): the experiment with
+  /// global submission ordinal `nth` (1-based, counted across every
+  /// runMany on this runner) throws on its first attempt. 0 disables.
+  /// Journal-spliced experiments do not consume ordinals.
+  void setInjectFault(std::uint64_t nth) { injectFaultAt_ = nth; }
+
+  /// Attaches a sweep journal (not owned; may be nullptr to detach).
+  /// Completed experiments are appended to it, and configs whose digest
+  /// it already holds are spliced from it instead of executed — the
+  /// restored results are bit-identical to live runs. Failed experiments
+  /// are never journaled.
+  void setJournal(SweepJournal* journal) { journal_ = journal; }
+
   /// Runs every configuration on the pool; returns results in submission
   /// order. Appends one RunMetrics per experiment (same order) to
-  /// metrics().
+  /// metrics(). A throwing experiment yields a result with `failed` set
+  /// instead of propagating (see anyFailed()).
   std::vector<ExperimentResult> runMany(
       const std::vector<ExperimentConfig>& cfgs);
 
@@ -69,8 +110,15 @@ class ExperimentRunner {
 
   /// Generic fan-out for drivers that build CmpSystems directly: executes
   /// all tasks on the pool and blocks until every one completed. Tasks
-  /// must be mutually independent.
+  /// must be mutually independent. A throwing task no longer terminates
+  /// the process or deadlocks the batch: every task still runs, and the
+  /// submission-order-first exception is rethrown here afterwards.
   void runTasks(std::vector<std::function<void()>> tasks);
+
+  /// As runTasks, but returns the per-task exceptions (slots are null for
+  /// tasks that completed) in submission order instead of rethrowing.
+  std::vector<std::exception_ptr> runTasksCollect(
+      std::vector<std::function<void()>> tasks);
 
   /// Metrics of every experiment run so far, in submission order.
   const std::vector<RunMetrics>& metrics() const { return metrics_; }
@@ -81,6 +129,10 @@ class ExperimentRunner {
 
   unsigned jobs_;
   bool progress_ = false;
+  unsigned retries_ = 0;
+  std::uint64_t injectFaultAt_ = 0;
+  std::uint64_t submitted_ = 0;  ///< Experiments submitted across runMany.
+  SweepJournal* journal_ = nullptr;  // not owned
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
@@ -90,10 +142,14 @@ class ExperimentRunner {
   std::vector<RunMetrics> metrics_;
 };
 
+/// True if any result in the batch carries a contained failure.
+bool anyFailed(const std::vector<ExperimentResult>& results);
+
 /// Writes a BENCH_sweep.json-style record: sweep name, pool width, total
 /// wall clock, the per-experiment metrics rows, and any extra scalar
-/// fields (e.g. the event-kernel microbenchmark speedup).
-void writeSweepJson(
+/// fields (e.g. the event-kernel microbenchmark speedup). The file is
+/// written atomically (common/atomic_file.h); returns false on failure.
+bool writeSweepJson(
     const std::string& path, const std::string& sweepName, unsigned jobs,
     double sweepWallSeconds, const std::vector<RunMetrics>& metrics,
     const std::vector<std::pair<std::string, double>>& extraFields = {});

@@ -12,9 +12,8 @@ void Network::deliverAt(Tick when, Message msg) {
 
 Tick Network::flitLevelArrival(const std::vector<LinkId>& route,
                                std::uint32_t flits) {
-  if (linkFlitSlot_.empty())
-    linkFlitSlot_.assign(static_cast<std::size_t>(topo_.linkCount()),
-                         Tick{0});
+  // linkFlitSlot_ is sized in the constructor (it used to be lazily
+  // initialized here, which reset paths could not see and clear).
   Tick tail = events_.now();
   for (std::uint32_t f = 0; f < flits; ++f) {
     Tick t = events_.now() + f;  // injection serialization

@@ -74,7 +74,8 @@ class Network {
       : events_(events),
         topo_(topo),
         cfg_(cfg),
-        linkBusyUntil_(static_cast<std::size_t>(topo.linkCount()), Tick{0}) {}
+        linkBusyUntil_(static_cast<std::size_t>(topo.linkCount()), Tick{0}),
+        linkFlitSlot_(static_cast<std::size_t>(topo.linkCount()), Tick{0}) {}
 
   /// Installs the single delivery handler (the protocol engine).
   void setHandler(Handler handler) { handler_ = std::move(handler); }
@@ -98,7 +99,21 @@ class Network {
 
   NocStats& stats() { return stats_; }
   const NocStats& stats() const { return stats_; }
+  /// Clears the counters only. Link occupancy (message-level
+  /// linkBusyUntil_ and flit-level linkFlitSlot_) deliberately survives:
+  /// CmpSystem::warmup() uses this so in-flight traffic carries into the
+  /// measured window on a warm NoC.
   void resetStats() { stats_ = NocStats{}; }
+  /// Full reset for reuse from a fresh clock: counters *and* both link
+  /// occupancy tables back to their just-constructed state. Required
+  /// before re-driving one Network against a rewound or replaced event
+  /// queue — stale future occupancy would otherwise leak contention into
+  /// the next run (network_test pins back-to-back bit-identity).
+  void reset() {
+    resetStats();
+    linkBusyUntil_.assign(linkBusyUntil_.size(), Tick{0});
+    linkFlitSlot_.assign(linkFlitSlot_.size(), Tick{0});
+  }
 
   std::uint32_t flitsOf(MsgClass cls) const {
     return cls == MsgClass::Data ? cfg_.dataFlits : cfg_.controlFlits;

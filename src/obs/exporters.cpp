@@ -3,19 +3,13 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/atomic_file.h"
 #include "common/json.h"
 #include "common/types.h"
 
 namespace eecc {
 
 namespace {
-
-std::FILE* openOrComplain(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr)
-    std::fprintf(stderr, "obs exporter: cannot open %s\n", path.c_str());
-  return f;
-}
 
 /// RFC-4180 CSV field quoting: quoted iff the value contains a comma,
 /// quote or newline; embedded quotes double.
@@ -40,10 +34,10 @@ std::string hexBlock(Addr block) {
 
 bool writeStatsJson(const std::string& path,
                     const std::vector<MetricsDoc>& runs) {
-  std::FILE* f = openOrComplain(path);
-  if (f == nullptr) return false;
+  AtomicFile out(path);
+  if (!out) return false;
   {
-    JsonWriter w(f);
+    JsonWriter w(out.get());
     w.beginObject();
     w.key("runs");
     w.beginArray();
@@ -64,14 +58,14 @@ bool writeStatsJson(const std::string& path,
     w.endArray();
     w.endObject();
   }
-  std::fclose(f);
-  return true;
+  return out.commit();
 }
 
 bool writeStatsCsv(const std::string& path,
                    const std::vector<MetricsDoc>& runs) {
-  std::FILE* f = openOrComplain(path);
-  if (f == nullptr) return false;
+  AtomicFile out(path);
+  if (!out) return false;
+  std::FILE* f = out.get();
   std::fprintf(f, "workload,protocol,metric,value\n");
   for (const MetricsDoc& run : runs) {
     const std::string prefix =
@@ -87,17 +81,16 @@ bool writeStatsCsv(const std::string& path,
       }
     }
   }
-  std::fclose(f);
-  return true;
+  return out.commit();
 }
 
 bool writeTimelineJson(const std::string& path, const TimelineSampler& tl,
                        const std::string& workload,
                        const std::string& protocol) {
-  std::FILE* f = openOrComplain(path);
-  if (f == nullptr) return false;
+  AtomicFile out(path);
+  if (!out) return false;
   {
-    JsonWriter w(f);
+    JsonWriter w(out.get());
     w.beginObject();
     w.field("workload", workload);
     w.field("protocol", protocol);
@@ -120,15 +113,14 @@ bool writeTimelineJson(const std::string& path, const TimelineSampler& tl,
     w.endArray();
     w.endObject();
   }
-  std::fclose(f);
-  return true;
+  return out.commit();
 }
 
 bool writeChromeTrace(const std::string& path, const RingTraceSink& sink) {
-  std::FILE* f = openOrComplain(path);
-  if (f == nullptr) return false;
+  AtomicFile out(path);
+  if (!out) return false;
   {
-    JsonWriter w(f);
+    JsonWriter w(out.get());
     w.beginArray();
 
     // Process-name metadata so the two lanes are labeled in the viewer.
@@ -200,8 +192,7 @@ bool writeChromeTrace(const std::string& path, const RingTraceSink& sink) {
     });
     w.endArray();
   }
-  std::fclose(f);
-  return true;
+  return out.commit();
 }
 
 }  // namespace eecc

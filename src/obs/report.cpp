@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/atomic_file.h"
 #include "common/json.h"
 #include "obs/ledger.h"
 
@@ -12,13 +13,6 @@ namespace {
 
 /// Simulated core clock the mW gauges assume (EnergyModel::pjToMw).
 constexpr double kGhz = 3.0;
-
-std::FILE* openOrComplain(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr)
-    std::fprintf(stderr, "eecc_report: cannot open %s\n", path.c_str());
-  return f;
-}
 
 /// The one number formatting of every report file: %.10g round-trips all
 /// values we care about and is byte-stable for bit-identical inputs.
@@ -189,10 +183,10 @@ Report buildReport(const std::vector<StatsRun>& runs) {
 }
 
 bool writeReportJson(const std::string& path, const Report& report) {
-  std::FILE* f = openOrComplain(path);
-  if (f == nullptr) return false;
+  AtomicFile out(path);
+  if (!out) return false;
   {
-    JsonWriter w(f);
+    JsonWriter w(out.get());
     w.beginObject();
     w.field("areas", static_cast<std::uint64_t>(report.areas));
     w.key("energyBreakdown");
@@ -253,13 +247,13 @@ bool writeReportJson(const std::string& path, const Report& report) {
     w.endArray();
     w.endObject();
   }
-  std::fclose(f);
-  return true;
+  return out.commit();
 }
 
 bool writeEnergyBreakdownCsv(const std::string& path, const Report& report) {
-  std::FILE* f = openOrComplain(path);
-  if (f == nullptr) return false;
+  AtomicFile out(path);
+  if (!out) return false;
+  std::FILE* f = out.get();
   std::fprintf(f,
                "workload,protocol,l1_pj,l1_dir_pj,l2_pj,l2_dir_pj,"
                "pointer_pj,routing_pj,link_pj,leakage_pj,total_pj,"
@@ -272,13 +266,13 @@ bool writeEnergyBreakdownCsv(const std::string& path, const Report& report) {
                  fmt(r.routingPj).c_str(), fmt(r.linkPj).c_str(),
                  fmt(r.leakagePj).c_str(), fmt(r.totalPj()).c_str(),
                  fmt(r.normalized).c_str());
-  std::fclose(f);
-  return true;
+  return out.commit();
 }
 
 bool writePerVmCsv(const std::string& path, const Report& report) {
-  std::FILE* f = openOrComplain(path);
-  if (f == nullptr) return false;
+  AtomicFile out(path);
+  if (!out) return false;
+  std::FILE* f = out.get();
   std::fprintf(f,
                "workload,protocol,row,tiles,misses,miss_share,"
                "miss_latency_mean,dynamic_pj,dynamic_share,occ_share,"
@@ -297,13 +291,13 @@ bool writePerVmCsv(const std::string& path, const Report& report) {
       std::fprintf(f, ",%s", fmt(v).c_str());
     std::fprintf(f, "\n");
   }
-  std::fclose(f);
-  return true;
+  return out.commit();
 }
 
 bool writeInterferenceCsv(const std::string& path, const Report& report) {
-  std::FILE* f = openOrComplain(path);
-  if (f == nullptr) return false;
+  AtomicFile out(path);
+  if (!out) return false;
+  std::FILE* f = out.get();
   std::fprintf(f, "workload,protocol,row");
   for (std::size_t a = 0; a < report.areas; ++a)
     std::fprintf(f, ",area_%zu_share", a);
@@ -318,13 +312,13 @@ bool writeInterferenceCsv(const std::string& path, const Report& report) {
                        : "0");
     std::fprintf(f, ",%s\n", fmt(r.remoteShare).c_str());
   }
-  std::fclose(f);
-  return true;
+  return out.commit();
 }
 
 bool writeReportMarkdown(const std::string& path, const Report& report) {
-  std::FILE* f = openOrComplain(path);
-  if (f == nullptr) return false;
+  AtomicFile out(path);
+  if (!out) return false;
+  std::FILE* f = out.get();
   std::fprintf(f, "# EECC paper-figure report\n");
 
   std::fprintf(f,
@@ -388,8 +382,7 @@ bool writeReportMarkdown(const std::string& path, const Report& report) {
                        : "0");
     std::fprintf(f, " %s |\n", fmt(r.remoteShare).c_str());
   }
-  std::fclose(f);
-  return true;
+  return out.commit();
 }
 
 }  // namespace eecc

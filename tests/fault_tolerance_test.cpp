@@ -1,0 +1,453 @@
+// Tests for the sweep robustness layer (DESIGN.md §12): per-task
+// exception containment in the runner, bounded retry, deterministic
+// fault injection, the crash-safe sweep journal with bit-identical
+// resume, and the atomic file writer the exporters sit on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.h"
+#include "common/json.h"
+#include "core/journal.h"
+#include "core/runner.h"
+#include "result_compare.h"
+
+namespace eecc {
+namespace {
+
+ExperimentConfig smallConfig(ProtocolKind kind, const std::string& workload,
+                             std::uint64_t seed = 1) {
+  ExperimentConfig cfg;
+  cfg.workloadName = workload;
+  cfg.protocol = kind;
+  cfg.seed = seed;
+  cfg.warmupCycles = 30'000;
+  cfg.windowCycles = 20'000;
+  return cfg;
+}
+
+std::vector<ExperimentConfig> smallGrid() {
+  return {smallConfig(ProtocolKind::Directory, "apache4x16p"),
+          smallConfig(ProtocolKind::DiCo, "apache4x16p"),
+          smallConfig(ProtocolKind::DiCoProviders, "mixed-com"),
+          smallConfig(ProtocolKind::DiCoArin, "mixed-com", 7)};
+}
+
+std::string tempPath(const std::string& name) {
+  return ::testing::TempDir() + "eecc_ft_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+bool exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f != nullptr) std::fclose(f);
+  return f != nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Containment: throwing tasks neither terminate nor deadlock the pool
+// ---------------------------------------------------------------------------
+
+TEST(FaultTolerance, RunTasksCollectCapturesEveryThrowingTask) {
+  // Pre-PR-5 regression: a throwing task escaped workerLoop into
+  // std::terminate, and even a caught throw skipped the remaining--
+  // decrement, leaving the submitter blocked forever. Every slot must
+  // now run, and errors land in submission order.
+  ExperimentRunner runner(4);
+  std::vector<int> ran(16, 0);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < ran.size(); ++i)
+    tasks.push_back([&ran, i] {
+      ran[i] = 1;
+      if (i % 3 == 0) throw std::runtime_error("task " + std::to_string(i));
+    });
+  const std::vector<std::exception_ptr> errors =
+      runner.runTasksCollect(std::move(tasks));
+  ASSERT_EQ(errors.size(), ran.size());
+  for (std::size_t i = 0; i < ran.size(); ++i) {
+    EXPECT_EQ(ran[i], 1) << "task " << i << " never ran";
+    EXPECT_EQ(errors[i] != nullptr, i % 3 == 0) << "slot " << i;
+  }
+  for (std::size_t i = 0; i < errors.size(); i += 3) {
+    try {
+      std::rethrow_exception(errors[i]);
+      FAIL() << "expected an exception in slot " << i;
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()), "task " + std::to_string(i));
+    }
+  }
+  // The pool survived: it still executes follow-up batches.
+  int after = 0;
+  runner.runTasks({[&after] { after = 1; }});
+  EXPECT_EQ(after, 1);
+}
+
+TEST(FaultTolerance, RunTasksRethrowsSubmissionOrderFirstFailure) {
+  ExperimentRunner runner(4);
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] {});
+  tasks.push_back([] { throw std::runtime_error("first"); });
+  tasks.push_back([] { throw std::runtime_error("second"); });
+  try {
+    runner.runTasks(std::move(tasks));
+    FAIL() << "expected runTasks to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// runMany: contained failures, deterministic injection, bounded retry
+// ---------------------------------------------------------------------------
+
+TEST(FaultTolerance, RunManyContainsInjectedFailure) {
+  const std::vector<ExperimentConfig> cfgs = smallGrid();
+  ExperimentRunner clean(2);
+  const std::vector<ExperimentResult> expected = clean.runMany(cfgs);
+
+  ExperimentRunner runner(2);
+  runner.setInjectFault(2);  // second submitted experiment throws
+  const std::vector<ExperimentResult> results = runner.runMany(cfgs);
+  ASSERT_EQ(results.size(), cfgs.size());
+  EXPECT_TRUE(anyFailed(results));
+
+  EXPECT_TRUE(results[1].failed);
+  EXPECT_EQ(results[1].attempts, 1u);
+  EXPECT_EQ(results[1].workload, cfgs[1].workloadName);
+  EXPECT_EQ(results[1].protocol, cfgs[1].protocol);
+  EXPECT_EQ(results[1].seed, cfgs[1].seed);
+  EXPECT_NE(results[1].error.find("injected fault"), std::string::npos);
+  EXPECT_EQ(results[1].ops, 0u);
+
+  // The rest of the batch completed, bit-identical to a clean sweep.
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{3}}) {
+    SCOPED_TRACE(i);
+    EXPECT_FALSE(results[i].failed);
+    expectResultsIdentical(results[i], expected[i]);
+  }
+
+  // Metrics rows mirror the outcome in submission order.
+  ASSERT_EQ(runner.metrics().size(), cfgs.size());
+  EXPECT_TRUE(runner.metrics()[1].failed);
+  EXPECT_FALSE(runner.metrics()[0].failed);
+}
+
+TEST(FaultTolerance, RetryRecoversInjectedFaultBitIdentically) {
+  const std::vector<ExperimentConfig> cfgs = smallGrid();
+  ExperimentRunner clean(2);
+  const std::vector<ExperimentResult> expected = clean.runMany(cfgs);
+
+  ExperimentRunner runner(2);
+  runner.setInjectFault(3);  // fires on attempt 0 only
+  runner.setRetries(1);
+  const std::vector<ExperimentResult> results = runner.runMany(cfgs);
+  EXPECT_FALSE(anyFailed(results));
+  EXPECT_EQ(results[2].attempts, 2u);
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    SCOPED_TRACE(i);
+    // attempts differs by design for the retried slot; compare the rest.
+    ExperimentResult got = results[i];
+    got.attempts = expected[i].attempts;
+    expectResultsIdentical(got, expected[i]);
+  }
+}
+
+TEST(FaultTolerance, FaultRateEnvironmentIsDeterministic) {
+  const std::vector<ExperimentConfig> cfgs = smallGrid();
+  ::setenv("EECC_FAULT_RATE", "1", 1);
+  ExperimentRunner allFail(2);
+  allFail.setRetries(0);
+  const std::vector<ExperimentResult> failed = allFail.runMany(cfgs);
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_TRUE(failed[i].failed);
+    EXPECT_NE(failed[i].error.find("EECC_FAULT_RATE"), std::string::npos);
+  }
+  ::unsetenv("EECC_FAULT_RATE");
+  ExperimentRunner none(2);
+  EXPECT_FALSE(anyFailed(none.runMany(cfgs)));
+}
+
+TEST(FaultTolerance, DefaultRetriesFromEnvironment) {
+  ::setenv("EECC_RETRIES", "3", 1);
+  EXPECT_EQ(ExperimentRunner::defaultRetries(), 3u);
+  ExperimentRunner fromEnv(1);
+  EXPECT_EQ(fromEnv.retries(), 3u);
+  ::unsetenv("EECC_RETRIES");
+  EXPECT_EQ(ExperimentRunner::defaultRetries(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep journal: digest, round trip, resume splice, crash tolerance
+// ---------------------------------------------------------------------------
+
+TEST(FaultTolerance, ConfigDigestIsStableAndSensitive) {
+  const ExperimentConfig base = smallConfig(ProtocolKind::DiCo, "apache4x16p");
+  const std::string d = SweepJournal::configDigest(base);
+  EXPECT_EQ(d.size(), 16u);
+  EXPECT_EQ(d, SweepJournal::configDigest(base));
+
+  ExperimentConfig m = base;
+  m.seed = 2;
+  EXPECT_NE(SweepJournal::configDigest(m), d);
+  m = base;
+  m.protocol = ProtocolKind::Directory;
+  EXPECT_NE(SweepJournal::configDigest(m), d);
+  m = base;
+  m.workloadName = "mixed-com";
+  EXPECT_NE(SweepJournal::configDigest(m), d);
+  m = base;
+  m.windowCycles += 1;
+  EXPECT_NE(SweepJournal::configDigest(m), d);
+  m = base;
+  m.chip.numAreas = 2;
+  EXPECT_NE(SweepJournal::configDigest(m), d);
+  m = base;
+  m.obs.snapshotMetrics = true;
+  EXPECT_NE(SweepJournal::configDigest(m), d);
+}
+
+TEST(FaultTolerance, JournalResumeSplicesBitIdenticalResults) {
+  const std::string path = tempPath("resume.jsonl");
+  std::remove(path.c_str());
+  const std::vector<ExperimentConfig> cfgs = smallGrid();
+
+  ExperimentRunner clean(2);
+  const std::vector<ExperimentResult> expected = clean.runMany(cfgs);
+
+  {
+    SweepJournal journal;
+    std::string error;
+    ASSERT_TRUE(journal.open(path, /*resume=*/false, &error)) << error;
+    ExperimentRunner runner(2);
+    runner.setJournal(&journal);
+    runner.runMany(cfgs);
+  }
+
+  SweepJournal resumed;
+  std::string error;
+  ASSERT_TRUE(resumed.open(path, /*resume=*/true, &error)) << error;
+  EXPECT_EQ(resumed.restoredCount(), cfgs.size());
+  ExperimentRunner runner(2);
+  runner.setJournal(&resumed);
+  const std::vector<ExperimentResult> results = runner.runMany(cfgs);
+  ASSERT_EQ(results.size(), expected.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_TRUE(results[i].restored);
+    expectResultsIdentical(results[i], expected[i]);
+  }
+  // Spliced experiments report zero-wall metrics rows, in order.
+  ASSERT_EQ(runner.metrics().size(), cfgs.size());
+  for (const RunMetrics& m : runner.metrics()) {
+    EXPECT_TRUE(m.restored);
+    EXPECT_EQ(m.wallSeconds, 0.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FaultTolerance, JournalPartialResumeRunsOnlyTheRemainder) {
+  const std::string path = tempPath("partial.jsonl");
+  std::remove(path.c_str());
+  const std::vector<ExperimentConfig> cfgs = smallGrid();
+
+  ExperimentRunner clean(2);
+  const std::vector<ExperimentResult> expected = clean.runMany(cfgs);
+
+  {
+    // Journal only the first two experiments — an interrupted sweep.
+    SweepJournal journal;
+    std::string error;
+    ASSERT_TRUE(journal.open(path, /*resume=*/false, &error)) << error;
+    ExperimentRunner runner(2);
+    runner.setJournal(&journal);
+    runner.runMany({cfgs[0], cfgs[1]});
+  }
+
+  SweepJournal resumed;
+  std::string error;
+  ASSERT_TRUE(resumed.open(path, /*resume=*/true, &error)) << error;
+  EXPECT_EQ(resumed.restoredCount(), 2u);
+  ExperimentRunner runner(2);
+  runner.setJournal(&resumed);
+  const std::vector<ExperimentResult> results = runner.runMany(cfgs);
+  ASSERT_EQ(results.size(), expected.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(results[i].restored, i < 2);
+    expectResultsIdentical(results[i], expected[i]);
+  }
+  // The completed remainder was journaled too: a second resume splices
+  // the full grid.
+  SweepJournal full;
+  ASSERT_TRUE(full.open(path, /*resume=*/true, &error)) << error;
+  EXPECT_EQ(full.restoredCount(), cfgs.size());
+  std::remove(path.c_str());
+}
+
+TEST(FaultTolerance, JournalSkipsTruncatedTrailingLine) {
+  const std::string path = tempPath("truncated.jsonl");
+  std::remove(path.c_str());
+  const std::vector<ExperimentConfig> cfgs = smallGrid();
+  {
+    SweepJournal journal;
+    std::string error;
+    ASSERT_TRUE(journal.open(path, /*resume=*/false, &error)) << error;
+    ExperimentRunner runner(2);
+    runner.setJournal(&journal);
+    runner.runMany(cfgs);
+  }
+  // Simulate a crash mid-append: keep the first record intact and half of
+  // the second.
+  const std::string whole = slurp(path);
+  const std::size_t firstEnd = whole.find('\n');
+  ASSERT_NE(firstEnd, std::string::npos);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(whole.data(), 1, firstEnd + 1 + 40, f);
+    std::fclose(f);
+  }
+  SweepJournal resumed;
+  std::string error;
+  ASSERT_TRUE(resumed.open(path, /*resume=*/true, &error)) << error;
+  EXPECT_EQ(resumed.restoredCount(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FaultTolerance, JournalWithoutResumeTruncates) {
+  const std::string path = tempPath("fresh.jsonl");
+  std::remove(path.c_str());
+  {
+    SweepJournal journal;
+    std::string error;
+    ASSERT_TRUE(journal.open(path, /*resume=*/false, &error)) << error;
+    ExperimentRunner runner(1);
+    runner.setJournal(&journal);
+    runner.runMany({smallConfig(ProtocolKind::Directory, "apache4x16p")});
+  }
+  SweepJournal again;
+  std::string error;
+  ASSERT_TRUE(again.open(path, /*resume=*/false, &error)) << error;
+  EXPECT_EQ(again.restoredCount(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FaultTolerance, FailedExperimentsAreNeverJournaled) {
+  const std::string path = tempPath("failed.jsonl");
+  std::remove(path.c_str());
+  const std::vector<ExperimentConfig> cfgs = smallGrid();
+  {
+    SweepJournal journal;
+    std::string error;
+    ASSERT_TRUE(journal.open(path, /*resume=*/false, &error)) << error;
+    ExperimentRunner runner(2);
+    runner.setJournal(&journal);
+    runner.setInjectFault(1);
+    const std::vector<ExperimentResult> results = runner.runMany(cfgs);
+    EXPECT_TRUE(results[0].failed);
+  }
+  SweepJournal resumed;
+  std::string error;
+  ASSERT_TRUE(resumed.open(path, /*resume=*/true, &error)) << error;
+  // Only the three successes persisted; resume retries the failed one.
+  EXPECT_EQ(resumed.restoredCount(), cfgs.size() - 1);
+  ExperimentRunner runner(2);
+  runner.setJournal(&resumed);
+  const std::vector<ExperimentResult> results = runner.runMany(cfgs);
+  EXPECT_FALSE(anyFailed(results));
+  EXPECT_FALSE(results[0].restored);
+  EXPECT_TRUE(results[1].restored);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// AtomicFile and the bit-exact double encoding under it
+// ---------------------------------------------------------------------------
+
+TEST(FaultTolerance, AtomicFileCommitsWholeFileAndCleansUp) {
+  const std::string path = tempPath("atomic.txt");
+  std::remove(path.c_str());
+  {
+    AtomicFile out(path);
+    ASSERT_TRUE(static_cast<bool>(out));
+    std::fprintf(out.get(), "hello\n");
+    // Before commit the destination does not exist (only path.tmp does).
+    EXPECT_FALSE(exists(path));
+    EXPECT_TRUE(out.commit());
+  }
+  EXPECT_EQ(slurp(path), "hello\n");
+  EXPECT_FALSE(exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(FaultTolerance, AtomicFileAbandonedWriteLeavesOldContent) {
+  const std::string path = tempPath("abandon.txt");
+  std::remove(path.c_str());
+  {
+    AtomicFile out(path);
+    std::fprintf(out.get(), "v1\n");
+    ASSERT_TRUE(out.commit());
+  }
+  {
+    AtomicFile out(path);
+    std::fprintf(out.get(), "v2 partial");
+    // No commit: destructor discards the temporary.
+  }
+  EXPECT_EQ(slurp(path), "v1\n");
+  EXPECT_FALSE(exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(FaultTolerance, AtomicFileFailsCleanlyOnBadDirectory) {
+  const std::string path =
+      tempPath("no_such_dir") + "/sub/never/out.json";
+  AtomicFile out(path);
+  EXPECT_FALSE(static_cast<bool>(out));
+  EXPECT_FALSE(out.commit());
+  EXPECT_FALSE(exists(path));
+}
+
+TEST(FaultTolerance, DoubleBitsRoundTripExactly) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           -1.5,
+                           3.141592653589793,
+                           1e308,
+                           5e-324,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()};
+  for (const double v : values) {
+    const std::string s = jsonDoubleBits(v);
+    const double back = jsonDoubleFromBits(s);
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0) << s;
+  }
+  // NaN round-trips to a NaN with the same bits.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double back = jsonDoubleFromBits(jsonDoubleBits(nan));
+  EXPECT_EQ(std::memcmp(&nan, &back, sizeof nan), 0);
+  // Malformed encodings parse to 0.0 instead of garbage.
+  EXPECT_EQ(jsonDoubleFromBits(""), 0.0);
+  EXPECT_EQ(jsonDoubleFromBits("x12"), 0.0);
+  EXPECT_EQ(jsonDoubleFromBits("3.5"), 0.0);
+}
+
+}  // namespace
+}  // namespace eecc

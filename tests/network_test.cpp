@@ -213,5 +213,86 @@ TEST(FlitLevelNetwork, StatsIdenticalToMessageLevel) {
   EXPECT_EQ(net.stats().linksTraversed, 2u);
 }
 
+// ---------------------------------------------------------------------------
+// reset() vs resetStats(): occupancy semantics (DESIGN.md §12 satellite)
+// ---------------------------------------------------------------------------
+
+TEST(Network, ResetStatsKeepsMessageLevelOccupancy) {
+  // CmpSystem::warmup() clears counters but must keep in-flight link
+  // occupancy so the measured window starts on a warm NoC.
+  NetFixture f;
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.cls = MsgClass::Data;  // occupies link 0->1 for 5 cycles
+  f.net.send(m);
+  f.net.resetStats();
+  f.net.send(m);  // still queues behind the first message's flits
+  EXPECT_EQ(f.net.stats().messages, 1u);
+  EXPECT_EQ(f.net.stats().contentionWait.max(), 5.0);
+  f.events.runToCompletion();
+}
+
+TEST(Network, ResetClearsMessageLevelOccupancy) {
+  NetFixture f;
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.cls = MsgClass::Data;
+  f.net.send(m);
+  f.net.send(m);
+  f.net.reset();
+  f.net.send(m);  // links are idle again: uncontended latency
+  EXPECT_EQ(f.net.stats().messages, 1u);
+  EXPECT_EQ(f.net.stats().contentionWait.max(), 0.0);
+  EXPECT_EQ(f.net.stats().unicastLatency.max(), 9.0);  // 1 hop * 5 + 4
+  f.events.runToCompletion();
+}
+
+TEST(Network, ResetClearsFlitLevelOccupancy) {
+  // Regression: linkFlitSlot_ used to be lazily initialized inside
+  // flitLevelArrival, so no reset path could clear it and a reused
+  // network dragged stale flit-slot reservations into the next run.
+  EventQueue events;
+  MeshTopology topo(8, 8);
+  NetworkConfig cfg;
+  cfg.flitLevel = true;
+  Network net(events, topo, cfg);
+  int count = 0;
+  net.setHandler([&](const Message&) { ++count; });
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.cls = MsgClass::Data;
+  net.send(m);
+  net.send(m);
+  EXPECT_GT(net.stats().contentionWait.count(), 0u);
+  net.reset();
+  net.send(m);  // flit slots idle again: uncontended latency
+  EXPECT_EQ(net.stats().messages, 1u);
+  EXPECT_EQ(net.stats().contentionWait.count(), 0u);
+  EXPECT_EQ(net.stats().unicastLatency.max(), 9.0);
+  events.runToCompletion();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Network, ResetStatsKeepsFlitLevelOccupancy) {
+  EventQueue events;
+  MeshTopology topo(8, 8);
+  NetworkConfig cfg;
+  cfg.flitLevel = true;
+  Network net(events, topo, cfg);
+  net.setHandler([](const Message&) {});
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.cls = MsgClass::Data;
+  net.send(m);
+  net.resetStats();
+  net.send(m);  // flit slots of the first message still reserved
+  EXPECT_GT(net.stats().contentionWait.count(), 0u);
+  events.runToCompletion();
+}
+
 }  // namespace
 }  // namespace eecc

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/runner.h"
+#include "result_compare.h"
 #include "sim/event_queue.h"
 
 namespace eecc {
@@ -34,74 +35,6 @@ ExperimentConfig smallConfig(ProtocolKind kind, const std::string& workload,
   cfg.warmupCycles = 30'000;
   cfg.windowCycles = 20'000;
   return cfg;
-}
-
-void expectAccumulatorEq(const Accumulator& a, const Accumulator& b) {
-  EXPECT_EQ(a.count(), b.count());
-  EXPECT_EQ(a.sum(), b.sum());
-  EXPECT_EQ(a.min(), b.min());
-  EXPECT_EQ(a.max(), b.max());
-  EXPECT_EQ(a.variance(), b.variance());
-}
-
-// Bit-identical comparison: every counter, accumulator, and derived
-// energy number. Doubles compared with EXPECT_EQ on purpose — the
-// parallel path must produce the *same bits*, not merely close values.
-void expectResultsIdentical(const ExperimentResult& a,
-                            const ExperimentResult& b) {
-  EXPECT_EQ(a.workload, b.workload);
-  EXPECT_EQ(a.protocol, b.protocol);
-  EXPECT_EQ(a.cycles, b.cycles);
-  EXPECT_EQ(a.ops, b.ops);
-  EXPECT_EQ(a.throughput, b.throughput);
-  EXPECT_EQ(a.simEvents, b.simEvents);
-
-  const ProtocolStats& s = a.stats;
-  const ProtocolStats& t = b.stats;
-  EXPECT_EQ(s.reads, t.reads);
-  EXPECT_EQ(s.writes, t.writes);
-  EXPECT_EQ(s.l1ReadHits, t.l1ReadHits);
-  EXPECT_EQ(s.l1WriteHits, t.l1WriteHits);
-  EXPECT_EQ(s.readMisses, t.readMisses);
-  EXPECT_EQ(s.writeMisses, t.writeMisses);
-  EXPECT_EQ(s.upgrades, t.upgrades);
-  EXPECT_EQ(s.l2DataHits, t.l2DataHits);
-  EXPECT_EQ(s.memoryFetches, t.memoryFetches);
-  EXPECT_EQ(s.invalidationsSent, t.invalidationsSent);
-  EXPECT_EQ(s.broadcastInvalidations, t.broadcastInvalidations);
-  EXPECT_EQ(s.ownershipTransfers, t.ownershipTransfers);
-  EXPECT_EQ(s.providershipTransfers, t.providershipTransfers);
-  EXPECT_EQ(s.hintMessages, t.hintMessages);
-  EXPECT_EQ(s.providerResolvedMisses, t.providerResolvedMisses);
-  EXPECT_EQ(s.writebacks, t.writebacks);
-  EXPECT_EQ(s.l2Evictions, t.l2Evictions);
-  EXPECT_EQ(s.dirEvictionInvalidations, t.dirEvictionInvalidations);
-  for (std::size_t c = 0; c < static_cast<std::size_t>(MissClass::kCount);
-       ++c) {
-    EXPECT_EQ(s.missByClass[c], t.missByClass[c]);
-    expectAccumulatorEq(s.latencyByClass[c], t.latencyByClass[c]);
-    expectAccumulatorEq(s.linksByClass[c], t.linksByClass[c]);
-  }
-  expectAccumulatorEq(s.missLatency, t.missLatency);
-
-  EXPECT_EQ(a.noc.messages, b.noc.messages);
-  EXPECT_EQ(a.noc.broadcasts, b.noc.broadcasts);
-  EXPECT_EQ(a.noc.routings, b.noc.routings);
-  EXPECT_EQ(a.noc.linkFlits, b.noc.linkFlits);
-  EXPECT_EQ(a.noc.linksTraversed, b.noc.linksTraversed);
-
-  // Energy, down to the picojoule breakdowns.
-  EXPECT_EQ(a.cachePj.l1Pj, b.cachePj.l1Pj);
-  EXPECT_EQ(a.cachePj.l1DirPj, b.cachePj.l1DirPj);
-  EXPECT_EQ(a.cachePj.l2Pj, b.cachePj.l2Pj);
-  EXPECT_EQ(a.cachePj.l2DirPj, b.cachePj.l2DirPj);
-  EXPECT_EQ(a.cachePj.pointerPj, b.cachePj.pointerPj);
-  EXPECT_EQ(a.nocPj.routingPj, b.nocPj.routingPj);
-  EXPECT_EQ(a.nocPj.linkPj, b.nocPj.linkPj);
-  EXPECT_EQ(a.cacheMw, b.cacheMw);
-  EXPECT_EQ(a.linkMw, b.linkMw);
-  EXPECT_EQ(a.routingMw, b.routingMw);
-  EXPECT_EQ(a.dedupSavedFraction, b.dedupSavedFraction);
 }
 
 TEST(ExperimentRunner, ParallelBitIdenticalToSequential) {

@@ -45,6 +45,22 @@
 //                         (default 50000; 0 = end-of-run sample only)
 //     --progress          per-experiment heartbeat on stderr (never
 //                         stdout; off by default)
+//
+//   Fault tolerance (DESIGN.md §12):
+//     --journal FILE      append every completed experiment to a crash-
+//                         safe sweep journal (JSON Lines, fsync'd per
+//                         record)
+//     --resume            with --journal: load the journal first and skip
+//                         experiments it already holds; the spliced
+//                         results are bit-identical to a fresh run
+//     --retries N         re-attempt a throwing experiment up to N extra
+//                         times (default $EECC_RETRIES, else 0)
+//     --inject-fault N    deterministically fail the N-th submitted
+//                         experiment (1-based) on its first attempt —
+//                         exercises containment/retry/resume
+//
+//   A contained experiment failure prints a per-experiment report and
+//   exits nonzero; the rest of the batch still runs and exports.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +70,7 @@
 #include "check/fuzzer.h"
 #include "check/monitor.h"
 #include "core/cmp_system.h"
+#include "core/journal.h"
 #include "core/runner.h"
 #include "obs/exporters.h"
 #include "workload/profile.h"
@@ -77,7 +94,9 @@ namespace {
                "[--timeline FILE] [--timeline-every N]\n"
                "       [--trace-out FILE] [--trace-capacity N] "
                "[--trace-hits]\n"
-               "       [--ledger] [--ledger-occupancy N] [--progress]\n",
+               "       [--ledger] [--ledger-occupancy N] [--progress]\n"
+               "       [--journal FILE] [--resume] [--retries N] "
+               "[--inject-fault N]\n",
                argv0);
   std::exit(2);
 }
@@ -143,6 +162,10 @@ int main(int argc, char** argv) {
   std::size_t traceCapacity = 1 << 16;
   bool traceHits = false;
   bool progress = false;
+  std::string journalPath;
+  bool resume = false;
+  unsigned retries = ExperimentRunner::defaultRetries();
+  std::uint64_t injectFault = 0;
   cfg.warmupCycles = 500'000;
   cfg.windowCycles = 250'000;
 
@@ -180,6 +203,10 @@ int main(int argc, char** argv) {
     else if (arg == "--ledger") cfg.obs.ledger = true;
     else if (arg == "--ledger-occupancy") cfg.obs.ledgerOccupancyEvery = std::strtoull(next(), nullptr, 10);
     else if (arg == "--progress") progress = true;
+    else if (arg == "--journal") journalPath = next();
+    else if (arg == "--resume") resume = true;
+    else if (arg == "--retries") retries = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    else if (arg == "--inject-fault") injectFault = std::strtoull(next(), nullptr, 10);
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
@@ -257,9 +284,29 @@ int main(int argc, char** argv) {
   }
   ExperimentRunner runner;
   runner.enableProgress(progress);
+  runner.setRetries(retries);
+  runner.setInjectFault(injectFault);
+  SweepJournal journal;
+  if (resume && journalPath.empty()) {
+    std::fprintf(stderr, "--resume requires --journal FILE\n");
+    return 2;
+  }
+  if (!journalPath.empty()) {
+    std::string error;
+    if (!journal.open(journalPath, resume, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    runner.setJournal(&journal);
+  }
   const std::vector<ExperimentResult> results = runner.runMany(cfgs);
   std::uint64_t violations = 0;
   for (const ExperimentResult& r : results) {
+    if (r.failed) {
+      std::printf("%-15s FAILED after %u attempt(s): %s\n",
+                  protocolName(r.protocol), r.attempts, r.error.c_str());
+      continue;
+    }
     if (csv) printCsv(r);
     else printHuman(r);
     violations += r.checkViolations;
@@ -272,11 +319,27 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Submission-order failure report on stderr; failed experiments have
+  // no metric snapshot and are left out of the stats exports.
+  if (anyFailed(results)) {
+    std::size_t failures = 0;
+    for (const ExperimentResult& r : results) failures += r.failed ? 1 : 0;
+    std::fprintf(stderr, "[eecc] %zu/%zu experiments failed:\n", failures,
+                 results.size());
+    for (const ExperimentResult& r : results)
+      if (r.failed)
+        std::fprintf(stderr, "  %s %s seed=%llu attempts=%u: %s\n",
+                     r.workload.c_str(), protocolName(r.protocol),
+                     static_cast<unsigned long long>(r.seed), r.attempts,
+                     r.error.c_str());
+  }
+
   bool exportFailed = false;
   if (cfg.obs.snapshotMetrics) {
     std::vector<MetricsDoc> docs;
     for (const ExperimentResult& r : results)
-      docs.push_back({r.workload, protocolName(r.protocol), r.metrics});
+      if (!r.failed)
+        docs.push_back({r.workload, protocolName(r.protocol), r.metrics});
     if (!statsJsonPath.empty() && !writeStatsJson(statsJsonPath, docs))
       exportFailed = true;
     if (!statsCsvPath.empty() && !writeStatsCsv(statsCsvPath, docs))
@@ -303,5 +366,6 @@ int main(int argc, char** argv) {
       exportFailed = true;
   }
   if (exportFailed) return 1;
-  return violations != 0 ? 1 : 0;
+  if (violations != 0) return 1;
+  return anyFailed(results) ? 1 : 0;
 }
