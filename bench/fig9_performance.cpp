@@ -7,7 +7,10 @@
 // (EECC_JOBS-wide) and the per-experiment wall-clock / events-per-second
 // instrumentation is written to BENCH_sweep.json (path overridable via
 // EECC_SWEEP_JSON) — the perf-trajectory record for this repository.
+#include <cstdlib>
+
 #include "bench_util.h"
+#include "core/experiment.h"
 #include "event_kernel_compare.h"
 #include "noc/mesh.h"
 
@@ -92,6 +95,31 @@ int main() {
       3.0 * big.averageDistance(), 2.0 * big.averageDistance(),
       2.0 * area.averageDistance());
 
+  // Miss-path fast lane vs the legacy per-message delivery path, on the
+  // broadcast-heavy DiCo-Arin jbb window the fast lane targets (the full
+  // per-protocol table lives in bench/micro_miss_path). The env var is
+  // read in the Network constructor, so toggling between in-process runs
+  // selects the path cleanly.
+  const auto missPathRun = [] {
+    ExperimentConfig cfg;
+    cfg.workloadName = "jbb4x16p";
+    cfg.protocol = ProtocolKind::DiCoArin;
+    // Wider than the sweep window: the A/B difference is a few percent,
+    // so a short run drowns it in timer noise.
+    cfg.warmupCycles = bench::quickMode() ? 20'000 : 200'000;
+    cfg.windowCycles = bench::quickMode() ? 50'000 : 500'000;
+    const bench::WallTimer t;
+    const ExperimentResult r = runExperiment(cfg);
+    const double secs = t.seconds();
+    return secs > 0.0 ? static_cast<double>(r.simEvents) / secs : 0.0;
+  };
+  ::unsetenv("EECC_NOC_UNBATCHED");
+  missPathRun();  // warm caches/predictors once
+  const double missPathFast = missPathRun();
+  ::setenv("EECC_NOC_UNBATCHED", "1", 1);
+  const double missPathLegacy = missPathRun();
+  ::unsetenv("EECC_NOC_UNBATCHED");
+
   // Perf-trajectory record: per-experiment wall clock + events/sec, plus
   // the event-kernel microbenchmark headline (see bench/micro_event_queue).
   const bench::KernelComparison kernelCmp = bench::compareEventKernels();
@@ -102,7 +130,11 @@ int main() {
       runner.metrics(),
       {{"event_kernel_legacy_events_per_sec", kernelCmp.legacyEventsPerSec},
        {"event_kernel_wheel_events_per_sec", kernelCmp.wheelEventsPerSec},
-       {"event_kernel_speedup", kernelCmp.speedup()}});
+       {"event_kernel_speedup", kernelCmp.speedup()},
+       {"miss_path_arin_legacy_events_per_sec", missPathLegacy},
+       {"miss_path_arin_fast_events_per_sec", missPathFast},
+       {"miss_path_arin_speedup",
+        missPathLegacy > 0.0 ? missPathFast / missPathLegacy : 0.0}});
   std::printf(
       "\nsweep: %zu experiments in %.2fs on %u jobs; event-kernel "
       "speedup %.2fx -> %s\n",

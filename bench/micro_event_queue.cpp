@@ -8,7 +8,10 @@
 //
 //   $ ./build/bench/micro_event_queue
 #include <cstdio>
+#include <cstdlib>
 
+#include "common/atomic_file.h"
+#include "common/json.h"
 #include "event_kernel_compare.h"
 
 using namespace eecc;
@@ -65,5 +68,23 @@ int main() {
   const double speedup = churnWheel / churnLegacy;
   std::printf("\nheadline (steady-state churn): %.2fx %s 1.3x target\n",
               speedup, speedup >= 1.3 ? ">=" : "< BELOW");
+
+  // Optional JSON record for the perf-smoke CI gate (see
+  // scripts/check_perf.py and bench/perf_baselines.json).
+  if (const char* jsonPath = std::getenv("EECC_EVENT_QUEUE_JSON")) {
+    AtomicFile out(jsonPath);
+    if (!out) return 1;
+    JsonWriter w(out.get());
+    w.beginObject();
+    w.field("bench", "micro_event_queue");
+    w.field("event_queue_churn_events_per_sec", churnWheel);
+    w.field("event_queue_burst_events_per_sec", burstWheel);
+    w.field("event_queue_solo_events_per_sec", soloWheel);
+    w.field("event_queue_churn_speedup", speedup);
+    w.endObject();
+    w.finish();
+    if (!out.commit()) return 1;
+    std::printf("wrote %s\n", jsonPath);
+  }
   return speedup >= 1.3 ? 0 : 1;
 }

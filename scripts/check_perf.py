@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Perf-smoke regression gate: compare bench JSON records against
+bench/perf_baselines.json.
+
+Every numeric key in the baselines file that also appears in one of the
+result files is checked; all gated metrics are higher-is-better
+(events/sec or speedup ratios), and a current value below
+baseline / tolerance fails the gate. Keys present in the results but not
+in the baselines are informational only, so adding a new bench field
+never breaks CI until a baseline is recorded for it.
+
+Usage:
+    scripts/check_perf.py [--baselines bench/perf_baselines.json]
+                          [--tolerance 1.15] result.json [result2.json ...]
+
+Exit status: 0 when every gated metric is within tolerance, 1 on any
+regression (or on a baseline key missing from every result file, which
+usually means a bench was skipped).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", nargs="+", help="bench JSON output files")
+    parser.add_argument("--baselines", default="bench/perf_baselines.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.15,
+        help="allowed slowdown factor before the gate fails (default 1.15)",
+    )
+    parser.add_argument(
+        "--ratio-tolerance",
+        type=float,
+        default=1.15,
+        help="tolerance for *_speedup keys; these are machine-independent "
+        "ratios, so they keep a tight gate even when --tolerance is "
+        "widened for noisy shared runners (default 1.15)",
+    )
+    args = parser.parse_args()
+
+    baselines = load(args.baselines)
+    merged = {}
+    for path in args.results:
+        merged.update(load(path))
+
+    failures = []
+    missing = []
+    print(f"{'metric':48s} {'baseline':>14s} {'current':>14s} {'ratio':>7s}")
+    for key, base in sorted(baselines.items()):
+        if not isinstance(base, (int, float)) or isinstance(base, bool):
+            continue  # comments / metadata entries
+        if key not in merged:
+            missing.append(key)
+            continue
+        cur = merged[key]
+        tol = args.ratio_tolerance if key.endswith("_speedup") else args.tolerance
+        ratio = cur / base if base else float("inf")
+        ok = cur >= base / tol
+        print(f"{key:48s} {base:14.2f} {cur:14.2f} {ratio:6.2f}x"
+              f"{'' if ok else '  << REGRESSION'}")
+        if not ok:
+            failures.append((key, base, cur))
+
+    if missing:
+        print(f"\nbaseline keys absent from results: {', '.join(missing)}")
+    if failures:
+        print(f"\n{len(failures)} metric(s) regressed beyond "
+              f"{args.tolerance:.2f}x tolerance")
+    return 1 if failures or missing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

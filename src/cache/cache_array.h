@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/bits.h"
@@ -19,6 +18,11 @@ namespace eecc {
 
 struct CacheLineBase {
   Addr addr = 0;        ///< Block address (tag+index combined).
+  /// NEVER write these directly: CacheArray mirrors them into packed
+  /// side arrays that find/selectVictim scan (one cache line per set
+  /// instead of one per way). Invalidate through CacheArray::invalidate
+  /// and refresh LRU through CacheArray::touch, or the mirrors desync
+  /// and lookups return stale lines. Reading them is always fine.
   bool valid = false;
   std::uint64_t lruStamp = 0;
 };
@@ -38,6 +42,7 @@ class CacheArray {
     EECC_CHECK(assoc >= 1 && entries % assoc == 0);
     EECC_CHECK_MSG(isPow2(sets_), "set count must be a power of two");
     lines_.resize(entries);
+    meta_.resize(entries);
   }
 
   std::uint32_t entries() const {
@@ -47,10 +52,20 @@ class CacheArray {
   std::uint32_t sets() const { return sets_; }
 
   /// Returns the valid line holding `block`, or nullptr. Does not touch LRU.
+  ///
+  /// The scan runs over the packed metadata array — one 16-byte
+  /// {tag, stamp} record per way means a single cache line covers a
+  /// whole 4-way set (two cover an 8-way one), where scanning the wide
+  /// LineT structs would touch one cache line per way. Tags are written
+  /// only by install() (the sole writer of line.addr) and a stamp of 0
+  /// encodes an invalid way (maintained by install/touch/invalidate;
+  /// every valid line has been touched at least once, so live stamps are
+  /// never 0). This is why CacheLineBase forbids writing valid/lruStamp
+  /// directly.
   LineT* find(Addr block) {
     const auto [begin, end] = setRange(block);
     for (std::size_t i = begin; i < end; ++i)
-      if (lines_[i].valid && lines_[i].addr == block) return &lines_[i];
+      if (meta_[i].tag == block && meta_[i].stamp != 0) return &lines_[i];
     return nullptr;
   }
   const LineT* find(Addr block) const {
@@ -58,22 +73,43 @@ class CacheArray {
   }
 
   /// Marks a line most-recently-used.
-  void touch(LineT& line) { line.lruStamp = ++clock_; }
+  void touch(LineT& line) {
+    line.lruStamp = ++clock_;
+    meta_[indexOf(line)].stamp = clock_;
+  }
 
   /// Selects the victim slot for installing `block`: an invalid way if one
   /// exists, otherwise the LRU way among those for which `busy` is false.
-  /// Returns nullptr only when every way of the set is busy.
-  LineT* selectVictim(Addr block,
-                      const std::function<bool(const LineT&)>& busy) {
+  /// Returns nullptr only when every way of the set is busy. `busy` is any
+  /// callable bool(const LineT&), invoked directly — victim selection runs
+  /// on every miss, so the predicate is not boxed into a std::function.
+  template <typename BusyP>
+  LineT* selectVictim(Addr block, BusyP&& busy) {
     const auto [begin, end] = setRange(block);
+    // Scan the packed stamps only: invalid ways (stamp 0) win outright,
+    // otherwise the minimum stamp is the overall-LRU way. `busy` is
+    // deferred to that single way — predicates are pure (transaction-
+    // table probes), so when the overall-LRU way is not busy (the common
+    // case) one predicate call decides, instead of one per valid way.
+    std::size_t lru = begin;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (meta_[i].stamp == 0) return &lines_[i];
+      if (meta_[i].stamp < meta_[lru].stamp) lru = i;
+    }
+    if (!busy(lines_[lru])) return &lines_[lru];
+    // The overall-LRU way is busy: fall back to the LRU non-busy way.
     LineT* best = nullptr;
     for (std::size_t i = begin; i < end; ++i) {
       LineT& line = lines_[i];
-      if (!line.valid) return &line;
-      if (busy && busy(line)) continue;
+      if (i == lru || busy(line)) continue;
       if (best == nullptr || line.lruStamp < best->lruStamp) best = &line;
     }
     return best;
+  }
+
+  /// No-exclusions overload (callers pass nullptr for "nothing is busy").
+  LineT* selectVictim(Addr block, std::nullptr_t) {
+    return selectVictim(block, [](const LineT&) { return false; });
   }
 
   /// Resets `slot` to an invalid default-state line tagged with `block`,
@@ -83,11 +119,15 @@ class CacheArray {
     slot = LineT{};
     slot.addr = block;
     slot.valid = true;
+    meta_[static_cast<std::size_t>(&slot - lines_.data())].tag = block;
     touch(slot);
     return slot;
   }
 
-  void invalidate(LineT& line) { line.valid = false; }
+  void invalidate(LineT& line) {
+    line.valid = false;
+    meta_[indexOf(line)].stamp = 0;
+  }
 
   /// Visits every valid line (for invariant checking and statistics).
   template <typename Fn>
@@ -108,6 +148,10 @@ class CacheArray {
   }
 
  private:
+  std::size_t indexOf(const LineT& line) const {
+    return static_cast<std::size_t>(&line - lines_.data());
+  }
+
   std::pair<std::size_t, std::size_t> setRange(Addr block) const {
     const std::size_t set =
         static_cast<std::size_t>(blockIndex(block) >> indexShift_) &
@@ -115,11 +159,25 @@ class CacheArray {
     return {set * assoc_, set * assoc_ + assoc_};
   }
 
+  /// Never a block address (block addresses are byte addresses of aligned
+  /// blocks; all-ones is not). Keeps a never-installed way from matching.
+  static constexpr Addr kNoTag = ~Addr{0};
+
+  /// Packed copy of {lines_[i].addr, lines_[i].lruStamp}, with stamp 0
+  /// when the way is invalid — the only state find/selectVictim scans
+  /// touch. Interleaved in one record so a set probe reads tag and stamp
+  /// from the same cache line.
+  struct WayMeta {
+    Addr tag = kNoTag;
+    std::uint64_t stamp = 0;
+  };
+
   std::uint32_t assoc_;
   std::uint32_t sets_;
   std::uint32_t indexShift_ = 0;
   std::uint64_t clock_ = 0;
   std::vector<LineT> lines_;
+  std::vector<WayMeta> meta_;
 };
 
 }  // namespace eecc

@@ -11,7 +11,6 @@
 // implementation would hold it in) until it is invalidated or re-inserted.
 #pragma once
 
-#include <functional>
 #include <optional>
 #include <unordered_map>
 
@@ -22,11 +21,13 @@ namespace eecc {
 
 class CoherenceCache {
  public:
-  using BusyFn = std::function<bool(Addr)>;
-
   CoherenceCache(std::uint32_t entries, std::uint32_t assoc,
                  std::uint32_t indexShift = 0)
-      : array_(entries, assoc, indexShift) {}
+      : array_(entries, assoc, indexShift) {
+    // All-ways-busy overflow parking is rare but bursty; pre-sizing keeps
+    // the first burst from rehashing mid-transaction.
+    overflow_.reserve(256);
+  }
 
   /// Probes for a pointer; refreshes LRU on hit.
   std::optional<NodeId> lookup(Addr block) {
@@ -34,26 +35,31 @@ class CoherenceCache {
       array_.touch(*e);
       return e->node;
     }
-    if (auto it = overflow_.find(block); it != overflow_.end())
-      return it->second;
+    // Overflow parking is rare: skip the hash probe while the table is
+    // empty (the common case on every miss-path lookup).
+    if (!overflow_.empty()) [[unlikely]]
+      if (auto it = overflow_.find(block); it != overflow_.end())
+        return it->second;
     return std::nullopt;
   }
 
   /// Installs or refreshes the pointer for `block`. Returns the evicted
   /// (block, node) pair when a valid victim had to be displaced — the L2C$
   /// uses this to trigger an ownership recall (Section IV-A1). Entries for
-  /// which `busy` returns true are never displaced.
+  /// which `busy` returns true are never displaced. `busy` is any callable
+  /// bool(Addr), invoked directly (no std::function boxing per update).
+  template <typename BusyT>
   std::optional<std::pair<Addr, NodeId>> update(Addr block, NodeId node,
-                                                const BusyFn& busy = {}) {
-    overflow_.erase(block);
+                                                BusyT&& busy) {
+    if (!overflow_.empty()) [[unlikely]]
+      overflow_.erase(block);
     if (Entry* e = array_.find(block)) {
       e->node = node;
       array_.touch(*e);
       return std::nullopt;
     }
-    Entry* slot = array_.selectVictim(block, [&busy](const Entry& e) {
-      return busy && busy(e.addr);
-    });
+    Entry* slot = array_.selectVictim(
+        block, [&busy](const Entry& e) { return busy(e.addr); });
     if (slot == nullptr) {
       overflow_.emplace(block, node);
       return std::nullopt;
@@ -64,20 +70,29 @@ class CoherenceCache {
     return displaced;
   }
 
+  std::optional<std::pair<Addr, NodeId>> update(Addr block, NodeId node) {
+    return update(block, node, [](Addr) { return false; });
+  }
+
   /// True when inserting `block` would displace a live (non-busy) entry —
   /// i.e. there is no room without evicting someone else's pointer.
-  bool wouldDisplace(Addr block, const BusyFn& busy = {}) {
+  template <typename BusyT>
+  bool wouldDisplace(Addr block, BusyT&& busy) {
     if (array_.find(block) != nullptr) return false;
-    Entry* slot = array_.selectVictim(block, [&busy](const Entry& e) {
-      return busy && busy(e.addr);
-    });
+    Entry* slot = array_.selectVictim(
+        block, [&busy](const Entry& e) { return busy(e.addr); });
     return slot == nullptr || slot->valid;
+  }
+
+  bool wouldDisplace(Addr block) {
+    return wouldDisplace(block, [](Addr) { return false; });
   }
 
   /// Drops the entry for `block` if present.
   void invalidate(Addr block) {
     if (Entry* e = array_.find(block)) array_.invalidate(*e);
-    overflow_.erase(block);
+    if (!overflow_.empty()) [[unlikely]]
+      overflow_.erase(block);
   }
 
   std::uint32_t entries() const { return array_.entries(); }

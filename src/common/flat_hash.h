@@ -1,0 +1,193 @@
+// Open-addressing hash table for the simulator's hot per-event lookups
+// (DESIGN.md §13): uint64 keys, linear probing, backward-shift deletion.
+//
+// The miss path touches several key->value tables on every access or
+// message (the value oracle, memory values, pending memory fetches, the
+// line-serialization table). std::unordered_map costs a heap node per
+// entry and a pointer chase per probe; this table keeps control bytes and
+// slots in two flat arrays, so the common probe is one cache line of
+// metadata plus one slot read, and insertion never allocates until the
+// table grows. Erasure uses backward shifting (no tombstones), so probe
+// sequences never degrade over a long run.
+//
+// Keys are already well-distributed or cheap to mix; a splitmix64 finalizer
+// is applied so block addresses (low bits zero) spread over the table.
+// Not a general container: no iterators (forEach instead), values must be
+// movable, and the empty key is not reserved (occupancy lives in the
+// control bytes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace eecc {
+
+template <typename V>
+class FlatHash {
+ public:
+  explicit FlatHash(std::size_t initialCapacity = 16) {
+    std::size_t cap = 16;
+    while (cap < initialCapacity) cap <<= 1;
+    ctrl_.assign(cap, kEmpty);
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Grows so `n` entries fit without rehashing mid-stream.
+  void reserve(std::size_t n) {
+    std::size_t cap = slots_.size();
+    while (n + n / 3 >= cap) cap <<= 1;
+    if (cap != slots_.size()) rehash(cap);
+  }
+
+  bool contains(std::uint64_t key) const { return findSlot(key) != kNone; }
+
+  V* find(std::uint64_t key) {
+    const std::size_t i = findSlot(key);
+    return i == kNone ? nullptr : &slots_[i].value;
+  }
+  const V* find(std::uint64_t key) const {
+    const std::size_t i = findSlot(key);
+    return i == kNone ? nullptr : &slots_[i].value;
+  }
+
+  /// Fast read with a default for absent keys (the common "value oracle
+  /// never written" case) — one probe, no insertion.
+  V getOr(std::uint64_t key, V fallback) const {
+    const std::size_t i = findSlot(key);
+    return i == kNone ? fallback : slots_[i].value;
+  }
+
+  /// Inserts or overwrites. Returns true when the key was newly inserted.
+  bool put(std::uint64_t key, V value) {
+    maybeGrow();
+    std::size_t i = mix(key) & mask_;
+    while (ctrl_[i] == kFull) {
+      if (slots_[i].key == key) {
+        slots_[i].value = std::move(value);
+        return false;
+      }
+      i = (i + 1) & mask_;
+    }
+    ctrl_[i] = kFull;
+    slots_[i].key = key;
+    slots_[i].value = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// operator[]-style access: default-constructs absent values.
+  V& at(std::uint64_t key) {
+    maybeGrow();
+    std::size_t i = mix(key) & mask_;
+    while (ctrl_[i] == kFull) {
+      if (slots_[i].key == key) return slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    ctrl_[i] = kFull;
+    slots_[i].key = key;
+    slots_[i].value = V{};
+    ++size_;
+    return slots_[i].value;
+  }
+
+  /// Removes `key` if present (backward-shift deletion keeps probe chains
+  /// dense — no tombstones). Returns true when an entry was removed.
+  bool erase(std::uint64_t key) {
+    std::size_t i = findSlot(key);
+    if (i == kNone) return false;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (ctrl_[j] != kFull) break;
+      // Move j back into the hole unless j already sits at (or after) its
+      // ideal slot within the probe chain starting at the hole.
+      const std::size_t ideal = mix(slots_[j].key) & mask_;
+      if (((j - ideal) & mask_) >= ((j - i) & mask_)) {
+        slots_[i] = std::move(slots_[j]);
+        i = j;
+      }
+    }
+    ctrl_[i] = kEmpty;
+    slots_[i] = Slot{};
+    --size_;
+    return true;
+  }
+
+  void clear() {
+    ctrl_.assign(ctrl_.size(), kEmpty);
+    for (Slot& s : slots_) s = Slot{};
+    size_ = 0;
+  }
+
+  /// Visits every (key, value) pair; insertion-order is NOT preserved, so
+  /// callers that need a stable order must sort (audits do).
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+      if (ctrl_[i] == kFull) fn(slots_[i].key, slots_[i].value);
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    V value{};
+  };
+
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kFull = 1;
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  static std::uint64_t mix(std::uint64_t k) {
+    // splitmix64 finalizer.
+    k += 0x9e3779b97f4a7c15ULL;
+    k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    k = (k ^ (k >> 27)) * 0x94d049bb133111ebULL;
+    return k ^ (k >> 31);
+  }
+
+  std::size_t findSlot(std::uint64_t key) const {
+    std::size_t i = mix(key) & mask_;
+    while (ctrl_[i] == kFull) {
+      if (slots_[i].key == key) return i;
+      i = (i + 1) & mask_;
+    }
+    return kNone;
+  }
+
+  void maybeGrow() {
+    // Grow at 3/4 occupancy; linear probing stays short well below that.
+    if ((size_ + 1) * 4 > slots_.size() * 3) rehash(slots_.size() * 2);
+  }
+
+  void rehash(std::size_t cap) {
+    std::vector<std::uint8_t> oldCtrl = std::move(ctrl_);
+    std::vector<Slot> oldSlots = std::move(slots_);
+    ctrl_.assign(cap, kEmpty);
+    slots_.clear();
+    slots_.resize(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < oldSlots.size(); ++i) {
+      if (oldCtrl[i] != kFull) continue;
+      std::size_t j = mix(oldSlots[i].key) & mask_;
+      while (ctrl_[j] == kFull) j = (j + 1) & mask_;
+      ctrl_[j] = kFull;
+      slots_[j] = std::move(oldSlots[i]);
+    }
+  }
+
+  std::vector<std::uint8_t> ctrl_;
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace eecc

@@ -1,0 +1,118 @@
+// Move-only callable with small-buffer storage — the same trick as the
+// event queue's inline action storage (sim/event_queue.h), packaged as a
+// reusable type for tables that hold callbacks (the line-serialization
+// waiter slab, pending memory fetches).
+//
+// std::function costs a heap allocation for captures beyond ~16 bytes and
+// always carries copy machinery; the simulator's queued continuations are
+// move-only, invoked exactly once, and almost always fit in a fixed small
+// buffer. InlineFn stores the callable inline up to `Bytes`, falls back to
+// a single heap allocation for oversized captures, and type-erases through
+// two raw function pointers (invoke, manage) — no virtual dispatch, no RTTI.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace eecc {
+
+template <typename Sig, std::size_t Bytes = 64>
+class InlineFn;
+
+template <typename R, typename... Args, std::size_t Bytes>
+class InlineFn<R(Args...), Bytes> {
+ public:
+  InlineFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  InlineFn(InlineFn&& o) noexcept { moveFrom(o); }
+  InlineFn& operator=(InlineFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      moveFrom(o);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    EECC_CHECK_MSG(invoke_ != nullptr, "empty InlineFn invoked");
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+  void reset() {
+    if (manage_ != nullptr) manage_(storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  // manage(src, dst): dst == nullptr destroys *src; otherwise relocates
+  // *src into dst (move-construct + destroy source).
+  using Invoke = R (*)(std::byte*, Args&&...);
+  using Manage = void (*)(std::byte*, std::byte*);
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= Bytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      invoke_ = [](std::byte* s, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(s)))(
+            std::forward<Args>(args)...);
+      };
+      manage_ = [](std::byte* src, std::byte* dst) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(src));
+        if (dst != nullptr) ::new (static_cast<void*>(dst)) Fn(std::move(*f));
+        f->~Fn();
+      };
+    } else {
+      // Oversized capture: one heap allocation, pointer stored inline.
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      invoke_ = [](std::byte* s, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<Fn**>(s)))(
+            std::forward<Args>(args)...);
+      };
+      manage_ = [](std::byte* src, std::byte* dst) {
+        Fn** p = std::launder(reinterpret_cast<Fn**>(src));
+        if (dst != nullptr) ::new (static_cast<void*>(dst)) Fn*(*p);
+        else delete *p;
+        *p = nullptr;
+      };
+    }
+  }
+
+  void moveFrom(InlineFn& o) {
+    if (o.invoke_ == nullptr) return;
+    o.manage_(o.storage_, storage_);
+    invoke_ = o.invoke_;
+    manage_ = o.manage_;
+    o.invoke_ = nullptr;
+    o.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) std::byte storage_[Bytes];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace eecc

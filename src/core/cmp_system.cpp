@@ -60,15 +60,17 @@ void CmpSystem::coreStep(NodeId tile) {
     const Addr block = blockAddr(op.addr);
 
     // The completion callback may run synchronously (L1 hit) or after the
-    // miss transaction finishes, long past this stack frame — the state it
-    // shares with the issuing loop must live on the heap.
-    const auto inCall = std::make_shared<bool>(true);
-    const auto wasHit = std::make_shared<bool>(false);
-    protocol_->access(tile, block, op.type, [this, tile, inCall, wasHit] {
+    // miss transaction finishes, long past this stack frame. One access
+    // per core is outstanding at a time, so the hit/miss handshake lives
+    // in the Core itself (fits the callback in std::function's inline
+    // storage; the old per-op make_shared pair dominated hit-path time).
+    core.inCall = true;
+    core.wasHit = false;
+    protocol_->access(tile, block, op.type, [this, tile] {
       Core& c = cores_[static_cast<std::size_t>(tile)];
       c.opsDone += 1;
-      if (*inCall) {
-        *wasHit = true;  // L1 hit: the loop below continues
+      if (c.inCall) {
+        c.wasHit = true;  // L1 hit: the loop below continues
         return;
       }
       // Miss completion: the core resumes now.
@@ -76,8 +78,8 @@ void CmpSystem::coreStep(NodeId tile) {
       c.localTime = events_.now() + 1;
       events_.scheduleAfter(1, [this, tile] { coreStep(tile); });
     });
-    *inCall = false;
-    if (*wasHit) {
+    core.inCall = false;
+    if (core.wasHit) {
       core.localTime += hitLatency();
       continue;
     }

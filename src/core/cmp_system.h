@@ -106,6 +106,12 @@ class CmpSystem {
     Tick localTime = 0;
     std::uint64_t opsDone = 0;
     bool waiting = false;  ///< Blocked on an outstanding miss.
+    // Hit/miss handshake between coreStep's issue loop and the access
+    // completion callback (which runs synchronously on an L1 hit). One
+    // access per core is outstanding at a time, so the flags can live
+    // here instead of in per-call heap state.
+    bool inCall = false;   ///< coreStep is inside protocol_->access().
+    bool wasHit = false;   ///< The completion ran synchronously (a hit).
   };
 
   static constexpr Tick kQuantum = 200;

@@ -23,7 +23,7 @@ void CmpConfig::areaGrid(std::int32_t* ax, std::int32_t* ay) const {
   *ay = na / bestX;
 }
 
-AreaId CmpConfig::areaOf(NodeId tile) const {
+AreaId CmpConfig::areaOfSlow(NodeId tile) const {
   std::int32_t ax = 0;
   std::int32_t ay = 0;
   areaGrid(&ax, &ay);
@@ -32,6 +32,13 @@ AreaId CmpConfig::areaOf(NodeId tile) const {
   const std::int32_t x = tile % meshWidth;
   const std::int32_t y = tile / meshWidth;
   return (y / ah) * ax + (x / aw);
+}
+
+void CmpConfig::buildCaches() {
+  areaCache_.resize(static_cast<std::size_t>(tiles()));
+  for (NodeId t = 0; t < tiles(); ++t)
+    areaCache_[static_cast<std::size_t>(t)] = areaOfSlow(t);
+  mcCache_ = memControllerTiles();
 }
 
 std::vector<NodeId> CmpConfig::tilesInArea(AreaId area) const {
@@ -61,9 +68,8 @@ std::vector<NodeId> CmpConfig::memControllerTiles() const {
   return out;
 }
 
-NodeId CmpConfig::memControllerOf(Addr block) const {
+NodeId CmpConfig::memControllerOfSlow(std::uint64_t page) const {
   const auto mcs = memControllerTiles();
-  const std::uint64_t page = block >> kPageOffsetBits;
   return mcs[static_cast<std::size_t>(page % mcs.size())];
 }
 

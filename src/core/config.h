@@ -76,8 +76,13 @@ struct CmpConfig {
 
   /// Areas tile the mesh as a grid of equal rectangles (hard-wired static
   /// division, Section III). For the default 8x8 / 4 areas these are the
-  /// four 4x4 quadrants of Figure 6 (left).
-  AreaId areaOf(NodeId tile) const;
+  /// four 4x4 quadrants of Figure 6 (left). One array read after
+  /// buildCaches(); derived from the grid factorization otherwise.
+  AreaId areaOf(NodeId tile) const {
+    if (!areaCache_.empty()) [[likely]]
+      return areaCache_[static_cast<std::size_t>(tile)];
+    return areaOfSlow(tile);
+  }
 
   /// Tiles belonging to `area`, ascending.
   std::vector<NodeId> tilesInArea(AreaId area) const;
@@ -87,12 +92,30 @@ struct CmpConfig {
   std::vector<NodeId> memControllerTiles() const;
 
   /// The controller serving a block (page-interleaved across controllers).
-  NodeId memControllerOf(Addr block) const;
+  NodeId memControllerOf(Addr block) const {
+    const std::uint64_t page = block >> kPageOffsetBits;
+    if (!mcCache_.empty()) [[likely]]
+      return mcCache_[static_cast<std::size_t>(page % mcCache_.size())];
+    return memControllerOfSlow(page);
+  }
 
   void validate() const;
 
+  /// Materializes the per-tile area table and the memory-controller list
+  /// so the per-message hot paths (Protocol::countMsg, memFetch) stop
+  /// re-deriving them (they used to factor the area grid and build a
+  /// controller vector per call). Derivation-free: areaOf/memControllerOf
+  /// answer identically before and after. Call after the geometry fields
+  /// are final (Protocol's constructor does, right after validate()).
+  void buildCaches();
+
  private:
   void areaGrid(std::int32_t* ax, std::int32_t* ay) const;
+  AreaId areaOfSlow(NodeId tile) const;
+  NodeId memControllerOfSlow(std::uint64_t page) const;
+
+  std::vector<AreaId> areaCache_;  ///< [tile] -> area; empty until built.
+  std::vector<NodeId> mcCache_;    ///< memControllerTiles(); empty until built.
 };
 
 /// Assignment of tiles to virtual machines.

@@ -1,5 +1,6 @@
 #include "noc/mesh.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdlib>
@@ -29,6 +30,69 @@ MeshTopology::MeshTopology(std::int32_t width, std::int32_t height)
       if (y > 0) addLink(n, nodeAt({x, y - 1}), kNorth);
     }
   }
+  if (nodeCount() <= kMaxCachedNodes) buildCaches();
+}
+
+void MeshTopology::buildCaches() {
+  const auto n = static_cast<std::size_t>(nodeCount());
+  routePos_.assign(n * n + 1, 0);
+  routeLinks_.clear();
+  treeCache_.resize(n);
+  bcastSched_.resize(n);
+  for (NodeId src = 0; src < nodeCount(); ++src) {
+    for (NodeId dst = 0; dst < nodeCount(); ++dst) {
+      const auto r = route(src, dst);
+      routeLinks_.insert(routeLinks_.end(), r.begin(), r.end());
+      routePos_[static_cast<std::size_t>(src) * n +
+                static_cast<std::size_t>(dst) + 1] =
+          static_cast<std::uint32_t>(routeLinks_.size());
+    }
+    treeCache_[static_cast<std::size_t>(src)] = broadcastTree(src);
+    auto& sched = bcastSched_[static_cast<std::size_t>(src)];
+    sched.resize(n);
+    for (NodeId d = 0; d < nodeCount(); ++d)
+      sched[static_cast<std::size_t>(d)] = {distance(src, d), d};
+    // Stable by construction: sorting (dist, node) keeps same-distance
+    // nodes in ascending node order.
+    std::sort(sched.begin(), sched.end(),
+              [](const BcastHop& a, const BcastHop& b) {
+                return a.dist != b.dist ? a.dist < b.dist : a.node < b.node;
+              });
+  }
+}
+
+MeshTopology::RouteSpan MeshTopology::routeSpan(NodeId src, NodeId dst) const {
+  if (!routePos_.empty()) {
+    const std::size_t idx =
+        static_cast<std::size_t>(src) *
+            static_cast<std::size_t>(nodeCount()) +
+        static_cast<std::size_t>(dst);
+    const std::uint32_t b = routePos_[idx];
+    const std::uint32_t e = routePos_[idx + 1];
+    return {routeLinks_.data() + b, e - b};
+  }
+  routeScratch_ = route(src, dst);
+  return {routeScratch_.data(), routeScratch_.size()};
+}
+
+const std::vector<LinkId>& MeshTopology::broadcastTreeCached(
+    NodeId src) const {
+  if (!treeCache_.empty()) return treeCache_[static_cast<std::size_t>(src)];
+  treeScratch_ = broadcastTree(src);
+  return treeScratch_;
+}
+
+const std::vector<MeshTopology::BcastHop>& MeshTopology::broadcastSchedule(
+    NodeId src) const {
+  if (!bcastSched_.empty()) return bcastSched_[static_cast<std::size_t>(src)];
+  schedScratch_.resize(static_cast<std::size_t>(nodeCount()));
+  for (NodeId d = 0; d < nodeCount(); ++d)
+    schedScratch_[static_cast<std::size_t>(d)] = {distance(src, d), d};
+  std::sort(schedScratch_.begin(), schedScratch_.end(),
+            [](const BcastHop& a, const BcastHop& b) {
+              return a.dist != b.dist ? a.dist < b.dist : a.node < b.node;
+            });
+  return schedScratch_;
 }
 
 LinkId MeshTopology::linkBetween(NodeId from, NodeId to) const {

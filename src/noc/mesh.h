@@ -57,15 +57,45 @@ class MeshTopology {
   LinkId linkBetween(NodeId from, NodeId to) const;
 
   /// Sequence of directed links an XY-routed message from `src` to `dst`
-  /// traverses (X first, then Y). Empty when src == dst.
+  /// traverses (X first, then Y). Empty when src == dst. Computes a fresh
+  /// vector every call; the Network hot path uses routeSpan() instead.
   std::vector<LinkId> route(NodeId src, NodeId dst) const;
+
+  /// Zero-allocation view into the precomputed route table (same links as
+  /// route(), in the same order). Valid until the topology is destroyed.
+  struct RouteSpan {
+    const LinkId* links = nullptr;
+    std::size_t count = 0;
+    const LinkId* begin() const { return links; }
+    const LinkId* end() const { return links + count; }
+    std::size_t size() const { return count; }
+  };
+  RouteSpan routeSpan(NodeId src, NodeId dst) const;
 
   /// Directed links of the XY multicast tree rooted at `src` reaching every
   /// node of the mesh: the message travels along src's row, and every node
   /// of that row forwards up and down its column. This is the standard
   /// dimension-order broadcast used to add broadcast support to a mesh
   /// (cf. Duato et al. [20], used by the paper's modified Garnet).
+  /// Recomputed on every call; the Network uses broadcastTreeCached().
   std::vector<LinkId> broadcastTree(NodeId src) const;
+
+  /// The same tree, precomputed once per source at construction (the
+  /// DiCo-Arin invalidation path recomputed it per broadcast; see
+  /// DESIGN.md §13). Golden-tested equal to broadcastTree() per source.
+  const std::vector<LinkId>& broadcastTreeCached(NodeId src) const;
+
+  /// One broadcast destination with its tree distance from the source.
+  struct BcastHop {
+    std::int32_t dist = 0;
+    NodeId node = kInvalidNode;
+  };
+  /// Every node of the mesh sorted by (distance, node) — the delivery
+  /// order of a broadcast from `src`. Same-distance nodes keep ascending
+  /// node order, so per-tick delivery FIFO order matches a plain
+  /// node-ascending loop while same-tick deliveries become consecutive
+  /// (which is what lets the Network batch them). Precomputed per source.
+  const std::vector<BcastHop>& broadcastSchedule(NodeId src) const;
 
   /// Average XY distance between two uniformly random distinct nodes;
   /// the paper quotes the (2/3)*sqrt(ntc) approximation in Section V-D.
@@ -84,11 +114,29 @@ class MeshTopology {
     return static_cast<std::size_t>(l);
   }
 
+  /// Meshes up to this many nodes precompute all N^2 routes and N trees at
+  /// construction (every simulated chip qualifies: CmpConfig caps tiles at
+  /// 256). Larger standalone topologies fall back to per-call scratch
+  /// buffers so construction stays cheap.
+  static constexpr std::int32_t kMaxCachedNodes = 1024;
+  void buildCaches();
+
   std::int32_t width_;
   std::int32_t height_;
   std::vector<Link> links_;
   // linkIndex_[from][direction] with directions E,W,N,S; -1 at edges.
   std::vector<std::array<LinkId, 4>> linkIndex_;
+
+  // Flattened route table: routeLinks_[routePos_[src*N+dst] ..
+  // routePos_[src*N+dst+1]) is the XY route. Empty when not cached.
+  std::vector<std::uint32_t> routePos_;
+  std::vector<LinkId> routeLinks_;
+  std::vector<std::vector<LinkId>> treeCache_;        // [src] -> tree links
+  std::vector<std::vector<BcastHop>> bcastSched_;     // [src] -> (dist, node)
+  // Fallbacks for beyond-cap meshes (and their lifetime anchors).
+  mutable std::vector<LinkId> routeScratch_;
+  mutable std::vector<LinkId> treeScratch_;
+  mutable std::vector<BcastHop> schedScratch_;
 };
 
 }  // namespace eecc

@@ -1,16 +1,95 @@
 #include "noc/network.h"
 
+#include <cstdlib>
+
 #include "obs/ledger.h"
 #include "obs/trace.h"
 
 namespace eecc {
 
-void Network::deliverAt(Tick when, Message msg) {
-  EECC_CHECK_MSG(static_cast<bool>(handler_), "no network handler installed");
-  events_.scheduleAt(when, [this, m = std::move(msg)] { handler_(m); });
+namespace {
+
+bool envUnbatched() {
+  const char* v = std::getenv("EECC_NOC_UNBATCHED");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
-Tick Network::flitLevelArrival(const std::vector<LinkId>& route,
+}  // namespace
+
+Network::Network(EventQueue& events, const MeshTopology& topo,
+                 NetworkConfig cfg)
+    : events_(events),
+      topo_(topo),
+      cfg_(cfg),
+      linkBusyUntil_(static_cast<std::size_t>(topo.linkCount()), Tick{0}),
+      linkFlitSlot_(static_cast<std::size_t>(topo.linkCount()), Tick{0}),
+      ring_(static_cast<std::size_t>(EventQueue::kWheelSize)),
+      unbatched_(envUnbatched()) {}
+
+void Network::deliverDirect(Tick when, const Message& msg) {
+  // One inline-storage event per message: the Message capture fits the
+  // kernel's 88-byte SBO slot, so this path is allocation-free. Measured
+  // faster than ring bookkeeping for unicast traffic, whose same-tick
+  // batches are mostly size 1 (see the class comment in network.h).
+  events_.scheduleAt(when, [this, m = msg] { handler_(m); });
+}
+
+void Network::deliverAt(Tick when, Message msg) {
+  EECC_CHECK_MSG(static_cast<bool>(handler_), "no network handler installed");
+  const Tick now = events_.now();
+  // Deliveries are always scheduled at least one tick ahead (self-sends
+  // and broadcasts add +1; routed arrivals include hop latency), so a
+  // drain never runs re-entrantly with the tick that scheduled it.
+  if (unbatched_ || when - now >= EventQueue::kWheelSize) {
+    // Legacy (and far-future) path: one event per message.
+    deliverDirect(when, msg);
+    return;
+  }
+  DeliverySlot& s =
+      ring_[static_cast<std::size_t>(when & (EventQueue::kWheelSize - 1))];
+  if (s.active && events_.tailIs(when, s.tailSeq)) {
+    // The latest drain for this tick is still the tick's last pending
+    // event: the append preserves FIFO order, so the batch absorbs it.
+    s.msgs.push_back(msg);
+    s.segEnd.back() = s.msgs.size();
+    return;
+  }
+  if (!s.active) {
+    s.when = when;
+    s.active = true;
+  }
+  // The slot cannot still be busy with an aliased earlier tick: its drains
+  // executed before the clock passed that tick, and `when` is < kWheelSize
+  // ahead of now.
+  EECC_CHECK(s.when == when);
+  s.msgs.push_back(msg);
+  s.segEnd.push_back(s.msgs.size());
+  s.tailSeq = events_.scheduleAt(when, [this, when] { drainDeliveries(when); });
+}
+
+void Network::drainDeliveries(Tick when) {
+  DeliverySlot& s =
+      ring_[static_cast<std::size_t>(when & (EventQueue::kWheelSize - 1))];
+  EECC_CHECK(s.active && s.when == when && s.segHead < s.segEnd.size());
+  const std::size_t begin = s.next;
+  const std::size_t end = s.segEnd[s.segHead++];
+  s.next = end;
+  // Handlers can schedule new deliveries, but never onto this tick (all
+  // deliveries are >= now + 1), so `msgs` is stable during the loop.
+  for (std::size_t i = begin; i < end; ++i) handler_(s.msgs[i]);
+  // Keep executedEvents() identical to the per-message legacy path: this
+  // one physical event stood in for (end - begin) deliveries.
+  events_.creditExecuted(end - begin - 1);
+  if (s.segHead == s.segEnd.size() && s.next == s.msgs.size()) {
+    s.msgs.clear();
+    s.segEnd.clear();
+    s.next = 0;
+    s.segHead = 0;
+    s.active = false;
+  }
+}
+
+Tick Network::flitLevelArrival(MeshTopology::RouteSpan route,
                                std::uint32_t flits) {
   // linkFlitSlot_ is sized in the constructor (it used to be lazily
   // initialized here, which reset paths could not see and clear).
@@ -38,12 +117,12 @@ void Network::send(const Message& msg) {
 
   if (msg.src == msg.dst) {
     // Local controller-to-controller action: no NoC resources used.
-    deliverAt(events_.now() + 1, msg);
+    deliverDirect(events_.now() + 1, msg);
     return;
   }
 
   const std::uint32_t flits = flitsOf(msg.cls);
-  const auto route = topo_.route(msg.src, msg.dst);
+  const auto route = topo_.routeSpan(msg.src, msg.dst);
 
   Tick arrival = 0;
   if (cfg_.flitLevel) {
@@ -67,24 +146,24 @@ void Network::send(const Message& msg) {
   stats_.messages += 1;
   if (msg.cls == MsgClass::Data) stats_.dataMessages += 1;
   else stats_.controlMessages += 1;
-  stats_.linksTraversed += route.size();
-  stats_.linkFlits += static_cast<std::uint64_t>(route.size()) * flits;
-  stats_.routings += route.size() + 1;  // every router visited incl. source
+  stats_.linksTraversed += route.count;
+  stats_.linkFlits += static_cast<std::uint64_t>(route.count) * flits;
+  stats_.routings += route.count + 1;  // every router visited incl. source
   stats_.unicastLatency.add(static_cast<double>(arrival - events_.now()));
 
   if (trace_ != nullptr) [[unlikely]]
     trace_->onMessage(msg, events_.now(), arrival,
-                      static_cast<std::uint32_t>(route.size()));
+                      static_cast<std::uint32_t>(route.count));
   if (ledger_ != nullptr) [[unlikely]]
-    ledger_->onUnicast(msg, static_cast<std::uint32_t>(route.size()), flits);
+    ledger_->onUnicast(msg, static_cast<std::uint32_t>(route.count), flits);
 
-  deliverAt(arrival, msg);
+  deliverDirect(arrival, msg);
 }
 
 void Network::broadcast(const Message& msg) {
   EECC_CHECK(msg.src >= 0 && msg.src < topo_.nodeCount());
   const std::uint32_t flits = flitsOf(msg.cls);
-  const auto tree = topo_.broadcastTree(msg.src);
+  const auto& tree = topo_.broadcastTreeCached(msg.src);
 
   stats_.messages += 1;
   stats_.broadcasts += 1;
@@ -99,18 +178,22 @@ void Network::broadcast(const Message& msg) {
   // Tree links are not tracked for contention (replicated flits would need
   // a flit-level model); broadcasts are rare enough that this is a
   // second-order effect, and their energy is fully charged above.
+  //
+  // Destinations are visited in (distance, node) order: same-arrival-tick
+  // nodes stay in ascending node order (identical delivery FIFO to a plain
+  // node loop) but are now consecutive, so each tick's copies coalesce
+  // into a single delivery batch.
   const Tick base = events_.now();
   Tick lastArrive = base;
-  for (NodeId n = 0; n < topo_.nodeCount(); ++n) {
-    Message copy = msg;
-    copy.dst = n;
-    const Tick dist = (n == msg.src)
-                          ? Tick{1}
-                          : static_cast<Tick>(topo_.distance(msg.src, n)) *
-                                    cfg_.hopLatency() +
-                                (flits - 1);
-    if (base + dist > lastArrive) lastArrive = base + dist;
-    deliverAt(base + dist, copy);
+  Message copy = msg;
+  for (const MeshTopology::BcastHop& hop : topo_.broadcastSchedule(msg.src)) {
+    copy.dst = hop.node;
+    const Tick delay = (hop.node == msg.src)
+                           ? Tick{1}
+                           : static_cast<Tick>(hop.dist) * cfg_.hopLatency() +
+                                 (flits - 1);
+    if (base + delay > lastArrive) lastArrive = base + delay;
+    deliverAt(base + delay, copy);
   }
   if (trace_ != nullptr) [[unlikely]]
     trace_->onBroadcast(msg, base, lastArrive);

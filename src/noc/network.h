@@ -66,16 +66,30 @@ struct NocStats {
   }
 };
 
+// Delivery batching (DESIGN.md §13): broadcast deliveries land in a
+// per-tick ring of Message slabs and a single drain event per (tick,
+// batch) hands them to the protocol in FIFO order. A batch stays open for
+// appends exactly while its drain event is still the LAST event pending
+// on its tick (EventQueue::tailIs): the moment any other event is
+// scheduled onto that tick the batch closes and later deliveries open a
+// new batch behind it. This preserves the global same-tick FIFO execution
+// order bit-for-bit — verified against the per-message legacy path, which
+// stays selectable with EECC_NOC_UNBATCHED=1.
+//
+// Only broadcasts ride the ring. A broadcast's (distance, node)-ordered
+// schedule makes same-tick deliveries consecutive, so a 64-node chip-wide
+// invalidation collapses into ~a dozen drain events (one per distance
+// group) — the DiCo-Arin hot path. Unicast deliveries go through one
+// inline-storage event each (deliverDirect): with the event kernel's
+// slab + small-buffer storage that path is already allocation-free, and
+// measuring both shapes showed mostly-size-1 unicast batches pay more in
+// ring bookkeeping (slot + segment bookkeeping + an extra Message copy)
+// than the coalesced drain saves.
 class Network {
  public:
   using Handler = std::function<void(const Message&)>;
 
-  Network(EventQueue& events, const MeshTopology& topo, NetworkConfig cfg = {})
-      : events_(events),
-        topo_(topo),
-        cfg_(cfg),
-        linkBusyUntil_(static_cast<std::size_t>(topo.linkCount()), Tick{0}),
-        linkFlitSlot_(static_cast<std::size_t>(topo.linkCount()), Tick{0}) {}
+  Network(EventQueue& events, const MeshTopology& topo, NetworkConfig cfg = {});
 
   /// Installs the single delivery handler (the protocol engine).
   void setHandler(Handler handler) { handler_ = std::move(handler); }
@@ -113,6 +127,10 @@ class Network {
     resetStats();
     linkBusyUntil_.assign(linkBusyUntil_.size(), Tick{0});
     linkFlitSlot_.assign(linkFlitSlot_.size(), Tick{0});
+    // The delivery ring is deliberately NOT cleared: it mirrors drain
+    // events still scheduled in the event queue, and in-flight messages
+    // sent before a reset must still arrive (the legacy per-message path
+    // delivered them too — network_test pins this).
   }
 
   std::uint32_t flitsOf(MsgClass cls) const {
@@ -130,10 +148,28 @@ class Network {
   void broadcast(const Message& msg);
 
  private:
-  void deliverAt(Tick when, Message msg);
+  /// One tick's pending deliveries. `segEnd[i]` is the end index (into
+  /// `msgs`) of the i-th scheduled drain's batch; `next` is the delivery
+  /// cursor and `segHead` the next drain's segment. A slot is recycled
+  /// (active = false) once every batch has drained — always before the
+  /// wheel wraps back onto it, since a delivery can only target a tick
+  /// less than kWheelSize ahead and the drains for the slot's current tick
+  /// execute before the clock passes it.
+  struct DeliverySlot {
+    std::vector<Message> msgs;
+    std::vector<std::size_t> segEnd;
+    std::size_t next = 0;
+    std::size_t segHead = 0;
+    Tick when = 0;
+    std::uint64_t tailSeq = 0;  ///< seq of the most recent drain event
+    bool active = false;
+  };
 
-  Tick flitLevelArrival(const std::vector<LinkId>& route,
-                        std::uint32_t flits);
+  void deliverDirect(Tick when, const Message& msg);
+  void deliverAt(Tick when, Message msg);
+  void drainDeliveries(Tick when);
+
+  Tick flitLevelArrival(MeshTopology::RouteSpan route, std::uint32_t flits);
 
   EventQueue& events_;
   const MeshTopology& topo_;
@@ -143,6 +179,8 @@ class Network {
   AttributionLedger* ledger_ = nullptr;  ///< Attribution ledger; null = off.
   std::vector<Tick> linkBusyUntil_;   // message-level occupancy
   std::vector<Tick> linkFlitSlot_;    // flit-level next free cycle
+  std::vector<DeliverySlot> ring_;    // per-tick delivery batches
+  bool unbatched_ = false;  ///< EECC_NOC_UNBATCHED=1: legacy per-msg events
   NocStats stats_;
 };
 

@@ -112,7 +112,7 @@ void DiCoProtocol::evictL1Line(NodeId tile, L1Line& line) {
       tileOf(tile).l1c.update(block, line.supplier);
       energy_.l1cUpdate += 1;
     }
-    line.valid = false;
+    tileOf(tile).l1.invalidate(line);
     return;
   }
   // Owner eviction: hand the ownership to a (live) sharer, else to the home.
@@ -140,7 +140,7 @@ void DiCoProtocol::evictL1Line(NodeId tile, L1Line& line) {
   } else {
     relinquishToHome(tile, line);
   }
-  line.valid = false;
+  tileOf(tile).l1.invalidate(line);
 }
 
 void DiCoProtocol::transferOwnership(NodeId from, const L1Line& line,
@@ -315,7 +315,7 @@ void DiCoProtocol::evictL2Line(NodeId home, L2Line& line) {
     energy_.l2DataRead += 1;
     memWriteback(block, home, line.value);
   }
-  line.valid = false;
+  bankOf(home).l2.invalidate(line);
   if (sharers.empty()) return;
   // The home acts as both owner (sends the invalidations) and requestor
   // (collects the acknowledgements) — Section IV-A.
@@ -515,7 +515,8 @@ void DiCoProtocol::ownerServeWrite(NodeId owner, L1Line& line,
   setL2cOwner(block, requestor);
   stats_.ownershipTransfers += 1;
 
-  line.valid = false;  // the old owner's copy dies with the write
+  tileOf(owner).l1.invalidate(line);  // the old owner's copy dies with
+                                      // the write
   txn.becomeOwner = true;
 }
 
@@ -782,7 +783,7 @@ void DiCoProtocol::onMessage(const Message& msg) {
       const NodeId tile = msg.dst;
       auto& tl = tileOf(tile);
       energy_.l1TagProbe += 1;
-      if (L1Line* line = tl.l1.find(msg.addr)) line->valid = false;
+      if (L1Line* line = tl.l1.find(msg.addr)) tl.l1.invalidate(*line);
       // The writer will be the new owner: remember it (Fig. 5).
       if (msg.requestor != tile) {
         tl.l1c.update(msg.addr, msg.requestor);
@@ -820,7 +821,8 @@ void DiCoProtocol::onMessage(const Message& msg) {
     case kBgInval: {
       const NodeId tile = msg.dst;
       energy_.l1TagProbe += 1;
-      if (L1Line* line = tileOf(tile).l1.find(msg.addr)) line->valid = false;
+      auto& l1 = tileOf(tile).l1;
+      if (L1Line* line = l1.find(msg.addr)) l1.invalidate(*line);
       Message ack;
       ack.type = kBgInvalAck;
       ack.src = tile;

@@ -109,11 +109,11 @@ void DiCoArinProtocol::evictL1Line(NodeId tile, L1Line& line) {
       tileOf(tile).l1c.update(line.addr, line.supplier);
       energy_.l1cUpdate += 1;
     }
-    line.valid = false;
+    tileOf(tile).l1.invalidate(line);
     return;
   }
   evictOwnerLine(tile, line);
-  line.valid = false;
+  tileOf(tile).l1.invalidate(line);
 }
 
 void DiCoArinProtocol::evictOwnerLine(NodeId tile, L1Line& line) {
@@ -299,7 +299,7 @@ void DiCoArinProtocol::evictL2Line(NodeId home, L2Line& line) {
   const Addr block = line.addr;
   if (bankOf(home).l2c.lookup(block).has_value()) {
     // Retained (possibly stale) copy under an L1 owner: drop silently.
-    line.valid = false;
+    bankOf(home).l2.invalidate(line);
     return;
   }
   const bool global = line.mode == L2Mode::Global;
@@ -308,7 +308,7 @@ void DiCoArinProtocol::evictL2Line(NodeId home, L2Line& line) {
     energy_.l2DataRead += 1;
     memWriteback(block, home, line.value);
   }
-  line.valid = false;
+  bankOf(home).l2.invalidate(line);
 
   if (global) {
     // Three-way broadcast invalidation with the home collecting the acks
@@ -571,7 +571,7 @@ void DiCoArinProtocol::ownerServeWrite(NodeId node, L1Line& line,
   send(ack);
   setL2cOwner(block, requestor);
   stats_.ownershipTransfers += 1;
-  line.valid = false;
+  tileOf(node).l1.invalidate(line);
 }
 
 void DiCoArinProtocol::handleRequestAtL1(const Message& msg) {
@@ -999,7 +999,7 @@ void DiCoArinProtocol::onMessage(const Message& msg) {
       const NodeId tile = msg.dst;
       auto& tl = tileOf(tile);
       energy_.l1TagProbe += 1;
-      if (L1Line* line = tl.l1.find(msg.addr)) line->valid = false;
+      if (L1Line* line = tl.l1.find(msg.addr)) tl.l1.invalidate(*line);
       if (msg.requestor != tile) {
         tl.l1c.update(msg.addr, msg.requestor);
         energy_.l1cUpdate += 1;
@@ -1038,8 +1038,8 @@ void DiCoArinProtocol::onMessage(const Message& msg) {
       // (implicit under transaction serialization) and ack (step 2).
       const NodeId tile = msg.dst;
       energy_.l1TagProbe += 1;
-      if (L1Line* line = tileOf(tile).l1.find(msg.addr))
-        line->valid = false;
+      auto& l1 = tileOf(tile).l1;
+      if (L1Line* line = l1.find(msg.addr)) l1.invalidate(*line);
       if (msg.requestor != tile && msg.requestor != homeOf(msg.addr)) {
         tileOf(tile).l1c.update(msg.addr, msg.requestor);
         energy_.l1cUpdate += 1;

@@ -137,7 +137,7 @@ void DiCoProvidersProtocol::evictL1Line(NodeId tile, L1Line& line) {
       tileOf(tile).l1c.update(line.addr, line.supplier);
       energy_.l1cUpdate += 1;
     }
-    line.valid = false;
+    tileOf(tile).l1.invalidate(line);
     return;
   }
   if (line.state == L1State::P) {
@@ -145,7 +145,7 @@ void DiCoProvidersProtocol::evictL1Line(NodeId tile, L1Line& line) {
   } else {
     evictOwnerLine(tile, line);
   }
-  line.valid = false;
+  tileOf(tile).l1.invalidate(line);
 }
 
 void DiCoProvidersProtocol::evictProviderLine(NodeId tile, L1Line& line) {
@@ -388,7 +388,7 @@ void DiCoProvidersProtocol::evictL2Line(NodeId home, L2Line& line) {
   if (bankOf(home).l2c.lookup(block).has_value()) {
     // Retained (possibly stale) copy under an L1 owner: drop silently —
     // the owner holds the authoritative data and coherence info.
-    line.valid = false;
+    bankOf(home).l2.invalidate(line);
     return;
   }
   const ProPoArray providers = line.providers;
@@ -396,7 +396,7 @@ void DiCoProvidersProtocol::evictL2Line(NodeId home, L2Line& line) {
     energy_.l2DataRead += 1;
     memWriteback(block, home, line.value);
   }
-  line.valid = false;
+  bankOf(home).l2.invalidate(line);
   bool anyProvider = false;
   for (const NodeId p : providers) anyProvider |= p != kInvalidNode;
   if (!anyProvider) return;
@@ -664,7 +664,7 @@ void DiCoProvidersProtocol::ownerServeWrite(NodeId node, L1Line& line,
   send(ack);
   setL2cOwner(block, requestor);
   stats_.ownershipTransfers += 1;
-  line.valid = false;
+  tileOf(node).l1.invalidate(line);
 }
 
 void DiCoProvidersProtocol::handleRequestAtL1(const Message& msg) {
@@ -1058,7 +1058,7 @@ void DiCoProvidersProtocol::onMessage(const Message& msg) {
       const NodeId tile = msg.dst;
       auto& tl = tileOf(tile);
       energy_.l1TagProbe += 1;
-      if (L1Line* line = tl.l1.find(msg.addr)) line->valid = false;
+      if (L1Line* line = tl.l1.find(msg.addr)) tl.l1.invalidate(*line);
       if (msg.requestor != tile) {
         tl.l1c.update(msg.addr, msg.requestor);
         energy_.l1cUpdate += 1;
@@ -1103,7 +1103,7 @@ void DiCoProvidersProtocol::onMessage(const Message& msg) {
           inv.requestor = msg.requestor;
           send(inv);
         });
-        line->valid = false;
+        tl.l1.invalidate(*line);
       }
       if (msg.requestor != tile) {
         tl.l1c.update(msg.addr, msg.requestor);

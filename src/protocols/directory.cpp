@@ -122,7 +122,7 @@ void DirectoryProtocol::installL1(NodeId tile, Addr block, L1State state,
 void DirectoryProtocol::evictL1Line(NodeId tile, L1Line& line) {
   if (line.state == L1State::S) {
     // Silent eviction; the home's sharer vector becomes a stale superset.
-    line.valid = false;
+    tiles_[static_cast<std::size_t>(tile)].l1.invalidate(line);
     return;
   }
   Message wb;
@@ -133,7 +133,7 @@ void DirectoryProtocol::evictL1Line(NodeId tile, L1Line& line) {
   wb.addr = line.addr;
   wb.value = line.value;
   if (line.state == L1State::M) stats_.writebacks += 1;
-  line.valid = false;
+  tiles_[static_cast<std::size_t>(tile)].l1.invalidate(line);
   energy_.l1DataRead += 1;
   send(wb);
 }
@@ -232,7 +232,7 @@ void DirectoryProtocol::evictL2Line(NodeId home, L2Line& line) {
     energy_.l2DataRead += 1;
     memWriteback(line.addr, home, line.value);
   }
-  line.valid = false;
+  bankOf(home).l2.invalidate(line);
 }
 
 void DirectoryProtocol::startDirEvictionInvalidation(NodeId home, Addr block,
@@ -270,7 +270,7 @@ void DirectoryProtocol::startDirEvictionInvalidation(NodeId home, Addr block,
 void DirectoryProtocol::evictDirEntry(NodeId home, DirEntry& entry) {
   const Addr block = entry.addr;
   const DirInfo snapshot = entry.dir;
-  entry.valid = false;
+  bankOf(home).dirCache.invalidate(entry);
   energy_.dirCacheUpdate += 1;
   // "Only when a directory entry is evicted, the block is also evicted
   // (if present), and every copy of the block is invalidated."
@@ -280,7 +280,7 @@ void DirectoryProtocol::evictDirEntry(NodeId home, DirEntry& entry) {
       energy_.l2DataRead += 1;
       memWriteback(block, home, line->value);
     }
-    line->valid = false;
+    bank.l2.invalidate(*line);
   }
   startDirEvictionInvalidation(home, block, snapshot);
 }
@@ -642,7 +642,7 @@ void DirectoryProtocol::onMessage(const Message& msg) {
       data.origin = msg.requestor;
       data.addr = msg.addr;
       data.value = line->value;
-      line->valid = false;  // the old owner invalidates itself
+      l1.invalidate(*line);  // the old owner invalidates itself
       after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
             [this, data] { send(data); });
       return;
@@ -670,7 +670,7 @@ void DirectoryProtocol::onMessage(const Message& msg) {
       const NodeId tile = msg.dst;
       auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
       energy_.l1TagProbe += 1;
-      if (L1Line* line = l1.find(msg.addr)) line->valid = false;
+      if (L1Line* line = l1.find(msg.addr)) l1.invalidate(*line);
       Message ack;
       ack.type = kInvalAck;
       ack.src = tile;
@@ -734,7 +734,7 @@ void DirectoryProtocol::onMessage(const Message& msg) {
           ack.value = line->value;
           energy_.l1DataRead += 1;
         }
-        line->valid = false;
+        l1.invalidate(*line);
       }
       after(cfg_.l1.tagLatency, [this, ack] { send(ack); });
       return;

@@ -1,0 +1,116 @@
+// Arena-backed per-line transaction serialization (DESIGN.md §13).
+//
+// Every access runs through Protocol::withLine/releaseLine; the previous
+// implementation cost an unordered_set probe per access plus, for each
+// queued conflicting transaction, an unordered_map<Addr, deque<
+// std::function>> node and a heap-boxed callable. This table replaces both
+// with one open-addressing probe (FlatHash) and an intrusive waiter list
+// whose nodes live in a growable slab, storing continuations in
+// small-buffer InlineFn storage — the common acquire/release cycle
+// allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flat_hash.h"
+#include "common/inline_fn.h"
+#include "common/types.h"
+
+namespace eecc {
+
+class LineLockTable {
+ public:
+  /// Queued continuation. 64 inline bytes covers every withLine lambda the
+  /// protocols queue (worst case: this + home + block + a NodeSet + the
+  /// completion DoneFn); larger captures fall back to one heap allocation.
+  using Waiter = InlineFn<void(), 64>;
+
+  LineLockTable() : table_(1024) {}
+
+  /// Takes the line lock if free. Returns false when already held.
+  bool tryAcquire(Addr block) {
+    if (table_.find(block) != nullptr) return false;
+    table_.put(block, Entry{});
+    return true;
+  }
+
+  /// Queues `fn` behind the current holder of `block` (which must be
+  /// locked). FIFO: releases hand the lock to waiters in queue order.
+  template <typename F>
+  void enqueue(Addr block, F&& fn) {
+    Entry* e = table_.find(block);
+    EECC_CHECK_MSG(e != nullptr, "enqueue on an unlocked line");
+    const std::uint32_t n = allocNode(std::forward<F>(fn));
+    if (e->tail == kNone) {
+      e->head = e->tail = n;
+    } else {
+      nodes_[e->tail].next = n;
+      e->tail = n;
+    }
+  }
+
+  /// Releases the lock held on `block`. When a waiter is queued, pops it
+  /// into `*next`, keeps the lock held on its behalf, and returns true;
+  /// otherwise frees the lock and returns false.
+  bool release(Addr block, Waiter* next) {
+    Entry* e = table_.find(block);
+    EECC_CHECK_MSG(e != nullptr, "release of an unlocked line");
+    if (e->head == kNone) {
+      table_.erase(block);
+      return false;
+    }
+    const std::uint32_t n = e->head;
+    e->head = nodes_[n].next;
+    if (e->head == kNone) e->tail = kNone;
+    *next = std::move(nodes_[n].fn);
+    freeNode(n);
+    return true;
+  }
+
+  bool busy(Addr block) const { return table_.contains(block); }
+  std::size_t heldCount() const { return table_.size(); }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  struct Entry {
+    std::uint32_t head = kNone;
+    std::uint32_t tail = kNone;
+  };
+
+  struct Node {
+    std::uint32_t next = kNone;
+    Waiter fn;
+  };
+
+  template <typename F>
+  std::uint32_t allocNode(F&& fn) {
+    std::uint32_t n;
+    if (freeHead_ != kNone) {
+      n = freeHead_;
+      freeHead_ = nodes_[n].next;
+      nodes_[n].next = kNone;
+      nodes_[n].fn = Waiter(std::forward<F>(fn));
+    } else {
+      n = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+      nodes_[n].fn = Waiter(std::forward<F>(fn));
+    }
+    return n;
+  }
+
+  void freeNode(std::uint32_t n) {
+    nodes_[n].fn.reset();
+    nodes_[n].next = freeHead_;
+    freeHead_ = n;
+  }
+
+  FlatHash<Entry> table_;
+  std::vector<Node> nodes_;
+  std::uint32_t freeHead_ = kNone;
+};
+
+}  // namespace eecc

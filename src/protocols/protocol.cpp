@@ -32,11 +32,20 @@ struct LedgerScope {
 Protocol::Protocol(EventQueue& events, Network& net, const CmpConfig& cfg)
     : events_(events), net_(net), cfg_(cfg) {
   cfg_.validate();
+  cfg_.buildCaches();  // areaOf/memControllerOf run per message from here on
   lastRead_.assign(static_cast<std::size_t>(cfg_.tiles()), 0);
+  // Pre-size the per-block flat tables so a typical measured window never
+  // rehashes mid-run (the value oracle covers the touched working set).
+  committed_.reserve(8192);
+  memValue_.reserve(8192);
+  memPending_.reserve(1024);
   if (cfg_.memoryModel == CmpConfig::MemoryModel::Ddr) {
     const auto mcs = cfg_.memControllerTiles();
     ddr_.resize(mcs.size());
-    for (std::size_t i = 0; i < mcs.size(); ++i) ddrIndex_[mcs[i]] = i;
+    ddrIndex_.assign(static_cast<std::size_t>(cfg_.tiles()), -1);
+    for (std::size_t i = 0; i < mcs.size(); ++i)
+      ddrIndex_[static_cast<std::size_t>(mcs[i])] =
+          static_cast<std::int32_t>(i);
   }
   net_.setHandler([this](const Message& msg) { handleBaseMessage(msg); });
 }
@@ -63,9 +72,10 @@ void Protocol::dispatchMessage(const Message& msg) {
       // block.
       Tick latency = 0;
       if (cfg_.memoryModel == CmpConfig::MemoryModel::Ddr) {
-        auto it = ddrIndex_.find(msg.dst);
-        EECC_CHECK(it != ddrIndex_.end());
-        latency = ddr_[it->second].schedule(msg.addr, events_.now()) -
+        const std::int32_t di = ddrIndex_[static_cast<std::size_t>(msg.dst)];
+        EECC_CHECK(di >= 0);
+        latency = ddr_[static_cast<std::size_t>(di)].schedule(
+                      msg.addr, events_.now()) -
                   events_.now();
       } else {
         latency =
@@ -84,36 +94,16 @@ void Protocol::dispatchMessage(const Message& msg) {
       break;
     }
     case kMemResp: {
-      auto it = memPending_.find(msg.aux);
-      EECC_CHECK_MSG(it != memPending_.end(), "orphan memory response");
-      auto cb = std::move(it->second);
-      memPending_.erase(it);
+      MemCallback* slot = memPending_.find(msg.aux);
+      EECC_CHECK_MSG(slot != nullptr, "orphan memory response");
+      MemCallback cb = std::move(*slot);
+      memPending_.erase(msg.aux);
       cb(msg.value);
       break;
     }
     default:
       EECC_CHECK_MSG(false, "unknown base message type");
   }
-}
-
-void Protocol::memFetch(Addr block, NodeId from, NodeId dataDst,
-                        std::function<void(std::uint64_t)> cb) {
-  stats_.memoryFetches += 1;
-  const std::uint64_t token = ++memToken_;
-  memPending_.emplace(token, std::move(cb));
-  Message req;
-  req.type = kMemReq;
-  req.cls = MsgClass::Control;
-  req.src = from;
-  req.dst = cfg_.memControllerOf(block);
-  req.addr = block;
-  req.aux = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dataDst))
-             << 32) |
-            token;
-  // Attribution: the fetch serves whoever receives the data (usually the
-  // requestor), not the controller-facing sender.
-  req.origin = dataDst;
-  send(req);
 }
 
 void Protocol::memWriteback(Addr block, NodeId from, std::uint64_t value) {
@@ -128,27 +118,13 @@ void Protocol::memWriteback(Addr block, NodeId from, std::uint64_t value) {
   send(wb);
 }
 
-void Protocol::withLine(Addr block, std::function<void()> fn) {
-  if (busy_.insert(block).second) {
-    fn();
-  } else {
-    waiting_[block].push_back(std::move(fn));
-  }
-}
-
 void Protocol::releaseLine(Addr block) {
-  EECC_CHECK(busy_.erase(block) == 1);
-  auto it = waiting_.find(block);
-  if (it == waiting_.end() || it->second.empty()) {
-    if (it != waiting_.end()) waiting_.erase(it);
-    return;
+  LineLockTable::Waiter next;
+  // release() keeps the lock held when handing it to a queued waiter.
+  if (lines_.release(block, &next)) {
+    // Run queued work in a fresh event so completion handlers unwind first.
+    events_.scheduleAfter(1, std::move(next));
   }
-  auto fn = std::move(it->second.front());
-  it->second.pop_front();
-  if (it->second.empty()) waiting_.erase(it);
-  EECC_CHECK(busy_.insert(block).second);
-  // Run queued work in a fresh event so completion handlers unwind first.
-  events_.scheduleAfter(1, std::move(fn));
 }
 
 void Protocol::checkInvariants() const {

@@ -11,19 +11,20 @@
 #pragma once
 
 #include <array>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "check/hooks.h"
+#include "common/flat_hash.h"
+#include "common/inline_fn.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "core/config.h"
 #include "mem/ddr_controller.h"
 #include "noc/network.h"
+#include "protocols/line_table.h"
 #include "protocols/protocol_stats.h"
 #include "sim/event_queue.h"
 
@@ -122,8 +123,7 @@ class Protocol {
   /// The last value committed to `block` by any completed write (the
   /// data-value oracle). Reads observed by cores must equal this.
   std::uint64_t committedValue(Addr block) const {
-    auto it = committed_.find(block);
-    return it == committed_.end() ? 0 : it->second;
+    return committed_.getOr(block, 0);
   }
   /// Value the most recent read by the core on `tile` returned.
   std::uint64_t lastReadValue(NodeId tile) const {
@@ -143,7 +143,7 @@ class Protocol {
   Network& network() { return net_; }
 
   /// Number of in-flight transactions (all protocols; for draining).
-  std::size_t inFlight() const { return busy_.size(); }
+  std::size_t inFlight() const { return lines_.heldCount(); }
 
   /// Messages sent per protocol-defined opcode, with the mesh distance
   /// they covered (diagnostics for the traffic benches).
@@ -186,12 +186,21 @@ class Protocol {
   /// Protocol-specific message dispatch (types >= kFirstProtocolMsg).
   virtual void onMessage(const Message& msg) = 0;
 
-  // --- Line serialization ---
+  // --- Line serialization (arena-backed, see protocols/line_table.h) ---
   /// Runs `fn` immediately if no transaction holds `block`, else queues it.
-  void withLine(Addr block, std::function<void()> fn);
+  /// Templated so the continuation lands in the waiter slab's inline
+  /// storage without a std::function detour.
+  template <typename F>
+  void withLine(Addr block, F&& fn) {
+    if (lines_.tryAcquire(block)) {
+      fn();
+    } else {
+      lines_.enqueue(block, std::forward<F>(fn));
+    }
+  }
   /// Releases the line lock and starts the next queued transaction.
   void releaseLine(Addr block);
-  bool lineBusy(Addr block) const { return busy_.contains(block); }
+  bool lineBusy(Addr block) const { return lines_.busy(block); }
 
   // --- Messaging ---
   static constexpr std::uint16_t kMemReq = 1;
@@ -218,22 +227,43 @@ class Protocol {
   /// Off-chip fetch: a request message from `from` to the block's memory
   /// controller, the DRAM latency (+jitter), then a data message to
   /// `dataDst`; `cb` runs when the data arrives carrying the memory value.
-  void memFetch(Addr block, NodeId from, NodeId dataDst,
-                std::function<void(std::uint64_t)> cb);
+  /// Templated so the callback lands in the pending-fetch table's inline
+  /// storage directly.
+  template <typename Cb>
+  void memFetch(Addr block, NodeId from, NodeId dataDst, Cb&& cb) {
+    stats_.memoryFetches += 1;
+    const std::uint64_t token = ++memToken_;
+    memPending_.put(token, MemCallback(std::forward<Cb>(cb)));
+    Message req;
+    req.type = kMemReq;
+    req.cls = MsgClass::Control;
+    req.src = from;
+    req.dst = cfg_.memControllerOf(block);
+    req.addr = block;
+    req.aux =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dataDst))
+         << 32) |
+        token;
+    // Attribution: the fetch serves whoever receives the data (usually the
+    // requestor), not the controller-facing sender.
+    req.origin = dataDst;
+    send(req);
+  }
 
   /// Fire-and-forget writeback of a dirty block to memory.
   void memWriteback(Addr block, NodeId from, std::uint64_t value);
 
+  /// Default-zero fast path: one flat-table probe, no node allocation ever
+  /// (blocks never written read as 0, matching the oracle's convention).
   std::uint64_t memoryValue(Addr block) const {
-    auto it = memValue_.find(block);
-    return it == memValue_.end() ? 0 : it->second;
+    return memValue_.getOr(block, 0);
   }
 
   // --- Value oracle ---
   /// Commits a write: returns the fresh value the new owner's line holds.
   std::uint64_t commitWrite(Addr block) {
     const std::uint64_t v = ++writeSeq_;
-    committed_[block] = v;
+    committed_.put(block, v);
     if (hooks_ != nullptr) [[unlikely]]
       hooks_->onWriteCommitted(block, v, events_.now());
     return v;
@@ -241,7 +271,7 @@ class Protocol {
   void recordRead(NodeId tile, std::uint64_t value) {
     lastRead_[static_cast<std::size_t>(tile)] = value;
   }
-  void setMemoryValue(Addr block, std::uint64_t v) { memValue_[block] = v; }
+  void setMemoryValue(Addr block, std::uint64_t v) { memValue_.put(block, v); }
 
   // --- Miss bookkeeping ---
   /// Records a classified miss completion: latency from `start`, `links`
@@ -322,8 +352,7 @@ class Protocol {
   void handleBaseMessage(const Message& msg);
   void dispatchMessage(const Message& msg);
 
-  std::unordered_set<Addr> busy_;
-  std::unordered_map<Addr, std::deque<std::function<void()>>> waiting_;
+  LineLockTable lines_;
 
   // Hand-off from recordMiss() to the access() observation wrapper: the
   // pending classification of the miss whose completion chain is running
@@ -334,16 +363,21 @@ class Protocol {
   Tick obsClsTick_ = 0;
   bool obsClsValid_ = false;
 
-  std::unordered_map<Addr, std::uint64_t> committed_;
-  std::unordered_map<Addr, std::uint64_t> memValue_;
+  // Flat per-block tables (DESIGN.md §13): probed on every write commit,
+  // memory fetch and value check; pre-sized in the constructor so the
+  // measured window never rehashes for typical working sets.
+  FlatHash<std::uint64_t> committed_;
+  FlatHash<std::uint64_t> memValue_;
   std::vector<std::uint64_t> lastRead_;
   std::uint64_t writeSeq_ = 0;
 
-  std::unordered_map<std::uint64_t, std::function<void(std::uint64_t)>>
-      memPending_;
+  /// Pending off-chip fetch callbacks, keyed by sequential token. 40
+  /// inline bytes covers the protocols' [this, block] continuations.
+  using MemCallback = InlineFn<void(std::uint64_t), 40>;
+  FlatHash<MemCallback> memPending_;
   std::uint64_t memToken_ = 0;
   std::vector<DdrController> ddr_;           // MemoryModel::Ddr only
-  std::unordered_map<NodeId, std::size_t> ddrIndex_;
+  std::vector<std::int32_t> ddrIndex_;       // tile -> ddr_ index; -1 = none
 };
 
 /// Factory covering all four protocols of the paper.

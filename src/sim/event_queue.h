@@ -6,15 +6,21 @@
 // executed in FIFO order of scheduling, which keeps runs deterministic.
 //
 // Hot-path design (see DESIGN.md §8): events live in 128-byte slab-allocated
-// nodes with inline callable storage (no per-event heap allocation for
-// callables up to kInlineActionBytes, which covers every lambda the
-// simulator schedules), organized as a two-level structure — a near-future
-// timing wheel of kWheelSize one-tick FIFO buckets for the dense short-
-// latency traffic, and an overflow min-heap for the rare far-future events
-// (multi-million-cycle warmup horizons, idle-core wakeups). The wheel turns
-// scheduling and dispatch into O(1) pointer pushes/pops in the common case,
-// replacing the O(log n) sift + std::function allocation of the previous
-// std::priority_queue kernel (~2x events/sec, see bench/micro_event_queue).
+// nodes whose callable is constructed directly into kInlineActionBytes
+// (= 88) bytes of inline storage. A callable larger than that does not
+// abort and is not rejected: emplaceAction() falls back to a single heap
+// allocation with the pointer stored inline — every lambda the simulator
+// currently schedules fits, so the fallback is cold by construction.
+// Nodes are organized as a two-level structure: a near-future timing wheel
+// of kWheelSize one-tick FIFO buckets for the dense short-latency traffic,
+// and an overflow min-heap (`far_`) for events scheduled kWheelSize or
+// more ticks out (multi-million-cycle warmup horizons, idle-core wakeups).
+// Overflow events keep their (when, seq) order in the heap and migrate
+// into the wheel as the clock approaches — strictly before any near-window
+// insert can target their tick, so same-tick FIFO order is preserved
+// across the two structures. The wheel turns scheduling and dispatch into
+// O(1) pointer pushes/pops in the common case (~2x events/sec over the
+// previous std::priority_queue kernel, see bench/micro_event_queue).
 #pragma once
 
 #include <cstddef>
@@ -34,14 +40,17 @@ namespace eecc {
 
 class EventQueue {
  public:
-  /// Type-erased action (kept for signatures that store callbacks, e.g.
-  /// Protocol::DoneFn); scheduling itself is templated and never forces a
-  /// conversion to std::function.
+  /// Type-erased action (kept only for signatures that store callbacks,
+  /// e.g. Protocol::DoneFn). Scheduling does NOT go through this type:
+  /// scheduleAt/scheduleAfter are templated and construct the caller's
+  /// callable directly into the event node's inline storage.
   using Action = std::function<void()>;
 
-  /// Inline callable storage per event node. Sized so that every scheduling
-  /// site in the simulator (worst case: a lambda capturing `this` plus a
-  /// 48-byte Message plus a couple of words) fits without heap fallback.
+  /// Inline callable storage per event node: 88 bytes, which pads Node to
+  /// two cache lines (128 B) and covers every lambda the simulator
+  /// schedules (worst case: `this` plus a ~56-byte Message plus a couple
+  /// of words). Larger callables are not an error — emplaceAction() falls
+  /// back to one heap allocation with the pointer stored inline.
   static constexpr std::size_t kInlineActionBytes = 88;
 
   /// Near-future window of the timing wheel, in ticks. Events scheduled
@@ -67,9 +76,11 @@ class EventQueue {
   /// Current simulated time.
   Tick now() const { return now_; }
 
-  /// Schedules `fn` to run at absolute time `when` (>= now()).
+  /// Schedules `fn` to run at absolute time `when` (>= now()). Returns the
+  /// event's sequence number — the global FIFO ordering ticket that
+  /// tailIs() checks against (used by the NoC delivery batcher).
   template <class F>
-  void scheduleAt(Tick when, F&& fn) {
+  std::uint64_t scheduleAt(Tick when, F&& fn) {
     EECC_CHECK_MSG(when >= now_, "event scheduled in the past");
     Node* n = acquireNode();
     n->when = when;
@@ -82,13 +93,34 @@ class EventQueue {
       far_.push(FarRef{when, n->seq, n});
     }
     ++pending_;
+    return n->seq;
   }
 
-  /// Schedules `fn` to run `delay` ticks from now.
+  /// Schedules `fn` to run `delay` ticks from now. Returns the sequence
+  /// number (see scheduleAt).
   template <class F>
-  void scheduleAfter(Tick delay, F&& fn) {
-    scheduleAt(now_ + delay, std::forward<F>(fn));
+  std::uint64_t scheduleAfter(Tick delay, F&& fn) {
+    return scheduleAt(now_ + delay, std::forward<F>(fn));
   }
+
+  /// True while the event scheduled with sequence number `seq` for tick
+  /// `when` is still the LAST event pending at `when`: nothing has been
+  /// scheduled into that tick after it (near-window ticks only). The NoC
+  /// delivery batcher appends a message to an open batch exactly while its
+  /// drain event satisfies this — the moment any other event lands on the
+  /// tick the batch closes, preserving global same-tick FIFO order. The
+  /// tail's `when` is compared too: wheel slots alias every kWheelSize
+  /// ticks, so a matching slot tail may belong to tick `when` + kWheelSize.
+  bool tailIs(Tick when, std::uint64_t seq) const {
+    const Slot& s = ring_[static_cast<std::size_t>(when & (kWheelSize - 1))];
+    return s.tail != nullptr && s.tail->when == when && s.tail->seq == seq;
+  }
+
+  /// Credits `n` logically executed events that were coalesced into one
+  /// physical event (the NoC delivery batcher delivers k messages from a
+  /// single drain event and credits k-1), keeping executedEvents() — an
+  /// externally compared result field — identical to the unbatched run.
+  void creditExecuted(std::uint64_t n) { executed_ += n; }
 
   bool empty() const { return pending_ == 0; }
   std::size_t pending() const { return pending_; }

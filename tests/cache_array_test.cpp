@@ -73,7 +73,7 @@ TEST(CacheArray, InstallResetsLineState) {
   TestLine* slot = c.selectVictim(blk(0), nullptr);
   c.install(*slot, blk(0)).payload = 99;
   // Re-install another block over it: payload must reset.
-  c.find(blk(0))->valid = false;
+  c.invalidate(*c.find(blk(0)));
   TestLine* again = c.selectVictim(blk(0), nullptr);
   c.install(*again, blk(0));
   EXPECT_EQ(c.find(blk(0))->payload, 0);

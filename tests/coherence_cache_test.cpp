@@ -94,5 +94,36 @@ TEST(CoherenceCache, SetAssociativeKeepsMultiple) {
   EXPECT_EQ(*cc.lookup(blk(5)), 2);
 }
 
+TEST(CoherenceCache, HeavySetAliasingOverflowSurvivesAndDrainsBack) {
+  // Regression for the overflow table under heavy set aliasing: hundreds
+  // of blocks mapping to the same (fully busy) set must all park in
+  // overflow (well past its pre-sized capacity), stay findable, survive
+  // the table's internal rehashing, and drain back out via invalidate.
+  CoherenceCache cc(16, 4);  // 4 sets
+  const int kAliased = 600;
+  // Fill one set, then pin every entry busy so no way can be victimized.
+  for (int w = 0; w < 4; ++w)
+    cc.update(blk(static_cast<std::uint64_t>(w) * 4), 1);
+  const auto allBusy = [](Addr) { return true; };
+  for (int i = 1; i <= kAliased; ++i) {
+    const auto displaced = cc.update(
+        blk(static_cast<std::uint64_t>(4 + i) * 4), static_cast<NodeId>(i % 60),
+        allBusy);
+    EXPECT_FALSE(displaced.has_value());  // parked, nobody evicted
+  }
+  EXPECT_EQ(cc.overflowSize(), static_cast<std::size_t>(kAliased));
+  EXPECT_EQ(cc.validCount(), 4u + kAliased);
+  for (int i = 1; i <= kAliased; ++i) {
+    const auto hit = cc.lookup(blk(static_cast<std::uint64_t>(4 + i) * 4));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, static_cast<NodeId>(i % 60));
+  }
+  // Drain: invalidations must find the parked entries, not the array.
+  for (int i = 1; i <= kAliased; ++i)
+    cc.invalidate(blk(static_cast<std::uint64_t>(4 + i) * 4));
+  EXPECT_EQ(cc.overflowSize(), 0u);
+  EXPECT_EQ(cc.validCount(), 4u);
+}
+
 }  // namespace
 }  // namespace eecc

@@ -1,0 +1,241 @@
+// Tests for the miss-path fast-lane foundations (DESIGN.md §13): the
+// open-addressing FlatHash (backward-shift deletion is the subtle part),
+// the small-buffer InlineFn callable, and the arena-backed LineLockTable
+// that replaces the unordered_set/deque line-serialization structures.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "common/inline_fn.h"
+#include "common/rng.h"
+#include "protocols/line_table.h"
+
+namespace eecc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FlatHash
+// ---------------------------------------------------------------------------
+
+TEST(FlatHash, PutFindEraseBasics) {
+  FlatHash<int> h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_TRUE(h.put(42, 7));
+  EXPECT_FALSE(h.put(42, 9));  // overwrite, not insert
+  ASSERT_NE(h.find(42), nullptr);
+  EXPECT_EQ(*h.find(42), 9);
+  EXPECT_EQ(h.find(43), nullptr);
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_TRUE(h.erase(42));
+  EXPECT_FALSE(h.erase(42));
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(FlatHash, GetOrDefaultsAbsentKeys) {
+  FlatHash<std::uint64_t> h;
+  EXPECT_EQ(h.getOr(123, 0), 0u);
+  h.put(123, 55);
+  EXPECT_EQ(h.getOr(123, 0), 55u);
+  // The memory-value-oracle pattern: absent means "never written" == 0.
+  EXPECT_EQ(h.getOr(0, 0), 0u);  // key 0 is an ordinary key, not reserved
+  h.put(0, 11);
+  EXPECT_EQ(h.getOr(0, 0), 11u);
+}
+
+TEST(FlatHash, AtDefaultConstructsAndIsStableUntilGrowth) {
+  FlatHash<std::vector<int>> h;
+  h.at(5).push_back(1);
+  h.at(5).push_back(2);
+  ASSERT_NE(h.find(5), nullptr);
+  EXPECT_EQ(h.find(5)->size(), 2u);
+}
+
+TEST(FlatHash, MatchesUnorderedMapUnderChurn) {
+  // Randomized differential test against std::unordered_map, with
+  // block-address-shaped keys (low 6 bits zero) to exercise the mixer and
+  // enough erases to stress backward-shift deletion chains.
+  FlatHash<std::uint64_t> h;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(0xfeedULL);
+  for (int iter = 0; iter < 200'000; ++iter) {
+    const std::uint64_t key = (rng.below(4096)) << 6;
+    switch (rng.below(4)) {
+      case 0:
+      case 1: {  // insert/overwrite
+        const std::uint64_t v = rng.next();
+        h.put(key, v);
+        ref[key] = v;
+        break;
+      }
+      case 2: {  // erase
+        EXPECT_EQ(h.erase(key), ref.erase(key) > 0);
+        break;
+      }
+      default: {  // lookup
+        const auto it = ref.find(key);
+        const std::uint64_t* p = h.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(p, nullptr);
+        } else {
+          ASSERT_NE(p, nullptr);
+          EXPECT_EQ(*p, it->second);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(h.size(), ref.size());
+  std::size_t visited = 0;
+  h.forEach([&](std::uint64_t k, const std::uint64_t& v) {
+    ++visited;
+    const auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatHash, ReservePreventsMidStreamRehash) {
+  FlatHash<int> h;
+  h.reserve(10'000);
+  const std::size_t cap = h.capacity();
+  for (std::uint64_t k = 0; k < 10'000; ++k) h.put(k * 64, 1);
+  EXPECT_EQ(h.capacity(), cap);  // no growth during the reserved fill
+  EXPECT_EQ(h.size(), 10'000u);
+}
+
+TEST(FlatHash, SupportsMoveOnlyValues) {
+  FlatHash<std::unique_ptr<int>> h;
+  h.put(1, std::make_unique<int>(42));
+  ASSERT_NE(h.find(1), nullptr);
+  EXPECT_EQ(**h.find(1), 42);
+  std::unique_ptr<int> out = std::move(*h.find(1));
+  h.erase(1);
+  EXPECT_EQ(*out, 42);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(FlatHash, ClearEmptiesButKeepsCapacity) {
+  FlatHash<int> h;
+  for (std::uint64_t k = 0; k < 100; ++k) h.put(k, 1);
+  const std::size_t cap = h.capacity();
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.capacity(), cap);
+  EXPECT_EQ(h.find(5), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// InlineFn
+// ---------------------------------------------------------------------------
+
+TEST(InlineFn, InvokesInlineAndHeapCallables) {
+  int hits = 0;
+  InlineFn<void(), 64> small([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(small));
+  small();
+  EXPECT_EQ(hits, 1);
+
+  // Oversized capture: falls back to a heap box, still invocable.
+  std::array<std::uint64_t, 16> big{};
+  big[15] = 9;
+  InlineFn<std::uint64_t(), 64> boxed([big] { return big[15]; });
+  EXPECT_EQ(boxed(), 9u);
+}
+
+TEST(InlineFn, MovePreservesStateAndEmptiesSource) {
+  auto counter = std::make_shared<int>(0);
+  InlineFn<void(), 64> a([counter] { ++*counter; });
+  InlineFn<void(), 64> b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  b();
+  EXPECT_EQ(*counter, 1);
+  a = std::move(b);
+  a();
+  EXPECT_EQ(*counter, 2);
+}
+
+TEST(InlineFn, DestroysCapturesExactlyOnce) {
+  auto token = std::make_shared<int>(7);
+  {
+    InlineFn<void(), 64> fn([token] {});
+    EXPECT_EQ(token.use_count(), 2);
+    fn.reset();
+    EXPECT_EQ(token.use_count(), 1);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineFn, ForwardsArgumentsAndReturns) {
+  InlineFn<std::uint64_t(std::uint64_t), 40> f(
+      [](std::uint64_t v) { return v * 2; });
+  EXPECT_EQ(f(21), 42u);
+}
+
+// ---------------------------------------------------------------------------
+// LineLockTable
+// ---------------------------------------------------------------------------
+
+TEST(LineLockTable, AcquireReleaseCycle) {
+  LineLockTable t;
+  EXPECT_FALSE(t.busy(0x40));
+  EXPECT_TRUE(t.tryAcquire(0x40));
+  EXPECT_TRUE(t.busy(0x40));
+  EXPECT_FALSE(t.tryAcquire(0x40));
+  EXPECT_EQ(t.heldCount(), 1u);
+  LineLockTable::Waiter next;
+  EXPECT_FALSE(t.release(0x40, &next));  // no waiter: lock freed
+  EXPECT_FALSE(t.busy(0x40));
+  EXPECT_EQ(t.heldCount(), 0u);
+}
+
+TEST(LineLockTable, WaitersRunInFifoOrder) {
+  LineLockTable t;
+  ASSERT_TRUE(t.tryAcquire(0x80));
+  std::vector<int> order;
+  t.enqueue(0x80, [&order] { order.push_back(1); });
+  t.enqueue(0x80, [&order] { order.push_back(2); });
+  t.enqueue(0x80, [&order] { order.push_back(3); });
+
+  LineLockTable::Waiter next;
+  int handoffs = 0;
+  while (t.release(0x80, &next)) {
+    ++handoffs;
+    EXPECT_TRUE(t.busy(0x80));  // lock stays held on the waiter's behalf
+    next();
+  }
+  EXPECT_EQ(handoffs, 3);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_FALSE(t.busy(0x80));
+}
+
+TEST(LineLockTable, SlabNodesAreRecycledAcrossLines) {
+  // Interleaved acquire/enqueue/release across many blocks must keep the
+  // table consistent (the slab free list is shared by all lines).
+  LineLockTable t;
+  int ran = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (Addr b = 0; b < 16; ++b) {
+      const Addr block = 0x1000 + b * 64;
+      ASSERT_TRUE(t.tryAcquire(block));
+      t.enqueue(block, [&ran] { ++ran; });
+      t.enqueue(block, [&ran] { ++ran; });
+    }
+    for (Addr b = 0; b < 16; ++b) {
+      const Addr block = 0x1000 + b * 64;
+      LineLockTable::Waiter next;
+      while (t.release(block, &next)) next();
+    }
+  }
+  EXPECT_EQ(ran, 50 * 16 * 2);
+  EXPECT_EQ(t.heldCount(), 0u);
+}
+
+}  // namespace
+}  // namespace eecc

@@ -1,0 +1,149 @@
+// The delivery-batching contract (DESIGN.md §13): the per-tick delivery
+// ring must be a pure scheduling optimization. A small fig9-style sweep is
+// run through both the batched path and the legacy per-message path
+// (EECC_NOC_UNBATCHED=1) and compared bit-for-bit — every counter, every
+// accumulator moment, every picojoule, and the executed-event count.
+//
+// Also pins the mesh-side caches the batch path leans on: the precomputed
+// broadcast trees, the (distance, node)-sorted broadcast schedules, and the
+// flattened route table must all be golden-equal to the fresh per-call
+// computations they replaced.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "noc/mesh.h"
+#include "protocols/protocol.h"
+#include "result_compare.h"
+
+namespace eecc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Batched vs legacy delivery: bit-identical experiment results
+// ---------------------------------------------------------------------------
+
+/// Runs `cfg` with the legacy per-message delivery path. The env var is
+/// read in the Network constructor, so toggling it between in-process
+/// runs selects the path per experiment.
+ExperimentResult runUnbatched(const ExperimentConfig& cfg) {
+  ::setenv("EECC_NOC_UNBATCHED", "1", 1);
+  ExperimentResult r = runExperiment(cfg);
+  ::unsetenv("EECC_NOC_UNBATCHED");
+  return r;
+}
+
+ExperimentConfig sweepConfig(ProtocolKind kind, const std::string& workload) {
+  ExperimentConfig cfg;
+  cfg.workloadName = workload;
+  cfg.protocol = kind;
+  cfg.warmupCycles = 30'000;
+  cfg.windowCycles = 20'000;
+  return cfg;
+}
+
+TEST(NocBatching, SweepBitIdenticalToLegacyPath) {
+  ::unsetenv("EECC_NOC_UNBATCHED");
+  std::vector<ExperimentConfig> cfgs;
+  for (const ProtocolKind kind : allProtocolKinds()) {
+    cfgs.push_back(sweepConfig(kind, "apache4x16p"));
+    cfgs.push_back(sweepConfig(kind, "mixed-com"));
+  }
+  for (const ExperimentConfig& cfg : cfgs) {
+    SCOPED_TRACE(cfg.workloadName + "/" + protocolName(cfg.protocol));
+    const ExperimentResult batched = runExperiment(cfg);
+    const ExperimentResult legacy = runUnbatched(cfg);
+    expectResultsIdentical(batched, legacy);
+  }
+}
+
+TEST(NocBatching, FlitLevelBitIdenticalToLegacyPath) {
+  // The flit-level arbitration path computes arrival times differently but
+  // delivers through the same ring.
+  ::unsetenv("EECC_NOC_UNBATCHED");
+  ExperimentConfig cfg = sweepConfig(ProtocolKind::DiCoArin, "jbb4x16p");
+  cfg.chip.net.flitLevel = true;
+  const ExperimentResult batched = runExperiment(cfg);
+  const ExperimentResult legacy = runUnbatched(cfg);
+  expectResultsIdentical(batched, legacy);
+}
+
+TEST(NocBatching, BroadcastHeavyProtocolBitIdentical) {
+  // DiCo-Arin's chip-wide three-way invalidations are the main consumer of
+  // the cached-tree + batched-broadcast path; radix is write-heavy enough
+  // to trigger plenty of them.
+  ::unsetenv("EECC_NOC_UNBATCHED");
+  const ExperimentConfig cfg =
+      sweepConfig(ProtocolKind::DiCoArin, "radix4x16p");
+  const ExperimentResult batched = runExperiment(cfg);
+  const ExperimentResult legacy = runUnbatched(cfg);
+  expectResultsIdentical(batched, legacy);
+}
+
+// ---------------------------------------------------------------------------
+// Mesh cache golden tests
+// ---------------------------------------------------------------------------
+
+void expectTreeCacheGolden(std::int32_t w, std::int32_t h) {
+  const MeshTopology topo(w, h);
+  for (NodeId src = 0; src < topo.nodeCount(); ++src) {
+    SCOPED_TRACE(src);
+    EXPECT_EQ(topo.broadcastTreeCached(src), topo.broadcastTree(src));
+  }
+}
+
+TEST(MeshCaches, CachedBroadcastTreesMatchFreshComputation4x4) {
+  expectTreeCacheGolden(4, 4);
+}
+
+TEST(MeshCaches, CachedBroadcastTreesMatchFreshComputation8x8) {
+  expectTreeCacheGolden(8, 8);
+}
+
+TEST(MeshCaches, BroadcastScheduleCoversAllNodesSortedByDistance) {
+  for (const std::int32_t dim : {4, 8}) {
+    const MeshTopology topo(dim, dim);
+    for (NodeId src = 0; src < topo.nodeCount(); ++src) {
+      SCOPED_TRACE(std::to_string(dim) + "x" + std::to_string(dim) +
+                   " src=" + std::to_string(src));
+      const auto& sched = topo.broadcastSchedule(src);
+      ASSERT_EQ(sched.size(), static_cast<std::size_t>(topo.nodeCount()));
+      std::vector<bool> seen(static_cast<std::size_t>(topo.nodeCount()));
+      for (std::size_t i = 0; i < sched.size(); ++i) {
+        EXPECT_EQ(sched[i].dist, topo.distance(src, sched[i].node));
+        EXPECT_FALSE(seen[static_cast<std::size_t>(sched[i].node)]);
+        seen[static_cast<std::size_t>(sched[i].node)] = true;
+        if (i > 0) {
+          // Sorted by (distance, node): same-tick deliveries are
+          // consecutive AND keep the legacy node-ascending FIFO order.
+          const bool ordered =
+              sched[i - 1].dist < sched[i].dist ||
+              (sched[i - 1].dist == sched[i].dist &&
+               sched[i - 1].node < sched[i].node);
+          EXPECT_TRUE(ordered);
+        }
+      }
+    }
+  }
+}
+
+TEST(MeshCaches, RouteSpansMatchFreshRoutes) {
+  for (const std::int32_t dim : {4, 8}) {
+    const MeshTopology topo(dim, dim);
+    for (NodeId s = 0; s < topo.nodeCount(); ++s) {
+      for (NodeId d = 0; d < topo.nodeCount(); ++d) {
+        const std::vector<LinkId> fresh = topo.route(s, d);
+        const MeshTopology::RouteSpan span = topo.routeSpan(s, d);
+        ASSERT_EQ(span.size(), fresh.size());
+        for (std::size_t i = 0; i < fresh.size(); ++i)
+          EXPECT_EQ(span.links[i], fresh[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eecc
