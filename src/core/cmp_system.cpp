@@ -192,6 +192,16 @@ void CmpSystem::warmup(Tick cycles) {
   if (ledger_ != nullptr) ledger_->resetWindow();
 }
 
+void CmpSystem::refreshActive() {
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    Core& core = cores_[static_cast<std::size_t>(t)];
+    const bool nowActive = source_->tileActive(t);
+    if (nowActive && !core.active && core.localTime < events_.now())
+      core.localTime = events_.now();
+    core.active = nowActive;
+  }
+}
+
 std::uint64_t CmpSystem::opsCompleted() const {
   std::uint64_t total = 0;
   for (const Core& c : cores_) total += c.opsDone;

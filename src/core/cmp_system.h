@@ -50,6 +50,13 @@ class CmpSystem {
   /// (caches stay warm; the measured window starts cold on statistics).
   void warmup(Tick cycles);
 
+  /// Re-reads tileActive() from the source for every core. The VM
+  /// lifecycle engine (src/scaleout) calls this at churn boundaries —
+  /// after a boot, shutdown or migration repins threads — between run()
+  /// segments, when every in-flight miss has drained. A reactivated
+  /// core's clock jumps to now; its statistics keep accumulating.
+  void refreshActive();
+
   /// Attaches the conformance monitors: `checker` observes every access
   /// and write commit through the protocol's check hooks, and run() is
   /// chunked so the full-state sweeps execute every `sweepEvery` cycles

@@ -5,6 +5,7 @@
 #include "check/monitor.h"
 #include "core/runner.h"
 #include "obs/system_metrics.h"
+#include "scaleout/server.h"
 #include "workload/profile.h"
 
 namespace eecc {
@@ -24,6 +25,11 @@ ChipParams chipParamsOf(const CmpConfig& cfg) {
 }
 
 ExperimentResult runExperiment(const ExperimentConfig& cfg) {
+  // Multi-chip / churned runs take the scale-out path; an inactive
+  // ScaleoutConfig (chips == 1, no churn) leaves the single-chip code
+  // below untouched — byte-identical outputs to builds without it.
+  if (cfg.scaleout.active()) return runScaleoutExperiment(cfg);
+
   const auto perVm = profiles::byWorkloadName(cfg.workloadName);
   const auto numVms = static_cast<std::uint32_t>(perVm.size());
   const VmLayout layout =

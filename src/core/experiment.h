@@ -14,6 +14,8 @@
 #include "obs/metric_registry.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
+#include "scaleout/interchip.h"
+#include "scaleout/scaleout_config.h"
 
 namespace eecc {
 
@@ -66,6 +68,44 @@ struct ExperimentConfig {
   /// timeline and trace observe the measured window only (attached after
   /// warmup); none of them perturbs simulation results.
   ObsOptions obs{};
+  /// Multi-chip scale-out (src/scaleout): chip count, inter-chip link
+  /// parameters and the VM churn schedule. Inactive by default — with
+  /// chips == 1 and no churn the run takes the untouched single-chip path
+  /// and is byte-identical to a build without the subsystem.
+  ScaleoutConfig scaleout{};
+};
+
+/// Per-chip decomposition of a scale-out run. In-memory only, like the
+/// ledger and timeline: journal-restored results don't carry it (the
+/// journaled aggregate fields and the metrics snapshot hold everything
+/// export-relevant).
+struct ScaleoutChipSummary {
+  Tick cycles = 0;
+  std::uint64_t ops = 0;
+  double throughput = 0.0;
+  ProtocolStats stats;
+  CacheEnergyEvents events;
+  NocStats noc;
+  /// Per-VM/per-area attribution for this chip (obs.ledger runs only).
+  std::shared_ptr<AttributionLedger> ledger;
+};
+
+struct ScaleoutDetail {
+  std::vector<ScaleoutChipSummary> chips;
+  /// Inter-chip flits/messages per attribution row (same row space as the
+  /// ledgers: vm0..vmN-1, shared, other). Sums reproduce the aggregate
+  /// InterChipStats counters exactly.
+  std::vector<std::uint64_t> interchipRowFlits;
+  std::vector<std::uint64_t> interchipRowMessages;
+  std::uint64_t boots = 0;
+  std::uint64_t shutdowns = 0;
+  std::uint64_t migrationsStarted = 0;
+  std::uint64_t migrationsCompleted = 0;
+  std::uint64_t storms = 0;
+  std::uint64_t skippedEvents = 0;
+  std::uint32_t totalVms = 0;  ///< VM ids ever created (incl. shut down).
+  std::uint64_t cowEvents = 0;     ///< Server-wide copy-on-write breaks.
+  std::uint64_t reclaimedPages = 0;  ///< Pages freed by VM shutdowns.
 };
 
 struct ExperimentResult {
@@ -103,6 +143,20 @@ struct ExperimentResult {
   NocStats noc;
   double dedupSavedFraction = 0.0;
 
+  // --- Scale-out (src/scaleout; populated when cfg.scaleout.active()) ---
+  /// Chips simulated; the server-level fields below stay zero when 1.
+  /// For multi-chip runs `stats`/`events`/`noc` hold the field-wise sum
+  /// over chips and `cycles`/`ops`/`throughput` the server aggregates.
+  std::uint32_t chips = 1;
+  /// Churn events applied (boots + shutdowns + migration starts and
+  /// completions + storm starts/ends).
+  std::uint64_t churnApplied = 0;
+  InterChipStats interchip;
+  double interchipPj = 0.0;  ///< Inter-chip link energy (flit-hop based).
+  double interchipMw = 0.0;
+  /// Per-chip decomposition + lifecycle tallies (in-memory only).
+  std::shared_ptr<ScaleoutDetail> scaleout;
+
   // --- Observability artifacts (only populated when cfg.obs asks) ---
   /// Full registry snapshot taken after the run (obs.snapshotMetrics).
   std::vector<MetricRegistry::Sample> metrics;
@@ -120,7 +174,9 @@ struct ExperimentResult {
   double cacheMw = 0.0;
   double linkMw = 0.0;
   double routingMw = 0.0;
-  double totalDynamicMw() const { return cacheMw + linkMw + routingMw; }
+  double totalDynamicMw() const {
+    return cacheMw + linkMw + routingMw + interchipMw;
+  }
 
   // Figure 9b: fraction of L1 misses per class and mean links traversed.
   double missFraction(MissClass c) const {

@@ -93,6 +93,20 @@ std::string canonicalConfig(const ExperimentConfig& cfg) {
   b(c.net.flitLevel);
   u(static_cast<std::uint64_t>(c.dirSharingCode));
   b(c.enablePrediction);
+  // Scale-out fields are appended only when active: an inactive
+  // ScaleoutConfig leaves the digest — and thus every existing journal —
+  // exactly as it was before the subsystem existed.
+  if (cfg.scaleout.active()) {
+    s += "scaleout|";
+    u(cfg.scaleout.chips);
+    s += cfg.scaleout.churn;
+    s += '|';
+    u(cfg.scaleout.link.hopCycles);
+    u(cfg.scaleout.link.cyclesPerFlit);
+    s += jsonDoubleBits(cfg.scaleout.link.energyPerFlitX);
+    s += '|';
+    b(cfg.scaleout.link.ring);
+  }
   return s;
 }
 
@@ -337,6 +351,27 @@ JsonValue jResult(const ExperimentResult& r) {
   o["cacheMw"] = jD(r.cacheMw);
   o["linkMw"] = jD(r.linkMw);
   o["routingMw"] = jD(r.routingMw);
+  // Scale-out block only for scale-out results: single-chip records keep
+  // their exact pre-subsystem bytes. The guard is a pure function of the
+  // serialized values, so restored records re-serialize identically.
+  if (r.chips > 1 || r.churnApplied > 0 || r.interchip.messages > 0) {
+    JsonValue sc;
+    auto& so = sc.makeObject();
+    so["chips"] = jU(r.chips);
+    so["churnApplied"] = jU(r.churnApplied);
+    so["messages"] = jU(r.interchip.messages);
+    so["dataMessages"] = jU(r.interchip.dataMessages);
+    so["flits"] = jU(r.interchip.flits);
+    so["flitHops"] = jU(r.interchip.flitHops);
+    so["remoteFetches"] = jU(r.interchip.remoteFetches);
+    so["migrations"] = jU(r.interchip.migrations);
+    so["migrationPages"] = jU(r.interchip.migrationPages);
+    so["latency"] = jAcc(r.interchip.latency);
+    so["wait"] = jAcc(r.interchip.wait);
+    so["interchipPj"] = jD(r.interchipPj);
+    so["interchipMw"] = jD(r.interchipMw);
+    o["scaleout"] = std::move(sc);
+  }
   return v;
 }
 
@@ -387,6 +422,23 @@ void rResult(const JsonValue& o, ExperimentResult& r) {
   r.cacheMw = rD(o, "cacheMw");
   r.linkMw = rD(o, "linkMw");
   r.routingMw = rD(o, "routingMw");
+  if (const JsonValue* sc = o.find("scaleout");
+      sc != nullptr && sc->isObject()) {
+    r.chips = static_cast<std::uint32_t>(rU(*sc, "chips"));
+    if (r.chips == 0) r.chips = 1;
+    r.churnApplied = rU(*sc, "churnApplied");
+    r.interchip.messages = rU(*sc, "messages");
+    r.interchip.dataMessages = rU(*sc, "dataMessages");
+    r.interchip.flits = rU(*sc, "flits");
+    r.interchip.flitHops = rU(*sc, "flitHops");
+    r.interchip.remoteFetches = rU(*sc, "remoteFetches");
+    r.interchip.migrations = rU(*sc, "migrations");
+    r.interchip.migrationPages = rU(*sc, "migrationPages");
+    r.interchip.latency = rAcc(*sc, "latency");
+    r.interchip.wait = rAcc(*sc, "wait");
+    r.interchipPj = rD(*sc, "interchipPj");
+    r.interchipMw = rD(*sc, "interchipMw");
+  }
 }
 
 /// Single-line (no indentation) JSON rendering of a DOM value; object

@@ -65,6 +65,18 @@ std::string AttributionLedger::rowLabel(std::size_t row) const {
   return row == sharedRow() ? "shared" : "other";
 }
 
+void AttributionLedger::retile(const VmLayout& layout) {
+  EECC_CHECK_MSG(layout.numVms == numVms_, "retile must keep the row count");
+  EECC_CHECK(layout.vmOfTile.size() == rowOfTile_.size());
+  EECC_CHECK_MSG(scopes_.empty(), "retile inside a work scope");
+  flushEnergy();  // energy so far belongs to the old assignment
+  layoutTiles_.assign(rows() * numAreas_, 0);
+  for (std::size_t t = 0; t < rowOfTile_.size(); ++t) {
+    rowOfTile_[t] = static_cast<std::uint32_t>(rowOfVm(layout.vmOfTile[t]));
+    layoutTiles_[cell(rowOfTile_[t], areaOfTile_[t])] += 1;
+  }
+}
+
 void AttributionLedger::bindEnergy(const CacheEnergyEvents* live) {
   live_ = live;
   snap_ = live != nullptr ? *live : CacheEnergyEvents{};

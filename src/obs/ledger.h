@@ -144,6 +144,14 @@ class AttributionLedger {
   /// (CmpSystem::warmup: measurement restarts, attachment stays).
   void resetWindow();
 
+  /// Re-reads the tile-to-VM assignment from a new layout (the VM
+  /// lifecycle engine calls this at churn boundaries, after threads
+  /// repin). Accumulated matrices are kept — rows are VM identities, not
+  /// placements — only the attribution of *future* events changes. The
+  /// layout must keep the ledger's row count (pad numVms to the original
+  /// upper bound). Only legal between work scopes (drained system).
+  void retile(const VmLayout& layout);
+
   // --- Results ---
   std::uint64_t missCount(std::size_t row, std::size_t area,
                           MissClass cls) const {

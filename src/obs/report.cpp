@@ -179,6 +179,49 @@ Report buildReport(const std::vector<StatsRun>& runs) {
       rep.interference.push_back(std::move(row));
     }
   }
+  // --- Scale-out rollups (runs recorded with --chips N) ---
+  for (const StatsRun& run : runs) {
+    if (!run.has("server.chips")) continue;
+    ScaleoutSummaryRow sum;
+    sum.workload = run.workload;
+    sum.protocol = run.protocol;
+    sum.chips = run.metric("server.chips");
+    sum.churnApplied = run.metric("server.churnApplied");
+    sum.boots = run.metric("server.boots");
+    sum.shutdowns = run.metric("server.shutdowns");
+    sum.migrationsStarted = run.metric("server.migrationsStarted");
+    sum.migrationsCompleted = run.metric("server.migrationsCompleted");
+    sum.storms = run.metric("server.storms");
+    sum.totalVms = run.metric("server.totalVms");
+    sum.messages = run.metric("interchip.messages");
+    sum.flits = run.metric("interchip.flits");
+    sum.remoteFetches = run.metric("interchip.remoteFetches");
+    sum.migrationPages = run.metric("interchip.migrationPages");
+    sum.latencyMean = run.metric("interchip.latency.mean");
+    sum.interchipPj = run.metric("interchip.pj");
+    sum.interchipMw = run.metric("interchip.mw");
+    rep.scaleout.push_back(std::move(sum));
+
+    for (std::size_t c = 0; c < static_cast<std::size_t>(
+                                    run.metric("server.chips"));
+         ++c) {
+      const std::string p = "chip" + std::to_string(c) + ".";
+      if (!run.has(p + "sys.cycles")) break;
+      ScaleoutChipRow row;
+      row.workload = run.workload;
+      row.protocol = run.protocol;
+      row.chip = c;
+      row.cycles = run.metric(p + "sys.cycles");
+      row.ops = run.metric(p + "sys.ops");
+      row.throughput = run.metric(p + "sys.throughput");
+      row.l1MissRate = run.metric(p + "proto.l1MissRate");
+      row.nocFlits = run.metric(p + "net.linkFlits");
+      row.dynamicPj = run.metric(p + "energy.pj.cache.total") +
+                      run.metric(p + "energy.pj.noc.total");
+      row.leakageMw = run.metric(p + "energy.leakage.chipMw");
+      rep.scaleoutChips.push_back(std::move(row));
+    }
+  }
   return rep;
 }
 
@@ -245,7 +288,88 @@ bool writeReportJson(const std::string& path, const Report& report) {
       w.endObject();
     }
     w.endArray();
+    // Scale-out sections only for reports that have scale-out runs, so
+    // single-chip report.json output is unchanged by the subsystem.
+    if (!report.scaleout.empty()) {
+      w.key("scaleout");
+      w.beginArray();
+      for (const ScaleoutSummaryRow& r : report.scaleout) {
+        w.beginObject();
+        w.field("workload", r.workload);
+        w.field("protocol", r.protocol);
+        w.field("chips", r.chips);
+        w.field("churnApplied", r.churnApplied);
+        w.field("boots", r.boots);
+        w.field("shutdowns", r.shutdowns);
+        w.field("migrationsStarted", r.migrationsStarted);
+        w.field("migrationsCompleted", r.migrationsCompleted);
+        w.field("storms", r.storms);
+        w.field("totalVms", r.totalVms);
+        w.field("interchipMessages", r.messages);
+        w.field("interchipFlits", r.flits);
+        w.field("remoteFetches", r.remoteFetches);
+        w.field("migrationPages", r.migrationPages);
+        w.field("interchipLatencyMean", r.latencyMean);
+        w.field("interchipPj", r.interchipPj);
+        w.field("interchipMw", r.interchipMw);
+        w.endObject();
+      }
+      w.endArray();
+      w.key("scaleoutChips");
+      w.beginArray();
+      for (const ScaleoutChipRow& r : report.scaleoutChips) {
+        w.beginObject();
+        w.field("workload", r.workload);
+        w.field("protocol", r.protocol);
+        w.field("chip", static_cast<std::uint64_t>(r.chip));
+        w.field("cycles", r.cycles);
+        w.field("ops", r.ops);
+        w.field("throughput", r.throughput);
+        w.field("l1MissRate", r.l1MissRate);
+        w.field("nocFlits", r.nocFlits);
+        w.field("dynamicPj", r.dynamicPj);
+        w.field("leakageMw", r.leakageMw);
+        w.endObject();
+      }
+      w.endArray();
+    }
     w.endObject();
+  }
+  return out.commit();
+}
+
+bool writeScaleoutCsv(const std::string& path, const Report& report) {
+  AtomicFile out(path);
+  if (!out) return false;
+  std::FILE* f = out.get();
+  std::fprintf(f,
+               "workload,protocol,scope,chips,churn_applied,boots,"
+               "shutdowns,migrations_started,migrations_completed,storms,"
+               "total_vms,ops,throughput,l1_miss_rate,noc_flits,"
+               "dynamic_pj,leakage_mw,interchip_messages,interchip_flits,"
+               "remote_fetches,migration_pages,interchip_latency_mean,"
+               "interchip_pj,interchip_mw\n");
+  // One `server` row per scale-out run, then its per-chip rollups (the
+  // chip rows leave the server-only columns empty and vice versa).
+  for (const ScaleoutSummaryRow& r : report.scaleout) {
+    std::fprintf(f, "%s,%s,server,%s,%s,%s,%s,%s,%s,%s,%s,,,,,,,"
+                    "%s,%s,%s,%s,%s,%s,%s\n",
+                 r.workload.c_str(), r.protocol.c_str(), fmt(r.chips).c_str(),
+                 fmt(r.churnApplied).c_str(), fmt(r.boots).c_str(),
+                 fmt(r.shutdowns).c_str(), fmt(r.migrationsStarted).c_str(),
+                 fmt(r.migrationsCompleted).c_str(), fmt(r.storms).c_str(),
+                 fmt(r.totalVms).c_str(), fmt(r.messages).c_str(),
+                 fmt(r.flits).c_str(), fmt(r.remoteFetches).c_str(),
+                 fmt(r.migrationPages).c_str(), fmt(r.latencyMean).c_str(),
+                 fmt(r.interchipPj).c_str(), fmt(r.interchipMw).c_str());
+    for (const ScaleoutChipRow& c : report.scaleoutChips) {
+      if (c.workload != r.workload || c.protocol != r.protocol) continue;
+      std::fprintf(f, "%s,%s,chip%zu,,,,,,,,,%s,%s,%s,%s,%s,%s,,,,,,,\n",
+                   c.workload.c_str(), c.protocol.c_str(), c.chip,
+                   fmt(c.ops).c_str(), fmt(c.throughput).c_str(),
+                   fmt(c.l1MissRate).c_str(), fmt(c.nocFlits).c_str(),
+                   fmt(c.dynamicPj).c_str(), fmt(c.leakageMw).c_str());
+    }
   }
   return out.commit();
 }
@@ -381,6 +505,41 @@ bool writeReportMarkdown(const std::string& path, const Report& report) {
                        ? fmt(r.flitShareByArea[a]).c_str()
                        : "0");
     std::fprintf(f, " %s |\n", fmt(r.remoteShare).c_str());
+  }
+
+  if (!report.scaleout.empty()) {
+    std::fprintf(f,
+                 "\n## Scale-out (multi-chip runs)\n\n"
+                 "VM churn and inter-chip link traffic/energy per run, "
+                 "then the per-chip rollups.\n\n");
+    std::fprintf(f,
+                 "| workload | protocol | chips | churn | boots | "
+                 "shutdowns | migrations | storms | VMs | interchip msgs | "
+                 "flits | remote fetches | latency | interchip mW |\n");
+    std::fprintf(f, "|---|---|---|---|---|---|---|---|---|---|---|---|---|"
+                    "---|\n");
+    for (const ScaleoutSummaryRow& r : report.scaleout)
+      std::fprintf(f,
+                   "| %s | %s | %s | %s | %s | %s | %s/%s | %s | %s | %s | "
+                   "%s | %s | %s | %s |\n",
+                   r.workload.c_str(), r.protocol.c_str(),
+                   fmt(r.chips).c_str(), fmt(r.churnApplied).c_str(),
+                   fmt(r.boots).c_str(), fmt(r.shutdowns).c_str(),
+                   fmt(r.migrationsCompleted).c_str(),
+                   fmt(r.migrationsStarted).c_str(), fmt(r.storms).c_str(),
+                   fmt(r.totalVms).c_str(), fmt(r.messages).c_str(),
+                   fmt(r.flits).c_str(), fmt(r.remoteFetches).c_str(),
+                   fmt(r.latencyMean).c_str(), fmt(r.interchipMw).c_str());
+    std::fprintf(f,
+                 "\n| workload | protocol | chip | ops | throughput | L1 "
+                 "miss | NoC flits | dynamic pJ | leakage mW |\n");
+    std::fprintf(f, "|---|---|---|---|---|---|---|---|---|\n");
+    for (const ScaleoutChipRow& r : report.scaleoutChips)
+      std::fprintf(f, "| %s | %s | %zu | %s | %s | %s | %s | %s | %s |\n",
+                   r.workload.c_str(), r.protocol.c_str(), r.chip,
+                   fmt(r.ops).c_str(), fmt(r.throughput).c_str(),
+                   fmt(r.l1MissRate).c_str(), fmt(r.nocFlits).c_str(),
+                   fmt(r.dynamicPj).c_str(), fmt(r.leakageMw).c_str());
   }
   return out.commit();
 }

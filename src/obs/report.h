@@ -104,11 +104,52 @@ struct InterferenceRow {
   double remoteShare = 0;  ///< Flits in areas where the row owns no tiles.
 };
 
+/// One chip of a scale-out run (eecc_sim --chips N). Scale-out stats
+/// files carry the full per-chip snapshots under `chip<c>.`; this row is
+/// the report's rollup of one chip.
+struct ScaleoutChipRow {
+  std::string workload;
+  std::string protocol;
+  std::size_t chip = 0;
+  double cycles = 0;
+  double ops = 0;
+  double throughput = 0;
+  double l1MissRate = 0;
+  double nocFlits = 0;
+  double dynamicPj = 0;   ///< Cache + NoC dynamic energy of the chip.
+  double leakageMw = 0;
+};
+
+/// Server-level rollup of one scale-out run: VM churn tallies and the
+/// inter-chip link's traffic/energy (the `server.*` and `interchip.*`
+/// curated samples).
+struct ScaleoutSummaryRow {
+  std::string workload;
+  std::string protocol;
+  double chips = 0;
+  double churnApplied = 0;
+  double boots = 0;
+  double shutdowns = 0;
+  double migrationsStarted = 0;
+  double migrationsCompleted = 0;
+  double storms = 0;
+  double totalVms = 0;
+  double messages = 0;       ///< Inter-chip messages.
+  double flits = 0;
+  double remoteFetches = 0;
+  double migrationPages = 0;
+  double latencyMean = 0;    ///< Mean inter-chip message latency (cycles).
+  double interchipPj = 0;
+  double interchipMw = 0;
+};
+
 struct Report {
   std::size_t areas = 0;  ///< Max area count across runs (matrix width).
   std::vector<EnergyBreakdownRow> energy;
   std::vector<PerVmRow> perVm;
   std::vector<InterferenceRow> interference;
+  std::vector<ScaleoutSummaryRow> scaleout;
+  std::vector<ScaleoutChipRow> scaleoutChips;
 };
 
 /// Reduces the runs to the three tables. Runs without ledger metrics
@@ -123,6 +164,9 @@ bool writeReportJson(const std::string& path, const Report& report);
 bool writeEnergyBreakdownCsv(const std::string& path, const Report& report);
 bool writePerVmCsv(const std::string& path, const Report& report);
 bool writeInterferenceCsv(const std::string& path, const Report& report);
+/// Scale-out table (server churn + inter-chip link + per-chip rollups);
+/// writes a header-only file when no run is multi-chip.
+bool writeScaleoutCsv(const std::string& path, const Report& report);
 bool writeReportMarkdown(const std::string& path, const Report& report);
 
 }  // namespace eecc

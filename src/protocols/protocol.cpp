@@ -81,6 +81,10 @@ void Protocol::dispatchMessage(const Message& msg) {
         latency =
             cfg_.memLatency + memJitterRng_.below(cfg_.memJitterMax + 1);
       }
+      // Scale-out: a block homed on another chip pays the inter-chip
+      // round trip on top of the DRAM service time (src/scaleout).
+      if (remoteMem_) [[unlikely]]
+        latency += remoteMem_(msg.addr, events_.now());
       Message resp;
       resp.type = kMemResp;
       resp.cls = MsgClass::Data;

@@ -110,6 +110,17 @@ class Protocol {
   void setLedger(AttributionLedger* ledger) { ledger_ = ledger; }
   AttributionLedger* ledger() const { return ledger_; }
 
+  /// Attaches (or detaches, with an empty function) the scale-out remote
+  /// memory model (src/scaleout): called once per off-chip fetch with the
+  /// block and the controller-side service time, it returns the *extra*
+  /// cycles the fetch pays when the block's home chip is not this one
+  /// (the inter-chip round trip, including link contention). Single-chip
+  /// systems never install it, so the hot path pays one untaken
+  /// [[unlikely]] branch — the same contract as the other hooks.
+  void setRemoteMemory(std::function<Tick(Addr, Tick)> fn) {
+    remoteMem_ = std::move(fn);
+  }
+
   /// One valid L2 line: the bank's tile and the block it caches. Used by
   /// the ledger's occupancy sampling (leakage apportioning); the default
   /// reports nothing so mock protocols need not implement it.
@@ -313,6 +324,7 @@ class Protocol {
   CheckHooks* hooks_ = nullptr;  ///< Conformance monitors; null = off.
   TraceSink* trace_ = nullptr;   ///< Observability trace sink; null = off.
   AttributionLedger* ledger_ = nullptr;  ///< Attribution ledger; null = off.
+  std::function<Tick(Addr, Tick)> remoteMem_;  ///< Scale-out hook; empty = off.
 
  private:
   /// The value a just-completed access exposed to its core: the last read

@@ -1,0 +1,110 @@
+// Hierarchical server topology: tile-within-area, area-within-chip,
+// chip-within-server (DESIGN.md §14).
+//
+// Every chip is an identical CmpConfig mesh with its own MeshTopology;
+// the server glues `chips` of them together through gateway tiles and an
+// inter-chip interconnect (scaleout/interchip.h). Global tile ids are
+// chip-major: global = chip * tilesPerChip + local. The hierarchy is
+// descriptive — coherence never crosses a chip boundary (each chip is its
+// own domain; cross-chip interactions ride the memory path) — but it is
+// the single source of truth for id mapping, gateway placement and the
+// hop decomposition of a cross-chip path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "core/config.h"
+#include "noc/mesh.h"
+#include "scaleout/scaleout_config.h"
+
+namespace eecc {
+
+class HierarchicalTopology {
+ public:
+  /// A cross-server path, decomposed into its differently-priced parts:
+  /// on-chip mesh hops (source tile to its gateway, destination gateway
+  /// to the destination tile) and chip-to-chip crossings.
+  struct Span {
+    std::int32_t onChipHops = 0;
+    std::int32_t chipCrossings = 0;
+  };
+
+  HierarchicalTopology(const CmpConfig& chip, std::uint32_t chips,
+                       bool ring = false)
+      : chip_(chip),
+        mesh_(chip.meshWidth, chip.meshHeight),
+        chips_(chips),
+        ring_(ring),
+        tilesPerChip_(static_cast<std::uint32_t>(chip.tiles())) {
+    EECC_CHECK(chips_ >= 1);
+    // Gateway: the tile in the middle of the chip's west edge — where a
+    // SerDes macro would sit, one per chip, shared by all areas.
+    gateway_ = mesh_.nodeAt({0, chip.meshHeight / 2});
+  }
+
+  std::uint32_t chips() const { return chips_; }
+  std::uint32_t tilesPerChip() const { return tilesPerChip_; }
+  std::uint32_t totalTiles() const { return chips_ * tilesPerChip_; }
+  const MeshTopology& mesh() const { return mesh_; }
+  const CmpConfig& chipConfig() const { return chip_; }
+
+  // --- Id mapping (chip-major) ---
+  std::int32_t chipOf(std::uint32_t global) const {
+    return static_cast<std::int32_t>(global / tilesPerChip_);
+  }
+  NodeId localOf(std::uint32_t global) const {
+    return static_cast<NodeId>(global % tilesPerChip_);
+  }
+  std::uint32_t globalOf(std::int32_t chip, NodeId local) const {
+    return static_cast<std::uint32_t>(chip) * tilesPerChip_ +
+           static_cast<std::uint32_t>(local);
+  }
+  /// Static chip area of a global tile — the middle level of the
+  /// hierarchy; identical division on every chip.
+  AreaId areaOf(std::uint32_t global) const {
+    return chip_.areaOf(localOf(global));
+  }
+
+  /// The local tile hosting the chip's inter-chip interface.
+  NodeId gatewayTile() const { return gateway_; }
+
+  /// Chip-to-chip crossings: 1 between any distinct pair when fully
+  /// connected, the ring distance on a ring.
+  std::int32_t chipDistance(std::int32_t a, std::int32_t b) const {
+    if (a == b) return 0;
+    if (!ring_) return 1;
+    const std::int32_t n = static_cast<std::int32_t>(chips_);
+    const std::int32_t d = a > b ? a - b : b - a;
+    return d < n - d ? d : n - d;
+  }
+
+  /// Path decomposition between two global tiles: same chip = pure mesh
+  /// hops; cross chip = hops to the source gateway, the crossings, hops
+  /// from the destination gateway.
+  Span span(std::uint32_t srcGlobal, std::uint32_t dstGlobal) const {
+    const std::int32_t sc = chipOf(srcGlobal);
+    const std::int32_t dc = chipOf(dstGlobal);
+    Span s;
+    if (sc == dc) {
+      s.onChipHops = mesh_.distance(localOf(srcGlobal), localOf(dstGlobal));
+      return s;
+    }
+    s.onChipHops = mesh_.distance(localOf(srcGlobal), gateway_) +
+                   mesh_.distance(gateway_, localOf(dstGlobal));
+    s.chipCrossings = chipDistance(sc, dc);
+    return s;
+  }
+
+ private:
+  CmpConfig chip_;
+  MeshTopology mesh_;
+  std::uint32_t chips_;
+  bool ring_;
+  std::uint32_t tilesPerChip_;
+  NodeId gateway_ = 0;
+};
+
+}  // namespace eecc

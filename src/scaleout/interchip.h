@@ -1,0 +1,172 @@
+// Inter-chip interconnect: the chip-crossing link of the scale-out server
+// (DESIGN.md §14).
+//
+// Directed per-chip-pair channels with occupancy-based contention, the
+// same shape as the on-chip NoC's link model but with its own latency,
+// serialization (bandwidth) and energy-per-flit parameters
+// (InterChipLinkConfig). Three traffic classes cross it:
+//   * remote memory fetches — a miss to a page homed on another chip pays
+//     the control-out / data-back round trip on top of DRAM latency
+//     (Protocol::setRemoteMemory);
+//   * migration bulk transfers — a VM's resident pages streamed to the
+//     destination chip during live migration;
+//   * nothing else: coherence never crosses a chip boundary (cross-chip
+//     shared pages are read-only by construction; writes break the
+//     sharing via copy-on-write onto the writer's chip).
+//
+// Every flit is attributed to a per-VM row exactly like the on-chip
+// ledger: summing rowFlits over all rows reproduces stats().flits
+// bit-for-bit (scaleout_test pins the decomposition).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "scaleout/scaleout_config.h"
+
+namespace eecc {
+
+struct InterChipStats {
+  std::uint64_t messages = 0;
+  std::uint64_t dataMessages = 0;
+  std::uint64_t flits = 0;
+  std::uint64_t flitHops = 0;  ///< flits × chip crossings (energy events).
+  std::uint64_t remoteFetches = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t migrationPages = 0;
+  Accumulator latency;  ///< Entry-to-delivery cycles per message.
+  Accumulator wait;     ///< Cycles spent waiting on a busy channel.
+
+  void merge(const InterChipStats& o) {
+    messages += o.messages;
+    dataMessages += o.dataMessages;
+    flits += o.flits;
+    flitHops += o.flitHops;
+    remoteFetches += o.remoteFetches;
+    migrations += o.migrations;
+    migrationPages += o.migrationPages;
+    latency += o.latency;
+    wait += o.wait;
+  }
+};
+
+class InterChipLink {
+ public:
+  /// A migration streams its pages at this fabric occupancy — the bulk of
+  /// the page body rides a DMA lane modeled only as energy/latency, but
+  /// each page claims a few flits of the coherent channel (header +
+  /// dirty-bitmap traffic), which is what contends with remote fetches.
+  static constexpr std::uint32_t kMigrationFlitsPerPage = 8;
+
+  /// `rows`: attribution rows (total VMs + shared + other), mirroring the
+  /// on-chip ledger's row space.
+  InterChipLink(std::uint32_t chips, const InterChipLinkConfig& cfg,
+                std::size_t rows)
+      : chips_(chips),
+        cfg_(cfg),
+        nextFree_(static_cast<std::size_t>(chips) * chips, 0),
+        pairFlits_(static_cast<std::size_t>(chips) * chips, 0),
+        rowFlits_(rows, 0),
+        rowMessages_(rows, 0) {}
+
+  std::uint32_t chips() const { return chips_; }
+  const InterChipLinkConfig& config() const { return cfg_; }
+  std::size_t rows() const { return rowFlits_.size(); }
+
+  std::int32_t chipDistance(std::int32_t a, std::int32_t b) const {
+    if (a == b) return 0;
+    if (!cfg_.ring) return 1;
+    const auto n = static_cast<std::int32_t>(chips_);
+    const std::int32_t d = a > b ? a - b : b - a;
+    return d < n - d ? d : n - d;
+  }
+
+  /// One message of `flits` flits from chip `src` to `dst` entering the
+  /// channel at `now`; returns the delivery tick. The directed channel is
+  /// busy for the serialization time, so later messages on the same pair
+  /// queue behind it (stats().wait).
+  Tick transfer(std::int32_t src, std::int32_t dst, std::uint32_t flits,
+                Tick now, std::size_t row, bool data) {
+    EECC_CHECK(src != dst && src >= 0 && dst >= 0);
+    const std::int32_t hops = chipDistance(src, dst);
+    Tick& free = nextFree_[pair(src, dst)];
+    const Tick start = now > free ? now : free;
+    const Tick serialize =
+        cfg_.cyclesPerFlit * static_cast<Tick>(flits);
+    free = start + serialize;
+    const Tick arrive =
+        start + serialize + cfg_.hopCycles * static_cast<Tick>(hops);
+    stats_.messages += 1;
+    if (data) stats_.dataMessages += 1;
+    stats_.flits += flits;
+    stats_.flitHops +=
+        static_cast<std::uint64_t>(flits) * static_cast<std::uint64_t>(hops);
+    stats_.wait.add(static_cast<double>(start - now));
+    stats_.latency.add(static_cast<double>(arrive - now));
+    pairFlits_[pair(src, dst)] += flits;
+    if (row < rowFlits_.size()) {
+      rowFlits_[row] += flits;
+      rowMessages_[row] += 1;
+    }
+    return arrive;
+  }
+
+  /// Remote memory fetch: `reqFlits` of control out, `respFlits` of data
+  /// back once the request lands. Returns the response's delivery tick
+  /// (the caller adds DRAM latency between the legs itself by passing the
+  /// controller-side `now`).
+  Tick roundTrip(std::int32_t src, std::int32_t dst, std::uint32_t reqFlits,
+                 std::uint32_t respFlits, Tick now, std::size_t row) {
+    stats_.remoteFetches += 1;
+    const Tick there = transfer(src, dst, reqFlits, now, row, false);
+    return transfer(dst, src, respFlits, there, row, true);
+  }
+
+  /// Live-migration bulk transfer of `pages` pages; returns the tick the
+  /// last page lands on the destination (the stop-and-copy point).
+  Tick bulkTransfer(std::int32_t src, std::int32_t dst, std::uint64_t pages,
+                    Tick now, std::size_t row) {
+    stats_.migrations += 1;
+    stats_.migrationPages += pages;
+    const auto flits = static_cast<std::uint32_t>(
+        pages * kMigrationFlitsPerPage);
+    return transfer(src, dst, flits < 1 ? 1 : flits, now, row, true);
+  }
+
+  const InterChipStats& stats() const { return stats_; }
+  std::uint64_t pairFlits(std::int32_t src, std::int32_t dst) const {
+    return pairFlits_[pair(src, dst)];
+  }
+  std::uint64_t rowFlits(std::size_t row) const { return rowFlits_[row]; }
+  std::uint64_t rowMessages(std::size_t row) const {
+    return rowMessages_[row];
+  }
+
+  /// Clears the counters only; channel occupancy survives (warmup
+  /// traffic carries into the measured window, as for the on-chip NoC).
+  void resetStats() {
+    stats_ = InterChipStats{};
+    pairFlits_.assign(pairFlits_.size(), 0);
+    rowFlits_.assign(rowFlits_.size(), 0);
+    rowMessages_.assign(rowMessages_.size(), 0);
+  }
+
+ private:
+  std::size_t pair(std::int32_t src, std::int32_t dst) const {
+    return static_cast<std::size_t>(src) * chips_ +
+           static_cast<std::size_t>(dst);
+  }
+
+  std::uint32_t chips_;
+  InterChipLinkConfig cfg_;
+  std::vector<Tick> nextFree_;  ///< Directed channel busy-until.
+  std::vector<std::uint64_t> pairFlits_;
+  std::vector<std::uint64_t> rowFlits_;
+  std::vector<std::uint64_t> rowMessages_;
+  InterChipStats stats_;
+};
+
+}  // namespace eecc

@@ -1,0 +1,48 @@
+// Scale-out (multi-chip server) configuration — DESIGN.md §14.
+//
+// A server is N identical CMP chips (each a full CmpConfig mesh with its
+// own coherence domain) joined by an inter-chip interconnect that is
+// slower, narrower and costlier per flit than the on-chip NoC. The knobs
+// here are deliberately few: chip count, the link's latency / bandwidth /
+// energy parameters, and the VM churn schedule (a spec string parsed by
+// scaleout/vm_lifecycle.h). A default-constructed ScaleoutConfig is
+// inactive — chips == 1 and no churn — and every single-chip code path is
+// bit-identical to a build without the subsystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace eecc {
+
+/// Latency / bandwidth / energy of one directed chip-to-chip channel.
+/// Defaults follow the usual SerDes-link ratios: an order of magnitude
+/// slower than an on-chip hop (Table III: 5 cycles/hop on-chip) and
+/// several times the energy per flit (Rainbow's inter-chip fabric
+/// motivates modeling the crossing as expensive, see PAPERS.md).
+struct InterChipLinkConfig {
+  Tick hopCycles = 48;        ///< Head-flit traversal latency per crossing.
+  Tick cyclesPerFlit = 4;     ///< Serialization: link occupancy per flit.
+  double energyPerFlitX = 8.0;  ///< × the on-chip per-flit link energy.
+  /// Chip graph: false = fully connected (1 crossing between any pair),
+  /// true = bidirectional ring (crossings = ring distance).
+  bool ring = false;
+};
+
+struct ScaleoutConfig {
+  std::uint32_t chips = 1;
+  /// VM churn schedule (scaleout/vm_lifecycle.h): ';'-separated scripted
+  /// events ("boot@50000:chip=1", "migrate@80000:vm=2:to=3", ...) or
+  /// "random:events=N:until=T" drawn from the experiment seed. Empty =
+  /// static consolidation, today's single-chip behavior per chip.
+  std::string churn;
+  InterChipLinkConfig link{};
+
+  /// Whether the scale-out path is engaged at all. Inactive configs run
+  /// the legacy single-chip experiment byte-for-byte.
+  bool active() const { return chips > 1 || !churn.empty(); }
+};
+
+}  // namespace eecc

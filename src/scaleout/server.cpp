@@ -1,0 +1,296 @@
+#include "scaleout/server.h"
+
+#include <algorithm>
+#include <string>
+
+#include "check/monitor.h"
+#include "obs/ledger.h"
+#include "obs/system_metrics.h"
+#include "workload/profile.h"
+
+namespace eecc {
+
+void mergeProtocolStats(ProtocolStats& into, const ProtocolStats& from) {
+  into.reads += from.reads;
+  into.writes += from.writes;
+  into.l1ReadHits += from.l1ReadHits;
+  into.l1WriteHits += from.l1WriteHits;
+  into.readMisses += from.readMisses;
+  into.writeMisses += from.writeMisses;
+  into.upgrades += from.upgrades;
+  into.l2DataHits += from.l2DataHits;
+  into.memoryFetches += from.memoryFetches;
+  into.invalidationsSent += from.invalidationsSent;
+  into.broadcastInvalidations += from.broadcastInvalidations;
+  into.ownershipTransfers += from.ownershipTransfers;
+  into.providershipTransfers += from.providershipTransfers;
+  into.hintMessages += from.hintMessages;
+  into.providerResolvedMisses += from.providerResolvedMisses;
+  into.writebacks += from.writebacks;
+  into.l2Evictions += from.l2Evictions;
+  into.dirEvictionInvalidations += from.dirEvictionInvalidations;
+  for (std::size_t c = 0; c < from.missByClass.size(); ++c) {
+    into.missByClass[c] += from.missByClass[c];
+    into.latencyByClass[c] += from.latencyByClass[c];
+    into.linksByClass[c] += from.linksByClass[c];
+  }
+  into.missLatency += from.missLatency;
+}
+
+void mergeEnergyEvents(CacheEnergyEvents& into,
+                       const CacheEnergyEvents& from) {
+  for (const EnergyEventField& f : energyEventFields())
+    into.*f.field += from.*f.field;
+}
+
+ServerSystem::ServerSystem(const ExperimentConfig& cfg)
+    : cfg_(cfg),
+      perVm_(profiles::byWorkloadName(cfg.workloadName)),
+      schedule_(ChurnSchedule::parse(cfg.scaleout.churn, cfg.seed,
+                                     cfg.windowCycles)),
+      upperBound_(cfg.scaleout.chips *
+                      static_cast<std::uint32_t>(perVm_.size()) +
+                  schedule_.bootEvents()),
+      server_(cfg.chip, cfg.scaleout.chips, perVm_, cfg.seed,
+              cfg.dedupEnabled),
+      topo_(cfg.chip, cfg.scaleout.chips, cfg.scaleout.link.ring),
+      link_(cfg.scaleout.chips, cfg.scaleout.link, upperBound_ + 2) {
+  EECC_CHECK(cfg.scaleout.chips >= 1);
+  for (std::uint32_t c = 0; c < cfg.scaleout.chips; ++c) {
+    systems_.push_back(std::make_unique<CmpSystem>(
+        cfg.chip, cfg.protocol,
+        std::make_unique<ChipSource>(&server_,
+                                     static_cast<std::int32_t>(c))));
+    // Remote memory hook: a miss to a page homed on another chip pays the
+    // inter-chip round trip (1 control flit out, a data message back) on
+    // top of its DRAM service time. Attributed to the page's owning VM
+    // (shared row for deduplicated pages).
+    systems_.back()->protocol().setRemoteMemory(
+        [this, c](Addr addr, Tick now) -> Tick {
+          const std::int32_t home = server_.homeChipOf(addr);
+          if (home < 0 || home == static_cast<std::int32_t>(c)) return 0;
+          const std::size_t row = rowOf(server_.vmOfPage(addr));
+          const Tick arrive = link_.roundTrip(
+              static_cast<std::int32_t>(c), home, cfg_.chip.net.controlFlits,
+              cfg_.chip.net.dataFlits, now, row);
+          return arrive - now;
+        });
+  }
+}
+
+void ServerSystem::warmup(Tick cycles) {
+  for (auto& sys : systems_) sys->warmup(cycles);
+  link_.resetStats();
+}
+
+void ServerSystem::attachLedgers(Tick occupancyEvery) {
+  EECC_CHECK(ledgers_.empty());
+  for (std::uint32_t c = 0; c < chips(); ++c) {
+    auto ledger = std::make_shared<AttributionLedger>(
+        cfg_.chip,
+        server_.chipLayout(static_cast<std::int32_t>(c), upperBound_),
+        [w = &server_](Addr page) { return w->vmOfPage(page); },
+        occupancyEvery);
+    systems_[c]->attachLedger(ledger.get());
+    ledgers_.push_back(std::move(ledger));
+  }
+}
+
+void ServerSystem::run(Tick windowCycles) {
+  // The global timeline starts at the latest chip clock (chips drain
+  // different amounts past warmup); earlier chips simply run a slightly
+  // longer first segment.
+  Tick start = 0;
+  for (auto& sys : systems_)
+    start = std::max(start, sys->events().now());
+  const Tick end = start + windowCycles;
+
+  lifecycle_ = std::make_unique<VmLifecycle>(&server_, &link_, schedule_,
+                                             start, end, cfg_.seed, perVm_);
+  Tick t = start;
+  while (t < end) {
+    Tick boundary = lifecycle_->nextBoundary(t);
+    if (boundary > end) boundary = end;
+    for (auto& sys : systems_) {
+      const Tick now = sys->events().now();
+      if (now < boundary) sys->run(boundary - now);
+    }
+    // Every chip is drained past the boundary: no in-flight coherence
+    // spans the reconfiguration below (the remap epoch's flush).
+    if (lifecycle_->applyDue(boundary) > 0) {
+      for (std::uint32_t c = 0; c < chips(); ++c) {
+        systems_[c]->refreshActive();
+        if (!ledgers_.empty())
+          ledgers_[c]->retile(server_.chipLayout(
+              static_cast<std::int32_t>(c), upperBound_));
+      }
+    }
+    t = boundary;
+  }
+}
+
+ExperimentResult runScaleoutExperiment(const ExperimentConfig& cfg) {
+  ServerSystem server(cfg);
+
+  std::vector<std::unique_ptr<MonitorSet>> monitors;
+  if (cfg.conformanceCheck)
+    for (std::uint32_t c = 0; c < server.chips(); ++c) {
+      monitors.push_back(std::make_unique<MonitorSet>());
+      server.system(c).attachChecker(monitors.back().get(),
+                                     cfg.checkSweepEvery);
+    }
+  if (cfg.warmupCycles > 0) server.warmup(cfg.warmupCycles);
+
+  ExperimentResult r;
+  std::vector<MetricRegistry> regs(server.chips());
+  if (cfg.obs.any())
+    for (std::uint32_t c = 0; c < server.chips(); ++c)
+      registerSystem(regs[c], server.system(c));
+  if (cfg.obs.ledger) {
+    server.attachLedgers(cfg.obs.ledgerOccupancyEvery);
+    for (std::uint32_t c = 0; c < server.chips(); ++c)
+      registerLedger(regs[c], *server.ledgers()[c], &server.system(c));
+  }
+
+  server.run(cfg.windowCycles);
+
+  r.workload = cfg.workloadName;
+  r.protocol = cfg.protocol;
+  r.altLayout = cfg.altLayout;
+  r.seed = cfg.seed;
+  r.chips = server.chips();
+  r.cycles = cfg.windowCycles;  // the common measured window
+
+  auto detail = std::make_shared<ScaleoutDetail>();
+  for (std::uint32_t c = 0; c < server.chips(); ++c) {
+    CmpSystem& sys = server.system(c);
+    ScaleoutChipSummary chip;
+    chip.cycles = sys.cycles();
+    chip.ops = sys.opsCompleted();
+    chip.throughput = sys.throughput();
+    chip.stats = sys.protocol().stats();
+    chip.events = sys.protocol().energyEvents();
+    chip.noc = sys.network().stats();
+    if (cfg.obs.ledger) chip.ledger = server.ledgers()[c];
+
+    r.ops += chip.ops;
+    r.simEvents += sys.events().executedEvents();
+    mergeProtocolStats(r.stats, chip.stats);
+    mergeEnergyEvents(r.events, chip.events);
+    r.noc.merge(chip.noc);
+    detail->chips.push_back(std::move(chip));
+  }
+  r.throughput = r.cycles > 0 ? static_cast<double>(r.ops) /
+                                    static_cast<double>(r.cycles)
+                              : 0.0;
+  r.dedupSavedFraction = server.workload().pages().savedFraction();
+
+  const VmLifecycle* life = server.lifecycle();
+  r.churnApplied = life->applied();
+  r.interchip = server.link().stats();
+  detail->boots = life->boots();
+  detail->shutdowns = life->shutdowns();
+  detail->migrationsStarted = life->migrationsStarted();
+  detail->migrationsCompleted = life->migrationsCompleted();
+  detail->storms = life->storms();
+  detail->skippedEvents = life->skipped();
+  detail->totalVms = server.workload().vmCount();
+  detail->cowEvents = server.workload().pages().cowEvents();
+  detail->reclaimedPages = server.workload().pages().reclaimedPages();
+  for (std::size_t row = 0; row < server.link().rows(); ++row) {
+    detail->interchipRowFlits.push_back(server.link().rowFlits(row));
+    detail->interchipRowMessages.push_back(server.link().rowMessages(row));
+  }
+  r.scaleout = detail;
+
+  const EnergyModel energy(cfg.protocol, chipParamsOf(cfg.chip),
+                           cfg.protocol == ProtocolKind::Directory
+                               ? cfg.chip.dirSharingCode
+                               : SharingCode::FullMap);
+  r.cachePj = energy.cacheEnergy(r.events);
+  r.nocPj = energy.nocEnergy(r.noc);
+  r.cacheMw = EnergyModel::pjToMw(r.cachePj.total(), r.cycles);
+  r.linkMw = EnergyModel::pjToMw(r.nocPj.linkPj, r.cycles);
+  r.routingMw = EnergyModel::pjToMw(r.nocPj.routingPj, r.cycles);
+  // Inter-chip link energy: flit-hop based like the on-chip links, scaled
+  // by the off-chip energy multiplier (SerDes + board trace per crossing).
+  r.interchipPj = static_cast<double>(r.interchip.flitHops) *
+                  energy.flitLinkPj() * cfg.scaleout.link.energyPerFlitX;
+  r.interchipMw = EnergyModel::pjToMw(r.interchipPj, r.cycles);
+
+  for (const auto& m : monitors) {
+    r.checkViolations += m->log().total();
+    for (const Violation& v : m->log().entries())
+      r.checkMessages.push_back(v.str());
+  }
+
+  if (cfg.obs.snapshotMetrics) {
+    for (std::uint32_t c = 0; c < server.chips(); ++c) {
+      const std::string prefix = "chip" + std::to_string(c) + ".";
+      for (MetricRegistry::Sample& s : regs[c].snapshot()) {
+        s.name = prefix + s.name;
+        r.metrics.push_back(std::move(s));
+      }
+    }
+    auto counter = [&r](std::string name, std::uint64_t v) {
+      MetricRegistry::Sample s;
+      s.name = std::move(name);
+      s.kind = MetricRegistry::Kind::Counter;
+      s.u64 = v;
+      s.f64 = static_cast<double>(v);
+      r.metrics.push_back(std::move(s));
+    };
+    auto gauge = [&r](std::string name, double v) {
+      MetricRegistry::Sample s;
+      s.name = std::move(name);
+      s.kind = MetricRegistry::Kind::Gauge;
+      s.f64 = v;
+      r.metrics.push_back(std::move(s));
+    };
+    auto accumulator = [&](const std::string& prefix,
+                           const Accumulator& acc) {
+      counter(prefix + ".count", acc.count());
+      gauge(prefix + ".sum", acc.sum());
+      gauge(prefix + ".mean", acc.mean());
+      gauge(prefix + ".min", acc.min());
+      gauge(prefix + ".max", acc.max());
+      gauge(prefix + ".variance", acc.variance());
+    };
+    counter("server.chips", r.chips);
+    counter("server.churnApplied", r.churnApplied);
+    counter("server.boots", detail->boots);
+    counter("server.shutdowns", detail->shutdowns);
+    counter("server.migrationsStarted", detail->migrationsStarted);
+    counter("server.migrationsCompleted", detail->migrationsCompleted);
+    counter("server.storms", detail->storms);
+    counter("server.skippedEvents", detail->skippedEvents);
+    counter("server.totalVms", detail->totalVms);
+    counter("server.reclaimedPages",
+            server.workload().pages().reclaimedPages());
+    counter("server.cowEvents", server.workload().pages().cowEvents());
+    counter("interchip.messages", r.interchip.messages);
+    counter("interchip.dataMessages", r.interchip.dataMessages);
+    counter("interchip.flits", r.interchip.flits);
+    counter("interchip.flitHops", r.interchip.flitHops);
+    counter("interchip.remoteFetches", r.interchip.remoteFetches);
+    counter("interchip.migrations", r.interchip.migrations);
+    counter("interchip.migrationPages", r.interchip.migrationPages);
+    accumulator("interchip.latency", r.interchip.latency);
+    accumulator("interchip.wait", r.interchip.wait);
+    gauge("interchip.pj", r.interchipPj);
+    gauge("interchip.mw", r.interchipMw);
+    const std::uint32_t bound = server.totalVmUpperBound();
+    for (std::size_t row = 0; row < server.link().rows(); ++row) {
+      const std::string label =
+          row < bound ? "vm" + std::to_string(row)
+                      : (row == bound ? "shared" : "other");
+      counter("interchip.row." + label + ".flits",
+              detail->interchipRowFlits[row]);
+      counter("interchip.row." + label + ".messages",
+              detail->interchipRowMessages[row]);
+    }
+  }
+  return r;
+}
+
+}  // namespace eecc

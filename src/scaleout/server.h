@@ -1,0 +1,112 @@
+// ServerSystem — the N-chip scale-out server (DESIGN.md §14).
+//
+// Federated architecture: every chip is a complete CmpSystem (its own
+// event queue, NoC, protocol and caches) fed by one shared ServerWorkload
+// through per-chip ChipSource adapters. Chips advance in fixed order
+// through *segments* of a common global timeline: the run loop picks the
+// next churn boundary, runs every chip up to it (each run() ends with a
+// full drain of in-flight misses — the remap epoch's flush), then lets
+// the VmLifecycle engine mutate placement before the next segment. With
+// no churn there is exactly one segment and a single chip reproduces the
+// single-chip simulator's event sequence bit-for-bit.
+//
+// Cross-chip coherence is avoided by construction: the only pages shared
+// across chips are read-only server-deduplicated ones (writes break the
+// sharing via copy-on-write onto the writer's chip), so chips interact
+// solely through the InterChipLink — remote memory fetches on the miss
+// path (Protocol::setRemoteMemory) and migration bulk transfers.
+//
+// Scale-out runs support the metrics/ledger observability attachments;
+// the timeline sampler and message trace are single-chip instruments and
+// are not attached here.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/experiment.h"
+#include "scaleout/hier_topology.h"
+#include "scaleout/interchip.h"
+#include "scaleout/server_workload.h"
+#include "scaleout/vm_lifecycle.h"
+
+namespace eecc {
+
+/// Field-wise sums for cross-chip aggregation (the structs deliberately
+/// have no merge methods of their own — single-chip code never needs one).
+void mergeProtocolStats(ProtocolStats& into, const ProtocolStats& from);
+void mergeEnergyEvents(CacheEnergyEvents& into, const CacheEnergyEvents& from);
+
+class ServerSystem {
+ public:
+  /// Builds the server from a scale-out ExperimentConfig: chips copies of
+  /// cfg.chip, the initial consolidation of cfg.workloadName on every
+  /// chip, the churn schedule parsed from cfg.scaleout.churn.
+  explicit ServerSystem(const ExperimentConfig& cfg);
+
+  std::uint32_t chips() const {
+    return static_cast<std::uint32_t>(systems_.size());
+  }
+  /// VM ids this run can ever create: initial VMs + scheduled boots.
+  /// Ledger and link row spaces are sized from it (rows = bound + 2).
+  std::uint32_t totalVmUpperBound() const { return upperBound_; }
+
+  CmpSystem& system(std::uint32_t chip) { return *systems_[chip]; }
+  const CmpSystem& system(std::uint32_t chip) const {
+    return *systems_[chip];
+  }
+  ServerWorkload& workload() { return server_; }
+  const ServerWorkload& workload() const { return server_; }
+  InterChipLink& link() { return link_; }
+  const InterChipLink& link() const { return link_; }
+  const HierarchicalTopology& topology() const { return topo_; }
+  /// Lifecycle tallies; null until run() is called.
+  const VmLifecycle* lifecycle() const { return lifecycle_.get(); }
+
+  /// Warms every chip (sequential, fixed order) and clears the inter-chip
+  /// counters, mirroring CmpSystem::warmup's semantics.
+  void warmup(Tick cycles);
+
+  /// Creates and attaches one AttributionLedger per chip, all sized to
+  /// the server-wide row space (totalVmUpperBound + shared + other) so
+  /// rows keep meaning VM identities across migrations. Call after
+  /// warmup, before run.
+  void attachLedgers(Tick occupancyEvery);
+  const std::vector<std::shared_ptr<AttributionLedger>>& ledgers() const {
+    return ledgers_;
+  }
+
+  /// Runs the measured window: segments between churn boundaries, chips
+  /// in fixed order within each, lifecycle applied at every boundary.
+  void run(Tick windowCycles);
+
+ private:
+  /// Attribution row of a VM in the server-wide row space.
+  std::size_t rowOf(VmId vm) const {
+    if (vm >= 0 && static_cast<std::uint32_t>(vm) < upperBound_)
+      return static_cast<std::size_t>(vm);
+    return vm == kVmShared ? upperBound_
+                           : static_cast<std::size_t>(upperBound_) + 1;
+  }
+
+  ExperimentConfig cfg_;
+  std::vector<BenchmarkProfile> perVm_;  ///< Initial per-slot mix.
+  ChurnSchedule schedule_;
+  std::uint32_t upperBound_;
+  ServerWorkload server_;
+  HierarchicalTopology topo_;
+  InterChipLink link_;
+  std::vector<std::unique_ptr<CmpSystem>> systems_;
+  std::vector<std::shared_ptr<AttributionLedger>> ledgers_;
+  std::unique_ptr<VmLifecycle> lifecycle_;
+};
+
+/// Scale-out counterpart of runExperiment: builds a ServerSystem, runs
+/// warmup + the churned window, and aggregates everything into one
+/// ExperimentResult (chip sums in the legacy fields, per-chip and
+/// inter-chip decompositions under result.scaleout / result.interchip;
+/// per-chip metrics snapshot under "chip<k>." name prefixes).
+/// runExperiment dispatches here when cfg.scaleout.active().
+ExperimentResult runScaleoutExperiment(const ExperimentConfig& cfg);
+
+}  // namespace eecc

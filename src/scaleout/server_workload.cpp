@@ -1,0 +1,339 @@
+#include "scaleout/server_workload.h"
+
+#include <algorithm>
+
+namespace eecc {
+
+using workload_detail::contentKey;
+using workload_detail::sampleGap;
+
+ServerWorkload::ServerWorkload(const CmpConfig& chipCfg, std::uint32_t chips,
+                               std::vector<BenchmarkProfile> perVmOneChip,
+                               std::uint64_t seed, bool dedupEnabled)
+    : cfg_(chipCfg),
+      chips_(chips),
+      seed_(seed),
+      dedupEnabled_(dedupEnabled) {
+  EECC_CHECK(chips_ >= 1 && !perVmOneChip.empty());
+  const auto slots = static_cast<std::uint32_t>(perVmOneChip.size());
+  // Area-aligned slot geometry, identical on every chip: for the default
+  // 8x8 / 4-area chip with 4 VMs these are the Figure-6-left quadrants.
+  const VmLayout slotLayout = VmLayout::contiguous(cfg_, slots);
+  slotTiles_.resize(slots);
+  for (std::uint32_t s = 0; s < slots; ++s)
+    slotTiles_[s] = slotLayout.tilesOfVm(static_cast<VmId>(s));
+  threadOfTile_.assign(
+      chips_, std::vector<Thread*>(static_cast<std::size_t>(cfg_.tiles()),
+                                   nullptr));
+  // Initial consolidation: every chip boots the same per-slot benchmark
+  // mix; VM ids are chip-major (chip c, slot s -> c*slots + s).
+  for (std::uint32_t c = 0; c < chips_; ++c)
+    for (std::uint32_t s = 0; s < slots; ++s)
+      bootVm(perVmOneChip[s], static_cast<std::int32_t>(c), s);
+}
+
+VmId ServerWorkload::bootVm(const BenchmarkProfile& profile,
+                            std::int32_t chip, std::uint32_t slot) {
+  EECC_CHECK(chip >= 0 && static_cast<std::uint32_t>(chip) < chips_);
+  EECC_CHECK(slot < slotsPerChip());
+  auto vmPtr = std::make_unique<Vm>();
+  Vm& vm = *vmPtr;
+  vm.profile = profile;
+  vm.id = static_cast<VmId>(vms_.size());
+  const BenchmarkProfile& p = vm.profile;
+  const auto nThreads =
+      static_cast<std::uint32_t>(slotTiles_[slot].size());
+
+  vm.privatePages.resize(nThreads);
+  for (std::uint32_t t = 0; t < nThreads; ++t)
+    for (std::uint64_t i = 0; i < p.privatePagesPerThread; ++i) {
+      const Addr page = pages_.allocPrivatePage();
+      vm.privatePages[t].push_back(page);
+      vm.ownPages.push_back(page);
+      pageVm_.emplace(page, vm.id);
+      pageChip_.emplace(page, chip);
+    }
+
+  for (std::uint64_t i = 0; i < p.vmSharedPages; ++i) {
+    const Addr page = pages_.allocPrivatePage();
+    vm.sharedPages.push_back(page);
+    vm.ownPages.push_back(page);
+    pageVm_.emplace(page, vm.id);
+    pageChip_.emplace(page, chip);
+  }
+
+  // Deduplicated pool, sized from the Table IV target exactly like the
+  // single-chip Workload. The content space is server-wide: "os" pages
+  // dedup across every VM on every chip, benchmark pages across
+  // same-benchmark VMs — the page's home chip is its first mapper's.
+  const std::uint64_t dedup = Workload::dedupPagesFor(p, 4);
+  const auto osPages = static_cast<std::uint64_t>(
+      p.osDedupFraction * static_cast<double>(dedup));
+  for (std::uint64_t i = 0; i < dedup; ++i) {
+    const std::uint64_t key = i < osPages
+                                  ? contentKey("os", i)
+                                  : contentKey(p.name, i - osPages);
+    vm.dedupKeys.push_back(key);
+    Addr page;
+    if (dedupEnabled_) {
+      page = pages_.mapContent(key, vm.id);
+      sharedDedupPages_.insert(page);
+      pageVm_.emplace(page, kVmShared);
+      pageChip_.emplace(page, chip);  // keeps the first mapper's chip
+    } else {
+      page = pages_.allocPrivatePage();
+      vm.ownPages.push_back(page);
+      pageVm_.emplace(page, vm.id);
+      pageChip_.emplace(page, chip);
+    }
+    vm.dedupShared.push_back(page);
+    vm.dedupView.push_back(page);
+  }
+
+  vm.privateZipf = std::make_unique<ZipfSampler>(
+      std::max<std::uint64_t>(1, p.privatePagesPerThread), p.zipfAlpha);
+  vm.sharedZipf = std::make_unique<ZipfSampler>(
+      std::max<std::uint64_t>(1, p.vmSharedPages), p.zipfAlpha);
+  vm.dedupZipf = std::make_unique<ZipfSampler>(
+      std::max<std::uint64_t>(1, dedup),
+      p.dedupZipfAlpha >= 0 ? p.dedupZipfAlpha : p.zipfAlpha);
+
+  for (std::uint32_t t = 0; t < nThreads; ++t) {
+    auto thread = std::make_unique<Thread>();
+    thread->vm = &vm;
+    thread->vmId = vm.id;
+    thread->threadIdx = t;
+    // Same stream-identity formula as the single-chip Workload; VM ids
+    // are never reused, so every boot gets distinct streams.
+    thread->rng.reseed(seed_ * 1000003ULL +
+                       static_cast<std::uint64_t>(vm.id) * 131ULL + t);
+    thread->recentBlocks.assign(p.reuseWindow, 0);
+    if (p.historyReuseProb > 0.0)
+      thread->historyBlocks.assign(p.historyWindow, 0);
+    vm.threads.push_back(std::move(thread));
+  }
+
+  vms_.push_back(std::move(vmPtr));
+  Vm& stored = *vms_.back();
+  for (auto& t : stored.threads) t->vm = &stored;
+  pinThreads(stored, chip, slot);
+  stored.running = true;
+  return stored.id;
+}
+
+void ServerWorkload::pinThreads(Vm& vm, std::int32_t chip,
+                                std::uint32_t slot) {
+  const std::vector<NodeId>& tiles = slotTiles_[slot];
+  EECC_CHECK(tiles.size() == vm.threads.size());
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    Thread*& cell = threadOfTile_[static_cast<std::size_t>(chip)]
+                                 [static_cast<std::size_t>(tiles[t])];
+    EECC_CHECK_MSG(cell == nullptr, "slot already occupied");
+    cell = vm.threads[t].get();
+  }
+  vm.chip = chip;
+  vm.slot = slot;
+}
+
+void ServerWorkload::unpinThreads(Vm& vm) {
+  const std::vector<NodeId>& tiles = slotTiles_[vm.slot];
+  for (const NodeId tile : tiles) {
+    Thread*& cell = threadOfTile_[static_cast<std::size_t>(vm.chip)]
+                                 [static_cast<std::size_t>(tile)];
+    if (cell != nullptr && cell->vmId == vm.id) cell = nullptr;
+  }
+}
+
+void ServerWorkload::shutdownVm(VmId id) {
+  Vm& vm = vmAt(id);
+  EECC_CHECK_MSG(vm.running, "shutdown of a VM that is not running");
+  unpinThreads(vm);
+  vm.running = false;
+  vm.storm = false;
+  // Release the VM's own pages (private pools, intra-VM shared pool and
+  // any CoW copies it accumulated)...
+  for (const Addr page : vm.ownPages) {
+    pageVm_.erase(page);
+    pageChip_.erase(page);
+  }
+  // ...then unmap its content pages. CoW copies were already released
+  // page-accounting-wise by reclaimVm (their cow entries), so only the
+  // non-CoW own pages go through releasePrivatePage.
+  std::unordered_set<Addr> cowPages;
+  for (std::size_t i = 0; i < vm.dedupKeys.size(); ++i)
+    if (vm.dedupView[i] != vm.dedupShared[i])
+      cowPages.insert(vm.dedupView[i]);
+  for (const Addr page : vm.ownPages)
+    if (!cowPages.contains(page)) pages_.releasePrivatePage(page);
+  pages_.reclaimVm(id);
+  // Shared pages the VM was the last sharer of are gone now; scrub the
+  // ownership maps of any key nobody shares anymore.
+  for (std::size_t i = 0; i < vm.dedupKeys.size(); ++i) {
+    if (!dedupEnabled_) break;
+    if (pages_.sharerCount(vm.dedupKeys[i]) == 0) {
+      const Addr page = vm.dedupShared[i];
+      sharedDedupPages_.erase(page);
+      pageVm_.erase(page);
+      pageChip_.erase(page);
+    }
+  }
+  vm.ownPages.clear();
+  vm.threads.clear();
+}
+
+std::uint64_t ServerWorkload::residentPages(VmId id) const {
+  const Vm& vm = vmAt(id);
+  std::uint64_t pages = vm.ownPages.size();
+  if (dedupEnabled_)
+    for (const std::uint64_t key : vm.dedupKeys)
+      if (pages_.soleSharer(key) == id) pages += 1;
+  return pages;
+}
+
+void ServerWorkload::migrateVm(VmId id, std::int32_t dstChip,
+                               std::uint32_t dstSlot) {
+  Vm& vm = vmAt(id);
+  EECC_CHECK_MSG(vm.running, "migration of a VM that is not running");
+  EECC_CHECK(dstChip >= 0 && static_cast<std::uint32_t>(dstChip) < chips_);
+  unpinThreads(vm);
+  // The VM's own pages follow it; content pages only when it is the sole
+  // remaining sharer (otherwise the page stays where its other sharers
+  // still read it and this VM keeps fetching it remotely).
+  for (const Addr page : vm.ownPages) pageChip_[page] = dstChip;
+  if (dedupEnabled_)
+    for (std::size_t i = 0; i < vm.dedupKeys.size(); ++i)
+      if (pages_.soleSharer(vm.dedupKeys[i]) == id)
+        pageChip_[vm.dedupShared[i]] = dstChip;
+  pinThreads(vm, dstChip, dstSlot);
+}
+
+void ServerWorkload::setStormWrites(VmId id, bool on) {
+  vmAt(id).storm = on;
+}
+
+VmLayout ServerWorkload::chipLayout(std::int32_t chip,
+                                    std::uint32_t numVms) const {
+  VmLayout layout;
+  layout.numVms = numVms;
+  layout.vmOfTile.assign(static_cast<std::size_t>(cfg_.tiles()),
+                         kInvalidVm);
+  for (NodeId t = 0; t < cfg_.tiles(); ++t)
+    layout.vmOfTile[static_cast<std::size_t>(t)] = vmAtTile(chip, t);
+  return layout;
+}
+
+Addr ServerWorkload::pickBlock(Thread& t, Addr page, bool shared) {
+  const Addr block =
+      page + (t.rng.below(kPageBytes / kBlockBytes) << kBlockOffsetBits);
+  return remember(t, block, shared);
+}
+
+Addr ServerWorkload::remember(Thread& t, Addr block, bool shared) {
+  if (!t.recentBlocks.empty()) {
+    t.recentBlocks[t.recentPos] = block;
+    t.recentPos = (t.recentPos + 1) %
+                  static_cast<std::uint32_t>(t.recentBlocks.size());
+  }
+  if (shared && !t.historyBlocks.empty()) {
+    t.historyBlocks[t.historyPos] = block;
+    t.historyPos = (t.historyPos + 1) %
+                   static_cast<std::uint32_t>(t.historyBlocks.size());
+  }
+  return block;
+}
+
+MemOp ServerWorkload::genFresh(Thread& t) {
+  Vm& vm = *t.vm;
+  const BenchmarkProfile& p = vm.profile;
+  MemOp op;
+  op.computeCycles = sampleGap(t.rng, p.meanGapCycles);
+
+  const double u = t.rng.uniform();
+  if (u < p.privateAccessFraction || vm.dedupView.empty()) {
+    auto& pool = vm.privatePages[t.threadIdx %
+                                 static_cast<std::uint32_t>(
+                                     vm.privatePages.size())];
+    const Addr page = pool[vm.privateZipf->sample(t.rng) % pool.size()];
+    op.addr = pickBlock(t, page, false);
+    op.type = t.rng.chance(p.privateWriteFraction) ? AccessType::Write
+                                                   : AccessType::Read;
+  } else if (u < p.privateAccessFraction + p.vmSharedAccessFraction &&
+             !vm.sharedPages.empty()) {
+    const Addr page =
+        vm.sharedPages[vm.sharedZipf->sample(t.rng) % vm.sharedPages.size()];
+    op.addr = pickBlock(t, page, true);
+    op.type = t.rng.chance(p.sharedWriteFraction) ? AccessType::Write
+                                                  : AccessType::Read;
+  } else {
+    // Deduplicated inter-VM data, as in Workload::genFresh — except that
+    // a CoW storm floors the write probability, modeling a write-heavy
+    // guest phase that breaks its deduplicated sharing en masse.
+    const double writeFrac =
+        vm.storm ? std::max(p.dedupWriteFraction, kStormWriteFraction)
+                 : p.dedupWriteFraction;
+    const std::size_t slot =
+        vm.dedupZipf->sample(t.rng) % vm.dedupView.size();
+    if (t.rng.chance(writeFrac)) {
+      Addr target;
+      if (dedupEnabled_) {
+        target = pages_.copyOnWrite(vm.dedupKeys[slot], t.vmId);
+        if (target != vm.dedupView[slot]) {
+          // Fresh CoW copy: private to the writing VM, homed on its
+          // *current* chip (a storm after migration re-privatizes pages
+          // onto the destination).
+          pageVm_.insert_or_assign(target, t.vmId);
+          pageChip_.insert_or_assign(target, vm.chip);
+          vm.ownPages.push_back(target);
+        }
+      } else {
+        target = vm.dedupView[slot];
+      }
+      vm.dedupView[slot] = target;
+      op.addr = pickBlock(t, target, false);
+      op.type = AccessType::Write;
+    } else {
+      op.addr = pickBlock(t, vm.dedupView[slot], true);
+      op.type = AccessType::Read;
+    }
+  }
+  return op;
+}
+
+MemOp ServerWorkload::next(std::int32_t chip, NodeId local) {
+  Thread* t = threadAt(chip, local);
+  EECC_CHECK_MSG(t != nullptr, "no thread pinned to this tile");
+  const BenchmarkProfile& p = t->vm->profile;
+  t->vm->opsGen += 1;
+
+  if (!t->historyBlocks.empty() && t->rng.chance(p.historyReuseProb)) {
+    const Addr block =
+        t->historyBlocks[t->rng.below(t->historyBlocks.size())];
+    if (block != 0) {
+      MemOp op;
+      op.computeCycles = sampleGap(t->rng, p.meanGapCycles);
+      op.addr = remember(*t, block, true);
+      op.type = AccessType::Read;
+      return op;
+    }
+  }
+  if (!t->recentBlocks.empty() && t->recentBlocks[0] != 0 &&
+      t->rng.chance(p.blockReuseProb)) {
+    MemOp op;
+    op.computeCycles = sampleGap(t->rng, p.meanGapCycles);
+    const Addr block =
+        t->recentBlocks[t->rng.below(t->recentBlocks.size())];
+    if (block != 0) {
+      op.addr = block;
+      op.type = t->rng.chance(0.2 * p.privateWriteFraction)
+                    ? AccessType::Write
+                    : AccessType::Read;
+      if (op.type == AccessType::Write &&
+          sharedDedupPages_.contains(pageAddr(block)))
+        op.type = AccessType::Read;
+      return op;
+    }
+  }
+  return genFresh(*t);
+}
+
+}  // namespace eecc

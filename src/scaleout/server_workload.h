@@ -1,0 +1,207 @@
+// Server-wide workload: the multi-chip, churn-capable generalization of
+// workload/workload.h (DESIGN.md §14).
+//
+// One ServerWorkload owns the whole server's physical memory image (a
+// single PageManager, so deduplication spans chips) and every VM's
+// threads; each chip's CmpSystem is fed through a thin ChipSource adapter
+// that maps the chip's local tile ids onto the server's thread table.
+// Unlike the static Workload, VMs here have a lifecycle: they boot into a
+// (chip, slot) placement, shut down (their pages are unmapped and
+// reclaimed), and live-migrate between chips — the thread objects move
+// with the VM, carrying their RNG and reuse-history state, so a migrated
+// VM's reference stream continues where it left off on the new chip.
+//
+// Page-to-chip homing: a page belongs to the chip of the VM that
+// allocated it (first mapper for deduplicated content). Accesses from
+// another chip — only possible for read-only server-deduplicated pages —
+// pay the inter-chip round trip on the memory path. Copy-on-write always
+// re-privatizes onto the writing VM's current chip, and migration
+// re-homes the VM's own pages plus the content pages it is the sole
+// remaining sharer of.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/config.h"
+#include "vm/page_manager.h"
+#include "workload/profile.h"
+#include "workload/workload.h"
+#include "workload/zipf.h"
+
+namespace eecc {
+
+class ServerWorkload {
+ public:
+  /// During a CoW storm the VM's dedup-write probability is floored here:
+  /// a write-heavy guest phase dirtying its deduplicated pages en masse.
+  static constexpr double kStormWriteFraction = 0.35;
+
+  /// Boots `chips` copies of the consolidated chip: for every chip,
+  /// `perVmOneChip[s]` boots into slot s. Slots partition the chip
+  /// area-aligned (VmLayout::contiguous with perVmOneChip.size() slots);
+  /// every chip has the same slot geometry.
+  ServerWorkload(const CmpConfig& chipCfg, std::uint32_t chips,
+                 std::vector<BenchmarkProfile> perVmOneChip,
+                 std::uint64_t seed, bool dedupEnabled);
+
+  // --- Geometry ---
+  std::uint32_t chips() const { return chips_; }
+  std::uint32_t slotsPerChip() const {
+    return static_cast<std::uint32_t>(slotTiles_.size());
+  }
+  const std::vector<NodeId>& slotTiles(std::uint32_t slot) const {
+    return slotTiles_[slot];
+  }
+  /// VM ids ever created (booted VMs get fresh ids; none are reused).
+  std::uint32_t vmCount() const {
+    return static_cast<std::uint32_t>(vms_.size());
+  }
+
+  // --- Lifecycle (called by VmLifecycle at churn boundaries) ---
+  /// Boots a fresh VM into (chip, slot); allocates its memory image and
+  /// pins one thread per slot tile. Returns the new VM id.
+  VmId bootVm(const BenchmarkProfile& profile, std::int32_t chip,
+              std::uint32_t slot);
+  /// Shuts the VM down: threads unpinned, private pages released, content
+  /// pages unmapped (freed when it was the last sharer).
+  void shutdownVm(VmId vm);
+  /// Pages a live migration must move: the VM's own pages plus content
+  /// pages it is the sole remaining sharer of.
+  std::uint64_t residentPages(VmId vm) const;
+  /// Stop-and-copy completion: repins the VM's threads onto the
+  /// destination slot (thread state travels — the streams follow the VM)
+  /// and re-homes its pages to the destination chip.
+  void migrateVm(VmId vm, std::int32_t dstChip, std::uint32_t dstSlot);
+  /// Begins/ends a dedup-break CoW storm on the VM (write-heavy phase).
+  void setStormWrites(VmId vm, bool on);
+
+  // --- State queries ---
+  bool vmRunning(VmId vm) const { return vmAt(vm).running; }
+  std::int32_t chipOf(VmId vm) const { return vmAt(vm).chip; }
+  std::uint32_t slotOf(VmId vm) const { return vmAt(vm).slot; }
+  const BenchmarkProfile& profileOf(VmId vm) const {
+    return vmAt(vm).profile;
+  }
+  /// Operations generated for the VM so far (across boots and chips).
+  std::uint64_t opsGenerated(VmId vm) const { return vmAt(vm).opsGen; }
+  VmId vmAtTile(std::int32_t chip, NodeId local) const {
+    const Thread* t = threadAt(chip, local);
+    return t == nullptr ? kInvalidVm : t->vmId;
+  }
+
+  /// Owning VM of a physical page (kVmShared for deduplicated pages,
+  /// kInvalidVm for unknown/reclaimed) — backs each chip's ledger.
+  VmId vmOfPage(Addr page) const {
+    auto it = pageVm_.find(pageAddr(page));
+    return it == pageVm_.end() ? kInvalidVm : it->second;
+  }
+  /// Home chip of an address's page; -1 when unknown (treated as local).
+  std::int32_t homeChipOf(Addr addr) const {
+    auto it = pageChip_.find(pageAddr(addr));
+    return it == pageChip_.end() ? -1 : it->second;
+  }
+
+  const PageManager& pages() const { return pages_; }
+
+  /// The chip's current VM-to-tile assignment with *global* VM ids,
+  /// padded to `numVms` rows — the layout each chip's AttributionLedger
+  /// is built from (and retiled to after churn).
+  VmLayout chipLayout(std::int32_t chip, std::uint32_t numVms) const;
+
+  // --- Per-chip OpSource face (used by ChipSource) ---
+  bool tileActive(std::int32_t chip, NodeId local) const {
+    return threadAt(chip, local) != nullptr;
+  }
+  MemOp next(std::int32_t chip, NodeId local);
+
+ private:
+  struct Vm;
+
+  struct Thread {
+    Vm* vm = nullptr;
+    VmId vmId = kInvalidVm;
+    std::uint32_t threadIdx = 0;
+    Rng rng;
+    std::vector<Addr> recentBlocks;
+    std::uint32_t recentPos = 0;
+    std::vector<Addr> historyBlocks;
+    std::uint32_t historyPos = 0;
+  };
+
+  struct Vm {
+    BenchmarkProfile profile;
+    VmId id = kInvalidVm;
+    std::int32_t chip = -1;
+    std::uint32_t slot = 0;
+    bool running = false;
+    bool storm = false;
+    std::uint64_t opsGen = 0;
+    std::vector<std::vector<Addr>> privatePages;  // [thread][page]
+    std::vector<Addr> sharedPages;
+    std::vector<std::uint64_t> dedupKeys;
+    std::vector<Addr> dedupShared;  ///< Shared translation at map time.
+    std::vector<Addr> dedupView;    ///< Current view (CoW updates).
+    std::vector<Addr> ownPages;     ///< private + shared + CoW copies.
+    std::unique_ptr<ZipfSampler> privateZipf;
+    std::unique_ptr<ZipfSampler> sharedZipf;
+    std::unique_ptr<ZipfSampler> dedupZipf;
+    std::vector<std::unique_ptr<Thread>> threads;
+  };
+
+  Vm& vmAt(VmId vm) {
+    EECC_CHECK(vm >= 0 && static_cast<std::size_t>(vm) < vms_.size());
+    return *vms_[static_cast<std::size_t>(vm)];
+  }
+  const Vm& vmAt(VmId vm) const {
+    EECC_CHECK(vm >= 0 && static_cast<std::size_t>(vm) < vms_.size());
+    return *vms_[static_cast<std::size_t>(vm)];
+  }
+  Thread* threadAt(std::int32_t chip, NodeId local) const {
+    return threadOfTile_[static_cast<std::size_t>(chip)]
+                        [static_cast<std::size_t>(local)];
+  }
+
+  void pinThreads(Vm& vm, std::int32_t chip, std::uint32_t slot);
+  void unpinThreads(Vm& vm);
+  Addr pickBlock(Thread& t, Addr page, bool shared);
+  Addr remember(Thread& t, Addr block, bool shared);
+  MemOp genFresh(Thread& t);
+
+  CmpConfig cfg_;
+  std::uint32_t chips_;
+  std::uint64_t seed_;
+  bool dedupEnabled_;
+  PageManager pages_;
+  std::vector<std::vector<NodeId>> slotTiles_;  // [slot] -> local tiles
+  std::unordered_set<Addr> sharedDedupPages_;
+  std::unordered_map<Addr, VmId> pageVm_;
+  std::unordered_map<Addr, std::int32_t> pageChip_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+  // [chip][local] -> pinned thread (null = idle tile).
+  std::vector<std::vector<Thread*>> threadOfTile_;
+};
+
+/// Per-chip OpSource adapter over the server workload.
+class ChipSource final : public OpSource {
+ public:
+  ChipSource(ServerWorkload* server, std::int32_t chip)
+      : server_(server), chip_(chip) {}
+
+  bool tileActive(NodeId tile) const override {
+    return server_->tileActive(chip_, tile);
+  }
+  MemOp next(NodeId tile) override { return server_->next(chip_, tile); }
+
+ private:
+  ServerWorkload* server_;
+  std::int32_t chip_;
+};
+
+}  // namespace eecc

@@ -1,0 +1,431 @@
+#include "scaleout/vm_lifecycle.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eecc {
+
+namespace {
+
+BenchmarkProfile profileByName(const std::string& name) {
+  if (name == "apache") return profiles::apache();
+  if (name == "jbb") return profiles::jbb();
+  if (name == "radix") return profiles::radix();
+  if (name == "lu") return profiles::lu();
+  if (name == "volrend") return profiles::volrend();
+  if (name == "tomcatv") return profiles::tomcatv();
+  throw std::runtime_error("churn: unknown profile '" + name + "'");
+}
+
+std::vector<std::string> splitOn(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::uint64_t parseU64(const std::string& s, const std::string& what) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("churn: bad " + what + " '" + s + "'");
+  }
+}
+
+/// `key=value` options after the first `:`; returns pairs in order.
+std::vector<std::pair<std::string, std::string>> parseOpts(
+    const std::vector<std::string>& parts, std::size_t from,
+    const std::string& token) {
+  std::vector<std::pair<std::string, std::string>> opts;
+  for (std::size_t i = from; i < parts.size(); ++i) {
+    const std::size_t eq = parts[i].find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw std::runtime_error("churn: bad option '" + parts[i] +
+                               "' in '" + token + "'");
+    opts.emplace_back(parts[i].substr(0, eq), parts[i].substr(eq + 1));
+  }
+  return opts;
+}
+
+}  // namespace
+
+ChurnSchedule ChurnSchedule::parse(const std::string& spec,
+                                   std::uint64_t seed, Tick windowCycles) {
+  ChurnSchedule schedule;
+  // Distinct stream from the workload generators: churn synthesis must
+  // not perturb the reference streams of an otherwise identical run.
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5ca1ab1eULL);
+
+  for (const std::string& token : splitOn(spec, ';')) {
+    if (token.empty()) continue;
+    const std::vector<std::string> parts = splitOn(token, ':');
+
+    if (parts[0] == "random") {
+      std::uint64_t n = 0;
+      Tick until = windowCycles;
+      for (const auto& [key, value] : parseOpts(parts, 1, token)) {
+        if (key == "events")
+          n = parseU64(value, "event count");
+        else if (key == "until")
+          until = parseU64(value, "tick");
+        else
+          throw std::runtime_error("churn: unknown option '" + key +
+                                   "' in '" + token + "'");
+      }
+      if (n == 0 || until == 0)
+        throw std::runtime_error("churn: random needs events>0: '" +
+                                 token + "'");
+      for (std::uint64_t i = 0; i < n; ++i) {
+        ChurnEvent ev;
+        ev.at = rng.below(until);
+        const std::uint64_t k = rng.below(100);
+        if (k < 30)
+          ev.kind = ChurnEvent::Kind::Boot;
+        else if (k < 55)
+          ev.kind = ChurnEvent::Kind::Shutdown;
+        else if (k < 80)
+          ev.kind = ChurnEvent::Kind::Migrate;
+        else
+          ev.kind = ChurnEvent::Kind::Storm;
+        schedule.events.push_back(ev);
+      }
+      continue;
+    }
+
+    const std::size_t at = parts[0].find('@');
+    if (at == std::string::npos)
+      throw std::runtime_error("churn: expected kind@tick in '" + token +
+                               "'");
+    const std::string kind = parts[0].substr(0, at);
+    ChurnEvent ev;
+    ev.at = parseU64(parts[0].substr(at + 1), "tick");
+    const auto opts = parseOpts(parts, 1, token);
+    auto reject = [&](const std::string& key) {
+      throw std::runtime_error("churn: unknown option '" + key +
+                               "' for " + kind + " in '" + token + "'");
+    };
+
+    if (kind == "boot") {
+      ev.kind = ChurnEvent::Kind::Boot;
+      for (const auto& [key, value] : opts) {
+        if (key == "chip")
+          ev.chip = static_cast<std::int32_t>(parseU64(value, "chip"));
+        else if (key == "profile")
+          ev.profile = value;
+        else
+          reject(key);
+      }
+      if (!ev.profile.empty()) profileByName(ev.profile);  // validate now
+    } else if (kind == "shutdown") {
+      ev.kind = ChurnEvent::Kind::Shutdown;
+      for (const auto& [key, value] : opts) {
+        if (key == "vm")
+          ev.vm = static_cast<VmId>(parseU64(value, "vm"));
+        else
+          reject(key);
+      }
+    } else if (kind == "migrate") {
+      ev.kind = ChurnEvent::Kind::Migrate;
+      for (const auto& [key, value] : opts) {
+        if (key == "vm")
+          ev.vm = static_cast<VmId>(parseU64(value, "vm"));
+        else if (key == "to")
+          ev.chip = static_cast<std::int32_t>(parseU64(value, "chip"));
+        else
+          reject(key);
+      }
+    } else if (kind == "storm") {
+      ev.kind = ChurnEvent::Kind::Storm;
+      for (const auto& [key, value] : opts) {
+        if (key == "vm")
+          ev.vm = static_cast<VmId>(parseU64(value, "vm"));
+        else if (key == "len")
+          ev.stormLen = parseU64(value, "storm length");
+        else
+          reject(key);
+      }
+      if (ev.stormLen == 0)
+        throw std::runtime_error("churn: storm len must be > 0: '" +
+                                 token + "'");
+    } else {
+      throw std::runtime_error("churn: unknown event kind '" + kind +
+                               "' in '" + token + "'");
+    }
+    schedule.events.push_back(ev);
+  }
+
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.at < b.at;
+                   });
+  return schedule;
+}
+
+std::uint32_t ChurnSchedule::bootEvents() const {
+  std::uint32_t n = 0;
+  for (const ChurnEvent& ev : events)
+    if (ev.kind == ChurnEvent::Kind::Boot) ++n;
+  return n;
+}
+
+VmLifecycle::VmLifecycle(ServerWorkload* server, InterChipLink* link,
+                         ChurnSchedule schedule, Tick windowStart,
+                         Tick windowEnd, std::uint64_t seed,
+                         std::vector<BenchmarkProfile> bootProfiles)
+    : server_(server),
+      link_(link),
+      events_(std::move(schedule.events)),
+      windowStart_(windowStart),
+      windowEnd_(windowEnd),
+      rng_(seed * 0x9e3779b97f4a7c15ULL + 0x5ca1ab1eULL + 1),
+      bootProfiles_(std::move(bootProfiles)) {
+  EECC_CHECK(!bootProfiles_.empty());
+  slotVm_.assign(server_->chips(),
+                 std::vector<VmId>(server_->slotsPerChip(), kInvalidVm));
+  // The initial consolidation occupies every slot (chip-major ids).
+  for (VmId vm = 0; static_cast<std::uint32_t>(vm) < server_->vmCount();
+       ++vm)
+    slotVm_[static_cast<std::size_t>(server_->chipOf(vm))]
+           [server_->slotOf(vm)] = vm;
+}
+
+std::int32_t VmLifecycle::freeSlotOn(std::int32_t chip) const {
+  const auto& slots = slotVm_[static_cast<std::size_t>(chip)];
+  for (std::uint32_t s = 0; s < slots.size(); ++s)
+    if (slots[s] == kInvalidVm) return static_cast<std::int32_t>(s);
+  return -1;
+}
+
+std::int32_t VmLifecycle::autoBootChip() const {
+  std::int32_t best = -1;
+  std::size_t bestFree = 0;
+  for (std::size_t c = 0; c < slotVm_.size(); ++c) {
+    const auto free = static_cast<std::size_t>(
+        std::count(slotVm_[c].begin(), slotVm_[c].end(), kInvalidVm));
+    if (free > bestFree) {
+      bestFree = free;
+      best = static_cast<std::int32_t>(c);
+    }
+  }
+  return best;
+}
+
+bool VmLifecycle::migrationPending(VmId vm) const {
+  for (const PendingMigration& m : pendingMigrations_)
+    if (m.vm == vm) return true;
+  return false;
+}
+
+VmId VmLifecycle::pickRunningVm() {
+  std::vector<VmId> candidates;
+  for (VmId vm = 0; static_cast<std::uint32_t>(vm) < server_->vmCount();
+       ++vm)
+    if (server_->vmRunning(vm) && !migrationPending(vm))
+      candidates.push_back(vm);
+  if (candidates.empty()) return kInvalidVm;
+  return candidates[rng_.below(candidates.size())];
+}
+
+Tick VmLifecycle::nextBoundary(Tick after) const {
+  Tick best = kTickMax;
+  if (nextEvent_ < events_.size()) {
+    const Tick t = windowStart_ + events_[nextEvent_].at;
+    const Tick clamped = t > after ? t : after + 1;
+    if (clamped < best) best = clamped;
+  }
+  for (const PendingMigration& m : pendingMigrations_)
+    if (m.done > after && m.done < best) best = m.done;
+  for (const PendingStormEnd& s : pendingStormEnds_)
+    if (s.at > after && s.at < best) best = s.at;
+  return best;
+}
+
+std::uint64_t VmLifecycle::applyDue(Tick now) {
+  const std::uint64_t before = applied_;
+
+  // 1. Migration completions (stop-and-copy points), in delivery order.
+  std::vector<PendingMigration> due;
+  for (auto it = pendingMigrations_.begin();
+       it != pendingMigrations_.end();) {
+    if (it->done <= now) {
+      due.push_back(*it);
+      it = pendingMigrations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::stable_sort(due.begin(), due.end(),
+                   [](const PendingMigration& a, const PendingMigration& b) {
+                     return a.done < b.done;
+                   });
+  for (const PendingMigration& m : due) completeMigration(m);
+
+  // 2. Storm ends.
+  for (auto it = pendingStormEnds_.begin();
+       it != pendingStormEnds_.end();) {
+    if (it->at <= now) {
+      if (server_->vmRunning(it->vm)) {
+        server_->setStormWrites(it->vm, false);
+        ++applied_;
+      }
+      it = pendingStormEnds_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // 3. Scheduled events.
+  while (nextEvent_ < events_.size() &&
+         windowStart_ + events_[nextEvent_].at <= now)
+    applyEvent(events_[nextEvent_++], now);
+
+  return applied_ - before;
+}
+
+void VmLifecycle::completeMigration(const PendingMigration& m) {
+  if (!server_->vmRunning(m.vm)) {
+    // Shut down while its pages were in flight: release the reservation.
+    slotVm_[static_cast<std::size_t>(m.dstChip)][m.dstSlot] = kInvalidVm;
+    ++skipped_;
+    return;
+  }
+  const auto srcChip = static_cast<std::size_t>(server_->chipOf(m.vm));
+  slotVm_[srcChip][server_->slotOf(m.vm)] = kInvalidVm;
+  server_->migrateVm(m.vm, m.dstChip, m.dstSlot);
+  ++migrationsCompleted_;
+  ++applied_;
+}
+
+void VmLifecycle::applyEvent(const ChurnEvent& ev, Tick now) {
+  switch (ev.kind) {
+    case ChurnEvent::Kind::Boot: {
+      const std::int32_t chip = ev.chip >= 0 ? ev.chip : autoBootChip();
+      if (chip < 0 ||
+          static_cast<std::uint32_t>(chip) >= server_->chips()) {
+        ++skipped_;  // server full / bad chip
+        return;
+      }
+      const std::int32_t slot = freeSlotOn(chip);
+      if (slot < 0) {
+        ++skipped_;  // chip full
+        return;
+      }
+      const BenchmarkProfile profile =
+          ev.profile.empty()
+              ? bootProfiles_[bootCount_ % bootProfiles_.size()]
+              : profileByName(ev.profile);
+      ++bootCount_;
+      const VmId vm = server_->bootVm(
+          profile, chip, static_cast<std::uint32_t>(slot));
+      slotVm_[static_cast<std::size_t>(chip)]
+             [static_cast<std::uint32_t>(slot)] = vm;
+      ++boots_;
+      ++applied_;
+      return;
+    }
+    case ChurnEvent::Kind::Shutdown: {
+      const VmId vm = ev.vm != kInvalidVm ? ev.vm : pickRunningVm();
+      if (vm == kInvalidVm ||
+          static_cast<std::uint32_t>(vm) >= server_->vmCount() ||
+          !server_->vmRunning(vm)) {
+        ++skipped_;
+        return;
+      }
+      slotVm_[static_cast<std::size_t>(server_->chipOf(vm))]
+             [server_->slotOf(vm)] = kInvalidVm;
+      server_->shutdownVm(vm);
+      ++shutdowns_;
+      ++applied_;
+      return;
+    }
+    case ChurnEvent::Kind::Migrate: {
+      // A random pick only considers VMs with a feasible destination (a
+      // different chip with a free slot) — on a mostly-full server an
+      // unconstrained pick would skip most migrations.
+      VmId vm = ev.vm;
+      if (vm == kInvalidVm) {
+        std::vector<VmId> movable;
+        for (VmId v = 0;
+             static_cast<std::uint32_t>(v) < server_->vmCount(); ++v) {
+          if (!server_->vmRunning(v) || migrationPending(v)) continue;
+          for (std::int32_t c = 0;
+               static_cast<std::uint32_t>(c) < server_->chips(); ++c)
+            if (c != server_->chipOf(v) && freeSlotOn(c) >= 0) {
+              movable.push_back(v);
+              break;
+            }
+        }
+        if (!movable.empty()) vm = movable[rng_.below(movable.size())];
+      }
+      if (vm == kInvalidVm ||
+          static_cast<std::uint32_t>(vm) >= server_->vmCount() ||
+          !server_->vmRunning(vm) || migrationPending(vm)) {
+        ++skipped_;
+        return;
+      }
+      const std::int32_t src = server_->chipOf(vm);
+      std::int32_t dst = ev.chip;
+      if (dst < 0) {
+        std::vector<std::int32_t> candidates;
+        for (std::int32_t c = 0;
+             static_cast<std::uint32_t>(c) < server_->chips(); ++c)
+          if (c != src && freeSlotOn(c) >= 0) candidates.push_back(c);
+        if (candidates.empty()) {
+          ++skipped_;
+          return;
+        }
+        dst = candidates[rng_.below(candidates.size())];
+      }
+      if (dst == src ||
+          static_cast<std::uint32_t>(dst) >= server_->chips()) {
+        ++skipped_;
+        return;
+      }
+      const std::int32_t slot = freeSlotOn(dst);
+      if (slot < 0) {
+        ++skipped_;
+        return;
+      }
+      // Reserve the destination slot and stream the pages; completion is
+      // the link's delivery tick (a future boundary). Migration traffic
+      // is attributed to the migrating VM's link row.
+      slotVm_[static_cast<std::size_t>(dst)]
+             [static_cast<std::uint32_t>(slot)] = vm;
+      const Tick done = link_->bulkTransfer(
+          src, dst, server_->residentPages(vm), now,
+          static_cast<std::size_t>(vm));
+      pendingMigrations_.push_back(
+          {done, vm, dst, static_cast<std::uint32_t>(slot)});
+      ++migrationsStarted_;
+      ++applied_;
+      return;
+    }
+    case ChurnEvent::Kind::Storm: {
+      const VmId vm = ev.vm != kInvalidVm ? ev.vm : pickRunningVm();
+      if (vm == kInvalidVm ||
+          static_cast<std::uint32_t>(vm) >= server_->vmCount() ||
+          !server_->vmRunning(vm)) {
+        ++skipped_;
+        return;
+      }
+      server_->setStormWrites(vm, true);
+      pendingStormEnds_.push_back({now + ev.stormLen, vm});
+      ++storms_;
+      ++applied_;
+      return;
+    }
+  }
+}
+
+}  // namespace eecc

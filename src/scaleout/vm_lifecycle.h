@@ -1,0 +1,149 @@
+// VM lifecycle engine: scripted and randomized churn for the scale-out
+// server (DESIGN.md §14).
+//
+// A churn schedule is a `;`-separated list of events, ticks relative to
+// the measured window's start:
+//
+//   boot@T[:chip=C][:profile=NAME]   boot a VM (auto-placed when chip is
+//                                    omitted; profile cycles through the
+//                                    initial per-slot mix when omitted)
+//   shutdown@T[:vm=V]                shut a VM down (random running VM
+//                                    when omitted)
+//   migrate@T[:vm=V][:to=C]          live-migrate a VM to chip C (random
+//                                    choices when omitted)
+//   storm@T[:vm=V][:len=L]           dedup-break CoW storm for L cycles
+//                                    (default 25000)
+//   random:events=N[:until=T]        N seeded random events in [0, T)
+//                                    (default T = the whole window)
+//
+// All randomness — event synthesis and open-choice resolution (which VM,
+// which chip) — comes from one Rng seeded with the experiment seed, so a
+// schedule replays bit-identically across runs, job counts and --resume.
+//
+// Events are applied at churn *boundaries*: the server run loop drains
+// every chip up to the boundary tick before the lifecycle mutates
+// placement, so no in-flight coherence ever spans a reconfiguration (the
+// drain is the remap epoch's flush). Live migration is asynchronous: the
+// start event reserves a destination slot and streams the VM's resident
+// pages over the inter-chip link; the completion — the link's delivery
+// tick — becomes a new boundary at which the threads repin (stop-and-copy
+// with the reference streams following the VM). Infeasible events (no
+// free slot, VM already gone) are skipped and counted, never fatal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "scaleout/interchip.h"
+#include "scaleout/server_workload.h"
+#include "workload/profile.h"
+
+namespace eecc {
+
+struct ChurnEvent {
+  enum class Kind : std::uint8_t { Boot, Shutdown, Migrate, Storm };
+  Kind kind = Kind::Boot;
+  Tick at = 0;               ///< Window-relative tick.
+  VmId vm = kInvalidVm;      ///< Target VM; kInvalidVm = pick at random.
+  std::int32_t chip = -1;    ///< Boot placement / migration dst; -1 = auto.
+  Tick stormLen = 25'000;    ///< Storm duration (Kind::Storm only).
+  std::string profile;       ///< Boot profile name; empty = cycle the mix.
+};
+
+struct ChurnSchedule {
+  std::vector<ChurnEvent> events;  ///< Sorted by `at` (stable).
+
+  /// Parses the grammar above. Randomized events are synthesized here
+  /// (kinds, ticks) from `seed`; `windowCycles` bounds default random
+  /// ticks. Throws std::runtime_error on malformed input.
+  static ChurnSchedule parse(const std::string& spec, std::uint64_t seed,
+                             Tick windowCycles);
+
+  /// Boot events in the schedule — the additive term of the server's VM
+  /// id upper bound (ledger rows and link rows are sized from it).
+  std::uint32_t bootEvents() const;
+};
+
+class VmLifecycle {
+ public:
+  /// `bootProfiles`: the cycle of profiles used by boot events without an
+  /// explicit profile (normally the initial per-slot mix).
+  VmLifecycle(ServerWorkload* server, InterChipLink* link,
+              ChurnSchedule schedule, Tick windowStart, Tick windowEnd,
+              std::uint64_t seed,
+              std::vector<BenchmarkProfile> bootProfiles);
+
+  /// Smallest pending boundary tick strictly greater than `after`
+  /// (absolute), or kTickMax when nothing is pending.
+  Tick nextBoundary(Tick after) const;
+
+  /// Applies everything due at or before `now` (absolute): migration
+  /// completions first, then storm ends, then scheduled events, each in
+  /// deterministic order. Returns the number of state changes applied.
+  std::uint64_t applyDue(Tick now);
+
+  std::uint64_t applied() const { return applied_; }
+  std::uint64_t skipped() const { return skipped_; }
+  std::uint64_t migrationsStarted() const { return migrationsStarted_; }
+  std::uint64_t migrationsCompleted() const { return migrationsCompleted_; }
+  std::uint64_t migrationsInFlight() const {
+    return pendingMigrations_.size();
+  }
+  std::uint64_t boots() const { return boots_; }
+  std::uint64_t shutdowns() const { return shutdowns_; }
+  std::uint64_t storms() const { return storms_; }
+
+ private:
+  struct PendingMigration {
+    Tick done = 0;
+    VmId vm = kInvalidVm;
+    std::int32_t dstChip = -1;
+    std::uint32_t dstSlot = 0;
+  };
+  struct PendingStormEnd {
+    Tick at = 0;
+    VmId vm = kInvalidVm;
+  };
+
+  bool slotFree(std::int32_t chip, std::uint32_t slot) const {
+    return slotVm_[static_cast<std::size_t>(chip)][slot] == kInvalidVm;
+  }
+  /// Lowest free slot on `chip`, or -1 when full.
+  std::int32_t freeSlotOn(std::int32_t chip) const;
+  /// Chip with the most free slots (ties to the lowest id); -1 when the
+  /// server is full.
+  std::int32_t autoBootChip() const;
+  /// Random running VM that is not mid-migration; kInvalidVm when none.
+  VmId pickRunningVm();
+  bool migrationPending(VmId vm) const;
+
+  void applyEvent(const ChurnEvent& ev, Tick now);
+  void completeMigration(const PendingMigration& m);
+
+  ServerWorkload* server_;
+  InterChipLink* link_;
+  std::vector<ChurnEvent> events_;
+  std::size_t nextEvent_ = 0;
+  Tick windowStart_;
+  Tick windowEnd_;
+  Rng rng_;
+  std::vector<BenchmarkProfile> bootProfiles_;
+  std::uint64_t bootCount_ = 0;  ///< Cycles bootProfiles_.
+
+  std::vector<std::vector<VmId>> slotVm_;  ///< [chip][slot] occupancy.
+  std::vector<PendingMigration> pendingMigrations_;
+  std::vector<PendingStormEnd> pendingStormEnds_;
+
+  std::uint64_t applied_ = 0;
+  std::uint64_t skipped_ = 0;
+  std::uint64_t migrationsStarted_ = 0;
+  std::uint64_t migrationsCompleted_ = 0;
+  std::uint64_t boots_ = 0;
+  std::uint64_t shutdowns_ = 0;
+  std::uint64_t storms_ = 0;
+};
+
+}  // namespace eecc

@@ -5,10 +5,20 @@
 // physical page; the first write by a VM triggers copy-on-write and gives
 // that VM a private copy. The manager also tracks the memory saved by
 // deduplication, the quantity the paper reports in Table IV.
+//
+// Every content page carries its sharer set — the VMs whose logical
+// mapping still points at it — so dedup savings are attributable per VM
+// and the scale-out VM lifecycle (boot / shutdown / migration) can unmap
+// and reclaim pages without corrupting the other sharers' accounting.
+// The legacy operations (mapContent / copyOnWrite / translate) keep their
+// exact counter semantics: a run that never unmaps produces bit-identical
+// physicalPages / logicalMappings / savedFraction values.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/check.h"
 #include "common/types.h"
@@ -29,19 +39,80 @@ class PageManager {
     return static_cast<Addr>(nextPage_++) << kPageOffsetBits;
   }
 
+  /// Releases a page obtained from allocPrivatePage() (VM shutdown /
+  /// reclaim). Page numbers are never reused — release is pure accounting.
+  void releasePrivatePage(Addr /*page*/) {
+    EECC_CHECK(physPages_ > 0 && logicalMappings_ > 0);
+    --physPages_;
+    --logicalMappings_;
+    ++reclaimedPages_;
+  }
+
   /// Maps a logical page with content identity `contentKey` for VM `vm`.
-  /// Identical content across VMs shares one physical page (deduplication).
+  /// Identical content across VMs shares one physical page (deduplication);
+  /// `vm` joins the content's sharer set.
   Addr mapContent(std::uint64_t contentKey, VmId vm) {
     ++logicalMappings_;
+    ++vmLogical_[vm];
     auto it = content_.find(contentKey);
     if (it != content_.end()) {
-      (void)vm;
-      return it->second;
+      addSharer(it->second, contentKey, vm);
+      return it->second.page;
     }
     ++physPages_;
     const Addr page = static_cast<Addr>(nextPage_++) << kPageOffsetBits;
-    content_.emplace(contentKey, page);
+    ContentEntry entry;
+    entry.page = page;
+    addSharer(entry, contentKey, vm);
+    content_.emplace(contentKey, std::move(entry));
     return page;
+  }
+
+  /// Removes `vm` from the content's sharer set (VM shutdown or a
+  /// migration that re-homes sole-sharer pages). Releases the VM's
+  /// copy-on-write copy if one exists, and frees the shared physical page
+  /// when the last sharer leaves. Returns true when the shared page was
+  /// freed. No-op (returns false) if `vm` never mapped the content.
+  bool unmapContent(std::uint64_t contentKey, VmId vm) {
+    auto it = content_.find(contentKey);
+    if (it == content_.end()) return false;
+    ContentEntry& e = it->second;
+    auto s = std::find(e.sharers.begin(), e.sharers.end(), vm);
+    if (s == e.sharers.end()) return false;
+    e.sharers.erase(s);
+    EECC_CHECK(logicalMappings_ > 0);
+    --logicalMappings_;
+    --vmLogical_[vm];
+    auto& keys = vmKeys_[vm];
+    keys.erase(std::find(keys.begin(), keys.end(), contentKey));
+    if (auto c = cow_.find(cowKey(contentKey, vm)); c != cow_.end()) {
+      cow_.erase(c);
+      EECC_CHECK(physPages_ > 0);
+      --physPages_;
+      ++reclaimedPages_;
+    }
+    if (!e.sharers.empty()) return false;
+    content_.erase(it);
+    EECC_CHECK(physPages_ > 0);
+    --physPages_;
+    ++reclaimedPages_;
+    return true;
+  }
+
+  /// Unmaps every content page `vm` still shares (its copy-on-write copies
+  /// go with them). Returns the number of physical pages freed. The
+  /// caller releases the VM's private pages itself — the manager does not
+  /// know which allocPrivatePage() results belong to whom.
+  std::uint64_t reclaimVm(VmId vm) {
+    const std::uint64_t before = reclaimedPages_;
+    auto it = vmKeys_.find(vm);
+    if (it == vmKeys_.end()) return 0;
+    // unmapContent edits the key list; walk a copy.
+    const std::vector<std::uint64_t> keys = it->second;
+    for (const std::uint64_t key : keys) unmapContent(key, vm);
+    vmKeys_.erase(vm);
+    vmLogical_.erase(vm);
+    return reclaimedPages_ - before;
   }
 
   /// Copy-on-write: VM `vm` writes a deduplicated page. Returns the VM's
@@ -67,12 +138,63 @@ class PageManager {
     if (it != cow_.end()) return it->second;
     auto c = content_.find(contentKey);
     EECC_CHECK(c != content_.end());
-    return c->second;
+    return c->second.page;
+  }
+
+  // --- Sharer introspection (per-VM attribution, migration re-homing) ---
+
+  /// VMs whose logical mapping still targets the content (map order).
+  /// Empty if the content was never mapped or fully unmapped.
+  std::vector<VmId> sharersOf(std::uint64_t contentKey) const {
+    auto it = content_.find(contentKey);
+    return it == content_.end() ? std::vector<VmId>{} : it->second.sharers;
+  }
+  std::uint32_t sharerCount(std::uint64_t contentKey) const {
+    auto it = content_.find(contentKey);
+    return it == content_.end()
+               ? 0
+               : static_cast<std::uint32_t>(it->second.sharers.size());
+  }
+  bool isSharer(std::uint64_t contentKey, VmId vm) const {
+    auto it = content_.find(contentKey);
+    return it != content_.end() &&
+           std::find(it->second.sharers.begin(), it->second.sharers.end(),
+                     vm) != it->second.sharers.end();
+  }
+  /// The single remaining sharer, or kInvalidVm when there are zero or
+  /// several. A migrating VM re-homes exactly these pages.
+  VmId soleSharer(std::uint64_t contentKey) const {
+    auto it = content_.find(contentKey);
+    if (it == content_.end() || it->second.sharers.size() != 1)
+      return kInvalidVm;
+    return it->second.sharers.front();
+  }
+
+  /// Live logical content mappings held by `vm`.
+  std::uint64_t vmLogicalMappings(VmId vm) const {
+    auto it = vmLogical_.find(vm);
+    return it == vmLogical_.end() ? 0 : it->second;
+  }
+  /// Physical pages deduplication currently saves on `vm`'s behalf: each
+  /// content page with n sharers backs n logical mappings with one frame,
+  /// so every sharer is credited (n-1)/n of a page. Summing over all VMs
+  /// yields exactly the total pages saved by sharing.
+  double vmSavedPages(VmId vm) const {
+    auto it = vmKeys_.find(vm);
+    if (it == vmKeys_.end()) return 0.0;
+    double saved = 0.0;
+    for (const std::uint64_t key : it->second) {
+      const auto n = static_cast<double>(sharerCount(key));
+      if (n > 0.0) saved += (n - 1.0) / n;
+    }
+    return saved;
   }
 
   std::uint64_t physicalPages() const { return physPages_; }
   std::uint64_t logicalMappings() const { return logicalMappings_; }
   std::uint64_t cowEvents() const { return cowEvents_; }
+  /// Physical pages freed by unmap/reclaim (monotonic).
+  std::uint64_t reclaimedPages() const { return reclaimedPages_; }
 
   /// Fraction of memory saved by deduplication: 1 - physical/logical.
   /// This is the "Memory saved by deduplication" column of Table IV.
@@ -83,6 +205,19 @@ class PageManager {
   }
 
  private:
+  struct ContentEntry {
+    Addr page = 0;
+    std::vector<VmId> sharers;  // map order; small (one slot per VM)
+  };
+
+  void addSharer(ContentEntry& e, std::uint64_t contentKey, VmId vm) {
+    if (std::find(e.sharers.begin(), e.sharers.end(), vm) !=
+        e.sharers.end())
+      return;  // re-mapping the same content is one sharer, many mappings
+    e.sharers.push_back(vm);
+    vmKeys_[vm].push_back(contentKey);
+  }
+
   static std::uint64_t cowKey(std::uint64_t contentKey, VmId vm) {
     return contentKey * 1000003ULL + static_cast<std::uint64_t>(vm) + 1;
   }
@@ -91,8 +226,11 @@ class PageManager {
   std::uint64_t physPages_ = 0;
   std::uint64_t logicalMappings_ = 0;
   std::uint64_t cowEvents_ = 0;
-  std::unordered_map<std::uint64_t, Addr> content_;
+  std::uint64_t reclaimedPages_ = 0;
+  std::unordered_map<std::uint64_t, ContentEntry> content_;
   std::unordered_map<std::uint64_t, Addr> cow_;
+  std::unordered_map<VmId, std::vector<std::uint64_t>> vmKeys_;
+  std::unordered_map<VmId, std::uint64_t> vmLogical_;
 };
 
 }  // namespace eecc

@@ -1,8 +1,12 @@
 #include "workload/trace.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "common/check.h"
 
@@ -130,6 +134,107 @@ MemOp TraceSource::next(NodeId tile) {
   op.addr = r.addr;
   op.type = r.type;
   return op;
+}
+
+namespace {
+
+struct TextOp {
+  std::uint32_t proc = 0;
+  bool write = false;
+  Addr addr = 0;
+};
+
+/// Parses one `proc op addr` line; returns false for blank/comment lines.
+bool parseTextLine(const char* line, std::uint64_t lineNo, TextOp* out) {
+  const char* p = line;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p == '\0' || *p == '\n' || *p == '\r' || *p == '#') return false;
+
+  char* end = nullptr;
+  const unsigned long long proc = std::strtoull(p, &end, 10);
+  EECC_CHECK_MSG(end != p, "text trace: bad process id");
+  EECC_CHECK_MSG(proc < 65536, "text trace: process id exceeds 16-bit tiles");
+  p = end;
+  while (*p == ' ' || *p == '\t') ++p;
+
+  const char op = *p;
+  EECC_CHECK_MSG(op == 'R' || op == 'r' || op == 'W' || op == 'w',
+                 "text trace: op must start with R or W");
+  while (*p != '\0' && *p != ' ' && *p != '\t') ++p;
+  while (*p == ' ' || *p == '\t') ++p;
+
+  const unsigned long long addr = std::strtoull(p, &end, 0);
+  EECC_CHECK_MSG(end != p, "text trace: bad address");
+  (void)lineNo;
+
+  out->proc = static_cast<std::uint32_t>(proc);
+  out->write = op == 'W' || op == 'w';
+  out->addr = static_cast<Addr>(addr);
+  return true;
+}
+
+}  // namespace
+
+TextTraceImage loadTextTrace(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  EECC_CHECK_MSG(f != nullptr, "cannot open text trace file for reading");
+
+  // Pass 1: parse every line and find virtual pages touched by more than
+  // one process — those are the dedup candidates of the reconstruction.
+  std::vector<TextOp> ops;
+  // vpage -> (first process, shared-by-several flag)
+  std::unordered_map<std::uint64_t, std::pair<std::uint32_t, bool>> vpages;
+  char line[256];
+  std::uint64_t lineNo = 0;
+  std::uint32_t maxProc = 0;
+  while (std::fgets(line, sizeof line, f.get()) != nullptr) {
+    ++lineNo;
+    TextOp op;
+    if (!parseTextLine(line, lineNo, &op)) continue;
+    ops.push_back(op);
+    if (op.proc > maxProc) maxProc = op.proc;
+    const std::uint64_t vpage = op.addr >> kPageOffsetBits;
+    auto [it, fresh] = vpages.try_emplace(vpage, op.proc, false);
+    if (!fresh && it->second.first != op.proc) it->second.second = true;
+  }
+
+  TextTraceImage image;
+  image.opLines = ops.size();
+  image.processes = ops.empty() ? 0 : maxProc + 1;
+  image.trace.setTileCount(image.processes);
+  for (const auto& [vpage, info] : vpages)
+    if (info.second) ++image.sharedPages;
+
+  // Pass 2: rebuild the memory image. Shared virtual pages go through the
+  // dedup content space (one physical page until a write copies), private
+  // ones get a per-(process, vpage) physical page.
+  std::unordered_map<std::uint64_t, Addr> privatePage;  // (vm,vpage) -> page
+  std::unordered_map<std::uint64_t, bool> mapped;       // (vm,vpage) mapped?
+  const auto vmPageKey = [](std::uint32_t proc, std::uint64_t vpage) {
+    return vpage * 1000003ULL + proc + 1;
+  };
+  for (const TextOp& op : ops) {
+    const std::uint64_t vpage = op.addr >> kPageOffsetBits;
+    const Addr offset = op.addr & (kPageBytes - 1);
+    const VmId vm = static_cast<VmId>(op.proc);
+    Addr phys = 0;
+    if (vpages.at(vpage).second) {
+      const std::uint64_t key = workload_detail::contentKey("trace", vpage);
+      auto [it, fresh] = mapped.try_emplace(vmPageKey(op.proc, vpage), true);
+      (void)it;
+      if (fresh) image.pages.mapContent(key, vm);
+      phys = op.write ? image.pages.copyOnWrite(key, vm)
+                      : image.pages.translate(key, vm);
+    } else {
+      auto [it, fresh] = privatePage.try_emplace(vmPageKey(op.proc, vpage), 0);
+      if (fresh) it->second = image.pages.allocPrivatePage();
+      phys = it->second;
+    }
+    image.trace.append({static_cast<NodeId>(op.proc),
+                        op.write ? AccessType::Write : AccessType::Read,
+                        /*gapCycles=*/1, phys | offset});
+  }
+  return image;
 }
 
 std::vector<std::vector<TraceRecord>> Trace::splitByTile() const {

@@ -93,4 +93,34 @@ class Trace {
   std::vector<TraceRecord> records_;
 };
 
+/// Result of ingesting an *external* text trace (loadTextTrace): the
+/// replayable trace plus the memory image reconstructed from it.
+struct TextTraceImage {
+  Trace trace;
+  /// Page accounting of the reconstruction — physical pages, dedup
+  /// sharer sets and copy-on-write events are inspectable exactly as for
+  /// a synthetic workload (pages.savedFraction() etc.).
+  PageManager pages;
+  std::uint32_t processes = 0;    ///< Distinct process ids seen.
+  std::uint64_t opLines = 0;      ///< Parsed operation lines.
+  std::uint64_t sharedPages = 0;  ///< Virtual pages referenced by >1 process.
+};
+
+/// Ingests an external text trace: one `proc op addr` triple per line,
+/// where `proc` is a decimal process id (mapped onto tile `proc` and VM
+/// `proc`), `op` starts with R/r or W/w, and `addr` is a byte address in
+/// hex (0x...), octal (0...) or decimal. Blank lines and lines starting
+/// with '#' are skipped; malformed lines abort (EECC_CHECK).
+///
+/// Address mapping rebuilds a consolidated-server memory image from the
+/// virtual addresses: each (process, virtual page) gets its own physical
+/// page, except that virtual pages referenced by *several* processes are
+/// treated as deduplicated content — every process maps the same content
+/// key, sharing one physical page until a write triggers copy-on-write
+/// onto the writer's private copy (all through the PageManager, so the
+/// dedup savings of the trace are reported like any synthetic run's).
+/// Records carry a uniform 1-cycle compute gap (external traces have no
+/// timing); tileCount is the highest process id + 1.
+TextTraceImage loadTextTrace(const std::string& path);
+
 }  // namespace eecc

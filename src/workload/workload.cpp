@@ -4,10 +4,11 @@
 
 namespace eecc {
 
-namespace {
+namespace workload_detail {
 
 // FNV-1a over a string plus a slot number — stable content identities for
-// deduplicated pages.
+// deduplicated pages. Shared with the scale-out ServerWorkload so VMs on
+// different chips deduplicate against the same content space.
 std::uint64_t contentKey(const std::string& group, std::uint64_t slot) {
   std::uint64_t h = 1469598103934665603ULL;
   for (const char c : group) {
@@ -26,7 +27,10 @@ Tick sampleGap(Rng& rng, double mean) {
   return static_cast<Tick>(g + 0.5);
 }
 
-}  // namespace
+}  // namespace workload_detail
+
+using workload_detail::contentKey;
+using workload_detail::sampleGap;
 
 std::uint64_t Workload::dedupPagesFor(const BenchmarkProfile& p,
                                       std::uint32_t numVms) {

@@ -24,6 +24,15 @@
 
 namespace eecc {
 
+namespace workload_detail {
+/// FNV-1a content identity of a deduplicated page ("os" pages are shared
+/// by every VM, benchmark-named pages by same-benchmark VMs). One content
+/// space for the single-chip Workload and the scale-out ServerWorkload.
+std::uint64_t contentKey(const std::string& group, std::uint64_t slot);
+/// Geometric-ish compute gap with the profile's mean, never negative.
+Tick sampleGap(Rng& rng, double mean);
+}  // namespace workload_detail
+
 /// One operation of a core's stream: `computeCycles` of non-memory work
 /// followed by one memory access.
 struct MemOp {

@@ -76,5 +76,81 @@ TEST(PageManager, PagesAreDistinctAcrossKinds) {
   EXPECT_NE(shared, cow);
 }
 
+TEST(PageManager, SharerSetsTrackMappingVms) {
+  PageManager pm;
+  pm.mapContent(42, 3);
+  pm.mapContent(42, 1);
+  pm.mapContent(42, 7);
+  EXPECT_EQ(pm.sharerCount(42), 3u);
+  EXPECT_TRUE(pm.isSharer(42, 1));
+  EXPECT_FALSE(pm.isSharer(42, 2));
+  EXPECT_EQ(pm.soleSharer(42), kInvalidVm);  // several sharers
+  const std::vector<VmId> sharers = pm.sharersOf(42);
+  ASSERT_EQ(sharers.size(), 3u);
+  EXPECT_EQ(sharers[0], 3);  // map order
+  EXPECT_EQ(sharers[1], 1);
+  EXPECT_EQ(sharers[2], 7);
+}
+
+TEST(PageManager, UnmapFreesPageOnLastSharer) {
+  PageManager pm;
+  pm.mapContent(5, 0);
+  pm.mapContent(5, 1);
+  EXPECT_EQ(pm.physicalPages(), 1u);
+  EXPECT_FALSE(pm.unmapContent(5, 0));  // VM 1 still maps it: not freed
+  EXPECT_EQ(pm.physicalPages(), 1u);
+  EXPECT_EQ(pm.soleSharer(5), 1);
+  EXPECT_TRUE(pm.unmapContent(5, 1));
+  EXPECT_EQ(pm.physicalPages(), 0u);
+  EXPECT_EQ(pm.reclaimedPages(), 1u);
+  EXPECT_EQ(pm.sharerCount(5), 0u);
+  EXPECT_FALSE(pm.unmapContent(5, 1));  // already gone
+}
+
+TEST(PageManager, ReclaimVmDropsMappingsAndCowCopies) {
+  PageManager pm;
+  const Addr shared = pm.mapContent(10, 0);
+  pm.mapContent(10, 1);
+  pm.mapContent(11, 0);       // VM 0 is sole sharer
+  pm.copyOnWrite(10, 0);      // VM 0's private copy of content 10
+  EXPECT_EQ(pm.physicalPages(), 3u);
+  const std::uint64_t freed = pm.reclaimVm(0);
+  // Freed: content 11's page and the CoW copy; content 10 survives via
+  // VM 1's mapping.
+  EXPECT_EQ(freed, 2u);
+  EXPECT_EQ(pm.physicalPages(), 1u);
+  EXPECT_FALSE(pm.isSharer(10, 0));
+  EXPECT_TRUE(pm.isSharer(10, 1));
+  EXPECT_EQ(pm.sharerCount(11), 0u);
+  // The survivor's view is the shared original, untouched by the reclaim.
+  EXPECT_EQ(pm.translate(10, 1), shared);
+}
+
+TEST(PageManager, VmSavedPagesSplitsDedupBenefit) {
+  PageManager pm;
+  // Content shared by 2 VMs: each "saves" half of the avoided copy... the
+  // convention is saved = (n-1)/n per sharer.
+  pm.mapContent(20, 0);
+  pm.mapContent(20, 1);
+  EXPECT_NEAR(pm.vmSavedPages(0), 0.5, 1e-12);
+  EXPECT_NEAR(pm.vmSavedPages(1), 0.5, 1e-12);
+  EXPECT_NEAR(pm.vmSavedPages(0) + pm.vmSavedPages(1), 1.0, 1e-12);
+  EXPECT_EQ(pm.vmLogicalMappings(0), 1u);
+  EXPECT_EQ(pm.vmSavedPages(2), 0.0);
+}
+
+TEST(PageManager, LegacyCountersUnchangedBySharerTracking) {
+  // The PR-7 sharer sets must not perturb the counters the paper tables
+  // are built from.
+  PageManager pm;
+  for (VmId vm = 0; vm < 4; ++vm) {
+    for (int i = 0; i < 10; ++i) pm.allocPrivatePage();
+    for (std::uint64_t k = 0; k < 3; ++k) pm.mapContent(500 + k, vm);
+  }
+  EXPECT_EQ(pm.physicalPages(), 4u * 10u + 3u);
+  EXPECT_EQ(pm.logicalMappings(), 4u * 13u);
+  EXPECT_NEAR(pm.savedFraction(), 3.0 * 3 / (4 * 13), 1e-12);
+}
+
 }  // namespace
 }  // namespace eecc

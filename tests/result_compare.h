@@ -83,6 +83,21 @@ inline void expectResultsIdentical(const ExperimentResult& a,
   EXPECT_EQ(a.linkMw, b.linkMw);
   EXPECT_EQ(a.routingMw, b.routingMw);
   EXPECT_EQ(a.dedupSavedFraction, b.dedupSavedFraction);
+
+  // Scale-out runs: chip count, churn and the inter-chip link.
+  EXPECT_EQ(a.chips, b.chips);
+  EXPECT_EQ(a.churnApplied, b.churnApplied);
+  EXPECT_EQ(a.interchip.messages, b.interchip.messages);
+  EXPECT_EQ(a.interchip.dataMessages, b.interchip.dataMessages);
+  EXPECT_EQ(a.interchip.flits, b.interchip.flits);
+  EXPECT_EQ(a.interchip.flitHops, b.interchip.flitHops);
+  EXPECT_EQ(a.interchip.remoteFetches, b.interchip.remoteFetches);
+  EXPECT_EQ(a.interchip.migrations, b.interchip.migrations);
+  EXPECT_EQ(a.interchip.migrationPages, b.interchip.migrationPages);
+  expectAccumulatorEq(a.interchip.latency, b.interchip.latency);
+  expectAccumulatorEq(a.interchip.wait, b.interchip.wait);
+  EXPECT_EQ(a.interchipPj, b.interchipPj);
+  EXPECT_EQ(a.interchipMw, b.interchipMw);
 }
 
 }  // namespace eecc

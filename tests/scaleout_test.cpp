@@ -1,0 +1,255 @@
+// Scale-out subsystem tests (DESIGN.md §14): churn-schedule grammar,
+// lifecycle semantics (boot/shutdown/migration/storm), bit-exact
+// determinism of churned multi-chip runs, the per-chip and inter-chip
+// decompositions of the aggregate result, and journal round-tripping of
+// the scale-out fields.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "core/experiment.h"
+#include "core/journal.h"
+#include "obs/ledger.h"
+#include "result_compare.h"
+#include "scaleout/server.h"
+#include "scaleout/vm_lifecycle.h"
+
+namespace eecc {
+namespace {
+
+ExperimentConfig scaleoutConfig(std::uint32_t chips,
+                                const std::string& churn) {
+  ExperimentConfig cfg;
+  cfg.chip = fuzzChip();
+  cfg.protocol = ProtocolKind::DiCo;
+  cfg.workloadName = "apache4x16p";
+  cfg.warmupCycles = 10'000;
+  cfg.windowCycles = 60'000;
+  cfg.scaleout.chips = chips;
+  cfg.scaleout.churn = churn;
+  return cfg;
+}
+
+// A schedule exercising every event kind. Slots start full, so the
+// shutdown must come first to make the migration and boot feasible; the
+// initial consolidation is chip-major (chip 1 holds VMs 4..7).
+const char* kFullChurn =
+    "shutdown@5000:vm=4;migrate@15000:vm=0:to=1;boot@35000:profile=jbb;"
+    "storm@40000:vm=1:len=10000";
+
+TEST(ChurnSchedule, ParsesGrammarAndSortsByTick) {
+  const ChurnSchedule s = ChurnSchedule::parse(
+      "storm@500:vm=2:len=100;boot@100:chip=1:profile=jbb;"
+      "migrate@300:vm=0:to=1;shutdown@200",
+      /*seed=*/1, /*windowCycles=*/100'000);
+  ASSERT_EQ(s.events.size(), 4u);
+  EXPECT_EQ(s.events[0].kind, ChurnEvent::Kind::Boot);
+  EXPECT_EQ(s.events[0].at, 100u);
+  EXPECT_EQ(s.events[0].chip, 1);
+  EXPECT_EQ(s.events[0].profile, "jbb");
+  EXPECT_EQ(s.events[1].kind, ChurnEvent::Kind::Shutdown);
+  EXPECT_EQ(s.events[1].vm, kInvalidVm);  // random pick at apply time
+  EXPECT_EQ(s.events[2].kind, ChurnEvent::Kind::Migrate);
+  EXPECT_EQ(s.events[2].vm, 0);
+  EXPECT_EQ(s.events[2].chip, 1);
+  EXPECT_EQ(s.events[3].kind, ChurnEvent::Kind::Storm);
+  EXPECT_EQ(s.events[3].stormLen, 100u);
+  EXPECT_EQ(s.bootEvents(), 1u);
+}
+
+TEST(ChurnSchedule, RejectsMalformedSpecs) {
+  const auto parse = [](const char* spec) {
+    return ChurnSchedule::parse(spec, 1, 100'000);
+  };
+  EXPECT_THROW(parse("reboot@100"), std::runtime_error);
+  EXPECT_THROW(parse("boot"), std::runtime_error);
+  EXPECT_THROW(parse("boot@abc"), std::runtime_error);
+  EXPECT_THROW(parse("boot@100:profile=notabenchmark"), std::runtime_error);
+  EXPECT_THROW(parse("boot@100:flavor=blue"), std::runtime_error);
+  EXPECT_THROW(parse("storm@100:len=0"), std::runtime_error);
+  EXPECT_THROW(parse("random:until=500"), std::runtime_error);  // no events
+  EXPECT_THROW(parse("migrate@100:to="), std::runtime_error);
+}
+
+TEST(ChurnSchedule, RandomSynthesisIsSeedDeterministic) {
+  const ChurnSchedule a =
+      ChurnSchedule::parse("random:events=25:until=50000", 7, 100'000);
+  const ChurnSchedule b =
+      ChurnSchedule::parse("random:events=25:until=50000", 7, 100'000);
+  ASSERT_EQ(a.events.size(), 25u);
+  ASSERT_EQ(b.events.size(), 25u);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].at, b.events[i].at);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_LT(a.events[i].at, 50'000u);
+  }
+}
+
+TEST(ScaleoutConfigTest, ActiveOnlyWhenMultiChipOrChurned) {
+  ScaleoutConfig cfg;
+  EXPECT_FALSE(cfg.active());  // chips=1, no churn: the legacy path
+  cfg.chips = 2;
+  EXPECT_TRUE(cfg.active());
+  cfg.chips = 1;
+  cfg.churn = "storm@100";
+  EXPECT_TRUE(cfg.active());
+}
+
+TEST(Scaleout, ChurnedMultiChipRunIsBitIdentical) {
+  const ExperimentConfig cfg = scaleoutConfig(2, kFullChurn);
+  const ExperimentResult a = runExperiment(cfg);
+  const ExperimentResult b = runExperiment(cfg);
+  EXPECT_EQ(a.chips, 2u);
+  EXPECT_GT(a.churnApplied, 0u);
+  expectResultsIdentical(a, b);
+  ASSERT_NE(a.scaleout, nullptr);
+  ASSERT_NE(b.scaleout, nullptr);
+  EXPECT_EQ(a.scaleout->migrationsCompleted, b.scaleout->migrationsCompleted);
+  EXPECT_EQ(a.scaleout->totalVms, b.scaleout->totalVms);
+  EXPECT_EQ(a.scaleout->interchipRowFlits, b.scaleout->interchipRowFlits);
+}
+
+TEST(Scaleout, ChipCountersSumToAggregateResult) {
+  const ExperimentResult r = runExperiment(scaleoutConfig(2, kFullChurn));
+  ASSERT_NE(r.scaleout, nullptr);
+  ASSERT_EQ(r.scaleout->chips.size(), 2u);
+  std::uint64_t ops = 0, reads = 0, misses = 0, messages = 0, flits = 0;
+  for (const ScaleoutChipSummary& chip : r.scaleout->chips) {
+    ops += chip.ops;
+    reads += chip.stats.reads;
+    misses += chip.stats.missLatency.count();
+    messages += chip.noc.messages;
+    flits += chip.noc.linkFlits;
+  }
+  EXPECT_EQ(ops, r.ops);
+  EXPECT_EQ(reads, r.stats.reads);
+  EXPECT_EQ(misses, r.stats.missLatency.count());
+  EXPECT_EQ(messages, r.noc.messages);
+  EXPECT_EQ(flits, r.noc.linkFlits);
+}
+
+TEST(Scaleout, InterchipRowTrafficDecomposesExactly) {
+  const ExperimentResult r = runExperiment(scaleoutConfig(2, kFullChurn));
+  ASSERT_NE(r.scaleout, nullptr);
+  EXPECT_GT(r.interchip.messages, 0u);
+  std::uint64_t rowFlits = 0, rowMessages = 0;
+  for (const std::uint64_t f : r.scaleout->interchipRowFlits) rowFlits += f;
+  for (const std::uint64_t m : r.scaleout->interchipRowMessages)
+    rowMessages += m;
+  EXPECT_EQ(rowFlits, r.interchip.flits);
+  EXPECT_EQ(rowMessages, r.interchip.messages);
+  // The energy charged for the link is exactly flitHops * per-flit-hop pJ.
+  EXPECT_GT(r.interchipPj, 0.0);
+  EXPECT_GT(r.interchipMw, 0.0);
+}
+
+TEST(Scaleout, PerChipLedgerDecomposesChipCounters) {
+  ExperimentConfig cfg = scaleoutConfig(2, kFullChurn);
+  cfg.obs.ledger = true;
+  cfg.obs.ledgerOccupancyEvery = 5'000;
+  const ExperimentResult r = runExperiment(cfg);
+  ASSERT_NE(r.scaleout, nullptr);
+  for (std::size_t c = 0; c < r.scaleout->chips.size(); ++c) {
+    const ScaleoutChipSummary& chip = r.scaleout->chips[c];
+    ASSERT_NE(chip.ledger, nullptr) << "chip " << c;
+    const AttributionLedger& l = *chip.ledger;
+    // Rows are the server-wide VM id space, shared by every chip.
+    EXPECT_EQ(l.rows(), r.scaleout->interchipRowFlits.size());
+    std::uint64_t misses = 0;
+    AttributionLedger::NetCell net;
+    for (std::size_t row = 0; row < l.rows(); ++row)
+      for (std::size_t a = 0; a < l.numAreas(); ++a) {
+        misses += l.missLatency(row, a).count();
+        net.messages += l.net(row, a).messages;
+        net.flits += l.net(row, a).flits;
+      }
+    EXPECT_EQ(misses, chip.stats.missLatency.count()) << "chip " << c;
+    EXPECT_EQ(net.messages, chip.noc.messages) << "chip " << c;
+    EXPECT_EQ(net.flits, chip.noc.linkFlits) << "chip " << c;
+  }
+}
+
+TEST(Scaleout, MigrationMovesVmAndItsStreamFollows) {
+  ExperimentConfig cfg =
+      scaleoutConfig(2, "shutdown@5000:vm=4;migrate@15000:vm=0:to=1");
+  ServerSystem server(cfg);
+  server.warmup(cfg.warmupCycles);
+  const std::uint64_t opsBefore = server.workload().opsGenerated(0);
+  EXPECT_EQ(server.workload().chipOf(0), 0);
+  server.run(cfg.windowCycles);
+  ASSERT_NE(server.lifecycle(), nullptr);
+  EXPECT_EQ(server.lifecycle()->migrationsCompleted(), 1u);
+  // VM 0 now lives on chip 1 (in VM 4's old slot) and kept generating:
+  // its thread state traveled, the stream follows the VM.
+  EXPECT_EQ(server.workload().chipOf(0), 1);
+  EXPECT_TRUE(server.workload().vmRunning(0));
+  EXPECT_FALSE(server.workload().vmRunning(4));
+  EXPECT_GT(server.workload().opsGenerated(0), opsBefore);
+  EXPECT_EQ(server.link().stats().migrations, 1u);
+  EXPECT_GT(server.link().stats().migrationPages, 0u);
+}
+
+TEST(Scaleout, CowStormBreaksDeduplication) {
+  const ExperimentConfig quiet = scaleoutConfig(2, "");
+  ExperimentConfig stormy = scaleoutConfig(2, "storm@1000:vm=0:len=40000");
+  // chips=2 alone activates the scale-out path for both.
+  const ExperimentResult a = runExperiment(quiet);
+  const ExperimentResult b = runExperiment(stormy);
+  // The storm floors VM 0's dedup write fraction, so it must produce at
+  // least as many copy-on-write breaks; with apache's low write fraction
+  // the difference is strict.
+  EXPECT_GT(b.scaleout->cowEvents, a.scaleout->cowEvents);
+}
+
+TEST(Scaleout, SingleChipWithChurnUsesScaleoutPath) {
+  // chips=1 with a churn spec is still a scale-out run (the lifecycle
+  // needs the boundary loop); migration is impossible with one chip and
+  // must be skipped, not crash.
+  const ExperimentResult r = runExperiment(
+      scaleoutConfig(1, "shutdown@5000;migrate@10000;storm@20000:len=5000"));
+  EXPECT_EQ(r.chips, 1u);
+  ASSERT_NE(r.scaleout, nullptr);
+  EXPECT_EQ(r.scaleout->migrationsCompleted, 0u);
+  EXPECT_GT(r.scaleout->skippedEvents, 0u);
+  EXPECT_EQ(r.scaleout->shutdowns, 1u);
+  EXPECT_EQ(r.interchip.messages, 0u);  // nothing to cross
+}
+
+TEST(Scaleout, JournalRoundTripsScaleoutFields) {
+  const ExperimentConfig cfg = scaleoutConfig(2, kFullChurn);
+  const ExperimentResult r = runExperiment(cfg);
+  const std::string digest = SweepJournal::configDigest(cfg);
+  // The scale-out knobs are result-affecting, so they must change the
+  // digest (a resumed sweep must not splice a single-chip record in).
+  EXPECT_NE(digest, SweepJournal::configDigest(scaleoutConfig(2, "")));
+  EXPECT_NE(digest,
+            SweepJournal::configDigest(scaleoutConfig(4, kFullChurn)));
+  {
+    ExperimentConfig tweaked = cfg;
+    tweaked.scaleout.link.hopCycles += 1;
+    EXPECT_NE(digest, SweepJournal::configDigest(tweaked));
+  }
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/scaleout_journal.jsonl";
+  {
+    SweepJournal journal;
+    std::string error;
+    ASSERT_TRUE(journal.open(path, /*resume=*/false, &error)) << error;
+    ASSERT_TRUE(journal.append(digest, r));
+  }
+  SweepJournal reloaded;
+  std::string error;
+  ASSERT_TRUE(reloaded.open(path, /*resume=*/true, &error)) << error;
+  ASSERT_EQ(reloaded.restoredCount(), 1u);
+  const ExperimentResult* restored = reloaded.find(digest);
+  ASSERT_NE(restored, nullptr);
+  expectResultsIdentical(*restored, r);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eecc

@@ -123,6 +123,123 @@ TEST(TraceReplay, ReplayIsDeterministic) {
   std::remove(path.c_str());
 }
 
+TEST(TraceReplay, BoundedReplayOnLargerChipLeavesExtraTilesIdle) {
+  // Record on the small fuzzing-sized chip, replay bounded on a chip with
+  // more tiles: the extra tiles must be inactive (and report exhausted)
+  // and the replay must complete exactly the recorded operations.
+  const CmpConfig small = smallConfig();
+  const VmLayout layout = VmLayout::matched(small, 4);
+  const std::string path = tempTracePath("bounded_larger");
+  {
+    Workload w(small, layout, profiles::uniform4(profiles::apache()), 5);
+    writeTrace(w, small, 100, path);
+  }
+  const Trace trace = Trace::load(path);
+
+  CmpConfig big = smallConfig();
+  big.meshWidth = small.meshWidth * 2;  // twice the tiles
+  big.validate();
+  ASSERT_GT(big.tiles(), small.tiles());
+
+  TraceSource probe(trace, /*bounded=*/true);
+  for (NodeId t = static_cast<NodeId>(trace.tileCount());
+       t < big.tiles(); ++t) {
+    EXPECT_FALSE(probe.tileActive(t));
+    EXPECT_TRUE(probe.exhausted(t));
+  }
+
+  CmpSystem sys(big, ProtocolKind::DiCo,
+                std::make_unique<TraceSource>(trace, /*bounded=*/true));
+  sys.run(Tick{1} << 40);  // runs dry, then the queue drains
+  EXPECT_EQ(sys.opsCompleted(), trace.records().size());
+  for (NodeId t = static_cast<NodeId>(trace.tileCount());
+       t < big.tiles(); ++t)
+    EXPECT_EQ(sys.opsCompleted(t), 0u);
+  sys.protocol().checkInvariants();
+  std::remove(path.c_str());
+}
+
+std::string tempTextPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name + ".txt";
+}
+
+void writeTextFile(const std::string& path, const char* body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(body, f);
+  std::fclose(f);
+}
+
+TEST(TextTrace, IngestsProcOpAddrLines) {
+  const std::string path = tempTextPath("ingest");
+  writeTextFile(path,
+                "# comment line\n"
+                "0 R 0x1000\n"
+                "\n"
+                "1 READ 0x1008\n"   // op matched by first letter
+                "0 W 0x1040\n"
+                "2 w 4096\n"        // decimal address, same page 0x1000
+                "1 R 0x2000\n");
+  const TextTraceImage image = loadTextTrace(path);
+  EXPECT_EQ(image.opLines, 5u);
+  EXPECT_EQ(image.processes, 3u);
+  EXPECT_EQ(image.trace.tileCount(), 3u);
+  ASSERT_EQ(image.trace.records().size(), 5u);
+  // Page 0x1000 is referenced by procs 0, 1 and 2 -> deduplicated.
+  EXPECT_EQ(image.sharedPages, 1u);
+  EXPECT_EQ(image.trace.records()[0].tile, 0);
+  EXPECT_EQ(image.trace.records()[0].type, AccessType::Read);
+  EXPECT_EQ(image.trace.records()[2].type, AccessType::Write);
+  // Reads of the shared page by different procs hit the same physical
+  // page (offsets preserved)...
+  const Addr r0 = image.trace.records()[0].addr;  // proc 0 reads 0x1000
+  const Addr r1 = image.trace.records()[1].addr;  // proc 1 reads 0x1008
+  EXPECT_EQ(r0 & ~(kPageBytes - 1), r1 & ~(kPageBytes - 1));
+  EXPECT_EQ(r1 & (kPageBytes - 1), 0x8u);
+  // ...while writes trigger copy-on-write onto private copies.
+  const Addr w0 = image.trace.records()[2].addr;  // proc 0 writes 0x1040
+  EXPECT_NE(w0 & ~(kPageBytes - 1), r0 & ~(kPageBytes - 1));
+  EXPECT_EQ(image.pages.cowEvents(), 2u);  // procs 0 and 2 wrote
+  // Private page 0x2000 of proc 1 is its own physical page.
+  EXPECT_EQ(image.pages.logicalMappings(), 3u + 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TextTrace, ImageReplaysThroughASystem) {
+  const std::string path = tempTextPath("replayable");
+  std::string body;
+  // 4 procs walking a shared read-only region plus a private one: enough
+  // records to exercise the memory system without wrapping surprises.
+  for (int i = 0; i < 200; ++i) {
+    const int proc = i % 4;
+    char line[64];
+    std::snprintf(line, sizeof line, "%d %c 0x%x\n", proc,
+                  i % 7 == 0 ? 'W' : 'R',
+                  0x10000 + (i % 16) * 64 + (i % 7 == 0 ? proc * 0x4000 : 0));
+    body += line;
+  }
+  writeTextFile(path, body.c_str());
+  const TextTraceImage image = loadTextTrace(path);
+  EXPECT_EQ(image.opLines, 200u);
+  CmpSystem sys(smallConfig(), ProtocolKind::DiCoProviders,
+                std::make_unique<TraceSource>(image.trace));
+  sys.run(20'000);
+  EXPECT_GT(sys.opsCompleted(), 500u);
+  sys.protocol().checkInvariants();
+  std::remove(path.c_str());
+}
+
+TEST(TextTrace, IngestionIsDeterministic) {
+  const std::string path = tempTextPath("determ");
+  writeTextFile(path,
+                "0 R 0x5000\n1 R 0x5000\n0 W 0x5010\n1 W 0x6000\n");
+  const TextTraceImage a = loadTextTrace(path);
+  const TextTraceImage b = loadTextTrace(path);
+  EXPECT_EQ(a.trace.records(), b.trace.records());
+  EXPECT_EQ(a.pages.physicalPages(), b.pages.physicalPages());
+  std::remove(path.c_str());
+}
+
 TEST(TraceReplay, WrapsAroundShortTraces) {
   Trace trace;
   trace.setTileCount(2);

@@ -10,7 +10,9 @@
 //   energy_breakdown.csv   Figure 8 normalized energy breakdown
 //   per_vm.csv             per-VM misses/latency/energy/leakage shares
 //   interference.csv       inter-VM interference (flit shares by area)
-//   report.md              all three tables as markdown
+//   scaleout.csv           multi-chip runs: churn tallies, inter-chip
+//                          link traffic/energy, per-chip rollups
+//   report.md              all tables as markdown
 //
 // The per-VM and interference tables need runs recorded with
 // `eecc_sim --ledger`; runs without ledger metrics still contribute to
@@ -73,6 +75,7 @@ int main(int argc, char** argv) {
   ok = writeEnergyBreakdownCsv(base + "energy_breakdown.csv", report) && ok;
   ok = writePerVmCsv(base + "per_vm.csv", report) && ok;
   ok = writeInterferenceCsv(base + "interference.csv", report) && ok;
+  ok = writeScaleoutCsv(base + "scaleout.csv", report) && ok;
   ok = writeReportMarkdown(base + "report.md", report) && ok;
   if (!ok) return 1;
 
@@ -80,8 +83,9 @@ int main(int argc, char** argv) {
   for (const StatsRun& r : runs)
     if (r.has("ledger.rows")) ++ledgerRuns;
   std::fprintf(stderr,
-               "eecc_report: %zu run(s) (%zu with ledger) -> %sreport.{json,"
-               "md} + 3 csv\n",
-               runs.size(), ledgerRuns, base.c_str());
+               "eecc_report: %zu run(s) (%zu with ledger, %zu scale-out) -> "
+               "%sreport.{json,md} + 4 csv\n",
+               runs.size(), ledgerRuns, report.scaleout.size(),
+               base.c_str());
   return 0;
 }

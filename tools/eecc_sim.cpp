@@ -20,6 +20,25 @@
 //     --replay FILE       drive the cores from a recorded trace (streams
 //                         wrap around when exhausted; with --check the
 //                         trace is replayed bounded, exactly once)
+//     --replay-text FILE  ingest an external text trace (`proc op addr`
+//                         per line, # comments) — rebuilds a deduplicated
+//                         memory image from it, prints the page accounting
+//                         and replays it like --replay
+//
+//   Scale-out (DESIGN.md §14):
+//     --chips N           simulate N chips, each a full mesh CMP, joined
+//                         by an inter-chip link (default 1 = single chip)
+//     --churn SPEC        VM lifecycle schedule: `;`-separated
+//                         boot@T[:chip=C][:profile=NAME] | shutdown@T[:vm=V]
+//                         | migrate@T[:vm=V][:to=C] | storm@T[:vm=V][:len=L]
+//                         | random:events=N[:until=T] (ticks are window-
+//                         relative; see DESIGN.md §14)
+//     --interchip-hop N   inter-chip link latency per chip hop in cycles
+//                         (default 48)
+//     --interchip-flit N  inter-chip serialization cycles per flit
+//                         (default 4)
+//     --interchip-energy-x X  inter-chip energy per flit-hop as a multiple
+//                         of an on-chip link traversal (default 8)
 //     --check             attach the conformance monitors (SWMR, data
 //                         value, metadata, progress); exit nonzero on any
 //                         violation
@@ -89,7 +108,10 @@ namespace {
                "       [--no-dedup] [--no-prediction] [--ddr] "
                "[--flit-level] [--seed N] [--csv]\n"
                "       [--dump-trace FILE] [--trace-ops N] "
-               "[--replay FILE] [--check] [--fuzz-chip]\n"
+               "[--replay FILE] [--replay-text FILE] [--check] "
+               "[--fuzz-chip]\n"
+               "       [--chips N] [--churn SPEC] [--interchip-hop N] "
+               "[--interchip-flit N] [--interchip-energy-x X]\n"
                "       [--stats-json FILE] [--stats-csv FILE] "
                "[--timeline FILE] [--timeline-every N]\n"
                "       [--trace-out FILE] [--trace-capacity N] "
@@ -121,6 +143,17 @@ void printHuman(const ExperimentResult& r) {
               100.0 * r.stats.l1MissRate(), 100.0 * r.stats.l2MissRate(),
               r.stats.missLatency.mean(), r.totalDynamicMw(),
               static_cast<unsigned long long>(r.noc.broadcasts));
+  if (r.chips > 1) {
+    std::printf("  scale-out: chips=%u churn=%llu  interchip msgs=%llu "
+                "flits=%llu remote=%llu migrations=%llu lat=%6.1f  "
+                "%7.3f mW\n",
+                r.chips, static_cast<unsigned long long>(r.churnApplied),
+                static_cast<unsigned long long>(r.interchip.messages),
+                static_cast<unsigned long long>(r.interchip.flits),
+                static_cast<unsigned long long>(r.interchip.remoteFetches),
+                static_cast<unsigned long long>(r.interchip.migrations),
+                r.interchip.latency.mean(), r.interchipMw);
+  }
 }
 
 void printCsvHeader() {
@@ -152,6 +185,7 @@ int main(int argc, char** argv) {
   bool csv = false;
   std::string tracePath;
   std::string replayPath;
+  std::string replayTextPath;
   bool check = false;
   std::uint64_t traceOps = 10'000;
   std::string statsJsonPath;
@@ -190,6 +224,15 @@ int main(int argc, char** argv) {
     else if (arg == "--csv") csv = true;
     else if (arg == "--dump-trace") tracePath = next();
     else if (arg == "--replay") replayPath = next();
+    else if (arg == "--replay-text") replayTextPath = next();
+    else if (arg == "--chips") {
+      cfg.scaleout.chips = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+      if (cfg.scaleout.chips == 0) usage(argv[0]);
+    }
+    else if (arg == "--churn") cfg.scaleout.churn = next();
+    else if (arg == "--interchip-hop") cfg.scaleout.link.hopCycles = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--interchip-flit") cfg.scaleout.link.cyclesPerFlit = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--interchip-energy-x") cfg.scaleout.link.energyPerFlitX = std::strtod(next(), nullptr);
     else if (arg == "--trace-ops") traceOps = std::strtoull(next(), nullptr, 10);
     else if (arg == "--check") check = true;
     else if (arg == "--fuzz-chip") cfg.chip = fuzzChip();
@@ -232,8 +275,24 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (!replayPath.empty()) {
-    const Trace trace = Trace::load(replayPath);
+  if (!replayPath.empty() || !replayTextPath.empty()) {
+    Trace trace;
+    if (!replayTextPath.empty()) {
+      TextTraceImage image = loadTextTrace(replayTextPath);
+      std::printf(
+          "ingested %llu ops from %u processes (%llu shared pages)\n"
+          "  image: %llu physical pages, %llu logical mappings, "
+          "%llu CoW copies, dedup saved %.1f%%\n",
+          static_cast<unsigned long long>(image.opLines), image.processes,
+          static_cast<unsigned long long>(image.sharedPages),
+          static_cast<unsigned long long>(image.pages.physicalPages()),
+          static_cast<unsigned long long>(image.pages.logicalMappings()),
+          static_cast<unsigned long long>(image.pages.cowEvents()),
+          100.0 * image.pages.savedFraction());
+      trace = std::move(image.trace);
+    } else {
+      trace = Trace::load(replayPath);
+    }
     bool anyViolation = false;
     for (const ProtocolKind kind : parseProtocols(protocols)) {
       if (check) {
