@@ -1,0 +1,186 @@
+// Microbenchmark of the table-engine interpreter (DESIGN.md §15): the
+// same MESI stable-state automaton is driven two ways over an identical
+// deterministic event stream — once through ProtocolTable::run() with an
+// inlined Ops adapter (how every protocol dispatches since the refactor)
+// and once through a hand-written switch (the pre-refactor dispatch
+// shape). Both sides mutate the same per-line state array and fold their
+// actions into a checksum, so events/sec is an apples-to-apples measure
+// of pure dispatch cost and the checksums double as a semantic
+// cross-check.
+//
+// Results are printed and written as JSON for the perf-smoke CI gate
+// (path overridable via EECC_TABLE_ENGINE_JSON, default
+// micro_table_engine.json). The exit gate holds the refactor's promise:
+// the interpreter must stay within 0.95x of the switch.
+//
+//   $ ./build/bench/micro_table_engine
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.h"
+#include "common/atomic_file.h"
+#include "common/json.h"
+#include "protocols/mesi.h"
+#include "protocols/table_engine.h"
+
+using namespace eecc;
+
+namespace {
+
+constexpr std::size_t kLines = 1024;
+constexpr std::uint8_t kS = 0, kE = 1, kM = 2;
+
+/// Minimal adapter: actions fold into a checksum, guards are trivially
+/// true (the MESI table is guard-free anyway), state writes hit the
+/// shared line array — the same work the switch below does by hand.
+struct BenchOps {
+  std::uint8_t* state;
+  std::uint64_t* checksum;
+  bool guard(tbl::Guard) const { return true; }
+  void setState(std::uint8_t s) { *state = s; }
+  void act(tbl::Action a) {
+    *checksum += static_cast<std::uint64_t>(a);
+  }
+};
+
+/// The pre-refactor dispatch shape: the same automaton, hand-coded.
+tbl::Outcome handDispatch(std::uint8_t& state, tbl::Event ev,
+                          std::uint64_t& checksum) {
+  const auto chg = [&checksum](tbl::Action a) {
+    checksum += static_cast<std::uint64_t>(a);
+  };
+  switch (ev) {
+    case tbl::Event::LocalRead:
+      chg(tbl::Action::ChargeL1Read);
+      chg(tbl::Action::Touch);
+      chg(tbl::Action::RecordRead);
+      return tbl::Outcome::Hit;
+    case tbl::Event::LocalWrite:
+      if (state == kS) return tbl::Outcome::Miss;
+      state = kM;
+      chg(tbl::Action::CommitWrite);
+      chg(tbl::Action::ChargeL1Write);
+      chg(tbl::Action::Touch);
+      return tbl::Outcome::Hit;
+    case tbl::Event::Replace:
+      if (state == kM) chg(tbl::Action::WritebackData);
+      chg(tbl::Action::Invalidate);
+      return tbl::Outcome::Handled;
+    case tbl::Event::Inval:
+      chg(tbl::Action::Invalidate);
+      return tbl::Outcome::Handled;
+    case tbl::Event::SnoopRead:
+      if (state == kS) return tbl::Outcome::Handled;
+      if (state == kM) {
+        state = kS;
+        chg(tbl::Action::ChargeL1Read);
+        chg(tbl::Action::SupplyData);
+        chg(tbl::Action::WritebackData);
+        return tbl::Outcome::Handled;
+      }
+      state = kS;
+      chg(tbl::Action::ChargeL1Read);
+      chg(tbl::Action::SupplyData);
+      return tbl::Outcome::Handled;
+    case tbl::Event::SnoopWrite:
+      if (state != kS) {
+        chg(tbl::Action::ChargeL1Read);
+        chg(tbl::Action::SupplyData);
+      }
+      chg(tbl::Action::Invalidate);
+      return tbl::Outcome::Handled;
+  }
+  return tbl::Outcome::Miss;
+}
+
+struct Stream {
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  std::uint64_t next() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  }
+};
+
+/// Both drivers re-insert evicted/missed lines the same way so the state
+/// distributions stay identical (validated by the checksum comparison).
+template <class Dispatch>
+double timedRun(std::uint64_t events, Dispatch&& dispatch,
+                std::uint64_t& checksum) {
+  std::uint8_t state[kLines];
+  for (std::size_t i = 0; i < kLines; ++i)
+    state[i] = static_cast<std::uint8_t>(i % 3);
+  Stream stream;
+  checksum = 0;
+  const bench::WallTimer timer;
+  for (std::uint64_t n = 0; n < events; ++n) {
+    const std::uint64_t r = stream.next();
+    const std::size_t line = static_cast<std::size_t>(r >> 32) % kLines;
+    const auto ev = static_cast<tbl::Event>(r % tbl::kEventCount);
+    const tbl::Outcome out = dispatch(state[line], ev, checksum);
+    if (out == tbl::Outcome::Miss) state[line] = kM;  // miss "completes"
+    checksum += static_cast<std::uint64_t>(out);
+  }
+  const double secs = timer.seconds();
+  return secs > 0.0 ? static_cast<double>(events) / secs : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t events = bench::quickMode() ? 5'000'000 : 50'000'000;
+  const tbl::ProtocolTable table = MesiProtocol::makeStableTable();
+
+  std::printf("table-engine interpreter vs hand-written switch "
+              "(%llu events, %zu lines)\n\n",
+              static_cast<unsigned long long>(events), kLines);
+
+  // Alternate and keep each side's best to cancel warm-up drift.
+  double tableEps = 0.0, switchEps = 0.0;
+  std::uint64_t tableSum = 0, switchSum = 0;
+  const auto runTable = [&table](std::uint8_t& st, tbl::Event ev,
+                                 std::uint64_t& sum) {
+    return table.run(st, ev, BenchOps{&st, &sum});
+  };
+  timedRun(events / 4, runTable, tableSum);  // warm
+  for (int rep = 0; rep < 3; ++rep) {
+    switchEps = std::max(switchEps, timedRun(events, handDispatch, switchSum));
+    tableEps = std::max(tableEps, timedRun(events, runTable, tableSum));
+  }
+  if (tableSum != switchSum) {
+    std::fprintf(stderr,
+                 "checksum mismatch: interpreter %llu vs switch %llu — the "
+                 "two dispatchers disagree on the automaton\n",
+                 static_cast<unsigned long long>(tableSum),
+                 static_cast<unsigned long long>(switchSum));
+    return 1;
+  }
+
+  const double speedup = switchEps > 0.0 ? tableEps / switchEps : 0.0;
+  std::printf("%-24s %14.2f M events/s\n", "hand-written switch",
+              switchEps / 1e6);
+  std::printf("%-24s %14.2f M events/s\n", "table interpreter",
+              tableEps / 1e6);
+  std::printf("%-24s %13.2fx %s\n\n", "interpreter / switch", speedup,
+              speedup < 0.95 ? "(interpreter SLOWER than the gate allows)"
+                             : "");
+
+  const char* jsonPath = std::getenv("EECC_TABLE_ENGINE_JSON");
+  if (jsonPath == nullptr) jsonPath = "micro_table_engine.json";
+  AtomicFile out(jsonPath);
+  if (!out) return 1;
+  JsonWriter w(out.get());
+  w.beginObject();
+  w.field("bench", "micro_table_engine");
+  w.field("events", events);
+  w.field("table_engine_switch_events_per_sec", switchEps);
+  w.field("table_engine_interpreter_events_per_sec", tableEps);
+  w.field("table_engine_interpreter_speedup", speedup);
+  w.endObject();
+  w.finish();
+  if (!out.commit()) return 1;
+  std::printf("wrote %s\n", jsonPath);
+  return speedup < 0.95 ? 1 : 0;
+}

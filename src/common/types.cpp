@@ -8,6 +8,7 @@ const char* protocolName(ProtocolKind kind) {
     case ProtocolKind::DiCo: return "DiCo";
     case ProtocolKind::DiCoProviders: return "DiCo-Providers";
     case ProtocolKind::DiCoArin: return "DiCo-Arin";
+    case ProtocolKind::Mesi: return "MESI-Snoop";
   }
   return "?";
 }

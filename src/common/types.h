@@ -58,12 +58,14 @@ constexpr std::uint64_t blockIndex(Addr a) { return a >> kBlockOffsetBits; }
 /// Kind of memory access issued by a core.
 enum class AccessType : std::uint8_t { Read, Write };
 
-/// The four coherence protocols evaluated in the paper.
+/// The four coherence protocols evaluated in the paper, plus a snooping
+/// MESI reference point built on the mesh broadcast path.
 enum class ProtocolKind : std::uint8_t {
   Directory,      ///< Flat full-map MESI directory (baseline, Section II-A).
   DiCo,           ///< Original Direct Coherence [7].
   DiCoProviders,  ///< Section III-A.
   DiCoArin,       ///< Section III-B.
+  Mesi,           ///< Broadcast-snooping MESI (no directory storage).
 };
 
 /// Human-readable protocol name matching the paper's tables.

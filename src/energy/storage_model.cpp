@@ -139,6 +139,13 @@ StorageBreakdown storageFor(ProtocolKind kind, const ChipParams& p,
       s.l2DirBits = static_cast<std::uint64_t>(p.l2Entries) * s.l2DirEntryBits;
       addPointerCaches(s, p);
       break;
+
+    case ProtocolKind::Mesi:
+      // Broadcast snooping keeps no sharing information anywhere — every
+      // miss interrogates all caches — so only the plain data arrays
+      // (already accounted above) exist. The flip side is paid in network
+      // energy, not storage.
+      break;
   }
   return s;
 }

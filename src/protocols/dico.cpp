@@ -24,11 +24,94 @@ enum DiCoMsg : std::uint16_t {
 };
 
 bool isOwnerState(std::uint8_t s) { return s >= 1; }  // E, M, O
+
+// The MOSI+E stable-state automaton as table data (DESIGN.md §15). State
+// ids mirror DiCoProtocol::L1State declaration order. The owner-side
+// mechanisms DiCo adds over a directory — sharer tracking at the owner,
+// ownership migration, supplier prediction — stay behind escapes; the
+// table names which states take them.
+constexpr std::uint8_t kS = 0, kE = 1, kM = 2, kO = 3;
+constexpr tbl::Transition kDiCoTable[] = {
+    // Core reads hit on any valid copy.
+    {kS, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kE, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kM, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kO, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    // Core writes: E upgrades silently; an owner whose (stale-free) sharing
+    // code is empty upgrades in place, otherwise the sharers must be
+    // invalidated first; S starts an upgrade transaction.
+    {kS, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Hit, kM,
+     {tbl::Action::CommitWrite, tbl::Action::ChargeL1Write,
+      tbl::Action::Touch}},
+    {kM, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Hit, kM,
+     {tbl::Action::CommitWrite, tbl::Action::ChargeL1Write,
+      tbl::Action::Touch}},
+    {kO, tbl::Event::LocalWrite, tbl::Guard::SoleCopy, tbl::Outcome::Hit, kM,
+     {tbl::Action::ChargeL1DirRead, tbl::Action::CommitWrite,
+      tbl::Action::ChargeL1Write, tbl::Action::Touch}},
+    {kO, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {tbl::Action::ChargeL1DirRead}},
+    // Replacement: sharers evict silently, retaining the supplier identity
+    // in the L1C$ (Section IV-A2); owner states hand the ownership to a
+    // live sharer or relinquish it to the home (Section IV-A1).
+    {kS, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape0, tbl::Action::Invalidate}},
+    {kE, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape1, tbl::Action::Invalidate}},
+    {kM, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape1, tbl::Action::Invalidate}},
+    {kO, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape1, tbl::Action::Invalidate}},
+    // Owner-directed invalidation; the ack and the L1C$ next-owner hint
+    // are the dispatch site's (they apply with or without a copy).
+    {kS, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kE, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kM, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kO, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    // Requests predicted (or forwarded) to this L1: only an owner can
+    // serve them; anything else is a misprediction that detours through
+    // the home (Outcome::Miss at the dispatch site).
+    {kS, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape2}},
+    {kM, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape2}},
+    {kO, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape2}},
+    {kS, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape3}},
+    {kM, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape3}},
+    {kO, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape3}},
+};
 }  // namespace
+
+tbl::ProtocolTable DiCoProtocol::makeStableTable() {
+  return tbl::ProtocolTable("dico", kDiCoTable, /*numStates=*/4,
+                            /*sharedState=*/kS, /*modifiedState=*/kM);
+}
 
 DiCoProtocol::DiCoProtocol(EventQueue& events, Network& net,
                            const CmpConfig& cfg)
-    : Protocol(events, net, cfg) {
+    : Protocol(events, net, cfg), table_(makeStableTable()) {
   tiles_.reserve(static_cast<std::size_t>(cfg_.tiles()));
   banks_.reserve(static_cast<std::size_t>(cfg_.tiles()));
   for (NodeId t = 0; t < cfg_.tiles(); ++t) {
@@ -46,36 +129,35 @@ bool DiCoProtocol::tryHit(NodeId tile, Addr block, AccessType type) {
   energy_.l1TagProbe += 1;
   L1Line* line = tl.l1.find(block);
   if (line == nullptr) return false;
-  if (type == AccessType::Read) {
-    energy_.l1DataRead += 1;
-    tl.l1.touch(*line);
-    recordRead(tile, line->value);
-    return true;
-  }
-  switch (line->state) {
-    case L1State::M:
-    case L1State::E:
-      line->state = L1State::M;
-      line->dirty = true;
-      line->value = commitWrite(block);
-      energy_.l1DataWrite += 1;
-      tl.l1.touch(*line);
-      return true;
-    case L1State::O:
-      energy_.l1DirRead += 1;
-      if (line->sharers.empty()) {  // stale-free map: silent upgrade
-        line->state = L1State::M;
-        line->dirty = true;
-        line->value = commitWrite(block);
-        energy_.l1DataWrite += 1;
-        tl.l1.touch(*line);
-        return true;
+  struct Ops {
+    DiCoProtocol& p;
+    Tile& tl;
+    L1Line& line;
+    NodeId tile;
+    Addr block;
+    bool guard(tbl::Guard) const {
+      return line.sharers.empty();  // SoleCopy: stale-free sharing code
+    }
+    void setState(std::uint8_t s) { line.state = static_cast<L1State>(s); }
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::ChargeL1Read: p.energy_.l1DataRead += 1; break;
+        case tbl::Action::ChargeL1Write: p.energy_.l1DataWrite += 1; break;
+        case tbl::Action::ChargeL1DirRead: p.energy_.l1DirRead += 1; break;
+        case tbl::Action::Touch: tl.l1.touch(line); break;
+        case tbl::Action::RecordRead: p.recordRead(tile, line.value); break;
+        case tbl::Action::CommitWrite:
+          line.dirty = true;
+          line.value = p.commitWrite(block);
+          break;
+        default: EECC_CHECK_MSG(false, "action not in the hit vocabulary");
       }
-      return false;  // must invalidate sharers first
-    case L1State::S:
-      return false;  // upgrade
-  }
-  return false;
+    }
+  } ops{*this, tl, *line, tile, block};
+  return table_.run(static_cast<std::uint8_t>(line->state),
+                    type == AccessType::Read ? tbl::Event::LocalRead
+                                             : tbl::Event::LocalWrite,
+                    ops) == tbl::Outcome::Hit;
 }
 
 void DiCoProtocol::installL1(NodeId tile, Addr block, L1State state,
@@ -104,17 +186,38 @@ void DiCoProtocol::installL1(NodeId tile, Addr block, L1State state,
 }
 
 void DiCoProtocol::evictL1Line(NodeId tile, L1Line& line) {
-  const Addr block = line.addr;
-  if (line.state == L1State::S) {
-    // Silent eviction; retain the supplier identity in the L1C$ so future
-    // misses still resolve in two hops (Section IV-A2).
-    if (line.supplier != kInvalidNode) {
-      tileOf(tile).l1c.update(block, line.supplier);
-      energy_.l1cUpdate += 1;
+  struct Ops {
+    DiCoProtocol& p;
+    NodeId tile;
+    L1Line& line;
+    bool guard(tbl::Guard) const { return true; }
+    void setState(std::uint8_t) {}
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::Escape0: p.retainSupplierHint(tile, line); break;
+        case tbl::Action::Escape1: p.evictOwnerLine(tile, line); break;
+        case tbl::Action::Invalidate:
+          p.tileOf(tile).l1.invalidate(line);
+          break;
+        default:
+          EECC_CHECK_MSG(false, "action not in the replace vocabulary");
+      }
     }
-    tileOf(tile).l1.invalidate(line);
-    return;
+  } ops{*this, tile, line};
+  table_.run(static_cast<std::uint8_t>(line.state), tbl::Event::Replace, ops);
+}
+
+void DiCoProtocol::retainSupplierHint(NodeId tile, const L1Line& line) {
+  // Silent eviction; retain the supplier identity in the L1C$ so future
+  // misses still resolve in two hops (Section IV-A2).
+  if (line.supplier != kInvalidNode) {
+    tileOf(tile).l1c.update(line.addr, line.supplier);
+    energy_.l1cUpdate += 1;
   }
+}
+
+void DiCoProtocol::evictOwnerLine(NodeId tile, L1Line& line) {
+  const Addr block = line.addr;
   // Owner eviction: hand the ownership to a (live) sharer, else to the home.
   energy_.l1DirRead += 1;
   NodeSet candidates = line.sharers;
@@ -140,7 +243,6 @@ void DiCoProtocol::evictL1Line(NodeId tile, L1Line& line) {
   } else {
     relinquishToHome(tile, line);
   }
-  tileOf(tile).l1.invalidate(line);
 }
 
 void DiCoProtocol::transferOwnership(NodeId from, const L1Line& line,
@@ -533,10 +635,25 @@ void DiCoProtocol::handleRequestAtL1(const Message& msg) {
     energy_.l1cUpdate += 1;
   }
 
+  struct Ops {
+    DiCoProtocol& p;
+    NodeId tile;
+    L1Line* line;
+    const Message& msg;
+    bool guard(tbl::Guard) const { return true; }
+    void setState(std::uint8_t s) { line->state = static_cast<L1State>(s); }
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::Escape2: p.ownerServeRead(tile, *line, msg); break;
+        case tbl::Action::Escape3: p.ownerServeWrite(tile, *line, msg); break;
+        default: EECC_CHECK_MSG(false, "action not in the snoop vocabulary");
+      }
+    }
+  } ops{*this, tile, line, msg};
   if (line != nullptr &&
-      isOwnerState(static_cast<std::uint8_t>(line->state))) {
-    if (isWrite) ownerServeWrite(tile, *line, msg);
-    else ownerServeRead(tile, *line, msg);
+      table_.run(static_cast<std::uint8_t>(line->state),
+                 isWrite ? tbl::Event::SnoopWrite : tbl::Event::SnoopRead,
+                 ops) != tbl::Outcome::Miss) {
     return;
   }
   // Misprediction: forward the request to the home L2.
@@ -783,7 +900,23 @@ void DiCoProtocol::onMessage(const Message& msg) {
       const NodeId tile = msg.dst;
       auto& tl = tileOf(tile);
       energy_.l1TagProbe += 1;
-      if (L1Line* line = tl.l1.find(msg.addr)) tl.l1.invalidate(*line);
+      if (L1Line* line = tl.l1.find(msg.addr)) {
+        struct Ops {
+          Tile& tl;
+          L1Line& line;
+          bool guard(tbl::Guard) const { return true; }
+          void setState(std::uint8_t s) {
+            line.state = static_cast<L1State>(s);
+          }
+          void act(tbl::Action a) {
+            EECC_CHECK_MSG(a == tbl::Action::Invalidate,
+                           "action not in the inval vocabulary");
+            tl.l1.invalidate(line);
+          }
+        } ops{tl, *line};
+        table_.run(static_cast<std::uint8_t>(line->state), tbl::Event::Inval,
+                   ops);
+      }
       // The writer will be the new owner: remember it (Fig. 5).
       if (msg.requestor != tile) {
         tl.l1c.update(msg.addr, msg.requestor);

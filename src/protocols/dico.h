@@ -17,6 +17,7 @@
 #include "cache/coherence_cache.h"
 #include "cache/node_set.h"
 #include "protocols/protocol.h"
+#include "protocols/table_engine.h"
 
 namespace eecc {
 
@@ -41,6 +42,10 @@ class DiCoProtocol final : public Protocol {
   LineView l1Line(NodeId tile, Addr block) const;
   /// Precise L1 owner recorded at the home, or kInvalidNode.
   NodeId l2cOwner(Addr block) const;
+
+  /// The MOSI+E stable-state table this engine interprets (DESIGN.md §15);
+  /// exposed so tests/table_engine_test.cpp can audit well-formedness.
+  static tbl::ProtocolTable makeStableTable();
 
  protected:
   void startMiss(NodeId tile, Addr block, AccessType type,
@@ -116,6 +121,11 @@ class DiCoProtocol final : public Protocol {
                  std::uint64_t value, NodeId supplier,
                  const NodeSet& sharers);
   void evictL1Line(NodeId tile, L1Line& line);
+  /// Replace-event table escapes: S retains its supplier prediction in
+  /// the L1C$; owner states hand the ownership to a live sharer or back
+  /// to the home (Section IV-A1).
+  void retainSupplierHint(NodeId tile, const L1Line& line);
+  void evictOwnerLine(NodeId tile, L1Line& line);
   void relinquishToHome(NodeId tile, const L1Line& line);
   void transferOwnership(NodeId from, const L1Line& line, NodeId to);
 
@@ -138,6 +148,7 @@ class DiCoProtocol final : public Protocol {
   void finishClassification(Txn& txn, bool servedByL1Owner, bool fromMemory,
                             bool servedByL2);
 
+  tbl::ProtocolTable table_;
   std::vector<Tile> tiles_;
   std::vector<Bank> banks_;
   std::unordered_map<Addr, Txn> txns_;

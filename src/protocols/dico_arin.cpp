@@ -24,11 +24,114 @@ enum ArinMsg : std::uint16_t {
   kBcastAck,        // every L1 -> requestor/home (step 2)
   kBcastUnblock     // requestor/home -> every L1 (step 3)
 };
+
+// The MOSI+E+P stable-state automaton as table data (DESIGN.md §15).
+// State ids mirror DiCoArinProtocol::L1State declaration order. Arin's
+// novel mechanisms — ownership dissolution on the first remote-area read
+// and the three-way broadcast — stay behind escapes whose meaning is
+// scoped to the dispatching event: Replace {0: supplier hint, 1: evict
+// owner}; Snoop* {0: in-area supplier read, 1: remote read dissolving the
+// ownership, 2: provider read, 3: owner write}.
+constexpr std::uint8_t kS = 0, kE = 1, kM = 2, kO = 3, kP = 4;
+constexpr tbl::Transition kArinTable[] = {
+    // Core reads hit on any valid copy.
+    {kS, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kE, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kM, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kO, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kP, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    // Core writes: E upgrades silently; an owner whose area-local map
+    // shows no other sharer upgrades in place; S and P (global-mode
+    // copies) need the home's three-way broadcast.
+    {kS, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Hit, kM,
+     {tbl::Action::CommitWrite, tbl::Action::ChargeL1Write,
+      tbl::Action::Touch}},
+    {kM, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Hit, kM,
+     {tbl::Action::CommitWrite, tbl::Action::ChargeL1Write,
+      tbl::Action::Touch}},
+    {kO, tbl::Event::LocalWrite, tbl::Guard::SoleCopy, tbl::Outcome::Hit, kM,
+     {tbl::Action::ChargeL1DirRead, tbl::Action::CommitWrite,
+      tbl::Action::ChargeL1Write, tbl::Action::Touch}},
+    {kO, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {tbl::Action::ChargeL1DirRead}},
+    {kP, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    // Replacement: sharers AND providers evict silently (a stale home
+    // ProPo is repaired through the forwarder identity, IV-B); owner
+    // states hand the ownership over.
+    {kS, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape0, tbl::Action::Invalidate}},
+    {kE, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape1, tbl::Action::Invalidate}},
+    {kM, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape1, tbl::Action::Invalidate}},
+    {kO, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape1, tbl::Action::Invalidate}},
+    {kP, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape0, tbl::Action::Invalidate}},
+    // Owner-directed invalidation (ack handled at the dispatch site).
+    {kS, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kE, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kM, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kO, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kP, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    // Requests predicted (or forwarded) to this L1: owners serve in-area
+    // reads directly and dissolve on remote-area reads; providers serve
+    // any read (global blocks have no area restriction on suppliers).
+    {kS, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::SnoopRead, tbl::Guard::SameArea, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape0}},
+    {kE, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape1}},
+    {kM, tbl::Event::SnoopRead, tbl::Guard::SameArea, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape0}},
+    {kM, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape1}},
+    {kO, tbl::Event::SnoopRead, tbl::Guard::SameArea, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape0}},
+    {kO, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape1}},
+    {kP, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape2}},
+    {kS, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape3}},
+    {kM, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape3}},
+    {kO, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape3}},
+    {kP, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+};
 }  // namespace
+
+tbl::ProtocolTable DiCoArinProtocol::makeStableTable() {
+  return tbl::ProtocolTable("arin", kArinTable, /*numStates=*/5,
+                            /*sharedState=*/kS, /*modifiedState=*/kM);
+}
 
 DiCoArinProtocol::DiCoArinProtocol(EventQueue& events, Network& net,
                                    const CmpConfig& cfg)
-    : Protocol(events, net, cfg) {
+    : Protocol(events, net, cfg), table_(makeStableTable()) {
   EECC_CHECK_MSG(cfg_.numAreas <= kMaxAreas,
                  "simulation supports at most kMaxAreas areas");
   tiles_.reserve(static_cast<std::size_t>(cfg_.tiles()));
@@ -46,34 +149,38 @@ bool DiCoArinProtocol::tryHit(NodeId tile, Addr block, AccessType type) {
   energy_.l1TagProbe += 1;
   L1Line* line = tl.l1.find(block);
   if (line == nullptr) return false;
-  if (type == AccessType::Read) {
-    energy_.l1DataRead += 1;
-    tl.l1.touch(*line);
-    recordRead(tile, line->value);
-    return true;
-  }
-  if (line->state == L1State::M || line->state == L1State::E) {
-    line->state = L1State::M;
-    line->dirty = true;
-    line->value = commitWrite(block);
-    energy_.l1DataWrite += 1;
-    tl.l1.touch(*line);
-    return true;
-  }
-  if (line->state == L1State::O) {
-    energy_.l1DirRead += 1;
-    NodeSet others = line->areaSharers;
-    others.erase(tile);
-    if (others.empty()) {
-      line->state = L1State::M;
-      line->dirty = true;
-      line->value = commitWrite(block);
-      energy_.l1DataWrite += 1;
-      tl.l1.touch(*line);
-      return true;
+  struct Ops {
+    DiCoArinProtocol& p;
+    Tile& tl;
+    L1Line& line;
+    NodeId tile;
+    Addr block;
+    bool guard(tbl::Guard) const {
+      // SoleCopy: the area-local map shows no other sharer.
+      NodeSet others = line.areaSharers;
+      others.erase(tile);
+      return others.empty();
     }
-  }
-  return false;
+    void setState(std::uint8_t s) { line.state = static_cast<L1State>(s); }
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::ChargeL1Read: p.energy_.l1DataRead += 1; break;
+        case tbl::Action::ChargeL1Write: p.energy_.l1DataWrite += 1; break;
+        case tbl::Action::ChargeL1DirRead: p.energy_.l1DirRead += 1; break;
+        case tbl::Action::Touch: tl.l1.touch(line); break;
+        case tbl::Action::RecordRead: p.recordRead(tile, line.value); break;
+        case tbl::Action::CommitWrite:
+          line.dirty = true;
+          line.value = p.commitWrite(block);
+          break;
+        default: EECC_CHECK_MSG(false, "action not in the hit vocabulary");
+      }
+    }
+  } ops{*this, tl, *line, tile, block};
+  return table_.run(static_cast<std::uint8_t>(line->state),
+                    type == AccessType::Read ? tbl::Event::LocalRead
+                                             : tbl::Event::LocalWrite,
+                    ops) == tbl::Outcome::Hit;
 }
 
 void DiCoArinProtocol::installL1(NodeId tile, Addr block, L1State state,
@@ -102,18 +209,32 @@ void DiCoArinProtocol::installL1(NodeId tile, Addr block, L1State state,
 }
 
 void DiCoArinProtocol::evictL1Line(NodeId tile, L1Line& line) {
-  if (line.state == L1State::S || line.state == L1State::P) {
-    // Sharers evict silently; providers of global blocks do too — a stale
-    // home ProPo is repaired through the forwarder identity (IV-B).
-    if (line.supplier != kInvalidNode) {
-      tileOf(tile).l1c.update(line.addr, line.supplier);
-      energy_.l1cUpdate += 1;
+  struct Ops {
+    DiCoArinProtocol& p;
+    NodeId tile;
+    L1Line& line;
+    bool guard(tbl::Guard) const { return true; }
+    void setState(std::uint8_t) {}
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::Escape0: p.retainSupplierHint(tile, line); break;
+        case tbl::Action::Escape1: p.evictOwnerLine(tile, line); break;
+        case tbl::Action::Invalidate:
+          p.tileOf(tile).l1.invalidate(line);
+          break;
+        default:
+          EECC_CHECK_MSG(false, "action not in the replace vocabulary");
+      }
     }
-    tileOf(tile).l1.invalidate(line);
-    return;
+  } ops{*this, tile, line};
+  table_.run(static_cast<std::uint8_t>(line.state), tbl::Event::Replace, ops);
+}
+
+void DiCoArinProtocol::retainSupplierHint(NodeId tile, const L1Line& line) {
+  if (line.supplier != kInvalidNode) {
+    tileOf(tile).l1c.update(line.addr, line.supplier);
+    energy_.l1cUpdate += 1;
   }
-  evictOwnerLine(tile, line);
-  tileOf(tile).l1.invalidate(line);
 }
 
 void DiCoArinProtocol::evictOwnerLine(NodeId tile, L1Line& line) {
@@ -471,6 +592,38 @@ void DiCoArinProtocol::startMiss(NodeId tile, Addr block, AccessType type,
   send(req);
 }
 
+void DiCoArinProtocol::ownerServeRemoteRead(NodeId tile, L1Line& line,
+                                            const Message& msg) {
+  const NodeId requestor = msg.requestor;
+  auto it = txns_.find(msg.addr);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+
+  // First remote-area read: the ownership dissolves (Section III-B).
+  if (txn.cls == MissClass::UnpredL2) {
+    if (txn.predicted && !txn.throughHome)
+      txn.cls = MissClass::PredOwnerHit;
+    else if (txn.predicted)
+      txn.cls = MissClass::PredMiss;
+    else
+      txn.cls = MissClass::UnpredOwner;
+  }
+  energy_.l1DataRead += 1;
+  txn.links += static_cast<std::uint32_t>(distance(tile, requestor));
+  Message grant;
+  grant.type = kProviderGrant;
+  grant.cls = MsgClass::Data;
+  grant.src = tile;
+  grant.dst = requestor;
+  grant.origin = requestor;
+  grant.addr = msg.addr;
+  grant.value = line.value;
+  grant.forwarder = tile;
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
+        [this, grant] { send(grant); });
+  globalizeFromOwner(tile, line, requestor);
+}
+
 void DiCoArinProtocol::supplierServeRead(NodeId node, L1Line& line,
                                          const Message& msg,
                                          bool asProvider) {
@@ -591,45 +744,36 @@ void DiCoArinProtocol::handleRequestAtL1(const Message& msg) {
   EECC_CHECK(it != txns_.end());
   Txn& txn = it->second;
 
-  if (line != nullptr) {
-    if (isWrite && line->isOwner()) {
-      ownerServeWrite(tile, *line, msg);
-      return;
+  struct Ops {
+    DiCoArinProtocol& p;
+    NodeId tile;
+    L1Line* line;
+    const Message& msg;
+    bool guard(tbl::Guard) const {
+      return p.sameArea(msg.requestor, tile);  // SameArea: supplier scope
     }
-    if (!isWrite && line->isOwner()) {
-      if (sameArea(requestor, tile)) {
-        supplierServeRead(tile, *line, msg, /*asProvider=*/false);
-        return;
+    void setState(std::uint8_t s) { line->state = static_cast<L1State>(s); }
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::Escape0:
+          p.supplierServeRead(tile, *line, msg, /*asProvider=*/false);
+          break;
+        case tbl::Action::Escape1:
+          p.ownerServeRemoteRead(tile, *line, msg);
+          break;
+        case tbl::Action::Escape2:
+          p.supplierServeRead(tile, *line, msg, /*asProvider=*/true);
+          break;
+        case tbl::Action::Escape3: p.ownerServeWrite(tile, *line, msg); break;
+        default: EECC_CHECK_MSG(false, "action not in the snoop vocabulary");
       }
-      // First remote-area read: the ownership dissolves (Section III-B).
-      if (txn.cls == MissClass::UnpredL2) {
-        if (txn.predicted && !txn.throughHome)
-          txn.cls = MissClass::PredOwnerHit;
-        else if (txn.predicted)
-          txn.cls = MissClass::PredMiss;
-        else
-          txn.cls = MissClass::UnpredOwner;
-      }
-      energy_.l1DataRead += 1;
-      txn.links += static_cast<std::uint32_t>(distance(tile, requestor));
-      Message grant;
-      grant.type = kProviderGrant;
-      grant.cls = MsgClass::Data;
-      grant.src = tile;
-      grant.dst = requestor;
-      grant.origin = requestor;
-      grant.addr = msg.addr;
-      grant.value = line->value;
-      grant.forwarder = tile;
-      after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
-            [this, grant] { send(grant); });
-      globalizeFromOwner(tile, *line, requestor);
-      return;
     }
-    if (!isWrite && line->state == L1State::P) {
-      supplierServeRead(tile, *line, msg, /*asProvider=*/true);
-      return;
-    }
+  } ops{*this, tile, line, msg};
+  if (line != nullptr &&
+      table_.run(static_cast<std::uint8_t>(line->state),
+                 isWrite ? tbl::Event::SnoopWrite : tbl::Event::SnoopRead,
+                 ops) != tbl::Outcome::Miss) {
+    return;
   }
   // Cannot act here: forward to the home with the forwarder identity so a
   // stale provider pointer can be repaired (Section IV-B).
@@ -999,7 +1143,23 @@ void DiCoArinProtocol::onMessage(const Message& msg) {
       const NodeId tile = msg.dst;
       auto& tl = tileOf(tile);
       energy_.l1TagProbe += 1;
-      if (L1Line* line = tl.l1.find(msg.addr)) tl.l1.invalidate(*line);
+      if (L1Line* line = tl.l1.find(msg.addr)) {
+        struct Ops {
+          Tile& tl;
+          L1Line& line;
+          bool guard(tbl::Guard) const { return true; }
+          void setState(std::uint8_t s) {
+            line.state = static_cast<L1State>(s);
+          }
+          void act(tbl::Action a) {
+            EECC_CHECK_MSG(a == tbl::Action::Invalidate,
+                           "action not in the inval vocabulary");
+            tl.l1.invalidate(line);
+          }
+        } ops{tl, *line};
+        table_.run(static_cast<std::uint8_t>(line->state), tbl::Event::Inval,
+                   ops);
+      }
       if (msg.requestor != tile) {
         tl.l1c.update(msg.addr, msg.requestor);
         energy_.l1cUpdate += 1;

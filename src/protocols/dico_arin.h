@@ -21,6 +21,7 @@
 #include "cache/coherence_cache.h"
 #include "cache/node_set.h"
 #include "protocols/protocol.h"
+#include "protocols/table_engine.h"
 
 namespace eecc {
 
@@ -48,6 +49,10 @@ class DiCoArinProtocol final : public Protocol {
   /// True when the block is currently in global (inter-area) mode at its
   /// home L2 (test hook).
   bool isGlobal(Addr block) const;
+
+  /// The MOSI+E+P stable-state table this engine interprets (DESIGN.md
+  /// §15); exposed so tests/table_engine_test.cpp can audit it.
+  static tbl::ProtocolTable makeStableTable();
 
  protected:
   void startMiss(NodeId tile, Addr block, AccessType type,
@@ -140,6 +145,9 @@ class DiCoArinProtocol final : public Protocol {
   void installL1(NodeId tile, Addr block, L1State state, bool dirty,
                  std::uint64_t value, NodeId supplier, const NodeSet& sharers);
   void evictL1Line(NodeId tile, L1Line& line);
+  /// Replace-event table escape: sharers and providers evict silently,
+  /// retaining the supplier prediction in the L1C$ (IV-B).
+  void retainSupplierHint(NodeId tile, const L1Line& line);
   void evictOwnerLine(NodeId tile, L1Line& line);
 
   // --- Home management ---
@@ -159,8 +167,13 @@ class DiCoArinProtocol final : public Protocol {
   void ownerServeWrite(NodeId node, L1Line& line, const Message& msg);
   void supplierServeRead(NodeId node, L1Line& line, const Message& msg,
                          bool asProvider);
+  /// SnoopRead table escape at an owner for a remote-area requestor: the
+  /// first such read dissolves the ownership (Section III-B) — the data is
+  /// granted, and the block globalizes at the home.
+  void ownerServeRemoteRead(NodeId tile, L1Line& line, const Message& msg);
   void maybeCompleteAccess(Addr block);
 
+  tbl::ProtocolTable table_;
   std::vector<Tile> tiles_;
   std::vector<Bank> banks_;
   std::unordered_map<Addr, Txn> txns_;

@@ -28,11 +28,110 @@ enum ProvMsg : std::uint16_t {
   kRecall,
   kRecallData
 };
+
+// The MOSI+E+P stable-state automaton as table data (DESIGN.md §15).
+// State ids mirror DiCoProvidersProtocol::L1State declaration order. The
+// per-area machinery (ProPo repair, provider creation, area-scoped
+// invalidation) stays behind escapes whose meaning is scoped to the
+// dispatching event: Replace {0: supplier hint, 1: evict provider,
+// 2: evict owner}; Snoop* {0: owner read, 1: provider read, 2: owner
+// write}.
+constexpr std::uint8_t kS = 0, kE = 1, kM = 2, kO = 3, kP = 4;
+constexpr tbl::Transition kProvidersTable[] = {
+    // Core reads hit on any valid copy.
+    {kS, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kE, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kM, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kO, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kP, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    // Core writes: E upgrades silently; an owner with no providers and no
+    // other in-area sharers upgrades in place; S and P (which by
+    // definition track remote copies) start an upgrade transaction.
+    {kS, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Hit, kM,
+     {tbl::Action::CommitWrite, tbl::Action::ChargeL1Write,
+      tbl::Action::Touch}},
+    {kM, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Hit, kM,
+     {tbl::Action::CommitWrite, tbl::Action::ChargeL1Write,
+      tbl::Action::Touch}},
+    {kO, tbl::Event::LocalWrite, tbl::Guard::SoleCopy, tbl::Outcome::Hit, kM,
+     {tbl::Action::ChargeL1DirRead, tbl::Action::CommitWrite,
+      tbl::Action::ChargeL1Write, tbl::Action::Touch}},
+    {kO, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {tbl::Action::ChargeL1DirRead}},
+    {kP, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    // Replacement: sharers evict silently retaining the supplier hint;
+    // a provider hands its area's sharers to an heir or dissolves; owner
+    // states hand the ownership over (Section IV-A1).
+    {kS, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape0, tbl::Action::Invalidate}},
+    {kE, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape2, tbl::Action::Invalidate}},
+    {kM, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape2, tbl::Action::Invalidate}},
+    {kO, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape2, tbl::Action::Invalidate}},
+    {kP, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape1, tbl::Action::Invalidate}},
+    // Supplier-directed invalidation (ack handled at the dispatch site).
+    {kS, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kE, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kM, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kO, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kP, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    // Requests predicted (or forwarded) to this L1: owners serve both
+    // kinds; a provider serves reads from its own area only; anything
+    // else detours (Outcome::Miss at the dispatch site).
+    {kS, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape0}},
+    {kM, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape0}},
+    {kO, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape0}},
+    {kP, tbl::Event::SnoopRead, tbl::Guard::SameArea, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape1}},
+    {kP, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kS, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape2}},
+    {kM, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape2}},
+    {kO, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape2}},
+    {kP, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+};
 }  // namespace
+
+tbl::ProtocolTable DiCoProvidersProtocol::makeStableTable() {
+  return tbl::ProtocolTable("providers", kProvidersTable, /*numStates=*/5,
+                            /*sharedState=*/kS, /*modifiedState=*/kM);
+}
 
 DiCoProvidersProtocol::DiCoProvidersProtocol(EventQueue& events, Network& net,
                                              const CmpConfig& cfg)
-    : Protocol(events, net, cfg) {
+    : Protocol(events, net, cfg), table_(makeStableTable()) {
   EECC_CHECK_MSG(cfg_.numAreas <= kMaxAreas,
                  "simulation supports at most kMaxAreas areas");
   tiles_.reserve(static_cast<std::size_t>(cfg_.tiles()));
@@ -50,36 +149,41 @@ bool DiCoProvidersProtocol::tryHit(NodeId tile, Addr block, AccessType type) {
   energy_.l1TagProbe += 1;
   L1Line* line = tl.l1.find(block);
   if (line == nullptr) return false;
-  if (type == AccessType::Read) {
-    energy_.l1DataRead += 1;
-    tl.l1.touch(*line);
-    recordRead(tile, line->value);
-    return true;
-  }
-  if (line->state == L1State::M || line->state == L1State::E) {
-    line->state = L1State::M;
-    line->dirty = true;
-    line->value = commitWrite(block);
-    energy_.l1DataWrite += 1;
-    tl.l1.touch(*line);
-    return true;
-  }
-  if (line->state == L1State::O) {
-    energy_.l1DirRead += 1;
-    bool anyProvider = false;
-    for (const NodeId p : line->providers) anyProvider |= p != kInvalidNode;
-    NodeSet others = line->areaSharers;
-    others.erase(tile);
-    if (!anyProvider && others.empty()) {
-      line->state = L1State::M;
-      line->dirty = true;
-      line->value = commitWrite(block);
-      energy_.l1DataWrite += 1;
-      tl.l1.touch(*line);
-      return true;
+  struct Ops {
+    DiCoProvidersProtocol& p;
+    Tile& tl;
+    L1Line& line;
+    NodeId tile;
+    Addr block;
+    bool guard(tbl::Guard) const {
+      // SoleCopy: no provider in any remote area and no other sharer in
+      // this one — the owner's coherence info proves exclusivity.
+      for (const NodeId pr : line.providers)
+        if (pr != kInvalidNode) return false;
+      NodeSet others = line.areaSharers;
+      others.erase(tile);
+      return others.empty();
     }
-  }
-  return false;  // S / P / O-with-copies: a miss transaction is needed
+    void setState(std::uint8_t s) { line.state = static_cast<L1State>(s); }
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::ChargeL1Read: p.energy_.l1DataRead += 1; break;
+        case tbl::Action::ChargeL1Write: p.energy_.l1DataWrite += 1; break;
+        case tbl::Action::ChargeL1DirRead: p.energy_.l1DirRead += 1; break;
+        case tbl::Action::Touch: tl.l1.touch(line); break;
+        case tbl::Action::RecordRead: p.recordRead(tile, line.value); break;
+        case tbl::Action::CommitWrite:
+          line.dirty = true;
+          line.value = p.commitWrite(block);
+          break;
+        default: EECC_CHECK_MSG(false, "action not in the hit vocabulary");
+      }
+    }
+  } ops{*this, tl, *line, tile, block};
+  return table_.run(static_cast<std::uint8_t>(line->state),
+                    type == AccessType::Read ? tbl::Event::LocalRead
+                                             : tbl::Event::LocalWrite,
+                    ops) == tbl::Outcome::Hit;
 }
 
 void DiCoProvidersProtocol::installL1(NodeId tile, Addr block, L1State state,
@@ -132,20 +236,34 @@ NodeId DiCoProvidersProtocol::findLiveSharer(Addr block,
 }
 
 void DiCoProvidersProtocol::evictL1Line(NodeId tile, L1Line& line) {
-  if (line.state == L1State::S) {
-    if (line.supplier != kInvalidNode) {
-      tileOf(tile).l1c.update(line.addr, line.supplier);
-      energy_.l1cUpdate += 1;
+  struct Ops {
+    DiCoProvidersProtocol& p;
+    NodeId tile;
+    L1Line& line;
+    bool guard(tbl::Guard) const { return true; }
+    void setState(std::uint8_t) {}
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::Escape0: p.retainSupplierHint(tile, line); break;
+        case tbl::Action::Escape1: p.evictProviderLine(tile, line); break;
+        case tbl::Action::Escape2: p.evictOwnerLine(tile, line); break;
+        case tbl::Action::Invalidate:
+          p.tileOf(tile).l1.invalidate(line);
+          break;
+        default:
+          EECC_CHECK_MSG(false, "action not in the replace vocabulary");
+      }
     }
-    tileOf(tile).l1.invalidate(line);
-    return;
+  } ops{*this, tile, line};
+  table_.run(static_cast<std::uint8_t>(line.state), tbl::Event::Replace, ops);
+}
+
+void DiCoProvidersProtocol::retainSupplierHint(NodeId tile,
+                                               const L1Line& line) {
+  if (line.supplier != kInvalidNode) {
+    tileOf(tile).l1c.update(line.addr, line.supplier);
+    energy_.l1cUpdate += 1;
   }
-  if (line.state == L1State::P) {
-    evictProviderLine(tile, line);
-  } else {
-    evictOwnerLine(tile, line);
-  }
-  tileOf(tile).l1.invalidate(line);
 }
 
 void DiCoProvidersProtocol::evictProviderLine(NodeId tile, L1Line& line) {
@@ -563,6 +681,75 @@ void DiCoProvidersProtocol::invalidateProviders(const ProPoArray& providers,
   }
 }
 
+void DiCoProvidersProtocol::ownerServeRead(NodeId tile, L1Line& line,
+                                           const Message& msg) {
+  const NodeId requestor = msg.requestor;
+  auto it = txns_.find(msg.addr);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+
+  // Stale-ProPo repair: a request forwarded by the cache the owner
+  // believes to be a provider proves that cache no longer provides.
+  if (msg.forwarder != kInvalidNode) {
+    const auto fa = static_cast<std::size_t>(areaOf(msg.forwarder));
+    if (line.providers[fa] == msg.forwarder) {
+      line.providers[fa] = kInvalidNode;
+      energy_.l1DirUpdate += 1;
+    }
+  }
+  if (sameArea(requestor, tile)) {
+    supplierServeRead(tile, line, msg);
+    return;
+  }
+  const AreaId aR = areaOf(requestor);
+  const NodeId provider = line.providers[static_cast<std::size_t>(aR)];
+  if (provider != kInvalidNode && provider != requestor) {
+    // Forward to the provider of the requestor's area (Table I).
+    if (txn.cls == MissClass::UnpredL2) {
+      if (txn.predicted && !txn.throughHome)
+        txn.cls = MissClass::PredOwnerHit;
+      else if (txn.predicted)
+        txn.cls = MissClass::PredMiss;
+      else
+        txn.cls = MissClass::UnpredOwner;
+    }
+    txn.links += static_cast<std::uint32_t>(distance(tile, provider));
+    Message fwd = msg;
+    fwd.type = kFwdProvider;
+    fwd.src = tile;
+    fwd.dst = provider;
+    after(cfg_.l1.tagLatency, [this, fwd] { send(fwd); });
+    return;
+  }
+  // No provider in the requestor's area: the requestor becomes one.
+  energy_.l1DataRead += 1;
+  energy_.l1DirUpdate += 1;
+  line.providers[static_cast<std::size_t>(aR)] = requestor;
+  if (line.state == L1State::E || line.state == L1State::M)
+    line.state = L1State::O;
+  if (txn.cls == MissClass::UnpredL2) {
+    if (txn.predicted && !txn.throughHome)
+      txn.cls = MissClass::PredOwnerHit;
+    else if (txn.predicted)
+      txn.cls = MissClass::PredMiss;
+    else
+      txn.cls = MissClass::UnpredOwner;
+  }
+  txn.becomeProvider = true;
+  txn.links += static_cast<std::uint32_t>(distance(tile, requestor));
+  Message grant;
+  grant.type = kProviderGrant;
+  grant.cls = MsgClass::Data;
+  grant.src = tile;
+  grant.dst = requestor;
+  grant.origin = requestor;
+  grant.addr = msg.addr;
+  grant.value = line.value;
+  grant.forwarder = tile;
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
+        [this, grant] { send(grant); });
+}
+
 void DiCoProvidersProtocol::supplierServeRead(NodeId node, L1Line& line,
                                               const Message& msg) {
   auto it = txns_.find(msg.addr);
@@ -685,79 +872,31 @@ void DiCoProvidersProtocol::handleRequestAtL1(const Message& msg) {
     energy_.l1cUpdate += 1;
   }
 
-  if (isWrite) {
-    if (line != nullptr && line->isOwner()) {
-      ownerServeWrite(tile, *line, msg);
-      return;
+  struct Ops {
+    DiCoProvidersProtocol& p;
+    NodeId tile;
+    L1Line* line;
+    const Message& msg;
+    bool guard(tbl::Guard) const {
+      return p.sameArea(msg.requestor, tile);  // SameArea: provider scope
     }
-  } else if (line != nullptr) {
-    if (line->isOwner()) {
-      // Stale-ProPo repair: a request forwarded by the cache the owner
-      // believes to be a provider proves that cache no longer provides.
-      if (msg.forwarder != kInvalidNode) {
-        const auto fa = static_cast<std::size_t>(areaOf(msg.forwarder));
-        if (line->providers[fa] == msg.forwarder) {
-          line->providers[fa] = kInvalidNode;
-          energy_.l1DirUpdate += 1;
-        }
+    void setState(std::uint8_t s) { line->state = static_cast<L1State>(s); }
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::Escape0: p.ownerServeRead(tile, *line, msg); break;
+        case tbl::Action::Escape1:
+          p.supplierServeRead(tile, *line, msg);
+          break;
+        case tbl::Action::Escape2: p.ownerServeWrite(tile, *line, msg); break;
+        default: EECC_CHECK_MSG(false, "action not in the snoop vocabulary");
       }
-      if (sameArea(requestor, tile)) {
-        supplierServeRead(tile, *line, msg);
-        return;
-      }
-      const AreaId aR = areaOf(requestor);
-      const NodeId provider = line->providers[static_cast<std::size_t>(aR)];
-      if (provider != kInvalidNode && provider != requestor) {
-        // Forward to the provider of the requestor's area (Table I).
-        if (txn.cls == MissClass::UnpredL2) {
-          if (txn.predicted && !txn.throughHome)
-            txn.cls = MissClass::PredOwnerHit;
-          else if (txn.predicted)
-            txn.cls = MissClass::PredMiss;
-          else
-            txn.cls = MissClass::UnpredOwner;
-        }
-        txn.links += static_cast<std::uint32_t>(distance(tile, provider));
-        Message fwd = msg;
-        fwd.type = kFwdProvider;
-        fwd.src = tile;
-        fwd.dst = provider;
-        after(cfg_.l1.tagLatency, [this, fwd] { send(fwd); });
-        return;
-      }
-      // No provider in the requestor's area: the requestor becomes one.
-      energy_.l1DataRead += 1;
-      energy_.l1DirUpdate += 1;
-      line->providers[static_cast<std::size_t>(aR)] = requestor;
-      if (line->state == L1State::E || line->state == L1State::M)
-        line->state = L1State::O;
-      if (txn.cls == MissClass::UnpredL2) {
-        if (txn.predicted && !txn.throughHome)
-          txn.cls = MissClass::PredOwnerHit;
-        else if (txn.predicted)
-          txn.cls = MissClass::PredMiss;
-        else
-          txn.cls = MissClass::UnpredOwner;
-      }
-      txn.becomeProvider = true;
-      txn.links += static_cast<std::uint32_t>(distance(tile, requestor));
-      Message grant;
-      grant.type = kProviderGrant;
-      grant.cls = MsgClass::Data;
-      grant.src = tile;
-      grant.dst = requestor;
-      grant.origin = requestor;
-      grant.addr = msg.addr;
-      grant.value = line->value;
-      grant.forwarder = tile;
-      after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
-            [this, grant] { send(grant); });
-      return;
     }
-    if (line->state == L1State::P && sameArea(requestor, tile)) {
-      supplierServeRead(tile, *line, msg);
-      return;
-    }
+  } ops{*this, tile, line, msg};
+  if (line != nullptr &&
+      table_.run(static_cast<std::uint8_t>(line->state),
+                 isWrite ? tbl::Event::SnoopWrite : tbl::Event::SnoopRead,
+                 ops) != tbl::Outcome::Miss) {
+    return;
   }
   // Cannot act: forward to the home (misprediction or remote provider).
   // The forwarder identity is a staleness signal (it triggers ProPo
@@ -1058,7 +1197,23 @@ void DiCoProvidersProtocol::onMessage(const Message& msg) {
       const NodeId tile = msg.dst;
       auto& tl = tileOf(tile);
       energy_.l1TagProbe += 1;
-      if (L1Line* line = tl.l1.find(msg.addr)) tl.l1.invalidate(*line);
+      if (L1Line* line = tl.l1.find(msg.addr)) {
+        struct Ops {
+          Tile& tl;
+          L1Line& line;
+          bool guard(tbl::Guard) const { return true; }
+          void setState(std::uint8_t s) {
+            line.state = static_cast<L1State>(s);
+          }
+          void act(tbl::Action a) {
+            EECC_CHECK_MSG(a == tbl::Action::Invalidate,
+                           "action not in the inval vocabulary");
+            tl.l1.invalidate(line);
+          }
+        } ops{tl, *line};
+        table_.run(static_cast<std::uint8_t>(line->state), tbl::Event::Inval,
+                   ops);
+      }
       if (msg.requestor != tile) {
         tl.l1c.update(msg.addr, msg.requestor);
         energy_.l1cUpdate += 1;

@@ -18,6 +18,7 @@
 #include "cache/coherence_cache.h"
 #include "cache/node_set.h"
 #include "protocols/protocol.h"
+#include "protocols/table_engine.h"
 
 namespace eecc {
 
@@ -50,6 +51,10 @@ class DiCoProvidersProtocol final : public Protocol {
   /// The provider recorded for (block, area) at the current owner, or
   /// kInvalidNode (test hook).
   NodeId providerOf(Addr block, AreaId area) const;
+
+  /// The MOSI+E+P stable-state table this engine interprets (DESIGN.md
+  /// §15); exposed so tests/table_engine_test.cpp can audit it.
+  static tbl::ProtocolTable makeStableTable();
 
  protected:
   void startMiss(NodeId tile, Addr block, AccessType type,
@@ -144,6 +149,9 @@ class DiCoProvidersProtocol final : public Protocol {
                  std::uint64_t value, NodeId supplier, const NodeSet& sharers,
                  const ProPoArray& providers);
   void evictL1Line(NodeId tile, L1Line& line);
+  /// Replace-event table escape: a sharer retains its supplier prediction
+  /// in the L1C$ on silent eviction (Section IV-A2).
+  void retainSupplierHint(NodeId tile, const L1Line& line);
   void evictProviderLine(NodeId tile, L1Line& line);
   void evictOwnerLine(NodeId tile, L1Line& line);
   NodeId findLiveSharer(Addr block, const NodeSet& candidates, NodeId except,
@@ -166,6 +174,10 @@ class DiCoProvidersProtocol final : public Protocol {
   // --- Transaction steps ---
   void handleRequestAtL1(const Message& msg);
   void handleRequestAtHome(const Message& msg);
+  /// SnoopRead table escape at an owner: repairs stale ProPos named by the
+  /// forwarder, then serves in-area reads directly and remote-area reads
+  /// through (or by creating) a provider (Table I).
+  void ownerServeRead(NodeId tile, L1Line& line, const Message& msg);
   void supplierServeRead(NodeId node, L1Line& line, const Message& msg);
   void ownerServeWrite(NodeId node, L1Line& line, const Message& msg);
   void invalidateProviders(const ProPoArray& providers, Addr block,
@@ -173,6 +185,7 @@ class DiCoProvidersProtocol final : public Protocol {
   void maybeCompleteAccess(Addr block);
   void maybeCompleteBackground(Addr block);
 
+  tbl::ProtocolTable table_;
   std::vector<Tile> tiles_;
   std::vector<Bank> banks_;
   std::unordered_map<Addr, Txn> txns_;

@@ -59,11 +59,80 @@ enum DirMsg : std::uint16_t {
   kDirInvalAck,     // holder -> home
   kDirInvalAckData  // dirty holder -> home (carries the block)
 };
+
+// The MESI stable-state automaton as table data (DESIGN.md §15). State ids
+// mirror DirectoryProtocol::L1State declaration order.
+constexpr std::uint8_t kS = 0, kE = 1, kM = 2;
+constexpr tbl::Transition kDirectoryTable[] = {
+    // Core reads hit on any valid copy.
+    {kS, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kE, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kM, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    // Core writes need a writable copy: E upgrades silently, S starts an
+    // upgrade transaction at the home.
+    {kS, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Hit, kM,
+     {tbl::Action::CommitWrite, tbl::Action::ChargeL1Write,
+      tbl::Action::Touch}},
+    {kM, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Hit, kM,
+     {tbl::Action::CommitWrite, tbl::Action::ChargeL1Write,
+      tbl::Action::Touch}},
+    // Replacement: S evicts silently (the home's sharer vector becomes a
+    // stale superset), E sends a clean notice, M writes the data back.
+    {kS, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kE, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::WritebackClean, tbl::Action::Invalidate}},
+    {kM, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::WritebackData, tbl::Action::Invalidate}},
+    // Home-directed invalidation (remote write or directory-entry
+    // eviction); the unconditional ack is the dispatch site's.
+    {kS, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kE, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kM, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    // Forwarded requests at the owner. S means the forward went stale (the
+    // owner's writeback overtook it): Miss bounces through the home. A
+    // read downgrades the owner to S and writes the block through to the
+    // home; a write hands the data over and invalidates the old owner.
+    {kS, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled, kS,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData,
+      tbl::Action::WritebackData}},
+    {kM, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled, kS,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData,
+      tbl::Action::WritebackData}},
+    {kS, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData,
+      tbl::Action::Invalidate}},
+    {kM, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData,
+      tbl::Action::Invalidate}},
+};
 }  // namespace
+
+tbl::ProtocolTable DirectoryProtocol::makeStableTable() {
+  return tbl::ProtocolTable("dir", kDirectoryTable, /*numStates=*/3,
+                            /*sharedState=*/kS, /*modifiedState=*/kM);
+}
 
 DirectoryProtocol::DirectoryProtocol(EventQueue& events, Network& net,
                                      const CmpConfig& cfg)
-    : Protocol(events, net, cfg) {
+    : Protocol(events, net, cfg), table_(makeStableTable()) {
   tiles_.reserve(static_cast<std::size_t>(cfg_.tiles()));
   banks_.reserve(static_cast<std::size_t>(cfg_.tiles()));
   for (NodeId t = 0; t < cfg_.tiles(); ++t) {
@@ -79,18 +148,31 @@ bool DirectoryProtocol::tryHit(NodeId tile, Addr block, AccessType type) {
   energy_.l1TagProbe += 1;
   L1Line* line = l1.find(block);
   if (line == nullptr) return false;
-  if (type == AccessType::Read) {
-    energy_.l1DataRead += 1;
-    l1.touch(*line);
-    recordRead(tile, line->value);
-    return true;
-  }
-  if (line->state == L1State::S) return false;  // upgrade needed
-  line->state = L1State::M;
-  line->value = commitWrite(block);
-  energy_.l1DataWrite += 1;
-  l1.touch(*line);
-  return true;
+  struct Ops {
+    DirectoryProtocol& p;
+    CacheArray<L1Line>& l1;
+    L1Line& line;
+    NodeId tile;
+    Addr block;
+    bool guard(tbl::Guard) const { return true; }
+    void setState(std::uint8_t s) { line.state = static_cast<L1State>(s); }
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::ChargeL1Read: p.energy_.l1DataRead += 1; break;
+        case tbl::Action::ChargeL1Write: p.energy_.l1DataWrite += 1; break;
+        case tbl::Action::Touch: l1.touch(line); break;
+        case tbl::Action::RecordRead: p.recordRead(tile, line.value); break;
+        case tbl::Action::CommitWrite:
+          line.value = p.commitWrite(block);
+          break;
+        default: EECC_CHECK_MSG(false, "action not in the hit vocabulary");
+      }
+    }
+  } ops{*this, l1, *line, tile, block};
+  return table_.run(static_cast<std::uint8_t>(line->state),
+                    type == AccessType::Read ? tbl::Event::LocalRead
+                                             : tbl::Event::LocalWrite,
+                    ops) == tbl::Outcome::Hit;
 }
 
 void DirectoryProtocol::installL1(NodeId tile, Addr block, L1State state,
@@ -120,22 +202,78 @@ void DirectoryProtocol::installL1(NodeId tile, Addr block, L1State state,
 }
 
 void DirectoryProtocol::evictL1Line(NodeId tile, L1Line& line) {
-  if (line.state == L1State::S) {
-    // Silent eviction; the home's sharer vector becomes a stale superset.
-    tiles_[static_cast<std::size_t>(tile)].l1.invalidate(line);
-    return;
-  }
+  struct Ops {
+    DirectoryProtocol& p;
+    NodeId tile;
+    L1Line& line;
+    bool guard(tbl::Guard) const { return true; }
+    void setState(std::uint8_t) {}
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::Invalidate:
+          p.tiles_[static_cast<std::size_t>(tile)].l1.invalidate(line);
+          break;
+        case tbl::Action::WritebackClean:
+        case tbl::Action::WritebackData: {
+          const bool dirty = a == tbl::Action::WritebackData;
+          Message wb;
+          wb.type = dirty ? kWbL1Data : kWbL1Clean;
+          wb.cls = dirty ? MsgClass::Data : MsgClass::Control;
+          wb.src = tile;
+          wb.dst = p.homeOf(line.addr);
+          wb.addr = line.addr;
+          wb.value = line.value;
+          if (dirty) p.stats_.writebacks += 1;
+          p.energy_.l1DataRead += 1;
+          p.send(wb);
+          break;
+        }
+        default:
+          EECC_CHECK_MSG(false, "action not in the replace vocabulary");
+      }
+    }
+  } ops{*this, tile, line};
+  table_.run(static_cast<std::uint8_t>(line.state), tbl::Event::Replace, ops);
+}
+
+void DirectoryProtocol::serveFwdSupply(NodeId tile, L1Line& line,
+                                       const Message& msg) {
+  auto it = txns_.find(msg.addr);
+  EECC_CHECK(it != txns_.end());
+  it->second.links +=
+      static_cast<std::uint32_t>(distance(tile, msg.requestor));
+  Message data;
+  data.type = kData;
+  data.cls = MsgClass::Data;
+  data.src = tile;
+  data.dst = msg.requestor;
+  data.origin = msg.requestor;
+  data.addr = msg.addr;
+  data.value = line.value;
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
+        [this, data] { send(data); });
+}
+
+void DirectoryProtocol::fwdWriteThrough(NodeId tile, L1Line& line,
+                                        const Message& msg, bool wasDirty) {
+  // The downgraded owner writes the block through to the home so the
+  // shared L2 can serve subsequent readers (dirty data makes this
+  // mandatory; clean data keeps the "optimized directory" baseline from
+  // bouncing every shared read off-chip).
+  auto it = txns_.find(msg.addr);
+  EECC_CHECK(it != txns_.end());
+  it->second.wbPending = true;
+  if (wasDirty) stats_.writebacks += 1;
   Message wb;
-  wb.type = line.state == L1State::M ? kWbL1Data : kWbL1Clean;
-  wb.cls = line.state == L1State::M ? MsgClass::Data : MsgClass::Control;
+  wb.type = kWbOwner;
+  wb.cls = MsgClass::Data;
   wb.src = tile;
-  wb.dst = homeOf(line.addr);
-  wb.addr = line.addr;
+  wb.dst = homeOf(msg.addr);
+  wb.origin = msg.requestor;  // write-through is part of the read txn
+  wb.addr = msg.addr;
   wb.value = line.value;
-  if (line.state == L1State::M) stats_.writebacks += 1;
-  tiles_[static_cast<std::size_t>(tile)].l1.invalidate(line);
-  energy_.l1DataRead += 1;
-  send(wb);
+  wb.aux = wasDirty ? 1 : 0;
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, wb] { send(wb); });
 }
 
 // --------------------------------------------------------------- Home side
@@ -556,70 +694,56 @@ void DirectoryProtocol::onMessage(const Message& msg) {
       homeHandleWrite(msg);
       return;
 
-    case kFwdRead: {
-      const NodeId tile = msg.dst;
-      auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
-      energy_.l1TagProbe += 1;
-      L1Line* line = l1.find(msg.addr);
-      if (line == nullptr || line->state == L1State::S) {
-        // Stale forward (the owner evicted; its writeback is ahead of this
-        // bounce on the same route): retry through the home.
-        Message bounce = msg;
-        bounce.type = kReadReq;
-        bounce.src = tile;
-        bounce.dst = homeOf(msg.addr);
-        auto it = txns_.find(msg.addr);
-        if (it != txns_.end())
-          it->second.links += static_cast<std::uint32_t>(
-              distance(tile, bounce.dst));
-        send(bounce);
-        return;
-      }
-      energy_.l1DataRead += 1;
-      const bool wasDirty = line->state == L1State::M;
-      line->state = L1State::S;
-      auto it = txns_.find(msg.addr);
-      EECC_CHECK(it != txns_.end());
-      Txn& txn = it->second;
-      txn.links += static_cast<std::uint32_t>(distance(tile, msg.requestor));
-      Message data;
-      data.type = kData;
-      data.cls = MsgClass::Data;
-      data.src = tile;
-      data.dst = msg.requestor;
-      data.origin = msg.requestor;
-      data.addr = msg.addr;
-      data.value = line->value;
-      after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
-            [this, data] { send(data); });
-      // The downgraded owner writes the block through to the home so the
-      // shared L2 can serve subsequent readers (dirty data makes this
-      // mandatory; clean data keeps the "optimized directory" baseline
-      // from bouncing every shared read off-chip).
-      txn.wbPending = true;
-      if (wasDirty) stats_.writebacks += 1;
-      Message wb;
-      wb.type = kWbOwner;
-      wb.cls = MsgClass::Data;
-      wb.src = tile;
-      wb.dst = homeOf(msg.addr);
-      wb.origin = msg.requestor;  // write-through is part of the read txn
-      wb.addr = msg.addr;
-      wb.value = line->value;
-      wb.aux = wasDirty ? 1 : 0;
-      after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
-            [this, wb] { send(wb); });
-      return;
-    }
-
+    case kFwdRead:
     case kFwdWrite: {
       const NodeId tile = msg.dst;
       auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
       energy_.l1TagProbe += 1;
       L1Line* line = l1.find(msg.addr);
-      if (line == nullptr || line->state == L1State::S) {
+      const tbl::Event ev =
+          msg.type == kFwdRead ? tbl::Event::SnoopRead : tbl::Event::SnoopWrite;
+      struct Ops {
+        DirectoryProtocol& p;
+        CacheArray<L1Line>& l1;
+        L1Line* line;
+        NodeId tile;
+        const Message& msg;
+        bool wasDirty;  // captured before the row's next-state applies
+        tbl::Event ev;
+        bool guard(tbl::Guard) const { return true; }
+        void setState(std::uint8_t s) {
+          line->state = static_cast<L1State>(s);
+        }
+        void act(tbl::Action a) {
+          switch (a) {
+            case tbl::Action::ChargeL1Read: p.energy_.l1DataRead += 1; break;
+            case tbl::Action::SupplyData:
+              p.serveFwdSupply(tile, *line, msg);
+              break;
+            case tbl::Action::WritebackData:
+              p.fwdWriteThrough(tile, *line, msg, wasDirty);
+              break;
+            case tbl::Action::Invalidate: l1.invalidate(*line); break;
+            default:
+              EECC_CHECK_MSG(false, "action not in the forward vocabulary");
+          }
+        }
+      } ops{*this,
+            l1,
+            line,
+            tile,
+            msg,
+            line != nullptr && line->state == L1State::M,
+            ev};
+      const tbl::Outcome out =
+          line == nullptr
+              ? tbl::Outcome::Miss
+              : table_.run(static_cast<std::uint8_t>(line->state), ev, ops);
+      if (out == tbl::Outcome::Miss) {
+        // Stale forward (the owner evicted; its writeback is ahead of this
+        // bounce on the same route): retry through the home.
         Message bounce = msg;
-        bounce.type = kWriteReq;
+        bounce.type = msg.type == kFwdRead ? kReadReq : kWriteReq;
         bounce.src = tile;
         bounce.dst = homeOf(msg.addr);
         auto it = txns_.find(msg.addr);
@@ -627,24 +751,7 @@ void DirectoryProtocol::onMessage(const Message& msg) {
           it->second.links += static_cast<std::uint32_t>(
               distance(tile, bounce.dst));
         send(bounce);
-        return;
       }
-      energy_.l1DataRead += 1;
-      auto it = txns_.find(msg.addr);
-      EECC_CHECK(it != txns_.end());
-      it->second.links += static_cast<std::uint32_t>(
-          distance(tile, msg.requestor));
-      Message data;
-      data.type = kData;
-      data.cls = MsgClass::Data;
-      data.src = tile;
-      data.dst = msg.requestor;
-      data.origin = msg.requestor;
-      data.addr = msg.addr;
-      data.value = line->value;
-      l1.invalidate(*line);  // the old owner invalidates itself
-      after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
-            [this, data] { send(data); });
       return;
     }
 
@@ -670,7 +777,23 @@ void DirectoryProtocol::onMessage(const Message& msg) {
       const NodeId tile = msg.dst;
       auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
       energy_.l1TagProbe += 1;
-      if (L1Line* line = l1.find(msg.addr)) l1.invalidate(*line);
+      if (L1Line* line = l1.find(msg.addr)) {
+        struct Ops {
+          CacheArray<L1Line>& l1;
+          L1Line& line;
+          bool guard(tbl::Guard) const { return true; }
+          void setState(std::uint8_t s) {
+            line.state = static_cast<L1State>(s);
+          }
+          void act(tbl::Action a) {
+            EECC_CHECK_MSG(a == tbl::Action::Invalidate,
+                           "action not in the inval vocabulary");
+            l1.invalidate(line);
+          }
+        } ops{l1, *line};
+        table_.run(static_cast<std::uint8_t>(line->state), tbl::Event::Inval,
+                   ops);
+      }
       Message ack;
       ack.type = kInvalAck;
       ack.src = tile;

@@ -16,6 +16,7 @@
 #include "common/bits.h"
 #include "cache/node_set.h"
 #include "protocols/protocol.h"
+#include "protocols/table_engine.h"
 
 namespace eecc {
 
@@ -38,6 +39,10 @@ class DirectoryProtocol final : public Protocol {
     std::uint64_t value = 0;
   };
   LineView l1Line(NodeId tile, Addr block) const;
+
+  /// The MESI stable-state table this engine interprets (DESIGN.md §15);
+  /// exposed so tests/table_engine_test.cpp can audit well-formedness.
+  static tbl::ProtocolTable makeStableTable();
 
  protected:
   void startMiss(NodeId tile, Addr block, AccessType type,
@@ -124,6 +129,12 @@ class DirectoryProtocol final : public Protocol {
   // --- L1 side ---
   void installL1(NodeId tile, Addr block, L1State state, std::uint64_t value);
   void evictL1Line(NodeId tile, L1Line& line);
+  /// Forward-path table actions: the owner supplies the requestor with
+  /// the data (SupplyData) and, on reads, writes the block through to the
+  /// home so the shared L2 can serve subsequent readers (WritebackData).
+  void serveFwdSupply(NodeId tile, L1Line& line, const Message& msg);
+  void fwdWriteThrough(NodeId tile, L1Line& line, const Message& msg,
+                       bool wasDirty);
 
   // --- Transaction steps ---
   void homeHandleRead(const Message& msg);
@@ -134,6 +145,7 @@ class DirectoryProtocol final : public Protocol {
 
   Bank& bankOf(NodeId home) { return banks_[static_cast<std::size_t>(home)]; }
 
+  tbl::ProtocolTable table_;
   std::vector<Tile> tiles_;
   std::vector<Bank> banks_;
   std::unordered_map<Addr, Txn> txns_;

@@ -2,6 +2,7 @@
 #include "protocols/dico_arin.h"
 #include "protocols/dico_providers.h"
 #include "protocols/directory.h"
+#include "protocols/mesi.h"
 #include "protocols/protocol.h"
 
 namespace eecc {
@@ -17,6 +18,8 @@ std::unique_ptr<Protocol> makeProtocol(ProtocolKind kind, EventQueue& events,
       return std::make_unique<DiCoProvidersProtocol>(events, net, cfg);
     case ProtocolKind::DiCoArin:
       return std::make_unique<DiCoArinProtocol>(events, net, cfg);
+    case ProtocolKind::Mesi:
+      return std::make_unique<MesiProtocol>(events, net, cfg);
   }
   EECC_CHECK_MSG(false, "unknown protocol kind");
   return nullptr;

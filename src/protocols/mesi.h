@@ -1,0 +1,131 @@
+// Broadcast-snooping MESI — a directory-less reference point alongside
+// the paper's four protocols.
+//
+// Every L1 miss broadcasts a snoop request over the mesh's XY broadcast
+// tree (the memoized batched path of noc/mesh.h); every other tile probes
+// its L1 and acknowledges, an E/M holder supplies the data directly, and
+// the requestor completes once all tiles-1 acks are in — falling back to
+// the home L2 bank (and memory below it) only when no cache supplied.
+// There is no coherence *storage* anywhere — no sharer maps, no owner
+// pointers, no pointer caches — the cost shows up as network energy
+// instead: every miss costs a chip-wide broadcast plus a full ack wave.
+// That trade is exactly the contrast the paper's storage/traffic tables
+// draw, which makes this protocol a useful calibration point for both.
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/cache_array.h"
+#include "common/bits.h"
+#include "protocols/protocol.h"
+#include "protocols/table_engine.h"
+
+namespace eecc {
+
+class MesiProtocol final : public Protocol {
+ public:
+  MesiProtocol(EventQueue& events, Network& net, const CmpConfig& cfg);
+
+  ProtocolKind kind() const override { return ProtocolKind::Mesi; }
+  bool tryHit(NodeId tile, Addr block, AccessType type) override;
+  void auditInvariants(const AuditFailFn& fail) const override;
+  void forEachL1Copy(
+      const std::function<void(const L1CopyView&)>& fn) const override;
+  void forEachL2Block(
+      const std::function<void(NodeId tile, Addr block)>& fn) const override;
+
+  /// Test hooks.
+  struct LineView {
+    bool valid = false;
+    char state = 'I';  // I/S/E/M
+    std::uint64_t value = 0;
+  };
+  LineView l1Line(NodeId tile, Addr block) const;
+
+  /// The MESI stable-state table this engine interprets (DESIGN.md §15);
+  /// exposed so tests/table_engine_test.cpp can audit well-formedness.
+  static tbl::ProtocolTable makeStableTable();
+
+ protected:
+  void startMiss(NodeId tile, Addr block, AccessType type,
+                 DoneFn done) override;
+  void onMessage(const Message& msg) override;
+
+ private:
+  enum class L1State : std::uint8_t { S, E, M };
+
+  struct L1Line : CacheLineBase {
+    L1State state = L1State::S;
+    std::uint64_t value = 0;
+  };
+
+  struct L2Line : CacheLineBase {
+    bool dirty = false;
+    std::uint64_t value = 0;
+  };
+
+  struct Tile {
+    CacheArray<L1Line> l1;
+    explicit Tile(const CmpConfig& c) : l1(c.l1.entries, c.l1.assoc) {}
+  };
+  struct Bank {
+    CacheArray<L2Line> l2;
+    explicit Bank(const CmpConfig& c)
+        : l2(c.l2.entries, c.l2.assoc,
+             log2ceil(static_cast<std::uint64_t>(c.tiles()))) {}
+  };
+
+  struct Txn {
+    NodeId requestor = kInvalidNode;
+    AccessType type = AccessType::Read;
+    DoneFn done;
+    Tick start = 0;
+    std::uint32_t links = 0;
+    MissClass cls = MissClass::UnpredL2;
+    std::int32_t acksOutstanding = 0;  ///< tiles-1 snoop acks owed.
+    bool sharedSeen = false;   ///< Some tile keeps a shared copy.
+    bool dataArrived = false;  ///< A snooper or the home supplied data.
+    bool needsData = true;     ///< False for S->M upgrades.
+    bool homeAsked = false;    ///< Fallback request already sent.
+    std::uint64_t value = 0;
+  };
+
+  Tile& tileOf(NodeId t) { return tiles_[static_cast<std::size_t>(t)]; }
+  Bank& bankOf(NodeId h) { return banks_[static_cast<std::size_t>(h)]; }
+
+  // --- L1 side ---
+  void installL1(NodeId tile, Addr block, L1State state, std::uint64_t value);
+  void evictL1Line(NodeId tile, L1Line& line);
+  /// Snoop/Replace table escape: write a dirty block through to its home
+  /// L2 bank (the only way data ever reaches the L2 besides fills).
+  void writebackToHome(NodeId tile, const L1Line& line);
+  void handleSnoop(const Message& msg);
+
+  // --- Home side ---
+  void storeAtL2(NodeId home, Addr block, std::uint64_t value, bool dirty);
+  void evictL2Line(NodeId home, L2Line& line);
+  void homeHandleRequest(const Message& msg);
+
+  // --- Transaction steps ---
+  void onAllAcks(Addr block, Txn& txn);
+  void completeAccess(Addr block);
+
+  tbl::ProtocolTable table_;
+  std::vector<Tile> tiles_;
+  std::vector<Bank> banks_;
+  std::unordered_map<Addr, Txn> txns_;
+  /// In-flight dirty writebacks — the snooped writeback buffer every real
+  /// snooping MESI needs: until the kWbData lands, the home's L2 copy is
+  /// stale with no L1 owner, so the home serves these values ahead of its
+  /// own array and the audit treats covered blocks as still owned.
+  struct PendingWb {
+    std::uint64_t value = 0;
+    int count = 0;
+  };
+  std::unordered_map<Addr, PendingWb> pendingWb_;
+  /// Mesh distance to the farthest tile, per requestor: the broadcast's
+  /// critical-path depth, charged once out and once back per miss.
+  std::vector<std::uint32_t> maxDist_;
+};
+
+}  // namespace eecc

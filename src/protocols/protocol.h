@@ -33,13 +33,15 @@ namespace eecc {
 class TraceSink;
 class AttributionLedger;
 
-/// The four protocols of the paper, in its evaluation order (Directory
-/// baseline first). The canonical list for every sweep — benches, examples
-/// and runAllProtocols all iterate this.
-inline const std::array<ProtocolKind, 4>& allProtocolKinds() {
-  static const std::array<ProtocolKind, 4> kinds = {
+/// The four protocols of the paper in its evaluation order (Directory
+/// baseline first), plus the broadcast-snooping MESI reference point. The
+/// canonical list for every sweep — benches, examples and runAllProtocols
+/// all iterate this.
+inline const std::array<ProtocolKind, 5>& allProtocolKinds() {
+  static const std::array<ProtocolKind, 5> kinds = {
       ProtocolKind::Directory, ProtocolKind::DiCo,
-      ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin};
+      ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin,
+      ProtocolKind::Mesi};
   return kinds;
 }
 

@@ -1,0 +1,111 @@
+#include "protocols/table_engine.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace eecc::tbl {
+
+bool tableSelftestRequested(const char* tag) {
+  const char* req = std::getenv("EECC_TABLE_SELFTEST");
+  if (req == nullptr || req[0] == '\0') return false;
+  return std::strcmp(req, tag) == 0 || std::strcmp(req, "all") == 0 ||
+         std::strcmp(req, "1") == 0;
+}
+
+ProtocolTable::ProtocolTable(const char* tag,
+                             std::span<const Transition> rows,
+                             std::uint8_t numStates,
+                             std::uint8_t sharedState,
+                             std::uint8_t modifiedState)
+    : rows_(rows.begin(), rows.end()), numStates_(numStates) {
+  if (tableSelftestRequested(tag)) {
+    // The drill typo: a write to a Shared line "hits" in place, without
+    // ever invalidating the other sharers — the classic transcription slip
+    // a table row is one careless edit away from. Any remote reader of a
+    // stale copy now trips the value monitor, so the differential fuzzer
+    // must catch this within its CI seed budget.
+    for (Transition& t : rows_) {
+      if (t.state == sharedState && t.event == Event::LocalWrite &&
+          t.guard == Guard::Always) {
+        t.outcome = Outcome::Hit;
+        t.next = modifiedState;
+        t.actions = {Action::CommitWrite, Action::ChargeL1Write,
+                     Action::Touch, Action::None, Action::None};
+        typoInjected_ = true;
+      }
+    }
+  }
+  // Dense (state, event) index. Rows of one pair are kept in declaration
+  // order — guard chains read top to bottom like the hand-written
+  // if-ladders they replaced.
+  index_.assign(static_cast<std::size_t>(numStates_) * kEventCount, Slot{});
+  std::vector<Transition> sorted;
+  sorted.reserve(rows_.size());
+  for (std::size_t st = 0; st < numStates_; ++st) {
+    for (std::size_t ev = 0; ev < kEventCount; ++ev) {
+      Slot& s = index_[st * kEventCount + ev];
+      s.begin = static_cast<std::uint32_t>(sorted.size());
+      for (const Transition& t : rows_) {
+        if (t.state == st && static_cast<std::size_t>(t.event) == ev)
+          sorted.push_back(t);
+      }
+      s.count = static_cast<std::uint32_t>(sorted.size()) - s.begin;
+    }
+  }
+  rows_ = std::move(sorted);
+}
+
+std::vector<std::string> ProtocolTable::validate() const {
+  std::vector<std::string> defects;
+  const char* eventNames[kEventCount] = {"LocalRead", "LocalWrite",
+                                         "Replace",   "Inval",
+                                         "SnoopRead", "SnoopWrite"};
+  for (const Transition& t : rows_) {
+    if (t.state >= numStates_)
+      defects.push_back("row state " + std::to_string(t.state) +
+                        " outside the protocol's " +
+                        std::to_string(numStates_) + "-state enum");
+    if (t.next != kKeepState && t.next >= numStates_)
+      defects.push_back("row writes next-state " + std::to_string(t.next) +
+                        " outside the protocol's " +
+                        std::to_string(numStates_) + "-state enum");
+    bool terminated = false;
+    for (const Action a : t.actions) {
+      if (a == Action::None) {
+        terminated = true;
+      } else if (terminated) {
+        defects.push_back("action list resumes after its None terminator "
+                          "(state " +
+                          std::to_string(t.state) + ")");
+        break;
+      }
+    }
+  }
+  for (std::size_t st = 0; st < numStates_; ++st) {
+    for (std::size_t ev = 0; ev < kEventCount; ++ev) {
+      const Slot s = index_[st * kEventCount + ev];
+      if (s.count == 0) {
+        defects.push_back("state " + std::to_string(st) + " × " +
+                          eventNames[ev] + " has no row");
+        continue;
+      }
+      // Totality: the chain must end unconditionally, and an Always row
+      // makes everything after it dead.
+      for (std::uint32_t i = 0; i < s.count; ++i) {
+        const bool always = rows_[s.begin + i].guard == Guard::Always;
+        const bool last = i + 1 == s.count;
+        if (always && !last)
+          defects.push_back("state " + std::to_string(st) + " × " +
+                            eventNames[ev] +
+                            " has rows after its Always row (dead)");
+        if (last && !always)
+          defects.push_back("state " + std::to_string(st) + " × " +
+                            eventNames[ev] +
+                            " can fall through every guard");
+      }
+    }
+  }
+  return defects;
+}
+
+}  // namespace eecc::tbl

@@ -1,0 +1,173 @@
+// Declarative transition-table core for the coherence protocols
+// (DESIGN.md §15, ROADMAP item 4).
+//
+// Following BedRock's observation that the stable-state part of a coherence
+// engine is better expressed as data than as control flow, each protocol
+// declares its L1 stable-state automaton as a constexpr array of
+// `Transition` rows — `state × event (× guard) → {outcome, next state,
+// action list}` — and drives every stable-state dispatch site (core
+// hit/upgrade, replacement, invalidation, snooped/forwarded requests)
+// through one compact interpreter. Genuinely novel mechanisms (DiCo owner
+// handoff, provider prediction, Arin's globalization/three-way broadcast)
+// stay hand-written behind `Escape` actions: the table still names *which*
+// states take the mechanism, the adapter binds what it does.
+//
+// The interpreter is templated over a per-dispatch-site `Ops` adapter so
+// every action inlines into the caller — the refactor must not cost the
+// miss path anything (bench/micro_table_engine holds the gate). The
+// adapter contract:
+//
+//   bool guard(Guard g) const;   // evaluate a protocol-defined predicate
+//   void setState(std::uint8_t); // store the row's next-state in the line
+//   void act(Action a);          // perform one action, in row order
+//
+// `run()` applies the first row whose guard passes: next-state first, then
+// the actions left to right (adapters needing pre-transition state — e.g.
+// "was the line dirty?" — capture it at construction). Tables are
+// validated for well-formedness (full state × event coverage, guard
+// totality, next-state range) by `validate()`, exercised in
+// tests/table_engine_test.cpp.
+//
+// EECC_TABLE_SELFTEST=<tag|all> corrupts one row of the matching
+// protocol's table at construction (a write hit on Shared that never
+// invalidates the other sharers) — the transcription-audit drill proving
+// the differential fuzzer actually watches the tables
+// (`eecc_check --table-selftest`, CI).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace eecc::tbl {
+
+/// Stable-state events a protocol routes through its table. Every event is
+/// raised with the line's serialization and probe energy already handled
+/// by the dispatch site; the table owns what happens *to the line*.
+enum class Event : std::uint8_t {
+  LocalRead,   ///< Core read on a valid local line (hit fast path).
+  LocalWrite,  ///< Core write on a valid local line (hit or upgrade miss).
+  Replace,     ///< The line was chosen as an eviction victim.
+  Inval,       ///< An invalidation request arrived at this holder.
+  SnoopRead,   ///< A remote read reached this holder (forward or snoop).
+  SnoopWrite,  ///< A remote write reached this holder (forward or snoop).
+};
+inline constexpr std::size_t kEventCount = 6;
+
+/// Row predicates, evaluated by the protocol's Ops adapter — the table
+/// names the condition, the protocol defines it (DiCo's "sole copy" reads
+/// its sharing code, Providers' additionally its ProPo array).
+enum class Guard : std::uint8_t {
+  Always,    ///< Unconditional (the required final row of a pair).
+  SoleCopy,  ///< No other copy the protocol's metadata can still see.
+  SameArea,  ///< The requestor lives in this tile's static area.
+};
+
+/// The action vocabulary. Charges mirror the energy events of Table V;
+/// Escape0..3 are protocol-mechanism hooks whose meaning is defined by the
+/// Ops adapter of the dispatch site that raised the event.
+enum class Action : std::uint8_t {
+  None,            ///< List terminator (implicit in trailing slots).
+  ChargeL1Read,    ///< energy: one L1 data-array read.
+  ChargeL1Write,   ///< energy: one L1 data-array write.
+  ChargeL1DirRead, ///< energy: one read of the line's sharing code.
+  Touch,           ///< Refresh the line's replacement stamp.
+  RecordRead,      ///< Expose the line's value to the core (oracle).
+  CommitWrite,     ///< Commit a store: new oracle value into the line.
+  Invalidate,      ///< Drop the line from this cache.
+  WritebackClean,  ///< Clean eviction notice toward the home.
+  WritebackData,   ///< Dirty data writeback/write-through toward the home.
+  SupplyData,      ///< Answer the in-flight request with the line's data.
+  Escape0,         ///< Protocol-specific mechanism (adapter-defined).
+  Escape1,
+  Escape2,
+  Escape3,
+};
+
+/// How the dispatch site should proceed after the row ran.
+enum class Outcome : std::uint8_t {
+  Hit,      ///< The access completed locally.
+  Miss,     ///< Not satisfiable here — start/forward a transaction.
+  Handled,  ///< Event consumed (replacements, invalidations, serves).
+};
+
+/// Sentinel for rows that leave the line's state untouched.
+inline constexpr std::uint8_t kKeepState = 0xff;
+
+struct Transition {
+  std::uint8_t state = 0;
+  Event event = Event::LocalRead;
+  Guard guard = Guard::Always;
+  Outcome outcome = Outcome::Handled;
+  std::uint8_t next = kKeepState;
+  std::array<Action, 5> actions{};  ///< None-terminated, run left to right.
+};
+
+/// One protocol's compiled table: the constexpr rows plus a dense
+/// (state, event) index built at construction. Instances are tiny and
+/// per-protocol-object so the selftest typo can corrupt one engine
+/// without leaking into the reference runs of a differential campaign.
+class ProtocolTable {
+ public:
+  /// `tag` names the protocol for EECC_TABLE_SELFTEST matching ("dir",
+  /// "dico", "providers", "arin", "mesi"). `sharedState`/`modifiedState`
+  /// locate the row the selftest drill corrupts.
+  ProtocolTable(const char* tag, std::span<const Transition> rows,
+                std::uint8_t numStates, std::uint8_t sharedState,
+                std::uint8_t modifiedState);
+
+  /// Dispatches one event: applies the first matching row (guards checked
+  /// through `ops`), next-state first, then the action list. Returns the
+  /// row's outcome, or Outcome::Miss when no row matches (validated
+  /// tables only reach that for genuinely uncovered guard chains, which
+  /// validate() rejects).
+  template <class Ops>
+  Outcome run(std::uint8_t state, Event ev, Ops&& ops) const {
+    const Slot s = index_[slot(state, ev)];
+    for (std::uint32_t i = 0; i < s.count; ++i) {
+      const Transition& t = rows_[s.begin + i];
+      if (t.guard != Guard::Always && !ops.guard(t.guard)) continue;
+      if (t.next != kKeepState) ops.setState(t.next);
+      for (const Action a : t.actions) {
+        if (a == Action::None) break;
+        ops.act(a);
+      }
+      return t.outcome;
+    }
+    return Outcome::Miss;
+  }
+
+  /// Well-formedness audit (tests/table_engine_test.cpp): every
+  /// state × event pair covered, every chain ends in an Always row, every
+  /// state and next-state within the protocol's enum, action lists
+  /// None-terminated. Returns human-readable defects; empty = sound.
+  std::vector<std::string> validate() const;
+
+  std::uint8_t numStates() const { return numStates_; }
+  const std::vector<Transition>& rows() const { return rows_; }
+  /// Whether the EECC_TABLE_SELFTEST drill corrupted this instance.
+  bool typoInjected() const { return typoInjected_; }
+
+ private:
+  std::size_t slot(std::uint8_t state, Event ev) const {
+    return static_cast<std::size_t>(state) * kEventCount +
+           static_cast<std::size_t>(ev);
+  }
+  struct Slot {
+    std::uint32_t begin = 0;
+    std::uint32_t count = 0;
+  };
+
+  std::vector<Transition> rows_;
+  std::vector<Slot> index_;
+  std::uint8_t numStates_ = 0;
+  bool typoInjected_ = false;
+};
+
+/// True when EECC_TABLE_SELFTEST requests a typo for `tag` ("all" or "1"
+/// match every protocol) — exposed for the tools' drill plumbing.
+bool tableSelftestRequested(const char* tag);
+
+}  // namespace eecc::tbl

@@ -1,4 +1,4 @@
-// End-to-end conformance tests: clean fuzzing runs across all four
+// End-to-end conformance tests: clean fuzzing runs across all five
 // protocols, the differential cross-check, and the seeded-bug selftest
 // (EECC_CHECK_SELFTEST) with its counterexample round-trip.
 #include <gtest/gtest.h>
@@ -38,7 +38,7 @@ TEST(Conformance, DifferentialImagesAgreeAcrossProtocols) {
   EXPECT_TRUE(rep.ok());
   EXPECT_TRUE(rep.mismatches.empty());
   EXPECT_TRUE(rep.counterexample.empty());
-  ASSERT_EQ(rep.runs.size(), 4u);
+  ASSERT_EQ(rep.runs.size(), allProtocolKinds().size());
   // The per-block golden counts are the protocol-independent image.
   for (std::size_t i = 1; i < rep.runs.size(); ++i) {
     EXPECT_EQ(rep.runs[i].ops, rep.runs[0].ops);

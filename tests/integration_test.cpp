@@ -146,16 +146,17 @@ TEST(ExperimentRunner, DeterministicAcrossRuns) {
   EXPECT_EQ(a.stats.l1Misses(), b.stats.l1Misses());
 }
 
-TEST(ExperimentRunner, RunAllProtocolsCoversFour) {
+TEST(ExperimentRunner, RunAllProtocolsCoversEveryKind) {
   ExperimentConfig cfg;
   cfg.chip = smallChip();
   cfg.workloadName = "volrend4x16p";
   cfg.warmupCycles = 5'000;
   cfg.windowCycles = 10'000;
   const auto results = runAllProtocols(cfg);
-  ASSERT_EQ(results.size(), 4u);
+  ASSERT_EQ(results.size(), allProtocolKinds().size());
   EXPECT_EQ(results[0].protocol, ProtocolKind::Directory);
   EXPECT_EQ(results[3].protocol, ProtocolKind::DiCoArin);
+  EXPECT_EQ(results.back().protocol, ProtocolKind::Mesi);
 }
 
 }  // namespace

@@ -1,0 +1,238 @@
+// Table-engine well-formedness and interpreter semantics, plus the MESI
+// snooping protocol the engine made cheap to add: its stable-state table,
+// harness-level behaviour, and a monitored fuzz run (SWMR, value,
+// metadata, progress).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "protocol_harness.h"
+#include "protocols/dico.h"
+#include "protocols/dico_arin.h"
+#include "protocols/dico_providers.h"
+#include "protocols/directory.h"
+#include "protocols/mesi.h"
+#include "protocols/table_engine.h"
+
+namespace eecc {
+namespace {
+
+using testutil::Harness;
+
+// ------------------------------------------------------- well-formedness
+
+TEST(TableEngine, AllProtocolTablesAreWellFormed) {
+  const struct {
+    const char* name;
+    tbl::ProtocolTable table;
+  } tables[] = {
+      {"dir", DirectoryProtocol::makeStableTable()},
+      {"dico", DiCoProtocol::makeStableTable()},
+      {"providers", DiCoProvidersProtocol::makeStableTable()},
+      {"arin", DiCoArinProtocol::makeStableTable()},
+      {"mesi", MesiProtocol::makeStableTable()},
+  };
+  for (const auto& t : tables) {
+    const std::vector<std::string> defects = t.table.validate();
+    EXPECT_TRUE(defects.empty()) << t.name << ": " << defects.front();
+  }
+}
+
+TEST(TableEngine, NoRowWritesAStateOutsideTheProtocolEnum) {
+  const tbl::ProtocolTable tables[] = {
+      DirectoryProtocol::makeStableTable(),
+      DiCoProtocol::makeStableTable(),
+      DiCoProvidersProtocol::makeStableTable(),
+      DiCoArinProtocol::makeStableTable(),
+      MesiProtocol::makeStableTable(),
+  };
+  for (const tbl::ProtocolTable& table : tables) {
+    for (const tbl::Transition& row : table.rows()) {
+      EXPECT_LT(row.state, table.numStates());
+      if (row.next != tbl::kKeepState) EXPECT_LT(row.next, table.numStates());
+    }
+  }
+}
+
+// ------------------------------------------------- interpreter semantics
+
+/// A deliberately partial two-state table for interpreter-level tests:
+/// state 0 read -> hit; state 0 write guarded by SoleCopy -> state 1;
+/// nothing else covered.
+constexpr tbl::Transition kToyRows[] = {
+    {0, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState, {tbl::Action::ChargeL1Read, tbl::Action::Touch}},
+    {0, tbl::Event::LocalWrite, tbl::Guard::SoleCopy, tbl::Outcome::Hit, 1,
+     {tbl::Action::CommitWrite}},
+    {0, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+};
+
+struct ToyOps {
+  bool sole = false;
+  std::uint8_t state = 0xee;  // 0xee = setState never called
+  std::vector<tbl::Action> ran;
+  bool guard(tbl::Guard g) const {
+    EXPECT_EQ(g, tbl::Guard::SoleCopy);
+    return sole;
+  }
+  void setState(std::uint8_t s) { state = s; }
+  void act(tbl::Action a) { ran.push_back(a); }
+};
+
+TEST(TableEngine, AppliesFirstMatchingRowActionsInOrder) {
+  const tbl::ProtocolTable table("toy", kToyRows, 2, 0, 1);
+  ToyOps ops;
+  EXPECT_EQ(table.run(0, tbl::Event::LocalRead, ops), tbl::Outcome::Hit);
+  ASSERT_EQ(ops.ran.size(), 2u);
+  EXPECT_EQ(ops.ran[0], tbl::Action::ChargeL1Read);
+  EXPECT_EQ(ops.ran[1], tbl::Action::Touch);
+  EXPECT_EQ(ops.state, 0xee) << "kKeepState must not call setState";
+}
+
+TEST(TableEngine, GuardFailureFallsThroughToTheAlwaysRow) {
+  const tbl::ProtocolTable table("toy", kToyRows, 2, 0, 1);
+  ToyOps miss;
+  miss.sole = false;
+  EXPECT_EQ(table.run(0, tbl::Event::LocalWrite, miss), tbl::Outcome::Miss);
+  EXPECT_TRUE(miss.ran.empty());
+
+  ToyOps hit;
+  hit.sole = true;
+  EXPECT_EQ(table.run(0, tbl::Event::LocalWrite, hit), tbl::Outcome::Hit);
+  EXPECT_EQ(hit.state, 1) << "next-state applies before the actions run";
+  ASSERT_EQ(hit.ran.size(), 1u);
+  EXPECT_EQ(hit.ran[0], tbl::Action::CommitWrite);
+}
+
+TEST(TableEngine, UncoveredPairReturnsMiss) {
+  const tbl::ProtocolTable table("toy", kToyRows, 2, 0, 1);
+  ToyOps ops;
+  EXPECT_EQ(table.run(1, tbl::Event::LocalRead, ops), tbl::Outcome::Miss);
+  EXPECT_TRUE(ops.ran.empty());
+}
+
+TEST(TableEngine, ValidateRejectsThePartialToyTable) {
+  const tbl::ProtocolTable table("toy", kToyRows, 2, 0, 1);
+  EXPECT_FALSE(table.validate().empty());
+}
+
+TEST(TableEngine, SelftestEnvCorruptsOnlyTheNamedProtocol) {
+  setenv("EECC_TABLE_SELFTEST", "mesi", /*overwrite=*/1);
+  EXPECT_TRUE(MesiProtocol::makeStableTable().typoInjected());
+  EXPECT_FALSE(DirectoryProtocol::makeStableTable().typoInjected());
+  unsetenv("EECC_TABLE_SELFTEST");
+  EXPECT_FALSE(MesiProtocol::makeStableTable().typoInjected());
+}
+
+// ------------------------------------------------------------ MESI-Snoop
+
+constexpr Addr kB = 5 * kBlockBytes;
+
+MesiProtocol& mesi(Harness& h) {
+  return dynamic_cast<MesiProtocol&>(h.proto());
+}
+
+TEST(Mesi, ColdReadInstallsExclusiveAndBroadcasts) {
+  Harness h(ProtocolKind::Mesi);
+  const auto bcastsBefore = h.net().stats().broadcasts;
+  h.read(3, kB);
+  EXPECT_EQ(mesi(h).l1Line(3, kB).state, 'E');
+  EXPECT_EQ(h.net().stats().broadcasts, bcastsBefore + 1);
+  h.check();
+}
+
+TEST(Mesi, SecondReaderSeesSharedAndCacheToCacheTransfer) {
+  Harness h(ProtocolKind::Mesi);
+  h.read(3, kB);
+  h.read(7, kB);
+  EXPECT_EQ(mesi(h).l1Line(3, kB).state, 'S');
+  EXPECT_EQ(mesi(h).l1Line(7, kB).state, 'S');
+  // The E holder supplied the line: a cache-to-cache miss, not a home one.
+  EXPECT_EQ(h.proto().stats().missCount(MissClass::UnpredOwner), 1u);
+  h.check();
+}
+
+TEST(Mesi, SilentExclusiveWriteUpgrade) {
+  Harness h(ProtocolKind::Mesi);
+  h.read(3, kB);
+  const auto missesBefore = h.proto().stats().l1Misses();
+  const auto bcastsBefore = h.net().stats().broadcasts;
+  h.write(3, kB);  // E -> M with no traffic at all
+  EXPECT_EQ(h.proto().stats().l1Misses(), missesBefore);
+  EXPECT_EQ(h.net().stats().broadcasts, bcastsBefore);
+  EXPECT_EQ(mesi(h).l1Line(3, kB).state, 'M');
+  h.check();
+}
+
+TEST(Mesi, WriteBroadcastInvalidatesEverySharer) {
+  Harness h(ProtocolKind::Mesi);
+  h.read(3, kB);
+  h.read(7, kB);
+  h.read(11, kB);
+  h.write(7, kB);
+  EXPECT_EQ(mesi(h).l1Line(7, kB).state, 'M');
+  EXPECT_FALSE(mesi(h).l1Line(3, kB).valid);
+  EXPECT_FALSE(mesi(h).l1Line(11, kB).valid);
+  // Upgrade from S: the broadcast carries no data.
+  EXPECT_EQ(h.proto().stats().upgrades, 1u);
+  h.check();
+}
+
+TEST(Mesi, SnoopedDirtyLineWritesThroughToHome) {
+  Harness h(ProtocolKind::Mesi);
+  h.write(3, kB);
+  const auto wbBefore = h.proto().stats().writebacks;
+  h.read(7, kB);  // the M holder supplies, downgrades, writes through
+  EXPECT_EQ(h.proto().stats().writebacks, wbBefore + 1);
+  EXPECT_EQ(mesi(h).l1Line(3, kB).state, 'S');
+  EXPECT_EQ(mesi(h).l1Line(7, kB).state, 'S');
+  h.check();
+}
+
+TEST(Mesi, HomeServesWhenNoCacheHolds) {
+  Harness h(ProtocolKind::Mesi);
+  h.write(3, kB);
+  h.read(7, kB);      // parks the value at the home L2 (write-through)
+  h.write(9, kB);     // invalidate both sharers again
+  h.read(9, kB);      // hit
+  // Evict 9's M copy by filling its set, then re-read from a fourth tile:
+  // nobody caches kB, the home L2 serves.
+  const CacheGeometry& l1 = h.cfg().l1;
+  for (std::uint64_t i = 1; i <= l1.assoc; ++i)
+    h.read(9, kB + i * l1.entries / l1.assoc * kBlockBytes);
+  ASSERT_FALSE(mesi(h).l1Line(9, kB).valid);
+  const auto l2HitsBefore = h.proto().stats().missCount(MissClass::UnpredL2);
+  h.read(5, kB);
+  EXPECT_EQ(h.proto().stats().missCount(MissClass::UnpredL2),
+            l2HitsBefore + 1);
+  h.check();
+}
+
+TEST(Mesi, ValuesSurviveTheFullSharingDance) {
+  Harness h(ProtocolKind::Mesi);
+  h.write(3, kB);
+  h.write(7, kB);
+  h.write(3, kB);
+  const std::uint64_t v = h.read(11, kB);
+  EXPECT_EQ(v, h.read(7, kB));
+  EXPECT_EQ(v, h.read(3, kB));
+  h.check();
+}
+
+TEST(Mesi, MonitoredFuzzRunIsViolationFree) {
+  FuzzOptions opt;
+  opt.opsPerTile = 150;
+  opt.sweepEvery = 10'000;
+  const Trace trace =
+      makeFuzzTrace(opt.chip, opt.workloadName, /*seed=*/17, opt.opsPerTile);
+  const ProtocolRunReport r = runTraceChecked(
+      opt.chip, ProtocolKind::Mesi, trace, opt.sweepEvery, opt.progressBound);
+  EXPECT_EQ(r.violationCount, 0u);
+  EXPECT_EQ(r.ops, trace.records().size());
+}
+
+}  // namespace
+}  // namespace eecc

@@ -1,0 +1,56 @@
+// Checked numeric parsing for command-line flags.
+//
+// Bare strtoull silently accepts "12abc", wraps out-of-range values, and
+// converts negative inputs to huge unsigned ones; a typo'd flag then runs a
+// multi-minute experiment with a nonsense parameter instead of failing.
+// Flags fed through these helpers reject anything but a fully-consumed,
+// in-range, non-negative decimal and exit with a pointed usage error.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace eecc::cli {
+
+[[noreturn]] inline void badFlagValue(const char* flag, const char* text,
+                                      const char* what) {
+  std::fprintf(stderr, "%s: expected %s, got '%s'\n", flag, what,
+               text == nullptr ? "" : text);
+  std::exit(2);
+}
+
+inline std::uint64_t parseU64(const char* flag, const char* text) {
+  if (text == nullptr || *text == '\0' || *text == '-')
+    badFlagValue(flag, text, "a non-negative integer");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0')
+    badFlagValue(flag, text, "a non-negative integer");
+  if (errno == ERANGE || v > std::numeric_limits<std::uint64_t>::max())
+    badFlagValue(flag, text, "an integer that fits in 64 bits");
+  return static_cast<std::uint64_t>(v);
+}
+
+inline std::uint32_t parseU32(const char* flag, const char* text) {
+  const std::uint64_t v = parseU64(flag, text);
+  if (v > std::numeric_limits<std::uint32_t>::max())
+    badFlagValue(flag, text, "an integer that fits in 32 bits");
+  return static_cast<std::uint32_t>(v);
+}
+
+inline double parseF64(const char* flag, const char* text) {
+  if (text == nullptr || *text == '\0')
+    badFlagValue(flag, text, "a number");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE)
+    badFlagValue(flag, text, "a number");
+  return v;
+}
+
+}  // namespace eecc::cli

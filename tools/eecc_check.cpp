@@ -1,6 +1,6 @@
 // eecc_check — differential conformance fuzzer driver.
 //
-// Replays randomized bounded reference streams through all four coherence
+// Replays randomized bounded reference streams through all five coherence
 // protocols with the invariant monitors attached and cross-checks their
 // final memory images. On a violation, dumps a minimized counterexample
 // trace replayable with `eecc_sim --replay FILE --protocol P --check`.
@@ -11,7 +11,7 @@
 //     --ops N          operations per tile per stream (default 300)
 //     --workload NAME  Table IV workload to draw streams from
 //                      (default apache4x16p)
-//     --protocol P     dir | dico | providers | arin | all (default all)
+//     --protocol P     dir | dico | providers | arin | mesi | all (default all)
 //     --out DIR        counterexample dump directory (default .)
 //     --jobs N         fuzz-pool width (default EECC_JOBS / hw threads)
 //     --sweep N        full-state sweep period in cycles (default 20000)
@@ -20,11 +20,18 @@
 //                      registration) and expect the monitors to catch it:
 //                      exits 0 iff the bug IS caught and a counterexample
 //                      is dumped
+//     --table-selftest P  seed a one-row transcription typo into protocol
+//                      P's transition table (write hit on Shared without
+//                      invalidating the sharers) and expect the monitors
+//                      to catch it — the drill that proves the fuzzer
+//                      would notice a real table transcription slip
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "check/fuzzer.h"
+#include "cli_parse.h"
+#include "protocols/protocol.h"
 
 using namespace eecc;
 
@@ -34,9 +41,10 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--base-seed N] [--ops N] "
                "[--workload NAME]\n"
-               "       [--protocol dir|dico|providers|arin|all] [--out DIR] "
+               "       [--protocol dir|dico|providers|arin|mesi|all] [--out DIR] "
                "[--jobs N]\n"
-               "       [--sweep N] [--no-minimize] [--selftest]\n",
+               "       [--sweep N] [--no-minimize] [--selftest]\n"
+               "       [--table-selftest dir|dico|providers|arin|mesi]\n",
                argv0);
   std::exit(2);
 }
@@ -46,9 +54,11 @@ std::vector<ProtocolKind> parseProtocols(const std::string& p) {
   if (p == "dico") return {ProtocolKind::DiCo};
   if (p == "providers") return {ProtocolKind::DiCoProviders};
   if (p == "arin") return {ProtocolKind::DiCoArin};
-  if (p == "all")
-    return {ProtocolKind::Directory, ProtocolKind::DiCo,
-            ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin};
+  if (p == "mesi") return {ProtocolKind::Mesi};
+  if (p == "all") {
+    const auto& kinds = allProtocolKinds();
+    return {kinds.begin(), kinds.end()};
+  }
   std::fprintf(stderr, "unknown protocol '%s'\n", p.c_str());
   std::exit(2);
 }
@@ -80,6 +90,7 @@ int main(int argc, char** argv) {
   opt.seeds = 10;
   opt.sweepEvery = 20'000;
   bool selftest = false;
+  std::string tableSelftest;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -87,16 +98,17 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
-    if (arg == "--seeds") opt.seeds = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--base-seed") opt.baseSeed = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--ops") opt.opsPerTile = std::strtoull(next(), nullptr, 10);
+    if (arg == "--seeds") opt.seeds = cli::parseU64("--seeds", next());
+    else if (arg == "--base-seed") opt.baseSeed = cli::parseU64("--base-seed", next());
+    else if (arg == "--ops") opt.opsPerTile = cli::parseU64("--ops", next());
     else if (arg == "--workload") opt.workloadName = next();
     else if (arg == "--protocol") opt.protocols = parseProtocols(next());
     else if (arg == "--out") opt.outDir = next();
-    else if (arg == "--jobs") opt.jobs = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
-    else if (arg == "--sweep") opt.sweepEvery = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--jobs") opt.jobs = cli::parseU32("--jobs", next());
+    else if (arg == "--sweep") opt.sweepEvery = cli::parseU64("--sweep", next());
     else if (arg == "--no-minimize") opt.minimize = false;
     else if (arg == "--selftest") selftest = true;
+    else if (arg == "--table-selftest") tableSelftest = next();
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
@@ -109,6 +121,20 @@ int main(int argc, char** argv) {
     // to register a reader, leaving an untracked stale copy.
     setenv("EECC_CHECK_SELFTEST", "1", /*overwrite=*/1);
     opt.protocols = {ProtocolKind::DiCo};
+  }
+  if (!tableSelftest.empty()) {
+    // The table engine corrupts one transition of the named protocol's
+    // stable-state table at construction (write hit on Shared without
+    // invalidating the sharers): the monitors must catch the resulting
+    // stale copies within the seed budget, under the same inverted
+    // verdict as --selftest.
+    opt.protocols = parseProtocols(tableSelftest);
+    if (opt.protocols.size() != 1) {
+      std::fprintf(stderr, "--table-selftest needs one protocol\n");
+      usage(argv[0]);
+    }
+    setenv("EECC_TABLE_SELFTEST", tableSelftest.c_str(), /*overwrite=*/1);
+    selftest = true;
   }
 
   const FuzzReport report = fuzz(opt);

@@ -2,7 +2,7 @@
 //
 //   eecc_sim [options]
 //     --workload NAME     Table IV workload (default apache4x16p)
-//     --protocol P        dir | dico | providers | arin | all (default all)
+//     --protocol P        dir | dico | providers | arin | mesi | all (default all)
 //     --warmup N          warmup cycles (default 500000)
 //     --cycles N          measured cycles (default 250000)
 //     --areas N           static areas on the chip (default 4)
@@ -92,6 +92,7 @@
 #include "core/journal.h"
 #include "core/runner.h"
 #include "obs/exporters.h"
+#include "cli_parse.h"
 #include "workload/profile.h"
 #include "workload/trace.h"
 
@@ -102,7 +103,7 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workload NAME] [--protocol "
-               "dir|dico|providers|arin|all]\n"
+               "dir|dico|providers|arin|mesi|all]\n"
                "       [--warmup N] [--cycles N] [--areas N] [--alt] "
                "[--contiguous]\n"
                "       [--no-dedup] [--no-prediction] [--ddr] "
@@ -128,6 +129,7 @@ std::vector<ProtocolKind> parseProtocols(const std::string& p) {
   if (p == "dico") return {ProtocolKind::DiCo};
   if (p == "providers") return {ProtocolKind::DiCoProviders};
   if (p == "arin") return {ProtocolKind::DiCoArin};
+  if (p == "mesi") return {ProtocolKind::Mesi};
   if (p == "all") {
     const auto& kinds = allProtocolKinds();
     return {kinds.begin(), kinds.end()};
@@ -211,45 +213,45 @@ int main(int argc, char** argv) {
     };
     if (arg == "--workload") cfg.workloadName = next();
     else if (arg == "--protocol") protocols = next();
-    else if (arg == "--warmup") cfg.warmupCycles = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--cycles") cfg.windowCycles = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--areas") cfg.chip.numAreas = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    else if (arg == "--warmup") cfg.warmupCycles = cli::parseU64("--warmup", next());
+    else if (arg == "--cycles") cfg.windowCycles = cli::parseU64("--cycles", next());
+    else if (arg == "--areas") cfg.chip.numAreas = cli::parseU32("--areas", next());
     else if (arg == "--alt") cfg.altLayout = true;
     else if (arg == "--contiguous") cfg.contiguousLayout = true;
     else if (arg == "--no-dedup") cfg.dedupEnabled = false;
     else if (arg == "--no-prediction") cfg.chip.enablePrediction = false;
     else if (arg == "--ddr") cfg.chip.memoryModel = CmpConfig::MemoryModel::Ddr;
     else if (arg == "--flit-level") cfg.chip.net.flitLevel = true;
-    else if (arg == "--seed") cfg.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--seed") cfg.seed = cli::parseU64("--seed", next());
     else if (arg == "--csv") csv = true;
     else if (arg == "--dump-trace") tracePath = next();
     else if (arg == "--replay") replayPath = next();
     else if (arg == "--replay-text") replayTextPath = next();
     else if (arg == "--chips") {
-      cfg.scaleout.chips = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+      cfg.scaleout.chips = cli::parseU32("--chips", next());
       if (cfg.scaleout.chips == 0) usage(argv[0]);
     }
     else if (arg == "--churn") cfg.scaleout.churn = next();
-    else if (arg == "--interchip-hop") cfg.scaleout.link.hopCycles = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--interchip-flit") cfg.scaleout.link.cyclesPerFlit = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--interchip-energy-x") cfg.scaleout.link.energyPerFlitX = std::strtod(next(), nullptr);
-    else if (arg == "--trace-ops") traceOps = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--interchip-hop") cfg.scaleout.link.hopCycles = cli::parseU64("--interchip-hop", next());
+    else if (arg == "--interchip-flit") cfg.scaleout.link.cyclesPerFlit = cli::parseU64("--interchip-flit", next());
+    else if (arg == "--interchip-energy-x") cfg.scaleout.link.energyPerFlitX = cli::parseF64("--interchip-energy-x", next());
+    else if (arg == "--trace-ops") traceOps = cli::parseU64("--trace-ops", next());
     else if (arg == "--check") check = true;
     else if (arg == "--fuzz-chip") cfg.chip = fuzzChip();
     else if (arg == "--stats-json") statsJsonPath = next();
     else if (arg == "--stats-csv") statsCsvPath = next();
     else if (arg == "--timeline") timelinePath = next();
-    else if (arg == "--timeline-every") timelineEvery = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--timeline-every") timelineEvery = cli::parseU64("--timeline-every", next());
     else if (arg == "--trace-out") traceOutPath = next();
-    else if (arg == "--trace-capacity") traceCapacity = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--trace-capacity") traceCapacity = cli::parseU64("--trace-capacity", next());
     else if (arg == "--trace-hits") traceHits = true;
     else if (arg == "--ledger") cfg.obs.ledger = true;
-    else if (arg == "--ledger-occupancy") cfg.obs.ledgerOccupancyEvery = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--ledger-occupancy") cfg.obs.ledgerOccupancyEvery = cli::parseU64("--ledger-occupancy", next());
     else if (arg == "--progress") progress = true;
     else if (arg == "--journal") journalPath = next();
     else if (arg == "--resume") resume = true;
-    else if (arg == "--retries") retries = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
-    else if (arg == "--inject-fault") injectFault = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--retries") retries = cli::parseU32("--retries", next());
+    else if (arg == "--inject-fault") injectFault = cli::parseU64("--inject-fault", next());
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
