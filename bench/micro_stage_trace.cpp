@@ -1,0 +1,140 @@
+// Microbenchmark guard for the miss-path flight recorder and the
+// simulator self-profiler (DESIGN.md §16): both must be zero-cost when
+// detached. With neither attached the protocol hot paths pay exactly one
+// untaken, [[unlikely]]-hinted null-pointer branch per stage hook, and
+// every ProfScope costs one relaxed atomic load — the same pattern
+// micro_obs_overhead gates for the trace sink. The gated configuration
+// is a *paused* attached recorder: every hook call crosses into the
+// recorder but begin() records nothing, so marks and ends degrade to
+// the unknown-block fast path (one empty-table lookup) — dispatch with
+// no recording behind it, the measurable upper bound on what the
+// detached branches could possibly cost and the analogue of
+// micro_obs_overhead's null sink. The live-recorder and
+// self-profiler-installed configurations are reported for information
+// only; they are opt-in diagnostic modes, not gates.
+//
+// Results are printed as a table and written as JSON for the perf-smoke
+// CI gate (path overridable via EECC_STAGE_TRACE_JSON, default
+// micro_stage_trace.json).
+//
+//   $ ./build/bench/micro_stage_trace        (EECC_QUICK=1 for a smoke run)
+//
+// Exits nonzero when paused-recorder dispatch drops below 0.97x
+// detached.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "common/atomic_file.h"
+#include "common/json.h"
+#include "core/cmp_system.h"
+#include "obs/selfprof.h"
+#include "obs/stage.h"
+
+using namespace eecc;
+using namespace eecc::bench;
+
+namespace {
+
+enum class Mode { Detached, Paused, StageAttached, SelfProf };
+
+CmpConfig benchChip() {
+  CmpConfig cfg;
+  cfg.meshWidth = 4;
+  cfg.meshHeight = 4;
+  cfg.numAreas = 4;
+  cfg.l1 = CacheGeometry{128, 4, 1, 2};
+  cfg.l2 = CacheGeometry{512, 8, 2, 3};
+  cfg.l1cEntries = 128;
+  cfg.l2cEntries = 128;
+  cfg.dirCacheEntries = 128;
+  cfg.numMemControllers = 4;
+  return cfg;
+}
+
+double eventsPerSec(Mode mode, Tick cycles) {
+  const CmpConfig cfg = benchChip();
+  const VmLayout layout = VmLayout::matched(cfg, 4);
+  // DiCo-Arin on purpose: its miss path touches the most stage hooks
+  // (request, service, fanout, ack-wait, data-return and memory-fetch
+  // marks all fire), so the attached measurement is the worst case.
+  CmpSystem system(cfg, ProtocolKind::DiCoArin, layout,
+                   profiles::uniform4(profiles::apache()), /*seed=*/7);
+  StageRecorder recorder;
+  SelfProfiler profiler;
+  if (mode == Mode::Paused) {
+    recorder.setPaused(true);
+    system.attachStageRecorder(&recorder);
+  } else if (mode == Mode::StageAttached) {
+    system.attachStageRecorder(&recorder);
+  } else if (mode == Mode::SelfProf) {
+    profiler.install();
+  }
+  const WallTimer timer;
+  system.run(cycles);
+  const double secs = timer.seconds();
+  if (mode == Mode::SelfProf) profiler.uninstall();
+  return secs > 0.0
+             ? static_cast<double>(system.events().executedEvents()) / secs
+             : 0.0;
+}
+
+/// Best-of-3 to damp scheduler noise (the gate compares two same-process
+/// measurements, so systematic machine speed cancels out).
+double bestOf3(Mode mode, Tick cycles) {
+  double best = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    const double r = eventsPerSec(mode, cycles);
+    if (r > best) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const Tick cycles = quickMode() ? 200'000 : 2'000'000;
+  constexpr double kGate = 0.97;
+
+  eventsPerSec(Mode::Detached, cycles / 4);  // warm the allocator/caches
+
+  const double detached = bestOf3(Mode::Detached, cycles);
+  const double paused = bestOf3(Mode::Paused, cycles);
+  const double stageAttached = bestOf3(Mode::StageAttached, cycles);
+  const double selfprof = bestOf3(Mode::SelfProf, cycles);
+
+  std::printf("flight-recorder overhead (events/sec, best of 3)\n\n");
+  std::printf("%-26s %12.2f M/s  %6.3fx\n", "all detached",
+              detached / 1e6, 1.0);
+  std::printf("%-26s %12.2f M/s  %6.3fx\n", "paused recorder (dispatch)",
+              paused / 1e6, paused / detached);
+  std::printf("%-26s %12.2f M/s  %6.3fx\n", "stage recorder attached",
+              stageAttached / 1e6, stageAttached / detached);
+  std::printf("%-26s %12.2f M/s  %6.3fx\n", "self-profiler installed",
+              selfprof / 1e6, selfprof / detached);
+
+  const double ratio = paused / detached;
+  std::printf("\ngate: paused-dispatch/detached = %.3f %s %.2fx\n", ratio,
+              ratio >= kGate ? ">=" : "< BELOW", kGate);
+
+  const char* jsonPath = std::getenv("EECC_STAGE_TRACE_JSON");
+  if (jsonPath == nullptr) jsonPath = "micro_stage_trace.json";
+  AtomicFile out(jsonPath);
+  if (!out) return 1;
+  JsonWriter w(out.get());
+  w.beginObject();
+  w.field("bench", "micro_stage_trace");
+  w.field("window_cycles", static_cast<std::uint64_t>(cycles));
+  w.field("stage_trace_detached_events_per_sec", detached);
+  w.field("stage_trace_paused_events_per_sec", paused);
+  w.field("stage_trace_paused_speedup", ratio);
+  w.field("stage_trace_attached_events_per_sec", stageAttached);
+  w.field("stage_trace_attached_speedup", stageAttached / detached);
+  w.field("stage_trace_selfprof_events_per_sec", selfprof);
+  w.field("stage_trace_selfprof_speedup", selfprof / detached);
+  w.endObject();
+  w.finish();
+  if (!out.commit()) return 1;
+  std::printf("wrote %s\n", jsonPath);
+  return ratio >= kGate ? 0 : 1;
+}

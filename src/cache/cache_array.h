@@ -13,6 +13,7 @@
 #include "common/bits.h"
 #include "common/check.h"
 #include "common/types.h"
+#include "obs/selfprof.h"
 
 namespace eecc {
 
@@ -63,6 +64,7 @@ class CacheArray {
   /// never 0). This is why CacheLineBase forbids writing valid/lruStamp
   /// directly.
   LineT* find(Addr block) {
+    ProfScope prof(ProfSection::CacheLookup);
     const auto [begin, end] = setRange(block);
     for (std::size_t i = begin; i < end; ++i)
       if (meta_[i].tag == block && meta_[i].stamp != 0) return &lines_[i];
@@ -85,6 +87,7 @@ class CacheArray {
   /// on every miss, so the predicate is not boxed into a std::function.
   template <typename BusyP>
   LineT* selectVictim(Addr block, BusyP&& busy) {
+    ProfScope prof(ProfSection::CacheVictim);
     const auto [begin, end] = setRange(block);
     // Scan the packed stamps only: invalid ways (stamp 0) win outright,
     // otherwise the minimum stamp is the overall-LRU way. `busy` is

@@ -173,6 +173,10 @@ void CmpSystem::attachTrace(TraceSink* sink) {
   net_.setTraceSink(sink);
 }
 
+void CmpSystem::attachStageRecorder(StageRecorder* rec) {
+  protocol_->setStageRecorder(rec);
+}
+
 void CmpSystem::attachLedger(AttributionLedger* ledger) {
   ledger_ = ledger;
   protocol_->setLedger(ledger);

@@ -29,6 +29,7 @@ class MonitorSet;
 class TimelineSampler;
 class TraceSink;
 class AttributionLedger;
+class StageRecorder;
 
 class CmpSystem {
  public:
@@ -75,6 +76,11 @@ class CmpSystem {
   /// Attaches the message/transaction trace sink to both the protocol and
   /// the network (obs/trace.h); nullptr detaches. Zero-cost when detached.
   void attachTrace(TraceSink* sink);
+
+  /// Attaches the miss-path flight recorder (obs/stage.h) to the protocol;
+  /// nullptr detaches. Pure observation behind one untaken branch per
+  /// hook site when detached.
+  void attachStageRecorder(StageRecorder* rec);
 
   /// Attaches the per-VM/per-area attribution ledger (obs/ledger.h) to the
   /// protocol and the network, binds the protocol's live energy counters,

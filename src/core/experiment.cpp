@@ -60,6 +60,16 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     r.trace = std::make_shared<RingTraceSink>(cfg.obs.traceCapacity,
                                               cfg.obs.traceHits);
     system.attachTrace(r.trace.get());
+    registerTraceSink(registry, *r.trace);
+  }
+  if (cfg.obs.stageTrace) {
+    // Attaching after warmup means every in-flight miss has drained: the
+    // recorder sees whole transactions only, so its per-class sample
+    // counts and stage sums reconcile exactly with the miss accumulators.
+    r.stageRec = std::make_shared<StageRecorder>();
+    system.attachStageRecorder(r.stageRec.get());
+    registerStageRecorder(registry, *r.stageRec);
+    if (r.trace != nullptr) r.trace->setFlowSource(r.stageRec.get());
   }
   if (cfg.obs.ledger) {
     r.ledger = std::make_shared<AttributionLedger>(
@@ -70,7 +80,14 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     registerLedger(registry, *r.ledger, &system);
   }
 
+  SelfProfiler selfprof;
+  if (cfg.obs.selfProf) selfprof.install();
   system.run(cfg.windowCycles);
+  if (cfg.obs.selfProf) {
+    selfprof.uninstall();
+    r.selfprof = selfprof.rows();
+    r.selfprofWallNs = selfprof.wallNs();
+  }
 
   if (cfg.obs.snapshotMetrics) r.metrics = registry.snapshot();
   if (monitors != nullptr) {

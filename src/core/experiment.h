@@ -12,6 +12,8 @@
 #include "energy/energy_model.h"
 #include "obs/ledger.h"
 #include "obs/metric_registry.h"
+#include "obs/selfprof.h"
+#include "obs/stage.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "scaleout/interchip.h"
@@ -40,10 +42,21 @@ struct ObsOptions {
   /// Ledger occupancy sampling period in cycles (0 = end-of-run sample
   /// only). Drives the leakage apportioning of the report generator.
   Tick ledgerOccupancyEvery = 50'000;
+  /// Attach the miss-path flight recorder (obs/stage.h): per-(miss-class
+  /// × stage) latency decomposition under "stage." in the registry, plus
+  /// flow ids on trace records linking message spans to their parent
+  /// transaction. Stage sums reconcile exactly with the miss-latency
+  /// accumulators.
+  bool stageTrace = false;
+  /// Run the simulator self-profiler (obs/selfprof.h) over the measured
+  /// window: wall-clock attribution of kernel/NoC/table/cache phases.
+  /// Host-dependent output — never journaled, compared or merged into
+  /// `metrics`.
+  bool selfProf = false;
 
   bool any() const {
     return snapshotMetrics || timelineEvery > 0 || traceCapacity > 0 ||
-           ledger;
+           ledger || stageTrace;
   }
 };
 
@@ -167,6 +180,14 @@ struct ExperimentResult {
   /// Per-VM/per-area attribution matrices of the measured window
   /// (obs.ledger). Its metrics are part of `metrics` under "ledger.".
   std::shared_ptr<AttributionLedger> ledger;
+  /// Miss-path stage decomposition of the measured window
+  /// (obs.stageTrace). Its metrics are part of `metrics` under "stage.".
+  std::shared_ptr<StageRecorder> stageRec;
+  /// Simulator self-profile (obs.selfProf): per-phase wall-time rows and
+  /// the window's total wall time. Host-dependent; excluded from result
+  /// comparison and the sweep journal (a restored result has none).
+  std::vector<SelfProfiler::Row> selfprof;
+  std::uint64_t selfprofWallNs = 0;
 
   // Whole-chip dynamic power (mW) over the run window.
   CacheEnergyBreakdown cachePj;

@@ -107,6 +107,12 @@ std::string canonicalConfig(const ExperimentConfig& cfg) {
     s += '|';
     b(cfg.scaleout.link.ring);
   }
+  // Same only-when-active pattern: the stage recorder adds "stage.*"
+  // metrics to the snapshot, so a stage-traced run must not match a
+  // journal written without one (and plain runs keep their old digests).
+  // selfProf is deliberately absent — its output is never journaled and
+  // does not perturb any journaled quantity.
+  if (cfg.obs.stageTrace) s += "stage|";
   return s;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "obs/ledger.h"
+#include "obs/selfprof.h"
 #include "obs/trace.h"
 
 namespace eecc {
@@ -68,6 +69,7 @@ void Network::deliverAt(Tick when, Message msg) {
 }
 
 void Network::drainDeliveries(Tick when) {
+  ProfScope prof(ProfSection::NocDrain);
   DeliverySlot& s =
       ring_[static_cast<std::size_t>(when & (EventQueue::kWheelSize - 1))];
   EECC_CHECK(s.active && s.when == when && s.segHead < s.segEnd.size());
@@ -112,6 +114,7 @@ Tick Network::flitLevelArrival(MeshTopology::RouteSpan route,
 }
 
 void Network::send(const Message& msg) {
+  ProfScope prof(ProfSection::NocSend);
   EECC_CHECK(msg.src >= 0 && msg.src < topo_.nodeCount());
   EECC_CHECK(msg.dst >= 0 && msg.dst < topo_.nodeCount());
 

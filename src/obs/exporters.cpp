@@ -53,6 +53,22 @@ bool writeStatsJson(const std::string& path,
         else w.value(s.f64);
       }
       w.endObject();
+      if (!run.selfprof.empty()) {
+        w.key("selfprof");
+        w.beginObject();
+        w.field("wallNs", run.selfprofWallNs);
+        w.key("sections");
+        w.beginArray();
+        for (const SelfProfiler::Row& row : run.selfprof) {
+          w.beginObject();
+          w.field("path", row.path);
+          w.field("calls", row.calls);
+          w.field("selfNs", row.selfNs);
+          w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+      }
       w.endObject();
     }
     w.endArray();
@@ -189,8 +205,38 @@ bool writeChromeTrace(const std::string& path, const RingTraceSink& sink) {
         }
       }
       w.endObject();
+
+      // Flow events stitch the transaction's causal tree: a flow starts
+      // ("s") on the miss span and steps ("t", bound to the enclosing
+      // slice) through every message carrying the same id. Perfetto draws
+      // the arrows; records without a flow source keep flow == 0.
+      if (r.flow != 0 && r.kind != Kind::Hit) {
+        const bool miss = r.kind == Kind::Miss;
+        w.beginObject();
+        w.field("name", "txn");
+        w.field("cat", "flow");
+        w.field("ph", miss ? "s" : "t");
+        if (!miss) w.field("bp", "e");
+        w.field("id", r.flow);
+        w.field("ts", static_cast<std::uint64_t>(r.start));
+        w.field("pid", miss ? 0 : 1);
+        w.field("tid", static_cast<std::int64_t>(r.tile));
+        w.endObject();
+      }
     });
     w.endArray();
+  }
+  return out.commit();
+}
+
+bool writeFoldedStacks(const std::string& path,
+                       const std::vector<SelfProfiler::Row>& rows) {
+  AtomicFile out(path);
+  if (!out) return false;
+  std::FILE* f = out.get();
+  for (const SelfProfiler::Row& row : rows) {
+    std::fprintf(f, "eecc;%s %llu\n", row.path.c_str(),
+                 static_cast<unsigned long long>(row.selfNs));
   }
   return out.commit();
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metric_registry.h"
+#include "obs/selfprof.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 
@@ -21,6 +22,12 @@ struct MetricsDoc {
   std::string workload;
   std::string protocol;
   std::vector<MetricRegistry::Sample> samples;
+  /// Self-profiler attribution (--selfprof). Lands in its own "selfprof"
+  /// section of the JSON, never under "metrics": wall-clock nanoseconds
+  /// are inherently nondeterministic and must stay out of everything the
+  /// determinism tests compare. Empty -> section omitted.
+  std::vector<SelfProfiler::Row> selfprof;
+  std::uint64_t selfprofWallNs = 0;
 };
 
 /// `{"runs": [{"workload", "protocol", "metrics": {name: value, ...}}]}`.
@@ -40,8 +47,19 @@ bool writeTimelineJson(const std::string& path, const TimelineSampler& tl,
 
 /// Chrome trace_event JSON (array form). Transactions render as complete
 /// ("X") spans on pid 0 with one thread per tile, named by MissClass;
-/// messages as spans on pid 1, one thread per source node. Opens in
-/// chrome://tracing and ui.perfetto.dev.
+/// messages as spans on pid 1, one thread per source node. Records whose
+/// flow id is set (--stage-trace attaches the StageRecorder as the ring's
+/// FlowSource) additionally carry flow events — a start ("s") on the miss
+/// span and enclosing-slice steps ("t") on its messages — so Perfetto
+/// draws each transaction's causal tree (an Arin broadcast invalidation
+/// fans out visibly from its write miss). Opens in chrome://tracing and
+/// ui.perfetto.dev.
 bool writeChromeTrace(const std::string& path, const RingTraceSink& sink);
+
+/// Flamegraph collapse format for the self-profiler (--selfprof): one
+/// `eecc;<call;path> <selfNs>` line per row, ready for flamegraph.pl /
+/// inferno / speedscope (docs/profiling.md).
+bool writeFoldedStacks(const std::string& path,
+                       const std::vector<SelfProfiler::Row>& rows);
 
 }  // namespace eecc

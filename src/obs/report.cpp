@@ -3,9 +3,12 @@
 #include <cstdio>
 #include <string>
 
+#include <array>
+
 #include "common/atomic_file.h"
 #include "common/json.h"
 #include "obs/ledger.h"
+#include "obs/stage.h"
 
 namespace eecc {
 
@@ -25,6 +28,26 @@ std::string fmt(double v) {
 std::string cellName(const std::string& row, std::size_t area,
                      const char* leaf) {
   return "ledger." + row + "." + std::to_string(area) + "." + leaf;
+}
+
+/// Linear interpolation of the q-quantile inside the flight recorder's
+/// uniform histogram (bucket width kHistMax / kHistBuckets; the top
+/// bucket saturates, so the result never exceeds kHistMax).
+double histPercentile(
+    const std::array<double, StageRecorder::kHistBuckets>& hist,
+    double count, double q) {
+  if (count <= 0) return 0.0;
+  const double width =
+      StageRecorder::kHistMax / StageRecorder::kHistBuckets;
+  const double target = q * count;
+  double cum = 0;
+  for (std::size_t b = 0; b < StageRecorder::kHistBuckets; ++b) {
+    if (hist[b] > 0 && cum + hist[b] >= target)
+      return static_cast<double>(b) * width +
+             width * (target - cum) / hist[b];
+    cum += hist[b];
+  }
+  return StageRecorder::kHistMax;
 }
 
 }  // namespace
@@ -179,6 +202,87 @@ Report buildReport(const std::vector<StatsRun>& runs) {
       rep.interference.push_back(std::move(row));
     }
   }
+  // --- Miss-latency stage decomposition (--stage-trace runs) ---
+  // Per run and stage, pooled over miss classes: the per-class stage
+  // accumulators and histograms of stage.<class>.<stage>.* reduce to one
+  // mean/p50/p99 row per stage, in critical-path order.
+  struct StageAgg {
+    std::string workload;
+    std::string protocol;
+    std::array<double, kStageCount> mean{};
+  };
+  std::vector<StageAgg> stageAggs;
+  for (const StatsRun& run : runs) {
+    if (!run.has("stage.transactions")) continue;
+    std::array<double, kStageCount> counts{};
+    std::array<double, kStageCount> sums{};
+    std::array<std::array<double, StageRecorder::kHistBuckets>, kStageCount>
+        hists{};
+    double totalSum = 0;
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const char* sn = stageName(static_cast<Stage>(s));
+      for (std::size_t c = 0;
+           c < static_cast<std::size_t>(MissClass::kCount); ++c) {
+        const std::string base = std::string("stage.") +
+                                 missClassName(static_cast<MissClass>(c)) +
+                                 "." + sn;
+        counts[s] += run.metric(base + ".lat.count");
+        sums[s] += run.metric(base + ".lat.sum");
+        for (std::size_t b = 0; b < StageRecorder::kHistBuckets; ++b)
+          hists[s][b] += run.metric(base + ".hist." + std::to_string(b));
+      }
+      totalSum += sums[s];
+    }
+    StageAgg agg;
+    agg.workload = run.workload;
+    agg.protocol = run.protocol;
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      // The histograms hold participating (nonzero) samples only, so the
+      // percentiles condition on the stage actually happening.
+      double histTotal = 0;
+      for (const double b : hists[s]) histTotal += b;
+      StageLatencyRow row;
+      row.workload = run.workload;
+      row.protocol = run.protocol;
+      row.stage = stageName(static_cast<Stage>(s));
+      row.count = counts[s];
+      row.sumCycles = sums[s];
+      row.mean = counts[s] > 0 ? sums[s] / counts[s] : 0.0;
+      row.p50 = histPercentile(hists[s], histTotal, 0.50);
+      row.p99 = histPercentile(hists[s], histTotal, 0.99);
+      row.share = totalSum > 0 ? sums[s] / totalSum : 0.0;
+      agg.mean[s] = row.mean;
+      rep.stageLatency.push_back(std::move(row));
+    }
+    stageAggs.push_back(std::move(agg));
+  }
+  // The decomposition verdict: against the workload's Directory run,
+  // which stage's mean gap is the largest share of the protocol's total
+  // miss-latency gap (ties resolve to the earliest stage).
+  for (const StageAgg& agg : stageAggs) {
+    if (agg.protocol == "Directory") continue;
+    const StageAgg* base = nullptr;
+    for (const StageAgg& cand : stageAggs)
+      if (cand.workload == agg.workload && cand.protocol == "Directory") {
+        base = &cand;
+        break;
+      }
+    if (base == nullptr) continue;
+    StageDominantRow row;
+    row.workload = agg.workload;
+    row.protocol = agg.protocol;
+    row.base = base->protocol;
+    std::size_t dom = 0;
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const double delta = agg.mean[s] - base->mean[s];
+      row.totalDeltaCycles += delta;
+      if (delta > agg.mean[dom] - base->mean[dom]) dom = s;
+    }
+    row.dominantStage = stageName(static_cast<Stage>(dom));
+    row.stageDeltaCycles = agg.mean[dom] - base->mean[dom];
+    rep.stageDominant.push_back(std::move(row));
+  }
+
   // --- Scale-out rollups (runs recorded with --chips N) ---
   for (const StatsRun& run : runs) {
     if (!run.has("server.chips")) continue;
@@ -288,6 +392,41 @@ bool writeReportJson(const std::string& path, const Report& report) {
       w.endObject();
     }
     w.endArray();
+    // Stage sections only for reports with flight-recorder runs, so
+    // report.json output without --stage-trace is unchanged.
+    if (!report.stageLatency.empty()) {
+      w.key("stageLatency");
+      w.beginArray();
+      for (const StageLatencyRow& r : report.stageLatency) {
+        w.beginObject();
+        w.field("workload", r.workload);
+        w.field("protocol", r.protocol);
+        w.field("stage", r.stage);
+        w.field("count", r.count);
+        w.field("sumCycles", r.sumCycles);
+        w.field("mean", r.mean);
+        w.field("p50", r.p50);
+        w.field("p99", r.p99);
+        w.field("share", r.share);
+        w.endObject();
+      }
+      w.endArray();
+    }
+    if (!report.stageDominant.empty()) {
+      w.key("stageDominant");
+      w.beginArray();
+      for (const StageDominantRow& r : report.stageDominant) {
+        w.beginObject();
+        w.field("workload", r.workload);
+        w.field("protocol", r.protocol);
+        w.field("base", r.base);
+        w.field("dominantStage", r.dominantStage);
+        w.field("stageDeltaCycles", r.stageDeltaCycles);
+        w.field("totalDeltaCycles", r.totalDeltaCycles);
+        w.endObject();
+      }
+      w.endArray();
+    }
     // Scale-out sections only for reports that have scale-out runs, so
     // single-chip report.json output is unchanged by the subsystem.
     if (!report.scaleout.empty()) {
@@ -335,6 +474,22 @@ bool writeReportJson(const std::string& path, const Report& report) {
     }
     w.endObject();
   }
+  return out.commit();
+}
+
+bool writeStageLatencyCsv(const std::string& path, const Report& report) {
+  AtomicFile out(path);
+  if (!out) return false;
+  std::FILE* f = out.get();
+  std::fprintf(f,
+               "workload,protocol,stage,count,sum_cycles,mean,p50,p99,"
+               "share\n");
+  for (const StageLatencyRow& r : report.stageLatency)
+    std::fprintf(f, "%s,%s,%s,%s,%s,%s,%s,%s,%s\n", r.workload.c_str(),
+                 r.protocol.c_str(), r.stage.c_str(), fmt(r.count).c_str(),
+                 fmt(r.sumCycles).c_str(), fmt(r.mean).c_str(),
+                 fmt(r.p50).c_str(), fmt(r.p99).c_str(),
+                 fmt(r.share).c_str());
   return out.commit();
 }
 
@@ -505,6 +660,44 @@ bool writeReportMarkdown(const std::string& path, const Report& report) {
                        ? fmt(r.flitShareByArea[a]).c_str()
                        : "0");
     std::fprintf(f, " %s |\n", fmt(r.remoteShare).c_str());
+  }
+
+  if (!report.stageLatency.empty()) {
+    std::fprintf(f,
+                 "\n## Miss-latency stage decomposition (flight "
+                 "recorder)\n\n"
+                 "Cycles per completed miss in each protocol stage "
+                 "(`--stage-trace` runs; miss classes pooled, every "
+                 "transaction contributes one sample per stage; p50/p99 "
+                 "condition on the stage actually happening). The stage "
+                 "sums reconcile exactly with the protocol's total miss "
+                 "latency.\n\n");
+    std::fprintf(f,
+                 "| workload | protocol | stage | count | mean | p50 | "
+                 "p99 | share |\n");
+    std::fprintf(f, "|---|---|---|---|---|---|---|---|\n");
+    for (const StageLatencyRow& r : report.stageLatency)
+      std::fprintf(f, "| %s | %s | %s | %s | %s | %s | %s | %s |\n",
+                   r.workload.c_str(), r.protocol.c_str(), r.stage.c_str(),
+                   fmt(r.count).c_str(), fmt(r.mean).c_str(),
+                   fmt(r.p50).c_str(), fmt(r.p99).c_str(),
+                   fmt(r.share).c_str());
+    if (!report.stageDominant.empty()) {
+      std::fprintf(f,
+                   "\n### Dominant stage vs Directory\n\n"
+                   "Where each protocol's mean miss-latency gap against "
+                   "the workload's Directory run comes from: the stage "
+                   "with the largest mean-per-miss delta.\n\n");
+      std::fprintf(f,
+                   "| workload | protocol | total Δcycles | dominant "
+                   "stage | stage Δcycles |\n");
+      std::fprintf(f, "|---|---|---|---|---|\n");
+      for (const StageDominantRow& r : report.stageDominant)
+        std::fprintf(f, "| %s | %s | %s | %s | %s |\n", r.workload.c_str(),
+                     r.protocol.c_str(), fmt(r.totalDeltaCycles).c_str(),
+                     r.dominantStage.c_str(),
+                     fmt(r.stageDeltaCycles).c_str());
+    }
   }
 
   if (!report.scaleout.empty()) {

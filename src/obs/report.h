@@ -143,11 +143,47 @@ struct ScaleoutSummaryRow {
   double interchipMw = 0;
 };
 
+/// One (workload, protocol, stage) row of the miss-latency stage
+/// decomposition (runs recorded with `eecc_sim --stage-trace`; miss
+/// classes pooled — every completed transaction contributes one sample
+/// per stage, zeros included, so `count` equals the run's transaction
+/// count for every stage). p50/p99 are linear interpolations inside the
+/// flight recorder's 16 x 64-cycle histogram buckets, which hold
+/// *participating* (nonzero-latency) samples only — they answer "when
+/// the stage happens, how long does it take"; the top bucket saturates
+/// at 1024 cycles.
+struct StageLatencyRow {
+  std::string workload;
+  std::string protocol;
+  std::string stage;     ///< stageName() string ("request".."complete").
+  double count = 0;      ///< Samples: completed miss transactions.
+  double sumCycles = 0;  ///< Total cycles attributed to the stage.
+  double mean = 0;       ///< sumCycles / count.
+  double p50 = 0;
+  double p99 = 0;
+  double share = 0;      ///< sumCycles / all miss cycles of the run.
+};
+
+/// Stage-decomposition verdict against the workload's Directory run:
+/// the stage whose mean-per-miss gap explains the largest part of the
+/// protocol's total miss-latency gap (for DiCo-Arin this names the
+/// broadcast invalidation/ack collection behind its write-miss cost).
+struct StageDominantRow {
+  std::string workload;
+  std::string protocol;
+  std::string base;              ///< Baseline protocol ("Directory").
+  std::string dominantStage;
+  double stageDeltaCycles = 0;   ///< Mean-per-miss gap from that stage.
+  double totalDeltaCycles = 0;   ///< Total mean miss-latency gap.
+};
+
 struct Report {
   std::size_t areas = 0;  ///< Max area count across runs (matrix width).
   std::vector<EnergyBreakdownRow> energy;
   std::vector<PerVmRow> perVm;
   std::vector<InterferenceRow> interference;
+  std::vector<StageLatencyRow> stageLatency;
+  std::vector<StageDominantRow> stageDominant;
   std::vector<ScaleoutSummaryRow> scaleout;
   std::vector<ScaleoutChipRow> scaleoutChips;
 };
@@ -164,6 +200,9 @@ bool writeReportJson(const std::string& path, const Report& report);
 bool writeEnergyBreakdownCsv(const std::string& path, const Report& report);
 bool writePerVmCsv(const std::string& path, const Report& report);
 bool writeInterferenceCsv(const std::string& path, const Report& report);
+/// Stage-decomposition table (flight-recorder runs); writes a header-only
+/// file when no run carries stage metrics.
+bool writeStageLatencyCsv(const std::string& path, const Report& report);
 /// Scale-out table (server churn + inter-chip link + per-chip rollups);
 /// writes a header-only file when no run is multi-chip.
 bool writeScaleoutCsv(const std::string& path, const Report& report);

@@ -1,0 +1,96 @@
+#include "obs/selfprof.h"
+
+#include <algorithm>
+
+namespace eecc {
+
+void SelfProfiler::install() {
+  if (installed_) return;
+  installed_ = true;
+  selfprof_detail::gCurrent = this;
+  selfprof_detail::gActive.fetch_add(1, std::memory_order_relaxed);
+  wallStart_ = Clock::now();
+}
+
+void SelfProfiler::uninstall() {
+  if (!installed_) return;
+  wallNs_ += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           wallStart_)
+          .count());
+  selfprof_detail::gActive.fetch_sub(1, std::memory_order_relaxed);
+  if (selfprof_detail::gCurrent == this) selfprof_detail::gCurrent = nullptr;
+  installed_ = false;
+}
+
+void SelfProfiler::enterScope(ProfSection s) {
+  if (depth_ < kMaxDepth) {
+    Frame& f = stack_[depth_];
+    f.sec = s;
+    f.pathKey = (depth_ == 0 ? 0 : stack_[depth_ - 1].pathKey) |
+                (static_cast<std::uint64_t>(static_cast<unsigned>(s) + 1)
+                 << (8 * depth_));
+    f.childNs = 0;
+    f.t0 = Clock::now();
+  }
+  ++depth_;
+}
+
+void SelfProfiler::exitScope() {
+  if (depth_ == 0) return;
+  --depth_;
+  if (depth_ >= kMaxDepth) return;  // folded into the parent frame
+  const Frame& f = stack_[depth_];
+  const auto elapsed = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           f.t0)
+          .count());
+  const std::uint64_t self =
+      elapsed > f.childNs ? elapsed - f.childNs : 0;
+  Cell& cell = paths_.at(f.pathKey);
+  cell.calls += 1;
+  cell.selfNs += self;
+  if (depth_ > 0) stack_[depth_ - 1].childNs += elapsed;
+}
+
+std::uint64_t SelfProfiler::wallNs() const {
+  if (!installed_) return wallNs_;
+  return wallNs_ + static_cast<std::uint64_t>(
+                       std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           Clock::now() - wallStart_)
+                           .count());
+}
+
+namespace {
+
+std::string pathString(std::uint64_t key) {
+  std::string out;
+  for (std::size_t d = 0; d < SelfProfiler::kMaxDepth; ++d) {
+    const auto byte = static_cast<unsigned>((key >> (8 * d)) & 0xff);
+    if (byte == 0) break;
+    if (!out.empty()) out += ';';
+    out += profSectionName(static_cast<ProfSection>(byte - 1));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SelfProfiler::Row> SelfProfiler::rows() const {
+  std::vector<Row> out;
+  paths_.forEach([&out](std::uint64_t key, const Cell& c) {
+    out.push_back({pathString(key), c.calls, c.selfNs});
+  });
+  std::sort(out.begin(), out.end(),
+            [](const Row& a, const Row& b) { return a.path < b.path; });
+  return out;
+}
+
+std::vector<std::string> SelfProfiler::foldedStacks() const {
+  std::vector<std::string> out;
+  for (const Row& r : rows())
+    out.push_back("eecc;" + r.path + " " + std::to_string(r.selfNs));
+  return out;
+}
+
+}  // namespace eecc

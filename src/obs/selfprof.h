@@ -1,0 +1,169 @@
+// Simulator self-profiler (DESIGN.md §16).
+//
+// Answers "where does the *simulator's own* wall-time go?" — the
+// companion question to the flight recorder's "where do the *modeled*
+// cycles go?". ProfScope is a scoped steady_clock timer dropped into the
+// simulator's hot components (event-kernel pop/dispatch, the
+// table-engine interpreter, NoC send and batch drain, cache lookup and
+// victim selection); nested scopes attribute self-time exclusively, so
+// the per-section numbers sum to an attribution table and nest into
+// call-path rows exportable as folded stacks for flamegraph tooling
+// (docs/profiling.md).
+//
+// Cost contract: the profiler is OFF in every normal run. A detached
+// ProfScope costs one relaxed atomic load and one predicted-untaken
+// branch (bench/micro_stage_trace gates this at >= 0.97x the un-hooked
+// hot path, like every other observation hook). When installed it calls
+// steady_clock twice per scope — real observer overhead on sub-10ns
+// scopes like a cache probe, which is why self-profiled wall-times are
+// *excluded* from determinism comparisons and reported in their own
+// stats section, never mixed into simulation metrics.
+//
+// Threading: experiments run concurrently on the EECC_JOBS pool, so the
+// current profiler is thread-local — install() binds this profiler to
+// the calling thread (the one that runs the experiment's event loop);
+// the global active count only makes the detached fast path cheap.
+//
+// This header is dependency-light on purpose: sim/event_queue.h includes
+// it, so it must not pull in protocol or obs machinery.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flat_hash.h"
+
+namespace eecc {
+
+/// Instrumented simulator components. Section names are dotted so call
+/// paths join into flamegraph frames ("kernel.dispatch;table.interpret").
+enum class ProfSection : std::uint8_t {
+  KernelPop,       ///< EventQueue::runOne — earliest-event extraction.
+  KernelDispatch,  ///< EventQueue::runOne — handler invocation.
+  NocSend,         ///< Network::send — routing, timing, delivery setup.
+  NocDrain,        ///< Network batch-delivery ring drain.
+  TableInterpret,  ///< Protocol transition-table interpreter.
+  CacheLookup,     ///< CacheArray::find probes.
+  CacheVictim,     ///< CacheArray victim selection.
+  kCount
+};
+
+inline const char* profSectionName(ProfSection s) {
+  switch (s) {
+    case ProfSection::KernelPop: return "kernel.pop";
+    case ProfSection::KernelDispatch: return "kernel.dispatch";
+    case ProfSection::NocSend: return "noc.send";
+    case ProfSection::NocDrain: return "noc.drain";
+    case ProfSection::TableInterpret: return "table.interpret";
+    case ProfSection::CacheLookup: return "cache.lookup";
+    case ProfSection::CacheVictim: return "cache.victim";
+    case ProfSection::kCount: break;
+  }
+  return "?";
+}
+
+class SelfProfiler;
+
+namespace selfprof_detail {
+/// Non-zero while any thread has a profiler installed; the first word a
+/// detached ProfScope reads. Relaxed everywhere — it only gates whether
+/// the thread-local lookup is worth doing.
+inline std::atomic<int> gActive{0};
+inline thread_local SelfProfiler* gCurrent = nullptr;
+}  // namespace selfprof_detail
+
+/// Wall-time attribution for one experiment. install()/uninstall() wrap
+/// the experiment's event loop on its own thread; rows() and
+/// foldedStacks() extract the table afterwards.
+class SelfProfiler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Call-path nesting deeper than this is folded into the parent frame
+  /// (seven sections; real nesting is kernel.dispatch > noc/table > cache,
+  /// depth 3).
+  static constexpr std::size_t kMaxDepth = 8;
+
+  SelfProfiler() { paths_.reserve(64); }
+  ~SelfProfiler() { uninstall(); }
+  SelfProfiler(const SelfProfiler&) = delete;
+  SelfProfiler& operator=(const SelfProfiler&) = delete;
+
+  /// Binds this profiler to the calling thread's ProfScopes.
+  void install();
+  /// Unbinds; wall() stops accumulating. Idempotent.
+  void uninstall();
+  bool installed() const { return installed_; }
+
+  static SelfProfiler* current() { return selfprof_detail::gCurrent; }
+  static bool anyActive() {
+    return selfprof_detail::gActive.load(std::memory_order_relaxed) != 0;
+  }
+
+  // --- ProfScope driver (out of line: only runs when installed) ---
+  void enterScope(ProfSection s);
+  void exitScope();
+
+  /// One aggregated call path, exclusive of nested instrumented scopes.
+  struct Row {
+    std::string path;  ///< "kernel.dispatch;table.interpret"
+    std::uint64_t calls = 0;
+    std::uint64_t selfNs = 0;
+  };
+  /// All call paths, sorted by path string (deterministic output order —
+  /// the timed values themselves are wall-clock and never compared).
+  std::vector<Row> rows() const;
+  /// Total wall-time between install() and uninstall(), nanoseconds.
+  std::uint64_t wallNs() const;
+  /// Flamegraph collapse format, one counted stack per line:
+  /// "eecc;kernel.dispatch;table.interpret 1234567" (value = self ns).
+  std::vector<std::string> foldedStacks() const;
+
+ private:
+  struct Frame {
+    ProfSection sec = ProfSection::kCount;
+    std::uint64_t pathKey = 0;
+    Clock::time_point t0{};
+    std::uint64_t childNs = 0;
+  };
+  struct Cell {
+    std::uint64_t calls = 0;
+    std::uint64_t selfNs = 0;
+  };
+
+  bool installed_ = false;
+  Clock::time_point wallStart_{};
+  std::uint64_t wallNs_ = 0;
+  std::size_t depth_ = 0;
+  std::array<Frame, kMaxDepth> stack_{};
+  /// Aggregates keyed by the packed call path: byte i holds
+  /// (section at depth i) + 1, root in the low byte.
+  FlatHash<Cell> paths_;
+};
+
+/// RAII timing scope. Constructed with its section at every hot-path
+/// site; free when no profiler is installed anywhere.
+class ProfScope {
+ public:
+  explicit ProfScope(ProfSection s) {
+    if (SelfProfiler::anyActive()) [[unlikely]] {
+      prof_ = SelfProfiler::current();
+      if (prof_ != nullptr) prof_->enterScope(s);
+    }
+  }
+  ~ProfScope() {
+    if (prof_ != nullptr) [[unlikely]]
+      prof_->exitScope();
+  }
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  SelfProfiler* prof_ = nullptr;
+};
+
+}  // namespace eecc

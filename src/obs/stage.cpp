@@ -1,0 +1,29 @@
+#include "obs/stage.h"
+
+#include <string>
+
+#include "obs/metric_registry.h"
+
+namespace eecc {
+
+void registerStageRecorder(MetricRegistry& reg, const StageRecorder& rec) {
+  const StageRecorder* r = &rec;
+  reg.addCounter("stage.transactions", [r] { return r->transactions(); });
+  for (std::size_t c = 0; c < static_cast<std::size_t>(MissClass::kCount);
+       ++c) {
+    const auto cls = static_cast<MissClass>(c);
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const auto stage = static_cast<Stage>(s);
+      const std::string base = std::string("stage.") + missClassName(cls) +
+                               "." + stageName(stage);
+      reg.addAccumulator(base + ".lat", &r->latency(cls, stage));
+      for (std::size_t b = 0; b < StageRecorder::kHistBuckets; ++b)
+        reg.addCounter(base + ".hist." + std::to_string(b), [r, cls, stage,
+                                                             b] {
+          return r->histogram(cls, stage).buckets()[b];
+        });
+    }
+  }
+}
+
+}  // namespace eecc

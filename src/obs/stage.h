@@ -1,0 +1,236 @@
+// Miss-path flight recorder (DESIGN.md §16).
+//
+// StageRecorder decomposes every completed miss transaction into the
+// protocol-level stages its latency was spent in: request routing, home /
+// owner service occupancy, invalidation fan-out, acknowledgement
+// collection, data return, memory fetch, the inter-chip round trip, and
+// completion. The protocol engines drive it through three hooks behind
+// the same `[[unlikely]]`-guarded null-pointer contract as the trace sink
+// and the check hooks (detached recording is free):
+//
+//  * begin(block)        — the miss transaction enters the miss path
+//                          (Protocol::access, under the line lock).
+//  * mark(block, stage)  — attributes the interval since the previous
+//                          mark to `stage`. Called at the terminal event
+//                          of each stage: a request's arrival at its
+//                          serving node marks Request, the serve-delay
+//                          lambda marks Service, an invalidation's
+//                          arrival marks Fanout, and so on. Marks for
+//                          blocks with no in-flight transaction are
+//                          silent no-ops — background traffic
+//                          (writebacks, hints, directory evictions,
+//                          post-completion unblocks) never records.
+//  * end(block, cls)     — the protocol's single recordMiss() site;
+//                          attributes the residual to Complete and
+//                          commits one sample per stage (zeros included)
+//                          into the per-(MissClass × Stage) accumulators
+//                          and histograms.
+//
+// Because the stage intervals partition [begin, end] by construction, the
+// per-class invariants hold *exactly* (latencies are integer-valued
+// doubles far below 2^53):
+//
+//     sum_s latency(cls, s).sum()   == ProtocolStats::latencyByClass[cls].sum()
+//     latency(cls, s).count()       == ProtocolStats::missByClass[cls]
+//
+// reconciliation the obs tests pin bit-for-bit.
+//
+// The analytic inter-chip round trip (src/scaleout) adds latency without
+// any event of its own, so it is attributed through a *credit*: the
+// memory-request handler banks the extra cycles, and the next mark peels
+// them off into Stage::InterChip before attributing the remainder.
+// Observation never schedules events or changes simulation order.
+//
+// StageRecorder is also the trace sink's FlowSource: each transaction
+// gets a sequential flow id, and the Chrome-trace exporter uses it to
+// link NoC message spans to their parent transaction as Perfetto flows.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/flat_hash.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "obs/trace.h"
+#include "protocols/protocol_stats.h"
+
+namespace eecc {
+
+class MetricRegistry;
+
+/// Latency stages of a miss transaction, in rough critical-path order.
+/// Metric names use the lowerCamel strings of stageName().
+enum class Stage : std::uint8_t {
+  Request,     ///< Issue and request routing up to the serving node.
+  Service,     ///< Home / owner / directory occupancy (serve delays).
+  Fanout,      ///< Forward / invalidation / snoop wave propagation.
+  AckWait,     ///< Waiting on invalidation / snoop acknowledgements.
+  DataReturn,  ///< Data response in flight back to the requestor.
+  MemFetch,    ///< Memory controller service (DRAM latency, row schedule).
+  InterChip,   ///< Scale-out inter-chip round trip (credited, analytic).
+  Complete,    ///< Residual between the last mark and recordMiss().
+  kCount
+};
+
+constexpr std::size_t kStageCount = static_cast<std::size_t>(Stage::kCount);
+
+inline const char* stageName(Stage s) {
+  switch (s) {
+    case Stage::Request: return "request";
+    case Stage::Service: return "service";
+    case Stage::Fanout: return "fanout";
+    case Stage::AckWait: return "ackWait";
+    case Stage::DataReturn: return "dataReturn";
+    case Stage::MemFetch: return "memFetch";
+    case Stage::InterChip: return "interChip";
+    case Stage::Complete: return "complete";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+/// Per-(MissClass × Stage) latency decomposition over completed misses.
+/// Not thread-safe; each CmpSystem (one event loop) gets its own recorder.
+class StageRecorder final : public FlowSource {
+ public:
+  /// Stage-latency histograms: 16 uniform buckets over [0, 1024) cycles
+  /// with saturating edges — one L2-round-trip granularity, memory and
+  /// inter-chip tails land in the top bucket. Unlike the accumulators
+  /// (one sample per stage per transaction, zeros included, so counts
+  /// reconcile with the miss counters), the histograms only record
+  /// *participating* transactions (nonzero stage latency): the report's
+  /// p50/p99 answer "when the stage happens, how long does it take"
+  /// rather than being flattened by the zero mass of stages most misses
+  /// never enter.
+  static constexpr std::size_t kHistBuckets = 16;
+  static constexpr double kHistMax = 1024.0;
+
+  StageRecorder() {
+    inflight_.reserve(1024);
+    for (auto& row : hist_)
+      for (Histogram& h : row) h = Histogram(0.0, kHistMax, kHistBuckets);
+  }
+  StageRecorder(const StageRecorder&) = delete;
+  StageRecorder& operator=(const StageRecorder&) = delete;
+
+  /// Dispatch-only mode for the overhead bench (micro_stage_trace): a
+  /// paused recorder accepts every hook call but begin() records
+  /// nothing, so marks, credits and ends all degrade to the
+  /// unknown-block fast path (one empty-table lookup). This is the
+  /// measurable upper bound on what the detached null-pointer branches
+  /// could possibly cost — the analogue of micro_obs_overhead's null
+  /// trace sink.
+  void setPaused(bool paused) { paused_ = paused; }
+
+  /// A miss transaction on `block` enters the miss path at `now`.
+  void begin(Addr block, Tick now) {
+    if (paused_) [[unlikely]] return;
+    Txn& t = inflight_.at(block);
+    t = Txn{};
+    t.id = ++nextId_;
+    t.start = now;
+    t.last = now;
+  }
+
+  /// Attributes [previous mark, now] to `s`; no-op when `block` has no
+  /// in-flight transaction (background traffic).
+  void mark(Addr block, Stage s, Tick now) {
+    Txn* t = inflight_.find(block);
+    if (t == nullptr) return;
+    Tick interval = now - t->last;
+    t->last = now;
+    if (t->credit != 0) {
+      const Tick c = t->credit < interval ? t->credit : interval;
+      t->ticks[static_cast<std::size_t>(t->creditStage)] += c;
+      t->credit = 0;
+      interval -= c;
+    }
+    t->ticks[static_cast<std::size_t>(s)] += interval;
+  }
+
+  /// Banks `amount` cycles of analytic latency for `stage`; the next mark
+  /// peels them off the interval it attributes. Used by the scale-out
+  /// remote-memory hook, whose round trip has no event of its own.
+  void credit(Addr block, Stage stage, Tick amount) {
+    Txn* t = inflight_.find(block);
+    if (t == nullptr) return;
+    t->creditStage = stage;
+    t->credit += amount;
+  }
+
+  /// The transaction completes (the protocol's recordMiss site): the
+  /// residual goes to Complete and every stage commits one sample.
+  void end(Addr block, MissClass cls, Tick now) {
+    Txn* t = inflight_.find(block);
+    if (t == nullptr) return;
+    mark(block, Stage::Complete, now);
+    const auto c = static_cast<std::size_t>(cls);
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const auto lat = static_cast<double>(t->ticks[s]);
+      lat_[c][s].add(lat);
+      if (lat > 0) hist_[c][s].add(lat);
+    }
+    ++transactions_;
+    lastEnded_ = {block, t->id};
+    haveLastEnded_ = true;
+    inflight_.erase(block);
+  }
+
+  // --- FlowSource ---
+  /// Flow id of the in-flight transaction on `block` — or of the
+  /// transaction that just ended there (the completion wrapper and the
+  /// unblock messages it sends trace after end(), in the same call
+  /// chain). 0 when none.
+  std::uint64_t flowOf(Addr block) const override {
+    const Txn* t = inflight_.find(block);
+    if (t != nullptr) return t->id;
+    if (haveLastEnded_ && lastEnded_.block == block) return lastEnded_.id;
+    return 0;
+  }
+
+  const Accumulator& latency(MissClass cls, Stage s) const {
+    return lat_[static_cast<std::size_t>(cls)][static_cast<std::size_t>(s)];
+  }
+  const Histogram& histogram(MissClass cls, Stage s) const {
+    return hist_[static_cast<std::size_t>(cls)][static_cast<std::size_t>(s)];
+  }
+  /// Completed (committed) transactions.
+  std::uint64_t transactions() const { return transactions_; }
+  /// Transactions currently between begin() and end().
+  std::size_t inFlight() const { return inflight_.size(); }
+
+ private:
+  struct Txn {
+    std::uint64_t id = 0;
+    Tick start = 0;
+    Tick last = 0;
+    Tick credit = 0;
+    Stage creditStage = Stage::InterChip;
+    std::array<Tick, kStageCount> ticks{};
+  };
+  struct Ended {
+    Addr block = 0;
+    std::uint64_t id = 0;
+  };
+
+  FlatHash<Txn> inflight_;
+  bool paused_ = false;
+  std::uint64_t nextId_ = 0;
+  std::uint64_t transactions_ = 0;
+  Ended lastEnded_;
+  bool haveLastEnded_ = false;
+  std::array<std::array<Accumulator, kStageCount>,
+             static_cast<std::size_t>(MissClass::kCount)>
+      lat_{};
+  std::array<std::array<Histogram, kStageCount>,
+             static_cast<std::size_t>(MissClass::kCount)>
+      hist_;
+};
+
+/// Registers `stage.<missClass>.<stage>.lat.*` accumulator expansions,
+/// `stage.<missClass>.<stage>.hist.<i>` bucket counters and
+/// `stage.transactions` on `reg`. The recorder must outlive the registry.
+void registerStageRecorder(MetricRegistry& reg, const StageRecorder& rec);
+
+}  // namespace eecc

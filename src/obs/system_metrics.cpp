@@ -6,6 +6,7 @@
 #include "core/experiment.h"
 #include "energy/energy_model.h"
 #include "obs/ledger.h"
+#include "obs/trace.h"
 #include "protocols/protocol.h"
 #include "protocols/protocol_stats.h"
 
@@ -291,6 +292,16 @@ void registerSystem(MetricRegistry& reg, const CmpSystem& sys) {
   registerNocStats(reg, "net", sys.network().stats());
   registerCacheEnergy(reg, "energy", sys.protocol().energyEvents());
   registerEnergyModel(reg, "energy", sys);
+}
+
+void registerTraceSink(MetricRegistry& reg, const RingTraceSink& sink) {
+  const RingTraceSink* t = &sink;
+  reg.addCounter("trace.recorded", [t] { return t->recorded(); });
+  reg.addCounter("trace.retained",
+                 [t] { return static_cast<std::uint64_t>(t->size()); });
+  reg.addCounter("trace.dropped", [t] { return t->dropped(); });
+  reg.addCounter("trace.capacity",
+                 [t] { return static_cast<std::uint64_t>(t->capacity()); });
 }
 
 }  // namespace eecc

@@ -39,6 +39,7 @@ struct ProtocolStats;
 struct NocStats;
 struct CacheEnergyEvents;
 class AttributionLedger;
+class RingTraceSink;
 
 /// Registers every metric of a full system: sys/tile totals plus the
 /// protocol, network, energy and DDR walkers below.
@@ -63,6 +64,13 @@ void registerEnergyModel(MetricRegistry& reg, const std::string& prefix,
 /// applied to the cell's event counts): ledger.<row>.<a>.pj.{cache,noc}.
 void registerLedger(MetricRegistry& reg, const AttributionLedger& ledger,
                     const CmpSystem* sys = nullptr);
+
+/// Trace-ring health counters (overflow visibility, DESIGN.md §16):
+///   trace.recorded   records ever pushed into the ring
+///   trace.retained   records still held (<= capacity)
+///   trace.dropped    records overwritten because the ring was full
+///   trace.capacity   configured ring size
+void registerTraceSink(MetricRegistry& reg, const RingTraceSink& sink);
 
 /// Individual walkers (prefix, e.g. "proto", is prepended to every name).
 void registerProtocolStats(MetricRegistry& reg, const std::string& prefix,

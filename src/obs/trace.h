@@ -24,6 +24,18 @@
 
 namespace eecc {
 
+/// Supplier of flow ids linking records that belong to one coherence
+/// transaction (the StageRecorder of obs/stage.h). A sink with a flow
+/// source tags every record with the id of the transaction in flight on
+/// its block; the Chrome-trace exporter turns the ids into Perfetto flow
+/// arrows, so an Arin broadcast invalidation reads as a causal tree.
+class FlowSource {
+ public:
+  virtual ~FlowSource() = default;
+  /// Flow id of the transaction in flight on `block`; 0 when none.
+  virtual std::uint64_t flowOf(Addr block) const = 0;
+};
+
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -62,6 +74,7 @@ class RingTraceSink final : public TraceSink {
     Addr block = 0;
     Tick start = 0;
     Tick end = 0;
+    std::uint64_t flow = 0;      ///< Parent-transaction flow id; 0 = none.
   };
 
   /// `capacity` — maximum records held; older records are overwritten.
@@ -86,7 +99,7 @@ class RingTraceSink final : public TraceSink {
     r.block = block;
     r.start = start;
     r.end = end;
-    push(r);
+    push(r, block);
   }
 
   void onMessage(const Message& msg, Tick sendTick, Tick arriveTick,
@@ -101,7 +114,7 @@ class RingTraceSink final : public TraceSink {
     r.block = msg.addr;
     r.start = sendTick;
     r.end = arriveTick;
-    push(r);
+    push(r, msg.addr);
   }
 
   void onBroadcast(const Message& msg, Tick sendTick,
@@ -114,8 +127,12 @@ class RingTraceSink final : public TraceSink {
     r.block = msg.addr;
     r.start = sendTick;
     r.end = lastArrive;
-    push(r);
+    push(r, msg.addr);
   }
+
+  /// Attaches (or detaches, with nullptr) the flow-id source; subsequent
+  /// records carry the id of the transaction in flight on their block.
+  void setFlowSource(const FlowSource* src) { flowSource_ = src; }
 
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const { return ring_.size(); }
@@ -140,7 +157,8 @@ class RingTraceSink final : public TraceSink {
   }
 
  private:
-  void push(const Record& r) {
+  void push(Record r, Addr block) {
+    if (flowSource_ != nullptr) r.flow = flowSource_->flowOf(block);
     ++recorded_;
     if (ring_.size() < capacity_) {
       ring_.push_back(r);
@@ -152,6 +170,7 @@ class RingTraceSink final : public TraceSink {
 
   std::size_t capacity_;
   bool recordHits_;
+  const FlowSource* flowSource_ = nullptr;
   std::vector<Record> ring_;
   std::size_t head_ = 0;  ///< Oldest retained record once the ring is full.
   std::uint64_t recorded_ = 0;

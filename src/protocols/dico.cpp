@@ -475,7 +475,10 @@ void DiCoProtocol::startMiss(NodeId tile, Addr block, AccessType type,
         inv.dst = s;
         inv.addr = block;
         inv.requestor = tile;
-        after(cfg_.l1.tagLatency, [this, inv] { send(inv); });
+        after(cfg_.l1.tagLatency, [this, inv] {
+          stageMark(inv.addr, Stage::Service);  // requestor is the orderer
+          send(inv);
+        });
       });
       line->sharers.clear();
       txn.grantArrived = true;
@@ -555,7 +558,10 @@ void DiCoProtocol::ownerServeRead(NodeId owner, L1Line& line,
   data.addr = msg.addr;
   data.value = line.value;
   data.forwarder = owner;  // supplier identity for the L1C$ update
-  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, data] { send(data); });
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, data] {
+    stageMark(data.addr, Stage::Service);  // owner occupancy
+    send(data);
+  });
 }
 
 void DiCoProtocol::ownerServeWrite(NodeId owner, L1Line& line,
@@ -582,7 +588,10 @@ void DiCoProtocol::ownerServeWrite(NodeId owner, L1Line& line,
     inv.dst = s;
     inv.addr = block;
     inv.requestor = requestor;
-    after(cfg_.l1.tagLatency, [this, inv] { send(inv); });
+    after(cfg_.l1.tagLatency, [this, inv] {
+      stageMark(inv.addr, Stage::Service);  // owner occupancy
+      send(inv);
+    });
   });
 
   finishClassification(txn, /*servedByL1Owner=*/true, false, false);
@@ -595,8 +604,10 @@ void DiCoProtocol::ownerServeWrite(NodeId owner, L1Line& line,
   grant.origin = requestor;
   grant.addr = block;
   grant.value = line.value;
-  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
-        [this, grant] { send(grant); });
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, grant] {
+    stageMark(grant.addr, Stage::Service);  // owner occupancy
+    send(grant);
+  });
 
   // Change_Owner handshake with the home (old owner -> home; home acks the
   // new owner). State change is immediate; messages are charged.
@@ -623,6 +634,7 @@ void DiCoProtocol::ownerServeWrite(NodeId owner, L1Line& line,
 }
 
 void DiCoProtocol::handleRequestAtL1(const Message& msg) {
+  stageMark(msg.addr, Stage::Request);  // predicted / forwarded request leg
   const NodeId tile = msg.dst;
   auto& tl = tileOf(tile);
   energy_.l1TagProbe += 1;
@@ -674,6 +686,7 @@ void DiCoProtocol::handleRequestAtHome(const Message& msg) {
   const NodeId home = msg.dst;
   const NodeId requestor = msg.requestor;
   const Addr block = msg.addr;
+  stageMark(block, Stage::Request);  // request reached the home
   const bool isWrite = msg.aux != 0;
   Bank& bank = bankOf(home);
   energy_.l2TagProbe += 1;
@@ -841,7 +854,7 @@ void DiCoProtocol::maybeCompleteAccess(Addr block) {
       // home path with becomeOwner=true.) Nothing extra here.
     }
   }
-  recordMiss(txn.cls, txn.start, txn.links);
+  recordMiss(block, txn.cls, txn.start, txn.links);
   auto done = std::move(txn.done);
   txns_.erase(it);
   releaseLine(block);
@@ -861,6 +874,7 @@ void DiCoProtocol::onMessage(const Message& msg) {
       return;
 
     case kData: {
+      stageMark(msg.addr, Stage::DataReturn);
       auto it = txns_.find(msg.addr);
       EECC_CHECK(it != txns_.end());
       Txn& txn = it->second;
@@ -879,6 +893,7 @@ void DiCoProtocol::onMessage(const Message& msg) {
     }
 
     case kOwnerGrant: {
+      stageMark(msg.addr, Stage::DataReturn);
       auto it = txns_.find(msg.addr);
       EECC_CHECK(it != txns_.end());
       it->second.dataArrived = true;
@@ -889,6 +904,7 @@ void DiCoProtocol::onMessage(const Message& msg) {
     }
 
     case kAckCount: {
+      stageMark(msg.addr, Stage::AckWait);
       auto it = txns_.find(msg.addr);
       EECC_CHECK(it != txns_.end());
       it->second.grantArrived = true;
@@ -897,6 +913,7 @@ void DiCoProtocol::onMessage(const Message& msg) {
     }
 
     case kInval: {
+      stageMark(msg.addr, Stage::Fanout);
       const NodeId tile = msg.dst;
       auto& tl = tileOf(tile);
       energy_.l1TagProbe += 1;
@@ -933,6 +950,7 @@ void DiCoProtocol::onMessage(const Message& msg) {
     }
 
     case kInvalAck: {
+      stageMark(msg.addr, Stage::AckWait);
       auto it = txns_.find(msg.addr);
       EECC_CHECK(it != txns_.end());
       it->second.acksOutstanding -= 1;

@@ -538,7 +538,10 @@ void DiCoArinProtocol::startMiss(NodeId tile, Addr block, AccessType type,
         inv.dst = s;
         inv.addr = block;
         inv.requestor = tile;
-        after(cfg_.l1.tagLatency, [this, inv] { send(inv); });
+        after(cfg_.l1.tagLatency, [this, inv] {
+          stageMark(inv.addr, Stage::Service);  // requestor is the orderer
+          send(inv);
+        });
       });
       line->areaSharers.clear();
       txn.ackCountKnown = true;
@@ -619,8 +622,10 @@ void DiCoArinProtocol::ownerServeRemoteRead(NodeId tile, L1Line& line,
   grant.addr = msg.addr;
   grant.value = line.value;
   grant.forwarder = tile;
-  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
-        [this, grant] { send(grant); });
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, grant] {
+    stageMark(grant.addr, Stage::Service);  // owner occupancy
+    send(grant);
+  });
   globalizeFromOwner(tile, line, requestor);
 }
 
@@ -661,7 +666,10 @@ void DiCoArinProtocol::supplierServeRead(NodeId node, L1Line& line,
   data.addr = msg.addr;
   data.value = line.value;
   data.forwarder = node;
-  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, data] { send(data); });
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, data] {
+    stageMark(data.addr, Stage::Service);  // supplier occupancy
+    send(data);
+  });
 }
 
 void DiCoArinProtocol::ownerServeWrite(NodeId node, L1Line& line,
@@ -687,7 +695,10 @@ void DiCoArinProtocol::ownerServeWrite(NodeId node, L1Line& line,
     inv.dst = s;
     inv.addr = block;
     inv.requestor = requestor;
-    after(cfg_.l1.tagLatency, [this, inv] { send(inv); });
+    after(cfg_.l1.tagLatency, [this, inv] {
+      stageMark(inv.addr, Stage::Service);  // owner occupancy
+      send(inv);
+    });
   });
 
   if (txn.cls == MissClass::UnpredL2) {
@@ -705,8 +716,10 @@ void DiCoArinProtocol::ownerServeWrite(NodeId node, L1Line& line,
   grant.origin = requestor;
   grant.addr = block;
   grant.value = line.value;
-  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
-        [this, grant] { send(grant); });
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, grant] {
+    stageMark(grant.addr, Stage::Service);  // owner occupancy
+    send(grant);
+  });
 
   Message co;
   co.type = kChangeOwner;
@@ -728,6 +741,7 @@ void DiCoArinProtocol::ownerServeWrite(NodeId node, L1Line& line,
 }
 
 void DiCoArinProtocol::handleRequestAtL1(const Message& msg) {
+  stageMark(msg.addr, Stage::Request);  // predicted / forwarded request leg
   const NodeId tile = msg.dst;
   energy_.l1TagProbe += 1;
   L1Line* line = tileOf(tile).l1.find(msg.addr);
@@ -828,8 +842,10 @@ void DiCoArinProtocol::serveGlobalRead(NodeId home, L2Line& line,
   grant.addr = msg.addr;
   grant.value = line.value;
   grant.forwarder = hint;  // L1C$ hint: the provider of the area (if any)
-  after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
-        [this, grant] { send(grant); });
+  after(cfg_.l2.tagLatency + cfg_.l2.dataLatency, [this, grant] {
+    stageMark(grant.addr, Stage::Service);  // home occupancy
+    send(grant);
+  });
 }
 
 void DiCoArinProtocol::startGlobalWrite(NodeId home, L2Line& line,
@@ -857,7 +873,10 @@ void DiCoArinProtocol::startGlobalWrite(NodeId home, L2Line& line,
   bcast.src = home;
   bcast.addr = block;
   bcast.requestor = requestor;
-  after(cfg_.l2.tagLatency, [this, bcast] { sendBroadcast(bcast); });
+  after(cfg_.l2.tagLatency, [this, bcast] {
+    stageMark(bcast.addr, Stage::Service);  // home occupancy
+    sendBroadcast(bcast);
+  });
 
   txn.links += static_cast<std::uint32_t>(distance(home, requestor));
   Message grant;
@@ -868,8 +887,10 @@ void DiCoArinProtocol::startGlobalWrite(NodeId home, L2Line& line,
   grant.origin = requestor;
   grant.addr = block;
   grant.value = line.value;
-  after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
-        [this, grant] { send(grant); });
+  after(cfg_.l2.tagLatency + cfg_.l2.dataLatency, [this, grant] {
+    stageMark(grant.addr, Stage::Service);  // home occupancy
+    send(grant);
+  });
 
   // The block leaves global mode: the writer owns it alone; the home
   // retains a stale (never-served) copy.
@@ -885,6 +906,7 @@ void DiCoArinProtocol::handleRequestAtHome(const Message& msg) {
   const NodeId home = msg.dst;
   const NodeId requestor = msg.requestor;
   const Addr block = msg.addr;
+  stageMark(block, Stage::Request);  // request reached the home
   const bool isWrite = msg.aux != 0;
   Bank& bank = bankOf(home);
   energy_.l2TagProbe += 1;
@@ -902,7 +924,10 @@ void DiCoArinProtocol::handleRequestAtHome(const Message& msg) {
     fwd.type = kFwd;
     fwd.src = home;
     fwd.dst = *owner;
-    after(cfg_.l2.tagLatency, [this, fwd] { send(fwd); });
+    after(cfg_.l2.tagLatency, [this, fwd] {
+      stageMark(fwd.addr, Stage::Service);  // home occupancy
+      send(fwd);
+    });
     return;
   }
 
@@ -941,8 +966,10 @@ void DiCoArinProtocol::handleRequestAtHome(const Message& msg) {
       grant.origin = requestor;
       grant.addr = block;
       grant.value = line->value;
-      after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
-            [this, grant] { send(grant); });
+      after(cfg_.l2.tagLatency + cfg_.l2.dataLatency, [this, grant] {
+        stageMark(grant.addr, Stage::Service);  // home occupancy
+        send(grant);
+      });
       return;
     }
     energy_.l2DataRead += 1;
@@ -965,8 +992,10 @@ void DiCoArinProtocol::handleRequestAtHome(const Message& msg) {
       data.addr = block;
       data.value = line->value;
       data.forwarder = home;
-      after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
-            [this, data] { send(data); });
+      after(cfg_.l2.tagLatency + cfg_.l2.dataLatency, [this, data] {
+        stageMark(data.addr, Stage::Service);  // home occupancy
+        send(data);
+      });
       return;
     }
     // Writes migrate the ownership to the requestor.
@@ -981,7 +1010,10 @@ void DiCoArinProtocol::handleRequestAtHome(const Message& msg) {
       inv.dst = s;
       inv.addr = block;
       inv.requestor = requestor;
-      after(cfg_.l2.tagLatency, [this, inv] { send(inv); });
+      after(cfg_.l2.tagLatency, [this, inv] {
+        stageMark(inv.addr, Stage::Service);  // home occupancy
+        send(inv);
+      });
     });
     txn.ackCountKnown = true;
     txn.becomeOwner = true;
@@ -997,8 +1029,10 @@ void DiCoArinProtocol::handleRequestAtHome(const Message& msg) {
     grant.origin = requestor;
     grant.addr = block;
     grant.value = line->value;
-    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
-          [this, grant] { send(grant); });
+    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency, [this, grant] {
+      stageMark(grant.addr, Stage::Service);  // home occupancy
+      send(grant);
+    });
     // Non-inclusive retention: the copy stays while an L1 owns the block.
     line->dirty = false;
     line->sharers.clear();
@@ -1094,7 +1128,7 @@ void DiCoArinProtocol::maybeCompleteAccess(Addr block) {
     EECC_CHECK(line != nullptr);
     line->value = commitWrite(block);
   }
-  recordMiss(txn.cls, txn.start, txn.links);
+  recordMiss(block, txn.cls, txn.start, txn.links);
   auto done = std::move(txn.done);
   txns_.erase(it);
   releaseLine(block);
@@ -1114,6 +1148,7 @@ void DiCoArinProtocol::onMessage(const Message& msg) {
     case kData:
     case kProviderGrant:
     case kOwnerGrant: {
+      stageMark(msg.addr, Stage::DataReturn);
       auto it = txns_.find(msg.addr);
       EECC_CHECK(it != txns_.end());
       Txn& txn = it->second;
@@ -1132,6 +1167,7 @@ void DiCoArinProtocol::onMessage(const Message& msg) {
     }
 
     case kAckCount: {
+      stageMark(msg.addr, Stage::AckWait);
       auto ackIt = txns_.find(msg.addr);
       EECC_CHECK(ackIt != txns_.end());
       ackIt->second.grantArrived = true;
@@ -1140,6 +1176,7 @@ void DiCoArinProtocol::onMessage(const Message& msg) {
     }
 
     case kInval: {
+      stageMark(msg.addr, Stage::Fanout);
       const NodeId tile = msg.dst;
       auto& tl = tileOf(tile);
       energy_.l1TagProbe += 1;
@@ -1175,6 +1212,7 @@ void DiCoArinProtocol::onMessage(const Message& msg) {
     }
 
     case kInvalAck: {
+      stageMark(msg.addr, Stage::AckWait);
       auto it = txns_.find(msg.addr);
       EECC_CHECK(it != txns_.end());
       Txn& txn = it->second;
@@ -1196,6 +1234,7 @@ void DiCoArinProtocol::onMessage(const Message& msg) {
     case kBcastInval: {
       // Step 1 arrives at every L1: invalidate any copy, block the line
       // (implicit under transaction serialization) and ack (step 2).
+      stageMark(msg.addr, Stage::Fanout);
       const NodeId tile = msg.dst;
       energy_.l1TagProbe += 1;
       auto& l1 = tileOf(tile).l1;
@@ -1215,6 +1254,7 @@ void DiCoArinProtocol::onMessage(const Message& msg) {
     }
 
     case kBcastAck: {
+      stageMark(msg.addr, Stage::AckWait);
       auto it = txns_.find(msg.addr);
       EECC_CHECK(it != txns_.end());
       Txn& txn = it->second;

@@ -614,7 +614,10 @@ void DiCoProvidersProtocol::startMiss(NodeId tile, Addr block,
         inv.dst = s;
         inv.addr = block;
         inv.requestor = tile;
-        after(cfg_.l1.tagLatency, [this, inv] { send(inv); });
+        after(cfg_.l1.tagLatency, [this, inv] {
+          stageMark(inv.addr, Stage::Service);  // requestor is the orderer
+          send(inv);
+        });
       });
       invalidateProviders(line->providers, block, tile, tile, txn);
       line->areaSharers.clear();
@@ -718,7 +721,10 @@ void DiCoProvidersProtocol::ownerServeRead(NodeId tile, L1Line& line,
     fwd.type = kFwdProvider;
     fwd.src = tile;
     fwd.dst = provider;
-    after(cfg_.l1.tagLatency, [this, fwd] { send(fwd); });
+    after(cfg_.l1.tagLatency, [this, fwd] {
+      stageMark(fwd.addr, Stage::Service);  // owner occupancy
+      send(fwd);
+    });
     return;
   }
   // No provider in the requestor's area: the requestor becomes one.
@@ -746,8 +752,10 @@ void DiCoProvidersProtocol::ownerServeRead(NodeId tile, L1Line& line,
   grant.addr = msg.addr;
   grant.value = line.value;
   grant.forwarder = tile;
-  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
-        [this, grant] { send(grant); });
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, grant] {
+    stageMark(grant.addr, Stage::Service);  // owner occupancy
+    send(grant);
+  });
 }
 
 void DiCoProvidersProtocol::supplierServeRead(NodeId node, L1Line& line,
@@ -784,7 +792,10 @@ void DiCoProvidersProtocol::supplierServeRead(NodeId node, L1Line& line,
   data.addr = msg.addr;
   data.value = line.value;
   data.forwarder = node;
-  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, data] { send(data); });
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, data] {
+    stageMark(data.addr, Stage::Service);  // supplier occupancy
+    send(data);
+  });
 }
 
 void DiCoProvidersProtocol::ownerServeWrite(NodeId node, L1Line& line,
@@ -812,7 +823,10 @@ void DiCoProvidersProtocol::ownerServeWrite(NodeId node, L1Line& line,
     inv.dst = s;
     inv.addr = block;
     inv.requestor = requestor;
-    after(cfg_.l1.tagLatency, [this, inv] { send(inv); });
+    after(cfg_.l1.tagLatency, [this, inv] {
+      stageMark(inv.addr, Stage::Service);  // owner occupancy
+      send(inv);
+    });
   });
   invalidateProviders(line.providers, block, node, requestor, txn);
   txn.ackCountKnown = true;
@@ -832,8 +846,10 @@ void DiCoProvidersProtocol::ownerServeWrite(NodeId node, L1Line& line,
   grant.origin = requestor;
   grant.addr = block;
   grant.value = line.value;
-  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
-        [this, grant] { send(grant); });
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, grant] {
+    stageMark(grant.addr, Stage::Service);  // owner occupancy
+    send(grant);
+  });
 
   Message co;
   co.type = kChangeOwner;
@@ -855,6 +871,7 @@ void DiCoProvidersProtocol::ownerServeWrite(NodeId node, L1Line& line,
 }
 
 void DiCoProvidersProtocol::handleRequestAtL1(const Message& msg) {
+  stageMark(msg.addr, Stage::Request);  // predicted / forwarded request leg
   const NodeId tile = msg.dst;
   auto& tl = tileOf(tile);
   energy_.l1TagProbe += 1;
@@ -917,6 +934,7 @@ void DiCoProvidersProtocol::handleRequestAtHome(const Message& msg) {
   const NodeId home = msg.dst;
   const NodeId requestor = msg.requestor;
   const Addr block = msg.addr;
+  stageMark(block, Stage::Request);  // request reached the home
   const bool isWrite = msg.aux != 0;
   Bank& bank = bankOf(home);
   energy_.l2TagProbe += 1;
@@ -934,7 +952,10 @@ void DiCoProvidersProtocol::handleRequestAtHome(const Message& msg) {
     fwd.type = kFwd;
     fwd.src = home;
     fwd.dst = *owner;
-    after(cfg_.l2.tagLatency, [this, fwd] { send(fwd); });
+    after(cfg_.l2.tagLatency, [this, fwd] {
+      stageMark(fwd.addr, Stage::Service);  // home occupancy
+      send(fwd);
+    });
     return;
   }
 
@@ -962,7 +983,10 @@ void DiCoProvidersProtocol::handleRequestAtHome(const Message& msg) {
         fwd.type = kFwdProvider;
         fwd.src = home;
         fwd.dst = provider;
-        after(cfg_.l2.tagLatency, [this, fwd] { send(fwd); });
+        after(cfg_.l2.tagLatency, [this, fwd] {
+          stageMark(fwd.addr, Stage::Service);  // home occupancy
+          send(fwd);
+        });
         return;
       }
     }
@@ -987,8 +1011,10 @@ void DiCoProvidersProtocol::handleRequestAtHome(const Message& msg) {
       grant.origin = requestor;
       grant.addr = block;
       grant.value = line->value;
-      after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
-            [this, grant] { send(grant); });
+      after(cfg_.l2.tagLatency + cfg_.l2.dataLatency, [this, grant] {
+        stageMark(grant.addr, Stage::Service);  // home occupancy
+        send(grant);
+      });
       return;
     }
     // The requestor becomes the owner (Table I: read with no supplier in
@@ -1013,8 +1039,10 @@ void DiCoProvidersProtocol::handleRequestAtHome(const Message& msg) {
     grant.origin = requestor;
     grant.addr = block;
     grant.value = line->value;
-    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
-          [this, grant] { send(grant); });
+    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency, [this, grant] {
+      stageMark(grant.addr, Stage::Service);  // home occupancy
+      send(grant);
+    });
     // Non-inclusive retention: the copy stays while the L1 owns the block
     // (never served; refreshed by a dirty relinquish/recall). The ProPos
     // moved to the new owner.
@@ -1123,7 +1151,7 @@ void DiCoProvidersProtocol::maybeCompleteAccess(Addr block) {
     EECC_CHECK(line != nullptr);
     line->value = commitWrite(block);
   }
-  recordMiss(txn.cls, txn.start, txn.links);
+  recordMiss(block, txn.cls, txn.start, txn.links);
   auto done = std::move(txn.done);
   txns_.erase(it);
   releaseLine(block);
@@ -1138,6 +1166,7 @@ void DiCoProvidersProtocol::onMessage(const Message& msg) {
       return;
 
     case kFwdProvider: {
+      stageMark(msg.addr, Stage::Request);  // provider-forwarded request leg
       const NodeId tile = msg.dst;
       energy_.l1TagProbe += 1;
       L1Line* line = tileOf(tile).l1.find(msg.addr);
@@ -1167,6 +1196,7 @@ void DiCoProvidersProtocol::onMessage(const Message& msg) {
     case kData:
     case kProviderGrant:
     case kOwnerGrant: {
+      stageMark(msg.addr, Stage::DataReturn);
       auto it = txns_.find(msg.addr);
       EECC_CHECK(it != txns_.end());
       Txn& txn = it->second;
@@ -1186,6 +1216,7 @@ void DiCoProvidersProtocol::onMessage(const Message& msg) {
     }
 
     case kAckCount: {
+      stageMark(msg.addr, Stage::AckWait);
       auto ackIt = txns_.find(msg.addr);
       EECC_CHECK(ackIt != txns_.end());
       ackIt->second.grantArrived = true;
@@ -1194,6 +1225,7 @@ void DiCoProvidersProtocol::onMessage(const Message& msg) {
     }
 
     case kInval: {
+      stageMark(msg.addr, Stage::Fanout);
       const NodeId tile = msg.dst;
       auto& tl = tileOf(tile);
       energy_.l1TagProbe += 1;
@@ -1229,6 +1261,7 @@ void DiCoProvidersProtocol::onMessage(const Message& msg) {
     }
 
     case kInvalAck: {
+      stageMark(msg.addr, Stage::AckWait);
       auto it = txns_.find(msg.addr);
       EECC_CHECK(it != txns_.end());
       it->second.sharerAcks -= 1;
@@ -1238,6 +1271,7 @@ void DiCoProvidersProtocol::onMessage(const Message& msg) {
     }
 
     case kInvalProvider: {
+      stageMark(msg.addr, Stage::Fanout);
       const NodeId tile = msg.dst;
       auto& tl = tileOf(tile);
       energy_.l1TagProbe += 1;
@@ -1276,6 +1310,7 @@ void DiCoProvidersProtocol::onMessage(const Message& msg) {
     }
 
     case kInvalProviderAck: {
+      stageMark(msg.addr, Stage::AckWait);
       auto it = txns_.find(msg.addr);
       EECC_CHECK(it != txns_.end());
       Txn& txn = it->second;

@@ -250,8 +250,10 @@ void DirectoryProtocol::serveFwdSupply(NodeId tile, L1Line& line,
   data.origin = msg.requestor;
   data.addr = msg.addr;
   data.value = line.value;
-  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency,
-        [this, data] { send(data); });
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, data] {
+    stageMark(data.addr, Stage::Service);  // owner occupancy
+    send(data);
+  });
 }
 
 void DirectoryProtocol::fwdWriteThrough(NodeId tile, L1Line& line,
@@ -273,7 +275,10 @@ void DirectoryProtocol::fwdWriteThrough(NodeId tile, L1Line& line,
   wb.addr = msg.addr;
   wb.value = line.value;
   wb.aux = wasDirty ? 1 : 0;
-  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, wb] { send(wb); });
+  after(cfg_.l1.tagLatency + cfg_.l1.dataLatency, [this, wb] {
+    stageMark(wb.addr, Stage::Service);  // owner occupancy
+    send(wb);
+  });
 }
 
 // --------------------------------------------------------------- Home side
@@ -467,7 +472,7 @@ void DirectoryProtocol::maybeCompleteAccess(Addr block) {
       installL1(txn.requestor, block,
                 txn.exclusiveGrant ? L1State::E : L1State::S, txn.value);
       recordRead(txn.requestor, txn.value);
-      recordMiss(txn.cls, txn.start, txn.links);
+      recordMiss(block, txn.cls, txn.start, txn.links);
       txn.done();
     }
     if (txn.coreNotified && !txn.wbPending) {
@@ -481,7 +486,7 @@ void DirectoryProtocol::maybeCompleteAccess(Addr block) {
       !txn.coreNotified) {
     txn.coreNotified = true;
     installL1(txn.requestor, block, L1State::M, commitWrite(block));
-    recordMiss(txn.cls, txn.start, txn.links);
+    recordMiss(block, txn.cls, txn.start, txn.links);
     txn.done();
     txns_.erase(it);
     releaseLine(block);
@@ -492,6 +497,7 @@ void DirectoryProtocol::homeHandleRead(const Message& msg) {
   const NodeId home = msg.dst;
   const NodeId requestor = msg.requestor;
   const Addr block = msg.addr;
+  stageMark(block, Stage::Request);  // request reached its serializer
   Bank& bank = bankOf(home);
   energy_.l2TagProbe += 1;
   energy_.dirCacheProbe += 1;
@@ -519,7 +525,10 @@ void DirectoryProtocol::homeHandleRead(const Message& msg) {
     fwd.type = kFwdRead;
     fwd.src = home;
     fwd.dst = owner;
-    after(cfg_.l2.tagLatency, [this, fwd] { send(fwd); });
+    after(cfg_.l2.tagLatency, [this, fwd] {
+      stageMark(fwd.addr, Stage::Service);
+      send(fwd);
+    });
     return;
   }
   if (line != nullptr) {
@@ -539,8 +548,10 @@ void DirectoryProtocol::homeHandleRead(const Message& msg) {
     data.origin = requestor;
     data.addr = block;
     data.value = line->value;
-    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
-          [this, data] { send(data); });
+    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency, [this, data] {
+      stageMark(data.addr, Stage::Service);
+      send(data);
+    });
     return;
   }
   // Off-chip (possibly with clean sharers whose data left the L2: memory
@@ -574,6 +585,7 @@ void DirectoryProtocol::homeHandleWrite(const Message& msg) {
   const NodeId home = msg.dst;
   const NodeId requestor = msg.requestor;
   const Addr block = msg.addr;
+  stageMark(block, Stage::Request);  // request reached its serializer
   Bank& bank = bankOf(home);
   energy_.l2TagProbe += 1;
   energy_.dirCacheProbe += 1;
@@ -600,7 +612,10 @@ void DirectoryProtocol::homeHandleWrite(const Message& msg) {
     fwd.type = kFwdWrite;
     fwd.src = home;
     fwd.dst = owner;
-    after(cfg_.l2.tagLatency, [this, fwd] { send(fwd); });
+    after(cfg_.l2.tagLatency, [this, fwd] {
+      stageMark(fwd.addr, Stage::Service);
+      send(fwd);
+    });
     return;
   }
 
@@ -622,7 +637,10 @@ void DirectoryProtocol::homeHandleWrite(const Message& msg) {
     inv.addr = block;
     inv.requestor = requestor;
     stats_.invalidationsSent += 1;
-    after(cfg_.l2.tagLatency, [this, inv] { send(inv); });
+    after(cfg_.l2.tagLatency, [this, inv] {
+      stageMark(inv.addr, Stage::Service);
+      send(inv);
+    });
   });
 
   DirInfo* dw = dir;
@@ -645,7 +663,10 @@ void DirectoryProtocol::homeHandleWrite(const Message& msg) {
     cnt.dst = requestor;
     cnt.origin = requestor;
     cnt.addr = block;
-    after(cfg_.l2.tagLatency, [this, cnt] { send(cnt); });
+    after(cfg_.l2.tagLatency, [this, cnt] {
+      stageMark(cnt.addr, Stage::Service);
+      send(cnt);
+    });
     return;
   }
   if (line != nullptr) {
@@ -661,8 +682,10 @@ void DirectoryProtocol::homeHandleWrite(const Message& msg) {
     data.origin = requestor;
     data.addr = block;
     data.value = line->value;
-    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
-          [this, data] { send(data); });
+    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency, [this, data] {
+      stageMark(data.addr, Stage::Service);
+      send(data);
+    });
     return;
   }
   txn.cls = MissClass::Memory;
@@ -696,6 +719,7 @@ void DirectoryProtocol::onMessage(const Message& msg) {
 
     case kFwdRead:
     case kFwdWrite: {
+      stageMark(msg.addr, Stage::Request);  // 3-hop request leg
       const NodeId tile = msg.dst;
       auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
       energy_.l1TagProbe += 1;
@@ -756,6 +780,7 @@ void DirectoryProtocol::onMessage(const Message& msg) {
     }
 
     case kData: {
+      stageMark(msg.addr, Stage::DataReturn);
       auto it = txns_.find(msg.addr);
       EECC_CHECK(it != txns_.end());
       it->second.dataArrived = true;
@@ -766,6 +791,7 @@ void DirectoryProtocol::onMessage(const Message& msg) {
     }
 
     case kAckCount: {
+      stageMark(msg.addr, Stage::AckWait);
       auto it = txns_.find(msg.addr);
       EECC_CHECK(it != txns_.end());
       it->second.grantArrived = true;
@@ -774,6 +800,7 @@ void DirectoryProtocol::onMessage(const Message& msg) {
     }
 
     case kInval: {
+      stageMark(msg.addr, Stage::Fanout);  // invalidation wave arrival
       const NodeId tile = msg.dst;
       auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
       energy_.l1TagProbe += 1;
@@ -805,6 +832,7 @@ void DirectoryProtocol::onMessage(const Message& msg) {
     }
 
     case kInvalAck: {
+      stageMark(msg.addr, Stage::AckWait);
       auto it = txns_.find(msg.addr);
       EECC_CHECK(it != txns_.end());
       it->second.acksOutstanding -= 1;

@@ -199,6 +199,7 @@ void MesiProtocol::writebackToHome(NodeId tile, const L1Line& line) {
 }
 
 void MesiProtocol::handleSnoop(const Message& msg) {
+  stageMark(msg.addr, Stage::Fanout);  // the snoop wave reached a tile
   const NodeId tile = msg.dst;
   if (tile == msg.requestor) return;  // the broadcast's self-copy
   const bool isWrite = (msg.aux & 1) != 0;
@@ -289,6 +290,7 @@ void MesiProtocol::homeHandleRequest(const Message& msg) {
   const NodeId home = msg.dst;
   const NodeId requestor = msg.requestor;
   const Addr block = msg.addr;
+  stageMark(block, Stage::Request);  // home fallback request leg
   Bank& bank = bankOf(home);
   energy_.l2TagProbe += 1;
 
@@ -315,8 +317,10 @@ void MesiProtocol::homeHandleRequest(const Message& msg) {
     data.origin = requestor;
     data.addr = block;
     data.value = line->value;
-    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency,
-          [this, data] { send(data); });
+    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency, [this, data] {
+      stageMark(data.addr, Stage::Service);  // home occupancy
+      send(data);
+    });
     return;
   }
   // Off-chip; the home keeps a clean copy of the fill for later readers.
@@ -399,7 +403,7 @@ void MesiProtocol::completeAccess(Addr block) {
   } else {
     installL1(txn.requestor, block, L1State::M, commitWrite(block));
   }
-  recordMiss(txn.cls, txn.start, txn.links);
+  recordMiss(block, txn.cls, txn.start, txn.links);
   const DoneFn done = std::move(txn.done);
   txns_.erase(it);
   done();
@@ -413,6 +417,9 @@ void MesiProtocol::onMessage(const Message& msg) {
       return;
 
     case kSnoopAck: {
+      // An ack carrying data is the cache-to-cache transfer itself.
+      stageMark(msg.addr,
+                (msg.aux & 2) != 0 ? Stage::DataReturn : Stage::AckWait);
       auto it = txns_.find(msg.addr);
       EECC_CHECK(it != txns_.end());
       Txn& txn = it->second;
@@ -433,6 +440,7 @@ void MesiProtocol::onMessage(const Message& msg) {
       return;
 
     case kHomeData: {
+      stageMark(msg.addr, Stage::DataReturn);
       auto it = txns_.find(msg.addr);
       EECC_CHECK(it != txns_.end());
       it->second.dataArrived = true;

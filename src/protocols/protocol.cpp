@@ -82,9 +82,14 @@ void Protocol::dispatchMessage(const Message& msg) {
             cfg_.memLatency + memJitterRng_.below(cfg_.memJitterMax + 1);
       }
       // Scale-out: a block homed on another chip pays the inter-chip
-      // round trip on top of the DRAM service time (src/scaleout).
-      if (remoteMem_) [[unlikely]]
-        latency += remoteMem_(msg.addr, events_.now());
+      // round trip on top of the DRAM service time (src/scaleout). The
+      // round trip is analytic (no event of its own), so the flight
+      // recorder takes it as a credit the next mark peels off.
+      if (remoteMem_) [[unlikely]] {
+        const Tick extra = remoteMem_(msg.addr, events_.now());
+        latency += extra;
+        if (extra != 0) stageCredit(msg.addr, Stage::InterChip, extra);
+      }
       Message resp;
       resp.type = kMemResp;
       resp.cls = MsgClass::Data;
@@ -94,10 +99,14 @@ void Protocol::dispatchMessage(const Message& msg) {
       resp.aux = msg.aux & 0xffffffffULL;             // token
       resp.value = memoryValue(msg.addr);
       resp.origin = msg.origin;  // data is on behalf of the fetch's cause
-      after(latency, [this, resp] { send(resp); });
+      after(latency, [this, resp] {
+        stageMark(resp.addr, Stage::MemFetch);
+        send(resp);
+      });
       break;
     }
     case kMemResp: {
+      stageMark(msg.addr, Stage::DataReturn);
       MemCallback* slot = memPending_.find(msg.aux);
       EECC_CHECK_MSG(slot != nullptr, "orphan memory response");
       MemCallback cb = std::move(*slot);
@@ -223,6 +232,8 @@ void Protocol::access(NodeId tile, Addr block, AccessType type, DoneFn done) {
       done();
       return;
     }
+    if (stageRec_ != nullptr) [[unlikely]]
+      stageRec_->begin(block, events_.now());
     startMiss(tile, block, type, std::move(done));
   });
 }

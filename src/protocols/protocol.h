@@ -24,6 +24,7 @@
 #include "core/config.h"
 #include "mem/ddr_controller.h"
 #include "noc/network.h"
+#include "obs/stage.h"
 #include "protocols/line_table.h"
 #include "protocols/protocol_stats.h"
 #include "sim/event_queue.h"
@@ -111,6 +112,13 @@ class Protocol {
   /// zero-cost-when-detached contract as the trace sink.
   void setLedger(AttributionLedger* ledger) { ledger_ = ledger; }
   AttributionLedger* ledger() const { return ledger_; }
+
+  /// Attaches (or detaches, with nullptr) the miss-path flight recorder
+  /// (obs/stage.h): every miss transaction's latency is decomposed into
+  /// per-stage intervals at the protocols' stageMark() sites. Same
+  /// zero-cost-when-detached contract as the trace sink.
+  void setStageRecorder(StageRecorder* rec) { stageRec_ = rec; }
+  StageRecorder* stageRecorder() const { return stageRec_; }
 
   /// Attaches (or detaches, with an empty function) the scale-out remote
   /// memory model (src/scaleout): called once per off-chip fetch with the
@@ -286,15 +294,36 @@ class Protocol {
   }
   void setMemoryValue(Addr block, std::uint64_t v) { memValue_.put(block, v); }
 
+  // --- Stage instrumentation (obs/stage.h; no-ops when detached) ---
+  /// Attributes the interval since the previous mark of `block`'s
+  /// transaction to `s`. Placed at the terminal event of each stage
+  /// (handler entries, serve-delay lambdas); silent for blocks with no
+  /// transaction in flight, so background traffic needs no guards.
+  void stageMark(Addr block, Stage s) {
+    if (stageRec_ != nullptr) [[unlikely]]
+      stageRec_->mark(block, s, events_.now());
+  }
+  /// Banks analytic latency (no event of its own) for `s`; the next mark
+  /// attributes it. Used for the scale-out inter-chip round trip.
+  void stageCredit(Addr block, Stage s, Tick amount) {
+    if (stageRec_ != nullptr) [[unlikely]]
+      stageRec_->credit(block, s, amount);
+  }
+
   // --- Miss bookkeeping ---
-  /// Records a classified miss completion: latency from `start`, `links`
-  /// mesh links traversed on the critical path.
-  void recordMiss(MissClass cls, Tick start, std::uint32_t links) {
+  /// Records a classified miss completion of the transaction on `block`:
+  /// latency from `start`, `links` mesh links traversed on the critical
+  /// path. Each protocol calls this exactly once per miss, immediately
+  /// before invoking the completion callback.
+  void recordMiss(Addr block, MissClass cls, Tick start,
+                  std::uint32_t links) {
     stats_.miss(cls) += 1;
     const auto lat = static_cast<double>(events_.now() - start);
     stats_.latencyByClass[static_cast<std::size_t>(cls)].add(lat);
     stats_.linksByClass[static_cast<std::size_t>(cls)].add(links);
     stats_.missLatency.add(lat);
+    if (stageRec_ != nullptr) [[unlikely]]
+      stageRec_->end(block, cls, events_.now());
     if (trace_ != nullptr || ledger_ != nullptr) [[unlikely]] {
       // Every protocol records the classification immediately before
       // invoking the completion callback (same tick, same call chain), so
@@ -326,6 +355,7 @@ class Protocol {
   CheckHooks* hooks_ = nullptr;  ///< Conformance monitors; null = off.
   TraceSink* trace_ = nullptr;   ///< Observability trace sink; null = off.
   AttributionLedger* ledger_ = nullptr;  ///< Attribution ledger; null = off.
+  StageRecorder* stageRec_ = nullptr;    ///< Flight recorder; null = off.
   std::function<Tick(Addr, Tick)> remoteMem_;  ///< Scale-out hook; empty = off.
 
  private:

@@ -41,6 +41,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/selfprof.h"
+
 namespace eecc::tbl {
 
 /// Stable-state events a protocol routes through its table. Every event is
@@ -125,6 +127,7 @@ class ProtocolTable {
   /// validate() rejects).
   template <class Ops>
   Outcome run(std::uint8_t state, Event ev, Ops&& ops) const {
+    ProfScope prof(ProfSection::TableInterpret);
     const Slot s = index_[slot(state, ev)];
     for (std::uint32_t i = 0; i < s.count; ++i) {
       const Transition& t = rows_[s.begin + i];

@@ -151,8 +151,22 @@ ExperimentResult runScaleoutExperiment(const ExperimentConfig& cfg) {
     for (std::uint32_t c = 0; c < server.chips(); ++c)
       registerLedger(regs[c], *server.ledgers()[c], &server.system(c));
   }
+  std::vector<std::shared_ptr<StageRecorder>> stageRecs;
+  if (cfg.obs.stageTrace)
+    for (std::uint32_t c = 0; c < server.chips(); ++c) {
+      stageRecs.push_back(std::make_shared<StageRecorder>());
+      server.system(c).attachStageRecorder(stageRecs.back().get());
+      registerStageRecorder(regs[c], *stageRecs.back());
+    }
 
+  SelfProfiler selfprof;
+  if (cfg.obs.selfProf) selfprof.install();
   server.run(cfg.windowCycles);
+  if (cfg.obs.selfProf) {
+    selfprof.uninstall();
+    r.selfprof = selfprof.rows();
+    r.selfprofWallNs = selfprof.wallNs();
+  }
 
   r.workload = cfg.workloadName;
   r.protocol = cfg.protocol;

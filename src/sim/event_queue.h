@@ -35,6 +35,7 @@
 
 #include "common/check.h"
 #include "common/types.h"
+#include "obs/selfprof.h"
 
 namespace eecc {
 
@@ -250,10 +251,17 @@ class EventQueue {
 
   /// Executes the earliest pending event if its time is <= limit.
   bool runOne(Tick limit) {
-    Node* n = popEarliest(limit);
+    Node* n;
+    {
+      ProfScope prof(ProfSection::KernelPop);
+      n = popEarliest(limit);
+    }
     if (n == nullptr) return false;
     now_ = n->when;
-    n->invoke(n);  // may schedule further events; the node stays off-list
+    {
+      ProfScope prof(ProfSection::KernelDispatch);
+      n->invoke(n);  // may schedule further events; the node stays off-list
+    }
     releaseNode(n);
     ++executed_;
     return true;

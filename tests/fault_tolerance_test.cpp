@@ -221,6 +221,59 @@ TEST(FaultTolerance, ConfigDigestIsStableAndSensitive) {
   m = base;
   m.obs.snapshotMetrics = true;
   EXPECT_NE(SweepJournal::configDigest(m), d);
+  // A stage-traced run adds "stage.*" metrics to the journaled snapshot,
+  // so it must not splice into a journal written without the recorder.
+  m = base;
+  m.obs.stageTrace = true;
+  EXPECT_NE(SweepJournal::configDigest(m), d);
+  // The self-profiler's output is never journaled: same digest.
+  m = base;
+  m.obs.selfProf = true;
+  EXPECT_EQ(SweepJournal::configDigest(m), d);
+}
+
+TEST(FaultTolerance, JournalResumeSplicesStageTracedMetrics) {
+  const std::string path = tempPath("resume_stage.jsonl");
+  std::remove(path.c_str());
+  std::vector<ExperimentConfig> cfgs = smallGrid();
+  for (ExperimentConfig& cfg : cfgs) {
+    cfg.obs.snapshotMetrics = true;
+    cfg.obs.stageTrace = true;
+  }
+
+  ExperimentRunner clean(2);
+  const std::vector<ExperimentResult> expected = clean.runMany(cfgs);
+
+  {
+    SweepJournal journal;
+    std::string error;
+    ASSERT_TRUE(journal.open(path, /*resume=*/false, &error)) << error;
+    ExperimentRunner runner(2);
+    runner.setJournal(&journal);
+    runner.runMany(cfgs);
+  }
+
+  SweepJournal resumed;
+  std::string error;
+  ASSERT_TRUE(resumed.open(path, /*resume=*/true, &error)) << error;
+  EXPECT_EQ(resumed.restoredCount(), cfgs.size());
+  ExperimentRunner runner(2);
+  runner.setJournal(&resumed);
+  const std::vector<ExperimentResult> results = runner.runMany(cfgs);
+  ASSERT_EQ(results.size(), expected.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_TRUE(results[i].restored);
+    // expectResultsIdentical covers the metric snapshot, so the spliced
+    // stage decomposition comes back bit for bit.
+    expectResultsIdentical(results[i], expected[i]);
+  }
+  // The comparison was not vacuous: the splice carried stage metrics.
+  bool sawStage = false;
+  for (const MetricRegistry::Sample& s : results[0].metrics)
+    if (s.name == "stage.transactions") sawStage = s.u64 > 0;
+  EXPECT_TRUE(sawStage);
+  std::remove(path.c_str());
 }
 
 TEST(FaultTolerance, JournalResumeSplicesBitIdenticalResults) {

@@ -6,6 +6,7 @@
 //  2. attaching a trace sink or timeline sampler changes no counter.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -16,6 +17,8 @@
 #include "json_checker.h"
 #include "obs/exporters.h"
 #include "obs/metric_registry.h"
+#include "obs/selfprof.h"
+#include "obs/stage.h"
 #include "obs/system_metrics.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
@@ -267,17 +270,23 @@ TEST(ObsPurity, TraceAndTimelineChangeNoCounter) {
     ASSERT_NE(b.timeline, nullptr);
     EXPECT_GT(b.timeline->rows().size(), 1u);
 
-    // Identical snapshots: every name present in both, counters bit for
-    // bit, gauges exactly equal.
-    ASSERT_EQ(a.metrics.size(), b.metrics.size());
-    for (std::size_t i = 0; i < a.metrics.size(); ++i) {
-      const auto& ma = a.metrics[i];
-      const auto& mb = b.metrics[i];
-      ASSERT_EQ(ma.name, mb.name);
-      EXPECT_EQ(ma.kind, mb.kind) << ma.name;
-      EXPECT_EQ(ma.u64, mb.u64) << ma.name;
-      EXPECT_EQ(ma.f64, mb.f64) << ma.name;
+    // Identical snapshots for every shared name: counters bit for bit,
+    // gauges exactly equal. The instrumented run may only *add* the trace
+    // sink's own health counters ("trace.*") — no simulation metric may
+    // appear, vanish or change.
+    const SampleMap ma = byName(a.metrics);
+    const SampleMap mb = byName(b.metrics);
+    for (const auto& [name, sa] : ma) {
+      const auto it = mb.find(name);
+      ASSERT_NE(it, mb.end()) << "metric vanished: " << name;
+      EXPECT_EQ(sa.kind, it->second.kind) << name;
+      EXPECT_EQ(sa.u64, it->second.u64) << name;
+      EXPECT_EQ(sa.f64, it->second.f64) << name;
     }
+    for (const auto& [name, sb] : mb)
+      if (!ma.count(name))
+        EXPECT_EQ(name.rfind("trace.", 0), 0u)
+            << "unexpected new metric: " << name;
     EXPECT_EQ(a.ops, b.ops);
     EXPECT_EQ(a.simEvents, b.simEvents);
     EXPECT_EQ(a.noc.messages, b.noc.messages);
@@ -324,8 +333,8 @@ TEST_F(ObsExportFiles, StatsJsonAndCsvAreValid) {
   ExperimentConfig cfg = obsConfig(ProtocolKind::DiCoProviders, "mixed-com");
   const ExperimentResult r = runExperiment(cfg);
   const std::vector<MetricsDoc> docs = {
-      {r.workload, protocolName(r.protocol), r.metrics},
-      {"hostile\"name\\", "proto,with\"commas", r.metrics}};
+      {r.workload, protocolName(r.protocol), r.metrics, {}, 0},
+      {"hostile\"name\\", "proto,with\"commas", r.metrics, {}, 0}};
 
   const std::string jsonPath = path("stats.json");
   ASSERT_TRUE(writeStatsJson(jsonPath, docs));
@@ -377,6 +386,269 @@ TEST_F(ObsExportFiles, OpenFailureReturnsFalse) {
   const std::vector<MetricsDoc> docs;
   EXPECT_FALSE(writeStatsJson("/nonexistent-dir/x.json", docs));
   EXPECT_FALSE(writeStatsCsv("/nonexistent-dir/x.csv", docs));
+}
+
+// --- StageRecorder unit tests (DESIGN.md §16) ---
+
+TEST(StageRecorder, MarkTransitionsPartitionTheTransaction) {
+  StageRecorder rec;
+  rec.begin(0x100, 10);
+  rec.mark(0x100, Stage::Request, 25);      // 15 cycles of request routing
+  rec.mark(0x100, Stage::Service, 31);      // 6 cycles of home occupancy
+  rec.mark(0x100, Stage::DataReturn, 51);   // 20 cycles of data return
+  rec.end(0x100, MissClass::UnpredL2, 58);  // 7 residual cycles
+  EXPECT_EQ(rec.transactions(), 1u);
+  EXPECT_EQ(rec.inFlight(), 0u);
+  const auto lat = [&](Stage s) {
+    return rec.latency(MissClass::UnpredL2, s).sum();
+  };
+  EXPECT_EQ(lat(Stage::Request), 15.0);
+  EXPECT_EQ(lat(Stage::Service), 6.0);
+  EXPECT_EQ(lat(Stage::DataReturn), 20.0);
+  EXPECT_EQ(lat(Stage::Complete), 7.0);
+  EXPECT_EQ(lat(Stage::Fanout), 0.0);
+  // Every stage commits one sample per transaction, zeros included...
+  for (std::size_t s = 0; s < kStageCount; ++s)
+    EXPECT_EQ(
+        rec.latency(MissClass::UnpredL2, static_cast<Stage>(s)).count(), 1u);
+  // ...and the stage sums partition [begin, end] exactly.
+  double total = 0;
+  for (std::size_t s = 0; s < kStageCount; ++s)
+    total += lat(static_cast<Stage>(s));
+  EXPECT_EQ(total, 48.0);
+  // Histograms hold participating (nonzero) samples only.
+  std::uint64_t fanoutHist = 0;
+  for (const std::uint64_t b :
+       rec.histogram(MissClass::UnpredL2, Stage::Fanout).buckets())
+    fanoutHist += b;
+  EXPECT_EQ(fanoutHist, 0u);
+}
+
+TEST(StageRecorder, BackgroundTrafficIsASilentNoOp) {
+  StageRecorder rec;
+  // Marks, credits and ends for a block that never began: no samples.
+  rec.mark(0x200, Stage::Fanout, 100);
+  rec.credit(0x200, Stage::InterChip, 50);
+  rec.end(0x200, MissClass::Memory, 200);
+  EXPECT_EQ(rec.transactions(), 0u);
+  EXPECT_EQ(rec.latency(MissClass::Memory, Stage::Complete).count(), 0u);
+}
+
+TEST(StageRecorder, CreditPeelsAnalyticLatencyOffTheNextMark) {
+  StageRecorder rec;
+  rec.begin(0x300, 0);
+  // 100 cycles elapse before the next mark; 60 of them are the banked
+  // inter-chip round trip, the rest is genuine memory fetch.
+  rec.credit(0x300, Stage::InterChip, 60);
+  rec.mark(0x300, Stage::MemFetch, 100);
+  rec.end(0x300, MissClass::Memory, 100);
+  EXPECT_EQ(rec.latency(MissClass::Memory, Stage::InterChip).sum(), 60.0);
+  EXPECT_EQ(rec.latency(MissClass::Memory, Stage::MemFetch).sum(), 40.0);
+}
+
+TEST(StageRecorder, FlowIdsAreSequentialAndSurviveCompletion) {
+  StageRecorder rec;
+  EXPECT_EQ(rec.flowOf(0x400), 0u);
+  rec.begin(0x400, 0);
+  rec.begin(0x500, 5);
+  EXPECT_EQ(rec.flowOf(0x400), 1u);
+  EXPECT_EQ(rec.flowOf(0x500), 2u);
+  rec.end(0x400, MissClass::UnpredL2, 50);
+  // The completion wrapper and its unblock messages trace after end(),
+  // in the same call chain: the just-ended id remains resolvable.
+  EXPECT_EQ(rec.flowOf(0x400), 1u);
+  rec.end(0x500, MissClass::UnpredL2, 60);
+  EXPECT_EQ(rec.flowOf(0x400), 0u);  // displaced by the next completion
+  EXPECT_EQ(rec.flowOf(0x500), 2u);
+}
+
+// --- The flight-recorder reconciliation property (all five protocols) ---
+
+class StageReconcile : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(StageReconcile, StageSumsReconcileExactlyWithMissAccumulators) {
+  ExperimentConfig cfg = obsConfig(GetParam(), "apache4x16p");
+  cfg.obs.stageTrace = true;
+  const ExperimentResult r = runExperiment(cfg);
+  ASSERT_NE(r.stageRec, nullptr);
+  const StageRecorder& rec = *r.stageRec;
+  ASSERT_GT(rec.transactions(), 0u);
+  EXPECT_EQ(rec.transactions(), r.stats.missLatency.count());
+
+  double totalSum = 0;
+  for (std::size_t c = 0; c < static_cast<std::size_t>(MissClass::kCount);
+       ++c) {
+    const auto cls = static_cast<MissClass>(c);
+    double classSum = 0;
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const auto stage = static_cast<Stage>(s);
+      const Accumulator& lat = rec.latency(cls, stage);
+      // One sample per stage per completed transaction of the class.
+      EXPECT_EQ(lat.count(), r.stats.missByClass[c])
+          << missClassName(cls) << "." << stageName(stage);
+      classSum += lat.sum();
+      std::uint64_t histN = 0;
+      for (const std::uint64_t b : rec.histogram(cls, stage).buckets())
+        histN += b;
+      EXPECT_LE(histN, lat.count());
+    }
+    // EXPECT_EQ on doubles on purpose: the partition must be EXACT, not
+    // approximately right (integer tick values far below 2^53).
+    EXPECT_EQ(classSum, r.stats.latencyByClass[c].sum())
+        << missClassName(cls);
+    totalSum += classSum;
+  }
+  EXPECT_EQ(totalSum, r.stats.missLatency.sum());
+
+  // The snapshot carries the same decomposition under "stage.".
+  const SampleMap m = byName(r.metrics);
+  EXPECT_EQ(counterOf(m, "stage.transactions"), rec.transactions());
+  EXPECT_EQ(gaugeOf(m, "stage.memory.memFetch.lat.sum"),
+            rec.latency(MissClass::Memory, Stage::MemFetch).sum());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, StageReconcile,
+                         ::testing::ValuesIn(allProtocolKinds()),
+                         [](const auto& info) {
+                           std::string name = protocolName(info.param);
+                           std::erase_if(name, [](char c) {
+                             return !std::isalnum(
+                                 static_cast<unsigned char>(c));
+                           });
+                           return name;
+                         });
+
+// --- Stage-trace purity: attaching the recorder changes nothing ---
+
+TEST(StageRecorder, AttachingChangesNoSimulationOutcome) {
+  for (const ProtocolKind kind :
+       {ProtocolKind::DiCoArin, ProtocolKind::Mesi}) {
+    ExperimentConfig plain = obsConfig(kind, "apache4x16p");
+    ExperimentConfig traced = plain;
+    traced.obs.stageTrace = true;
+    const ExperimentResult a = runExperiment(plain);
+    const ExperimentResult b = runExperiment(traced);
+    EXPECT_EQ(a.ops, b.ops);
+    EXPECT_EQ(a.simEvents, b.simEvents);
+    EXPECT_EQ(a.noc.messages, b.noc.messages);
+    EXPECT_EQ(a.stats.missLatency.sum(), b.stats.missLatency.sum());
+  }
+}
+
+// --- Trace-ring overflow visibility (satellite task) ---
+
+TEST(ObsOverflow, DroppedRecordsSurfaceInTheSnapshot) {
+  ExperimentConfig cfg = obsConfig(ProtocolKind::Directory, "apache4x16p");
+  cfg.obs.traceCapacity = 64;  // tiny ring: guaranteed overflow
+  const ExperimentResult r = runExperiment(cfg);
+  ASSERT_NE(r.trace, nullptr);
+  EXPECT_GT(r.trace->dropped(), 0u);
+  const SampleMap m = byName(r.metrics);
+  EXPECT_EQ(counterOf(m, "trace.capacity"), 64u);
+  EXPECT_EQ(counterOf(m, "trace.recorded"), r.trace->recorded());
+  EXPECT_EQ(counterOf(m, "trace.retained"), 64u);
+  EXPECT_EQ(counterOf(m, "trace.dropped"), r.trace->dropped());
+  EXPECT_EQ(counterOf(m, "trace.recorded"),
+            counterOf(m, "trace.retained") + counterOf(m, "trace.dropped"));
+}
+
+// --- Perfetto flow events: messages link to their parent transaction ---
+
+TEST_F(ObsExportFiles, FlowEventsLinkMessagesToTransactions) {
+  ExperimentConfig cfg = obsConfig(ProtocolKind::DiCoArin, "apache4x16p");
+  cfg.obs.stageTrace = true;
+  cfg.obs.traceCapacity = 1 << 14;
+  const ExperimentResult r = runExperiment(cfg);
+  ASSERT_NE(r.trace, nullptr);
+  ASSERT_NE(r.stageRec, nullptr);
+
+  // Records written while their transaction was in flight carry its id.
+  std::uint64_t missFlows = 0;
+  std::uint64_t msgFlows = 0;
+  r.trace->forEach([&](const RingTraceSink::Record& rec) {
+    if (rec.flow == 0) return;
+    if (rec.kind == RingTraceSink::Record::Kind::Miss) ++missFlows;
+    else ++msgFlows;
+  });
+  EXPECT_GT(missFlows, 0u);
+  EXPECT_GT(msgFlows, 0u);
+
+  const std::string trPath = path("flow_trace.json");
+  ASSERT_TRUE(writeChromeTrace(trPath, *r.trace));
+  const std::string doc = testjson::readFile(trPath);
+  std::string err;
+  ASSERT_TRUE(testjson::jsonValid(doc, &err)) << err;
+  // Flow phases: a start on the miss span, enclosing-slice steps on its
+  // messages.
+  EXPECT_NE(doc.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"t\""), std::string::npos);
+  EXPECT_NE(doc.find("\"bp\": \"e\""), std::string::npos);
+  std::remove(trPath.c_str());
+}
+
+// --- Self-profiler (DESIGN.md §16) ---
+
+TEST(SelfProfiler, DetachedScopesAreNoOps) {
+  EXPECT_FALSE(SelfProfiler::anyActive());
+  { ProfScope scope(ProfSection::CacheLookup); }  // must not crash
+  SelfProfiler prof;
+  EXPECT_TRUE(prof.rows().empty());
+}
+
+TEST(SelfProfiler, NestedScopesAttributeSelfTimeByCallPath) {
+  SelfProfiler prof;
+  prof.install();
+  {
+    ProfScope outer(ProfSection::KernelDispatch);
+    { ProfScope inner(ProfSection::TableInterpret); }
+    { ProfScope inner(ProfSection::TableInterpret); }
+  }
+  prof.uninstall();
+  const auto rows = prof.rows();
+  ASSERT_EQ(rows.size(), 2u);
+  // Sorted by path; nested frames join with ';' for flamegraph folding.
+  EXPECT_EQ(rows[0].path, "kernel.dispatch");
+  EXPECT_EQ(rows[0].calls, 1u);
+  EXPECT_EQ(rows[1].path, "kernel.dispatch;table.interpret");
+  EXPECT_EQ(rows[1].calls, 2u);
+  const auto folded = prof.foldedStacks();
+  ASSERT_EQ(folded.size(), 2u);
+  EXPECT_EQ(folded[0].rfind("eecc;kernel.dispatch ", 0), 0u);
+}
+
+TEST(SelfProfiler, ExperimentAttributionIsExportedButNeverAMetric) {
+  ExperimentConfig cfg = obsConfig(ProtocolKind::DiCo, "apache4x16p");
+  cfg.obs.selfProf = true;
+  const ExperimentResult r = runExperiment(cfg);
+  ASSERT_FALSE(r.selfprof.empty());
+  EXPECT_GT(r.selfprofWallNs, 0u);
+  std::uint64_t calls = 0;
+  for (const SelfProfiler::Row& row : r.selfprof) calls += row.calls;
+  EXPECT_GT(calls, 0u);
+  // Wall-clock attribution never leaks into the deterministic snapshot.
+  for (const MetricRegistry::Sample& s : r.metrics)
+    EXPECT_EQ(s.name.rfind("selfprof", 0), std::string::npos) << s.name;
+
+  // Stats JSON gains its own "selfprof" section; folded stacks export.
+  const std::string jsonPath =
+      ::testing::TempDir() + "eecc_obs_selfprof.json";
+  const std::vector<MetricsDoc> docs = {{r.workload,
+                                         protocolName(r.protocol), r.metrics,
+                                         r.selfprof, r.selfprofWallNs}};
+  ASSERT_TRUE(writeStatsJson(jsonPath, docs));
+  const std::string doc = testjson::readFile(jsonPath);
+  std::string err;
+  ASSERT_TRUE(testjson::jsonValid(doc, &err)) << err;
+  EXPECT_NE(doc.find("\"selfprof\""), std::string::npos);
+  EXPECT_NE(doc.find("\"wallNs\""), std::string::npos);
+  std::remove(jsonPath.c_str());
+
+  const std::string foldedPath =
+      ::testing::TempDir() + "eecc_obs_selfprof.folded";
+  ASSERT_TRUE(writeFoldedStacks(foldedPath, r.selfprof));
+  const std::string folded = testjson::readFile(foldedPath);
+  EXPECT_EQ(folded.rfind("eecc;", 0), 0u);
+  std::remove(foldedPath.c_str());
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 
 #include "common/json.h"
 #include "obs/report.h"
+#include "obs/stage.h"
 
 namespace eecc {
 namespace {
@@ -203,6 +204,49 @@ TEST(Report, InterferenceMatrixFlitShares) {
   EXPECT_DOUBLE_EQ(shared.remoteShare, 0.0);
 }
 
+TEST(Report, StageDecompositionPoolsClassesAndConditionsPercentiles) {
+  const Report rep = buildReport(loadFixture());
+  // Two stage-traced runs × eight stages, in critical-path order.
+  ASSERT_EQ(rep.stageLatency.size(), 2 * kStageCount);
+  const auto row = [&](const std::string& protocol, const char* stage) {
+    for (const StageLatencyRow& r : rep.stageLatency)
+      if (r.protocol == protocol && r.stage == stage) return r;
+    ADD_FAILURE() << protocol << "." << stage << " missing";
+    return StageLatencyRow{};
+  };
+
+  // Directory: request 1000/100, memFetch 20000/100, complete 0/100.
+  const StageLatencyRow req = row("Directory", "request");
+  EXPECT_DOUBLE_EQ(req.mean, 10.0);
+  // All 100 participating samples in hist bucket 0 ([0, 64)): linear
+  // interpolation puts p50 mid-bucket.
+  EXPECT_DOUBLE_EQ(req.p50, 32.0);
+  EXPECT_DOUBLE_EQ(req.share, 1000.0 / 21000.0);
+  const StageLatencyRow fetch = row("Directory", "memFetch");
+  EXPECT_DOUBLE_EQ(fetch.mean, 200.0);
+  // Bucket 3 spans [192, 256): p50 = 192 + 0.5*64, p99 = 192 + 0.99*64.
+  EXPECT_DOUBLE_EQ(fetch.p50, 224.0);
+  EXPECT_DOUBLE_EQ(fetch.p99, 192.0 + 0.99 * 64.0);
+  // A stage that never participates reports zero percentiles, not the
+  // bucket-0 midpoint: the histograms hold nonzero samples only.
+  const StageLatencyRow done = row("Directory", "complete");
+  EXPECT_DOUBLE_EQ(done.mean, 0.0);
+  EXPECT_DOUBLE_EQ(done.p50, 0.0);
+  EXPECT_DOUBLE_EQ(done.p99, 0.0);
+  // Stages with no metrics at all still get a (zero) row.
+  EXPECT_DOUBLE_EQ(row("Directory", "ackWait").count, 0.0);
+
+  // The verdict: DiCo's mean gaps vs Directory are request +10,
+  // fanout +50, memFetch +100 -> memFetch dominates.
+  ASSERT_EQ(rep.stageDominant.size(), 1u);
+  const StageDominantRow& dom = rep.stageDominant[0];
+  EXPECT_EQ(dom.protocol, "DiCo");
+  EXPECT_EQ(dom.base, "Directory");
+  EXPECT_EQ(dom.dominantStage, "memFetch");
+  EXPECT_DOUBLE_EQ(dom.stageDeltaCycles, 100.0);
+  EXPECT_DOUBLE_EQ(dom.totalDeltaCycles, 160.0);
+}
+
 // --- Golden byte-compares ---
 
 TEST(Report, WritersMatchGoldenFiles) {
@@ -213,9 +257,11 @@ TEST(Report, WritersMatchGoldenFiles) {
   ASSERT_TRUE(writeEnergyBreakdownCsv(out + "/energy_breakdown.csv", rep));
   ASSERT_TRUE(writePerVmCsv(out + "/per_vm.csv", rep));
   ASSERT_TRUE(writeInterferenceCsv(out + "/interference.csv", rep));
+  ASSERT_TRUE(writeStageLatencyCsv(out + "/stage_latency.csv", rep));
   ASSERT_TRUE(writeReportMarkdown(out + "/report.md", rep));
-  const char* files[] = {"report.json", "energy_breakdown.csv",
-                         "per_vm.csv", "interference.csv", "report.md"};
+  const char* files[] = {"report.json",       "energy_breakdown.csv",
+                         "per_vm.csv",        "interference.csv",
+                         "stage_latency.csv", "report.md"};
   for (const char* name : files) {
     const std::string got = readFile(out + "/" + name);
     const std::string want = readFile(fixtureDir() + "/golden/" + name);
@@ -233,6 +279,8 @@ TEST(Report, ReportJsonIsValidJson) {
   ASSERT_TRUE(v.isObject());
   EXPECT_EQ(v.find("energyBreakdown")->asArray().size(), 2u);
   EXPECT_EQ(v.find("perVm")->asArray().size(), 4u);
+  EXPECT_EQ(v.find("stageLatency")->asArray().size(), 2 * kStageCount);
+  EXPECT_EQ(v.find("stageDominant")->asArray().size(), 1u);
 }
 
 }  // namespace

@@ -98,6 +98,21 @@ inline void expectResultsIdentical(const ExperimentResult& a,
   expectAccumulatorEq(a.interchip.wait, b.interchip.wait);
   EXPECT_EQ(a.interchipPj, b.interchipPj);
   EXPECT_EQ(a.interchipMw, b.interchipMw);
+
+  // Metric snapshots, name for name and bit for bit — the stage-recorder
+  // decomposition ("stage.*") and the trace-ring health counters ride
+  // this. The self-profiler fields (selfprof, selfprofWallNs) are
+  // wall-clock measurements of the *simulator*, not the simulation, and
+  // are deliberately never compared (DESIGN.md §16).
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+    const MetricRegistry::Sample& ma = a.metrics[i];
+    const MetricRegistry::Sample& mb = b.metrics[i];
+    ASSERT_EQ(ma.name, mb.name);
+    EXPECT_EQ(ma.kind, mb.kind) << ma.name;
+    EXPECT_EQ(ma.u64, mb.u64) << ma.name;
+    EXPECT_EQ(ma.f64, mb.f64) << ma.name;
+  }
 }
 
 }  // namespace eecc

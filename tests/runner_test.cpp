@@ -34,6 +34,11 @@ ExperimentConfig smallConfig(ProtocolKind kind, const std::string& workload,
   cfg.altLayout = altLayout;
   cfg.warmupCycles = 30'000;
   cfg.windowCycles = 20'000;
+  // Snapshot with the flight recorder attached so the bit-identity
+  // contract (expectResultsIdentical) also covers the per-stage latency
+  // decomposition across pool widths.
+  cfg.obs.snapshotMetrics = true;
+  cfg.obs.stageTrace = true;
   return cfg;
 }
 

@@ -10,6 +10,10 @@
 //   energy_breakdown.csv   Figure 8 normalized energy breakdown
 //   per_vm.csv             per-VM misses/latency/energy/leakage shares
 //   interference.csv       inter-VM interference (flit shares by area)
+//   stage_latency.csv      miss-latency stage decomposition (runs
+//                          recorded with --stage-trace): mean/p50/p99
+//                          cycles per stage, plus the dominant-stage
+//                          verdict vs Directory in report.{json,md}
 //   scaleout.csv           multi-chip runs: churn tallies, inter-chip
 //                          link traffic/energy, per-chip rollups
 //   report.md              all tables as markdown
@@ -75,17 +79,21 @@ int main(int argc, char** argv) {
   ok = writeEnergyBreakdownCsv(base + "energy_breakdown.csv", report) && ok;
   ok = writePerVmCsv(base + "per_vm.csv", report) && ok;
   ok = writeInterferenceCsv(base + "interference.csv", report) && ok;
+  ok = writeStageLatencyCsv(base + "stage_latency.csv", report) && ok;
   ok = writeScaleoutCsv(base + "scaleout.csv", report) && ok;
   ok = writeReportMarkdown(base + "report.md", report) && ok;
   if (!ok) return 1;
 
   std::size_t ledgerRuns = 0;
-  for (const StatsRun& r : runs)
+  std::size_t stageRuns = 0;
+  for (const StatsRun& r : runs) {
     if (r.has("ledger.rows")) ++ledgerRuns;
+    if (r.has("stage.transactions")) ++stageRuns;
+  }
   std::fprintf(stderr,
-               "eecc_report: %zu run(s) (%zu with ledger, %zu scale-out) -> "
-               "%sreport.{json,md} + 4 csv\n",
-               runs.size(), ledgerRuns, report.scaleout.size(),
+               "eecc_report: %zu run(s) (%zu with ledger, %zu with stages, "
+               "%zu scale-out) -> %sreport.{json,md} + 5 csv\n",
+               runs.size(), ledgerRuns, stageRuns, report.scaleout.size(),
                base.c_str());
   return 0;
 }

@@ -57,6 +57,23 @@
 //                         suffixing as for --timeline
 //     --trace-capacity N  trace ring size in records (default 65536)
 //     --trace-hits        include L1 hits in the trace
+//     --stage-trace       attach the miss-path flight recorder: per-stage
+//                         latency decomposition of every completed miss
+//                         (DESIGN.md §16). Prints a per-protocol stage
+//                         summary; the full per-(class x stage)
+//                         accumulators and histograms land in the stats
+//                         exports under "stage." and the Chrome trace
+//                         gains Perfetto flow arrows linking messages to
+//                         their parent transaction
+//     --selfprof          install the simulator self-profiler around the
+//                         measured window: wall-time attribution of the
+//                         simulator's own hot components, printed per
+//                         experiment and exported as a "selfprof" section
+//                         of --stats-json (never mixed into metrics)
+//     --selfprof-folded FILE  also write the attribution as collapsed
+//                         stacks for flamegraph tooling (implies
+//                         --selfprof; per-protocol suffixing as for
+//                         --timeline)
 //     --ledger            attach the per-VM/per-area attribution ledger;
 //                         its matrices land in the stats exports under
 //                         "ledger." (feed the file to eecc_report)
@@ -117,6 +134,8 @@ namespace {
                "[--timeline FILE] [--timeline-every N]\n"
                "       [--trace-out FILE] [--trace-capacity N] "
                "[--trace-hits]\n"
+               "       [--stage-trace] [--selfprof] "
+               "[--selfprof-folded FILE]\n"
                "       [--ledger] [--ledger-occupancy N] [--progress]\n"
                "       [--journal FILE] [--resume] [--retries N] "
                "[--inject-fault N]\n",
@@ -155,6 +174,45 @@ void printHuman(const ExperimentResult& r) {
                 static_cast<unsigned long long>(r.interchip.remoteFetches),
                 static_cast<unsigned long long>(r.interchip.migrations),
                 r.interchip.latency.mean(), r.interchipMw);
+  }
+}
+
+// One line of per-stage mean latency (cycles per miss, all classes
+// pooled) — the quick-look view of the flight recorder; the full
+// per-(class x stage) decomposition rides the stats exports.
+void printStageSummary(const ExperimentResult& r) {
+  if (r.stageRec == nullptr || r.stageRec->transactions() == 0) return;
+  const double n = static_cast<double>(r.stageRec->transactions());
+  std::printf("  stages (cyc/miss):");
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    double sum = 0.0;
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(MissClass::kCount); ++c)
+      sum += r.stageRec
+                 ->latency(static_cast<MissClass>(c), static_cast<Stage>(s))
+                 .sum();
+    std::printf(" %s=%.1f", stageName(static_cast<Stage>(s)), sum / n);
+  }
+  std::printf("  over %llu txns\n",
+              static_cast<unsigned long long>(r.stageRec->transactions()));
+}
+
+// Per-experiment wall-time attribution of the simulator itself
+// (--selfprof). Exclusive (self) time per instrumented call path.
+void printSelfprof(const ExperimentResult& r) {
+  if (r.selfprof.empty()) return;
+  std::printf("  self-profile: wall %.1f ms\n",
+              static_cast<double>(r.selfprofWallNs) * 1e-6);
+  for (const SelfProfiler::Row& row : r.selfprof) {
+    const double pct =
+        r.selfprofWallNs != 0
+            ? 100.0 * static_cast<double>(row.selfNs) /
+                  static_cast<double>(r.selfprofWallNs)
+            : 0.0;
+    std::printf("    %-40s %12llu calls %10.3f ms %5.1f%%\n",
+                row.path.c_str(),
+                static_cast<unsigned long long>(row.calls),
+                static_cast<double>(row.selfNs) * 1e-6, pct);
   }
 }
 
@@ -197,6 +255,7 @@ int main(int argc, char** argv) {
   std::string traceOutPath;
   std::size_t traceCapacity = 1 << 16;
   bool traceHits = false;
+  std::string selfprofFoldedPath;
   bool progress = false;
   std::string journalPath;
   bool resume = false;
@@ -245,6 +304,12 @@ int main(int argc, char** argv) {
     else if (arg == "--trace-out") traceOutPath = next();
     else if (arg == "--trace-capacity") traceCapacity = cli::parseU64("--trace-capacity", next());
     else if (arg == "--trace-hits") traceHits = true;
+    else if (arg == "--stage-trace") cfg.obs.stageTrace = true;
+    else if (arg == "--selfprof") cfg.obs.selfProf = true;
+    else if (arg == "--selfprof-folded") {
+      selfprofFoldedPath = next();
+      cfg.obs.selfProf = true;
+    }
     else if (arg == "--ledger") cfg.obs.ledger = true;
     else if (arg == "--ledger-occupancy") cfg.obs.ledgerOccupancyEvery = cli::parseU64("--ledger-occupancy", next());
     else if (arg == "--progress") progress = true;
@@ -369,7 +434,11 @@ int main(int argc, char** argv) {
       continue;
     }
     if (csv) printCsv(r);
-    else printHuman(r);
+    else {
+      printHuman(r);
+      printStageSummary(r);
+      printSelfprof(r);
+    }
     violations += r.checkViolations;
     if (r.checkViolations != 0) {
       std::printf("%-15s CHECK FAILED: %llu violation(s)\n",
@@ -400,7 +469,8 @@ int main(int argc, char** argv) {
     std::vector<MetricsDoc> docs;
     for (const ExperimentResult& r : results)
       if (!r.failed)
-        docs.push_back({r.workload, protocolName(r.protocol), r.metrics});
+        docs.push_back({r.workload, protocolName(r.protocol), r.metrics,
+                        r.selfprof, r.selfprofWallNs});
     if (!statsJsonPath.empty() && !writeStatsJson(statsJsonPath, docs))
       exportFailed = true;
     if (!statsCsvPath.empty() && !writeStatsCsv(statsCsvPath, docs))
@@ -424,6 +494,9 @@ int main(int argc, char** argv) {
       exportFailed = true;
     if (r.trace != nullptr && !traceOutPath.empty() &&
         !writeChromeTrace(suffixed(traceOutPath, r), *r.trace))
+      exportFailed = true;
+    if (!r.selfprof.empty() && !selfprofFoldedPath.empty() &&
+        !writeFoldedStacks(suffixed(selfprofFoldedPath, r), r.selfprof))
       exportFailed = true;
   }
   if (exportFailed) return 1;
