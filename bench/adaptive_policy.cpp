@@ -1,0 +1,189 @@
+// Invalidate vs. update vs. per-line adaptive snooping on the two
+// sharing patterns that separate them (extension beyond the paper's
+// figures; DESIGN.md §15, docs/PROTOCOLS.md):
+//
+//  * producer-consumer — one tile writes a working set, three tiles
+//    read every block back, repeatedly. Invalidation throws the
+//    consumers' copies away every round (each re-read is a broadcast
+//    miss); update delivers the new value in place (every re-read is an
+//    L1 hit). Hybrid-Adapt starts on invalidate and must *learn* the
+//    pattern, so its energy lands strictly between the pure policies:
+//    invalidate-priced rounds until the classifier flips, update-priced
+//    rounds after.
+//
+//  * migratory — ownership hops across four tiles with no reads in
+//    between. Update is the wrong policy here (every write pushes data
+//    into stale copies nobody will read); Hybrid-Adapt keeps the lines
+//    on invalidate and tracks MOESI, not Dragon.
+//
+// The run is cold on purpose: the adaptation transient is the point.
+// Exits non-zero if either bracket fails, so the bench doubles as the
+// acceptance check for the adaptive protocol.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "energy/energy_model.h"
+#include "noc/network.h"
+#include "protocols/protocol.h"
+#include "sim/event_queue.h"
+
+using namespace eecc;
+
+namespace {
+
+/// Same small chip the protocol tests use: 4x4 mesh, tiny caches.
+CmpConfig smallConfig() {
+  CmpConfig cfg;
+  cfg.meshWidth = 4;
+  cfg.meshHeight = 4;
+  cfg.numAreas = 4;
+  cfg.l1 = CacheGeometry{64, 4, 1, 2};
+  cfg.l2 = CacheGeometry{256, 8, 2, 3};
+  cfg.l1cEntries = 64;
+  cfg.l2cEntries = 64;
+  cfg.dirCacheEntries = 64;
+  cfg.numMemControllers = 4;
+  return cfg;
+}
+
+struct Result {
+  const char* name = "";
+  std::uint64_t l1Misses = 0;
+  std::uint64_t broadcasts = 0;
+  std::uint64_t linkFlits = 0;
+  double cachePj = 0;
+  double nocPj = 0;
+  double totalPj() const { return cachePj + nocPj; }
+};
+
+class Driver {
+ public:
+  explicit Driver(ProtocolKind kind)
+      : cfg_(smallConfig()),
+        topo_(cfg_.meshWidth, cfg_.meshHeight),
+        net_(events_, topo_, cfg_.net),
+        proto_(makeProtocol(kind, events_, net_, cfg_)) {}
+
+  void access(NodeId tile, Addr block, AccessType type) {
+    bool done = false;
+    proto_->access(tile, block, type, [&done] { done = true; });
+    events_.runToCompletion();
+    EECC_CHECK(done);
+  }
+
+  Result finish() {
+    proto_->checkInvariants();
+    const EnergyModel model(proto_->kind(), chipParamsOf(cfg_));
+    Result r;
+    r.name = protocolName(proto_->kind());
+    r.l1Misses = proto_->stats().l1Misses();
+    r.broadcasts = net_.stats().broadcasts;
+    r.linkFlits = net_.stats().linkFlits;
+    r.cachePj = model.cacheEnergy(proto_->energyEvents()).total();
+    r.nocPj = model.nocEnergy(net_.stats()).total();
+    return r;
+  }
+
+ private:
+  CmpConfig cfg_;
+  EventQueue events_;
+  MeshTopology topo_;
+  Network net_;
+  std::unique_ptr<Protocol> proto_;
+};
+
+constexpr NodeId kProducer = 0;
+constexpr NodeId kConsumers[] = {5, 10, 15};
+constexpr int kBlocks = 8;
+
+Addr blockAddr(int i) { return static_cast<Addr>(i) * kBlockBytes; }
+
+Result producerConsumer(ProtocolKind kind, int rounds) {
+  Driver d(kind);
+  for (int r = 0; r < rounds; ++r) {
+    for (int b = 0; b < kBlocks; ++b)
+      d.access(kProducer, blockAddr(b), AccessType::Write);
+    for (const NodeId c : kConsumers)
+      for (int b = 0; b < kBlocks; ++b)
+        d.access(c, blockAddr(b), AccessType::Read);
+  }
+  return d.finish();
+}
+
+Result migratory(ProtocolKind kind, int rounds) {
+  Driver d(kind);
+  constexpr NodeId kWriters[] = {0, 5, 10, 15};
+  for (int r = 0; r < rounds; ++r)
+    for (const NodeId w : kWriters)
+      for (int b = 0; b < kBlocks; ++b)
+        d.access(w, blockAddr(b), AccessType::Write);
+  return d.finish();
+}
+
+void printTable(const char* title, const Result* rows, int n,
+                double baselinePj) {
+  std::printf("\n%s\n", title);
+  std::printf("  %-13s %9s %10s %10s %10s %10s %10s %8s\n", "protocol",
+              "l1Misses", "broadcasts", "linkFlits", "cache pJ", "noc pJ",
+              "total pJ", "vs. inv");
+  for (int i = 0; i < n; ++i) {
+    const Result& r = rows[i];
+    std::printf("  %-13s %9llu %10llu %10llu %10.0f %10.0f %10.0f %7.2fx\n",
+                r.name, static_cast<unsigned long long>(r.l1Misses),
+                static_cast<unsigned long long>(r.broadcasts),
+                static_cast<unsigned long long>(r.linkFlits), r.cachePj,
+                r.nocPj, r.totalPj(), r.totalPj() / baselinePj);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Adaptive coherence — producer-consumer and migratory sharing under "
+      "invalidate (MESI/MOESI), update (Dragon) and per-line adaptive "
+      "(Hybrid-Adapt) snooping");
+  const int rounds = bench::quickMode() ? 8 : 16;
+  std::printf("(cold start, %d rounds, %d blocks, 1 producer / %d consumers"
+              ")\n", rounds, kBlocks,
+              static_cast<int>(sizeof kConsumers / sizeof kConsumers[0]));
+
+  const Result pc[] = {
+      producerConsumer(ProtocolKind::Mesi, rounds),
+      producerConsumer(ProtocolKind::Moesi, rounds),
+      producerConsumer(ProtocolKind::Dragon, rounds),
+      producerConsumer(ProtocolKind::Adapt, rounds),
+  };
+  printTable("producer-consumer (writer 0; readers 5,10,15 re-read every "
+             "round)", pc, 4, pc[1].totalPj());
+  const Result mig[] = {
+      migratory(ProtocolKind::Mesi, rounds),
+      migratory(ProtocolKind::Moesi, rounds),
+      migratory(ProtocolKind::Dragon, rounds),
+      migratory(ProtocolKind::Adapt, rounds),
+  };
+  printTable("migratory (writers 0,5,10,15 take turns, no reads between)",
+             mig, 4, mig[1].totalPj());
+
+  const Result& pcInv = pc[1];     // MOESI — Adapt's own read side.
+  const Result& pcUpd = pc[2];     // Dragon.
+  const Result& pcAdapt = pc[3];
+  const bool pcBracketPj = pcUpd.totalPj() < pcAdapt.totalPj() &&
+                           pcAdapt.totalPj() < pcInv.totalPj();
+  const bool pcBracketFlits = pcUpd.linkFlits < pcAdapt.linkFlits &&
+                              pcAdapt.linkFlits < pcInv.linkFlits;
+  const bool migTracksInvalidate = mig[3].totalPj() < mig[2].totalPj();
+
+  std::printf(
+      "\nbracket: producer-consumer Hybrid-Adapt between Dragon and MOESI "
+      "— energy %s, traffic %s; migratory Hybrid-Adapt below Dragon — %s\n",
+      pcBracketPj ? "yes" : "NO", pcBracketFlits ? "yes" : "NO",
+      migTracksInvalidate ? "yes" : "NO");
+  if (!pcBracketPj || !pcBracketFlits || !migTracksInvalidate) {
+    std::printf("FAIL: adaptive policy did not land between the pure "
+                "policies\n");
+    return 1;
+  }
+  return 0;
+}

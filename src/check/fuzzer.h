@@ -3,7 +3,7 @@
 // Each fuzz seed builds one randomized reference stream from the synthetic
 // workload generators (same Workload + Rng machinery as the experiments),
 // records it as a bounded trace, and replays that identical trace through
-// all five protocols with the full monitor battery attached. Because every
+// all eight protocols with the full monitor battery attached. Because every
 // protocol executes the same per-tile streams to completion, the final
 // per-block read/write counts of the golden memory image are protocol-
 // independent — any disagreement is a coherence bug in one of them.
@@ -32,7 +32,8 @@ struct FuzzOptions {
   std::vector<ProtocolKind> protocols = {
       ProtocolKind::Directory, ProtocolKind::DiCo,
       ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin,
-      ProtocolKind::Mesi};
+      ProtocolKind::Mesi,      ProtocolKind::Moesi,
+      ProtocolKind::Dragon,    ProtocolKind::Adapt};
   std::string workloadName = "apache4x16p";  ///< Table IV name.
   std::uint64_t seeds = 10;
   std::uint64_t baseSeed = 1;       ///< Seed i fuzzes stream baseSeed + i.

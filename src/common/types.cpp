@@ -9,6 +9,9 @@ const char* protocolName(ProtocolKind kind) {
     case ProtocolKind::DiCoProviders: return "DiCo-Providers";
     case ProtocolKind::DiCoArin: return "DiCo-Arin";
     case ProtocolKind::Mesi: return "MESI-Snoop";
+    case ProtocolKind::Moesi: return "MOESI-Snoop";
+    case ProtocolKind::Dragon: return "Dragon";
+    case ProtocolKind::Adapt: return "Hybrid-Adapt";
   }
   return "?";
 }

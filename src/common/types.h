@@ -58,14 +58,18 @@ constexpr std::uint64_t blockIndex(Addr a) { return a >> kBlockOffsetBits; }
 /// Kind of memory access issued by a core.
 enum class AccessType : std::uint8_t { Read, Write };
 
-/// The four coherence protocols evaluated in the paper, plus a snooping
-/// MESI reference point built on the mesh broadcast path.
+/// The four coherence protocols evaluated in the paper, plus the snooping
+/// reference points built on the mesh broadcast path (MESI/MOESI
+/// invalidate, Dragon update) and the per-line adaptive hybrid.
 enum class ProtocolKind : std::uint8_t {
   Directory,      ///< Flat full-map MESI directory (baseline, Section II-A).
   DiCo,           ///< Original Direct Coherence [7].
   DiCoProviders,  ///< Section III-A.
   DiCoArin,       ///< Section III-B.
   Mesi,           ///< Broadcast-snooping MESI (no directory storage).
+  Moesi,          ///< Broadcast-snooping MOESI (owned-state dirty sharing).
+  Dragon,         ///< Write-update snooping (Dragon).
+  Adapt,          ///< Hybrid-Adapt: per-line invalidate/update switching.
 };
 
 /// Human-readable protocol name matching the paper's tables.

@@ -141,10 +141,20 @@ StorageBreakdown storageFor(ProtocolKind kind, const ChipParams& p,
       break;
 
     case ProtocolKind::Mesi:
+    case ProtocolKind::Moesi:
+    case ProtocolKind::Dragon:
       // Broadcast snooping keeps no sharing information anywhere — every
       // miss interrogates all caches — so only the plain data arrays
       // (already accounted above) exist. The flip side is paid in network
       // energy, not storage.
+      break;
+
+    case ProtocolKind::Adapt:
+      // Hybrid-Adapt is broadcast snooping too, but each L1 line carries
+      // the sharing-pattern classifier: a 2-bit saturating policy score,
+      // a 2-bit remote-read counter and the last-writer tile id.
+      s.l1DirEntryBits = 2 + 2 + log2ceil(ntc);
+      s.l1DirBits = static_cast<std::uint64_t>(p.l1Entries) * s.l1DirEntryBits;
       break;
   }
   return s;

@@ -31,23 +31,30 @@ std::string cellName(const std::string& row, std::size_t area,
 }
 
 /// Linear interpolation of the q-quantile inside the flight recorder's
-/// uniform histogram (bucket width kHistMax / kHistBuckets; the top
-/// bucket saturates, so the result never exceeds kHistMax).
+/// uniform histogram (bucket width kHistMax / kHistBuckets). The top
+/// bucket saturates — it holds every sample >= its lower edge — so a
+/// quantile landing there has no knowable value. Instead of clamping to
+/// a plausible-looking number (the old behavior silently understated
+/// p99, sometimes below the exact mean), such a quantile reports the top
+/// bucket's lower edge and sets `*saturated`; the writers render it as a
+/// `>=` bound.
 double histPercentile(
     const std::array<double, StageRecorder::kHistBuckets>& hist,
-    double count, double q) {
+    double count, double q, bool* saturated) {
+  *saturated = false;
   if (count <= 0) return 0.0;
   const double width =
       StageRecorder::kHistMax / StageRecorder::kHistBuckets;
   const double target = q * count;
   double cum = 0;
-  for (std::size_t b = 0; b < StageRecorder::kHistBuckets; ++b) {
+  for (std::size_t b = 0; b + 1 < StageRecorder::kHistBuckets; ++b) {
     if (hist[b] > 0 && cum + hist[b] >= target)
       return static_cast<double>(b) * width +
              width * (target - cum) / hist[b];
     cum += hist[b];
   }
-  return StageRecorder::kHistMax;
+  *saturated = true;
+  return StageRecorder::kHistMax - width;
 }
 
 }  // namespace
@@ -248,8 +255,8 @@ Report buildReport(const std::vector<StatsRun>& runs) {
       row.count = counts[s];
       row.sumCycles = sums[s];
       row.mean = counts[s] > 0 ? sums[s] / counts[s] : 0.0;
-      row.p50 = histPercentile(hists[s], histTotal, 0.50);
-      row.p99 = histPercentile(hists[s], histTotal, 0.99);
+      row.p50 = histPercentile(hists[s], histTotal, 0.50, &row.p50Saturated);
+      row.p99 = histPercentile(hists[s], histTotal, 0.99, &row.p99Saturated);
       row.share = totalSum > 0 ? sums[s] / totalSum : 0.0;
       agg.mean[s] = row.mean;
       rep.stageLatency.push_back(std::move(row));
@@ -407,6 +414,8 @@ bool writeReportJson(const std::string& path, const Report& report) {
         w.field("mean", r.mean);
         w.field("p50", r.p50);
         w.field("p99", r.p99);
+        w.field("p50Saturated", r.p50Saturated);
+        w.field("p99Saturated", r.p99Saturated);
         w.field("share", r.share);
         w.endObject();
       }
@@ -483,13 +492,14 @@ bool writeStageLatencyCsv(const std::string& path, const Report& report) {
   std::FILE* f = out.get();
   std::fprintf(f,
                "workload,protocol,stage,count,sum_cycles,mean,p50,p99,"
-               "share\n");
+               "p50_saturated,p99_saturated,share\n");
   for (const StageLatencyRow& r : report.stageLatency)
-    std::fprintf(f, "%s,%s,%s,%s,%s,%s,%s,%s,%s\n", r.workload.c_str(),
-                 r.protocol.c_str(), r.stage.c_str(), fmt(r.count).c_str(),
-                 fmt(r.sumCycles).c_str(), fmt(r.mean).c_str(),
-                 fmt(r.p50).c_str(), fmt(r.p99).c_str(),
-                 fmt(r.share).c_str());
+    std::fprintf(f, "%s,%s,%s,%s,%s,%s,%s,%s,%d,%d,%s\n",
+                 r.workload.c_str(), r.protocol.c_str(), r.stage.c_str(),
+                 fmt(r.count).c_str(), fmt(r.sumCycles).c_str(),
+                 fmt(r.mean).c_str(), fmt(r.p50).c_str(),
+                 fmt(r.p99).c_str(), r.p50Saturated ? 1 : 0,
+                 r.p99Saturated ? 1 : 0, fmt(r.share).c_str());
   return out.commit();
 }
 
@@ -671,16 +681,22 @@ bool writeReportMarkdown(const std::string& path, const Report& report) {
                  "transaction contributes one sample per stage; p50/p99 "
                  "condition on the stage actually happening). The stage "
                  "sums reconcile exactly with the protocol's total miss "
-                 "latency.\n\n");
+                 "latency. A `>=` percentile landed in the histogram's "
+                 "saturating top bucket: the true value is at least the "
+                 "printed bound.\n\n");
     std::fprintf(f,
                  "| workload | protocol | stage | count | mean | p50 | "
                  "p99 | share |\n");
     std::fprintf(f, "|---|---|---|---|---|---|---|---|\n");
+    const auto pct = [](double v, bool saturated) {
+      return saturated ? ">=" + fmt(v) : fmt(v);
+    };
     for (const StageLatencyRow& r : report.stageLatency)
       std::fprintf(f, "| %s | %s | %s | %s | %s | %s | %s | %s |\n",
                    r.workload.c_str(), r.protocol.c_str(), r.stage.c_str(),
                    fmt(r.count).c_str(), fmt(r.mean).c_str(),
-                   fmt(r.p50).c_str(), fmt(r.p99).c_str(),
+                   pct(r.p50, r.p50Saturated).c_str(),
+                   pct(r.p99, r.p99Saturated).c_str(),
                    fmt(r.share).c_str());
     if (!report.stageDominant.empty()) {
       std::fprintf(f,

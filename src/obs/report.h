@@ -151,7 +151,11 @@ struct ScaleoutSummaryRow {
 /// flight recorder's 16 x 64-cycle histogram buckets, which hold
 /// *participating* (nonzero-latency) samples only — they answer "when
 /// the stage happens, how long does it take"; the top bucket saturates
-/// at 1024 cycles.
+/// at 1024 cycles. When the quantile lands in (or beyond) that
+/// saturating top bucket, the percentile's true value is unknown: the
+/// row reports the top bucket's lower edge with the matching saturation
+/// flag set, and the writers render it as a `>=` bound instead of a
+/// plausible-looking exact number.
 struct StageLatencyRow {
   std::string workload;
   std::string protocol;
@@ -161,6 +165,8 @@ struct StageLatencyRow {
   double mean = 0;       ///< sumCycles / count.
   double p50 = 0;
   double p99 = 0;
+  bool p50Saturated = false;  ///< p50 is a lower bound (top bucket).
+  bool p99Saturated = false;  ///< p99 is a lower bound (top bucket).
   double share = 0;      ///< sumCycles / all miss cycles of the run.
 };
 

@@ -1,0 +1,635 @@
+#include "protocols/adapt.h"
+
+#include <algorithm>
+
+namespace eecc {
+
+namespace {
+enum AdaptMsg : std::uint16_t {
+  kSnoopReq = Protocol::kFirstProtocolMsg,  // requestor -> every tile
+               // (aux bit0 = write, bit1 = update mode; value = the
+               //  committed update payload when bit1 is set)
+  kSnoopAck,   // snooped tile -> requestor (aux bit0 = keeps a copy,
+               // bit1 = supplies data, bit2 = held a copy when probed;
+               // Data class iff supplying)
+  kHomeReq,    // requestor -> home (no cache supplied; fallback)
+  kHomeData,   // home -> requestor
+  kWbData      // dirty (M/O) eviction writeback -> home
+};
+
+// The Hybrid-Adapt stable-state automaton as table data (DESIGN.md §15).
+// State ids mirror AdaptProtocol::L1State declaration order. Reads are
+// MOESI-Snoop rows verbatim; the adaptive machinery rides the escapes:
+//   Escape0  classifier write note on silent E/M write hits
+//   Escape1  classifier remote-read note on snooped owners
+//   Escape2  the per-copy policy fork — update in place or invalidate —
+//            resolved from the broadcast's update-mode bit
+constexpr std::uint8_t kS = 0, kE = 1, kM = 2, kO = 3;
+constexpr tbl::Transition kAdaptTable[] = {
+    // Core reads hit on any valid copy.
+    {kS, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kE, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kM, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kO, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    // Core writes: E upgrades silently (noting the write so the classifier
+    // sees uncontended streaks); S and O need the broadcast — under either
+    // policy the other copies must be told.
+    {kS, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Hit, kM,
+     {tbl::Action::CommitWrite, tbl::Action::ChargeL1Write, tbl::Action::Touch,
+      tbl::Action::Escape0}},
+    {kM, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Hit, kM,
+     {tbl::Action::CommitWrite, tbl::Action::ChargeL1Write, tbl::Action::Touch,
+      tbl::Action::Escape0}},
+    {kO, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    // Replacement: clean states evict silently; dirty (M/O) data writes
+    // through to the home L2 bank.
+    {kS, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kE, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kM, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::WritebackData, tbl::Action::Invalidate}},
+    {kO, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::WritebackData, tbl::Action::Invalidate}},
+    // Totality rows for external invalidation.
+    {kS, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kE, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kM, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kO, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    // Snooped reads — MOESI: sharers stay, owners supply and keep dirty
+    // data (M -> O, O stays), E downgrades clean. Owners also feed the
+    // classifier: a snooped read is the producer-consumer tell.
+    {kS, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled, kS,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData,
+      tbl::Action::Escape1}},
+    {kM, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled, kO,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData,
+      tbl::Action::Escape1}},
+    {kO, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData,
+      tbl::Action::Escape1}},
+    // Snooped writes — the adaptive fork. Owners hand over their data
+    // either way; Escape2 then applies the broadcast's verdict to the
+    // copy: take the update in place (stay valid as S) or die.
+    {kS, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Escape2}},
+    {kE, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData,
+      tbl::Action::Escape2}},
+    {kM, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData,
+      tbl::Action::Escape2}},
+    {kO, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData,
+      tbl::Action::Escape2}},
+};
+}  // namespace
+
+tbl::ProtocolTable AdaptProtocol::makeStableTable() {
+  return tbl::ProtocolTable("adapt", kAdaptTable, /*numStates=*/4,
+                            /*sharedState=*/kS, /*modifiedState=*/kM);
+}
+
+AdaptProtocol::AdaptProtocol(EventQueue& events, Network& net,
+                             const CmpConfig& cfg)
+    : Protocol(events, net, cfg), table_(makeStableTable()) {
+  tiles_.reserve(static_cast<std::size_t>(cfg_.tiles()));
+  banks_.reserve(static_cast<std::size_t>(cfg_.tiles()));
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_.emplace_back(cfg_);
+    banks_.emplace_back(cfg_);
+  }
+  maxDist_.resize(static_cast<std::size_t>(cfg_.tiles()), 0);
+  for (NodeId t = 0; t < cfg_.tiles(); ++t)
+    for (NodeId u = 0; u < cfg_.tiles(); ++u)
+      maxDist_[static_cast<std::size_t>(t)] =
+          std::max(maxDist_[static_cast<std::size_t>(t)],
+                   static_cast<std::uint32_t>(distance(t, u)));
+}
+
+// ---------------------------------------------------------------- L1 side
+
+bool AdaptProtocol::tryHit(NodeId tile, Addr block, AccessType type) {
+  auto& l1 = tileOf(tile).l1;
+  energy_.l1TagProbe += 1;
+  L1Line* line = l1.find(block);
+  if (line == nullptr) return false;
+  struct Ops {
+    AdaptProtocol& p;
+    CacheArray<L1Line>& l1;
+    L1Line& line;
+    NodeId tile;
+    Addr block;
+    bool guard(tbl::Guard) const { return true; }
+    void setState(std::uint8_t s) { line.state = static_cast<L1State>(s); }
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::ChargeL1Read: p.energy_.l1DataRead += 1; break;
+        case tbl::Action::ChargeL1Write: p.energy_.l1DataWrite += 1; break;
+        case tbl::Action::Touch: l1.touch(line); break;
+        case tbl::Action::RecordRead: p.recordRead(tile, line.value); break;
+        case tbl::Action::CommitWrite:
+          line.value = p.commitWrite(block);
+          break;
+        case tbl::Action::Escape0:
+          // Silent E/M write hit: nobody else held a copy.
+          p.classifier_.noteWrite(block, tile, /*sharedSeen=*/false);
+          break;
+        default: EECC_CHECK_MSG(false, "action not in the hit vocabulary");
+      }
+    }
+  } ops{*this, l1, *line, tile, block};
+  return table_.run(static_cast<std::uint8_t>(line->state),
+                    type == AccessType::Read ? tbl::Event::LocalRead
+                                             : tbl::Event::LocalWrite,
+                    ops) == tbl::Outcome::Hit;
+}
+
+void AdaptProtocol::installL1(NodeId tile, Addr block, L1State state,
+                              std::uint64_t value) {
+  auto& l1 = tileOf(tile).l1;
+  if (L1Line* existing = l1.find(block)) {
+    existing->state = state;
+    existing->value = value;
+    l1.touch(*existing);
+    energy_.l1DataWrite += 1;
+    return;
+  }
+  L1Line* victim = l1.selectVictim(
+      block, [this](const L1Line& l) { return lineBusy(l.addr); });
+  if (victim == nullptr) victim = l1.selectVictim(block, nullptr);
+  EECC_CHECK(victim != nullptr);
+  if (victim->valid) evictL1Line(tile, *victim);
+  L1Line& line = l1.install(*victim, block);
+  line.state = state;
+  line.value = value;
+  energy_.l1DataWrite += 1;
+  energy_.l1TagProbe += 1;
+}
+
+void AdaptProtocol::evictL1Line(NodeId tile, L1Line& line) {
+  struct Ops {
+    AdaptProtocol& p;
+    NodeId tile;
+    L1Line& line;
+    bool guard(tbl::Guard) const { return true; }
+    void setState(std::uint8_t) {}
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::WritebackData:
+          p.writebackToHome(tile, line);
+          break;
+        case tbl::Action::Invalidate:
+          p.tileOf(tile).l1.invalidate(line);
+          break;
+        default:
+          EECC_CHECK_MSG(false, "action not in the replace vocabulary");
+      }
+    }
+  } ops{*this, tile, line};
+  table_.run(static_cast<std::uint8_t>(line.state), tbl::Event::Replace, ops);
+}
+
+void AdaptProtocol::writebackToHome(NodeId tile, const L1Line& line) {
+  stats_.writebacks += 1;
+  energy_.l1DataRead += 1;
+  PendingWb& pending = pendingWb_[line.addr];
+  pending.value = line.value;
+  pending.count += 1;
+  Message wb;
+  wb.type = kWbData;
+  wb.cls = MsgClass::Data;
+  wb.src = tile;
+  wb.dst = homeOf(line.addr);
+  wb.addr = line.addr;
+  wb.value = line.value;
+  send(wb);
+}
+
+void AdaptProtocol::handleSnoop(const Message& msg) {
+  stageMark(msg.addr, Stage::Fanout);  // the snoop wave reached a tile
+  const NodeId tile = msg.dst;
+  if (tile == msg.requestor) return;  // the broadcast's self-copy
+  const bool isWrite = (msg.aux & 1) != 0;
+  const bool updateMode = (msg.aux & 2) != 0;
+  auto& tl = tileOf(tile);
+  energy_.l1TagProbe += 1;
+  L1Line* line = tl.l1.find(msg.addr);
+  const bool hadCopy = line != nullptr;
+
+  bool supplied = false;
+  std::uint64_t value = 0;
+  if (line != nullptr) {
+    struct Ops {
+      AdaptProtocol& p;
+      Tile& tl;
+      NodeId tile;
+      L1Line& line;
+      const Message& msg;
+      bool updateMode;
+      bool& supplied;
+      std::uint64_t& value;
+      bool guard(tbl::Guard) const { return true; }
+      void setState(std::uint8_t s) { line.state = static_cast<L1State>(s); }
+      void act(tbl::Action a) {
+        switch (a) {
+          case tbl::Action::ChargeL1Read: p.energy_.l1DataRead += 1; break;
+          case tbl::Action::SupplyData:
+            supplied = true;
+            value = line.value;
+            break;
+          case tbl::Action::WritebackData:
+            p.writebackToHome(tile, line);
+            break;
+          case tbl::Action::Invalidate: tl.l1.invalidate(line); break;
+          case tbl::Action::Escape1:
+            // A remote tile is reading data this tile owns.
+            p.classifier_.noteRemoteRead(msg.addr);
+            break;
+          case tbl::Action::Escape2:
+            // The policy fork, per the broadcast's verdict.
+            if (updateMode) {
+              line.value = msg.value;
+              line.state = L1State::S;
+              p.energy_.l1DataWrite += 1;
+            } else {
+              tl.l1.invalidate(line);
+            }
+            break;
+          default:
+            EECC_CHECK_MSG(false, "action not in the snoop vocabulary");
+        }
+      }
+    } ops{*this, tl, tile, *line, msg, updateMode, supplied, value};
+    table_.run(static_cast<std::uint8_t>(line->state),
+               isWrite ? tbl::Event::SnoopWrite : tbl::Event::SnoopRead, ops);
+  }
+  // Valid after the probe: always for reads, only in update mode for
+  // writes (Escape2 invalidated the copy otherwise).
+  const bool keepsShared = line != nullptr && line->valid;
+
+  Message ack;
+  ack.type = kSnoopAck;
+  ack.cls = supplied ? MsgClass::Data : MsgClass::Control;
+  ack.src = tile;
+  ack.dst = msg.requestor;
+  ack.origin = msg.requestor;
+  ack.addr = msg.addr;
+  ack.aux = (keepsShared ? 1u : 0u) | (supplied ? 2u : 0u) |
+            (hadCopy ? 4u : 0u);
+  ack.value = value;
+  const Tick delay =
+      cfg_.l1.tagLatency + (supplied ? cfg_.l1.dataLatency : 0);
+  after(delay, [this, ack] { send(ack); });
+}
+
+// --------------------------------------------------------------- Home side
+
+void AdaptProtocol::storeAtL2(NodeId home, Addr block, std::uint64_t value,
+                              bool dirty) {
+  Bank& bank = bankOf(home);
+  energy_.l2DataWrite += 1;
+  if (L2Line* line = bank.l2.find(block)) {
+    line->value = value;
+    line->dirty = line->dirty || dirty;
+    bank.l2.touch(*line);
+    return;
+  }
+  L2Line* victim = bank.l2.selectVictim(
+      block, [this](const L2Line& l) { return lineBusy(l.addr); });
+  if (victim == nullptr) victim = bank.l2.selectVictim(block, nullptr);
+  EECC_CHECK(victim != nullptr);
+  if (victim->valid) evictL2Line(home, *victim);
+  L2Line& line = bank.l2.install(*victim, block);
+  line.value = value;
+  line.dirty = dirty;
+}
+
+void AdaptProtocol::evictL2Line(NodeId home, L2Line& line) {
+  stats_.l2Evictions += 1;
+  if (line.dirty) {
+    energy_.l2DataRead += 1;
+    memWriteback(line.addr, home, line.value);
+  }
+  bankOf(home).l2.invalidate(line);
+}
+
+void AdaptProtocol::homeHandleRequest(const Message& msg) {
+  const NodeId home = msg.dst;
+  const NodeId requestor = msg.requestor;
+  const Addr block = msg.addr;
+  stageMark(block, Stage::Request);  // home fallback request leg
+  Bank& bank = bankOf(home);
+  energy_.l2TagProbe += 1;
+
+  auto it = txns_.find(block);
+  EECC_CHECK_MSG(it != txns_.end(), "home request without transaction");
+  Txn& txn = it->second;
+
+  // Catch any writeback still in flight for this block: its value is the
+  // freshest copy anywhere, and the stale L2 array must not win the race.
+  if (auto wb = pendingWb_.find(block); wb != pendingWb_.end())
+    storeAtL2(home, block, wb->second.value, /*dirty=*/true);
+
+  if (L2Line* line = bank.l2.find(block)) {
+    energy_.l2DataRead += 1;
+    stats_.l2DataHits += 1;
+    bank.l2.touch(*line);
+    txn.cls = MissClass::UnpredL2;
+    txn.links += static_cast<std::uint32_t>(distance(home, requestor));
+    Message data;
+    data.type = kHomeData;
+    data.cls = MsgClass::Data;
+    data.src = home;
+    data.dst = requestor;
+    data.origin = requestor;
+    data.addr = block;
+    data.value = line->value;
+    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency, [this, data] {
+      stageMark(data.addr, Stage::Service);  // home occupancy
+      send(data);
+    });
+    return;
+  }
+  // Off-chip; the home keeps a clean copy of the fill for later readers.
+  txn.cls = MissClass::Memory;
+  txn.links += static_cast<std::uint32_t>(
+      distance(home, cfg_.memControllerOf(block)) +
+      distance(cfg_.memControllerOf(block), requestor));
+  storeAtL2(home, block, memoryValue(block), /*dirty=*/false);
+  memFetch(block, home, requestor, [this, block](std::uint64_t value) {
+    auto t = txns_.find(block);
+    EECC_CHECK(t != txns_.end());
+    t->second.dataArrived = true;
+    t->second.value = value;
+    completeAccess(block);
+  });
+}
+
+// ------------------------------------------------------------ Transactions
+
+void AdaptProtocol::startMiss(NodeId tile, Addr block, AccessType type,
+                              DoneFn done) {
+  Txn& txn = txns_[block];
+  txn = Txn{};
+  txn.requestor = tile;
+  txn.type = type;
+  txn.done = std::move(done);
+  txn.start = events_.now();
+
+  if (type == AccessType::Write) {
+    // Resolve the policy once, here, so every snooper in the wave applies
+    // the same verdict. Update mode commits up front (Dragon-style) so
+    // the broadcast carries the new value; the line lock makes that safe.
+    txn.updateMode = classifier_.updatePolicy(block);
+    if (txn.updateMode) txn.newValue = commitWrite(block);
+    if (tileOf(tile).l1.find(block) != nullptr) {
+      txn.needsData = false;  // upgrade from S or O (valid local data)
+      stats_.upgrades += 1;
+    }
+  }
+
+  txn.acksOutstanding = static_cast<std::int32_t>(cfg_.tiles()) - 1;
+  // Critical path: the snoop wave out to the farthest tile and its ack
+  // back; the home fallback adds its own hops on top.
+  txn.links += 2 * maxDist_[static_cast<std::size_t>(tile)];
+
+  Message req;
+  req.type = kSnoopReq;
+  req.src = tile;
+  req.addr = block;
+  req.requestor = tile;
+  req.aux = (type == AccessType::Write ? 1u : 0u) |
+            (txn.updateMode ? 2u : 0u);
+  req.value = txn.newValue;
+  // An update wave pushes a data payload to every tile; invalidations
+  // stay control-class. This asymmetry is exactly what the adaptive
+  // policy trades on in the energy ledger.
+  if (txn.updateMode) req.cls = MsgClass::Data;
+  sendBroadcast(req);
+  if (txn.acksOutstanding == 0) onAllAcks(block, txn);  // single-tile chip
+}
+
+void AdaptProtocol::onAllAcks(Addr block, Txn& txn) {
+  if (txn.needsData && !txn.dataArrived) {
+    // No cache supplied: fall back to the home bank (then memory).
+    if (!txn.homeAsked) {
+      txn.homeAsked = true;
+      const NodeId home = homeOf(block);
+      txn.links +=
+          static_cast<std::uint32_t>(distance(txn.requestor, home));
+      Message req;
+      req.type = kHomeReq;
+      req.src = txn.requestor;
+      req.dst = home;
+      req.addr = block;
+      req.requestor = txn.requestor;
+      send(req);
+    }
+    return;
+  }
+  completeAccess(block);
+}
+
+void AdaptProtocol::completeAccess(Addr block) {
+  auto it = txns_.find(block);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+  if (txn.type == AccessType::Read) {
+    // E iff no other tile kept a copy (an owner's ack says "shared").
+    installL1(txn.requestor, block,
+              txn.sharedSeen ? L1State::S : L1State::E, txn.value);
+    recordRead(txn.requestor, txn.value);
+  } else {
+    if (txn.updateMode) {
+      // Sharers kept their updated copies: the writer owns a shared
+      // line (O), or M when the wave found nobody after all.
+      installL1(txn.requestor, block,
+                txn.sharedSeen ? L1State::O : L1State::M, txn.newValue);
+    } else {
+      installL1(txn.requestor, block, L1State::M, commitWrite(block));
+    }
+    classifier_.noteWrite(block, txn.requestor, txn.copiesSeen);
+  }
+  recordMiss(block, txn.cls, txn.start, txn.links);
+  const DoneFn done = std::move(txn.done);
+  txns_.erase(it);
+  done();
+  releaseLine(block);
+}
+
+void AdaptProtocol::onMessage(const Message& msg) {
+  switch (msg.type) {
+    case kSnoopReq:
+      handleSnoop(msg);
+      return;
+
+    case kSnoopAck: {
+      // An ack carrying data is the cache-to-cache transfer itself.
+      stageMark(msg.addr,
+                (msg.aux & 2) != 0 ? Stage::DataReturn : Stage::AckWait);
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      Txn& txn = it->second;
+      txn.acksOutstanding -= 1;
+      EECC_CHECK(txn.acksOutstanding >= 0);
+      if ((msg.aux & 1) != 0) txn.sharedSeen = true;
+      if ((msg.aux & 2) != 0) {
+        txn.dataArrived = true;
+        txn.value = msg.value;
+        txn.cls = MissClass::UnpredOwner;  // cache-to-cache transfer
+      }
+      if ((msg.aux & 4) != 0) txn.copiesSeen = true;
+      if (txn.acksOutstanding == 0) onAllAcks(msg.addr, txn);
+      return;
+    }
+
+    case kHomeReq:
+      homeHandleRequest(msg);
+      return;
+
+    case kHomeData: {
+      stageMark(msg.addr, Stage::DataReturn);
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      it->second.dataArrived = true;
+      it->second.value = msg.value;
+      completeAccess(msg.addr);
+      return;
+    }
+
+    case kWbData: {
+      // Apply the buffered (latest) value, not the message's: same-block
+      // writebacks can be delivered out of order.
+      auto wb = pendingWb_.find(msg.addr);
+      EECC_CHECK(wb != pendingWb_.end());
+      storeAtL2(msg.dst, msg.addr, wb->second.value, /*dirty=*/true);
+      if (--wb->second.count == 0) pendingWb_.erase(wb);
+      return;
+    }
+  }
+  EECC_CHECK_MSG(false, "unknown Hybrid-Adapt message type");
+}
+
+// ------------------------------------------------------------- Test hooks
+
+namespace {
+char adaptStateChar(std::uint8_t s) {
+  switch (s) {
+    case kS: return 'S';
+    case kE: return 'E';
+    case kM: return 'M';
+    case kO: return 'O';
+  }
+  return '?';
+}
+}  // namespace
+
+AdaptProtocol::LineView AdaptProtocol::l1Line(NodeId tile, Addr block) const {
+  const auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
+  LineView v;
+  if (const L1Line* line = l1.find(block)) {
+    v.valid = true;
+    v.value = line->value;
+    v.state = adaptStateChar(static_cast<std::uint8_t>(line->state));
+  }
+  return v;
+}
+
+std::uint8_t AdaptProtocol::classifierScore(Addr block) const {
+  return classifier_.score(block);
+}
+
+bool AdaptProtocol::wouldUpdate(Addr block) const {
+  return classifier_.updatePolicy(block);
+}
+
+void AdaptProtocol::forEachL1Copy(
+    const std::function<void(const L1CopyView&)>& fn) const {
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
+        [&](const L1Line& line) {
+          L1CopyView v;
+          v.tile = t;
+          v.block = line.addr;
+          v.state = adaptStateChar(static_cast<std::uint8_t>(line.state));
+          v.value = line.value;
+          v.busy = lineBusy(line.addr);
+          fn(v);
+        });
+  }
+}
+
+void AdaptProtocol::forEachL2Block(
+    const std::function<void(NodeId tile, Addr block)>& fn) const {
+  for (NodeId h = 0; h < cfg_.tiles(); ++h)
+    banks_[static_cast<std::size_t>(h)].l2.forEachValid(
+        [&](const L2Line& line) { fn(h, line.addr); });
+}
+
+void AdaptProtocol::auditInvariants(const AuditFailFn& fail) const {
+  // Assumes quiesced blocks (in-flight ones are skipped). Per block: at
+  // most one owner (E/M/O); E/M excludes other copies (O legally coexists
+  // with S sharers, both after update-mode writes and after reads of a
+  // dirty line); every copy holds the committed value; the home L2 value
+  // matches the committed value unless an owner exists.
+  std::unordered_map<Addr, NodeId> owner;
+  std::unordered_map<Addr, NodeId> exclusiveHolder;
+  std::unordered_map<Addr, std::vector<NodeId>> holders;
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
+        [&](const L1Line& line) {
+          if (lineBusy(line.addr)) return;
+          holders[line.addr].push_back(t);
+          if (line.state != L1State::S) {
+            if (owner.contains(line.addr))
+              fail("two owners (E/M/O): tiles " +
+                   std::to_string(owner[line.addr]) + " and " +
+                   std::to_string(t) + ", " + describeBlock(line.addr));
+            owner[line.addr] = t;
+          }
+          if (line.state == L1State::E || line.state == L1State::M)
+            exclusiveHolder[line.addr] = t;
+          if (line.value != committedValue(line.addr))
+            fail("L1 copy holds a stale value: tile " + std::to_string(t) +
+                 ", " + describeBlock(line.addr));
+        });
+  }
+  for (const auto& [block, list] : holders)
+    if (exclusiveHolder.contains(block) && list.size() != 1)
+      fail("E/M copy coexists with other copies: " + describeBlock(block));
+  for (NodeId h = 0; h < cfg_.tiles(); ++h) {
+    banks_[static_cast<std::size_t>(h)].l2.forEachValid(
+        [&](const L2Line& line) {
+          if (lineBusy(line.addr)) return;
+          if (pendingWb_.contains(line.addr)) return;  // wb in flight
+          if (!owner.contains(line.addr) &&
+              line.value != committedValue(line.addr))
+            fail("L2 value stale with no L1 owner: " +
+                 describeBlock(line.addr));
+        });
+  }
+}
+
+}  // namespace eecc

@@ -1,0 +1,141 @@
+// Hybrid-Adapt — per-line adaptive coherence: invalidate or update,
+// whichever the line's observed sharing pattern favors.
+//
+// The read side is MOESI-Snoop verbatim (snooped M keeps its dirty data
+// as O, owners supply cache-to-cache, writeback only on eviction). The
+// write side is chosen per line by a SharingClassifier (line_table.h):
+// lines that look producer-consumer — one writer, remote readers between
+// writes — switch to Dragon-style update waves so the consumers' copies
+// stay valid and their reads keep hitting; lines that look migratory —
+// writer hops with no intervening readers — stay on invalidation so the
+// chip is not flooded with updates nobody reads. The policy is resolved
+// once per write at startMiss and carried in the broadcast, so every
+// snooper applies the same verdict.
+//
+// The classifier and the policy fork are the only parts outside the
+// shared table vocabulary, so they ride the Escape hooks (DESIGN.md §15):
+// Escape0 = classifier write note on silent upgrade hits, Escape1 =
+// remote-read note on snooped owners, Escape2 = the per-copy
+// update-or-invalidate resolution inside the snoop wave.
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/cache_array.h"
+#include "common/bits.h"
+#include "protocols/line_table.h"
+#include "protocols/protocol.h"
+#include "protocols/table_engine.h"
+
+namespace eecc {
+
+class AdaptProtocol final : public Protocol {
+ public:
+  AdaptProtocol(EventQueue& events, Network& net, const CmpConfig& cfg);
+
+  ProtocolKind kind() const override { return ProtocolKind::Adapt; }
+  bool tryHit(NodeId tile, Addr block, AccessType type) override;
+  void auditInvariants(const AuditFailFn& fail) const override;
+  void forEachL1Copy(
+      const std::function<void(const L1CopyView&)>& fn) const override;
+  void forEachL2Block(
+      const std::function<void(NodeId tile, Addr block)>& fn) const override;
+
+  /// Test hooks.
+  struct LineView {
+    bool valid = false;
+    char state = 'I';  // I/S/E/M/O
+    std::uint64_t value = 0;
+  };
+  LineView l1Line(NodeId tile, Addr block) const;
+  /// The classifier's saturating policy score for `block` (test hook).
+  std::uint8_t classifierScore(Addr block) const;
+  /// Whether the next write to `block` would broadcast updates.
+  bool wouldUpdate(Addr block) const;
+
+  /// The Hybrid-Adapt stable-state table this engine interprets
+  /// (DESIGN.md §15); exposed for tests/table_engine_test.cpp.
+  static tbl::ProtocolTable makeStableTable();
+
+ protected:
+  void startMiss(NodeId tile, Addr block, AccessType type,
+                 DoneFn done) override;
+  void onMessage(const Message& msg) override;
+
+ private:
+  enum class L1State : std::uint8_t { S, E, M, O };
+
+  struct L1Line : CacheLineBase {
+    L1State state = L1State::S;
+    std::uint64_t value = 0;
+  };
+
+  struct L2Line : CacheLineBase {
+    bool dirty = false;
+    std::uint64_t value = 0;
+  };
+
+  struct Tile {
+    CacheArray<L1Line> l1;
+    explicit Tile(const CmpConfig& c) : l1(c.l1.entries, c.l1.assoc) {}
+  };
+  struct Bank {
+    CacheArray<L2Line> l2;
+    explicit Bank(const CmpConfig& c)
+        : l2(c.l2.entries, c.l2.assoc,
+             log2ceil(static_cast<std::uint64_t>(c.tiles()))) {}
+  };
+
+  struct Txn {
+    NodeId requestor = kInvalidNode;
+    AccessType type = AccessType::Read;
+    DoneFn done;
+    Tick start = 0;
+    std::uint32_t links = 0;
+    MissClass cls = MissClass::UnpredL2;
+    std::int32_t acksOutstanding = 0;  ///< tiles-1 snoop acks owed.
+    bool sharedSeen = false;   ///< Some tile keeps a (valid) copy.
+    bool copiesSeen = false;   ///< Some tile *held* a copy (classifier).
+    bool dataArrived = false;  ///< A snooper or the home supplied data.
+    bool needsData = true;     ///< False for upgrade transactions.
+    bool homeAsked = false;    ///< Fallback request already sent.
+    bool updateMode = false;   ///< This write broadcasts updates.
+    std::uint64_t value = 0;     ///< Fetched data (reads, write fills).
+    std::uint64_t newValue = 0;  ///< Committed value (update mode).
+  };
+
+  Tile& tileOf(NodeId t) { return tiles_[static_cast<std::size_t>(t)]; }
+  Bank& bankOf(NodeId h) { return banks_[static_cast<std::size_t>(h)]; }
+
+  // --- L1 side ---
+  void installL1(NodeId tile, Addr block, L1State state, std::uint64_t value);
+  void evictL1Line(NodeId tile, L1Line& line);
+  void writebackToHome(NodeId tile, const L1Line& line);
+  void handleSnoop(const Message& msg);
+
+  // --- Home side ---
+  void storeAtL2(NodeId home, Addr block, std::uint64_t value, bool dirty);
+  void evictL2Line(NodeId home, L2Line& line);
+  void homeHandleRequest(const Message& msg);
+
+  // --- Transaction steps ---
+  void onAllAcks(Addr block, Txn& txn);
+  void completeAccess(Addr block);
+
+  tbl::ProtocolTable table_;
+  SharingClassifier classifier_;
+  std::vector<Tile> tiles_;
+  std::vector<Bank> banks_;
+  std::unordered_map<Addr, Txn> txns_;
+  /// In-flight dirty writebacks (see mesi.h): the home serves these ahead
+  /// of its stale L2 array; the audit exempts covered blocks.
+  struct PendingWb {
+    std::uint64_t value = 0;
+    int count = 0;
+  };
+  std::unordered_map<Addr, PendingWb> pendingWb_;
+  /// Mesh distance to the farthest tile, per requestor (broadcast depth).
+  std::vector<std::uint32_t> maxDist_;
+};
+
+}  // namespace eecc

@@ -1,0 +1,596 @@
+#include "protocols/dragon.h"
+
+#include <algorithm>
+
+namespace eecc {
+
+namespace {
+enum DragonMsg : std::uint16_t {
+  kSnoopReq = Protocol::kFirstProtocolMsg,  // requestor -> every tile
+               // (aux bit0 = write; value = the committed update payload)
+  kSnoopAck,   // snooped tile -> requestor (aux bit0 = keeps a copy,
+               // bit1 = supplies data; Data class iff supplying)
+  kHomeReq,    // requestor -> home (no cache supplied; fallback)
+  kHomeData,   // home -> requestor
+  kWbData      // owned-line eviction writeback -> home
+};
+
+// The Dragon stable-state automaton as table data (DESIGN.md §15). State
+// ids mirror DragonProtocol::L1State declaration order. The write-update
+// wave is expressed with the shared UpdateData action: snooped copies take
+// the broadcast value in place and stay valid — no escapes needed.
+constexpr std::uint8_t kSc = 0, kE = 1, kSm = 2, kM = 3;
+constexpr tbl::Transition kDragonTable[] = {
+    // Core reads hit on any valid copy.
+    {kSc, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kE, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kSm, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kM, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    // Core writes: exclusive copies (E/M) upgrade silently; shared copies
+    // (Sc/Sm) must broadcast the update wave first — that is Dragon's
+    // whole point, a write to a shared line is a bus transaction even
+    // though the local copy is valid.
+    {kSc, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Hit, kM,
+     {tbl::Action::CommitWrite, tbl::Action::ChargeL1Write,
+      tbl::Action::Touch}},
+    {kSm, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kM, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Hit, kM,
+     {tbl::Action::CommitWrite, tbl::Action::ChargeL1Write,
+      tbl::Action::Touch}},
+    // Replacement: clean copies evict silently; owned (Sm/M) data writes
+    // through to the home L2 bank.
+    {kSc, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kE, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kSm, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::WritebackData, tbl::Action::Invalidate}},
+    {kM, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::WritebackData, tbl::Action::Invalidate}},
+    // Dragon never invalidates on the coherence path; the rows exist only
+    // to keep the automaton total (and serve external flush requests).
+    {kSc, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kE, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kSm, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kM, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    // Snooped reads: sharers just stay; exclusive and owned copies supply
+    // cache-to-cache and become shared — the dirty ones (M -> Sm, Sm
+    // stays) keep ownership instead of writing through.
+    {kSc, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     kSc, {tbl::Action::ChargeL1Read, tbl::Action::SupplyData}},
+    {kSm, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::ChargeL1Read, tbl::Action::SupplyData}},
+    {kM, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     kSm, {tbl::Action::ChargeL1Read, tbl::Action::SupplyData}},
+    // Snooped writes — the update wave. Every copy takes the broadcast
+    // value in place and stays valid as Sc; the writer becomes the owner.
+    // Exclusive/owned copies also answer with their (pre-update) data so a
+    // copy-less writer gets its fill cache-to-cache.
+    {kSc, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::ChargeL1Write, tbl::Action::UpdateData}},
+    {kE, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     kSc,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData,
+      tbl::Action::ChargeL1Write, tbl::Action::UpdateData}},
+    {kSm, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     kSc,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData,
+      tbl::Action::ChargeL1Write, tbl::Action::UpdateData}},
+    {kM, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     kSc,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData,
+      tbl::Action::ChargeL1Write, tbl::Action::UpdateData}},
+};
+}  // namespace
+
+tbl::ProtocolTable DragonProtocol::makeStableTable() {
+  return tbl::ProtocolTable("dragon", kDragonTable, /*numStates=*/4,
+                            /*sharedState=*/kSc, /*modifiedState=*/kM);
+}
+
+DragonProtocol::DragonProtocol(EventQueue& events, Network& net,
+                               const CmpConfig& cfg)
+    : Protocol(events, net, cfg), table_(makeStableTable()) {
+  tiles_.reserve(static_cast<std::size_t>(cfg_.tiles()));
+  banks_.reserve(static_cast<std::size_t>(cfg_.tiles()));
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_.emplace_back(cfg_);
+    banks_.emplace_back(cfg_);
+  }
+  maxDist_.resize(static_cast<std::size_t>(cfg_.tiles()), 0);
+  for (NodeId t = 0; t < cfg_.tiles(); ++t)
+    for (NodeId u = 0; u < cfg_.tiles(); ++u)
+      maxDist_[static_cast<std::size_t>(t)] =
+          std::max(maxDist_[static_cast<std::size_t>(t)],
+                   static_cast<std::uint32_t>(distance(t, u)));
+}
+
+// ---------------------------------------------------------------- L1 side
+
+bool DragonProtocol::tryHit(NodeId tile, Addr block, AccessType type) {
+  auto& l1 = tileOf(tile).l1;
+  energy_.l1TagProbe += 1;
+  L1Line* line = l1.find(block);
+  if (line == nullptr) return false;
+  struct Ops {
+    DragonProtocol& p;
+    CacheArray<L1Line>& l1;
+    L1Line& line;
+    NodeId tile;
+    Addr block;
+    bool guard(tbl::Guard) const { return true; }
+    void setState(std::uint8_t s) { line.state = static_cast<L1State>(s); }
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::ChargeL1Read: p.energy_.l1DataRead += 1; break;
+        case tbl::Action::ChargeL1Write: p.energy_.l1DataWrite += 1; break;
+        case tbl::Action::Touch: l1.touch(line); break;
+        case tbl::Action::RecordRead: p.recordRead(tile, line.value); break;
+        case tbl::Action::CommitWrite:
+          line.value = p.commitWrite(block);
+          break;
+        default: EECC_CHECK_MSG(false, "action not in the hit vocabulary");
+      }
+    }
+  } ops{*this, l1, *line, tile, block};
+  return table_.run(static_cast<std::uint8_t>(line->state),
+                    type == AccessType::Read ? tbl::Event::LocalRead
+                                             : tbl::Event::LocalWrite,
+                    ops) == tbl::Outcome::Hit;
+}
+
+void DragonProtocol::installL1(NodeId tile, Addr block, L1State state,
+                               std::uint64_t value) {
+  auto& l1 = tileOf(tile).l1;
+  if (L1Line* existing = l1.find(block)) {
+    existing->state = state;
+    existing->value = value;
+    l1.touch(*existing);
+    energy_.l1DataWrite += 1;
+    return;
+  }
+  L1Line* victim = l1.selectVictim(
+      block, [this](const L1Line& l) { return lineBusy(l.addr); });
+  if (victim == nullptr) victim = l1.selectVictim(block, nullptr);
+  EECC_CHECK(victim != nullptr);
+  if (victim->valid) evictL1Line(tile, *victim);
+  L1Line& line = l1.install(*victim, block);
+  line.state = state;
+  line.value = value;
+  energy_.l1DataWrite += 1;
+  energy_.l1TagProbe += 1;
+}
+
+void DragonProtocol::evictL1Line(NodeId tile, L1Line& line) {
+  struct Ops {
+    DragonProtocol& p;
+    NodeId tile;
+    L1Line& line;
+    bool guard(tbl::Guard) const { return true; }
+    void setState(std::uint8_t) {}
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::WritebackData:
+          p.writebackToHome(tile, line);
+          break;
+        case tbl::Action::Invalidate:
+          p.tileOf(tile).l1.invalidate(line);
+          break;
+        default:
+          EECC_CHECK_MSG(false, "action not in the replace vocabulary");
+      }
+    }
+  } ops{*this, tile, line};
+  table_.run(static_cast<std::uint8_t>(line.state), tbl::Event::Replace, ops);
+}
+
+void DragonProtocol::writebackToHome(NodeId tile, const L1Line& line) {
+  stats_.writebacks += 1;
+  energy_.l1DataRead += 1;
+  PendingWb& pending = pendingWb_[line.addr];
+  pending.value = line.value;
+  pending.count += 1;
+  Message wb;
+  wb.type = kWbData;
+  wb.cls = MsgClass::Data;
+  wb.src = tile;
+  wb.dst = homeOf(line.addr);
+  wb.addr = line.addr;
+  wb.value = line.value;
+  send(wb);
+}
+
+void DragonProtocol::handleSnoop(const Message& msg) {
+  stageMark(msg.addr, Stage::Fanout);  // the snoop wave reached a tile
+  const NodeId tile = msg.dst;
+  if (tile == msg.requestor) return;  // the broadcast's self-copy
+  const bool isWrite = (msg.aux & 1) != 0;
+  auto& tl = tileOf(tile);
+  energy_.l1TagProbe += 1;
+  L1Line* line = tl.l1.find(msg.addr);
+
+  bool supplied = false;
+  std::uint64_t value = 0;
+  if (line != nullptr) {
+    struct Ops {
+      DragonProtocol& p;
+      Tile& tl;
+      NodeId tile;
+      L1Line& line;
+      const Message& msg;
+      bool& supplied;
+      std::uint64_t& value;
+      bool guard(tbl::Guard) const { return true; }
+      void setState(std::uint8_t s) { line.state = static_cast<L1State>(s); }
+      void act(tbl::Action a) {
+        switch (a) {
+          case tbl::Action::ChargeL1Read: p.energy_.l1DataRead += 1; break;
+          case tbl::Action::ChargeL1Write: p.energy_.l1DataWrite += 1; break;
+          case tbl::Action::SupplyData:
+            supplied = true;
+            value = line.value;
+            break;
+          case tbl::Action::UpdateData:
+            // The update wave: take the writer's committed value in place.
+            line.value = msg.value;
+            break;
+          case tbl::Action::WritebackData:
+            p.writebackToHome(tile, line);
+            break;
+          case tbl::Action::Invalidate: tl.l1.invalidate(line); break;
+          default:
+            EECC_CHECK_MSG(false, "action not in the snoop vocabulary");
+        }
+      }
+    } ops{*this, tl, tile, *line, msg, supplied, value};
+    table_.run(static_cast<std::uint8_t>(line->state),
+               isWrite ? tbl::Event::SnoopWrite : tbl::Event::SnoopRead, ops);
+  }
+  // Unlike invalidation protocols, a probed copy stays valid on writes
+  // too — it was just updated — so the writer lands in Sm, not M.
+  const bool keepsShared = line != nullptr;
+
+  Message ack;
+  ack.type = kSnoopAck;
+  ack.cls = supplied ? MsgClass::Data : MsgClass::Control;
+  ack.src = tile;
+  ack.dst = msg.requestor;
+  ack.origin = msg.requestor;
+  ack.addr = msg.addr;
+  ack.aux = (keepsShared ? 1u : 0u) | (supplied ? 2u : 0u);
+  ack.value = value;
+  const Tick delay =
+      cfg_.l1.tagLatency + (supplied ? cfg_.l1.dataLatency : 0);
+  after(delay, [this, ack] { send(ack); });
+}
+
+// --------------------------------------------------------------- Home side
+
+void DragonProtocol::storeAtL2(NodeId home, Addr block, std::uint64_t value,
+                               bool dirty) {
+  Bank& bank = bankOf(home);
+  energy_.l2DataWrite += 1;
+  if (L2Line* line = bank.l2.find(block)) {
+    line->value = value;
+    line->dirty = line->dirty || dirty;
+    bank.l2.touch(*line);
+    return;
+  }
+  L2Line* victim = bank.l2.selectVictim(
+      block, [this](const L2Line& l) { return lineBusy(l.addr); });
+  if (victim == nullptr) victim = bank.l2.selectVictim(block, nullptr);
+  EECC_CHECK(victim != nullptr);
+  if (victim->valid) evictL2Line(home, *victim);
+  L2Line& line = bank.l2.install(*victim, block);
+  line.value = value;
+  line.dirty = dirty;
+}
+
+void DragonProtocol::evictL2Line(NodeId home, L2Line& line) {
+  stats_.l2Evictions += 1;
+  if (line.dirty) {
+    energy_.l2DataRead += 1;
+    memWriteback(line.addr, home, line.value);
+  }
+  bankOf(home).l2.invalidate(line);
+}
+
+void DragonProtocol::homeHandleRequest(const Message& msg) {
+  const NodeId home = msg.dst;
+  const NodeId requestor = msg.requestor;
+  const Addr block = msg.addr;
+  stageMark(block, Stage::Request);  // home fallback request leg
+  Bank& bank = bankOf(home);
+  energy_.l2TagProbe += 1;
+
+  auto it = txns_.find(block);
+  EECC_CHECK_MSG(it != txns_.end(), "home request without transaction");
+  Txn& txn = it->second;
+
+  // Catch any writeback still in flight for this block: its value is the
+  // freshest copy anywhere, and the stale L2 array must not win the race.
+  if (auto wb = pendingWb_.find(block); wb != pendingWb_.end())
+    storeAtL2(home, block, wb->second.value, /*dirty=*/true);
+
+  if (L2Line* line = bank.l2.find(block)) {
+    energy_.l2DataRead += 1;
+    stats_.l2DataHits += 1;
+    bank.l2.touch(*line);
+    txn.cls = MissClass::UnpredL2;
+    txn.links += static_cast<std::uint32_t>(distance(home, requestor));
+    Message data;
+    data.type = kHomeData;
+    data.cls = MsgClass::Data;
+    data.src = home;
+    data.dst = requestor;
+    data.origin = requestor;
+    data.addr = block;
+    data.value = line->value;
+    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency, [this, data] {
+      stageMark(data.addr, Stage::Service);  // home occupancy
+      send(data);
+    });
+    return;
+  }
+  // Off-chip; the home keeps a clean copy of the fill for later readers.
+  txn.cls = MissClass::Memory;
+  txn.links += static_cast<std::uint32_t>(
+      distance(home, cfg_.memControllerOf(block)) +
+      distance(cfg_.memControllerOf(block), requestor));
+  storeAtL2(home, block, memoryValue(block), /*dirty=*/false);
+  memFetch(block, home, requestor, [this, block](std::uint64_t value) {
+    auto t = txns_.find(block);
+    EECC_CHECK(t != txns_.end());
+    t->second.dataArrived = true;
+    t->second.value = value;
+    completeAccess(block);
+  });
+}
+
+// ------------------------------------------------------------ Transactions
+
+void DragonProtocol::startMiss(NodeId tile, Addr block, AccessType type,
+                               DoneFn done) {
+  Txn& txn = txns_[block];
+  txn = Txn{};
+  txn.requestor = tile;
+  txn.type = type;
+  txn.done = std::move(done);
+  txn.start = events_.now();
+
+  if (type == AccessType::Write) {
+    // Commit up front so the update wave broadcasts the new value. Safe
+    // because the line lock spans the whole transaction: nobody reads the
+    // block (monitors relax to the monotone check while it is busy) until
+    // every copy — including the writer's — holds this value.
+    txn.newValue = commitWrite(block);
+    if (tileOf(tile).l1.find(block) != nullptr) {
+      txn.needsData = false;  // Sc/Sm update transaction, data is local
+      stats_.upgrades += 1;
+    }
+  }
+
+  txn.acksOutstanding = static_cast<std::int32_t>(cfg_.tiles()) - 1;
+  // Critical path: the snoop wave out to the farthest tile and its ack
+  // back; the home fallback adds its own hops on top.
+  txn.links += 2 * maxDist_[static_cast<std::size_t>(tile)];
+
+  Message req;
+  req.type = kSnoopReq;
+  req.src = tile;
+  req.addr = block;
+  req.requestor = tile;
+  req.aux = type == AccessType::Write ? 1 : 0;
+  req.value = txn.newValue;
+  // Updates push a data payload to every tile, so the whole wave is Data
+  // class — the energy ledger's measure of Dragon's broadcast cost.
+  if (type == AccessType::Write) req.cls = MsgClass::Data;
+  sendBroadcast(req);
+  if (txn.acksOutstanding == 0) onAllAcks(block, txn);  // single-tile chip
+}
+
+void DragonProtocol::onAllAcks(Addr block, Txn& txn) {
+  if (txn.needsData && !txn.dataArrived) {
+    // No cache supplied: fall back to the home bank (then memory).
+    if (!txn.homeAsked) {
+      txn.homeAsked = true;
+      const NodeId home = homeOf(block);
+      txn.links +=
+          static_cast<std::uint32_t>(distance(txn.requestor, home));
+      Message req;
+      req.type = kHomeReq;
+      req.src = txn.requestor;
+      req.dst = home;
+      req.addr = block;
+      req.requestor = txn.requestor;
+      send(req);
+    }
+    return;
+  }
+  completeAccess(block);
+}
+
+void DragonProtocol::completeAccess(Addr block) {
+  auto it = txns_.find(block);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+  if (txn.type == AccessType::Read) {
+    installL1(txn.requestor, block,
+              txn.sharedSeen ? L1State::Sc : L1State::E, txn.value);
+    recordRead(txn.requestor, txn.value);
+  } else {
+    // Sharers kept their (updated) copies, so the writer is the owner of
+    // a shared line — Sm — not exclusive M as under invalidation.
+    installL1(txn.requestor, block,
+              txn.sharedSeen ? L1State::Sm : L1State::M, txn.newValue);
+  }
+  recordMiss(block, txn.cls, txn.start, txn.links);
+  const DoneFn done = std::move(txn.done);
+  txns_.erase(it);
+  done();
+  releaseLine(block);
+}
+
+void DragonProtocol::onMessage(const Message& msg) {
+  switch (msg.type) {
+    case kSnoopReq:
+      handleSnoop(msg);
+      return;
+
+    case kSnoopAck: {
+      // An ack carrying data is the cache-to-cache transfer itself.
+      stageMark(msg.addr,
+                (msg.aux & 2) != 0 ? Stage::DataReturn : Stage::AckWait);
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      Txn& txn = it->second;
+      txn.acksOutstanding -= 1;
+      EECC_CHECK(txn.acksOutstanding >= 0);
+      if ((msg.aux & 1) != 0) txn.sharedSeen = true;
+      if ((msg.aux & 2) != 0) {
+        txn.dataArrived = true;
+        txn.value = msg.value;
+        txn.cls = MissClass::UnpredOwner;  // cache-to-cache transfer
+      }
+      if (txn.acksOutstanding == 0) onAllAcks(msg.addr, txn);
+      return;
+    }
+
+    case kHomeReq:
+      homeHandleRequest(msg);
+      return;
+
+    case kHomeData: {
+      stageMark(msg.addr, Stage::DataReturn);
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      it->second.dataArrived = true;
+      it->second.value = msg.value;
+      completeAccess(msg.addr);
+      return;
+    }
+
+    case kWbData: {
+      // Apply the buffered (latest) value, not the message's: same-block
+      // writebacks can be delivered out of order.
+      auto wb = pendingWb_.find(msg.addr);
+      EECC_CHECK(wb != pendingWb_.end());
+      storeAtL2(msg.dst, msg.addr, wb->second.value, /*dirty=*/true);
+      if (--wb->second.count == 0) pendingWb_.erase(wb);
+      return;
+    }
+  }
+  EECC_CHECK_MSG(false, "unknown Dragon message type");
+}
+
+// ------------------------------------------------------------- Test hooks
+
+namespace {
+char stateChar(std::uint8_t s) {
+  switch (s) {
+    case kSc: return 'S';
+    case kE: return 'E';
+    case kSm: return 'O';  // shared-modified owner, MOESI's O to monitors
+    case kM: return 'M';
+  }
+  return '?';
+}
+}  // namespace
+
+DragonProtocol::LineView DragonProtocol::l1Line(NodeId tile,
+                                                Addr block) const {
+  const auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
+  LineView v;
+  if (const L1Line* line = l1.find(block)) {
+    v.valid = true;
+    v.value = line->value;
+    v.state = stateChar(static_cast<std::uint8_t>(line->state));
+  }
+  return v;
+}
+
+void DragonProtocol::forEachL1Copy(
+    const std::function<void(const L1CopyView&)>& fn) const {
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
+        [&](const L1Line& line) {
+          L1CopyView v;
+          v.tile = t;
+          v.block = line.addr;
+          v.state = stateChar(static_cast<std::uint8_t>(line.state));
+          v.value = line.value;
+          v.busy = lineBusy(line.addr);
+          fn(v);
+        });
+  }
+}
+
+void DragonProtocol::forEachL2Block(
+    const std::function<void(NodeId tile, Addr block)>& fn) const {
+  for (NodeId h = 0; h < cfg_.tiles(); ++h)
+    banks_[static_cast<std::size_t>(h)].l2.forEachValid(
+        [&](const L2Line& line) { fn(h, line.addr); });
+}
+
+void DragonProtocol::auditInvariants(const AuditFailFn& fail) const {
+  // Assumes quiesced blocks (in-flight ones are skipped). Per block: at
+  // most one owner (E/Sm/M); E/M excludes other copies (Sm merely owns —
+  // it legally coexists with Sc sharers); every copy holds the committed
+  // value (the update waves keep sharers exact, not just monotone); the
+  // home L2 value matches the committed value unless an owner exists.
+  std::unordered_map<Addr, NodeId> owner;
+  std::unordered_map<Addr, NodeId> exclusiveHolder;
+  std::unordered_map<Addr, std::vector<NodeId>> holders;
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
+        [&](const L1Line& line) {
+          if (lineBusy(line.addr)) return;
+          holders[line.addr].push_back(t);
+          if (line.state != L1State::Sc) {
+            if (owner.contains(line.addr))
+              fail("two owners (E/Sm/M): tiles " +
+                   std::to_string(owner[line.addr]) + " and " +
+                   std::to_string(t) + ", " + describeBlock(line.addr));
+            owner[line.addr] = t;
+          }
+          if (line.state == L1State::E || line.state == L1State::M)
+            exclusiveHolder[line.addr] = t;
+          if (line.value != committedValue(line.addr))
+            fail("L1 copy holds a stale value: tile " + std::to_string(t) +
+                 ", " + describeBlock(line.addr));
+        });
+  }
+  for (const auto& [block, list] : holders)
+    if (exclusiveHolder.contains(block) && list.size() != 1)
+      fail("E/M copy coexists with other copies: " + describeBlock(block));
+  for (NodeId h = 0; h < cfg_.tiles(); ++h) {
+    banks_[static_cast<std::size_t>(h)].l2.forEachValid(
+        [&](const L2Line& line) {
+          if (lineBusy(line.addr)) return;
+          if (pendingWb_.contains(line.addr)) return;  // wb in flight
+          if (!owner.contains(line.addr) &&
+              line.value != committedValue(line.addr))
+            fail("L2 value stale with no L1 owner: " +
+                 describeBlock(line.addr));
+        });
+  }
+}
+
+}  // namespace eecc

@@ -1,0 +1,136 @@
+// Dragon — write-update snooping, the classic foil to invalidation under
+// producer-consumer sharing.
+//
+// Same directory-less broadcast skeleton as mesi.h, but a write to a
+// shared line never invalidates the other copies: the writer commits its
+// new value first, the snoop wave *updates* every remote copy in place
+// (tbl::Action::UpdateData), and the sharers stay valid. The writer ends
+// the transaction as Sm — the shared-modified owner responsible for
+// supplying data and for the eventual writeback — or M when no sharer
+// remained. Consumers whose copies are kept fresh by the producer's
+// update waves read with L1 hits forever; the price is that every such
+// write costs a chip-wide broadcast even when nobody will ever read the
+// updated copies again (the migratory pathology Hybrid-Adapt targets).
+//
+// States: Sc (shared clean), E (exclusive clean), Sm (shared modified,
+// the owner), M (modified). SWMR nuance: Dragon's writes don't create an
+// exclusive copy — the *transaction* serializes writers through the line
+// lock, while Sm coexists with Sc copies exactly like a MOESI owner (it
+// reports as 'O' to the monitors). The value monitor is the interesting
+// check here: update waves land in every sharer before the transaction
+// completes, so every quiesced copy equals the golden value.
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/cache_array.h"
+#include "common/bits.h"
+#include "protocols/protocol.h"
+#include "protocols/table_engine.h"
+
+namespace eecc {
+
+class DragonProtocol final : public Protocol {
+ public:
+  DragonProtocol(EventQueue& events, Network& net, const CmpConfig& cfg);
+
+  ProtocolKind kind() const override { return ProtocolKind::Dragon; }
+  bool tryHit(NodeId tile, Addr block, AccessType type) override;
+  void auditInvariants(const AuditFailFn& fail) const override;
+  void forEachL1Copy(
+      const std::function<void(const L1CopyView&)>& fn) const override;
+  void forEachL2Block(
+      const std::function<void(NodeId tile, Addr block)>& fn) const override;
+
+  /// Test hooks.
+  struct LineView {
+    bool valid = false;
+    char state = 'I';  // I / S(c) / E / O(=Sm) / M
+    std::uint64_t value = 0;
+  };
+  LineView l1Line(NodeId tile, Addr block) const;
+
+  /// The Dragon stable-state table this engine interprets (DESIGN.md §15);
+  /// exposed so tests/table_engine_test.cpp can audit well-formedness.
+  static tbl::ProtocolTable makeStableTable();
+
+ protected:
+  void startMiss(NodeId tile, Addr block, AccessType type,
+                 DoneFn done) override;
+  void onMessage(const Message& msg) override;
+
+ private:
+  enum class L1State : std::uint8_t { Sc, E, Sm, M };
+
+  struct L1Line : CacheLineBase {
+    L1State state = L1State::Sc;
+    std::uint64_t value = 0;
+  };
+
+  struct L2Line : CacheLineBase {
+    bool dirty = false;
+    std::uint64_t value = 0;
+  };
+
+  struct Tile {
+    CacheArray<L1Line> l1;
+    explicit Tile(const CmpConfig& c) : l1(c.l1.entries, c.l1.assoc) {}
+  };
+  struct Bank {
+    CacheArray<L2Line> l2;
+    explicit Bank(const CmpConfig& c)
+        : l2(c.l2.entries, c.l2.assoc,
+             log2ceil(static_cast<std::uint64_t>(c.tiles()))) {}
+  };
+
+  struct Txn {
+    NodeId requestor = kInvalidNode;
+    AccessType type = AccessType::Read;
+    DoneFn done;
+    Tick start = 0;
+    std::uint32_t links = 0;
+    MissClass cls = MissClass::UnpredL2;
+    std::int32_t acksOutstanding = 0;  ///< tiles-1 snoop acks owed.
+    bool sharedSeen = false;   ///< Some tile keeps a copy (write -> Sm).
+    bool dataArrived = false;  ///< A snooper or the home supplied data.
+    bool needsData = true;     ///< False for Sc/Sm update transactions.
+    bool homeAsked = false;    ///< Fallback request already sent.
+    std::uint64_t value = 0;     ///< Fetched data (reads, write fills).
+    std::uint64_t newValue = 0;  ///< Committed value the update carries.
+  };
+
+  Tile& tileOf(NodeId t) { return tiles_[static_cast<std::size_t>(t)]; }
+  Bank& bankOf(NodeId h) { return banks_[static_cast<std::size_t>(h)]; }
+
+  // --- L1 side ---
+  void installL1(NodeId tile, Addr block, L1State state, std::uint64_t value);
+  void evictL1Line(NodeId tile, L1Line& line);
+  /// Eviction of an owned (Sm/M) line — the only writeback Dragon has.
+  void writebackToHome(NodeId tile, const L1Line& line);
+  void handleSnoop(const Message& msg);
+
+  // --- Home side ---
+  void storeAtL2(NodeId home, Addr block, std::uint64_t value, bool dirty);
+  void evictL2Line(NodeId home, L2Line& line);
+  void homeHandleRequest(const Message& msg);
+
+  // --- Transaction steps ---
+  void onAllAcks(Addr block, Txn& txn);
+  void completeAccess(Addr block);
+
+  tbl::ProtocolTable table_;
+  std::vector<Tile> tiles_;
+  std::vector<Bank> banks_;
+  std::unordered_map<Addr, Txn> txns_;
+  /// In-flight dirty writebacks (see mesi.h): the home serves these ahead
+  /// of its stale L2 array; the audit exempts covered blocks.
+  struct PendingWb {
+    std::uint64_t value = 0;
+    int count = 0;
+  };
+  std::unordered_map<Addr, PendingWb> pendingWb_;
+  /// Mesh distance to the farthest tile, per requestor (broadcast depth).
+  std::vector<std::uint32_t> maxDist_;
+};
+
+}  // namespace eecc

@@ -1,8 +1,11 @@
+#include "protocols/adapt.h"
 #include "protocols/dico.h"
 #include "protocols/dico_arin.h"
 #include "protocols/dico_providers.h"
 #include "protocols/directory.h"
+#include "protocols/dragon.h"
 #include "protocols/mesi.h"
+#include "protocols/moesi.h"
 #include "protocols/protocol.h"
 
 namespace eecc {
@@ -20,6 +23,12 @@ std::unique_ptr<Protocol> makeProtocol(ProtocolKind kind, EventQueue& events,
       return std::make_unique<DiCoArinProtocol>(events, net, cfg);
     case ProtocolKind::Mesi:
       return std::make_unique<MesiProtocol>(events, net, cfg);
+    case ProtocolKind::Moesi:
+      return std::make_unique<MoesiProtocol>(events, net, cfg);
+    case ProtocolKind::Dragon:
+      return std::make_unique<DragonProtocol>(events, net, cfg);
+    case ProtocolKind::Adapt:
+      return std::make_unique<AdaptProtocol>(events, net, cfg);
   }
   EECC_CHECK_MSG(false, "unknown protocol kind");
   return nullptr;

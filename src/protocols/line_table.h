@@ -113,4 +113,73 @@ class LineLockTable {
   std::uint32_t freeHead_ = kNone;
 };
 
+/// Per-line sharing-pattern classifier for Hybrid-Adapt (DESIGN.md §15).
+///
+/// Models the per-line predictor bits Hybrid-Adapt adds to each L1 entry
+/// (storage_model.cpp charges them): a 2-bit saturating policy score, a
+/// 2-bit remote-read counter and the last writer's tile id. Two antagonist
+/// patterns move the score:
+///
+///  - producer-consumer — the same tile writes a line that other tiles
+///    read between writes. Updates win: consumers keep hitting locally.
+///    Seen as (same writer, copies remained, remote reads since the last
+///    write) -> score += 1.
+///  - migratory — the line hops writer to writer with no intervening
+///    remote reads. Invalidation wins: updating copies nobody reads is
+///    pure broadcast waste. Seen as (different writer, no remote reads)
+///    -> score -= 1.
+///
+/// `updatePolicy` switches a line to write-update once the score reaches
+/// the threshold (2 of 3); everything below stays invalidate, so the
+/// protocol behaves like MOESI until a line proves itself.
+class SharingClassifier {
+ public:
+  static constexpr std::uint8_t kMaxScore = 3;
+  static constexpr std::uint8_t kThreshold = 2;
+  static constexpr std::uint8_t kMaxReads = 3;
+
+  /// A remote tile read the line (snooped read reached a copy holder, or
+  /// a read miss was served). Saturates; cleared by the next write.
+  void noteRemoteRead(Addr block) {
+    State& s = state_.at(block);
+    if (s.remoteReads < kMaxReads) s.remoteReads += 1;
+  }
+
+  /// A write to `block` by `writer` completed. `sharedSeen` reports
+  /// whether any other tile held a copy during the write's broadcast.
+  void noteWrite(Addr block, NodeId writer, bool sharedSeen) {
+    State& s = state_.at(block);
+    if (s.lastWriter != kInvalidNode) {
+      if (sharedSeen && writer == s.lastWriter && s.remoteReads > 0) {
+        if (s.score < kMaxScore) s.score += 1;  // producer-consumer
+      } else if (writer != s.lastWriter && s.remoteReads == 0) {
+        if (s.score > 0) s.score -= 1;  // migratory
+      }
+    }
+    s.lastWriter = writer;
+    s.remoteReads = 0;
+  }
+
+  /// True when the next write to `block` should broadcast updates.
+  bool updatePolicy(Addr block) const {
+    const State* s = state_.find(block);
+    return s != nullptr && s->score >= kThreshold;
+  }
+
+  /// Test hook: the current saturating score (0 for untracked lines).
+  std::uint8_t score(Addr block) const {
+    const State* s = state_.find(block);
+    return s == nullptr ? 0 : s->score;
+  }
+
+ private:
+  struct State {
+    NodeId lastWriter = kInvalidNode;
+    std::uint8_t remoteReads = 0;
+    std::uint8_t score = 0;
+  };
+
+  FlatHash<State> state_{1024};
+};
+
 }  // namespace eecc

@@ -1,0 +1,571 @@
+#include "protocols/moesi.h"
+
+#include <algorithm>
+
+namespace eecc {
+
+namespace {
+enum MoesiMsg : std::uint16_t {
+  kSnoopReq = Protocol::kFirstProtocolMsg,  // requestor -> every tile
+  kSnoopAck,   // snooped tile -> requestor (aux bit0 = keeps a shared
+               // copy, bit1 = supplies data; Data class iff supplying)
+  kHomeReq,    // requestor -> home (no cache supplied; fallback)
+  kHomeData,   // home -> requestor
+  kWbData      // dirty writeback -> home (M/O evictions only)
+};
+
+// The MOESI stable-state automaton as table data (DESIGN.md §15). State
+// ids mirror MoesiProtocol::L1State declaration order. The single delta
+// against the MESI table is the Owned state: a snooped M supplies and
+// keeps its dirty data as O (no WritebackData), O keeps answering later
+// readers, and only eviction writes the data back. No escapes needed.
+constexpr std::uint8_t kS = 0, kE = 1, kM = 2, kO = 3;
+constexpr tbl::Transition kMoesiTable[] = {
+    // Core reads hit on any valid copy.
+    {kS, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kE, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kM, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    {kO, tbl::Event::LocalRead, tbl::Guard::Always, tbl::Outcome::Hit,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::Touch, tbl::Action::RecordRead}},
+    // Core writes: E upgrades silently; S *and O* need the broadcast to
+    // invalidate the other sharers first (O already holds valid data, so
+    // that transaction is an upgrade, not a fetch).
+    {kS, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kO, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Miss,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Hit, kM,
+     {tbl::Action::CommitWrite, tbl::Action::ChargeL1Write,
+      tbl::Action::Touch}},
+    {kM, tbl::Event::LocalWrite, tbl::Guard::Always, tbl::Outcome::Hit, kM,
+     {tbl::Action::CommitWrite, tbl::Action::ChargeL1Write,
+      tbl::Action::Touch}},
+    // Replacement: S and E evict silently; M and O own the only fresh
+    // copy of their data, so both write through to the home L2 bank.
+    {kS, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kE, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kM, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::WritebackData, tbl::Action::Invalidate}},
+    {kO, tbl::Event::Replace, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::WritebackData, tbl::Action::Invalidate}},
+    // An invalidation kills the copy whatever its state (snooping raises
+    // these through SnoopWrite; the rows keep the automaton total).
+    {kS, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kE, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kM, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kO, tbl::Event::Inval, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    // Snooped reads — the MOESI payoff: M downgrades to O and keeps its
+    // dirty data (no writeback), O stays O and keeps supplying. Only E
+    // downgrades to plain S (its data is clean, the L2 still matches).
+    {kS, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {}},
+    {kE, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled, kS,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData}},
+    {kM, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled, kO,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData}},
+    {kO, tbl::Event::SnoopRead, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::ChargeL1Read, tbl::Action::SupplyData}},
+    // Snooped writes: every copy dies; E, M and O hand their data to the
+    // new owner on the way out.
+    {kS, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState, {tbl::Action::Invalidate}},
+    {kE, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData,
+      tbl::Action::Invalidate}},
+    {kM, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData,
+      tbl::Action::Invalidate}},
+    {kO, tbl::Event::SnoopWrite, tbl::Guard::Always, tbl::Outcome::Handled,
+     tbl::kKeepState,
+     {tbl::Action::ChargeL1Read, tbl::Action::SupplyData,
+      tbl::Action::Invalidate}},
+};
+}  // namespace
+
+tbl::ProtocolTable MoesiProtocol::makeStableTable() {
+  return tbl::ProtocolTable("moesi", kMoesiTable, /*numStates=*/4,
+                            /*sharedState=*/kS, /*modifiedState=*/kM);
+}
+
+MoesiProtocol::MoesiProtocol(EventQueue& events, Network& net,
+                             const CmpConfig& cfg)
+    : Protocol(events, net, cfg), table_(makeStableTable()) {
+  tiles_.reserve(static_cast<std::size_t>(cfg_.tiles()));
+  banks_.reserve(static_cast<std::size_t>(cfg_.tiles()));
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_.emplace_back(cfg_);
+    banks_.emplace_back(cfg_);
+  }
+  maxDist_.resize(static_cast<std::size_t>(cfg_.tiles()), 0);
+  for (NodeId t = 0; t < cfg_.tiles(); ++t)
+    for (NodeId u = 0; u < cfg_.tiles(); ++u)
+      maxDist_[static_cast<std::size_t>(t)] =
+          std::max(maxDist_[static_cast<std::size_t>(t)],
+                   static_cast<std::uint32_t>(distance(t, u)));
+}
+
+// ---------------------------------------------------------------- L1 side
+
+bool MoesiProtocol::tryHit(NodeId tile, Addr block, AccessType type) {
+  auto& l1 = tileOf(tile).l1;
+  energy_.l1TagProbe += 1;
+  L1Line* line = l1.find(block);
+  if (line == nullptr) return false;
+  struct Ops {
+    MoesiProtocol& p;
+    CacheArray<L1Line>& l1;
+    L1Line& line;
+    NodeId tile;
+    Addr block;
+    bool guard(tbl::Guard) const { return true; }
+    void setState(std::uint8_t s) { line.state = static_cast<L1State>(s); }
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::ChargeL1Read: p.energy_.l1DataRead += 1; break;
+        case tbl::Action::ChargeL1Write: p.energy_.l1DataWrite += 1; break;
+        case tbl::Action::Touch: l1.touch(line); break;
+        case tbl::Action::RecordRead: p.recordRead(tile, line.value); break;
+        case tbl::Action::CommitWrite:
+          line.value = p.commitWrite(block);
+          break;
+        default: EECC_CHECK_MSG(false, "action not in the hit vocabulary");
+      }
+    }
+  } ops{*this, l1, *line, tile, block};
+  return table_.run(static_cast<std::uint8_t>(line->state),
+                    type == AccessType::Read ? tbl::Event::LocalRead
+                                             : tbl::Event::LocalWrite,
+                    ops) == tbl::Outcome::Hit;
+}
+
+void MoesiProtocol::installL1(NodeId tile, Addr block, L1State state,
+                              std::uint64_t value) {
+  auto& l1 = tileOf(tile).l1;
+  if (L1Line* existing = l1.find(block)) {
+    existing->state = state;
+    existing->value = value;
+    l1.touch(*existing);
+    energy_.l1DataWrite += 1;
+    return;
+  }
+  L1Line* victim = l1.selectVictim(
+      block, [this](const L1Line& l) { return lineBusy(l.addr); });
+  if (victim == nullptr) victim = l1.selectVictim(block, nullptr);
+  EECC_CHECK(victim != nullptr);
+  if (victim->valid) evictL1Line(tile, *victim);
+  L1Line& line = l1.install(*victim, block);
+  line.state = state;
+  line.value = value;
+  energy_.l1DataWrite += 1;
+  energy_.l1TagProbe += 1;
+}
+
+void MoesiProtocol::evictL1Line(NodeId tile, L1Line& line) {
+  struct Ops {
+    MoesiProtocol& p;
+    NodeId tile;
+    L1Line& line;
+    bool guard(tbl::Guard) const { return true; }
+    void setState(std::uint8_t) {}
+    void act(tbl::Action a) {
+      switch (a) {
+        case tbl::Action::WritebackData:
+          p.writebackToHome(tile, line);
+          break;
+        case tbl::Action::Invalidate:
+          p.tileOf(tile).l1.invalidate(line);
+          break;
+        default:
+          EECC_CHECK_MSG(false, "action not in the replace vocabulary");
+      }
+    }
+  } ops{*this, tile, line};
+  table_.run(static_cast<std::uint8_t>(line.state), tbl::Event::Replace, ops);
+}
+
+void MoesiProtocol::writebackToHome(NodeId tile, const L1Line& line) {
+  stats_.writebacks += 1;
+  energy_.l1DataRead += 1;
+  PendingWb& pending = pendingWb_[line.addr];
+  pending.value = line.value;
+  pending.count += 1;
+  Message wb;
+  wb.type = kWbData;
+  wb.cls = MsgClass::Data;
+  wb.src = tile;
+  wb.dst = homeOf(line.addr);
+  wb.addr = line.addr;
+  wb.value = line.value;
+  send(wb);
+}
+
+void MoesiProtocol::handleSnoop(const Message& msg) {
+  stageMark(msg.addr, Stage::Fanout);  // the snoop wave reached a tile
+  const NodeId tile = msg.dst;
+  if (tile == msg.requestor) return;  // the broadcast's self-copy
+  const bool isWrite = (msg.aux & 1) != 0;
+  auto& tl = tileOf(tile);
+  energy_.l1TagProbe += 1;
+  L1Line* line = tl.l1.find(msg.addr);
+
+  bool supplied = false;
+  std::uint64_t value = 0;
+  if (line != nullptr) {
+    struct Ops {
+      MoesiProtocol& p;
+      Tile& tl;
+      NodeId tile;
+      L1Line& line;
+      bool& supplied;
+      std::uint64_t& value;
+      bool guard(tbl::Guard) const { return true; }
+      void setState(std::uint8_t s) { line.state = static_cast<L1State>(s); }
+      void act(tbl::Action a) {
+        switch (a) {
+          case tbl::Action::ChargeL1Read: p.energy_.l1DataRead += 1; break;
+          case tbl::Action::SupplyData:
+            supplied = true;
+            value = line.value;
+            break;
+          case tbl::Action::Invalidate: tl.l1.invalidate(line); break;
+          default:
+            EECC_CHECK_MSG(false, "action not in the snoop vocabulary");
+        }
+      }
+    } ops{*this, tl, tile, *line, supplied, value};
+    table_.run(static_cast<std::uint8_t>(line->state),
+               isWrite ? tbl::Event::SnoopWrite : tbl::Event::SnoopRead, ops);
+  }
+  // Reads leave any probed copy shared (O included); writes leave none.
+  const bool keepsShared = !isWrite && line != nullptr;
+
+  Message ack;
+  ack.type = kSnoopAck;
+  ack.cls = supplied ? MsgClass::Data : MsgClass::Control;
+  ack.src = tile;
+  ack.dst = msg.requestor;
+  ack.origin = msg.requestor;
+  ack.addr = msg.addr;
+  ack.aux = (keepsShared ? 1u : 0u) | (supplied ? 2u : 0u);
+  ack.value = value;
+  const Tick delay =
+      cfg_.l1.tagLatency + (supplied ? cfg_.l1.dataLatency : 0);
+  after(delay, [this, ack] { send(ack); });
+}
+
+// --------------------------------------------------------------- Home side
+
+void MoesiProtocol::storeAtL2(NodeId home, Addr block, std::uint64_t value,
+                              bool dirty) {
+  Bank& bank = bankOf(home);
+  energy_.l2DataWrite += 1;
+  if (L2Line* line = bank.l2.find(block)) {
+    line->value = value;
+    line->dirty = line->dirty || dirty;
+    bank.l2.touch(*line);
+    return;
+  }
+  L2Line* victim = bank.l2.selectVictim(
+      block, [this](const L2Line& l) { return lineBusy(l.addr); });
+  if (victim == nullptr) victim = bank.l2.selectVictim(block, nullptr);
+  EECC_CHECK(victim != nullptr);
+  if (victim->valid) evictL2Line(home, *victim);
+  L2Line& line = bank.l2.install(*victim, block);
+  line.value = value;
+  line.dirty = dirty;
+}
+
+void MoesiProtocol::evictL2Line(NodeId home, L2Line& line) {
+  stats_.l2Evictions += 1;
+  if (line.dirty) {
+    energy_.l2DataRead += 1;
+    memWriteback(line.addr, home, line.value);
+  }
+  bankOf(home).l2.invalidate(line);
+}
+
+void MoesiProtocol::homeHandleRequest(const Message& msg) {
+  const NodeId home = msg.dst;
+  const NodeId requestor = msg.requestor;
+  const Addr block = msg.addr;
+  stageMark(block, Stage::Request);  // home fallback request leg
+  Bank& bank = bankOf(home);
+  energy_.l2TagProbe += 1;
+
+  auto it = txns_.find(block);
+  EECC_CHECK_MSG(it != txns_.end(), "home request without transaction");
+  Txn& txn = it->second;
+
+  // Catch any writeback still in flight for this block: its value is the
+  // freshest copy anywhere, and the stale L2 array must not win the race.
+  if (auto wb = pendingWb_.find(block); wb != pendingWb_.end())
+    storeAtL2(home, block, wb->second.value, /*dirty=*/true);
+
+  if (L2Line* line = bank.l2.find(block)) {
+    energy_.l2DataRead += 1;
+    stats_.l2DataHits += 1;
+    bank.l2.touch(*line);
+    txn.cls = MissClass::UnpredL2;
+    txn.links += static_cast<std::uint32_t>(distance(home, requestor));
+    Message data;
+    data.type = kHomeData;
+    data.cls = MsgClass::Data;
+    data.src = home;
+    data.dst = requestor;
+    data.origin = requestor;
+    data.addr = block;
+    data.value = line->value;
+    after(cfg_.l2.tagLatency + cfg_.l2.dataLatency, [this, data] {
+      stageMark(data.addr, Stage::Service);  // home occupancy
+      send(data);
+    });
+    return;
+  }
+  // Off-chip; the home keeps a clean copy of the fill for later readers.
+  txn.cls = MissClass::Memory;
+  txn.links += static_cast<std::uint32_t>(
+      distance(home, cfg_.memControllerOf(block)) +
+      distance(cfg_.memControllerOf(block), requestor));
+  storeAtL2(home, block, memoryValue(block), /*dirty=*/false);
+  memFetch(block, home, requestor, [this, block](std::uint64_t value) {
+    auto t = txns_.find(block);
+    EECC_CHECK(t != txns_.end());
+    t->second.dataArrived = true;
+    t->second.value = value;
+    completeAccess(block);
+  });
+}
+
+// ------------------------------------------------------------ Transactions
+
+void MoesiProtocol::startMiss(NodeId tile, Addr block, AccessType type,
+                              DoneFn done) {
+  Txn& txn = txns_[block];
+  txn = Txn{};
+  txn.requestor = tile;
+  txn.type = type;
+  txn.done = std::move(done);
+  txn.start = events_.now();
+
+  if (type == AccessType::Write &&
+      tileOf(tile).l1.find(block) != nullptr) {
+    txn.needsData = false;  // upgrade from S or O (both hold valid data)
+    stats_.upgrades += 1;
+  }
+
+  txn.acksOutstanding = static_cast<std::int32_t>(cfg_.tiles()) - 1;
+  // Critical path: the snoop wave out to the farthest tile and its ack
+  // back; the home fallback adds its own hops on top.
+  txn.links += 2 * maxDist_[static_cast<std::size_t>(tile)];
+
+  Message req;
+  req.type = kSnoopReq;
+  req.src = tile;
+  req.addr = block;
+  req.requestor = tile;
+  req.aux = type == AccessType::Write ? 1 : 0;
+  sendBroadcast(req);
+  if (txn.acksOutstanding == 0) onAllAcks(block, txn);  // single-tile chip
+}
+
+void MoesiProtocol::onAllAcks(Addr block, Txn& txn) {
+  if (txn.needsData && !txn.dataArrived) {
+    // No cache supplied: fall back to the home bank (then memory).
+    if (!txn.homeAsked) {
+      txn.homeAsked = true;
+      const NodeId home = homeOf(block);
+      txn.links +=
+          static_cast<std::uint32_t>(distance(txn.requestor, home));
+      Message req;
+      req.type = kHomeReq;
+      req.src = txn.requestor;
+      req.dst = home;
+      req.addr = block;
+      req.requestor = txn.requestor;
+      send(req);
+    }
+    return;
+  }
+  completeAccess(block);
+}
+
+void MoesiProtocol::completeAccess(Addr block) {
+  auto it = txns_.find(block);
+  EECC_CHECK(it != txns_.end());
+  Txn& txn = it->second;
+  if (txn.type == AccessType::Read) {
+    // E iff no other tile kept a copy (an O supplier acks "shared", so a
+    // dirty-shared read installs plain S next to the owner).
+    installL1(txn.requestor, block,
+              txn.sharedSeen ? L1State::S : L1State::E, txn.value);
+    recordRead(txn.requestor, txn.value);
+  } else {
+    installL1(txn.requestor, block, L1State::M, commitWrite(block));
+  }
+  recordMiss(block, txn.cls, txn.start, txn.links);
+  const DoneFn done = std::move(txn.done);
+  txns_.erase(it);
+  done();
+  releaseLine(block);
+}
+
+void MoesiProtocol::onMessage(const Message& msg) {
+  switch (msg.type) {
+    case kSnoopReq:
+      handleSnoop(msg);
+      return;
+
+    case kSnoopAck: {
+      // An ack carrying data is the cache-to-cache transfer itself.
+      stageMark(msg.addr,
+                (msg.aux & 2) != 0 ? Stage::DataReturn : Stage::AckWait);
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      Txn& txn = it->second;
+      txn.acksOutstanding -= 1;
+      EECC_CHECK(txn.acksOutstanding >= 0);
+      if ((msg.aux & 1) != 0) txn.sharedSeen = true;
+      if ((msg.aux & 2) != 0) {
+        txn.dataArrived = true;
+        txn.value = msg.value;
+        txn.cls = MissClass::UnpredOwner;  // cache-to-cache transfer
+      }
+      if (txn.acksOutstanding == 0) onAllAcks(msg.addr, txn);
+      return;
+    }
+
+    case kHomeReq:
+      homeHandleRequest(msg);
+      return;
+
+    case kHomeData: {
+      stageMark(msg.addr, Stage::DataReturn);
+      auto it = txns_.find(msg.addr);
+      EECC_CHECK(it != txns_.end());
+      it->second.dataArrived = true;
+      it->second.value = msg.value;
+      completeAccess(msg.addr);
+      return;
+    }
+
+    case kWbData: {
+      // Apply the buffered (latest) value, not the message's: same-block
+      // writebacks can be delivered out of order.
+      auto wb = pendingWb_.find(msg.addr);
+      EECC_CHECK(wb != pendingWb_.end());
+      storeAtL2(msg.dst, msg.addr, wb->second.value, /*dirty=*/true);
+      if (--wb->second.count == 0) pendingWb_.erase(wb);
+      return;
+    }
+  }
+  EECC_CHECK_MSG(false, "unknown MOESI message type");
+}
+
+// ------------------------------------------------------------- Test hooks
+
+namespace {
+char moesiStateChar(std::uint8_t s) {
+  switch (s) {
+    case kS: return 'S';
+    case kE: return 'E';
+    case kM: return 'M';
+    case kO: return 'O';
+  }
+  return '?';
+}
+}  // namespace
+
+MoesiProtocol::LineView MoesiProtocol::l1Line(NodeId tile,
+                                              Addr block) const {
+  const auto& l1 = tiles_[static_cast<std::size_t>(tile)].l1;
+  LineView v;
+  if (const L1Line* line = l1.find(block)) {
+    v.valid = true;
+    v.value = line->value;
+    v.state = moesiStateChar(static_cast<std::uint8_t>(line->state));
+  }
+  return v;
+}
+
+void MoesiProtocol::forEachL1Copy(
+    const std::function<void(const L1CopyView&)>& fn) const {
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
+        [&](const L1Line& line) {
+          L1CopyView v;
+          v.tile = t;
+          v.block = line.addr;
+          v.state = moesiStateChar(static_cast<std::uint8_t>(line.state));
+          v.value = line.value;
+          v.busy = lineBusy(line.addr);
+          fn(v);
+        });
+  }
+}
+
+void MoesiProtocol::forEachL2Block(
+    const std::function<void(NodeId tile, Addr block)>& fn) const {
+  for (NodeId h = 0; h < cfg_.tiles(); ++h)
+    banks_[static_cast<std::size_t>(h)].l2.forEachValid(
+        [&](const L2Line& line) { fn(h, line.addr); });
+}
+
+void MoesiProtocol::auditInvariants(const AuditFailFn& fail) const {
+  // Assumes quiesced blocks (in-flight ones are skipped). Per block: at
+  // most one owner-class (E/M/O) copy; E/M excludes other copies (O
+  // legally coexists with S sharers); every copy holds the committed
+  // value; the home L2 value matches the committed value unless an L1
+  // owner exists (O means dirty sharing: the L2 stays stale on purpose).
+  std::unordered_map<Addr, NodeId> owner;
+  std::unordered_map<Addr, NodeId> exclusiveHolder;
+  std::unordered_map<Addr, std::vector<NodeId>> holders;
+  for (NodeId t = 0; t < cfg_.tiles(); ++t) {
+    tiles_[static_cast<std::size_t>(t)].l1.forEachValid(
+        [&](const L1Line& line) {
+          if (lineBusy(line.addr)) return;
+          holders[line.addr].push_back(t);
+          if (line.state != L1State::S) {
+            if (owner.contains(line.addr))
+              fail("two owner-class copies (SWMR violated): tiles " +
+                   std::to_string(owner[line.addr]) + " and " +
+                   std::to_string(t) + ", " + describeBlock(line.addr));
+            owner[line.addr] = t;
+            if (line.state != L1State::O) exclusiveHolder[line.addr] = t;
+          }
+          if (line.value != committedValue(line.addr))
+            fail("L1 copy holds a stale value: tile " + std::to_string(t) +
+                 ", " + describeBlock(line.addr));
+        });
+  }
+  for (const auto& [block, list] : holders)
+    if (exclusiveHolder.contains(block) && list.size() != 1)
+      fail("E/M copy coexists with other copies: " + describeBlock(block));
+  for (NodeId h = 0; h < cfg_.tiles(); ++h) {
+    banks_[static_cast<std::size_t>(h)].l2.forEachValid(
+        [&](const L2Line& line) {
+          if (lineBusy(line.addr)) return;
+          if (pendingWb_.contains(line.addr)) return;  // wb in flight
+          if (!owner.contains(line.addr) &&
+              line.value != committedValue(line.addr))
+            fail("L2 value stale with no L1 owner: " +
+                 describeBlock(line.addr));
+        });
+  }
+}
+
+}  // namespace eecc

@@ -1,0 +1,128 @@
+// Broadcast-snooping MOESI — MESI-Snoop plus the Owned state: dirty
+// sharing without a memory writeback.
+//
+// Same directory-less skeleton as mesi.h (every L1 miss broadcasts over
+// the mesh's XY tree, all tiles-1 ack, home/memory fallback only when no
+// cache supplied), but a snooped M holder downgrades to O and *keeps* its
+// dirty data instead of writing it through to the home L2. The O holder
+// answers later readers cache-to-cache and only writes back on eviction —
+// the classic MOESI trade: read-shared dirty lines cost no L2/memory
+// write traffic while they stay resident, at the price of the home's L2
+// array staying stale for as long as an owner exists (the audit and the
+// home fallback both treat owned blocks exactly like M-held ones).
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/cache_array.h"
+#include "common/bits.h"
+#include "protocols/protocol.h"
+#include "protocols/table_engine.h"
+
+namespace eecc {
+
+class MoesiProtocol final : public Protocol {
+ public:
+  MoesiProtocol(EventQueue& events, Network& net, const CmpConfig& cfg);
+
+  ProtocolKind kind() const override { return ProtocolKind::Moesi; }
+  bool tryHit(NodeId tile, Addr block, AccessType type) override;
+  void auditInvariants(const AuditFailFn& fail) const override;
+  void forEachL1Copy(
+      const std::function<void(const L1CopyView&)>& fn) const override;
+  void forEachL2Block(
+      const std::function<void(NodeId tile, Addr block)>& fn) const override;
+
+  /// Test hooks.
+  struct LineView {
+    bool valid = false;
+    char state = 'I';  // I/S/E/M/O
+    std::uint64_t value = 0;
+  };
+  LineView l1Line(NodeId tile, Addr block) const;
+
+  /// The MOESI stable-state table this engine interprets (DESIGN.md §15);
+  /// exposed so tests/table_engine_test.cpp can audit well-formedness.
+  static tbl::ProtocolTable makeStableTable();
+
+ protected:
+  void startMiss(NodeId tile, Addr block, AccessType type,
+                 DoneFn done) override;
+  void onMessage(const Message& msg) override;
+
+ private:
+  enum class L1State : std::uint8_t { S, E, M, O };
+
+  struct L1Line : CacheLineBase {
+    L1State state = L1State::S;
+    std::uint64_t value = 0;
+  };
+
+  struct L2Line : CacheLineBase {
+    bool dirty = false;
+    std::uint64_t value = 0;
+  };
+
+  struct Tile {
+    CacheArray<L1Line> l1;
+    explicit Tile(const CmpConfig& c) : l1(c.l1.entries, c.l1.assoc) {}
+  };
+  struct Bank {
+    CacheArray<L2Line> l2;
+    explicit Bank(const CmpConfig& c)
+        : l2(c.l2.entries, c.l2.assoc,
+             log2ceil(static_cast<std::uint64_t>(c.tiles()))) {}
+  };
+
+  struct Txn {
+    NodeId requestor = kInvalidNode;
+    AccessType type = AccessType::Read;
+    DoneFn done;
+    Tick start = 0;
+    std::uint32_t links = 0;
+    MissClass cls = MissClass::UnpredL2;
+    std::int32_t acksOutstanding = 0;  ///< tiles-1 snoop acks owed.
+    bool sharedSeen = false;   ///< Some tile keeps a shared copy.
+    bool dataArrived = false;  ///< A snooper or the home supplied data.
+    bool needsData = true;     ///< False for S/O->M upgrades.
+    bool homeAsked = false;    ///< Fallback request already sent.
+    std::uint64_t value = 0;
+  };
+
+  Tile& tileOf(NodeId t) { return tiles_[static_cast<std::size_t>(t)]; }
+  Bank& bankOf(NodeId h) { return banks_[static_cast<std::size_t>(h)]; }
+
+  // --- L1 side ---
+  void installL1(NodeId tile, Addr block, L1State state, std::uint64_t value);
+  void evictL1Line(NodeId tile, L1Line& line);
+  /// Eviction of a dirty (M/O) line: the one place owned data ever
+  /// reaches the home L2 bank besides fills.
+  void writebackToHome(NodeId tile, const L1Line& line);
+  void handleSnoop(const Message& msg);
+
+  // --- Home side ---
+  void storeAtL2(NodeId home, Addr block, std::uint64_t value, bool dirty);
+  void evictL2Line(NodeId home, L2Line& line);
+  void homeHandleRequest(const Message& msg);
+
+  // --- Transaction steps ---
+  void onAllAcks(Addr block, Txn& txn);
+  void completeAccess(Addr block);
+
+  tbl::ProtocolTable table_;
+  std::vector<Tile> tiles_;
+  std::vector<Bank> banks_;
+  std::unordered_map<Addr, Txn> txns_;
+  /// In-flight dirty writebacks (see mesi.h): until the kWbData lands the
+  /// home's L2 copy is stale with no L1 owner, so the home serves these
+  /// values ahead of its own array and the audit exempts covered blocks.
+  struct PendingWb {
+    std::uint64_t value = 0;
+    int count = 0;
+  };
+  std::unordered_map<Addr, PendingWb> pendingWb_;
+  /// Mesh distance to the farthest tile, per requestor (broadcast depth).
+  std::vector<std::uint32_t> maxDist_;
+};
+
+}  // namespace eecc

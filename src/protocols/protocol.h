@@ -35,14 +35,16 @@ class TraceSink;
 class AttributionLedger;
 
 /// The four protocols of the paper in its evaluation order (Directory
-/// baseline first), plus the broadcast-snooping MESI reference point. The
-/// canonical list for every sweep — benches, examples and runAllProtocols
-/// all iterate this.
-inline const std::array<ProtocolKind, 5>& allProtocolKinds() {
-  static const std::array<ProtocolKind, 5> kinds = {
+/// baseline first), plus the snooping reference points (MESI/MOESI
+/// invalidate, Dragon update) and the per-line Hybrid-Adapt protocol.
+/// The canonical list for every sweep — benches, examples and
+/// runAllProtocols all iterate this.
+inline const std::array<ProtocolKind, 8>& allProtocolKinds() {
+  static const std::array<ProtocolKind, 8> kinds = {
       ProtocolKind::Directory, ProtocolKind::DiCo,
       ProtocolKind::DiCoProviders, ProtocolKind::DiCoArin,
-      ProtocolKind::Mesi};
+      ProtocolKind::Mesi,      ProtocolKind::Moesi,
+      ProtocolKind::Dragon,    ProtocolKind::Adapt};
   return kinds;
 }
 
@@ -424,7 +426,7 @@ class Protocol {
   std::vector<std::int32_t> ddrIndex_;       // tile -> ddr_ index; -1 = none
 };
 
-/// Factory covering all four protocols of the paper.
+/// Factory covering every ProtocolKind.
 std::unique_ptr<Protocol> makeProtocol(ProtocolKind kind, EventQueue& events,
                                        Network& net, const CmpConfig& cfg);
 

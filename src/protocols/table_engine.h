@@ -82,6 +82,8 @@ enum class Action : std::uint8_t {
   WritebackClean,  ///< Clean eviction notice toward the home.
   WritebackData,   ///< Dirty data writeback/write-through toward the home.
   SupplyData,      ///< Answer the in-flight request with the line's data.
+  UpdateData,      ///< Apply an in-flight write-update's value to this copy
+                   ///< (Dragon-style update snooping; the copy stays valid).
   Escape0,         ///< Protocol-specific mechanism (adapter-defined).
   Escape1,
   Escape2,
@@ -114,8 +116,9 @@ struct Transition {
 class ProtocolTable {
  public:
   /// `tag` names the protocol for EECC_TABLE_SELFTEST matching ("dir",
-  /// "dico", "providers", "arin", "mesi"). `sharedState`/`modifiedState`
-  /// locate the row the selftest drill corrupts.
+  /// "dico", "providers", "arin", "mesi", "moesi", "dragon", "adapt").
+  /// `sharedState`/`modifiedState` locate the row the selftest drill
+  /// corrupts.
   ProtocolTable(const char* tag, std::span<const Transition> rows,
                 std::uint8_t numStates, std::uint8_t sharedState,
                 std::uint8_t modifiedState);

@@ -1,5 +1,6 @@
 #include "workload/trace.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -144,33 +145,70 @@ struct TextOp {
   Addr addr = 0;
 };
 
+/// Abort-message prefix for a malformed line (built only on failure).
+std::string traceLineError(std::uint64_t lineNo, const char* what) {
+  return "text trace line " + std::to_string(lineNo) + ": " + what;
+}
+
+/// Checked unsigned field parse, consistent with tools/cli_parse.h:
+/// rejects a leading `-` (std::strtoull would silently wrap -1 to
+/// 0xFFFF…) and ERANGE overflow, with a line-numbered error.
+unsigned long long parseTraceU64(const char** pp, int base,
+                                 std::uint64_t lineNo, const char* field) {
+  const char* p = *pp;
+  EECC_CHECK_MSG(*p != '-',
+                 (traceLineError(lineNo, field) + " must not be negative")
+                     .c_str());
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(p, &end, base);
+  EECC_CHECK_MSG(end != p,
+                 (traceLineError(lineNo, "bad ") + field).c_str());
+  EECC_CHECK_MSG(errno != ERANGE,
+                 (traceLineError(lineNo, field) + " out of range").c_str());
+  *pp = end;
+  return v;
+}
+
 /// Parses one `proc op addr` line; returns false for blank/comment lines.
 bool parseTextLine(const char* line, std::uint64_t lineNo, TextOp* out) {
   const char* p = line;
   while (*p == ' ' || *p == '\t') ++p;
   if (*p == '\0' || *p == '\n' || *p == '\r' || *p == '#') return false;
 
-  char* end = nullptr;
-  const unsigned long long proc = std::strtoull(p, &end, 10);
-  EECC_CHECK_MSG(end != p, "text trace: bad process id");
-  EECC_CHECK_MSG(proc < 65536, "text trace: process id exceeds 16-bit tiles");
-  p = end;
+  const unsigned long long proc =
+      parseTraceU64(&p, 10, lineNo, "process id");
+  EECC_CHECK_MSG(
+      proc < 65536,
+      (traceLineError(lineNo, "process id exceeds 16-bit tiles")).c_str());
   while (*p == ' ' || *p == '\t') ++p;
 
   const char op = *p;
-  EECC_CHECK_MSG(op == 'R' || op == 'r' || op == 'W' || op == 'w',
-                 "text trace: op must start with R or W");
+  EECC_CHECK_MSG(
+      op == 'R' || op == 'r' || op == 'W' || op == 'w',
+      (traceLineError(lineNo, "op must start with R or W")).c_str());
   while (*p != '\0' && *p != ' ' && *p != '\t') ++p;
   while (*p == ' ' || *p == '\t') ++p;
 
-  const unsigned long long addr = std::strtoull(p, &end, 0);
-  EECC_CHECK_MSG(end != p, "text trace: bad address");
-  (void)lineNo;
+  const unsigned long long addr = parseTraceU64(&p, 0, lineNo, "address");
 
   out->proc = static_cast<std::uint32_t>(proc);
   out->write = op == 'W' || op == 'w';
   out->addr = static_cast<Addr>(addr);
   return true;
+}
+
+/// Reads one full line of unbounded length into `*out` (newline kept).
+/// Returns false at EOF with nothing read. A fixed fgets buffer would
+/// split a >255-byte line and re-parse its tail as a fresh record.
+bool readTraceLine(std::FILE* f, std::string* out) {
+  out->clear();
+  char chunk[256];
+  while (std::fgets(chunk, sizeof chunk, f) != nullptr) {
+    out->append(chunk);
+    if (!out->empty() && out->back() == '\n') return true;
+  }
+  return !out->empty();
 }
 
 }  // namespace
@@ -184,13 +222,13 @@ TextTraceImage loadTextTrace(const std::string& path) {
   std::vector<TextOp> ops;
   // vpage -> (first process, shared-by-several flag)
   std::unordered_map<std::uint64_t, std::pair<std::uint32_t, bool>> vpages;
-  char line[256];
+  std::string line;
   std::uint64_t lineNo = 0;
   std::uint32_t maxProc = 0;
-  while (std::fgets(line, sizeof line, f.get()) != nullptr) {
+  while (readTraceLine(f.get(), &line)) {
     ++lineNo;
     TextOp op;
-    if (!parseTextLine(line, lineNo, &op)) continue;
+    if (!parseTextLine(line.c_str(), lineNo, &op)) continue;
     ops.push_back(op);
     if (op.proc > maxProc) maxProc = op.proc;
     const std::uint64_t vpage = op.addr >> kPageOffsetBits;

@@ -109,8 +109,10 @@ struct TextTraceImage {
 /// Ingests an external text trace: one `proc op addr` triple per line,
 /// where `proc` is a decimal process id (mapped onto tile `proc` and VM
 /// `proc`), `op` starts with R/r or W/w, and `addr` is a byte address in
-/// hex (0x...), octal (0...) or decimal. Blank lines and lines starting
-/// with '#' are skipped; malformed lines abort (EECC_CHECK).
+/// hex (0x...), octal (0...) or decimal. Lines may be arbitrarily long.
+/// Blank lines and lines starting with '#' are skipped; malformed lines
+/// (including negative or overflowing fields) abort (EECC_CHECK) with the
+/// offending line number.
 ///
 /// Address mapping rebuilds a consolidated-server memory image from the
 /// virtual addresses: each (process, virtual page) gets its own physical

@@ -1,4 +1,4 @@
-// End-to-end conformance tests: clean fuzzing runs across all five
+// End-to-end conformance tests: clean fuzzing runs across all eight
 // protocols, the differential cross-check, and the seeded-bug selftest
 // (EECC_CHECK_SELFTEST) with its counterexample round-trip.
 #include <gtest/gtest.h>

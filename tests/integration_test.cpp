@@ -156,7 +156,7 @@ TEST(ExperimentRunner, RunAllProtocolsCoversEveryKind) {
   ASSERT_EQ(results.size(), allProtocolKinds().size());
   EXPECT_EQ(results[0].protocol, ProtocolKind::Directory);
   EXPECT_EQ(results[3].protocol, ProtocolKind::DiCoArin);
-  EXPECT_EQ(results.back().protocol, ProtocolKind::Mesi);
+  EXPECT_EQ(results.back().protocol, ProtocolKind::Adapt);
 }
 
 }  // namespace

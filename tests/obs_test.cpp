@@ -462,7 +462,7 @@ TEST(StageRecorder, FlowIdsAreSequentialAndSurviveCompletion) {
   EXPECT_EQ(rec.flowOf(0x500), 2u);
 }
 
-// --- The flight-recorder reconciliation property (all five protocols) ---
+// --- The flight-recorder reconciliation property (all eight protocols) ---
 
 class StageReconcile : public ::testing::TestWithParam<ProtocolKind> {};
 

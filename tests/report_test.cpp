@@ -236,6 +236,17 @@ TEST(Report, StageDecompositionPoolsClassesAndConditionsPercentiles) {
   // Stages with no metrics at all still get a (zero) row.
   EXPECT_DOUBLE_EQ(row("Directory", "ackWait").count, 0.0);
 
+  // DiCo memFetch: 98 samples in bucket 4, 2 in the saturating top
+  // bucket. p50 interpolates inside bucket 4; p99 lands past the last
+  // finite bucket, so it clamps to the top bucket's lower edge and is
+  // flagged saturated (a lower bound, not an estimate).
+  const StageLatencyRow dfetch = row("DiCo", "memFetch");
+  EXPECT_DOUBLE_EQ(dfetch.p50, 256.0 + 64.0 * 50.0 / 98.0);
+  EXPECT_FALSE(dfetch.p50Saturated);
+  EXPECT_DOUBLE_EQ(dfetch.p99, StageRecorder::kHistMax - 64.0);
+  EXPECT_TRUE(dfetch.p99Saturated);
+  EXPECT_FALSE(fetch.p99Saturated);  // fully-binned runs stay unflagged
+
   // The verdict: DiCo's mean gaps vs Directory are request +10,
   // fanout +50, memFetch +100 -> memFetch dominates.
   ASSERT_EQ(rep.stageDominant.size(), 1u);

@@ -1,0 +1,285 @@
+// The three newer table-driven snooping protocols: MOESI-Snoop (owned
+// state, dirty sharing without a memory writeback), Dragon (write-update
+// waves) and Hybrid-Adapt (per-line classifier switching each line between
+// invalidate and update policy). Each gets harness-level behaviour checks
+// against the protocol's defining transitions plus a monitored fuzz run
+// (SWMR, value, metadata, progress).
+#include <gtest/gtest.h>
+
+#include "check/fuzzer.h"
+#include "protocol_harness.h"
+#include "protocols/adapt.h"
+#include "protocols/dragon.h"
+#include "protocols/moesi.h"
+
+namespace eecc {
+namespace {
+
+using testutil::Harness;
+
+constexpr Addr kB = 5 * kBlockBytes;
+
+ProtocolRunReport fuzzOnce(ProtocolKind kind) {
+  FuzzOptions opt;
+  opt.opsPerTile = 150;
+  opt.sweepEvery = 10'000;
+  const Trace trace =
+      makeFuzzTrace(opt.chip, opt.workloadName, /*seed=*/17, opt.opsPerTile);
+  return runTraceChecked(opt.chip, kind, trace, opt.sweepEvery,
+                         opt.progressBound);
+}
+
+// ------------------------------------------------------------ MOESI-Snoop
+
+MoesiProtocol& moesi(Harness& h) {
+  return dynamic_cast<MoesiProtocol&>(h.proto());
+}
+
+TEST(Moesi, SnoopedDirtyLineBecomesOwnedWithoutWriteback) {
+  Harness h(ProtocolKind::Moesi);
+  h.write(3, kB);
+  const auto wbBefore = h.proto().stats().writebacks;
+  h.read(7, kB);  // the M holder supplies and keeps the dirty data as O
+  EXPECT_EQ(h.proto().stats().writebacks, wbBefore)
+      << "MOESI's point: no write-through on a snooped dirty line";
+  EXPECT_EQ(moesi(h).l1Line(3, kB).state, 'O');
+  EXPECT_EQ(moesi(h).l1Line(7, kB).state, 'S');
+  h.check();
+}
+
+TEST(Moesi, OwnerKeepsSupplyingLaterReaders) {
+  Harness h(ProtocolKind::Moesi);
+  h.write(3, kB);
+  h.read(7, kB);
+  const auto c2cBefore = h.proto().stats().missCount(MissClass::UnpredOwner);
+  h.read(11, kB);  // the O holder answers again, cache-to-cache
+  EXPECT_EQ(h.proto().stats().missCount(MissClass::UnpredOwner),
+            c2cBefore + 1);
+  EXPECT_EQ(moesi(h).l1Line(3, kB).state, 'O');
+  EXPECT_EQ(moesi(h).l1Line(11, kB).state, 'S');
+  h.check();
+}
+
+TEST(Moesi, OwnedEvictionWritesBackAndHomeServes) {
+  Harness h(ProtocolKind::Moesi);
+  h.write(3, kB);
+  h.read(7, kB);  // 3 now owns kB dirty
+  const auto wbBefore = h.proto().stats().writebacks;
+  // Evict 3's O copy by filling its set: the deferred writeback finally
+  // happens, and the home can serve a fresh reader.
+  const CacheGeometry& l1 = h.cfg().l1;
+  for (std::uint64_t i = 1; i <= l1.assoc; ++i)
+    h.read(3, kB + i * l1.entries / l1.assoc * kBlockBytes);
+  ASSERT_FALSE(moesi(h).l1Line(3, kB).valid);
+  EXPECT_EQ(h.proto().stats().writebacks, wbBefore + 1);
+  const std::uint64_t v = h.read(11, kB);
+  EXPECT_EQ(v, h.read(7, kB));
+  h.check();
+}
+
+TEST(Moesi, WriteInvalidatesOwnerAndSharers) {
+  Harness h(ProtocolKind::Moesi);
+  h.write(3, kB);
+  h.read(7, kB);
+  h.read(11, kB);
+  h.write(7, kB);  // upgrade: O at 3 and sharer at 11 both die
+  EXPECT_EQ(moesi(h).l1Line(7, kB).state, 'M');
+  EXPECT_FALSE(moesi(h).l1Line(3, kB).valid);
+  EXPECT_FALSE(moesi(h).l1Line(11, kB).valid);
+  h.check();
+}
+
+TEST(Moesi, ValuesSurviveTheFullSharingDance) {
+  Harness h(ProtocolKind::Moesi);
+  h.write(3, kB);
+  h.write(7, kB);
+  h.write(3, kB);
+  const std::uint64_t v = h.read(11, kB);
+  EXPECT_EQ(v, h.read(7, kB));
+  EXPECT_EQ(v, h.read(3, kB));
+  h.check();
+}
+
+TEST(Moesi, MonitoredFuzzRunIsViolationFree) {
+  const ProtocolRunReport r = fuzzOnce(ProtocolKind::Moesi);
+  EXPECT_EQ(r.violationCount, 0u);
+}
+
+// ----------------------------------------------------------------- Dragon
+
+DragonProtocol& dragon(Harness& h) {
+  return dynamic_cast<DragonProtocol&>(h.proto());
+}
+
+TEST(Dragon, WriteUpdatesSharersInsteadOfInvalidating) {
+  Harness h(ProtocolKind::Dragon);
+  h.read(3, kB);
+  h.read(7, kB);
+  h.read(11, kB);
+  h.write(7, kB);  // the update wave refreshes 3 and 11 in place
+  EXPECT_EQ(dragon(h).l1Line(7, kB).state, 'O');  // Sm: shared owner
+  ASSERT_TRUE(dragon(h).l1Line(3, kB).valid);
+  ASSERT_TRUE(dragon(h).l1Line(11, kB).valid);
+  // Every surviving copy already holds the new value: the consumers'
+  // next reads are pure L1 hits.
+  EXPECT_EQ(dragon(h).l1Line(3, kB).value, dragon(h).l1Line(7, kB).value);
+  EXPECT_EQ(dragon(h).l1Line(11, kB).value, dragon(h).l1Line(7, kB).value);
+  const auto missesBefore = h.proto().stats().l1Misses();
+  EXPECT_EQ(h.read(3, kB), dragon(h).l1Line(7, kB).value);
+  EXPECT_EQ(h.proto().stats().l1Misses(), missesBefore);
+  h.check();
+}
+
+TEST(Dragon, SoleCopyWritesStayExclusive) {
+  Harness h(ProtocolKind::Dragon);
+  h.read(3, kB);
+  EXPECT_EQ(dragon(h).l1Line(3, kB).state, 'E');
+  const auto bcastsBefore = h.net().stats().broadcasts;
+  h.write(3, kB);  // E -> M silently, like any invalidation protocol
+  EXPECT_EQ(dragon(h).l1Line(3, kB).state, 'M');
+  EXPECT_EQ(h.net().stats().broadcasts, bcastsBefore);
+  h.check();
+}
+
+TEST(Dragon, SharedWriteBroadcastsEveryTime) {
+  Harness h(ProtocolKind::Dragon);
+  h.read(3, kB);
+  h.read(7, kB);
+  const auto bcastsBefore = h.net().stats().broadcasts;
+  h.write(3, kB);
+  h.write(3, kB);
+  h.write(3, kB);
+  // Dragon's cost model: a shared line never goes quiet — every write
+  // pays the chip-wide update broadcast (MESI would broadcast once and
+  // then write locally in M).
+  EXPECT_EQ(h.net().stats().broadcasts, bcastsBefore + 3);
+  EXPECT_EQ(dragon(h).l1Line(3, kB).state, 'O');
+  EXPECT_EQ(dragon(h).l1Line(7, kB).state, 'S');
+  h.check();
+}
+
+TEST(Dragon, OwnedEvictionWritesBack) {
+  Harness h(ProtocolKind::Dragon);
+  h.read(7, kB);
+  h.write(3, kB);  // 3 becomes Sm over 7's updated Sc copy
+  ASSERT_EQ(dragon(h).l1Line(3, kB).state, 'O');
+  const auto wbBefore = h.proto().stats().writebacks;
+  const CacheGeometry& l1 = h.cfg().l1;
+  for (std::uint64_t i = 1; i <= l1.assoc; ++i)
+    h.read(3, kB + i * l1.entries / l1.assoc * kBlockBytes);
+  ASSERT_FALSE(dragon(h).l1Line(3, kB).valid);
+  EXPECT_EQ(h.proto().stats().writebacks, wbBefore + 1);
+  // 7's copy was kept fresh by the wave, and the home is fresh too.
+  EXPECT_EQ(h.read(11, kB), h.read(7, kB));
+  h.check();
+}
+
+TEST(Dragon, ValuesSurviveTheFullSharingDance) {
+  Harness h(ProtocolKind::Dragon);
+  h.write(3, kB);
+  h.write(7, kB);
+  h.write(3, kB);
+  const std::uint64_t v = h.read(11, kB);
+  EXPECT_EQ(v, h.read(7, kB));
+  EXPECT_EQ(v, h.read(3, kB));
+  h.check();
+}
+
+TEST(Dragon, MonitoredFuzzRunIsViolationFree) {
+  const ProtocolRunReport r = fuzzOnce(ProtocolKind::Dragon);
+  EXPECT_EQ(r.violationCount, 0u);
+}
+
+// ----------------------------------------------------------- Hybrid-Adapt
+
+AdaptProtocol& adapt(Harness& h) {
+  return dynamic_cast<AdaptProtocol&>(h.proto());
+}
+
+/// One producer-consumer round: `producer` writes, `consumer` reads.
+void pcRound(Harness& h, NodeId producer, NodeId consumer, Addr block) {
+  h.write(producer, block);
+  h.read(consumer, block);
+}
+
+TEST(Adapt, StartsOnInvalidatePolicy) {
+  Harness h(ProtocolKind::Adapt);
+  h.read(3, kB);
+  h.read(7, kB);
+  h.write(3, kB);  // no history yet -> invalidate mode
+  EXPECT_FALSE(adapt(h).wouldUpdate(kB));
+  EXPECT_EQ(adapt(h).l1Line(3, kB).state, 'M');
+  EXPECT_FALSE(adapt(h).l1Line(7, kB).valid);
+  h.check();
+}
+
+TEST(Adapt, ProducerConsumerLineLearnsUpdatePolicy) {
+  Harness h(ProtocolKind::Adapt);
+  // Tile 3 produces, tile 7 consumes. Each round under invalidation:
+  // the write sees a remaining copy and a remote read since the last
+  // write -> the classifier walks the score up to the threshold.
+  pcRound(h, 3, 7, kB);
+  ASSERT_FALSE(adapt(h).wouldUpdate(kB));
+  pcRound(h, 3, 7, kB);
+  pcRound(h, 3, 7, kB);
+  EXPECT_TRUE(adapt(h).wouldUpdate(kB)) << "score after three rounds: "
+      << static_cast<int>(adapt(h).classifierScore(kB));
+  // Now the line runs Dragon-style: the write updates 7's copy in place
+  // and the consumer's read is a pure L1 hit.
+  h.write(3, kB);
+  EXPECT_EQ(adapt(h).l1Line(3, kB).state, 'O');
+  ASSERT_TRUE(adapt(h).l1Line(7, kB).valid);
+  EXPECT_EQ(adapt(h).l1Line(7, kB).value, adapt(h).l1Line(3, kB).value);
+  const auto missesBefore = h.proto().stats().l1Misses();
+  h.read(7, kB);
+  EXPECT_EQ(h.proto().stats().l1Misses(), missesBefore);
+  h.check();
+}
+
+TEST(Adapt, MigratoryLineFallsBackToInvalidate) {
+  Harness h(ProtocolKind::Adapt);
+  // Learn the update policy first...
+  pcRound(h, 3, 7, kB);
+  pcRound(h, 3, 7, kB);
+  pcRound(h, 3, 7, kB);
+  ASSERT_TRUE(adapt(h).wouldUpdate(kB));
+  // ...then turn migratory: writers hop with no reads in between. Each
+  // hop decrements the score until the line is invalidate-mode again.
+  h.write(5, kB);
+  h.write(9, kB);
+  h.write(13, kB);
+  EXPECT_FALSE(adapt(h).wouldUpdate(kB));
+  h.check();
+}
+
+TEST(Adapt, ReadSideIsMoesiOwnedSharing) {
+  Harness h(ProtocolKind::Adapt);
+  h.write(3, kB);
+  const auto wbBefore = h.proto().stats().writebacks;
+  h.read(7, kB);
+  EXPECT_EQ(h.proto().stats().writebacks, wbBefore);
+  EXPECT_EQ(adapt(h).l1Line(3, kB).state, 'O');
+  EXPECT_EQ(adapt(h).l1Line(7, kB).state, 'S');
+  h.check();
+}
+
+TEST(Adapt, ValuesSurviveThePolicyFlip) {
+  Harness h(ProtocolKind::Adapt);
+  pcRound(h, 3, 7, kB);
+  pcRound(h, 3, 7, kB);
+  pcRound(h, 3, 7, kB);  // now update mode
+  h.write(3, kB);        // update-mode write
+  h.write(9, kB);        // a different writer, still update mode
+  const std::uint64_t v = h.read(11, kB);
+  EXPECT_EQ(v, h.read(7, kB));
+  EXPECT_EQ(v, h.read(3, kB));
+  h.check();
+}
+
+TEST(Adapt, MonitoredFuzzRunIsViolationFree) {
+  const ProtocolRunReport r = fuzzOnce(ProtocolKind::Adapt);
+  EXPECT_EQ(r.violationCount, 0u);
+}
+
+}  // namespace
+}  // namespace eecc

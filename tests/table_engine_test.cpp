@@ -9,11 +9,14 @@
 
 #include "check/fuzzer.h"
 #include "protocol_harness.h"
+#include "protocols/adapt.h"
 #include "protocols/dico.h"
 #include "protocols/dico_arin.h"
 #include "protocols/dico_providers.h"
 #include "protocols/directory.h"
+#include "protocols/dragon.h"
 #include "protocols/mesi.h"
+#include "protocols/moesi.h"
 #include "protocols/table_engine.h"
 
 namespace eecc {
@@ -33,6 +36,9 @@ TEST(TableEngine, AllProtocolTablesAreWellFormed) {
       {"providers", DiCoProvidersProtocol::makeStableTable()},
       {"arin", DiCoArinProtocol::makeStableTable()},
       {"mesi", MesiProtocol::makeStableTable()},
+      {"moesi", MoesiProtocol::makeStableTable()},
+      {"dragon", DragonProtocol::makeStableTable()},
+      {"adapt", AdaptProtocol::makeStableTable()},
   };
   for (const auto& t : tables) {
     const std::vector<std::string> defects = t.table.validate();
@@ -47,6 +53,9 @@ TEST(TableEngine, NoRowWritesAStateOutsideTheProtocolEnum) {
       DiCoProvidersProtocol::makeStableTable(),
       DiCoArinProtocol::makeStableTable(),
       MesiProtocol::makeStableTable(),
+      MoesiProtocol::makeStableTable(),
+      DragonProtocol::makeStableTable(),
+      AdaptProtocol::makeStableTable(),
   };
   for (const tbl::ProtocolTable& table : tables) {
     for (const tbl::Transition& row : table.rows()) {

@@ -240,6 +240,52 @@ TEST(TextTrace, IngestionIsDeterministic) {
   std::remove(path.c_str());
 }
 
+TEST(TextTrace, ArbitrarilyLongLinesRoundTrip) {
+  // Regression: the loader used a fixed 256-byte fgets buffer, so a line
+  // longer than that was silently split into two records (the tail parsed
+  // as a fresh line). Pad the line out past 300 bytes with trailing
+  // whitespace — it must still parse as exactly one record per line.
+  const std::string path = tempTextPath("longline");
+  std::string body = "0 R 0x1000";
+  body.append(300, ' ');
+  body += "\n1 W 0x2000";
+  body.append(400, ' ');
+  body += "\n";
+  writeTextFile(path, body.c_str());
+  const TextTraceImage image = loadTextTrace(path);
+  EXPECT_EQ(image.opLines, 2u);
+  ASSERT_EQ(image.trace.records().size(), 2u);
+  EXPECT_EQ(image.trace.records()[0].type, AccessType::Read);
+  EXPECT_EQ(image.trace.records()[1].type, AccessType::Write);
+  std::remove(path.c_str());
+}
+
+TEST(TextTraceDeathTest, RejectsNegativeFieldsWithLineNumbers) {
+  // Regression: strtoull accepts a leading '-' and wraps the value, so
+  // "-1 R 0x1000" used to parse as process 2^64-1 (then die on the
+  // process cap with a useless message) and a negative address wrapped
+  // into a huge one silently.
+  const std::string negProc = tempTextPath("negproc");
+  writeTextFile(negProc, "0 R 0x1000\n-1 R 0x1000\n");
+  EXPECT_DEATH(loadTextTrace(negProc),
+               "text trace line 2: process id must not be negative");
+  const std::string negAddr = tempTextPath("negaddr");
+  writeTextFile(negAddr, "0 R 0x1000\n0 W -0x40\n");
+  EXPECT_DEATH(loadTextTrace(negAddr),
+               "text trace line 2: address must not be negative");
+  std::remove(negProc.c_str());
+  std::remove(negAddr.c_str());
+}
+
+TEST(TextTraceDeathTest, RejectsOverflowingFieldsWithLineNumbers) {
+  // Regression: strtoull clamps out-of-range values to ULLONG_MAX and
+  // reports via errno, which the loader ignored.
+  const std::string path = tempTextPath("overflow");
+  writeTextFile(path, "0 R 0x1000\n0 R 999999999999999999999999999999\n");
+  EXPECT_DEATH(loadTextTrace(path), "text trace line 2: address out of range");
+  std::remove(path.c_str());
+}
+
 TEST(TraceReplay, WrapsAroundShortTraces) {
   Trace trace;
   trace.setTileCount(2);

@@ -1,6 +1,6 @@
 // eecc_check — differential conformance fuzzer driver.
 //
-// Replays randomized bounded reference streams through all five coherence
+// Replays randomized bounded reference streams through all eight coherence
 // protocols with the invariant monitors attached and cross-checks their
 // final memory images. On a violation, dumps a minimized counterexample
 // trace replayable with `eecc_sim --replay FILE --protocol P --check`.
@@ -11,7 +11,8 @@
 //     --ops N          operations per tile per stream (default 300)
 //     --workload NAME  Table IV workload to draw streams from
 //                      (default apache4x16p)
-//     --protocol P     dir | dico | providers | arin | mesi | all (default all)
+//     --protocol P     dir | dico | providers | arin | mesi | moesi |
+//                      dragon | adapt | all (default all)
 //     --out DIR        counterexample dump directory (default .)
 //     --jobs N         fuzz-pool width (default EECC_JOBS / hw threads)
 //     --sweep N        full-state sweep period in cycles (default 20000)
@@ -41,10 +42,11 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--base-seed N] [--ops N] "
                "[--workload NAME]\n"
-               "       [--protocol dir|dico|providers|arin|mesi|all] [--out DIR] "
-               "[--jobs N]\n"
+               "       [--protocol dir|dico|providers|arin|mesi|moesi|"
+               "dragon|adapt|all] [--out DIR] [--jobs N]\n"
                "       [--sweep N] [--no-minimize] [--selftest]\n"
-               "       [--table-selftest dir|dico|providers|arin|mesi]\n",
+               "       [--table-selftest "
+               "dir|dico|providers|arin|mesi|moesi|dragon|adapt]\n",
                argv0);
   std::exit(2);
 }
@@ -55,6 +57,9 @@ std::vector<ProtocolKind> parseProtocols(const std::string& p) {
   if (p == "providers") return {ProtocolKind::DiCoProviders};
   if (p == "arin") return {ProtocolKind::DiCoArin};
   if (p == "mesi") return {ProtocolKind::Mesi};
+  if (p == "moesi") return {ProtocolKind::Moesi};
+  if (p == "dragon") return {ProtocolKind::Dragon};
+  if (p == "adapt") return {ProtocolKind::Adapt};
   if (p == "all") {
     const auto& kinds = allProtocolKinds();
     return {kinds.begin(), kinds.end()};

@@ -120,7 +120,7 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workload NAME] [--protocol "
-               "dir|dico|providers|arin|mesi|all]\n"
+               "dir|dico|providers|arin|mesi|moesi|dragon|adapt|all]\n"
                "       [--warmup N] [--cycles N] [--areas N] [--alt] "
                "[--contiguous]\n"
                "       [--no-dedup] [--no-prediction] [--ddr] "
@@ -149,6 +149,9 @@ std::vector<ProtocolKind> parseProtocols(const std::string& p) {
   if (p == "providers") return {ProtocolKind::DiCoProviders};
   if (p == "arin") return {ProtocolKind::DiCoArin};
   if (p == "mesi") return {ProtocolKind::Mesi};
+  if (p == "moesi") return {ProtocolKind::Moesi};
+  if (p == "dragon") return {ProtocolKind::Dragon};
+  if (p == "adapt") return {ProtocolKind::Adapt};
   if (p == "all") {
     const auto& kinds = allProtocolKinds();
     return {kinds.begin(), kinds.end()};
